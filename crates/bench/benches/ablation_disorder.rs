@@ -1,0 +1,83 @@
+//! Ablation **A8** — disordered external streams, the Reorder slack stage,
+//! and the §5 skew bound.
+//!
+//! The fast stream's application timestamps are jittered by a uniform
+//! random per-tuple delay (disorder bound = the jitter span). A `Reorder`
+//! stage with configurable slack restores the ordering contract and the
+//! on-demand ETS uses δ = jitter per §5's `t + τ − δ` rule. The sweep
+//! shows the slack trade-off the flexible-time-management literature
+//! describes: slack below the true disorder sheds tuples as too-late;
+//! slack above it only adds latency.
+
+use millstream_bench::{fmt_ms, print_table};
+use millstream_sim::{
+    run_disorder_experiment, DisorderExperiment, Strategy, UnionExperiment,
+};
+use millstream_types::TimeDelta;
+
+fn run(jitter_ms: u64, slack_ms: u64) -> (u64, f64, u64) {
+    let cfg = DisorderExperiment {
+        base: UnionExperiment {
+            strategy: Strategy::OnDemand,
+            duration: TimeDelta::from_secs(120),
+            seed: 99,
+            ..UnionExperiment::default()
+        },
+        jitter: TimeDelta::from_millis(jitter_ms),
+        slack: TimeDelta::from_millis(slack_ms),
+    };
+    let r = run_disorder_experiment(&cfg).expect("experiment runs");
+    (
+        r.late_tuples,
+        r.report.metrics.latency.mean_ms,
+        r.report.metrics.delivered,
+    )
+}
+
+fn main() {
+    println!("millstream ablation A8 — disordered fast stream (uniform jitter 20 ms), Reorder slack sweep");
+    println!("on-demand ETS with δ = jitter per §5; 120 s virtual time\n");
+
+    const JITTER_MS: u64 = 20;
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &slack_ms in &[0u64, 2, 5, 10, 20, 25, 50, 200] {
+        let (late, mean, delivered) = run(JITTER_MS, slack_ms);
+        series.push((slack_ms, late, mean));
+        rows.push(vec![
+            format!("{slack_ms}"),
+            late.to_string(),
+            fmt_ms(mean),
+            delivered.to_string(),
+        ]);
+    }
+    print_table(
+        "late-dropped tuples and mean latency by Reorder slack",
+        &["slack (ms)", "late drops", "mean latency (ms)", "delivered"],
+        &rows,
+    );
+
+    // Shape: late drops (nearly) vanish once slack ≥ jitter; latency grows
+    // with slack beyond that point. A handful of drops remain even with
+    // generous slack: the §5 formula `t + τ − δ` is stamped from the
+    // DSMS-side clock, so an arrival racing the ETS inside one service
+    // interval (µs) can still undercut it — the same boundary effect a
+    // real wrapper has, and ≲0.1% of traffic here.
+    let under = series.iter().find(|&&(s, _, _)| s < JITTER_MS / 4).expect("row");
+    let covered: Vec<&(u64, u64, f64)> = series
+        .iter()
+        .filter(|&&(s, _, _)| s >= JITTER_MS + 5)
+        .collect();
+    assert!(under.1 > 50, "tight slack must shed tuples, got {}", under.1);
+    assert!(
+        covered.iter().all(|&&(_, late, _)| late <= 10),
+        "slack ≥ jitter+ε sheds at most the ETS-race residue: {series:?}"
+    );
+    let lat_25 = covered.first().expect("row").2;
+    let lat_200 = covered.last().expect("row").2;
+    assert!(
+        lat_200 > lat_25 * 2.0,
+        "beyond the disorder bound, slack only buys latency ({lat_25} → {lat_200})"
+    );
+    println!("\nshape checks passed: slack < jitter sheds; slack > jitter only delays");
+}

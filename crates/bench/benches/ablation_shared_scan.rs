@@ -1,0 +1,182 @@
+//! Ablation **A10** — shared scans for multi-query processing.
+//!
+//! Stream Mill-class DSMSs run many continuous queries over the same
+//! inputs. millstream's planner fans a multiply-referenced stream out
+//! through one `Split` instead of ingesting it once per query. This bench
+//! quantifies the saving: the same workload processed by
+//!
+//! * **duplicated** — two independent pipelines, each with its own copy of
+//!   the stream (tuples ingested twice), versus
+//! * **shared** — one source, one `Split`, two branches.
+//!
+//! Both produce equivalent outputs. The measurement separates the two
+//! sides of the trade the planner makes:
+//!
+//! * **source-side cost** — tuples that must be ingested (parsed, stamped,
+//!   delivered by a wrapper): k× for the duplicated plan, 1× shared;
+//! * **executor-side cost** — the shared plan pays a `Split` step per
+//!   tuple (k reference-counted copies), which a compute-only cost model
+//!   actually charges *more* than the duplicated filters it replaces.
+//!
+//! Sharing wins in real systems because wrapper-side ingestion (syscalls,
+//! parsing, timestamping) dwarfs a pointer-copy fan-out; the virtual CPU
+//! model deliberately charges only operator steps, so the bench reports
+//! both quantities rather than a single verdict.
+
+use millstream_bench::print_table;
+use millstream_buffer::PunctuationPolicy;
+use millstream_exec::{
+    CostModel, EtsPolicy, Executor, GraphBuilder, Input, VirtualClock,
+};
+use millstream_ops::{Filter, Sink, Split};
+use millstream_sim::{
+    ArrivalProcess, PayloadGen, SharedLatencyCollector, SimReport, Simulation, StreamSpec,
+};
+use millstream_types::{DataType, Expr, Field, Schema, TimeDelta, TimestampKind};
+
+fn schema() -> Schema {
+    Schema::new(vec![Field::new("v", DataType::Int)])
+}
+
+fn spec(rate: f64) -> StreamSpec {
+    StreamSpec {
+        name: "events".into(),
+        schema: schema(),
+        kind: TimestampKind::Internal,
+        process: ArrivalProcess::Poisson { rate_hz: rate },
+        payload: PayloadGen::UniformInt { modulus: 1000 },
+        heartbeat_period: None,
+        external_delay: TimeDelta::ZERO,
+        external_jitter: TimeDelta::ZERO,
+    }
+}
+
+/// A branch predicate: partition the value space into `branches` slices.
+fn branch_filter(i: usize, branches: usize) -> Expr {
+    let width = 1000 / branches as i64;
+    let lo = width * i as i64;
+    Expr::col(0)
+        .ge(Expr::lit(lo))
+        .and(Expr::col(0).lt(Expr::lit(lo + width)))
+}
+
+/// Shared: events → Split(n) → n filters → n sinks.
+fn run_shared(branches: usize, rate: f64, seconds: u64) -> SimReport {
+    let mut b = GraphBuilder::new().with_punctuation_policy(PunctuationPolicy::Coalesce);
+    let s = b.source("events", schema(), TimestampKind::Internal);
+    let split = b
+        .operator(Box::new(Split::new("⋔", schema(), branches)), vec![Input::Source(s)])
+        .unwrap();
+    let collector = SharedLatencyCollector::new();
+    for i in 0..branches {
+        let f = b
+            .operator(
+                Box::new(Filter::new(format!("σ{i}"), schema(), branch_filter(i, branches))),
+                vec![Input::OpPort(split, i)],
+            )
+            .unwrap();
+        b.operator(
+            Box::new(Sink::new(format!("sink{i}"), schema(), collector.clone())),
+            vec![Input::Op(f)],
+        )
+        .unwrap();
+    }
+    let exec = Executor::new(
+        b.build().unwrap(),
+        VirtualClock::shared(),
+        CostModel::default(),
+        EtsPolicy::on_demand(),
+    );
+    let mut sim = Simulation::new(exec, vec![(s, spec(rate))], collector, None, 3).unwrap();
+    sim.run(TimeDelta::from_secs(seconds)).unwrap()
+}
+
+/// Duplicated: n independent sources (same workload each) → filter → sink.
+fn run_duplicated(branches: usize, rate: f64, seconds: u64) -> SimReport {
+    let mut b = GraphBuilder::new().with_punctuation_policy(PunctuationPolicy::Coalesce);
+    let collector = SharedLatencyCollector::new();
+    let mut sources = Vec::new();
+    for i in 0..branches {
+        let s = b.source(format!("events{i}"), schema(), TimestampKind::Internal);
+        let f = b
+            .operator(
+                Box::new(Filter::new(format!("σ{i}"), schema(), branch_filter(i, branches))),
+                vec![Input::Source(s)],
+            )
+            .unwrap();
+        b.operator(
+            Box::new(Sink::new(format!("sink{i}"), schema(), collector.clone())),
+            vec![Input::Op(f)],
+        )
+        .unwrap();
+        sources.push(s);
+    }
+    let exec = Executor::new(
+        b.build().unwrap(),
+        VirtualClock::shared(),
+        CostModel::default(),
+        EtsPolicy::on_demand(),
+    );
+    // Every copy sees the same arrival process (same seed → same epochs).
+    let streams = sources.into_iter().map(|s| (s, spec(rate))).collect();
+    let mut sim = Simulation::new(exec, streams, collector, None, 3).unwrap();
+    sim.run(TimeDelta::from_secs(seconds)).unwrap()
+}
+
+fn main() {
+    println!("millstream ablation A10 — shared scan (Split) vs duplicated ingestion");
+    println!("Poisson 200/s, 60 s virtual time, value-partitioned branches\n");
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for &branches in &[2usize, 4, 8] {
+        let shared = run_shared(branches, 200.0, 60);
+        let dup = run_duplicated(branches, 200.0, 60);
+        let ingest_shared: u64 = shared.ingested_per_stream.iter().sum();
+        let ingest_dup: u64 = dup.ingested_per_stream.iter().sum();
+        let exec_overhead = shared.exec.work_units as f64 / dup.exec.work_units as f64;
+        results.push((branches, ingest_shared, ingest_dup, exec_overhead));
+        rows.push(vec![
+            branches.to_string(),
+            ingest_shared.to_string(),
+            ingest_dup.to_string(),
+            format!("{:.0}x", ingest_dup as f64 / ingest_shared as f64),
+            shared.exec.work_units.to_string(),
+            dup.exec.work_units.to_string(),
+            format!("{exec_overhead:.2}x"),
+            shared.metrics.delivered.to_string(),
+        ]);
+    }
+    print_table(
+        "source-side ingestion vs executor work, shared (⋔) vs duplicated",
+        &[
+            "branches",
+            "ingest ⋔",
+            "ingest dup",
+            "ingest saved",
+            "exec work ⋔",
+            "exec work dup",
+            "exec overhead",
+            "delivered",
+        ],
+        &rows,
+    );
+
+    for &(branches, ingest_shared, ingest_dup, exec_overhead) in &results {
+        // Ingestion scales with the number of duplicated pipelines…
+        let ratio = ingest_dup as f64 / ingest_shared as f64;
+        assert!(
+            (ratio - branches as f64).abs() < 0.25,
+            "duplicated plans ingest ~{branches}x, got {ratio:.2}x"
+        );
+        // …while the Split's executor-side overhead stays within ~2x, the
+        // bounded price the planner pays for the k-fold ingestion saving.
+        assert!(
+            exec_overhead < 2.0,
+            "split overhead must stay bounded, got {exec_overhead:.2}x"
+        );
+    }
+    println!(
+        "\nshape checks passed: shared scans cut ingestion k-fold at a bounded (<2x) executor overhead"
+    );
+}

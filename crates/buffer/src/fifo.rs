@@ -1,0 +1,349 @@
+//! Inter-operator FIFO buffers.
+//!
+//! In the paper's query graphs (§3) every arc is a buffer: the upstream
+//! operator appends to the tail (*production*) and the downstream operator
+//! takes from the front (*consumption*). Buffers enforce the stream-order
+//! contract — timestamps are non-decreasing — because every IWP operator's
+//! correctness depends on it.
+//!
+//! Buffers optionally **coalesce punctuation**: consecutive punctuation
+//! tuples carry no more information than the last one, so when enabled a
+//! punctuation pushed onto a punctuation tail replaces it in place. The
+//! paper's Fig. 8(b) shows the memory cost of *not* bounding punctuation at
+//! high heartbeat rates; coalescing is the corresponding engineering fix and
+//! is evaluated by the `ablation_coalescing` bench.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use millstream_types::{Error, Result, Timestamp, Tuple};
+
+use crate::occupancy::OccupancyTracker;
+
+/// Policy for how a buffer handles punctuation tuples on push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PunctuationPolicy {
+    /// Keep every punctuation tuple (the paper's baseline behaviour).
+    #[default]
+    KeepAll,
+    /// Replace a punctuation tail with the newer punctuation, so at most
+    /// one trailing punctuation is ever queued.
+    Coalesce,
+}
+
+/// What to do with a tuple whose timestamp regresses below the buffer's
+/// high-water mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderPolicy {
+    /// Reject the push with [`Error::OutOfOrder`] (default; millstream
+    /// streams are order-contracted like Stream Mill's).
+    #[default]
+    Reject,
+    /// Clamp the timestamp up to the high-water mark (the pragmatic recovery
+    /// used for mildly disordered external feeds).
+    Clamp,
+    /// Silently drop the tuple.
+    Drop,
+    /// Accept the tuple as-is. Only valid on buffers consumed by an
+    /// order-restoring operator (`Reorder`): every other operator relies on
+    /// the ordering contract.
+    Accept,
+}
+
+/// A FIFO buffer connecting two operators (one arc of the query graph).
+#[derive(Debug)]
+pub struct Buffer {
+    name: String,
+    queue: VecDeque<Tuple>,
+    /// Highest timestamp ever pushed; the ordering contract floor.
+    high_water: Option<Timestamp>,
+    punctuation_policy: PunctuationPolicy,
+    order_policy: OrderPolicy,
+    tracker: Option<Rc<OccupancyTracker>>,
+    /// Number of queued *data* tuples (punctuation excluded).
+    data_count: usize,
+    /// Lifetime counts for diagnostics.
+    pushed: u64,
+    popped: u64,
+    dropped: u64,
+}
+
+impl Buffer {
+    /// Creates a buffer with default policies and no shared tracker.
+    pub fn new(name: impl Into<String>) -> Self {
+        Buffer {
+            name: name.into(),
+            queue: VecDeque::new(),
+            high_water: None,
+            punctuation_policy: PunctuationPolicy::default(),
+            order_policy: OrderPolicy::default(),
+            tracker: None,
+            data_count: 0,
+            pushed: 0,
+            popped: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Attaches a shared occupancy tracker (builder style).
+    pub fn with_tracker(mut self, tracker: Rc<OccupancyTracker>) -> Self {
+        self.tracker = Some(tracker);
+        self
+    }
+
+    /// Sets the punctuation policy (builder style).
+    pub fn with_punctuation_policy(mut self, policy: PunctuationPolicy) -> Self {
+        self.punctuation_policy = policy;
+        self
+    }
+
+    /// Sets the ordering policy (builder style).
+    pub fn with_order_policy(mut self, policy: OrderPolicy) -> Self {
+        self.order_policy = policy;
+        self
+    }
+
+    /// Buffer name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of queued tuples.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of queued *data* tuples. Idle-waiting accounting is defined
+    /// over data: a lingering trailing punctuation delays nothing
+    /// user-visible.
+    pub fn data_len(&self) -> usize {
+        self.data_count
+    }
+
+    /// True iff no tuples are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The tuple at the consumption end, without removing it.
+    pub fn front(&self) -> Option<&Tuple> {
+        self.queue.front()
+    }
+
+    /// Timestamp of the front tuple, if any.
+    pub fn front_ts(&self) -> Option<Timestamp> {
+        self.queue.front().map(|t| t.ts)
+    }
+
+    /// Highest timestamp ever pushed into this buffer.
+    pub fn high_water(&self) -> Option<Timestamp> {
+        self.high_water
+    }
+
+    /// Lifetime number of successful pushes.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Lifetime number of pops.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Lifetime number of tuples dropped by [`OrderPolicy::Drop`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends a tuple at the production end, enforcing stream order and
+    /// applying the punctuation policy.
+    pub fn push(&mut self, mut tuple: Tuple) -> Result<()> {
+        if let Some(hw) = self.high_water {
+            if tuple.ts < hw {
+                match self.order_policy {
+                    OrderPolicy::Reject => {
+                        return Err(Error::OutOfOrder {
+                            context: format!("buffer {}", self.name),
+                            got: tuple.ts.as_micros(),
+                            watermark: hw.as_micros(),
+                        });
+                    }
+                    OrderPolicy::Clamp => tuple.ts = hw,
+                    OrderPolicy::Drop => {
+                        self.dropped += 1;
+                        return Ok(());
+                    }
+                    OrderPolicy::Accept => {}
+                }
+            }
+        }
+        // High-water tracks the max (under Accept a regressed tuple must
+        // not lower it).
+        self.high_water = Some(self.high_water.map_or(tuple.ts, |hw| hw.max(tuple.ts)));
+
+        if tuple.is_punctuation() && self.punctuation_policy == PunctuationPolicy::Coalesce {
+            if let Some(tail) = self.queue.back_mut() {
+                if tail.is_punctuation() {
+                    // The newer ETS subsumes the older one.
+                    *tail = tuple;
+                    if let Some(t) = &self.tracker {
+                        t.on_coalesce();
+                    }
+                    return Ok(());
+                }
+            }
+        }
+
+        if let Some(t) = &self.tracker {
+            t.on_enqueue(tuple.is_punctuation());
+        }
+        if tuple.is_data() {
+            self.data_count += 1;
+        }
+        self.pushed += 1;
+        self.queue.push_back(tuple);
+        Ok(())
+    }
+
+    /// Removes and returns the front tuple.
+    pub fn pop(&mut self) -> Option<Tuple> {
+        let tuple = self.queue.pop_front()?;
+        if let Some(t) = &self.tracker {
+            t.on_dequeue(tuple.is_punctuation());
+        }
+        if tuple.is_data() {
+            self.data_count -= 1;
+        }
+        self.popped += 1;
+        Some(tuple)
+    }
+
+    /// Iterates the queued tuples front-to-back without consuming them.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.queue.iter()
+    }
+
+    /// Removes every queued tuple (tracker-aware). Used on teardown.
+    pub fn clear(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millstream_types::Value;
+
+    fn data(ts: u64) -> Tuple {
+        Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(ts as i64)])
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut b = Buffer::new("t");
+        b.push(data(1)).unwrap();
+        b.push(data(2)).unwrap();
+        b.push(data(2)).unwrap(); // simultaneous tuples are fine
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.pop().unwrap().ts.as_micros(), 1);
+        assert_eq!(b.pop().unwrap().ts.as_micros(), 2);
+        assert_eq!(b.pop().unwrap().ts.as_micros(), 2);
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    fn rejects_out_of_order_by_default() {
+        let mut b = Buffer::new("t");
+        b.push(data(10)).unwrap();
+        let err = b.push(data(5)).unwrap_err();
+        assert!(matches!(err, Error::OutOfOrder { got: 5, watermark: 10, .. }));
+        // High-water survives even after the queue drains.
+        b.pop();
+        assert!(b.push(data(7)).is_err());
+        assert!(b.push(data(10)).is_ok(), "equal to high-water is in order");
+    }
+
+    #[test]
+    fn clamp_policy_raises_timestamp() {
+        let mut b = Buffer::new("t").with_order_policy(OrderPolicy::Clamp);
+        b.push(data(10)).unwrap();
+        b.push(data(5)).unwrap();
+        assert_eq!(b.iter().nth(1).unwrap().ts.as_micros(), 10);
+    }
+
+    #[test]
+    fn accept_policy_permits_disorder() {
+        let mut b = Buffer::new("t").with_order_policy(OrderPolicy::Accept);
+        b.push(data(10)).unwrap();
+        b.push(data(5)).unwrap();
+        b.push(data(7)).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.front_ts().unwrap().as_micros(), 10, "FIFO, not sorted");
+        assert_eq!(b.high_water().unwrap().as_micros(), 10, "high-water is the max");
+    }
+
+    #[test]
+    fn drop_policy_counts_drops() {
+        let mut b = Buffer::new("t").with_order_policy(OrderPolicy::Drop);
+        b.push(data(10)).unwrap();
+        b.push(data(5)).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.dropped(), 1);
+    }
+
+    #[test]
+    fn coalesces_trailing_punctuation() {
+        let tracker = OccupancyTracker::shared();
+        let mut b = Buffer::new("t")
+            .with_punctuation_policy(PunctuationPolicy::Coalesce)
+            .with_tracker(tracker.clone());
+        b.push(Tuple::punctuation(Timestamp::from_micros(1))).unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(2))).unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(3))).unwrap();
+        assert_eq!(b.len(), 1, "consecutive punctuation collapses");
+        assert_eq!(b.front_ts().unwrap().as_micros(), 3);
+        assert_eq!(tracker.coalesced(), 2);
+        assert_eq!(tracker.total(), 1);
+
+        // A data tuple breaks the run; the next punctuation queues anew.
+        b.push(data(4)).unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(5))).unwrap();
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn keep_all_retains_every_punctuation() {
+        let mut b = Buffer::new("t");
+        b.push(Tuple::punctuation(Timestamp::from_micros(1))).unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(2))).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn tracker_follows_occupancy() {
+        let tracker = OccupancyTracker::shared();
+        let mut a = Buffer::new("a").with_tracker(tracker.clone());
+        let mut b = Buffer::new("b").with_tracker(tracker.clone());
+        a.push(data(1)).unwrap();
+        b.push(data(1)).unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(2))).unwrap();
+        assert_eq!(tracker.total(), 3);
+        assert_eq!(tracker.peak(), 3);
+        assert_eq!(tracker.punctuation_total(), 1);
+        a.pop();
+        b.clear();
+        assert_eq!(tracker.total(), 0);
+        assert_eq!(tracker.peak(), 3);
+    }
+
+    #[test]
+    fn counters() {
+        let mut b = Buffer::new("t");
+        b.push(data(1)).unwrap();
+        b.push(data(2)).unwrap();
+        b.pop();
+        assert_eq!(b.pushed(), 2);
+        assert_eq!(b.popped(), 1);
+        assert_eq!(b.high_water().unwrap().as_micros(), 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! # millstream-buffer
+//!
+//! Inter-operator buffers and Time-Stamp Memory registers for the
+//! millstream DSMS.
+//!
+//! * [`Buffer`] — the FIFO arc of a query graph, with stream-order
+//!   enforcement, configurable out-of-order handling and optional
+//!   punctuation coalescing.
+//! * [`TsmRegister`] / [`TsmBank`] — the per-input Time-Stamp Memory of
+//!   idle-waiting-prone operators (paper §4.1).
+//! * [`OccupancyTracker`] — graph-wide queue occupancy and peak accounting
+//!   (the Fig. 8 "peak total queue size" metric).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod fifo;
+mod occupancy;
+mod tsm;
+
+pub use fifo::{Buffer, OrderPolicy, PunctuationPolicy};
+pub use occupancy::OccupancyTracker;
+pub use tsm::{TsmBank, TsmRegister};

@@ -1,0 +1,169 @@
+//! Shared occupancy accounting across all buffers of a query graph.
+//!
+//! The paper's Figure 8 measures **peak total queue size** — "the total
+//! number of tuples in the buffers" at the worst instant of the run. Every
+//! buffer of a graph therefore shares one [`OccupancyTracker`] that is
+//! bumped on each enqueue and decremented on each dequeue; the peak is
+//! maintained incrementally so no sampling is needed.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Aggregate queue-occupancy statistics shared by all buffers of one graph.
+///
+/// Single-threaded by design (the paper's execution model runs one
+/// scheduling unit on one thread), hence `Cell` + `Rc`.
+#[derive(Debug, Default)]
+pub struct OccupancyTracker {
+    total: Cell<usize>,
+    peak: Cell<usize>,
+    data_total: Cell<usize>,
+    punct_total: Cell<usize>,
+    enqueued: Cell<u64>,
+    punct_enqueued: Cell<u64>,
+    coalesced: Cell<u64>,
+}
+
+impl OccupancyTracker {
+    /// Creates a fresh tracker wrapped for sharing.
+    pub fn shared() -> Rc<OccupancyTracker> {
+        Rc::new(OccupancyTracker::default())
+    }
+
+    /// Records one tuple entering some buffer.
+    pub fn on_enqueue(&self, punctuation: bool) {
+        let t = self.total.get() + 1;
+        self.total.set(t);
+        if t > self.peak.get() {
+            self.peak.set(t);
+        }
+        self.enqueued.set(self.enqueued.get() + 1);
+        if punctuation {
+            self.punct_total.set(self.punct_total.get() + 1);
+            self.punct_enqueued.set(self.punct_enqueued.get() + 1);
+        } else {
+            self.data_total.set(self.data_total.get() + 1);
+        }
+    }
+
+    /// Records one tuple leaving some buffer.
+    pub fn on_dequeue(&self, punctuation: bool) {
+        self.total.set(self.total.get().saturating_sub(1));
+        if punctuation {
+            self.punct_total.set(self.punct_total.get().saturating_sub(1));
+        } else {
+            self.data_total.set(self.data_total.get().saturating_sub(1));
+        }
+    }
+
+    /// Records a punctuation tuple that was merged into the buffer tail
+    /// instead of occupying a new slot.
+    pub fn on_coalesce(&self) {
+        self.coalesced.set(self.coalesced.get() + 1);
+    }
+
+    /// Current total number of queued tuples across the graph.
+    pub fn total(&self) -> usize {
+        self.total.get()
+    }
+
+    /// Current number of queued *data* tuples.
+    pub fn data_total(&self) -> usize {
+        self.data_total.get()
+    }
+
+    /// Current number of queued punctuation tuples.
+    pub fn punctuation_total(&self) -> usize {
+        self.punct_total.get()
+    }
+
+    /// Highest total occupancy observed so far (the Fig. 8 metric).
+    pub fn peak(&self) -> usize {
+        self.peak.get()
+    }
+
+    /// Lifetime count of enqueued tuples (data + punctuation).
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.get()
+    }
+
+    /// Lifetime count of enqueued punctuation tuples.
+    pub fn punctuation_enqueued(&self) -> u64 {
+        self.punct_enqueued.get()
+    }
+
+    /// Lifetime count of coalesced punctuation tuples.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.get()
+    }
+
+    /// Resets the peak to the current occupancy (useful after a warm-up
+    /// phase so the reported peak reflects steady state).
+    pub fn reset_peak(&self) {
+        self.peak.set(self.total.get());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let t = OccupancyTracker::default();
+        t.on_enqueue(false);
+        t.on_enqueue(true);
+        t.on_enqueue(false);
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.peak(), 3);
+        t.on_dequeue(true);
+        t.on_dequeue(false);
+        assert_eq!(t.total(), 1);
+        assert_eq!(t.peak(), 3, "peak must not shrink on dequeue");
+        t.on_enqueue(false);
+        assert_eq!(t.peak(), 3);
+    }
+
+    #[test]
+    fn kind_split_accounting() {
+        let t = OccupancyTracker::default();
+        t.on_enqueue(false);
+        t.on_enqueue(true);
+        assert_eq!(t.data_total(), 1);
+        assert_eq!(t.punctuation_total(), 1);
+        assert_eq!(t.punctuation_enqueued(), 1);
+        t.on_dequeue(false);
+        assert_eq!(t.data_total(), 0);
+        assert_eq!(t.punctuation_total(), 1);
+    }
+
+    #[test]
+    fn reset_peak_rebases_on_current() {
+        let t = OccupancyTracker::default();
+        for _ in 0..5 {
+            t.on_enqueue(false);
+        }
+        for _ in 0..4 {
+            t.on_dequeue(false);
+        }
+        assert_eq!(t.peak(), 5);
+        t.reset_peak();
+        assert_eq!(t.peak(), 1);
+    }
+
+    #[test]
+    fn dequeue_saturates_at_zero() {
+        let t = OccupancyTracker::default();
+        t.on_dequeue(false);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn coalesce_counter() {
+        let t = OccupancyTracker::default();
+        t.on_coalesce();
+        t.on_coalesce();
+        assert_eq!(t.coalesced(), 2);
+        assert_eq!(t.total(), 0, "coalescing does not change occupancy");
+    }
+}

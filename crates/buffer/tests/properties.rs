@@ -1,0 +1,179 @@
+//! Property tests for the buffer substrate: FIFO discipline, occupancy
+//! accounting, punctuation coalescing bounds, and TSM register laws.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use millstream_buffer::{Buffer, OccupancyTracker, OrderPolicy, PunctuationPolicy, TsmBank};
+use millstream_types::{Timestamp, Tuple, Value};
+
+/// A random ordered stream of items (gap, is_punctuation).
+fn stream(max_len: usize) -> impl Strategy<Value = Vec<(u64, bool)>> {
+    prop::collection::vec((0u64..5, any::<bool>()), 0..max_len)
+}
+
+fn materialize(items: &[(u64, bool)]) -> Vec<Tuple> {
+    let mut ts = 0u64;
+    items
+        .iter()
+        .map(|&(gap, punct)| {
+            ts += gap;
+            if punct {
+                Tuple::punctuation(Timestamp::from_micros(ts))
+            } else {
+                Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(ts as i64)])
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// KeepAll buffers are strict FIFOs: pops return exactly the pushes.
+    #[test]
+    fn fifo_discipline(items in stream(60)) {
+        let tuples = materialize(&items);
+        let mut b = Buffer::new("p");
+        for t in &tuples {
+            b.push(t.clone()).unwrap();
+        }
+        prop_assert_eq!(b.len(), tuples.len());
+        let mut popped = Vec::new();
+        while let Some(t) = b.pop() {
+            popped.push(t);
+        }
+        prop_assert_eq!(popped, tuples);
+        prop_assert_eq!(b.pushed(), b.popped());
+    }
+
+    /// The shared tracker's total equals the sum of buffer lengths at every
+    /// step, and the peak is the running max of totals.
+    #[test]
+    fn tracker_accounting(items_a in stream(40), items_b in stream(40), pops in 0usize..50) {
+        let tracker: Rc<OccupancyTracker> = OccupancyTracker::shared();
+        let mut a = Buffer::new("a").with_tracker(tracker.clone());
+        let mut b = Buffer::new("b").with_tracker(tracker.clone());
+        let mut max_seen = 0usize;
+        for t in materialize(&items_a) {
+            a.push(t).unwrap();
+            max_seen = max_seen.max(tracker.total());
+        }
+        for t in materialize(&items_b) {
+            b.push(t).unwrap();
+            max_seen = max_seen.max(tracker.total());
+        }
+        prop_assert_eq!(tracker.total(), a.len() + b.len());
+        prop_assert_eq!(tracker.peak(), max_seen);
+        for _ in 0..pops {
+            if a.pop().is_none() {
+                let _ = b.pop();
+            }
+        }
+        prop_assert_eq!(tracker.total(), a.len() + b.len());
+        prop_assert_eq!(tracker.peak(), max_seen, "peak never shrinks");
+        // data + punctuation split always sums to the total.
+        prop_assert_eq!(
+            tracker.data_total() + tracker.punctuation_total(),
+            tracker.total()
+        );
+        prop_assert_eq!(a.data_len() <= a.len(), true);
+    }
+
+    /// Coalescing buffers never hold two adjacent punctuation tuples, and
+    /// drop no data.
+    #[test]
+    fn coalescing_bounds_punctuation(items in stream(80)) {
+        let tuples = materialize(&items);
+        let data_count = tuples.iter().filter(|t| t.is_data()).count();
+        let mut b = Buffer::new("c").with_punctuation_policy(PunctuationPolicy::Coalesce);
+        for t in &tuples {
+            b.push(t.clone()).unwrap();
+        }
+        let mut popped = Vec::new();
+        while let Some(t) = b.pop() {
+            popped.push(t);
+        }
+        // No data lost.
+        prop_assert_eq!(popped.iter().filter(|t| t.is_data()).count(), data_count);
+        // No two adjacent punctuation.
+        for w in popped.windows(2) {
+            prop_assert!(
+                !(w[0].is_punctuation() && w[1].is_punctuation()),
+                "adjacent punctuation survived coalescing"
+            );
+        }
+        // Still timestamp ordered.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    /// Under Clamp, output is always ordered regardless of input disorder;
+    /// under Drop, output is ordered and only regressed tuples are shed.
+    #[test]
+    fn disorder_policies(raw in prop::collection::vec(0u64..100, 0..60)) {
+        for policy in [OrderPolicy::Clamp, OrderPolicy::Drop] {
+            let mut b = Buffer::new("d").with_order_policy(policy);
+            for &ts in &raw {
+                let _ = b.push(Tuple::data(
+                    Timestamp::from_micros(ts),
+                    vec![Value::Int(ts as i64)],
+                ));
+            }
+            let mut last = None;
+            let mut n = 0;
+            while let Some(t) = b.pop() {
+                if let Some(prev) = last {
+                    prop_assert!(t.ts >= prev, "{policy:?} output must be ordered");
+                }
+                last = Some(t.ts);
+                n += 1;
+            }
+            match policy {
+                OrderPolicy::Clamp => prop_assert_eq!(n, raw.len()),
+                OrderPolicy::Drop => {
+                    prop_assert_eq!(n as u64 + b.dropped(), raw.len() as u64)
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// TSM bank: τ is the minimum over per-input maxima, and argmin points
+    /// at exactly the inputs achieving it.
+    #[test]
+    fn tsm_bank_laws(
+        observations in prop::collection::vec((0usize..4, 0u64..1000), 1..60)
+    ) {
+        let mut bank = TsmBank::new(4);
+        let mut maxima: [Option<u64>; 4] = [None; 4];
+        for &(i, ts) in &observations {
+            bank.observe(i, Timestamp::from_micros(ts));
+            maxima[i] = Some(maxima[i].map_or(ts, |m: u64| m.max(ts)));
+        }
+        let expect_tau = if maxima.iter().all(|m| m.is_some()) {
+            Some(Timestamp::from_micros(
+                maxima.iter().map(|m| m.unwrap()).min().unwrap(),
+            ))
+        } else {
+            None
+        };
+        prop_assert_eq!(bank.min_tau(), expect_tau);
+        let argmin = bank.argmin();
+        prop_assert!(!argmin.is_empty());
+        match expect_tau {
+            Some(tau) => {
+                for &i in &argmin {
+                    prop_assert_eq!(bank.get(i), Some(tau));
+                }
+            }
+            None => {
+                for &i in &argmin {
+                    prop_assert_eq!(bank.get(i), None, "unset inputs bound progress");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! `msq` — the millstream query runner.
+//!
+//! Executes a continuous query over a recorded trace and prints the output
+//! stream, with optional plan/profile diagnostics:
+//!
+//! ```text
+//! msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile]
+//!
+//!   query.msq   CREATE STREAM definitions + one SELECT query
+//!   trace.csv   lines of: timestamp_micros,stream_name,v1,v2,…
+//!   --no-ets    disable on-demand ETS (observe the idle-waiting)
+//!   --dot       print the plan as Graphviz DOT and exit
+//!   --profile   print the per-operator profile after the run
+//!   --trace     print the last scheduler activities after the run
+//! ```
+//!
+//! Example query file:
+//!
+//! ```text
+//! CREATE STREAM web (host INT, ms INT);
+//! CREATE STREAM db  (host INT, ms INT);
+//! SELECT host, ms FROM web WHERE ms > 100
+//! UNION
+//! SELECT host, ms FROM db;
+//! ```
+
+use std::cell::Cell;
+use std::process::ExitCode;
+use std::rc::Rc;
+
+use millstream_exec::{Activity, CostModel, EtsPolicy, Executor, VirtualClock};
+use millstream_ops::SinkCollector;
+use millstream_query::plan_program;
+use millstream_sim::parse_trace;
+use millstream_types::{Error, Result, Timestamp, Tuple};
+
+struct Options {
+    query_path: String,
+    trace_path: String,
+    ets: bool,
+    dot: bool,
+    profile: bool,
+    trace: bool,
+}
+
+const USAGE: &str =
+    "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace]";
+
+fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
+    let mut positional = Vec::new();
+    let mut ets = true;
+    let mut dot = false;
+    let mut profile = false;
+    let mut trace = false;
+    for a in args {
+        match a.as_str() {
+            "--no-ets" => ets = false,
+            "--dot" => dot = true,
+            "--profile" => profile = true,
+            "--trace" => trace = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            p => positional.push(p.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err(format!(
+            "expected <query.msq> <trace.csv>, got {} positional argument(s)\n{USAGE}",
+            positional.len()
+        ));
+    }
+    let mut it = positional.into_iter();
+    Ok(Options {
+        query_path: it.next().expect("len checked"),
+        trace_path: it.next().expect("len checked"),
+        ets,
+        dot,
+        profile,
+        trace,
+    })
+}
+
+/// Prints each delivered row immediately and keeps latency statistics.
+#[derive(Clone, Default)]
+struct PrintingCollector {
+    count: Rc<Cell<u64>>,
+    latency_sum_us: Rc<Cell<u64>>,
+}
+
+impl SinkCollector for PrintingCollector {
+    fn deliver(&mut self, tuple: Tuple, now: Timestamp) {
+        println!("{tuple}");
+        self.count.set(self.count.get() + 1);
+        self.latency_sum_us
+            .set(self.latency_sum_us.get() + now.duration_since(tuple.entry).as_micros());
+    }
+}
+
+fn run(opts: &Options) -> Result<()> {
+    let query_text = std::fs::read_to_string(&opts.query_path)
+        .map_err(|e| Error::config(format!("{}: {e}", opts.query_path)))?;
+
+    let collector = PrintingCollector::default();
+    let planned = plan_program(&query_text, collector.clone())?;
+
+    if opts.dot {
+        print!("{}", planned.graph.to_dot());
+        return Ok(());
+    }
+
+    let trace_text = std::fs::read_to_string(&opts.trace_path)
+        .map_err(|e| Error::config(format!("{}: {e}", opts.trace_path)))?;
+    let stream_refs: Vec<(&str, &millstream_types::Schema)> = planned
+        .sources
+        .iter()
+        .map(|s| (s.stream.as_str(), &s.schema))
+        .collect();
+    let trace = parse_trace(&trace_text, &stream_refs)?;
+
+    let policy = if opts.ets {
+        EtsPolicy::on_demand()
+    } else {
+        EtsPolicy::None
+    };
+    let mut executor = Executor::new(
+        planned.graph,
+        VirtualClock::shared(),
+        CostModel::default(),
+        policy,
+    );
+    if opts.trace {
+        executor.enable_trace(64);
+    }
+
+    eprintln!(
+        "# {} record(s), {} stream(s), output schema {}",
+        trace.len(),
+        planned.sources.len(),
+        planned.output_schema
+    );
+
+    // Replay the trace, printing rows as the sink delivers them.
+    let source_by_index: Vec<_> = planned.sources.iter().map(|s| s.id).collect();
+    for rec in &trace {
+        let source = source_by_index[rec.stream];
+        executor.clock().advance_to(rec.at);
+        let ts = executor.clock().now();
+        executor.ingest(source, Tuple::data(ts, rec.values.clone()))?;
+        loop {
+            if matches!(executor.step()?, Activity::Quiescent) {
+                break;
+            }
+        }
+    }
+
+    let delivered = collector.count.get();
+    let mean_ms = if delivered == 0 {
+        f64::NAN
+    } else {
+        collector.latency_sum_us.get() as f64 / delivered as f64 / 1_000.0
+    };
+    eprintln!(
+        "# delivered {delivered} row(s); mean latency {mean_ms:.3} ms; on-demand ETS {}",
+        executor.stats().ets_generated
+    );
+
+    if opts.trace {
+        eprintln!("\n# last scheduler activities");
+        for line in executor.render_trace().lines() {
+            eprintln!("# {line}");
+        }
+    }
+
+    if opts.profile {
+        eprintln!("\n# per-operator profile");
+        eprintln!(
+            "# {:<14} {:>8} {:>10} {:>10} {:>12}",
+            "operator", "steps", "consumed", "produced", "busy (us)"
+        );
+        for p in executor.profile() {
+            eprintln!(
+                "# {:<14} {:>8} {:>10} {:>10} {:>12}",
+                p.name, p.steps, p.consumed, p.produced, p.busy_micros
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("msq: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

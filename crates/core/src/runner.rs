@@ -1,0 +1,337 @@
+//! A high-level, batteries-included runner for textual queries.
+//!
+//! [`QueryRunner`] compiles a program with `millstream-query`, executes it
+//! on the depth-first NOS executor, and gives a push/run/drain interface
+//! with explicit timestamps — the easiest way to use millstream as a
+//! library (workload-driven experiments use `millstream-sim` instead).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use millstream_exec::{CostModel, EtsPolicy, Executor, SourceId, VirtualClock};
+use millstream_ops::{SinkCollector, VecCollector};
+use millstream_query::{plan_program, PlannedSource};
+use millstream_types::{Error, Result, Schema, Timestamp, Tuple, Value};
+
+/// A `SinkCollector` that shares its deliveries with the runner.
+#[derive(Clone, Default)]
+struct SharedVec(Rc<RefCell<VecCollector>>);
+
+impl SinkCollector for SharedVec {
+    fn deliver(&mut self, tuple: Tuple, now: Timestamp) {
+        self.0.borrow_mut().deliver(tuple, now);
+    }
+}
+
+/// Compiles and runs one continuous query over manually pushed tuples.
+///
+/// ```
+/// use millstream_core::QueryRunner;
+/// use millstream_types::Value;
+///
+/// let mut q = QueryRunner::new(
+///     "CREATE STREAM a (v INT);
+///      CREATE STREAM b (v INT);
+///      SELECT v FROM a WHERE v > 10 UNION SELECT v FROM b;",
+/// ).unwrap();
+/// q.push("a", 1_000, vec![Value::Int(50)]).unwrap();
+/// q.push("b", 2_000, vec![Value::Int(7)]).unwrap();
+/// let out = q.finish().unwrap();
+/// assert_eq!(out.len(), 2);
+/// assert!(out[0].ts < out[1].ts);
+/// ```
+pub struct QueryRunner {
+    executor: Executor,
+    sources: Vec<PlannedSource>,
+    output: SharedVec,
+    output_schema: Schema,
+    drained: usize,
+}
+
+impl QueryRunner {
+    /// Compiles `program` (CREATE STREAM statements + one query).
+    pub fn new(program: &str) -> Result<QueryRunner> {
+        let output = SharedVec::default();
+        let planned = plan_program(program, output.clone())?;
+        let clock = VirtualClock::shared();
+        let executor = Executor::new(
+            planned.graph,
+            clock,
+            CostModel::free(),
+            // Explicit timestamps are application time; ETS, if wanted,
+            // comes from `flush` rather than the wall clock.
+            EtsPolicy::None,
+        );
+        Ok(QueryRunner {
+            executor,
+            sources: planned.sources,
+            output,
+            output_schema: planned.output_schema,
+            drained: 0,
+        })
+    }
+
+    /// The schema of the delivered stream.
+    pub fn output_schema(&self) -> &Schema {
+        &self.output_schema
+    }
+
+    /// Renders the compiled plan as Graphviz DOT.
+    pub fn plan_dot(&self) -> String {
+        self.executor.graph().to_dot()
+    }
+
+    /// Per-operator execution profile so far (steps, tuples, virtual time).
+    pub fn profile(&self) -> &[millstream_exec::OpProfile] {
+        self.executor.profile()
+    }
+
+    /// The names of the input streams, in planning order.
+    pub fn stream_names(&self) -> Vec<&str> {
+        self.sources.iter().map(|s| s.stream.as_str()).collect()
+    }
+
+    fn source_id(&self, stream: &str) -> Result<SourceId> {
+        self.sources
+            .iter()
+            .find(|s| s.stream == stream)
+            .map(|s| s.id)
+            .ok_or_else(|| Error::plan(format!("query has no stream `{stream}`")))
+    }
+
+    /// Pushes one tuple with an explicit timestamp (microseconds), then
+    /// runs the executor until quiescent.
+    pub fn push(&mut self, stream: &str, ts_micros: u64, values: Vec<Value>) -> Result<()> {
+        let id = self.source_id(stream)?;
+        let source = self.executor.graph().source(id);
+        source.schema.check_row(&values)?;
+        let ts = Timestamp::from_micros(ts_micros);
+        self.executor.clock().advance_to(ts);
+        self.executor.ingest(id, Tuple::data(ts, values))?;
+        self.run()
+    }
+
+    /// Advances every input stream to at least `ts_micros` by injecting
+    /// punctuation, unblocking idle-waiting operators — the manual
+    /// equivalent of an ETS round.
+    pub fn advance_time(&mut self, ts_micros: u64) -> Result<()> {
+        let ts = Timestamp::from_micros(ts_micros);
+        self.executor.clock().advance_to(ts);
+        for s in self.sources.clone() {
+            self.executor.ingest_heartbeat(s.id, ts)?;
+        }
+        self.run()
+    }
+
+    /// Runs the executor until quiescent.
+    pub fn run(&mut self) -> Result<()> {
+        // The step budget only guards against runaway loops; real programs
+        // finish long before.
+        self.executor.run_until_quiescent(10_000_000)?;
+        Ok(())
+    }
+
+    /// Takes the tuples delivered since the last drain.
+    pub fn drain(&mut self) -> Vec<Tuple> {
+        let inner = self.output.0.borrow();
+        let fresh: Vec<Tuple> = inner.delivered[self.drained..]
+            .iter()
+            .map(|(t, _)| t.clone())
+            .collect();
+        drop(inner);
+        self.drained += fresh.len();
+        fresh
+    }
+
+    /// Declares end-of-stream on every input, flushes every in-flight
+    /// tuple (including final aggregate windows), and returns the complete
+    /// output.
+    pub fn finish(mut self) -> Result<Vec<Tuple>> {
+        for s in self.sources.clone() {
+            self.executor.close_source(s.id)?;
+        }
+        self.run()?;
+        self.drained = 0;
+        Ok(self.drain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_query_end_to_end() {
+        let mut q = QueryRunner::new(
+            "CREATE STREAM a (v INT);
+             CREATE STREAM b (v INT);
+             SELECT v FROM a UNION SELECT v FROM b;",
+        )
+        .unwrap();
+        assert_eq!(q.stream_names(), vec!["a", "b"]);
+        q.push("a", 10, vec![Value::Int(1)]).unwrap();
+        q.push("b", 20, vec![Value::Int(2)]).unwrap();
+        q.push("a", 30, vec![Value::Int(3)]).unwrap();
+        // Before flushing, the tuple at 30 idle-waits on stream b.
+        let early = q.drain();
+        assert_eq!(early.len(), 2);
+        let rest = q.finish().unwrap();
+        assert_eq!(rest.len(), 3, "finish() flushes everything");
+        let ts: Vec<u64> = rest.iter().map(|t| t.ts.as_micros()).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn where_filters() {
+        let mut q = QueryRunner::new(
+            "CREATE STREAM a (v INT);
+             CREATE STREAM b (v INT);
+             SELECT v FROM a WHERE v >= 10 UNION SELECT v FROM b;",
+        )
+        .unwrap();
+        q.push("a", 1, vec![Value::Int(5)]).unwrap();
+        q.push("a", 2, vec![Value::Int(15)]).unwrap();
+        q.push("b", 3, vec![Value::Int(0)]).unwrap();
+        let out = q.finish().unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].values().unwrap()[0], Value::Int(15));
+    }
+
+    #[test]
+    fn join_query_end_to_end() {
+        let mut q = QueryRunner::new(
+            "CREATE STREAM trades (sym INT, px INT);
+             CREATE STREAM quotes (sym INT, bid INT);
+             SELECT t.sym, px, bid FROM trades AS t
+             JOIN quotes AS q ON t.sym = q.sym WINDOW 1 SECONDS;",
+        )
+        .unwrap();
+        q.push("quotes", 100, vec![Value::Int(7), Value::Int(99)]).unwrap();
+        q.push("trades", 200, vec![Value::Int(7), Value::Int(101)]).unwrap();
+        q.push("trades", 300, vec![Value::Int(8), Value::Int(50)]).unwrap();
+        let out = q.finish().unwrap();
+        assert_eq!(out.len(), 1, "only symbol 7 joins");
+        assert_eq!(
+            out[0].values().unwrap(),
+            &[Value::Int(7), Value::Int(101), Value::Int(99)]
+        );
+    }
+
+    #[test]
+    fn aggregate_query_end_to_end() {
+        let err = QueryRunner::new("CREATEH STREAM x (v INT); SELECT 1 FROM x;")
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, Error::Parse { .. } | Error::Plan(_)), "{err}");
+
+        let mut q = QueryRunner::new(
+            "CREATE STREAM s (k INT, v INT);
+             CREATE STREAM t (k INT, v INT);
+             SELECT k, COUNT(*) AS n, SUM(v) AS total FROM s
+             GROUP BY k EVERY 1 SECONDS
+             UNION
+             SELECT k, COUNT(*) AS n, SUM(v) AS total FROM t
+             GROUP BY k EVERY 1 SECONDS;",
+        )
+        .unwrap();
+        q.push("s", 100_000, vec![Value::Int(1), Value::Int(10)]).unwrap();
+        q.push("s", 200_000, vec![Value::Int(1), Value::Int(20)]).unwrap();
+        q.push("t", 300_000, vec![Value::Int(2), Value::Int(5)]).unwrap();
+        // Cross both aggregates' window boundary and flush.
+        q.advance_time(2_000_000).unwrap();
+        let out = q.drain();
+        assert_eq!(out.len(), 2);
+        // Stream s, key 1: n=2, total=30. window_start column first.
+        let row = out
+            .iter()
+            .find(|t| t.values().unwrap()[1] == Value::Int(1))
+            .unwrap();
+        assert_eq!(row.values().unwrap()[2], Value::Int(2));
+        assert_eq!(row.values().unwrap()[3], Value::Int(30));
+    }
+
+    #[test]
+    fn plan_introspection() {
+        let mut q = QueryRunner::new(
+            "CREATE STREAM a (v INT);
+             CREATE STREAM b (v INT);
+             SELECT v FROM a UNION SELECT v FROM b;",
+        )
+        .unwrap();
+        assert!(q.plan_dot().starts_with("digraph"));
+        q.push("a", 1, vec![Value::Int(1)]).unwrap();
+        let busy: u64 = q.profile().iter().map(|p| p.steps).sum();
+        assert!(busy > 0, "profile sees the push");
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut q = QueryRunner::new(
+            "CREATE STREAM a (v INT);
+             CREATE STREAM b (v INT);
+             SELECT v FROM a UNION SELECT v FROM b;",
+        )
+        .unwrap();
+        assert!(q.push("a", 1, vec![Value::str("oops")]).is_err());
+        assert!(q.push("nope", 1, vec![Value::Int(1)]).is_err());
+        assert!(q.push("a", 1, vec![]).is_err());
+    }
+
+    #[test]
+    fn sliding_window_query_end_to_end() {
+        let mut q = QueryRunner::new(
+            "CREATE STREAM s (k INT, v INT);
+             CREATE STREAM t (k INT, v INT);
+             SELECT k, SUM(v) AS total FROM s
+             GROUP BY k WINDOW 2 SECONDS EVERY 1 SECONDS
+             UNION
+             SELECT k, SUM(v) AS total FROM t
+             GROUP BY k WINDOW 2 SECONDS EVERY 1 SECONDS;",
+        )
+        .unwrap();
+        // Two tuples in consecutive 1 s panes of stream s.
+        q.push("s", 500_000, vec![Value::Int(1), Value::Int(10)]).unwrap();
+        q.push("s", 1_500_000, vec![Value::Int(1), Value::Int(20)]).unwrap();
+        q.advance_time(5_000_000).unwrap();
+        let out = q.drain();
+        // Overlapping windows: [−1,1)→10, [0,2)→30, [1,3)→20.
+        let sums: Vec<i64> = out
+            .iter()
+            .map(|t| t.values().unwrap()[2].as_int().unwrap())
+            .collect();
+        assert_eq!(sums, vec![10, 30, 20], "out {out:?}");
+    }
+
+    #[test]
+    fn slack_stream_accepts_disorder_and_reorders() {
+        let mut q = QueryRunner::new(
+            "CREATE STREAM feed (v INT) TIMESTAMP EXTERNAL SLACK 1 SECONDS;
+             CREATE STREAM other (v INT);
+             SELECT v FROM feed UNION SELECT v FROM other;",
+        )
+        .unwrap();
+        // Out-of-order pushes within the slack bound are accepted.
+        q.push("feed", 100_000, vec![Value::Int(1)]).unwrap();
+        q.push("feed", 50_000, vec![Value::Int(2)]).unwrap();
+        q.push("feed", 150_000, vec![Value::Int(3)]).unwrap();
+        let out = q.finish().unwrap();
+        assert_eq!(out.len(), 3, "nothing lost");
+        let ts: Vec<u64> = out.iter().map(|t| t.ts.as_micros()).collect();
+        assert_eq!(ts, vec![50_000, 100_000, 150_000], "order restored");
+    }
+
+    #[test]
+    fn out_of_order_push_is_rejected() {
+        let mut q = QueryRunner::new(
+            "CREATE STREAM a (v INT);
+             CREATE STREAM b (v INT);
+             SELECT v FROM a UNION SELECT v FROM b;",
+        )
+        .unwrap();
+        q.push("a", 100, vec![Value::Int(1)]).unwrap();
+        assert!(matches!(
+            q.push("a", 50, vec![Value::Int(2)]).unwrap_err(),
+            Error::OutOfOrder { .. }
+        ));
+    }
+}

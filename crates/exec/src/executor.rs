@@ -1,0 +1,1050 @@
+//! The depth-first executor — the paper's §3 execution model with the §4
+//! on-demand ETS extension wired into the backtrack rule.
+//!
+//! Execution is the two-step cycle of Fig. 3:
+//!
+//! 1. **Execution step** — run the current operator (one
+//!    production/consumption step);
+//! 2. **Continuation step** — pick the next operator with the
+//!    *Next Operator Selection* (NOS) depth-first rules:
+//!    * `Forward`: if `yield` (the output buffer holds tuples) then
+//!      `next := succ`;
+//!    * `Encore`: else if `more` then `next := self`;
+//!    * `Backtrack`: else `next := pred_j` (the predecessor feeding the
+//!      starving input `j`) and repeat NOS on it.
+//!
+//! When backtracking walks all the way to a **source node** whose buffer is
+//! empty, the executor consults its [`EtsPolicy`]: under on-demand ETS it
+//! generates a punctuation tuple right there and sends it "down along the
+//! path on which backtracking just occurred" — the punctuation simply flows
+//! through the normal forward execution that resumes at the source's
+//! consumer. Each source generates at most one ETS per *activation* (the
+//! span between quiescent states); the budget is re-armed by fresh
+//! arrivals, which bounds on-demand punctuation traffic by the data rate —
+//! the property that lets line C beat every periodic rate in Fig. 7.
+//!
+//! The executor runs **one operator step per [`Executor::step`] call** and
+//! charges virtual CPU through its [`CostModel`], so a driver can interleave
+//! event ingestion with execution at microsecond granularity.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use millstream_buffer::Buffer;
+use millstream_metrics::IdleTracker;
+use millstream_ops::{OpContext, Poll, StepOutcome};
+use millstream_types::{Result, Timestamp, Tuple};
+
+use crate::clock::{CostModel, VirtualClock};
+use crate::graph::{NodeId, OpNode, Pred, QueryGraph, SourceId};
+use crate::strategy::EtsPolicy;
+
+/// What one executor step did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Activity {
+    /// An operator executed one step.
+    Executed {
+        /// The operator that ran.
+        node: NodeId,
+        /// Its step outcome.
+        outcome: StepOutcome,
+    },
+    /// Backtracking reached a starved source and generated an on-demand
+    /// ETS (§4/§5).
+    EtsGenerated {
+        /// The source that produced the ETS.
+        source: SourceId,
+        /// The enabling timestamp value.
+        ts: Timestamp,
+    },
+    /// Nothing can run: every path is starved and no ETS can be generated.
+    /// The driver should sleep until the next external event.
+    Quiescent,
+}
+
+/// Operator-scheduling discipline.
+///
+/// The paper evaluates the **depth-first** strategy (§3.1), which forwards
+/// freshly produced tuples toward the sink immediately ("to expedite tuple
+/// progress toward output"). [`SchedPolicy::RoundRobin`] is an ablation
+/// baseline: it cycles through runnable operators one step at a time, the
+/// simplest fair scheduler — tuples progress level by level, so queues
+/// between operators grow under load. Both disciplines share the same
+/// backtrack-to-source ETS machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// The paper's depth-first NOS rules (Forward / Encore / Backtrack).
+    #[default]
+    DepthFirst,
+    /// Cycle fairly over runnable operators, one step each.
+    RoundRobin,
+}
+
+/// Per-operator execution profile (a lightweight built-in profiler).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Operator name.
+    pub name: String,
+    /// Steps executed.
+    pub steps: u64,
+    /// Tuples consumed.
+    pub consumed: u64,
+    /// Tuples produced.
+    pub produced: u64,
+    /// Virtual CPU time charged to this operator (microseconds).
+    pub busy_micros: u64,
+}
+
+/// Aggregate executor statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Operator steps executed.
+    pub steps: u64,
+    /// Backtrack hops performed.
+    pub backtracks: u64,
+    /// On-demand ETS generated.
+    pub ets_generated: u64,
+    /// Total work units (cost-model input) executed.
+    pub work_units: u64,
+}
+
+/// The depth-first NOS executor over one query graph.
+pub struct Executor {
+    graph: QueryGraph,
+    clock: Rc<VirtualClock>,
+    cost: CostModel,
+    policy: EtsPolicy,
+    sched: SchedPolicy,
+    current: Option<NodeId>,
+    /// Rotation cursor for round-robin scheduling.
+    rr_cursor: usize,
+    idle: HashMap<NodeId, IdleTracker>,
+    stats: ExecStats,
+    profile: Vec<OpProfile>,
+    /// Optional ring buffer of recent activities (diagnostics).
+    trace: Option<std::collections::VecDeque<(Timestamp, Activity)>>,
+    trace_capacity: usize,
+}
+
+impl Executor {
+    /// Creates an executor over `graph` driven by `clock`.
+    pub fn new(
+        graph: QueryGraph,
+        clock: Rc<VirtualClock>,
+        cost: CostModel,
+        policy: EtsPolicy,
+    ) -> Self {
+        let profile = graph
+            .ops
+            .iter()
+            .map(|n| OpProfile {
+                name: n.name.clone(),
+                ..OpProfile::default()
+            })
+            .collect();
+        Executor {
+            graph,
+            clock,
+            cost,
+            policy,
+            sched: SchedPolicy::DepthFirst,
+            current: None,
+            rr_cursor: 0,
+            idle: HashMap::new(),
+            stats: ExecStats::default(),
+            profile,
+            trace: None,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Enables activity tracing: the last `capacity` scheduler activities
+    /// are retained and can be rendered with [`Executor::render_trace`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(std::collections::VecDeque::with_capacity(capacity));
+        self.trace_capacity = capacity.max(1);
+    }
+
+    /// The retained trace, oldest first.
+    pub fn trace(&self) -> impl Iterator<Item = &(Timestamp, Activity)> {
+        self.trace.iter().flatten()
+    }
+
+    /// Renders the retained trace as human-readable lines.
+    pub fn render_trace(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (at, activity) in self.trace() {
+            let line = match activity {
+                Activity::Executed { node, outcome } => format!(
+                    "{at} exec {} (consumed {}, produced {})",
+                    self.graph.op_name(*node),
+                    outcome.consumed,
+                    outcome.produced
+                ),
+                Activity::EtsGenerated { source, ts } => format!(
+                    "{at} ETS on {} @ {ts}",
+                    self.graph.source(*source).name
+                ),
+                Activity::Quiescent => format!("{at} quiescent"),
+            };
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Selects the operator-scheduling discipline (builder style).
+    pub fn with_sched_policy(mut self, sched: SchedPolicy) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// The underlying graph (read access).
+    pub fn graph(&self) -> &QueryGraph {
+        &self.graph
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Rc<VirtualClock> {
+        &self.clock
+    }
+
+    /// Executor statistics so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Per-operator execution profile (steps, tuples, virtual busy time).
+    pub fn profile(&self) -> &[OpProfile] {
+        &self.profile
+    }
+
+    /// Records one executed step against the operator's profile.
+    fn charge(&mut self, node: NodeId, outcome: &StepOutcome, cost: millstream_types::TimeDelta) {
+        let p = &mut self.profile[node.0];
+        p.steps += 1;
+        p.consumed += outcome.consumed as u64;
+        p.produced += outcome.produced as u64;
+        p.busy_micros += cost.as_micros();
+    }
+
+    /// Begins idle-waiting tracking for `node` (typically the IWP operator
+    /// under study).
+    pub fn monitor_idle(&mut self, node: NodeId) {
+        self.idle.insert(node, IdleTracker::new(self.clock.now()));
+    }
+
+    /// The idle tracker for a monitored node.
+    pub fn idle_tracker(&self, node: NodeId) -> Option<&IdleTracker> {
+        self.idle.get(&node)
+    }
+
+    /// Finalizes all idle trackers at the current clock (end of run).
+    pub fn finish_idle(&mut self) {
+        let now = self.clock.now();
+        for t in self.idle.values_mut() {
+            t.finish(now);
+        }
+    }
+
+    /// Declares end-of-stream on a source: no tuple will ever arrive there
+    /// again. A punctuation at `Timestamp::MAX` is injected, which lets
+    /// idle-waiting operators drain everything and windowed aggregates
+    /// flush their final windows. Idempotent; later `ingest` calls on the
+    /// source fail.
+    pub fn close_source(&mut self, source: SourceId) -> Result<()> {
+        let s = &mut self.graph.sources[source.0];
+        if s.closed {
+            return Ok(());
+        }
+        s.closed = true;
+        self.graph.buffers[s.buffer.0]
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::MAX))?;
+        self.refresh_idle();
+        Ok(())
+    }
+
+    /// Ingests a data tuple at a source (the external wrapper's push). This
+    /// re-arms every source's on-demand ETS budget: fresh data is a new
+    /// activation.
+    pub fn ingest(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
+        debug_assert!(tuple.is_data(), "use ingest_heartbeat for punctuation");
+        {
+            let s = &mut self.graph.sources[source.0];
+            if s.closed {
+                return Err(millstream_types::Error::runtime(format!(
+                    "source `{}` is closed",
+                    s.name
+                )));
+            }
+            // Max, not last: unordered sources may push a regressed ts, and
+            // the ETS floor must never move backwards.
+            s.last_data_ts = Some(s.last_data_ts.map_or(tuple.ts, |p| p.max(tuple.ts)));
+            s.last_data_arrival = Some(self.clock.now());
+            s.ingested += 1;
+            self.graph.buffers[s.buffer.0].borrow_mut().push(tuple)?;
+        }
+        for s in &mut self.graph.sources {
+            s.ets_budget_used = false;
+        }
+        self.refresh_idle();
+        Ok(())
+    }
+
+    /// Ingests a heartbeat punctuation at a source — the periodic-ETS
+    /// baseline of [Johnson et al., VLDB'05] (experiment line B). Stale
+    /// heartbeats (not past the buffer's high-water mark) are dropped at
+    /// the door, matching a wrapper that stamps heartbeats with its clock.
+    pub fn ingest_heartbeat(&mut self, source: SourceId, ts: Timestamp) -> Result<()> {
+        let s = &mut self.graph.sources[source.0];
+        let buffer = &self.graph.buffers[s.buffer.0];
+        if buffer.borrow().high_water().is_some_and(|hw| ts < hw) {
+            return Ok(());
+        }
+        buffer.borrow_mut().push(Tuple::punctuation(ts))?;
+        self.refresh_idle();
+        Ok(())
+    }
+
+    /// Re-evaluates the idle-waiting state of every monitored node at the
+    /// current clock. Call after ingesting events or jumping the clock.
+    pub fn refresh_idle(&mut self) {
+        if self.idle.is_empty() {
+            return;
+        }
+        let now = self.clock.now();
+        let QueryGraph { ops, buffers, .. } = &mut self.graph;
+        for (&node, tracker) in self.idle.iter_mut() {
+            // Idle-waiting is counted while *data* tuples are blocked; a
+            // trailing punctuation that cannot advance yet delays nothing.
+            let pending = ops[node.0]
+                .inputs
+                .iter()
+                .any(|b| buffers[b.0].borrow().data_len() > 0);
+            let ready = poll_node(ops, buffers, node, now).is_ready();
+            tracker.set_idle(now, pending && !ready);
+        }
+    }
+
+    /// Executes one scheduling step. Returns what happened; on
+    /// [`Activity::Quiescent`] the caller should deliver more input or
+    /// advance time.
+    pub fn step(&mut self) -> Result<Activity> {
+        let activity = self.step_untraced()?;
+        if let Some(trace) = &mut self.trace {
+            // Suppress runs of quiescence: one entry carries the signal.
+            let redundant = matches!(activity, Activity::Quiescent)
+                && matches!(trace.back(), Some((_, Activity::Quiescent)));
+            if !redundant {
+                if trace.len() == self.trace_capacity {
+                    trace.pop_front();
+                }
+                trace.push_back((self.clock.now(), activity.clone()));
+            }
+        }
+        Ok(activity)
+    }
+
+    fn step_untraced(&mut self) -> Result<Activity> {
+        if self.sched == SchedPolicy::RoundRobin {
+            return self.step_round_robin();
+        }
+        let Some(node) = self.current.or_else(|| self.find_entry_or_starved()) else {
+            self.current = None;
+            self.refresh_idle();
+            return Ok(Activity::Quiescent);
+        };
+        self.current = Some(node);
+
+        let now = self.clock.now();
+        let poll = {
+            let QueryGraph { ops, buffers, .. } = &mut self.graph;
+            poll_node(ops, buffers, node, now)
+        };
+        match poll {
+            Poll::Ready => {
+                let outcome = {
+                    let QueryGraph { ops, buffers, .. } = &mut self.graph;
+                    exec_node(ops, buffers, node, now)?
+                };
+                let cost = self.cost.step_cost(outcome.total_work());
+                self.clock.advance(cost);
+                self.stats.steps += 1;
+                self.stats.work_units += outcome.total_work() as u64;
+                self.charge(node, &outcome, cost);
+                self.select_next(node);
+                self.refresh_idle();
+                Ok(Activity::Executed { node, outcome })
+            }
+            Poll::Starved { starving } => {
+                let mut visited = std::collections::HashSet::new();
+                visited.insert(node);
+                let activity = self.backtrack(node, &starving, &mut visited)?;
+                self.refresh_idle();
+                Ok(activity)
+            }
+        }
+    }
+
+    /// One round-robin scheduling step: run the next runnable operator in
+    /// rotation; when none is runnable, fall back to the backtracking/ETS
+    /// machinery from a starved operator with pending input.
+    fn step_round_robin(&mut self) -> Result<Activity> {
+        let n = self.graph.ops.len();
+        let now = self.clock.now();
+        let mut chosen = None;
+        {
+            let QueryGraph { ops, buffers, .. } = &mut self.graph;
+            for k in 0..n {
+                let i = (self.rr_cursor + k) % n;
+                if poll_node(ops, buffers, NodeId(i), now).is_ready() {
+                    chosen = Some(NodeId(i));
+                    break;
+                }
+            }
+        }
+        match chosen {
+            Some(node) => {
+                self.rr_cursor = (node.0 + 1) % n;
+                let outcome = {
+                    let QueryGraph { ops, buffers, .. } = &mut self.graph;
+                    exec_node(ops, buffers, node, now)?
+                };
+                let cost = self.cost.step_cost(outcome.total_work());
+                self.clock.advance(cost);
+                self.stats.steps += 1;
+                self.stats.work_units += outcome.total_work() as u64;
+                self.charge(node, &outcome, cost);
+                self.refresh_idle();
+                Ok(Activity::Executed { node, outcome })
+            }
+            None => {
+                // No runnable operator: reuse the DFS starvation handling —
+                // try *every* starved-with-pending node, since only some of
+                // their sources may hold ETS budget (multi-sink graphs).
+                let candidates: Vec<NodeId> = {
+                    let QueryGraph { ops, buffers, .. } = &self.graph;
+                    (0..n)
+                        .map(NodeId)
+                        .filter(|&i| {
+                            ops[i.0]
+                                .inputs
+                                .iter()
+                                .any(|b| !buffers[b.0].borrow().is_empty())
+                        })
+                        .collect()
+                };
+                for node in candidates {
+                    let poll = {
+                        let QueryGraph { ops, buffers, .. } = &mut self.graph;
+                        poll_node(ops, buffers, node, now)
+                    };
+                    if let Poll::Starved { starving } = poll {
+                        let activity = self.backtrack_rr(node, &starving)?;
+                        if !matches!(activity, Activity::Quiescent) {
+                            self.refresh_idle();
+                            return Ok(activity);
+                        }
+                    }
+                }
+                self.refresh_idle();
+                Ok(Activity::Quiescent)
+            }
+        }
+    }
+
+    /// Round-robin variant of backtracking: identical source/ETS handling,
+    /// but a runnable predecessor is simply left for the next rotation.
+    fn backtrack_rr(&mut self, from: NodeId, starving: &[usize]) -> Result<Activity> {
+        let mut stack: Vec<Pred> = starving
+            .iter()
+            .rev()
+            .map(|&j| self.graph.ops[from.0].preds[j])
+            .collect();
+        while let Some(pred) = stack.pop() {
+            self.stats.backtracks += 1;
+            self.clock.advance(self.cost.backtrack);
+            match pred {
+                Pred::Op(p) => {
+                    let now = self.clock.now();
+                    let QueryGraph { ops, buffers, .. } = &mut self.graph;
+                    if let Poll::Starved { starving } = poll_node(ops, buffers, p, now) {
+                        for &j in starving.iter().rev() {
+                            stack.push(ops[p.0].preds[j]);
+                        }
+                    }
+                }
+                Pred::Source(sid) => {
+                    let now = self.clock.now();
+                    let buffer = self.graph.sources[sid.0].buffer;
+                    if !self.graph.buffers[buffer.0].borrow().is_empty() {
+                        continue;
+                    }
+                    let source = &mut self.graph.sources[sid.0];
+                    if !source.ets_budget_used {
+                        if let Some(ts) = self.policy.ets_for(source, now) {
+                            source.ets_budget_used = true;
+                            source.ets_generated += 1;
+                            source.ets_high_water = Some(ts);
+                            self.graph.buffers[buffer.0]
+                                .borrow_mut()
+                                .push(Tuple::punctuation(ts))?;
+                            self.clock.advance(self.cost.ets_generation);
+                            self.stats.ets_generated += 1;
+                            return Ok(Activity::EtsGenerated { source: sid, ts });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Activity::Quiescent)
+    }
+
+    /// Runs until quiescent or `max_steps` executor steps. Returns the
+    /// number of steps taken. Mostly for tests and simple callers; real
+    /// drivers interleave [`Executor::step`] with event delivery.
+    pub fn run_until_quiescent(&mut self, max_steps: u64) -> Result<u64> {
+        let mut taken = 0;
+        while taken < max_steps {
+            match self.step()? {
+                Activity::Quiescent => break,
+                _ => taken += 1,
+            }
+        }
+        Ok(taken)
+    }
+
+    /// NOS continuation after executing `node` (Fig. 3 step 2).
+    fn select_next(&mut self, node: NodeId) {
+        let now = self.clock.now();
+        let QueryGraph { ops, buffers, .. } = &mut self.graph;
+        let n = &ops[node.0];
+        // Forward: if yield then next := succ — the consumer of the first
+        // output port holding tuples. (The operator before a sink needs no
+        // special case: the sink operator itself has no output, so
+        // execution drains it via Encore exactly as the paper's special
+        // rule prescribes. Multi-output operators forward to the first
+        // non-empty port; the remaining ports drain via later scans.)
+        let forward = n
+            .outputs
+            .iter()
+            .position(|b| !buffers[b.0].borrow().is_empty())
+            .map(|port| n.succs[port]);
+        if let Some(succ) = forward {
+            self.current = Some(succ);
+            return;
+        }
+        // Encore: else if more then next := self.
+        if poll_node(ops, buffers, node, now).is_ready() {
+            self.current = Some(node);
+            return;
+        }
+        // Backtrack handled lazily: leave `current` at this node; the next
+        // step() will poll it, find it starved and walk the preds.
+        self.current = Some(node);
+    }
+
+    /// The Backtrack rule: walk predecessors of the starving inputs until a
+    /// runnable operator is found or a source generates an ETS. Returns the
+    /// resulting activity (an ETS event, or quiescence handling). `visited`
+    /// guards against revisiting starved operators when one dead path hands
+    /// over to another (multi-sink graphs).
+    fn backtrack(
+        &mut self,
+        from: NodeId,
+        starving: &[usize],
+        visited: &mut std::collections::HashSet<NodeId>,
+    ) -> Result<Activity> {
+        // Depth-first over the predecessor chains of the starving inputs.
+        let mut stack: Vec<Pred> = starving
+            .iter()
+            .rev()
+            .map(|&j| self.graph.ops[from.0].preds[j])
+            .collect();
+        // The graph is a DAG with single-consumer buffers, so each pred is
+        // visited at most once per backtrack; no visited-set needed.
+        while let Some(pred) = stack.pop() {
+            self.stats.backtracks += 1;
+            self.clock.advance(self.cost.backtrack);
+            match pred {
+                Pred::Op(p) => {
+                    let now = self.clock.now();
+                    let QueryGraph { ops, buffers, .. } = &mut self.graph;
+                    match poll_node(ops, buffers, p, now) {
+                        Poll::Ready => {
+                            self.current = Some(p);
+                            // Resume execution there on the next step.
+                            return self.step_resumed(p);
+                        }
+                        Poll::Starved { starving } => {
+                            for &j in starving.iter().rev() {
+                                stack.push(ops[p.0].preds[j]);
+                            }
+                        }
+                    }
+                }
+                Pred::Source(sid) => {
+                    let now = self.clock.now();
+                    let consumer = self.graph.sources[sid.0].consumer;
+                    let buffer = self.graph.sources[sid.0].buffer;
+                    // A non-empty source buffer can only be reached here
+                    // when the consumer is the starved operator itself
+                    // (e.g. a union wired straight to sources); resume it
+                    // only if it is actually runnable.
+                    if !self.graph.buffers[buffer.0].borrow().is_empty() {
+                        let QueryGraph { ops, buffers, .. } = &mut self.graph;
+                        if poll_node(ops, buffers, consumer, now).is_ready() {
+                            self.current = Some(consumer);
+                            return self.step_resumed(consumer);
+                        }
+                        continue;
+                    }
+                    // Empty input buffer at a source: the §4 moment —
+                    // generate an ETS on demand and send it down this path.
+                    let source = &mut self.graph.sources[sid.0];
+                    if !source.ets_budget_used {
+                        if let Some(ts) = self.policy.ets_for(source, now) {
+                            source.ets_budget_used = true;
+                            source.ets_generated += 1;
+                            source.ets_high_water = Some(ts);
+                            self.graph.buffers[buffer.0]
+                                .borrow_mut()
+                                .push(Tuple::punctuation(ts))?;
+                            self.clock.advance(self.cost.ets_generation);
+                            self.stats.ets_generated += 1;
+                            self.current = Some(consumer);
+                            return Ok(Activity::EtsGenerated { source: sid, ts });
+                        }
+                    }
+                    // No ETS possible here; fall through to other starving
+                    // paths on the stack.
+                }
+            }
+        }
+        // Every starving path from `from` is dead. Another part of the
+        // graph may still have work (multi-sink graphs): first any runnable
+        // node, else another starved-with-pending node whose sources may
+        // still hold ETS budget. `visited` bounds the hand-offs.
+        if let Some(next) = self.find_entry() {
+            self.current = Some(next);
+            return self.step_untraced();
+        }
+        let now = self.clock.now();
+        let next_starved = {
+            let QueryGraph { ops, buffers, .. } = &mut self.graph;
+            (0..ops.len()).map(NodeId).find(|n| {
+                !visited.contains(n)
+                    && ops[n.0]
+                        .inputs
+                        .iter()
+                        .any(|b| !buffers[b.0].borrow().is_empty())
+                    && !poll_node(ops, buffers, *n, now).is_ready()
+            })
+        };
+        match next_starved {
+            Some(n) => {
+                visited.insert(n);
+                let starving = {
+                    let QueryGraph { ops, buffers, .. } = &mut self.graph;
+                    match poll_node(ops, buffers, n, now) {
+                        Poll::Starved { starving } => starving,
+                        Poll::Ready => return Ok(Activity::Quiescent),
+                    }
+                };
+                self.backtrack(n, &starving, visited)
+            }
+            None => {
+                self.current = None;
+                Ok(Activity::Quiescent)
+            }
+        }
+    }
+
+    /// After backtracking lands on a runnable node, immediately execute it
+    /// (the paper repeats the NOS step on the predecessor, which then runs).
+    fn step_resumed(&mut self, _node: NodeId) -> Result<Activity> {
+        self.step_untraced()
+    }
+
+    /// Finds a runnable operator (its `more` condition holds). Used as the
+    /// backtrack fallback: it must never return a starved node, or
+    /// backtracking would re-enter it forever.
+    fn find_entry(&mut self) -> Option<NodeId> {
+        let now = self.clock.now();
+        let QueryGraph { ops, buffers, .. } = &mut self.graph;
+        (0..ops.len())
+            .map(NodeId)
+            .find(|&n| poll_node(ops, buffers, n, now).is_ready())
+    }
+
+    /// Entry-point selection when the executor is (re)activated: prefer a
+    /// runnable operator, but fall back to a *starved operator with queued
+    /// input* — e.g. an IWP operator wired directly to its sources. Entering
+    /// it triggers the Backtrack rule, which is where on-demand ETS
+    /// generation happens; the backtrack's own fallback is ready-only, so
+    /// this cannot loop.
+    fn find_entry_or_starved(&mut self) -> Option<NodeId> {
+        if let Some(n) = self.find_entry() {
+            return Some(n);
+        }
+        let QueryGraph { ops, buffers, .. } = &self.graph;
+        (0..ops.len()).map(NodeId).find(|&n| {
+            ops[n.0]
+                .inputs
+                .iter()
+                .any(|b| !buffers[b.0].borrow().is_empty())
+        })
+    }
+}
+
+/// Polls a node's `more` condition with a scratch context.
+fn poll_node(
+    ops: &mut [OpNode],
+    buffers: &[RefCell<Buffer>],
+    node: NodeId,
+    now: Timestamp,
+) -> Poll {
+    let n = &mut ops[node.0];
+    let inputs: Vec<&RefCell<Buffer>> = n.inputs.iter().map(|b| &buffers[b.0]).collect();
+    let outputs: Vec<&RefCell<Buffer>> = n.outputs.iter().map(|b| &buffers[b.0]).collect();
+    let ctx = OpContext::new(&inputs, &outputs, now);
+    n.op.poll(&ctx)
+}
+
+/// Executes one step of a node.
+fn exec_node(
+    ops: &mut [OpNode],
+    buffers: &[RefCell<Buffer>],
+    node: NodeId,
+    now: Timestamp,
+) -> Result<StepOutcome> {
+    let n = &mut ops[node.0];
+    let inputs: Vec<&RefCell<Buffer>> = n.inputs.iter().map(|b| &buffers[b.0]).collect();
+    let outputs: Vec<&RefCell<Buffer>> = n.outputs.iter().map(|b| &buffers[b.0]).collect();
+    let ctx = OpContext::new(&inputs, &outputs, now);
+    n.op.step(&ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, Input};
+    use millstream_ops::{Filter, Sink, SinkCollector, Union, VecCollector};
+    use millstream_types::{DataType, Expr, Field, Schema, TimeDelta, TimestampKind, Value};
+
+    /// Shared collector so tests can inspect deliveries after the graph
+    /// takes ownership of the sink.
+    #[derive(Clone, Default)]
+    struct Shared(Rc<RefCell<VecCollector>>);
+
+    impl SinkCollector for Shared {
+        fn deliver(&mut self, tuple: Tuple, now: Timestamp) {
+            self.0.borrow_mut().deliver(tuple, now);
+        }
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("v", DataType::Int)])
+    }
+
+    struct Fig4 {
+        exec: Executor,
+        s1: SourceId,
+        s2: SourceId,
+        union: NodeId,
+        out: Shared,
+    }
+
+    /// Builds the paper's Fig. 4 graph: S1 → σ1 ↘
+    ///                                            ∪ → sink
+    ///                                  S2 → σ2 ↗
+    fn fig4(policy: EtsPolicy, latent: bool) -> Fig4 {
+        let mut b = GraphBuilder::new();
+        let s1 = b.source("S1", schema(), if latent {
+            TimestampKind::Latent
+        } else {
+            TimestampKind::Internal
+        });
+        let s2 = b.source("S2", schema(), if latent {
+            TimestampKind::Latent
+        } else {
+            TimestampKind::Internal
+        });
+        let pass = Expr::col(0).ge(Expr::lit(0)); // everything passes
+        let f1 = b
+            .operator(
+                Box::new(Filter::new("σ1", schema(), pass.clone())),
+                vec![Input::Source(s1)],
+            )
+            .unwrap();
+        let f2 = b
+            .operator(
+                Box::new(Filter::new("σ2", schema(), pass)),
+                vec![Input::Source(s2)],
+            )
+            .unwrap();
+        let union_op = if latent {
+            Union::latent("∪", schema(), 2)
+        } else {
+            Union::new("∪", schema(), 2)
+        };
+        let u = b
+            .operator(Box::new(union_op), vec![Input::Op(f1), Input::Op(f2)])
+            .unwrap();
+        let out = Shared::default();
+        let _k = b
+            .operator(
+                Box::new(Sink::new("sink", schema(), out.clone())),
+                vec![Input::Op(u)],
+            )
+            .unwrap();
+        let graph = b.build().unwrap();
+        let clock = VirtualClock::shared();
+        let mut exec = Executor::new(graph, clock, CostModel::default(), policy);
+        exec.monitor_idle(u);
+        Fig4 {
+            exec,
+            s1,
+            s2,
+            union: u,
+            out,
+        }
+    }
+
+    fn data(ts: u64, v: i64) -> Tuple {
+        Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(v)])
+    }
+
+    /// Applies a by-value transform to a field in place. The closure must
+    /// not panic (it only sets a flag here).
+    fn take_mut<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
+        unsafe {
+            let old = std::ptr::read(slot);
+            let new = f(old);
+            std::ptr::write(slot, new);
+        }
+    }
+
+    #[test]
+    fn no_ets_idle_waits_on_sparse_input() {
+        let mut f = fig4(EtsPolicy::None, false);
+        f.exec.clock().advance_to(Timestamp::from_micros(100));
+        f.exec.ingest(f.s1, data(100, 1)).unwrap();
+        f.exec.run_until_quiescent(100).unwrap();
+        // The tuple crossed σ1 but is stuck at the union: S2 never spoke.
+        assert_eq!(f.out.0.borrow().delivered.len(), 0);
+        assert!(f.exec.graph().total_queued() >= 1);
+        // Union is idle-waiting.
+        f.exec.clock().advance_to(Timestamp::from_secs(10));
+        f.exec.refresh_idle();
+        let frac = f
+            .exec
+            .idle_tracker(f.union)
+            .unwrap()
+            .idle_fraction(f.exec.clock().now());
+        assert!(frac > 0.9, "idle fraction {frac}");
+    }
+
+    #[test]
+    fn on_demand_ets_unblocks_immediately() {
+        let mut f = fig4(EtsPolicy::on_demand(), false);
+        f.exec.clock().advance_to(Timestamp::from_micros(100));
+        f.exec.ingest(f.s1, data(100, 1)).unwrap();
+        let mut ets_sources = vec![];
+        loop {
+            match f.exec.step().unwrap() {
+                Activity::Quiescent => break,
+                Activity::EtsGenerated { source, .. } => ets_sources.push(source),
+                Activity::Executed { .. } => {}
+            }
+        }
+        // The unblocking ETS targets the silent source; a follow-up ETS on
+        // S1 may then flush the residual punctuation at the union.
+        assert_eq!(ets_sources.first(), Some(&f.s2));
+        assert_eq!(f.out.0.borrow().delivered.len(), 1, "tuple delivered");
+        // Latency is microseconds (processing only), not idle-waiting.
+        let (t, at) = f.out.0.borrow().delivered[0].clone();
+        let latency = at.duration_since(t.entry);
+        assert!(
+            latency < TimeDelta::from_millis(1),
+            "latency {latency} should be service-time only"
+        );
+        // No data tuple remains queued; at most a trailing punctuation can
+        // linger at the union (its peer register has not reached it yet).
+        assert_eq!(f.exec.graph().tracker().data_total(), 0);
+    }
+
+    #[test]
+    fn ets_budget_bounds_punctuation() {
+        let mut f = fig4(EtsPolicy::on_demand(), false);
+        f.exec.clock().advance_to(Timestamp::from_micros(50));
+        f.exec.ingest(f.s1, data(50, 1)).unwrap();
+        f.exec.run_until_quiescent(1_000).unwrap();
+        let after_first = f.exec.stats().ets_generated;
+        assert!(after_first >= 1);
+        // Quiescent now; stepping more must not spin out new ETS.
+        for _ in 0..10 {
+            assert_eq!(f.exec.step().unwrap(), Activity::Quiescent);
+        }
+        assert_eq!(f.exec.stats().ets_generated, after_first);
+        // A fresh arrival re-arms the budget.
+        f.exec.clock().advance_to(Timestamp::from_micros(500));
+        f.exec.ingest(f.s1, data(500, 2)).unwrap();
+        f.exec.run_until_quiescent(1_000).unwrap();
+        assert!(f.exec.stats().ets_generated > after_first);
+    }
+
+    #[test]
+    fn latent_streams_never_wait() {
+        let mut f = fig4(EtsPolicy::None, true);
+        f.exec.clock().advance_to(Timestamp::from_micros(100));
+        f.exec.ingest(f.s1, data(100, 1)).unwrap();
+        f.exec.run_until_quiescent(100).unwrap();
+        assert_eq!(f.out.0.borrow().delivered.len(), 1);
+        assert_eq!(f.exec.stats().ets_generated, 0);
+    }
+
+    #[test]
+    fn heartbeats_unblock_line_b() {
+        let mut f = fig4(EtsPolicy::None, false);
+        f.exec.clock().advance_to(Timestamp::from_micros(100));
+        f.exec.ingest(f.s1, data(100, 1)).unwrap();
+        f.exec.run_until_quiescent(100).unwrap();
+        assert_eq!(f.out.0.borrow().delivered.len(), 0);
+        // Periodic heartbeat on the sparse stream at ts 200.
+        f.exec.clock().advance_to(Timestamp::from_micros(200));
+        f.exec
+            .ingest_heartbeat(f.s2, Timestamp::from_micros(200))
+            .unwrap();
+        f.exec.run_until_quiescent(100).unwrap();
+        assert_eq!(f.out.0.borrow().delivered.len(), 1);
+    }
+
+    #[test]
+    fn merged_output_is_ordered_under_interleaving() {
+        let mut f = fig4(EtsPolicy::on_demand(), false);
+        // Interleaved arrivals on both streams.
+        let mut arrivals: Vec<(SourceId, u64)> = vec![];
+        for i in 0..50u64 {
+            arrivals.push((f.s1, 100 + i * 20));
+            if i % 10 == 0 {
+                arrivals.push((f.s2, 105 + i * 20));
+            }
+        }
+        arrivals.sort_by_key(|&(_, t)| t);
+        for (src, t) in arrivals {
+            f.exec.clock().advance_to(Timestamp::from_micros(t));
+            // Internal timestamps are assigned on DSMS entry from the
+            // system clock, which may have run past the arrival instant
+            // while the CPU was busy.
+            let stamp = f.exec.clock().now().max(Timestamp::from_micros(t));
+            f.exec
+                .ingest(src, data(stamp.as_micros(), t as i64))
+                .unwrap();
+            f.exec.run_until_quiescent(10_000).unwrap();
+        }
+        let delivered = f.out.0.borrow().delivered.clone();
+        assert_eq!(delivered.len(), 55);
+        let ts: Vec<u64> = delivered.iter().map(|(t, _)| t.ts.as_micros()).collect();
+        let mut sorted = ts.clone();
+        sorted.sort();
+        assert_eq!(ts, sorted, "sink receives a timestamp-ordered stream");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = fig4(EtsPolicy::on_demand(), false);
+        f.exec.clock().advance_to(Timestamp::from_micros(10));
+        f.exec.ingest(f.s1, data(10, 1)).unwrap();
+        f.exec.run_until_quiescent(1_000).unwrap();
+        let st = f.exec.stats();
+        assert!(st.steps > 0);
+        assert!(st.backtracks > 0);
+        assert!(st.work_units > 0);
+
+        // The built-in profiler attributes steps and virtual time per op.
+        let profile = f.exec.profile();
+        assert_eq!(profile.len(), 4);
+        let total_steps: u64 = profile.iter().map(|p| p.steps).sum();
+        assert_eq!(total_steps, st.steps);
+        let sigma1 = profile.iter().find(|p| p.name == "σ1").unwrap();
+        assert!(sigma1.consumed >= 1, "σ1 consumed the ingested tuple");
+        assert!(sigma1.busy_micros > 0);
+        let sink = profile.iter().find(|p| p.name == "sink").unwrap();
+        assert!(sink.consumed >= 1);
+        assert_eq!(sink.produced, 0, "sinks never produce");
+    }
+
+    #[test]
+    fn round_robin_delivers_with_on_demand_ets() {
+        let mut f = fig4(EtsPolicy::on_demand(), false);
+        let mut rr = fig4(EtsPolicy::on_demand(), false);
+        // Rebuild the executor with round-robin scheduling.
+        take_mut(&mut rr.exec, |e| e.with_sched_policy(SchedPolicy::RoundRobin));
+
+        for rig in [&mut f, &mut rr] {
+            rig.exec.clock().advance_to(Timestamp::from_micros(100));
+            rig.exec.ingest(rig.s1, data(100, 1)).unwrap();
+            rig.exec.run_until_quiescent(10_000).unwrap();
+        }
+        assert_eq!(f.out.0.borrow().delivered.len(), 1, "DFS delivers");
+        assert_eq!(rr.out.0.borrow().delivered.len(), 1, "round-robin delivers");
+        assert!(rr.exec.stats().ets_generated >= 1);
+    }
+
+    #[test]
+    fn trace_records_recent_activities() {
+        let mut f = fig4(EtsPolicy::on_demand(), false);
+        f.exec.enable_trace(16);
+        f.exec.clock().advance_to(Timestamp::from_micros(10));
+        f.exec.ingest(f.s1, data(10, 1)).unwrap();
+        f.exec.run_until_quiescent(1_000).unwrap();
+        let rendered = f.exec.render_trace();
+        assert!(rendered.contains("exec σ1"), "{rendered}");
+        assert!(rendered.contains("ETS on S2"), "{rendered}");
+        assert!(rendered.contains("exec sink"), "{rendered}");
+        // Quiescent runs are collapsed and the buffer is bounded.
+        assert!(f.exec.trace().count() <= 16);
+        let quiescents = f
+            .exec
+            .trace()
+            .filter(|(_, a)| matches!(a, Activity::Quiescent))
+            .count();
+        assert!(quiescents <= 1, "runs of quiescence collapse");
+    }
+
+    #[test]
+    fn close_source_drains_everything() {
+        let mut f = fig4(EtsPolicy::None, false);
+        // Without ETS, data is stuck at the union…
+        f.exec.clock().advance_to(Timestamp::from_micros(100));
+        for i in 0..5u64 {
+            f.exec
+                .ingest(f.s1, data(100 + i, (i as i64) + 1))
+                .unwrap();
+        }
+        f.exec.run_until_quiescent(10_000).unwrap();
+        assert_eq!(f.out.0.borrow().delivered.len(), 0);
+        // …until both sources declare end-of-stream.
+        f.exec.close_source(f.s1).unwrap();
+        f.exec.close_source(f.s2).unwrap();
+        f.exec.run_until_quiescent(10_000).unwrap();
+        assert_eq!(f.out.0.borrow().delivered.len(), 5, "EOS flushes the union");
+        assert_eq!(f.exec.graph().total_queued(), 0, "nothing left anywhere");
+        // Idempotent close; rejected ingest.
+        f.exec.close_source(f.s1).unwrap();
+        assert!(f.exec.ingest(f.s1, data(999, 9)).is_err());
+    }
+
+    #[test]
+    fn clock_advances_with_work() {
+        let mut f = fig4(EtsPolicy::on_demand(), false);
+        f.exec.clock().advance_to(Timestamp::from_micros(10));
+        let before = f.exec.clock().now();
+        f.exec.ingest(f.s1, data(10, 1)).unwrap();
+        f.exec.run_until_quiescent(1_000).unwrap();
+        assert!(f.exec.clock().now() > before, "cost model charges time");
+    }
+}

@@ -1,0 +1,709 @@
+//! Query graphs — DAGs of operators connected by buffers (paper §3).
+//!
+//! Nodes are query operators; directed arcs are [`Buffer`]s: the upstream
+//! operator produces into the tail, the downstream operator consumes from
+//! the front. The graph additionally has **source nodes** (input buffers
+//! filled by external wrappers — here, by the simulation driver or the
+//! real-time feeder) and **sink nodes** (operators with no outputs that
+//! deliver to output wrappers).
+//!
+//! [`GraphBuilder`] validates structure at build time: arity, single
+//! producer/consumer per buffer, acyclicity.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use millstream_buffer::{Buffer, OccupancyTracker, OrderPolicy, PunctuationPolicy};
+use millstream_ops::Operator;
+use millstream_types::{Error, Result, Schema, Timestamp, TimestampKind};
+
+/// Identifies an operator node in a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+/// Identifies a source node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(pub(crate) usize);
+
+/// Identifies a buffer (arc).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) usize);
+
+/// Where an operator input is fed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Input {
+    /// Fed by a source node's input buffer.
+    Source(SourceId),
+    /// Fed by another operator's (only) output — shorthand for
+    /// `OpPort(node, 0)`.
+    Op(NodeId),
+    /// Fed by a specific output port of a multi-output operator
+    /// (e.g. [`millstream_ops::Split`]).
+    OpPort(NodeId, usize),
+}
+
+/// The predecessor on one input of an operator — the backtracking target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pred {
+    /// An upstream operator.
+    Op(NodeId),
+    /// A source node: backtracking here triggers ETS generation (§4).
+    Source(SourceId),
+}
+
+/// Per-source bookkeeping used by ETS policies (§5).
+#[derive(Debug)]
+pub struct SourceState {
+    /// Source name.
+    pub name: String,
+    /// Stream schema.
+    pub schema: Schema,
+    /// Timestamp discipline of this stream.
+    pub kind: TimestampKind,
+    /// The source's input buffer.
+    pub buffer: BufferId,
+    /// The operator consuming this source.
+    pub consumer: NodeId,
+    /// Timestamp of the last *data* tuple ingested.
+    pub last_data_ts: Option<Timestamp>,
+    /// Clock reading when the last data tuple was ingested.
+    pub last_data_arrival: Option<Timestamp>,
+    /// Highest ETS ever generated for this source (monotonization floor).
+    pub ets_high_water: Option<Timestamp>,
+    /// Whether the on-demand budget for the current activation was used
+    /// (reset whenever fresh data arrives anywhere).
+    pub ets_budget_used: bool,
+    /// Whether this source's downstream path contains an operator that
+    /// benefits from ETS punctuation (an IWP operator or a time-driven
+    /// windowed aggregate). Sources feeding only stateless paths never
+    /// answer ETS requests — punctuation there would be pure overhead.
+    pub serves_ets: bool,
+    /// Lifetime count of on-demand ETS generated here.
+    pub ets_generated: u64,
+    /// Lifetime count of data tuples ingested here.
+    pub ingested: u64,
+    /// Whether end-of-stream was declared (see `Executor::close_source`).
+    pub closed: bool,
+}
+
+pub(crate) struct OpNode {
+    pub op: Box<dyn Operator>,
+    pub name: String,
+    pub inputs: Vec<BufferId>,
+    pub outputs: Vec<BufferId>,
+    pub preds: Vec<Pred>,
+    /// The consumer of each output port (Forward targets).
+    pub succs: Vec<NodeId>,
+}
+
+impl OpNode {
+    /// The Forward target for simple single-output chains (test helper).
+    #[cfg(test)]
+    pub fn succ(&self) -> Option<NodeId> {
+        self.succs.first().copied()
+    }
+}
+
+/// A validated, executable query graph.
+pub struct QueryGraph {
+    pub(crate) ops: Vec<OpNode>,
+    pub(crate) buffers: Vec<RefCell<Buffer>>,
+    pub(crate) sources: Vec<SourceState>,
+    pub(crate) tracker: Rc<OccupancyTracker>,
+}
+
+impl QueryGraph {
+    /// Number of operator nodes.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of source nodes.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The shared occupancy tracker (Fig. 8's peak-queue metric).
+    pub fn tracker(&self) -> &Rc<OccupancyTracker> {
+        &self.tracker
+    }
+
+    /// Source state by id.
+    pub fn source(&self, id: SourceId) -> &SourceState {
+        &self.sources[id.0]
+    }
+
+    /// Operator name by node id.
+    pub fn op_name(&self, id: NodeId) -> &str {
+        &self.ops[id.0].name
+    }
+
+    /// Whether the node is an IWP operator.
+    pub fn is_iwp(&self, id: NodeId) -> bool {
+        self.ops[id.0].op.is_iwp()
+    }
+
+    /// Ids of all operator nodes.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.ops.len()).map(NodeId)
+    }
+
+    /// Ids of all source nodes.
+    pub fn source_ids(&self) -> impl Iterator<Item = SourceId> {
+        (0..self.sources.len()).map(SourceId)
+    }
+
+    /// Finds a node by its operator name.
+    pub fn find_op(&self, name: &str) -> Option<NodeId> {
+        self.ops.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// Finds a source by name.
+    pub fn find_source(&self, name: &str) -> Option<SourceId> {
+        self.sources
+            .iter()
+            .position(|s| s.name == name)
+            .map(SourceId)
+    }
+
+    /// Total tuples currently queued in all buffers.
+    pub fn total_queued(&self) -> usize {
+        self.tracker.total()
+    }
+
+    /// Renders the graph as Graphviz DOT for visualization
+    /// (`dot -Tpng graph.dot -o graph.png`).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph millstream {\n  rankdir=LR;\n");
+        for (i, s) in self.sources.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  src{i} [shape=cds, label=\"{} ({:?})\"];",
+                s.name, s.kind
+            );
+        }
+        for (i, n) in self.ops.iter().enumerate() {
+            let shape = if n.outputs.is_empty() {
+                "doublecircle"
+            } else if n.op.is_iwp() {
+                "diamond"
+            } else {
+                "box"
+            };
+            let _ = writeln!(
+                out,
+                "  op{i} [shape={shape}, label=\"{}\"];",
+                n.name.replace('"', "'")
+            );
+        }
+        for (i, s) in self.sources.iter().enumerate() {
+            let _ = writeln!(out, "  src{i} -> op{};", s.consumer.0);
+        }
+        for (i, n) in self.ops.iter().enumerate() {
+            for succ in &n.succs {
+                let _ = writeln!(out, "  op{i} -> op{};", succ.0);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the graph topology for diagnostics.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for s in &self.sources {
+            let _ = writeln!(
+                out,
+                "source {} {:?} -> {}",
+                s.name,
+                s.kind,
+                self.ops[s.consumer.0].name
+            );
+        }
+        for (i, n) in self.ops.iter().enumerate() {
+            let succ = if n.succs.is_empty() {
+                "(sink)".to_string()
+            } else {
+                n.succs
+                    .iter()
+                    .map(|s| self.ops[s.0].name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let _ = writeln!(
+                out,
+                "op #{i} {} [{} in, {} out] -> {succ}",
+                n.name,
+                n.inputs.len(),
+                n.outputs.len()
+            );
+        }
+        out
+    }
+}
+
+/// Builds and validates a [`QueryGraph`].
+pub struct GraphBuilder {
+    ops: Vec<PendingOp>,
+    sources: Vec<PendingSource>,
+    punctuation_policy: PunctuationPolicy,
+    order_policy: OrderPolicy,
+}
+
+struct PendingSource {
+    name: String,
+    schema: Schema,
+    kind: TimestampKind,
+    unordered: bool,
+}
+
+struct PendingOp {
+    op: Box<dyn Operator>,
+    inputs: Vec<Input>,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphBuilder {
+    /// An empty builder with default buffer policies.
+    pub fn new() -> Self {
+        GraphBuilder {
+            ops: Vec::new(),
+            sources: Vec::new(),
+            punctuation_policy: PunctuationPolicy::KeepAll,
+            order_policy: OrderPolicy::Reject,
+        }
+    }
+
+    /// Sets the punctuation policy applied to every buffer.
+    pub fn with_punctuation_policy(mut self, policy: PunctuationPolicy) -> Self {
+        self.punctuation_policy = policy;
+        self
+    }
+
+    /// Sets the out-of-order policy applied to every buffer.
+    pub fn with_order_policy(mut self, policy: OrderPolicy) -> Self {
+        self.order_policy = policy;
+        self
+    }
+
+    /// Declares a source node.
+    pub fn source(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        kind: TimestampKind,
+    ) -> SourceId {
+        self.sources.push(PendingSource {
+            name: name.into(),
+            schema,
+            kind,
+            unordered: false,
+        });
+        SourceId(self.sources.len() - 1)
+    }
+
+    /// Declares a source whose stream may arrive out of order (bounded
+    /// disorder). Its buffer accepts regressions, and build-time validation
+    /// requires its consumer to be an order-restoring operator (`Reorder`).
+    pub fn unordered_source(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        kind: TimestampKind,
+    ) -> SourceId {
+        self.sources.push(PendingSource {
+            name: name.into(),
+            schema,
+            kind,
+            unordered: true,
+        });
+        SourceId(self.sources.len() - 1)
+    }
+
+    /// Adds an operator fed by the given inputs, in input order.
+    pub fn operator(&mut self, op: Box<dyn Operator>, inputs: Vec<Input>) -> Result<NodeId> {
+        if op.num_inputs() != inputs.len() {
+            return Err(Error::graph(format!(
+                "operator `{}` declares {} inputs but {} were wired",
+                op.name(),
+                op.num_inputs(),
+                inputs.len()
+            )));
+        }
+        for input in &inputs {
+            match input {
+                Input::Source(s) if s.0 >= self.sources.len() => {
+                    return Err(Error::graph(format!("unknown source id {}", s.0)));
+                }
+                Input::Op(n) | Input::OpPort(n, _) if n.0 >= self.ops.len() => {
+                    return Err(Error::graph(format!(
+                        "operator input references later/unknown node {}; add operators bottom-up",
+                        n.0
+                    )));
+                }
+                Input::OpPort(n, port) if *port >= self.ops[n.0].op.num_outputs() => {
+                    return Err(Error::graph(format!(
+                        "node {} has {} outputs; port {} does not exist",
+                        n.0,
+                        self.ops[n.0].op.num_outputs(),
+                        port
+                    )));
+                }
+                _ => {}
+            }
+        }
+        self.ops.push(PendingOp { op, inputs });
+        Ok(NodeId(self.ops.len() - 1))
+    }
+
+    /// Validates and assembles the graph.
+    pub fn build(self) -> Result<QueryGraph> {
+        let tracker = OccupancyTracker::shared();
+        let punctuation_policy = self.punctuation_policy;
+        let order_policy = self.order_policy;
+        let mut buffers: Vec<RefCell<Buffer>> = Vec::new();
+
+        // One buffer per source, one per operator output. Unordered
+        // sources get an Accept-policy buffer regardless of the default.
+        let mut source_buffers = Vec::with_capacity(self.sources.len());
+        for src in &self.sources {
+            let order = if src.unordered {
+                OrderPolicy::Accept
+            } else {
+                order_policy
+            };
+            let buffer = Buffer::new(format!("src:{}", src.name))
+                .with_tracker(tracker.clone())
+                .with_punctuation_policy(punctuation_policy)
+                .with_order_policy(order);
+            buffers.push(RefCell::new(buffer));
+            source_buffers.push(BufferId(buffers.len() - 1));
+        }
+
+        let mut new_buffer = |name: String| -> BufferId {
+            let buffer = Buffer::new(name)
+                .with_tracker(tracker.clone())
+                .with_punctuation_policy(punctuation_policy)
+                .with_order_policy(order_policy);
+            buffers.push(RefCell::new(buffer));
+            BufferId(buffers.len() - 1)
+        };
+        let mut out_buffers: Vec<Vec<BufferId>> = Vec::with_capacity(self.ops.len());
+        for (i, p) in self.ops.iter().enumerate() {
+            let bufs = (0..p.op.num_outputs())
+                .map(|port| new_buffer(format!("out:{}#{i}.{port}", p.op.name())))
+                .collect();
+            out_buffers.push(bufs);
+        }
+
+        // Wire inputs, recording predecessors and checking one consumer per
+        // output port.
+        let mut source_consumer: Vec<Option<NodeId>> = vec![None; self.sources.len()];
+        let mut op_consumer: Vec<Vec<Option<NodeId>>> = out_buffers
+            .iter()
+            .map(|bufs| vec![None; bufs.len()])
+            .collect();
+        let mut nodes: Vec<OpNode> = Vec::with_capacity(self.ops.len());
+        for (i, p) in self.ops.into_iter().enumerate() {
+            let me = NodeId(i);
+            let mut inputs = Vec::with_capacity(p.inputs.len());
+            let mut preds = Vec::with_capacity(p.inputs.len());
+            for input in &p.inputs {
+                match *input {
+                    Input::Source(s) => {
+                        if let Some(prev) = source_consumer[s.0] {
+                            return Err(Error::graph(format!(
+                                "source {} consumed by both node {} and node {}",
+                                s.0, prev.0, i
+                            )));
+                        }
+                        source_consumer[s.0] = Some(me);
+                        inputs.push(source_buffers[s.0]);
+                        preds.push(Pred::Source(s));
+                    }
+                    Input::Op(n) | Input::OpPort(n, _) => {
+                        let port = match *input {
+                            Input::OpPort(_, p) => p,
+                            _ => 0,
+                        };
+                        let Some(&buf) = out_buffers[n.0].get(port) else {
+                            return Err(Error::graph(format!(
+                                "node {} (`{}`) has no output port {port}",
+                                n.0, nodes[n.0].name
+                            )));
+                        };
+                        if let Some(prev) = op_consumer[n.0][port] {
+                            return Err(Error::graph(format!(
+                                "output {port} of node {} consumed by both node {} and node {}",
+                                n.0, prev.0, i
+                            )));
+                        }
+                        op_consumer[n.0][port] = Some(me);
+                        inputs.push(buf);
+                        preds.push(Pred::Op(n));
+                    }
+                }
+            }
+            let name = p.op.name().to_string();
+            nodes.push(OpNode {
+                op: p.op,
+                name,
+                inputs,
+                outputs: out_buffers[i].clone(),
+                preds,
+                succs: Vec::new(), // filled below
+            });
+        }
+        for (i, consumers) in op_consumer.iter().enumerate() {
+            let mut succs = Vec::with_capacity(consumers.len());
+            for (port, consumer) in consumers.iter().enumerate() {
+                let Some(c) = consumer else {
+                    return Err(Error::graph(format!(
+                        "output {port} of node {} (`{}`) is not consumed",
+                        i, nodes[i].name
+                    )));
+                };
+                succs.push(*c);
+            }
+            nodes[i].succs = succs;
+        }
+        // Every source must be consumed; unordered sources must feed an
+        // order-restoring operator.
+        for (s, consumer) in source_consumer.iter().enumerate() {
+            match consumer {
+                None => {
+                    return Err(Error::graph(format!(
+                        "source {} (`{}`) is not consumed by any operator",
+                        s, self.sources[s].name
+                    )));
+                }
+                Some(c) if self.sources[s].unordered
+                    && !nodes[c.0].op.accepts_disorder() => {
+                        return Err(Error::graph(format!(
+                            "unordered source `{}` must feed an order-restoring                              operator (Reorder), not `{}`",
+                            self.sources[s].name, nodes[c.0].name
+                        )));
+                    }
+                _ => {}
+            }
+        }
+        // Acyclicity holds by construction: `operator()` only accepts
+        // references to earlier nodes, so arcs always point forward.
+
+        // Does each source's downstream subgraph reach an ETS consumer (an
+        // IWP or time-driven operator)? Multi-output operators fan out, so
+        // walk depth-first over all successor ports.
+        let serves_ets: Vec<bool> = source_consumer
+            .iter()
+            .map(|consumer| {
+                let mut stack: Vec<NodeId> = consumer.iter().copied().collect();
+                while let Some(n) = stack.pop() {
+                    let op = &nodes[n.0].op;
+                    if op.is_iwp() || op.is_time_driven() {
+                        return true;
+                    }
+                    stack.extend(nodes[n.0].succs.iter().copied());
+                }
+                false
+            })
+            .collect();
+
+        let sources = self
+            .sources
+            .into_iter()
+            .enumerate()
+            .map(|(i, src)| SourceState {
+                name: src.name,
+                schema: src.schema,
+                kind: src.kind,
+                buffer: source_buffers[i],
+                consumer: source_consumer[i].expect("checked above"),
+                last_data_ts: None,
+                last_data_arrival: None,
+                ets_high_water: None,
+                ets_budget_used: false,
+                serves_ets: serves_ets[i],
+                ets_generated: 0,
+                ingested: 0,
+                closed: false,
+            })
+            .collect();
+
+        Ok(QueryGraph {
+            ops: nodes,
+            buffers,
+            sources,
+            tracker,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millstream_ops::{Filter, Sink, Union, VecCollector};
+    use millstream_types::{DataType, Expr, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("v", DataType::Int)])
+    }
+
+    fn filter(name: &str) -> Box<dyn Operator> {
+        Box::new(Filter::new(name, schema(), Expr::lit(true)))
+    }
+
+    #[test]
+    fn builds_fig4_union_graph() {
+        // The paper's Fig. 4: two sources → σ each → ∪ → sink.
+        let mut b = GraphBuilder::new();
+        let s1 = b.source("S1", schema(), TimestampKind::Internal);
+        let s2 = b.source("S2", schema(), TimestampKind::Internal);
+        let f1 = b.operator(filter("σ1"), vec![Input::Source(s1)]).unwrap();
+        let f2 = b.operator(filter("σ2"), vec![Input::Source(s2)]).unwrap();
+        let u = b
+            .operator(
+                Box::new(Union::new("∪", schema(), 2)),
+                vec![Input::Op(f1), Input::Op(f2)],
+            )
+            .unwrap();
+        let k = b
+            .operator(
+                Box::new(Sink::new("sink", schema(), VecCollector::default())),
+                vec![Input::Op(u)],
+            )
+            .unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_ops(), 4);
+        assert_eq!(g.num_sources(), 2);
+        assert_eq!(g.ops[u.0].succ(), Some(k));
+        assert_eq!(g.ops[f1.0].succ(), Some(u));
+        assert_eq!(g.ops[k.0].succ(), None);
+        assert_eq!(g.ops[u.0].preds, vec![Pred::Op(f1), Pred::Op(f2)]);
+        assert_eq!(g.source(s1).consumer, f1);
+        assert!(g.is_iwp(u));
+        assert!(!g.is_iwp(f1));
+        assert!(g.describe().contains("∪"));
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph millstream {"));
+        assert!(dot.contains("shape=diamond"), "IWP ops are diamonds: {dot}");
+        assert!(dot.contains("shape=doublecircle"), "sinks are marked: {dot}");
+        assert!(dot.contains("src0 -> op0;"));
+        assert!(dot.contains("op2 -> op3;"));
+        assert_eq!(g.find_op("∪"), Some(u));
+        assert_eq!(g.find_source("S2"), Some(s2));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let mut b = GraphBuilder::new();
+        let s1 = b.source("S1", schema(), TimestampKind::Internal);
+        let err = b
+            .operator(
+                Box::new(Union::new("∪", schema(), 2)),
+                vec![Input::Source(s1)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Graph(_)));
+    }
+
+    #[test]
+    fn rejects_double_consumption() {
+        let mut b = GraphBuilder::new();
+        let s1 = b.source("S1", schema(), TimestampKind::Internal);
+        let s2 = b.source("S2", schema(), TimestampKind::Internal);
+        let f = b.operator(filter("σ"), vec![Input::Source(s1)]).unwrap();
+        let _u = b
+            .operator(
+                Box::new(Union::new("∪", schema(), 2)),
+                vec![Input::Op(f), Input::Op(f)],
+            )
+            .unwrap();
+        let _ = s2;
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_unconsumed_output() {
+        let mut b = GraphBuilder::new();
+        let s1 = b.source("S1", schema(), TimestampKind::Internal);
+        let _f = b.operator(filter("σ"), vec![Input::Source(s1)]).unwrap();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_unconsumed_source() {
+        let mut b = GraphBuilder::new();
+        let s1 = b.source("S1", schema(), TimestampKind::Internal);
+        let _s2 = b.source("S2", schema(), TimestampKind::Internal);
+        let f = b.operator(filter("σ"), vec![Input::Source(s1)]).unwrap();
+        let _k = b
+            .operator(
+                Box::new(Sink::new("sink", schema(), VecCollector::default())),
+                vec![Input::Op(f)],
+            )
+            .unwrap();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn unordered_source_requires_reorder_consumer() {
+        use millstream_ops::Reorder;
+        use millstream_types::TimeDelta;
+
+        // Feeding a filter directly: rejected.
+        let mut b = GraphBuilder::new();
+        let s1 = b.unordered_source("S1", schema(), TimestampKind::External);
+        let f = b.operator(filter("σ"), vec![Input::Source(s1)]).unwrap();
+        let _k = b
+            .operator(
+                Box::new(Sink::new("sink", schema(), VecCollector::default())),
+                vec![Input::Op(f)],
+            )
+            .unwrap();
+        let err = b.build().err().expect("must reject");
+        assert!(err.to_string().contains("order-restoring"), "{err}");
+
+        // Feeding a Reorder: accepted, and the source buffer accepts
+        // regressions.
+        let mut b = GraphBuilder::new();
+        let s1 = b.unordered_source("S1", schema(), TimestampKind::External);
+        let r = b
+            .operator(
+                Box::new(Reorder::new("↻", schema(), TimeDelta::from_millis(10))),
+                vec![Input::Source(s1)],
+            )
+            .unwrap();
+        let _k = b
+            .operator(
+                Box::new(Sink::new("sink", schema(), VecCollector::default())),
+                vec![Input::Op(r)],
+            )
+            .unwrap();
+        let g = b.build().unwrap();
+        let buf = g.source(s1).buffer;
+        use millstream_types::{Timestamp, Tuple, Value};
+        g.buffers[buf.0]
+            .borrow_mut()
+            .push(Tuple::data(Timestamp::from_micros(10), vec![Value::Int(1)]))
+            .unwrap();
+        g.buffers[buf.0]
+            .borrow_mut()
+            .push(Tuple::data(Timestamp::from_micros(5), vec![Value::Int(2)]))
+            .expect("unordered source accepts regressions");
+    }
+
+    #[test]
+    fn rejects_forward_reference() {
+        let mut b = GraphBuilder::new();
+        let _s1 = b.source("S1", schema(), TimestampKind::Internal);
+        let err = b.operator(filter("σ"), vec![Input::Op(NodeId(5))]).unwrap_err();
+        assert!(matches!(err, Error::Graph(_)));
+    }
+}

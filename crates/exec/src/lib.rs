@@ -1,0 +1,30 @@
+//! # millstream-exec
+//!
+//! Query graphs, the depth-first NOS executor and timestamp-management
+//! strategies — the primary contribution of the reproduced paper.
+//!
+//! * [`GraphBuilder`] / [`QueryGraph`] — operator DAGs with buffer arcs,
+//!   source and sink nodes (paper §3, Figs. 2 and 4);
+//! * [`Executor`] — the two-step execution cycle with the
+//!   Forward/Encore/Backtrack *Next Operator Selection* rules (§3.1–3.2),
+//!   per-step virtual-CPU costing, and **on-demand Enabling Time-Stamp
+//!   generation inside the backtrack mechanism** (§4–5);
+//! * [`EtsPolicy`] — the §5 generation rules (internal clock, external
+//!   skew-bound `t + τ − δ`);
+//! * [`VirtualClock`] / [`CostModel`] — the deterministic timeline the
+//!   experiments run on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod clock;
+mod executor;
+mod graph;
+mod strategy;
+
+pub use clock::{CostModel, VirtualClock};
+pub use executor::{Activity, ExecStats, Executor, OpProfile, SchedPolicy};
+pub use graph::{
+    BufferId, GraphBuilder, Input, NodeId, Pred, QueryGraph, SourceId, SourceState,
+};
+pub use strategy::EtsPolicy;

@@ -1,0 +1,235 @@
+//! The operator abstraction: execution context, progress polling and the
+//! single-step execution contract.
+//!
+//! The paper's execution model (§3) drives operators through a two-step
+//! cycle: *execute the current operator*, then *select the next operator*
+//! using the `yield` / `more` state variables. millstream realises this as:
+//!
+//! * [`Operator::poll`] — evaluates the operator's `more` condition (for
+//!   IWP operators, the *relaxed* condition of Fig. 5 via TSM registers)
+//!   and, when `more` is false, reports **which inputs starve progress** so
+//!   the scheduler knows where to backtrack (§3.2's `pred_j`).
+//! * [`Operator::step`] — performs one production/consumption step
+//!   (Figs. 1 and 6 move one tuple at a time; repetition is the scheduler's
+//!   Encore rule).
+//!
+//! `yield` is not part of the trait: per the paper it is simply "the output
+//! buffer of the current operator contains some tuples", which the scheduler
+//! checks directly on the buffer.
+
+use std::cell::{Ref, RefCell, RefMut};
+
+use millstream_buffer::Buffer;
+use millstream_types::{Result, Schema, Timestamp};
+
+/// Execution context handed to an operator for one poll or step: borrowed
+/// views of its input and output buffers plus the current clock reading.
+pub struct OpContext<'a> {
+    inputs: &'a [&'a RefCell<Buffer>],
+    outputs: &'a [&'a RefCell<Buffer>],
+    /// The current (virtual or wall-clock) time. Operators that assign
+    /// latent timestamps read it; sinks use it to compute output latency.
+    pub now: Timestamp,
+}
+
+impl<'a> OpContext<'a> {
+    /// Creates a context over the given buffer slices.
+    pub fn new(
+        inputs: &'a [&'a RefCell<Buffer>],
+        outputs: &'a [&'a RefCell<Buffer>],
+        now: Timestamp,
+    ) -> Self {
+        OpContext { inputs, outputs, now }
+    }
+
+    /// Number of input buffers.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of output buffers.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Immutable view of input buffer `i`.
+    pub fn input(&self, i: usize) -> Ref<'_, Buffer> {
+        self.inputs[i].borrow()
+    }
+
+    /// Mutable view of input buffer `i` (for consumption).
+    pub fn input_mut(&self, i: usize) -> RefMut<'_, Buffer> {
+        self.inputs[i].borrow_mut()
+    }
+
+    /// Mutable view of output buffer `i` (for production).
+    pub fn output_mut(&self, i: usize) -> RefMut<'_, Buffer> {
+        self.outputs[i].borrow_mut()
+    }
+
+    /// True iff output buffer 0 currently holds tuples — the paper's
+    /// `yield` condition.
+    pub fn output_nonempty(&self) -> bool {
+        self.outputs.first().is_some_and(|b| !b.borrow().is_empty())
+    }
+}
+
+/// The outcome of evaluating an operator's `more` condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Poll {
+    /// The operator can execute a step right now.
+    Ready,
+    /// The operator cannot proceed. `starving` lists the input indices that
+    /// bound progress (empty inputs whose TSM register holds the minimum τ,
+    /// or inputs never yet seen). The scheduler backtracks toward the
+    /// predecessor feeding the first starving input (paper §3.2).
+    Starved {
+        /// Input indices that bound progress; never empty.
+        starving: Vec<usize>,
+    },
+}
+
+impl Poll {
+    /// True iff the operator is ready to execute.
+    pub fn is_ready(&self) -> bool {
+        matches!(self, Poll::Ready)
+    }
+
+    /// Convenience constructor for a single starving input.
+    pub fn starved_on(input: usize) -> Poll {
+        Poll::Starved {
+            starving: vec![input],
+        }
+    }
+}
+
+/// What one [`Operator::step`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Tuples removed from input buffers.
+    pub consumed: usize,
+    /// Tuples appended to output buffers (data and punctuation alike).
+    pub produced: usize,
+    /// Extra work units beyond consumed+produced (e.g. window probes in a
+    /// join); feeds the simulator's CPU cost model.
+    pub work: usize,
+}
+
+impl StepOutcome {
+    /// A step that consumed one tuple and produced `produced`.
+    pub fn consumed_one(produced: usize) -> Self {
+        StepOutcome {
+            consumed: 1,
+            produced,
+            work: 0,
+        }
+    }
+
+    /// Total work units for cost accounting.
+    pub fn total_work(&self) -> usize {
+        self.consumed + self.produced + self.work
+    }
+}
+
+/// A query operator — one node of the query graph.
+///
+/// Implementations process **one head tuple per step** and must keep their
+/// outputs ordered by timestamp. IWP operators ([`Operator::is_iwp`]) use
+/// TSM registers and must propagate punctuation per Fig. 6; non-IWP
+/// operators must pass punctuation through unchanged (modulo reformatting).
+pub trait Operator {
+    /// Human-readable operator name for plans and diagnostics.
+    fn name(&self) -> &str;
+
+    /// True for idle-waiting-prone operators (union, join).
+    fn is_iwp(&self) -> bool {
+        false
+    }
+
+    /// True iff the operator tolerates out-of-order input (only the
+    /// order-restoring `Reorder` stage). The graph builder uses this to
+    /// validate that an unordered source feeds an order-restoring consumer.
+    fn accepts_disorder(&self) -> bool {
+        false
+    }
+
+    /// True iff the operator's *output* is driven by stream-time progress
+    /// rather than input presence alone (windowed aggregates flush when
+    /// time passes a boundary). Such operators benefit from ETS punctuation
+    /// even though they are single-input; the graph builder uses this
+    /// (together with [`Operator::is_iwp`]) to decide which sources should
+    /// answer on-demand ETS requests at all.
+    fn is_time_driven(&self) -> bool {
+        false
+    }
+
+    /// Declared number of inputs. The graph builder checks arity.
+    fn num_inputs(&self) -> usize;
+
+    /// Declared number of outputs (0 for sinks, otherwise 1).
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    /// The schema of the output stream. Sinks report their input schema.
+    fn output_schema(&self) -> &Schema;
+
+    /// Evaluates the operator's `more` condition against the current buffer
+    /// state. Mutable so IWP operators can fold the current heads into
+    /// their TSM registers (paper §4.1: registers update automatically as
+    /// tuples are examined).
+    fn poll(&mut self, ctx: &OpContext<'_>) -> Poll;
+
+    /// Executes one production/consumption step. Only called after `poll`
+    /// returned [`Poll::Ready`]; implementations may return an empty
+    /// outcome if the state changed in between, but must not block.
+    fn step(&mut self, ctx: &OpContext<'_>) -> Result<StepOutcome>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_helpers() {
+        assert!(Poll::Ready.is_ready());
+        let p = Poll::starved_on(2);
+        assert!(!p.is_ready());
+        assert_eq!(p, Poll::Starved { starving: vec![2] });
+    }
+
+    #[test]
+    fn step_outcome_work_accounting() {
+        let s = StepOutcome {
+            consumed: 1,
+            produced: 3,
+            work: 5,
+        };
+        assert_eq!(s.total_work(), 9);
+        assert_eq!(StepOutcome::consumed_one(2).total_work(), 3);
+        assert_eq!(StepOutcome::default().total_work(), 0);
+    }
+
+    #[test]
+    fn context_views_buffers() {
+        use millstream_types::{Tuple, Value};
+        let a = RefCell::new(Buffer::new("a"));
+        let out = RefCell::new(Buffer::new("out"));
+        let inputs = [&a];
+        let outputs = [&out];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::from_micros(5));
+
+        assert_eq!(ctx.num_inputs(), 1);
+        assert_eq!(ctx.num_outputs(), 1);
+        assert!(!ctx.output_nonempty());
+        ctx.input_mut(0)
+            .push(Tuple::data(Timestamp::ZERO, vec![Value::Int(1)]))
+            .unwrap();
+        assert_eq!(ctx.input(0).len(), 1);
+        ctx.output_mut(0)
+            .push(Tuple::punctuation(Timestamp::ZERO))
+            .unwrap();
+        assert!(ctx.output_nonempty());
+        assert_eq!(ctx.now.as_micros(), 5);
+    }
+}

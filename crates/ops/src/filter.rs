@@ -1,0 +1,218 @@
+//! Selection (σ) — a non-IWP operator.
+//!
+//! Consumes one tuple per step; data tuples that fail the predicate are
+//! dropped, punctuation tuples "go through unchanged" (paper §4.2). Because
+//! a dropped tuple still advances stream time, the filter's output order is
+//! exactly the input order restricted to passing tuples plus punctuation.
+
+use millstream_types::{Expr, Result, Schema, Timestamp, Tuple};
+
+use crate::context::{OpContext, Operator, Poll, StepOutcome};
+
+/// How a filter handles data tuples it drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DropBehavior {
+    /// Dropped tuples vanish silently (the paper's selection).
+    #[default]
+    Silent,
+    /// Each dropped tuple is replaced by a punctuation carrying its
+    /// timestamp, so downstream IWP operators still observe time progress
+    /// on sparse post-filter paths. An engineering extension; off by
+    /// default for paper fidelity.
+    EmitPunctuation,
+}
+
+/// The selection operator.
+pub struct Filter {
+    name: String,
+    predicate: Expr,
+    schema: Schema,
+    drop_behavior: DropBehavior,
+    passed: u64,
+    dropped: u64,
+}
+
+impl Filter {
+    /// Creates a selection with the given predicate over `schema`.
+    pub fn new(name: impl Into<String>, schema: Schema, predicate: Expr) -> Self {
+        Filter {
+            name: name.into(),
+            predicate,
+            schema,
+            drop_behavior: DropBehavior::default(),
+            passed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Sets the drop behaviour (builder style).
+    pub fn with_drop_behavior(mut self, behavior: DropBehavior) -> Self {
+        self.drop_behavior = behavior;
+        self
+    }
+
+    /// Number of data tuples that passed the predicate so far.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+
+    /// Number of data tuples dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Operator for Filter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn poll(&mut self, ctx: &OpContext<'_>) -> Poll {
+        if ctx.input(0).is_empty() {
+            Poll::starved_on(0)
+        } else {
+            Poll::Ready
+        }
+    }
+
+    fn step(&mut self, ctx: &OpContext<'_>) -> Result<StepOutcome> {
+        let Some(tuple) = ctx.input_mut(0).pop() else {
+            return Ok(StepOutcome::default());
+        };
+        match &tuple.body {
+            millstream_types::TupleBody::Punctuation => {
+                ctx.output_mut(0).push(tuple)?;
+                Ok(StepOutcome::consumed_one(1))
+            }
+            millstream_types::TupleBody::Data(values) => {
+                if self.predicate.eval_predicate(values)? {
+                    self.passed += 1;
+                    ctx.output_mut(0).push(tuple)?;
+                    Ok(StepOutcome::consumed_one(1))
+                } else {
+                    self.dropped += 1;
+                    match self.drop_behavior {
+                        DropBehavior::Silent => Ok(StepOutcome::consumed_one(0)),
+                        DropBehavior::EmitPunctuation => {
+                            let ts: Timestamp = tuple.ts;
+                            ctx.output_mut(0).push(Tuple::punctuation(ts))?;
+                            Ok(StepOutcome::consumed_one(1))
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millstream_buffer::Buffer;
+    use millstream_types::{DataType, Field, Value};
+    use std::cell::RefCell;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("v", DataType::Int)])
+    }
+
+    fn run_filter(filter: &mut Filter, tuples: Vec<Tuple>) -> Vec<Tuple> {
+        let input = RefCell::new(Buffer::new("in"));
+        let output = RefCell::new(Buffer::new("out"));
+        for t in tuples {
+            input.borrow_mut().push(t).unwrap();
+        }
+        let inputs = [&input];
+        let outputs = [&output];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        while filter.poll(&ctx).is_ready() {
+            filter.step(&ctx).unwrap();
+        }
+        let mut out = vec![];
+        while let Some(t) = output.borrow_mut().pop() {
+            out.push(t);
+        }
+        out
+    }
+
+    fn data(ts: u64, v: i64) -> Tuple {
+        Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn passes_matching_drops_rest() {
+        let mut f = Filter::new("σ", schema(), Expr::col(0).gt(Expr::lit(5)));
+        let out = run_filter(&mut f, vec![data(1, 3), data(2, 9), data(3, 6)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].values().unwrap()[0], Value::Int(9));
+        assert_eq!(f.passed(), 2);
+        assert_eq!(f.dropped(), 1);
+    }
+
+    #[test]
+    fn punctuation_passes_through_unchanged() {
+        let mut f = Filter::new("σ", schema(), Expr::lit(false));
+        let out = run_filter(
+            &mut f,
+            vec![data(1, 1), Tuple::punctuation(Timestamp::from_micros(2))],
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_punctuation());
+        assert_eq!(out[0].ts.as_micros(), 2);
+    }
+
+    #[test]
+    fn emit_punctuation_mode_marks_progress() {
+        let mut f = Filter::new("σ", schema(), Expr::col(0).gt(Expr::lit(100)))
+            .with_drop_behavior(DropBehavior::EmitPunctuation);
+        let out = run_filter(&mut f, vec![data(7, 1)]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_punctuation());
+        assert_eq!(out[0].ts.as_micros(), 7);
+    }
+
+    #[test]
+    fn null_predicate_is_false() {
+        let mut f = Filter::new("σ", schema(), Expr::col(0).gt(Expr::lit(5)));
+        let t = Tuple::data(Timestamp::from_micros(1), vec![Value::Null]);
+        let out = run_filter(&mut f, vec![t]);
+        assert!(out.is_empty());
+        assert_eq!(f.dropped(), 1);
+    }
+
+    #[test]
+    fn starves_on_empty_input() {
+        let mut f = Filter::new("σ", schema(), Expr::lit(true));
+        let input = RefCell::new(Buffer::new("in"));
+        let output = RefCell::new(Buffer::new("out"));
+        let inputs = [&input];
+        let outputs = [&output];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        assert_eq!(f.poll(&ctx), Poll::starved_on(0));
+    }
+
+    #[test]
+    fn eval_error_surfaces() {
+        // Predicate adds a string — evaluation error must propagate.
+        let mut f = Filter::new(
+            "σ",
+            schema(),
+            Expr::col(0).add(Expr::lit("x")).gt(Expr::lit(0)),
+        );
+        let input = RefCell::new(Buffer::new("in"));
+        let output = RefCell::new(Buffer::new("out"));
+        input.borrow_mut().push(data(1, 1)).unwrap();
+        let inputs = [&input];
+        let outputs = [&output];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        assert!(f.step(&ctx).is_err());
+    }
+}

@@ -1,0 +1,604 @@
+//! Symmetric window join (⋈) — the second IWP operator of the paper.
+//!
+//! Implements the widely accepted semantics of Kang, Naughton and Viglas
+//! (ICDE'03) adopted by the paper (Fig. 1), revised with TSM registers and
+//! punctuation handling per Fig. 6:
+//!
+//! * when `more` holds and input A's head is a **data** tuple at τ, join it
+//!   against the stored window W(B), emit the results (timestamped from the
+//!   A tuple), then slide the tuple into W(A) and expire W(A)'s old tuples;
+//! * when the τ-witness is **punctuation**, consume it and forward a
+//!   punctuation at τ — "when we cannot generate a data tuple, we simply
+//!   produce a punctuation tuple for the benefit of the IWP operators down
+//!   the path";
+//! * punctuation also expires window contents, bounding memory.
+//!
+//! The join condition is an optional equality key pair (hashable fast path
+//! would be an optimisation; windows here are small VecDeques scanned
+//! linearly, faithful to Stream Mill) plus an optional residual predicate
+//! over the concatenated row.
+
+use std::collections::VecDeque;
+
+use millstream_buffer::TsmBank;
+use millstream_types::{Expr, Result, Schema, TimeDelta, Timestamp, Tuple};
+
+use crate::context::{OpContext, Operator, Poll, StepOutcome};
+
+/// Configuration of one binary symmetric window join.
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    /// Window length for input 0 (W(A)).
+    pub window_a: TimeDelta,
+    /// Window length for input 1 (W(B)). Asymmetric windows are allowed
+    /// (the paper notes asymmetric joins are treated like binary ones).
+    pub window_b: TimeDelta,
+    /// Optional equality key: (column in A, column in B).
+    pub key: Option<(usize, usize)>,
+    /// Optional residual predicate over the concatenated row
+    /// `A-columns ++ B-columns`.
+    pub residual: Option<Expr>,
+    /// When a data tuple joins with zero window tuples, emit a punctuation
+    /// at its timestamp so downstream IWP operators still observe time
+    /// progress. Off by default (strict Fig. 6 behaviour).
+    pub progress_punctuation: bool,
+}
+
+impl JoinSpec {
+    /// A symmetric-window join spec with no key and no residual (cross
+    /// within window).
+    pub fn symmetric(window: TimeDelta) -> Self {
+        JoinSpec {
+            window_a: window,
+            window_b: window,
+            key: None,
+            residual: None,
+            progress_punctuation: false,
+        }
+    }
+
+    /// Sets an equality key (builder style).
+    pub fn with_key(mut self, left: usize, right: usize) -> Self {
+        self.key = Some((left, right));
+        self
+    }
+
+    /// Sets a residual predicate (builder style).
+    pub fn with_residual(mut self, residual: Expr) -> Self {
+        self.residual = Some(residual);
+        self
+    }
+
+    /// Enables progress punctuation (builder style).
+    pub fn with_progress_punctuation(mut self) -> Self {
+        self.progress_punctuation = true;
+        self
+    }
+}
+
+/// The binary symmetric window join operator.
+pub struct WindowJoin {
+    name: String,
+    spec: JoinSpec,
+    schema: Schema,
+    tsm: TsmBank,
+    window_a: VecDeque<Tuple>,
+    window_b: VecDeque<Tuple>,
+    emitted_high_water: Option<Timestamp>,
+    probes: u64,
+    matches: u64,
+}
+
+impl WindowJoin {
+    /// Creates a window join. `schema` is the concatenated output schema
+    /// (see [`Schema::join`]).
+    pub fn new(name: impl Into<String>, schema: Schema, spec: JoinSpec) -> Self {
+        WindowJoin {
+            name: name.into(),
+            spec,
+            schema,
+            tsm: TsmBank::new(2),
+            window_a: VecDeque::new(),
+            window_b: VecDeque::new(),
+            emitted_high_water: None,
+            probes: 0,
+            matches: 0,
+        }
+    }
+
+    /// Current number of tuples stored in W(A).
+    pub fn window_a_len(&self) -> usize {
+        self.window_a.len()
+    }
+
+    /// Current number of tuples stored in W(B).
+    pub fn window_b_len(&self) -> usize {
+        self.window_b.len()
+    }
+
+    /// Lifetime window probes (pairs examined).
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Lifetime matches emitted.
+    pub fn matches(&self) -> u64 {
+        self.matches
+    }
+
+    fn observe_heads(&mut self, ctx: &OpContext<'_>) {
+        for i in 0..2 {
+            if let Some(ts) = ctx.input(i).front_ts() {
+                self.tsm.observe(i, ts);
+            }
+        }
+    }
+
+    /// Expires tuples older than `ts − window` from the given window.
+    fn expire(window: &mut VecDeque<Tuple>, ts: Timestamp, span: TimeDelta) {
+        let floor = ts.saturating_sub(span);
+        while window.front().is_some_and(|t| t.ts < floor) {
+            window.pop_front();
+        }
+    }
+
+    /// Whether a (probe, stored) pair joins, where `probe_side` is 0 when
+    /// the probe came from input A. The output row is always A ++ B.
+    fn pair_matches(&mut self, probe: &Tuple, stored: &Tuple, probe_side: usize) -> Result<bool> {
+        self.probes += 1;
+        let (a, b) = if probe_side == 0 {
+            (probe, stored)
+        } else {
+            (stored, probe)
+        };
+        if let Some((ka, kb)) = self.spec.key {
+            let av = &a.values_expect()[ka];
+            let bv = &b.values_expect()[kb];
+            if av.is_null() || bv.is_null() || av != bv {
+                return Ok(false);
+            }
+        }
+        if let Some(residual) = &self.spec.residual {
+            let mut row = Vec::with_capacity(a.width() + b.width());
+            row.extend_from_slice(a.values_expect());
+            row.extend_from_slice(b.values_expect());
+            if !residual.eval_predicate(&row)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Builds the output tuple for a matched pair with the A ++ B layout.
+    fn emit_pair(probe: &Tuple, stored: &Tuple, probe_side: usize) -> Tuple {
+        if probe_side == 0 {
+            Tuple::join(probe, stored)
+        } else {
+            // The output row is A ++ B but the timestamp and entry come
+            // from the probe (the newly arrived tuple), per Fig. 1: the
+            // result exists only once the probe arrives.
+            let mut t = Tuple::join(stored, probe);
+            t.ts = probe.ts;
+            t.entry = probe.entry;
+            t
+        }
+    }
+
+    /// Pushes a punctuation at `ts` if it advances the output high water.
+    fn push_punctuation(&mut self, ctx: &OpContext<'_>, ts: Timestamp) -> Result<usize> {
+        if self.emitted_high_water.is_some_and(|hw| ts <= hw) {
+            return Ok(0);
+        }
+        self.emitted_high_water = Some(ts);
+        ctx.output_mut(0).push(Tuple::punctuation(ts))?;
+        Ok(1)
+    }
+}
+
+impl Operator for WindowJoin {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_iwp(&self) -> bool {
+        true
+    }
+
+    fn num_inputs(&self) -> usize {
+        2
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn poll(&mut self, ctx: &OpContext<'_>) -> Poll {
+        self.observe_heads(ctx);
+        match self.tsm.min_tau() {
+            None => Poll::Starved {
+                starving: self.tsm.argmin(),
+            },
+            Some(tau) => {
+                if (0..2).any(|i| ctx.input(i).front_ts() == Some(tau)) {
+                    Poll::Ready
+                } else {
+                    Poll::Starved {
+                        starving: self.tsm.argmin(),
+                    }
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, ctx: &OpContext<'_>) -> Result<StepOutcome> {
+        self.observe_heads(ctx);
+        let Some(tau) = self.tsm.min_tau() else {
+            return Ok(StepOutcome::default());
+        };
+
+        // Prefer a data tuple at τ (Fig. 6: the punctuation-only production
+        // applies when *neither* input holds a data tuple at τ).
+        let mut side = None;
+        for i in 0..2 {
+            let input = ctx.input(i);
+            if let Some(head) = input.front() {
+                if head.ts == tau && head.is_data() {
+                    side = Some(i);
+                    break;
+                }
+            }
+        }
+
+        match side {
+            Some(i) => {
+                let probe = ctx.input_mut(i).pop().expect("head checked");
+                let (own_span, other_span) = if i == 0 {
+                    (self.spec.window_a, self.spec.window_b)
+                } else {
+                    (self.spec.window_b, self.spec.window_a)
+                };
+                // Expire the opposite window against the probe timestamp,
+                // then snapshot it (tuple clones share their row storage)
+                // so the probe loop can call &mut self helpers.
+                let stored: Vec<Tuple> = {
+                    let other_window = if i == 0 {
+                        &mut self.window_b
+                    } else {
+                        &mut self.window_a
+                    };
+                    Self::expire(other_window, probe.ts, other_span);
+                    other_window.iter().cloned().collect()
+                };
+                let work = stored.len();
+                let mut matched = Vec::new();
+                for s in &stored {
+                    if self.pair_matches(&probe, s, i)? {
+                        matched.push(Self::emit_pair(&probe, s, i));
+                    }
+                }
+                // Join results share the probe's timestamp; emit in stable
+                // window order.
+                let mut produced = 0usize;
+                for t in matched {
+                    self.matches += 1;
+                    self.emitted_high_water =
+                        Some(self.emitted_high_water.map_or(t.ts, |hw| hw.max(t.ts)));
+                    ctx.output_mut(0).push(t)?;
+                    produced += 1;
+                }
+                if produced == 0 && self.spec.progress_punctuation {
+                    produced += self.push_punctuation(ctx, probe.ts)?;
+                }
+                // Consumption: slide the probe into its own window and
+                // expire it too.
+                let own_window = if i == 0 {
+                    &mut self.window_a
+                } else {
+                    &mut self.window_b
+                };
+                let probe_ts = probe.ts;
+                own_window.push_back(probe);
+                Self::expire(own_window, probe_ts, own_span);
+                Ok(StepOutcome {
+                    consumed: 1,
+                    produced,
+                    work,
+                })
+            }
+            None => {
+                // Neither input holds a data tuple at τ: the witness is a
+                // punctuation. Consume it and forward a punctuation at τ.
+                let mut consumed = 0;
+                for i in 0..2 {
+                    let is_tau_punct = {
+                        let input = ctx.input(i);
+                        input
+                            .front()
+                            .is_some_and(|h| h.ts == tau && h.is_punctuation())
+                    };
+                    if is_tau_punct {
+                        ctx.input_mut(i).pop();
+                        consumed = 1;
+                        break;
+                    }
+                }
+                if consumed == 0 {
+                    return Ok(StepOutcome::default());
+                }
+                // Punctuation also advances window expiry.
+                Self::expire(&mut self.window_a, tau, self.spec.window_a);
+                Self::expire(&mut self.window_b, tau, self.spec.window_b);
+                let produced = self.push_punctuation(ctx, tau)?;
+                Ok(StepOutcome {
+                    consumed,
+                    produced,
+                    work: 0,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millstream_buffer::Buffer;
+    use millstream_types::{DataType, Field, Value};
+    use std::cell::RefCell;
+
+    fn out_schema() -> Schema {
+        let a = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let b = Schema::new(vec![Field::new("y", DataType::Int)]);
+        a.join(&b, "a", "b")
+    }
+
+    fn data(ts: u64, v: i64) -> Tuple {
+        Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(v)])
+    }
+
+    struct Rig {
+        a: RefCell<Buffer>,
+        b: RefCell<Buffer>,
+        out: RefCell<Buffer>,
+    }
+
+    impl Rig {
+        fn new() -> Self {
+            Rig {
+                a: RefCell::new(Buffer::new("a")),
+                b: RefCell::new(Buffer::new("b")),
+                out: RefCell::new(Buffer::new("out")),
+            }
+        }
+
+        fn drain(&self, j: &mut WindowJoin) -> Vec<Tuple> {
+            let inputs = [&self.a, &self.b];
+            let outputs = [&self.out];
+            let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+            while j.poll(&ctx).is_ready() {
+                j.step(&ctx).unwrap();
+            }
+            let mut got = vec![];
+            while let Some(t) = self.out.borrow_mut().pop() {
+                got.push(t);
+            }
+            got
+        }
+    }
+
+    #[test]
+    fn joins_within_window() {
+        let rig = Rig::new();
+        let mut j = WindowJoin::new(
+            "⋈",
+            out_schema(),
+            JoinSpec::symmetric(TimeDelta::from_micros(10)).with_key(0, 0),
+        );
+        rig.a.borrow_mut().push(data(1, 7)).unwrap();
+        rig.b.borrow_mut().push(data(5, 7)).unwrap();
+        // Advance A past B's tuple so B's probe is enabled (without this
+        // ETS the join idle-waits on A — the paper's core observation).
+        rig.a
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::from_micros(10)))
+            .unwrap();
+        let out = rig.drain(&mut j);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ts.as_micros(), 5, "result takes probe timestamp");
+        assert_eq!(
+            out[0].values().unwrap(),
+            &[Value::Int(7), Value::Int(7)],
+            "row layout is A ++ B regardless of probe side"
+        );
+        assert_eq!(j.matches(), 1);
+    }
+
+    #[test]
+    fn window_expiry_prevents_stale_matches() {
+        let rig = Rig::new();
+        let mut j = WindowJoin::new(
+            "⋈",
+            out_schema(),
+            JoinSpec::symmetric(TimeDelta::from_micros(10)).with_key(0, 0),
+        );
+        rig.a.borrow_mut().push(data(1, 7)).unwrap();
+        rig.b.borrow_mut().push(data(50, 7)).unwrap();
+        // Give A a second tuple so τ reaches 50.
+        rig.a.borrow_mut().push(data(60, 8)).unwrap();
+        let out = rig.drain(&mut j);
+        assert!(out.is_empty(), "ts 1 expired before probe at 50");
+        assert_eq!(j.window_b_len(), 1);
+    }
+
+    #[test]
+    fn cross_join_without_key() {
+        let rig = Rig::new();
+        let mut j = WindowJoin::new(
+            "⋈",
+            out_schema(),
+            JoinSpec::symmetric(TimeDelta::from_micros(100)),
+        );
+        rig.a.borrow_mut().push(data(1, 1)).unwrap();
+        rig.a.borrow_mut().push(data(2, 2)).unwrap();
+        rig.a
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::from_micros(10)))
+            .unwrap();
+        rig.b.borrow_mut().push(data(3, 3)).unwrap();
+        let out = rig.drain(&mut j);
+        // B's tuple at 3 probes W(A) = {1, 2} → two results.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|t| t.ts.as_micros() == 3));
+    }
+
+    #[test]
+    fn residual_predicate_filters_pairs() {
+        let rig = Rig::new();
+        // Join where a.x < b.y (columns 0 and 1 of the concatenated row).
+        let mut j = WindowJoin::new(
+            "⋈",
+            out_schema(),
+            JoinSpec::symmetric(TimeDelta::from_micros(100))
+                .with_residual(Expr::col(0).lt(Expr::col(1))),
+        );
+        rig.a.borrow_mut().push(data(1, 5)).unwrap();
+        rig.a
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::from_micros(5)))
+            .unwrap();
+        rig.b.borrow_mut().push(data(2, 3)).unwrap();
+        rig.b.borrow_mut().push(data(2, 9)).unwrap();
+        let out = rig.drain(&mut j);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values().unwrap(), &[Value::Int(5), Value::Int(9)]);
+    }
+
+    #[test]
+    fn punctuation_witness_is_forwarded() {
+        let rig = Rig::new();
+        let mut j = WindowJoin::new(
+            "⋈",
+            out_schema(),
+            JoinSpec::symmetric(TimeDelta::from_micros(10)),
+        );
+        rig.a.borrow_mut().push(data(20, 1)).unwrap();
+        rig.b
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::from_micros(5)))
+            .unwrap();
+        let out = rig.drain(&mut j);
+        // τ=5 witnessed only by punctuation → forward punct(5). Then τ=20
+        // on A but B's register is 5 < 20 and B is empty → starve.
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_punctuation());
+        assert_eq!(out[0].ts.as_micros(), 5);
+        // The data tuple was *not* consumed.
+        assert_eq!(rig.a.borrow().len(), 1);
+    }
+
+    #[test]
+    fn punctuation_expires_windows() {
+        let rig = Rig::new();
+        let mut j = WindowJoin::new(
+            "⋈",
+            out_schema(),
+            JoinSpec::symmetric(TimeDelta::from_micros(10)),
+        );
+        rig.a.borrow_mut().push(data(1, 1)).unwrap();
+        rig.a
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::from_micros(3)))
+            .unwrap();
+        rig.b.borrow_mut().push(data(2, 2)).unwrap();
+        rig.drain(&mut j);
+        assert_eq!(j.window_a_len(), 1);
+        assert_eq!(j.window_b_len(), 1);
+        // ETS far in the future on both inputs expires everything.
+        rig.a
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::from_micros(1_000)))
+            .unwrap();
+        rig.b
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::from_micros(1_000)))
+            .unwrap();
+        rig.drain(&mut j);
+        assert_eq!(j.window_a_len(), 0);
+        assert_eq!(j.window_b_len(), 0);
+    }
+
+    #[test]
+    fn progress_punctuation_mode() {
+        let rig = Rig::new();
+        let mut j = WindowJoin::new(
+            "⋈",
+            out_schema(),
+            JoinSpec::symmetric(TimeDelta::from_micros(10))
+                .with_key(0, 0)
+                .with_progress_punctuation(),
+        );
+        rig.a.borrow_mut().push(data(1, 7)).unwrap();
+        rig.a
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::from_micros(9)))
+            .unwrap();
+        rig.b.borrow_mut().push(data(2, 999)).unwrap(); // no match
+        let out = rig.drain(&mut j);
+        // Probe at τ=1 finds empty W(B) → punct(1); probe at 2 misses → punct(2).
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|t| t.is_punctuation()));
+        assert_eq!(out[1].ts.as_micros(), 2);
+    }
+
+    #[test]
+    fn nulls_never_join_on_key() {
+        let rig = Rig::new();
+        let mut j = WindowJoin::new(
+            "⋈",
+            out_schema(),
+            JoinSpec::symmetric(TimeDelta::from_micros(100)).with_key(0, 0),
+        );
+        rig.a
+            .borrow_mut()
+            .push(Tuple::data(Timestamp::from_micros(1), vec![Value::Null]))
+            .unwrap();
+        rig.b
+            .borrow_mut()
+            .push(Tuple::data(Timestamp::from_micros(2), vec![Value::Null]))
+            .unwrap();
+        let out = rig.drain(&mut j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn starves_without_second_input() {
+        let rig = Rig::new();
+        let mut j = WindowJoin::new(
+            "⋈",
+            out_schema(),
+            JoinSpec::symmetric(TimeDelta::from_micros(10)),
+        );
+        rig.a.borrow_mut().push(data(1, 1)).unwrap();
+        let inputs = [&rig.a, &rig.b];
+        let outputs = [&rig.out];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        assert_eq!(j.poll(&ctx), Poll::starved_on(1));
+    }
+
+    #[test]
+    fn simultaneous_tuples_join_both_ways() {
+        let rig = Rig::new();
+        let mut j = WindowJoin::new(
+            "⋈",
+            out_schema(),
+            JoinSpec::symmetric(TimeDelta::from_micros(100)),
+        );
+        rig.a.borrow_mut().push(data(5, 1)).unwrap();
+        rig.b.borrow_mut().push(data(5, 2)).unwrap();
+        let out = rig.drain(&mut j);
+        // One of the two orders: first probe sees an empty opposite window,
+        // second probe matches — exactly one result either way.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ts.as_micros(), 5);
+    }
+}

@@ -1,0 +1,530 @@
+//! N-ary symmetric window join — the multi-way case the paper's §2 leaves
+//! out "for simplicity of discussion … whose treatment is however similar
+//! to that of binary joins".
+//!
+//! Each of the k inputs keeps its own time window; a new data tuple at τ
+//! (the TSM minimum, as in the binary case) probes the **cross product of
+//! all other windows**, emitting one output row per combination that
+//! satisfies the join condition. The output row concatenates the inputs'
+//! columns in input order; the timestamp comes from the probe, so the
+//! output stays timestamp-ordered. Punctuation handling follows Fig. 6
+//! verbatim: a punctuation witness of τ is consumed, expires every window,
+//! and is forwarded.
+
+use std::collections::VecDeque;
+
+use millstream_buffer::TsmBank;
+use millstream_types::{Expr, Result, Schema, TimeDelta, Timestamp, Tuple};
+
+use crate::context::{OpContext, Operator, Poll, StepOutcome};
+
+/// The n-ary symmetric window join operator.
+pub struct MultiWindowJoin {
+    name: String,
+    schema: Schema,
+    /// Per-input window length.
+    windows: Vec<TimeDelta>,
+    /// Optional condition over the concatenated row (all inputs, in input
+    /// order). `None` = window cross product.
+    condition: Option<Expr>,
+    tsm: TsmBank,
+    stores: Vec<VecDeque<Tuple>>,
+    /// Column offset of each input in the concatenated row.
+    offsets: Vec<usize>,
+    emitted_high_water: Option<Timestamp>,
+    probes: u64,
+    matches: u64,
+}
+
+impl MultiWindowJoin {
+    /// Creates an n-ary join over `input_schemas`, one window per input.
+    /// The output schema concatenates the inputs with positional
+    /// qualifiers `in0`, `in1`, … applied to colliding names.
+    pub fn new(
+        name: impl Into<String>,
+        input_schemas: &[Schema],
+        windows: Vec<TimeDelta>,
+        condition: Option<Expr>,
+    ) -> Self {
+        assert!(
+            input_schemas.len() >= 2,
+            "multi-way join needs at least two inputs"
+        );
+        assert_eq!(
+            input_schemas.len(),
+            windows.len(),
+            "one window per input required"
+        );
+        let mut schema = input_schemas[0].clone();
+        for (i, s) in input_schemas.iter().enumerate().skip(1) {
+            schema = schema.join(s, &format!("in{}", i - 1), &format!("in{i}"));
+        }
+        let mut offsets = Vec::with_capacity(input_schemas.len());
+        let mut off = 0;
+        for s in input_schemas {
+            offsets.push(off);
+            off += s.len();
+        }
+        MultiWindowJoin {
+            name: name.into(),
+            schema,
+            tsm: TsmBank::new(input_schemas.len()),
+            stores: vec![VecDeque::new(); input_schemas.len()],
+            windows,
+            condition,
+            offsets,
+            emitted_high_water: None,
+            probes: 0,
+            matches: 0,
+        }
+    }
+
+    /// Number of inputs.
+    pub fn arity(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Stored tuples in input `i`'s window.
+    pub fn window_len(&self, i: usize) -> usize {
+        self.stores[i].len()
+    }
+
+    /// Column offset of input `i` in the concatenated output row — useful
+    /// when authoring a `condition` expression against specific inputs.
+    pub fn input_offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Lifetime combinations examined.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Lifetime matches emitted.
+    pub fn matches(&self) -> u64 {
+        self.matches
+    }
+
+    fn observe_heads(&mut self, ctx: &OpContext<'_>) {
+        for i in 0..self.arity() {
+            if let Some(ts) = ctx.input(i).front_ts() {
+                self.tsm.observe(i, ts);
+            }
+        }
+    }
+
+    fn expire_all(&mut self, ts: Timestamp) {
+        for (store, w) in self.stores.iter_mut().zip(&self.windows) {
+            let floor = ts.saturating_sub(*w);
+            while store.front().is_some_and(|t| t.ts < floor) {
+                store.pop_front();
+            }
+        }
+    }
+
+    /// Recursively enumerates combinations of one stored tuple per
+    /// non-probe input and emits the matching ones.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_combinations(
+        &mut self,
+        ctx: &OpContext<'_>,
+        probe_input: usize,
+        probe: &Tuple,
+        partial: &mut Vec<Option<Tuple>>,
+        next_input: usize,
+        produced: &mut usize,
+        work: &mut usize,
+    ) -> Result<()> {
+        if next_input == self.arity() {
+            // Assemble the concatenated row.
+            self.probes += 1;
+            let width = self.schema.len();
+            let mut row = Vec::with_capacity(width);
+            // Indexing is deliberate: slot `probe_input` comes from `probe`,
+            // the rest from `partial`.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..self.arity() {
+                let t = if i == probe_input {
+                    probe
+                } else {
+                    partial[i].as_ref().expect("combination slot filled")
+                };
+                row.extend_from_slice(t.values_expect());
+            }
+            let ok = match &self.condition {
+                None => true,
+                Some(c) => c.eval_predicate(&row)?,
+            };
+            if ok {
+                self.matches += 1;
+                let out = Tuple::data_with_entry(probe.ts, probe.entry, row);
+                self.emitted_high_water =
+                    Some(self.emitted_high_water.map_or(out.ts, |h| h.max(out.ts)));
+                ctx.output_mut(0).push(out)?;
+                *produced += 1;
+            }
+            return Ok(());
+        }
+        if next_input == probe_input {
+            return self.emit_combinations(
+                ctx,
+                probe_input,
+                probe,
+                partial,
+                next_input + 1,
+                produced,
+                work,
+            );
+        }
+        // Snapshot to decouple from &mut self (tuple clones share rows).
+        let stored: Vec<Tuple> = self.stores[next_input].iter().cloned().collect();
+        *work += stored.len();
+        for t in stored {
+            partial[next_input] = Some(t);
+            self.emit_combinations(
+                ctx,
+                probe_input,
+                probe,
+                partial,
+                next_input + 1,
+                produced,
+                work,
+            )?;
+        }
+        partial[next_input] = None;
+        Ok(())
+    }
+
+    fn push_punctuation(&mut self, ctx: &OpContext<'_>, ts: Timestamp) -> Result<usize> {
+        if self.emitted_high_water.is_some_and(|hw| ts <= hw) {
+            return Ok(0);
+        }
+        self.emitted_high_water = Some(ts);
+        ctx.output_mut(0).push(Tuple::punctuation(ts))?;
+        Ok(1)
+    }
+}
+
+impl Operator for MultiWindowJoin {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_iwp(&self) -> bool {
+        true
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.arity()
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn poll(&mut self, ctx: &OpContext<'_>) -> Poll {
+        self.observe_heads(ctx);
+        match self.tsm.min_tau() {
+            None => Poll::Starved {
+                starving: self.tsm.argmin(),
+            },
+            Some(tau) => {
+                if (0..self.arity()).any(|i| ctx.input(i).front_ts() == Some(tau)) {
+                    Poll::Ready
+                } else {
+                    Poll::Starved {
+                        starving: self.tsm.argmin(),
+                    }
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, ctx: &OpContext<'_>) -> Result<StepOutcome> {
+        self.observe_heads(ctx);
+        let Some(tau) = self.tsm.min_tau() else {
+            return Ok(StepOutcome::default());
+        };
+
+        // Prefer a data witness of τ.
+        let mut data_input = None;
+        let mut punct_input = None;
+        for i in 0..self.arity() {
+            let input = ctx.input(i);
+            if let Some(head) = input.front() {
+                if head.ts == tau {
+                    if head.is_data() {
+                        data_input = Some(i);
+                        break;
+                    }
+                    punct_input.get_or_insert(i);
+                }
+            }
+        }
+
+        if let Some(i) = data_input {
+            let probe = ctx.input_mut(i).pop().expect("head checked");
+            self.expire_all(probe.ts);
+            let mut produced = 0;
+            let mut work = 0;
+            let mut partial: Vec<Option<Tuple>> = vec![None; self.arity()];
+            self.emit_combinations(ctx, i, &probe, &mut partial, 0, &mut produced, &mut work)?;
+            self.stores[i].push_back(probe);
+            return Ok(StepOutcome {
+                consumed: 1,
+                produced,
+                work,
+            });
+        }
+        if let Some(i) = punct_input {
+            ctx.input_mut(i).pop();
+            self.expire_all(tau);
+            let produced = self.push_punctuation(ctx, tau)?;
+            return Ok(StepOutcome {
+                consumed: 1,
+                produced,
+                work: 0,
+            });
+        }
+        Ok(StepOutcome::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millstream_buffer::Buffer;
+    use millstream_types::{DataType, Field, Value};
+    use std::cell::RefCell;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("k", DataType::Int)])
+    }
+
+    fn data(ts: u64, k: i64) -> Tuple {
+        Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(k)])
+    }
+
+    fn punct(ts: u64) -> Tuple {
+        Tuple::punctuation(Timestamp::from_micros(ts))
+    }
+
+    struct Rig3 {
+        bufs: Vec<RefCell<Buffer>>,
+        out: RefCell<Buffer>,
+    }
+
+    impl Rig3 {
+        fn new() -> Self {
+            Rig3 {
+                bufs: (0..3).map(|i| RefCell::new(Buffer::new(format!("in{i}")))).collect(),
+                out: RefCell::new(Buffer::new("out")),
+            }
+        }
+
+        fn drain(&self, j: &mut MultiWindowJoin) -> Vec<Tuple> {
+            let inputs: Vec<&RefCell<Buffer>> = self.bufs.iter().collect();
+            let outputs = [&self.out];
+            let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+            while j.poll(&ctx).is_ready() {
+                j.step(&ctx).unwrap();
+            }
+            let mut got = vec![];
+            while let Some(t) = self.out.borrow_mut().pop() {
+                got.push(t);
+            }
+            got
+        }
+    }
+
+    fn join3(condition: Option<Expr>) -> MultiWindowJoin {
+        MultiWindowJoin::new(
+            "⋈3",
+            &[schema(), schema(), schema()],
+            vec![TimeDelta::from_micros(100); 3],
+            condition,
+        )
+    }
+
+    #[test]
+    fn output_schema_concatenates_with_qualifiers() {
+        let j = join3(None);
+        assert_eq!(j.arity(), 3);
+        assert_eq!(j.input_offset(0), 0);
+        assert_eq!(j.input_offset(2), 2);
+        let s = j.output_schema();
+        assert_eq!(s.len(), 3);
+        // All three columns named `k` collide and get qualified.
+        assert!(s.field(0).unwrap().name.contains('k'));
+        assert_ne!(s.field(0).unwrap().name, s.field(2).unwrap().name);
+    }
+
+    #[test]
+    fn three_way_match_within_windows() {
+        let rig = Rig3::new();
+        // Equality across all three inputs via a condition expression.
+        let cond = Expr::col(0)
+            .eq(Expr::col(1))
+            .and(Expr::col(1).eq(Expr::col(2)));
+        let mut j = join3(Some(cond));
+        rig.bufs[0].borrow_mut().push(data(1, 7)).unwrap();
+        rig.bufs[1].borrow_mut().push(data(2, 7)).unwrap();
+        rig.bufs[2].borrow_mut().push(data(3, 7)).unwrap();
+        // Close the other inputs past 3 so the last probe can run.
+        rig.bufs[0].borrow_mut().push(punct(10)).unwrap();
+        rig.bufs[1].borrow_mut().push(punct(10)).unwrap();
+        let out = rig.drain(&mut j);
+        let datas: Vec<&Tuple> = out.iter().filter(|t| t.is_data()).collect();
+        assert_eq!(datas.len(), 1, "one (7,7,7) combination");
+        assert_eq!(datas[0].ts.as_micros(), 3, "probe timestamp");
+        assert_eq!(
+            datas[0].values().unwrap(),
+            &[Value::Int(7), Value::Int(7), Value::Int(7)]
+        );
+    }
+
+    #[test]
+    fn cross_product_counts_combinations() {
+        let rig = Rig3::new();
+        let mut j = join3(None);
+        // Two tuples in each of inputs 0 and 1, then one probe on input 2.
+        for ts in [1u64, 2] {
+            rig.bufs[0].borrow_mut().push(data(ts, ts as i64)).unwrap();
+        }
+        for ts in [3u64, 4] {
+            rig.bufs[1].borrow_mut().push(data(ts, ts as i64)).unwrap();
+        }
+        rig.bufs[2].borrow_mut().push(data(5, 9)).unwrap();
+        rig.bufs[0].borrow_mut().push(punct(10)).unwrap();
+        rig.bufs[1].borrow_mut().push(punct(10)).unwrap();
+        let out = rig.drain(&mut j);
+        let datas: Vec<&Tuple> = out.iter().filter(|t| t.is_data()).collect();
+        // The probe at ts 5 pairs with {1,2} × {3,4} = 4 combinations.
+        assert_eq!(datas.len(), 4);
+        assert!(datas.iter().all(|t| t.ts.as_micros() == 5));
+    }
+
+    #[test]
+    fn expiry_prunes_old_windows() {
+        let rig = Rig3::new();
+        let mut j = join3(None);
+        rig.bufs[0].borrow_mut().push(data(1, 1)).unwrap();
+        rig.bufs[1].borrow_mut().push(data(2, 2)).unwrap();
+        // Probe far beyond the 100 µs windows.
+        rig.bufs[2].borrow_mut().push(data(500, 3)).unwrap();
+        rig.bufs[0].borrow_mut().push(punct(600)).unwrap();
+        rig.bufs[1].borrow_mut().push(punct(600)).unwrap();
+        let out = rig.drain(&mut j);
+        assert!(out.iter().all(|t| t.is_punctuation()), "stale windows expired");
+        assert_eq!(j.window_len(0), 0);
+        assert_eq!(j.window_len(1), 0);
+    }
+
+    #[test]
+    fn punctuation_flows_and_dedupes() {
+        let rig = Rig3::new();
+        let mut j = join3(None);
+        for b in &rig.bufs {
+            b.borrow_mut().push(punct(50)).unwrap();
+        }
+        let out = rig.drain(&mut j);
+        assert_eq!(out.len(), 1, "one forwarded ETS for three inputs");
+        assert!(out[0].is_punctuation());
+        assert_eq!(out[0].ts.as_micros(), 50);
+    }
+
+    #[test]
+    fn starves_until_all_inputs_heard() {
+        let rig = Rig3::new();
+        let mut j = join3(None);
+        rig.bufs[0].borrow_mut().push(data(1, 1)).unwrap();
+        rig.bufs[1].borrow_mut().push(data(1, 1)).unwrap();
+        let inputs: Vec<&RefCell<Buffer>> = rig.bufs.iter().collect();
+        let outputs = [&rig.out];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        assert_eq!(j.poll(&ctx), Poll::Starved { starving: vec![2] });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two inputs")]
+    fn rejects_unary() {
+        let _ = MultiWindowJoin::new("x", &[schema()], vec![TimeDelta::ZERO], None);
+    }
+
+    #[test]
+    fn binary_case_agrees_with_window_join() {
+        use crate::join::{JoinSpec, WindowJoin};
+        // Same workload through MultiWindowJoin(k=2) and WindowJoin.
+        let tuples_a: Vec<(u64, i64)> = vec![(1, 5), (3, 6), (7, 5), (9, 6)];
+        let tuples_b: Vec<(u64, i64)> = vec![(2, 5), (6, 6), (8, 5)];
+        let w = TimeDelta::from_micros(4);
+
+        let run_multi = || {
+            let a = RefCell::new(Buffer::new("a"));
+            let b = RefCell::new(Buffer::new("b"));
+            let out = RefCell::new(Buffer::new("out"));
+            let cond = Expr::col(0).eq(Expr::col(1));
+            let mut j = MultiWindowJoin::new(
+                "m",
+                &[schema(), schema()],
+                vec![w, w],
+                Some(cond),
+            );
+            for &(ts, v) in &tuples_a {
+                a.borrow_mut().push(data(ts, v)).unwrap();
+            }
+            for &(ts, v) in &tuples_b {
+                b.borrow_mut().push(data(ts, v)).unwrap();
+            }
+            a.borrow_mut().push(punct(100)).unwrap();
+            b.borrow_mut().push(punct(100)).unwrap();
+            let inputs = [&a, &b];
+            let outputs = [&out];
+            let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+            while j.poll(&ctx).is_ready() {
+                j.step(&ctx).unwrap();
+            }
+            let mut rows = vec![];
+            while let Some(t) = out.borrow_mut().pop() {
+                if t.is_data() {
+                    rows.push((t.ts.as_micros(), t.values().unwrap().to_vec()));
+                }
+            }
+            rows
+        };
+
+        let run_binary = || {
+            let a = RefCell::new(Buffer::new("a"));
+            let b = RefCell::new(Buffer::new("b"));
+            let out = RefCell::new(Buffer::new("out"));
+            let mut j = WindowJoin::new(
+                "b",
+                schema().join(&schema(), "a", "b"),
+                JoinSpec::symmetric(w).with_key(0, 0),
+            );
+            for &(ts, v) in &tuples_a {
+                a.borrow_mut().push(data(ts, v)).unwrap();
+            }
+            for &(ts, v) in &tuples_b {
+                b.borrow_mut().push(data(ts, v)).unwrap();
+            }
+            a.borrow_mut().push(punct(100)).unwrap();
+            b.borrow_mut().push(punct(100)).unwrap();
+            let inputs = [&a, &b];
+            let outputs = [&out];
+            let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+            while j.poll(&ctx).is_ready() {
+                j.step(&ctx).unwrap();
+            }
+            let mut rows = vec![];
+            while let Some(t) = out.borrow_mut().pop() {
+                if t.is_data() {
+                    rows.push((t.ts.as_micros(), t.values().unwrap().to_vec()));
+                }
+            }
+            rows
+        };
+
+        assert_eq!(run_multi(), run_binary());
+    }
+}

@@ -1,0 +1,164 @@
+//! Projection / mapping (π) — a non-IWP operator.
+//!
+//! Evaluates a list of expressions against each data tuple to build the
+//! output row; the output tuple takes its timestamp from the input tuple
+//! (paper §2: non-IWP production). Punctuation passes through — projection
+//! is the paper's example of "possible reformatting": a punctuation tuple
+//! has no row, so reformatting is the identity.
+
+use millstream_types::{Expr, Result, Schema};
+
+use crate::context::{OpContext, Operator, Poll, StepOutcome};
+
+/// The projection/map operator.
+pub struct Project {
+    name: String,
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl Project {
+    /// Creates a projection producing one output column per expression.
+    /// `schema` describes the *output*.
+    pub fn new(name: impl Into<String>, schema: Schema, exprs: Vec<Expr>) -> Self {
+        debug_assert_eq!(schema.len(), exprs.len());
+        Project {
+            name: name.into(),
+            exprs,
+            schema,
+        }
+    }
+
+    /// Convenience: a pure column-subset projection.
+    pub fn columns(
+        name: impl Into<String>,
+        input_schema: &Schema,
+        indices: &[usize],
+    ) -> Result<Self> {
+        let schema = input_schema.project(indices)?;
+        let exprs = indices.iter().map(|&i| Expr::col(i)).collect();
+        Ok(Project::new(name, schema, exprs))
+    }
+}
+
+impl Operator for Project {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn poll(&mut self, ctx: &OpContext<'_>) -> Poll {
+        if ctx.input(0).is_empty() {
+            Poll::starved_on(0)
+        } else {
+            Poll::Ready
+        }
+    }
+
+    fn step(&mut self, ctx: &OpContext<'_>) -> Result<StepOutcome> {
+        let Some(tuple) = ctx.input_mut(0).pop() else {
+            return Ok(StepOutcome::default());
+        };
+        match tuple.values() {
+            None => {
+                // Punctuation: pass through unchanged.
+                ctx.output_mut(0).push(tuple)?;
+                Ok(StepOutcome::consumed_one(1))
+            }
+            Some(row) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    out.push(e.eval(row)?);
+                }
+                ctx.output_mut(0).push(tuple.with_values(out))?;
+                Ok(StepOutcome::consumed_one(1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millstream_buffer::Buffer;
+    use millstream_types::{DataType, Field, Timestamp, Tuple, Value};
+    use std::cell::RefCell;
+
+    fn in_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ])
+    }
+
+    fn run(p: &mut Project, tuples: Vec<Tuple>) -> Vec<Tuple> {
+        let input = RefCell::new(Buffer::new("in"));
+        let output = RefCell::new(Buffer::new("out"));
+        for t in tuples {
+            input.borrow_mut().push(t).unwrap();
+        }
+        let inputs = [&input];
+        let outputs = [&output];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        while p.poll(&ctx).is_ready() {
+            p.step(&ctx).unwrap();
+        }
+        let mut out = vec![];
+        while let Some(t) = output.borrow_mut().pop() {
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn computes_expressions() {
+        let out_schema = Schema::new(vec![Field::new("sum", DataType::Int)]);
+        let mut p = Project::new("π", out_schema, vec![Expr::col(0).add(Expr::col(1))]);
+        let t = Tuple::data(Timestamp::from_micros(3), vec![Value::Int(2), Value::Int(5)]);
+        let out = run(&mut p, vec![t]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values().unwrap(), &[Value::Int(7)]);
+        assert_eq!(out[0].ts.as_micros(), 3, "output takes input timestamp");
+    }
+
+    #[test]
+    fn column_subset() {
+        let mut p = Project::columns("π", &in_schema(), &[1]).unwrap();
+        assert_eq!(p.output_schema().len(), 1);
+        assert_eq!(p.output_schema().field(0).unwrap().name, "b");
+        let t = Tuple::data(Timestamp::ZERO, vec![Value::Int(1), Value::Int(2)]);
+        let out = run(&mut p, vec![t]);
+        assert_eq!(out[0].values().unwrap(), &[Value::Int(2)]);
+    }
+
+    #[test]
+    fn punctuation_passes() {
+        let mut p = Project::columns("π", &in_schema(), &[0]).unwrap();
+        let out = run(&mut p, vec![Tuple::punctuation(Timestamp::from_micros(9))]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_punctuation());
+    }
+
+    #[test]
+    fn bad_column_reference_errors() {
+        let out_schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let mut p = Project::new("π", out_schema, vec![Expr::col(9)]);
+        let input = RefCell::new(Buffer::new("in"));
+        let output = RefCell::new(Buffer::new("out"));
+        input
+            .borrow_mut()
+            .push(Tuple::data(Timestamp::ZERO, vec![Value::Int(1)]))
+            .unwrap();
+        let inputs = [&input];
+        let outputs = [&output];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        assert!(p.step(&ctx).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Split (fan-out) — copies one stream to several consumers.
+//!
+//! DSMSs share work across continuous queries by letting one source (or one
+//! operator's output) feed multiple downstream plans. millstream models
+//! this with an explicit `Split` operator: each input tuple — data *and*
+//! punctuation, so ETS reaches every branch — is forwarded to all output
+//! ports. Tuple rows are reference-counted, so the copies share storage.
+//!
+//! Backtracking composes naturally: when any branch starves through the
+//! split, the walk continues to the split's predecessor, and a generated
+//! ETS fans out to *all* branches at once.
+
+use millstream_types::{Result, Schema};
+
+use crate::context::{OpContext, Operator, Poll, StepOutcome};
+
+/// The fan-out operator.
+pub struct Split {
+    name: String,
+    schema: Schema,
+    outputs: usize,
+    forwarded: u64,
+}
+
+impl Split {
+    /// Creates a split with `outputs` identical output ports.
+    pub fn new(name: impl Into<String>, schema: Schema, outputs: usize) -> Self {
+        assert!(outputs >= 2, "a split needs at least two outputs");
+        Split {
+            name: name.into(),
+            schema,
+            outputs,
+            forwarded: 0,
+        }
+    }
+
+    /// Tuples forwarded so far (per input tuple, not per copy).
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl Operator for Split {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.outputs
+    }
+
+    fn output_schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn poll(&mut self, ctx: &OpContext<'_>) -> Poll {
+        if ctx.input(0).is_empty() {
+            Poll::starved_on(0)
+        } else {
+            Poll::Ready
+        }
+    }
+
+    fn step(&mut self, ctx: &OpContext<'_>) -> Result<StepOutcome> {
+        let Some(tuple) = ctx.input_mut(0).pop() else {
+            return Ok(StepOutcome::default());
+        };
+        for port in 0..self.outputs {
+            // Clones share the row allocation (Arc inside TupleBody).
+            ctx.output_mut(port).push(tuple.clone())?;
+        }
+        self.forwarded += 1;
+        Ok(StepOutcome {
+            consumed: 1,
+            produced: self.outputs,
+            work: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millstream_buffer::Buffer;
+    use millstream_types::{DataType, Field, Timestamp, Tuple, Value};
+    use std::cell::RefCell;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("v", DataType::Int)])
+    }
+
+    #[test]
+    fn copies_every_tuple_to_every_port() {
+        let mut s = Split::new("⋔", schema(), 3);
+        assert_eq!(s.num_outputs(), 3);
+        let input = RefCell::new(Buffer::new("in"));
+        let outs: Vec<RefCell<Buffer>> = (0..3)
+            .map(|i| RefCell::new(Buffer::new(format!("o{i}"))))
+            .collect();
+        input
+            .borrow_mut()
+            .push(Tuple::data(Timestamp::from_micros(1), vec![Value::Int(7)]))
+            .unwrap();
+        input
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::from_micros(5)))
+            .unwrap();
+        let inputs = [&input];
+        let outputs: Vec<&RefCell<Buffer>> = outs.iter().collect();
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        while s.poll(&ctx).is_ready() {
+            s.step(&ctx).unwrap();
+        }
+        for o in &outs {
+            assert_eq!(o.borrow().len(), 2, "data + punctuation on every port");
+            assert!(o.borrow().front().unwrap().is_data());
+        }
+        assert_eq!(s.forwarded(), 2);
+    }
+
+    #[test]
+    fn copies_share_row_storage() {
+        use millstream_types::TupleBody;
+        use std::sync::Arc;
+        let mut s = Split::new("⋔", schema(), 2);
+        let input = RefCell::new(Buffer::new("in"));
+        let o1 = RefCell::new(Buffer::new("o1"));
+        let o2 = RefCell::new(Buffer::new("o2"));
+        input
+            .borrow_mut()
+            .push(Tuple::data(Timestamp::from_micros(1), vec![Value::Int(7)]))
+            .unwrap();
+        let inputs = [&input];
+        let outputs = [&o1, &o2];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        s.step(&ctx).unwrap();
+        let a = o1.borrow_mut().pop().unwrap();
+        let b = o2.borrow_mut().pop().unwrap();
+        if let (TupleBody::Data(x), TupleBody::Data(y)) = (&a.body, &b.body) {
+            assert!(Arc::ptr_eq(x, y), "fan-out must not deep-copy rows");
+        } else {
+            panic!("expected data tuples");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two outputs")]
+    fn rejects_single_output() {
+        let _ = Split::new("⋔", schema(), 1);
+    }
+}

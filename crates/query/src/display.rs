@@ -1,0 +1,280 @@
+//! Pretty-printing of the query AST back to surface syntax.
+//!
+//! Every AST node renders to text that re-parses to the same AST
+//! (verified by the round-trip property tests in `tests/roundtrip.rs`).
+//! Used for plan diagnostics, error messages and query normalization.
+
+use std::fmt;
+
+use millstream_types::{TimeDelta, TimestampKind, Value};
+
+use crate::ast::{
+    AstAgg, AstExpr, GroupByClause, JoinClause, Projection, Query, SelectItem, SelectStmt, Stmt,
+    TableRef,
+};
+
+/// Renders a duration in the language's unit syntax, choosing the largest
+/// exact unit.
+fn fmt_duration(f: &mut fmt::Formatter<'_>, d: TimeDelta) -> fmt::Result {
+    let us = d.as_micros();
+    if us.is_multiple_of(60_000_000) && us > 0 {
+        write!(f, "{} MINUTES", us / 60_000_000)
+    } else if us.is_multiple_of(1_000_000) {
+        write!(f, "{} SECONDS", us / 1_000_000)
+    } else if us.is_multiple_of(1_000) {
+        write!(f, "{} MILLISECONDS", us / 1_000)
+    } else {
+        // Sub-millisecond durations render as fractional milliseconds.
+        write!(f, "{} MILLISECONDS", us as f64 / 1_000.0)
+    }
+}
+
+struct Duration(TimeDelta);
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_duration(f, self.0)
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::CreateStream {
+                name,
+                fields,
+                kind,
+                slack,
+            } => {
+                write!(f, "CREATE STREAM {name} (")?;
+                for (i, (col, ty)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{col} {ty}")?;
+                }
+                write!(f, ")")?;
+                let kw = match kind {
+                    TimestampKind::Internal => "INTERNAL",
+                    TimestampKind::External => "EXTERNAL",
+                    TimestampKind::Latent => "LATENT",
+                };
+                write!(f, " TIMESTAMP {kw}")?;
+                if let Some(s) = slack {
+                    write!(f, " SLACK {}", Duration(*s))?;
+                }
+                Ok(())
+            }
+            Stmt::Query(q) => write!(f, "{q}"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.branches.iter().enumerate() {
+            if i > 0 {
+                write!(f, " UNION ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT {}", self.projection)?;
+        write!(f, " FROM {}", self.from)?;
+        if let Some(j) = &self.join {
+            write!(f, " {j}")?;
+        }
+        if let Some(w) = &self.filter {
+            write!(f, " WHERE {w}")?;
+        }
+        if let Some(g) = &self.group_by {
+            write!(f, " {g}")?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Projection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Projection::Star => write!(f, "*"),
+            Projection::Items(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.stream)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for JoinClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JOIN {} ON {} WINDOW {}",
+            self.table,
+            self.on,
+            Duration(self.window)
+        )
+    }
+}
+
+impl fmt::Display for GroupByClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GROUP BY ")?;
+        for (i, k) in self.keys.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        if let Some(w) = self.window {
+            write!(f, " WINDOW {}", Duration(w))?;
+        }
+        write!(f, " EVERY {}", Duration(self.every))
+    }
+}
+
+impl fmt::Display for AstAgg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AstAgg::Count => "COUNT",
+            AstAgg::Sum => "SUM",
+            AstAgg::Min => "MIN",
+            AstAgg::Max => "MAX",
+            AstAgg::Avg => "AVG",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for AstExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstExpr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            AstExpr::Literal(v) => match v {
+                // The language spells booleans/null as keywords and strings
+                // with single quotes (Value's Display already matches).
+                Value::Bool(true) => write!(f, "TRUE"),
+                Value::Bool(false) => write!(f, "FALSE"),
+                Value::Null => write!(f, "NULL"),
+                Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+                other => write!(f, "{other}"),
+            },
+            AstExpr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            // NOT and IS NULL bind looser than comparisons in the grammar,
+            // so they are parenthesized to stay valid at operand position.
+            AstExpr::Not(e) => write!(f, "(NOT ({e}))"),
+            AstExpr::Neg(e) => write!(f, "-({e})"),
+            AstExpr::IsNull(e) => write!(f, "(({e}) IS NULL)"),
+            AstExpr::Agg { func, arg } => match arg {
+                None => write!(f, "{func}(*)"),
+                Some(a) => write!(f, "{func}({a})"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip(text: &str) {
+        let ast1 = parse_program(text).expect("first parse");
+        let printed: Vec<String> = ast1.iter().map(|s| s.to_string()).collect();
+        let joined = printed.join(";\n");
+        let ast2 = parse_program(&joined)
+            .unwrap_or_else(|e| panic!("reparse of `{joined}` failed: {e}"));
+        assert_eq!(ast1, ast2, "printed form `{joined}` changed the AST");
+    }
+
+    #[test]
+    fn create_stream_roundtrips() {
+        roundtrip("CREATE STREAM s (a INT, b FLOAT, c STRING, d BOOL)");
+        roundtrip("CREATE STREAM s (a INT) TIMESTAMP EXTERNAL SLACK 250 MILLISECONDS");
+        roundtrip("CREATE STREAM s (a INT) TIMESTAMP LATENT");
+    }
+
+    #[test]
+    fn select_roundtrips() {
+        roundtrip("CREATE STREAM s (a INT, b INT); SELECT * FROM s");
+        roundtrip("CREATE STREAM s (a INT, b INT); SELECT a, a + b AS total FROM s WHERE a > 3");
+        roundtrip(
+            "CREATE STREAM s (a INT); CREATE STREAM t (a INT); \
+             SELECT a FROM s UNION SELECT a FROM t",
+        );
+    }
+
+    #[test]
+    fn join_and_group_roundtrip() {
+        roundtrip(
+            "CREATE STREAM s (k INT, v INT); CREATE STREAM t (k INT, w INT); \
+             SELECT s.k, v, w FROM s JOIN t ON s.k = t.k AND w > 0 WINDOW 5 SECONDS",
+        );
+        roundtrip(
+            "CREATE STREAM s (k INT, v INT); \
+             SELECT k, COUNT(*) AS n, AVG(v) AS m FROM s GROUP BY k EVERY 2 MINUTES",
+        );
+    }
+
+    #[test]
+    fn tricky_expressions_roundtrip() {
+        roundtrip("CREATE STREAM s (a INT, b BOOL); SELECT * FROM s WHERE NOT (b) OR a - -(3) = 5");
+        roundtrip("CREATE STREAM s (a STRING); SELECT * FROM s WHERE a = 'it''s'");
+        roundtrip("CREATE STREAM s (a INT); SELECT * FROM s WHERE a IS NULL");
+        roundtrip("CREATE STREAM s (a INT); SELECT * FROM s WHERE a IS NOT NULL");
+        roundtrip("CREATE STREAM s (a FLOAT); SELECT * FROM s WHERE a > 2.5");
+    }
+
+    #[test]
+    fn duration_rendering_picks_units() {
+        assert_eq!(Duration(TimeDelta::from_secs(120)).to_string(), "2 MINUTES");
+        assert_eq!(Duration(TimeDelta::from_secs(5)).to_string(), "5 SECONDS");
+        assert_eq!(
+            Duration(TimeDelta::from_millis(250)).to_string(),
+            "250 MILLISECONDS"
+        );
+        assert_eq!(
+            Duration(TimeDelta::from_micros(1_500)).to_string(),
+            "1.5 MILLISECONDS"
+        );
+    }
+}

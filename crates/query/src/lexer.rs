@@ -1,0 +1,366 @@
+//! Tokenizer for the millstream continuous-query language.
+//!
+//! A deliberately small SQL-flavoured surface (standing in for Stream
+//! Mill's ESL): keywords, identifiers, integer/float/string literals and
+//! punctuation, with `--` line comments. Every token carries its source
+//! position for error reporting.
+
+use millstream_types::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword (uppercased).
+    Keyword(Keyword),
+    /// Identifier (case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Create, Stream, Select, From, Where, Union, All, Join, On, As, Window,
+    Group, By, Having, And, Or, Not, Is, Null, True, False,
+    Int, Float, Bool, String, Timestamp, Internal, External, Latent, Slack,
+    Seconds, Milliseconds, Minutes, Count, Sum, Min, Max, Avg, Every, Into,
+}
+
+impl Keyword {
+    fn parse(word: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match word.to_ascii_uppercase().as_str() {
+            "CREATE" => Create,
+            "STREAM" => Stream,
+            "SELECT" => Select,
+            "FROM" => From,
+            "WHERE" => Where,
+            "UNION" => Union,
+            "ALL" => All,
+            "JOIN" => Join,
+            "ON" => On,
+            "AS" => As,
+            "WINDOW" => Window,
+            "GROUP" => Group,
+            "BY" => By,
+            "HAVING" => Having,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "IS" => Is,
+            "NULL" => Null,
+            "TRUE" => True,
+            "FALSE" => False,
+            "INT" | "INTEGER" => Int,
+            "FLOAT" | "DOUBLE" => Float,
+            "BOOL" | "BOOLEAN" => Bool,
+            "STRING" | "VARCHAR" => String,
+            "TIMESTAMP" => Timestamp,
+            "INTERNAL" => Internal,
+            "EXTERNAL" => External,
+            "LATENT" => Latent,
+            "SLACK" => Slack,
+            "SECONDS" | "SECOND" => Seconds,
+            "MILLISECONDS" | "MILLISECOND" => Milliseconds,
+            "MINUTES" | "MINUTE" => Minutes,
+            "COUNT" => Count,
+            "SUM" => Sum,
+            "MIN" => Min,
+            "MAX" => Max,
+            "AVG" => Avg,
+            "EVERY" => Every,
+            "INTO" => Into,
+            _ => return None,
+        })
+    }
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Line (1-based).
+    pub line: u32,
+    /// Column (1-based).
+    pub column: u32,
+}
+
+/// Tokenizes a query text.
+pub fn lex(text: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $at_col:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                line,
+                column: $at_col,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start_col = col;
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+                continue;
+            }
+            c if c.is_whitespace() => {}
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            ',' => push!(Tok::Comma, start_col),
+            '(' => push!(Tok::LParen, start_col),
+            ')' => push!(Tok::RParen, start_col),
+            ';' => push!(Tok::Semi, start_col),
+            '.' => push!(Tok::Dot, start_col),
+            '*' => push!(Tok::Star, start_col),
+            '+' => push!(Tok::Plus, start_col),
+            '-' => push!(Tok::Minus, start_col),
+            '/' => push!(Tok::Slash, start_col),
+            '%' => push!(Tok::Percent, start_col),
+            '=' => push!(Tok::Eq, start_col),
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                push!(Tok::Ne, start_col);
+                i += 1;
+                col += 1;
+            }
+            '<' => match bytes.get(i + 1) {
+                Some('=') => {
+                    push!(Tok::Le, start_col);
+                    i += 1;
+                    col += 1;
+                }
+                Some('>') => {
+                    push!(Tok::Ne, start_col);
+                    i += 1;
+                    col += 1;
+                }
+                _ => push!(Tok::Lt, start_col),
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Tok::Ge, start_col);
+                    i += 1;
+                    col += 1;
+                } else {
+                    push!(Tok::Gt, start_col);
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < bytes.len() {
+                    if bytes[j] == '\'' {
+                        if bytes.get(j + 1) == Some(&'\'') {
+                            s.push('\'');
+                            j += 2;
+                            continue;
+                        }
+                        closed = true;
+                        break;
+                    }
+                    if bytes[j] == '\n' {
+                        break;
+                    }
+                    s.push(bytes[j]);
+                    j += 1;
+                }
+                if !closed {
+                    return Err(Error::parse("unterminated string literal", line, start_col));
+                }
+                col += (j - i) as u32;
+                i = j;
+                push!(Tok::Str(s), start_col);
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit()
+                        || (bytes[j] == '.'
+                            && !is_float
+                            && bytes.get(j + 1).is_some_and(|d| d.is_ascii_digit())))
+                {
+                    if bytes[j] == '.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                col += (j - i - 1) as u32;
+                i = j - 1;
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| Error::parse(format!("bad float `{text}`"), line, start_col))?;
+                    push!(Tok::Float(v), start_col);
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| Error::parse(format!("bad integer `{text}`"), line, start_col))?;
+                    push!(Tok::Int(v), start_col);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let word: String = bytes[i..j].iter().collect();
+                col += (j - i - 1) as u32;
+                i = j - 1;
+                match Keyword::parse(&word) {
+                    Some(k) => push!(Tok::Keyword(k), start_col),
+                    None => push!(Tok::Ident(word), start_col),
+                }
+            }
+            other => {
+                return Err(Error::parse(
+                    format!("unexpected character `{other}`"),
+                    line,
+                    start_col,
+                ));
+            }
+        }
+        i += 1;
+        col += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(text: &str) -> Vec<Tok> {
+        lex(text).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            toks("SELECT x FROM s"),
+            vec![
+                Tok::Keyword(Keyword::Select),
+                Tok::Ident("x".into()),
+                Tok::Keyword(Keyword::From),
+                Tok::Ident("s".into()),
+            ]
+        );
+        // Case-insensitive keywords, case-preserving identifiers.
+        assert_eq!(
+            toks("select MyStream"),
+            vec![
+                Tok::Keyword(Keyword::Select),
+                Tok::Ident("MyStream".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42)]);
+        assert_eq!(toks("3.5"), vec![Tok::Float(3.5)]);
+        assert_eq!(toks("1.5.2").len(), 3, "second dot starts a new token");
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a <= b <> c >= d != e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Ne,
+                Tok::Ident("c".into()),
+                Tok::Ge,
+                Tok::Ident("d".into()),
+                Tok::Ne,
+                Tok::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'abc'"), vec![Tok::Str("abc".into())]);
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into())]);
+        assert!(lex("'open").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT -- the projection\n x"),
+            vec![Tok::Keyword(Keyword::Select), Tok::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = lex("SELECT\n  x").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[1].column, 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = lex("SELECT @").unwrap_err();
+        assert!(matches!(err, Error::Parse { column: 8, .. }));
+    }
+}

@@ -1,0 +1,39 @@
+//! # millstream-query
+//!
+//! A small continuous-query language for millstream — the stand-in for
+//! Stream Mill's ESL front end. Pipeline:
+//!
+//! 1. [`lex`](lexer::lex) — tokenization with source positions;
+//! 2. [`parse_program`] / [`parse_query`] — recursive-descent parsing into
+//!    the [`ast`] types;
+//! 3. [`Catalog`] + [`plan_query`] / [`plan_program`] — name resolution,
+//!    type checking and planning into an executable
+//!    [`QueryGraph`](millstream_exec::QueryGraph) with the paper's operator
+//!    placement (per-branch selections before the union, Fig. 4).
+//!
+//! ```
+//! use millstream_query::plan_program;
+//! use millstream_ops::VecCollector;
+//!
+//! let planned = plan_program(
+//!     "CREATE STREAM packets (src INT, len INT);
+//!      CREATE STREAM flows (src INT, len INT);
+//!      SELECT src, len FROM packets WHERE len > 100
+//!      UNION
+//!      SELECT src, len FROM flows;",
+//!     VecCollector::default(),
+//! ).unwrap();
+//! assert_eq!(planned.sources.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod display;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use parser::{parse_program, parse_query};
+pub use planner::{plan_program, plan_query, Catalog, PlannedQuery, PlannedSource};

@@ -1,0 +1,698 @@
+//! Recursive-descent parser for the millstream query language.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! program     := statement (';' statement)* ';'?
+//! statement   := create | query
+//! create      := CREATE STREAM ident '(' col (',' col)* ')'
+//!                [TIMESTAMP (INTERNAL | EXTERNAL | LATENT)]
+//!                [SLACK duration]
+//! col         := ident type
+//! query       := select (UNION [ALL] select)*
+//! select      := SELECT proj FROM table [join] [WHERE expr]
+//!                [group] [HAVING expr]
+//! proj        := '*' | item (',' item)*
+//! item        := expr [AS ident]
+//! table       := ident [AS ident]
+//! join        := JOIN table ON expr WINDOW duration
+//! group       := GROUP BY expr (',' expr)* [WINDOW duration] EVERY duration
+//! duration    := number (MILLISECONDS | SECONDS | MINUTES)
+//! expr        := or-expression with SQL precedence; aggregates
+//!                (COUNT/SUM/MIN/MAX/AVG) in the SELECT list only
+//! ```
+
+use millstream_types::{BinOp, DataType, Error, Result, TimeDelta, TimestampKind, Value};
+
+use crate::ast::{
+    AstAgg, AstExpr, GroupByClause, JoinClause, Projection, Query, SelectItem, SelectStmt, Stmt,
+    TableRef,
+};
+use crate::lexer::{lex, Keyword, Spanned, Tok};
+
+/// Parses a whole program (one or more `;`-separated statements).
+pub fn parse_program(text: &str) -> Result<Vec<Stmt>> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        stmts.push(p.statement()?);
+        // Optional semicolons between and after statements.
+        while p.eat(&Tok::Semi) {}
+    }
+    if stmts.is_empty() {
+        return Err(Error::parse("empty program", 1, 1));
+    }
+    Ok(stmts)
+}
+
+/// Parses a single query (no DDL).
+pub fn parse_query(text: &str) -> Result<Query> {
+    let stmts = parse_program(text)?;
+    match stmts.as_slice() {
+        [Stmt::Query(q)] => Ok(q.clone()),
+        _ => Err(Error::parse("expected exactly one SELECT query", 1, 1)),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn here(&self) -> (u32, u32) {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| (s.line, s.column))
+            .unwrap_or((1, 1))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        let (line, column) = self.here();
+        Error::parse(msg, line, column)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat(&Tok::Keyword(kw))
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<()> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword, what: &str) -> Result<()> {
+        self.expect(&Tok::Keyword(kw), what)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let Some(Tok::Ident(name)) = self.next() else {
+                    unreachable!()
+                };
+                Ok(name)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        if self.eat_kw(Keyword::Create) {
+            self.create_stream()
+        } else {
+            Ok(Stmt::Query(self.query()?))
+        }
+    }
+
+    fn create_stream(&mut self) -> Result<Stmt> {
+        self.expect_kw(Keyword::Stream, "STREAM")?;
+        let name = self.ident("stream name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut fields = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            let ty = self.data_type()?;
+            fields.push((col, ty));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        let kind = if self.eat_kw(Keyword::Timestamp) {
+            if self.eat_kw(Keyword::Internal) {
+                TimestampKind::Internal
+            } else if self.eat_kw(Keyword::External) {
+                TimestampKind::External
+            } else if self.eat_kw(Keyword::Latent) {
+                TimestampKind::Latent
+            } else {
+                return Err(self.err("expected INTERNAL, EXTERNAL or LATENT"));
+            }
+        } else {
+            TimestampKind::Internal
+        };
+        let slack = if self.eat_kw(Keyword::Slack) {
+            Some(self.duration()?)
+        } else {
+            None
+        };
+        Ok(Stmt::CreateStream {
+            name,
+            fields,
+            kind,
+            slack,
+        })
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let ty = match self.peek() {
+            Some(Tok::Keyword(Keyword::Int)) => DataType::Int,
+            Some(Tok::Keyword(Keyword::Float)) => DataType::Float,
+            Some(Tok::Keyword(Keyword::Bool)) => DataType::Bool,
+            Some(Tok::Keyword(Keyword::String)) => DataType::Str,
+            _ => return Err(self.err("expected a column type")),
+        };
+        self.pos += 1;
+        Ok(ty)
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let mut branches = vec![self.select()?];
+        while self.eat_kw(Keyword::Union) {
+            // UNION ALL and UNION are identical on streams (no dedup).
+            let _ = self.eat_kw(Keyword::All);
+            branches.push(self.select()?);
+        }
+        Ok(Query { branches })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw(Keyword::Select, "SELECT")?;
+        let projection = if self.eat(&Tok::Star) {
+            Projection::Star
+        } else {
+            let mut items = vec![self.select_item()?];
+            while self.eat(&Tok::Comma) {
+                items.push(self.select_item()?);
+            }
+            Projection::Items(items)
+        };
+        self.expect_kw(Keyword::From, "FROM")?;
+        let from = self.table_ref()?;
+        let join = if self.eat_kw(Keyword::Join) {
+            let table = self.table_ref()?;
+            self.expect_kw(Keyword::On, "ON")?;
+            let on = self.expr()?;
+            self.expect_kw(Keyword::Window, "WINDOW")?;
+            let window = self.duration()?;
+            Some(JoinClause { table, on, window })
+        } else {
+            None
+        };
+        let filter = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By, "BY")?;
+            let mut keys = vec![self.expr()?];
+            while self.eat(&Tok::Comma) {
+                keys.push(self.expr()?);
+            }
+            let window = if self.eat_kw(Keyword::Window) {
+                Some(self.duration()?)
+            } else {
+                None
+            };
+            self.expect_kw(Keyword::Every, "EVERY")?;
+            let every = self.duration()?;
+            Some(GroupByClause { keys, window, every })
+        } else {
+            None
+        };
+        let having = if self.eat_kw(Keyword::Having) {
+            if group_by.is_none() {
+                return Err(self.err("HAVING requires GROUP BY"));
+            }
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            projection,
+            from,
+            join,
+            filter,
+            group_by,
+            having,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let stream = self.ident("stream name")?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident("alias")?)
+        } else if let Some(Tok::Ident(_)) = self.peek() {
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
+        Ok(TableRef { stream, alias })
+    }
+
+    fn duration(&mut self) -> Result<TimeDelta> {
+        let n = match self.next() {
+            Some(Tok::Int(n)) if n >= 0 => n as u64,
+            Some(Tok::Float(f)) if f >= 0.0 => {
+                // Fractional durations: convert below via f64 seconds.
+                let unit = self.duration_unit()?;
+                return Ok(TimeDelta::from_secs_f64(f * unit_secs(unit)));
+            }
+            _ => return Err(self.err("expected a duration value")),
+        };
+        let unit = self.duration_unit()?;
+        Ok(TimeDelta::from_secs_f64(n as f64 * unit_secs(unit)))
+    }
+
+    fn duration_unit(&mut self) -> Result<Keyword> {
+        for kw in [Keyword::Milliseconds, Keyword::Seconds, Keyword::Minutes] {
+            if self.eat_kw(kw) {
+                return Ok(kw);
+            }
+        }
+        Err(self.err("expected MILLISECONDS, SECONDS or MINUTES"))
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.eat_kw(Keyword::Not) {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<AstExpr> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(BinOp::Eq),
+            Some(Tok::Ne) => Some(BinOp::Ne),
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            Some(Tok::Keyword(Keyword::Is)) => {
+                self.pos += 1;
+                let negated = self.eat_kw(Keyword::Not);
+                self.expect_kw(Keyword::Null, "NULL")?;
+                let test = AstExpr::IsNull(Box::new(left));
+                return Ok(if negated {
+                    AstExpr::Not(Box::new(test))
+                } else {
+                    test
+                });
+            }
+            _ => None,
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                self.pos += 1;
+                let right = self.additive()?;
+                Ok(AstExpr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+        }
+    }
+
+    fn additive(&mut self) -> Result<AstExpr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<AstExpr> {
+        if self.eat(&Tok::Minus) {
+            return Ok(AstExpr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn agg_func(&mut self) -> Option<AstAgg> {
+        let f = match self.peek() {
+            Some(Tok::Keyword(Keyword::Count)) => AstAgg::Count,
+            Some(Tok::Keyword(Keyword::Sum)) => AstAgg::Sum,
+            Some(Tok::Keyword(Keyword::Min)) => AstAgg::Min,
+            Some(Tok::Keyword(Keyword::Max)) => AstAgg::Max,
+            Some(Tok::Keyword(Keyword::Avg)) => AstAgg::Avg,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(f)
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        if let Some(func) = self.agg_func() {
+            self.expect(&Tok::LParen, "`(` after aggregate")?;
+            let arg = if self.eat(&Tok::Star) {
+                None
+            } else {
+                Some(Box::new(self.expr()?))
+            };
+            self.expect(&Tok::RParen, "`)`")?;
+            if arg.is_none() && func != AstAgg::Count {
+                return Err(self.err("only COUNT accepts `*`"));
+            }
+            return Ok(AstExpr::Agg { func, arg });
+        }
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(AstExpr::Literal(Value::Int(v))),
+            Some(Tok::Float(v)) => Ok(AstExpr::Literal(Value::Float(v))),
+            Some(Tok::Str(s)) => Ok(AstExpr::Literal(Value::str(s))),
+            Some(Tok::Keyword(Keyword::True)) => Ok(AstExpr::Literal(Value::Bool(true))),
+            Some(Tok::Keyword(Keyword::False)) => Ok(AstExpr::Literal(Value::Bool(false))),
+            Some(Tok::Keyword(Keyword::Null)) => Ok(AstExpr::Literal(Value::Null)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(first)) => {
+                if self.eat(&Tok::Dot) {
+                    let name = self.ident("column name after `.`")?;
+                    Ok(AstExpr::Column {
+                        qualifier: Some(first),
+                        name,
+                    })
+                } else {
+                    Ok(AstExpr::Column {
+                        qualifier: None,
+                        name: first,
+                    })
+                }
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(format!("expected an expression, found {other:?}")))
+            }
+        }
+    }
+}
+
+fn unit_secs(kw: Keyword) -> f64 {
+    match kw {
+        Keyword::Milliseconds => 1e-3,
+        Keyword::Seconds => 1.0,
+        Keyword::Minutes => 60.0,
+        _ => unreachable!("duration_unit only returns time units"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_stream() {
+        let stmts =
+            parse_program("CREATE STREAM packets (src INT, len INT) TIMESTAMP EXTERNAL;").unwrap();
+        assert_eq!(
+            stmts[0],
+            Stmt::CreateStream {
+                name: "packets".into(),
+                fields: vec![("src".into(), DataType::Int), ("len".into(), DataType::Int)],
+                kind: TimestampKind::External,
+                slack: None,
+            }
+        );
+    }
+
+    #[test]
+    fn default_timestamp_is_internal() {
+        let stmts = parse_program("CREATE STREAM s (x INT)").unwrap();
+        let Stmt::CreateStream { kind, slack, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(*kind, TimestampKind::Internal);
+        assert_eq!(*slack, None);
+    }
+
+    #[test]
+    fn parses_slack_clause() {
+        let stmts = parse_program(
+            "CREATE STREAM s (x INT) TIMESTAMP EXTERNAL SLACK 250 MILLISECONDS",
+        )
+        .unwrap();
+        let Stmt::CreateStream { kind, slack, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(*kind, TimestampKind::External);
+        assert_eq!(*slack, Some(TimeDelta::from_millis(250)));
+    }
+
+    #[test]
+    fn parses_select_where() {
+        let q = parse_query("SELECT src, len FROM packets WHERE len > 100").unwrap();
+        assert_eq!(q.branches.len(), 1);
+        let b = &q.branches[0];
+        assert_eq!(b.from.stream, "packets");
+        assert!(b.filter.is_some());
+        let Projection::Items(items) = &b.projection else {
+            panic!()
+        };
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn parses_union() {
+        let q = parse_query(
+            "SELECT * FROM a WHERE x < 5 UNION SELECT * FROM b UNION ALL SELECT * FROM c",
+        )
+        .unwrap();
+        assert_eq!(q.branches.len(), 3);
+        assert_eq!(q.branches[2].from.stream, "c");
+    }
+
+    #[test]
+    fn parses_window_join() {
+        let q = parse_query(
+            "SELECT a.src FROM s1 AS a JOIN s2 AS b ON a.src = b.src WINDOW 5 SECONDS",
+        )
+        .unwrap();
+        let j = q.branches[0].join.as_ref().unwrap();
+        assert_eq!(j.table.binding(), "b");
+        assert_eq!(j.window, TimeDelta::from_secs(5));
+        assert!(matches!(j.on, AstExpr::Binary { op: BinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn parses_group_by_aggregates() {
+        let q = parse_query(
+            "SELECT src, COUNT(*) AS n, AVG(len) AS mean FROM packets GROUP BY src EVERY 10 SECONDS",
+        )
+        .unwrap();
+        let b = &q.branches[0];
+        let g = b.group_by.as_ref().unwrap();
+        assert_eq!(g.keys.len(), 1);
+        assert_eq!(g.window, None);
+        assert_eq!(g.every, TimeDelta::from_secs(10));
+        let Projection::Items(items) = &b.projection else {
+            panic!()
+        };
+        assert!(items[1].expr.contains_aggregate());
+        assert_eq!(items[2].alias.as_deref(), Some("mean"));
+    }
+
+    #[test]
+    fn parses_having() {
+        let q = parse_query(
+            "SELECT src, COUNT(*) AS n FROM packets \
+             GROUP BY src EVERY 10 SECONDS HAVING n > 5",
+        )
+        .unwrap();
+        assert!(q.branches[0].having.is_some());
+        assert!(parse_query("SELECT src FROM packets HAVING src > 1").is_err());
+    }
+
+    #[test]
+    fn parses_sliding_group_by() {
+        let q = parse_query(
+            "SELECT src, COUNT(*) AS n FROM packets \
+             GROUP BY src WINDOW 30 SECONDS EVERY 10 SECONDS",
+        )
+        .unwrap();
+        let g = q.branches[0].group_by.as_ref().unwrap();
+        assert_eq!(g.window, Some(TimeDelta::from_secs(30)));
+        assert_eq!(g.every, TimeDelta::from_secs(10));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let q = parse_query("SELECT * FROM s WHERE a + b * 2 > 10 AND NOT c = 3 OR d < 1").unwrap();
+        // ((a + (b*2)) > 10 AND NOT (c = 3)) OR (d < 1)
+        let f = q.branches[0].filter.as_ref().unwrap();
+        let AstExpr::Binary { op: BinOp::Or, left, .. } = f else {
+            panic!("top must be OR, got {f:?}");
+        };
+        let AstExpr::Binary { op: BinOp::And, .. } = left.as_ref() else {
+            panic!("left of OR must be AND");
+        };
+    }
+
+    #[test]
+    fn duration_units() {
+        let q = parse_query("SELECT * FROM a JOIN b ON x = y WINDOW 250 MILLISECONDS").unwrap();
+        assert_eq!(
+            q.branches[0].join.as_ref().unwrap().window,
+            TimeDelta::from_millis(250)
+        );
+        let q = parse_query("SELECT * FROM a JOIN b ON x = y WINDOW 2 MINUTES").unwrap();
+        assert_eq!(
+            q.branches[0].join.as_ref().unwrap().window,
+            TimeDelta::from_secs(120)
+        );
+        let q = parse_query("SELECT * FROM a JOIN b ON x = y WINDOW 1.5 SECONDS").unwrap();
+        assert_eq!(
+            q.branches[0].join.as_ref().unwrap().window,
+            TimeDelta::from_millis(1_500)
+        );
+    }
+
+    #[test]
+    fn is_null_and_negation() {
+        let q = parse_query("SELECT * FROM s WHERE x IS NULL").unwrap();
+        assert!(matches!(
+            q.branches[0].filter.as_ref().unwrap(),
+            AstExpr::IsNull(_)
+        ));
+        let q = parse_query("SELECT * FROM s WHERE x IS NOT NULL").unwrap();
+        assert!(matches!(
+            q.branches[0].filter.as_ref().unwrap(),
+            AstExpr::Not(_)
+        ));
+        let q = parse_query("SELECT -x FROM s").unwrap();
+        let Projection::Items(items) = &q.branches[0].projection else {
+            panic!()
+        };
+        assert!(matches!(items[0].expr, AstExpr::Neg(_)));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_program("SELECT FROM s").unwrap_err();
+        let Error::Parse { line, column, .. } = err else {
+            panic!()
+        };
+        assert_eq!(line, 1);
+        assert!(column >= 8);
+    }
+
+    #[test]
+    fn rejects_star_in_non_count() {
+        assert!(parse_query("SELECT SUM(*) FROM s").is_err());
+    }
+
+    #[test]
+    fn multiple_statements() {
+        let stmts = parse_program(
+            "CREATE STREAM a (x INT);\nCREATE STREAM b (x INT);\nSELECT * FROM a UNION SELECT * FROM b;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[2], Stmt::Query(_)));
+    }
+
+    #[test]
+    fn implicit_alias_without_as() {
+        let q = parse_query("SELECT p.x FROM packets p").unwrap();
+        assert_eq!(q.branches[0].from.alias.as_deref(), Some("p"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Generative round-trip property tests: random ASTs print to surface
+//! syntax that re-parses to the identical AST.
+
+use proptest::prelude::*;
+
+use millstream_query::ast::{
+    AstAgg, AstExpr, GroupByClause, JoinClause, Projection, Query, SelectItem, SelectStmt, Stmt,
+    TableRef,
+};
+use millstream_query::parse_program;
+use millstream_types::{BinOp, DataType, TimeDelta, TimestampKind, Value};
+
+// ---- strategies -----------------------------------------------------------
+
+/// Identifiers that can never collide with keywords.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("id_{s}"))
+}
+
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        // Non-negative only: a leading minus parses as unary negation.
+        (0i64..10_000).prop_map(Value::Int),
+        // Floats with a guaranteed fractional part so they print with a dot.
+        (0i64..1_000, 1i64..100).prop_map(|(a, b)| {
+            Value::Float(a as f64 + b as f64 / 128.0)
+        }),
+        Just(Value::Bool(true)),
+        Just(Value::Bool(false)),
+        Just(Value::Null),
+        // Strings over a lexer-safe alphabet, including escaped quotes.
+        "[a-z ']{0,8}".prop_map(Value::str),
+    ]
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = AstExpr> {
+    let leaf = prop_oneof![
+        literal().prop_map(AstExpr::Literal),
+        ident().prop_map(|name| AstExpr::Column {
+            qualifier: None,
+            name
+        }),
+        (ident(), ident()).prop_map(|(q, name)| AstExpr::Column {
+            qualifier: Some(q),
+            name
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| AstExpr::Binary {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            inner.clone().prop_map(|e| AstExpr::Not(Box::new(e))),
+            inner.clone().prop_map(|e| AstExpr::Neg(Box::new(e))),
+            inner.prop_map(|e| AstExpr::IsNull(Box::new(e))),
+        ]
+    })
+}
+
+fn duration() -> impl Strategy<Value = TimeDelta> {
+    prop_oneof![
+        (1u64..600).prop_map(TimeDelta::from_millis),
+        (1u64..600).prop_map(TimeDelta::from_secs),
+        (1u64..10).prop_map(|m| TimeDelta::from_secs(60 * m)),
+    ]
+}
+
+fn agg() -> impl Strategy<Value = AstAgg> {
+    prop_oneof![
+        Just(AstAgg::Count),
+        Just(AstAgg::Sum),
+        Just(AstAgg::Min),
+        Just(AstAgg::Max),
+        Just(AstAgg::Avg),
+    ]
+}
+
+fn select_item() -> impl Strategy<Value = SelectItem> {
+    let plain = (expr(), prop::option::of(ident()))
+        .prop_map(|(expr, alias)| SelectItem { expr, alias });
+    let agg_item = (agg(), prop::option::of(expr()), ident()).prop_map(|(func, arg, alias)| {
+        let arg = match (func, arg) {
+            // Only COUNT may take `*`.
+            (AstAgg::Count, a) => a.map(Box::new),
+            (_, Some(a)) => Some(Box::new(a)),
+            (_, None) => Some(Box::new(AstExpr::column("id_x"))),
+        };
+        SelectItem {
+            expr: AstExpr::Agg { func, arg },
+            alias: Some(alias),
+        }
+    });
+    prop_oneof![3 => plain, 1 => agg_item]
+}
+
+fn table_ref() -> impl Strategy<Value = TableRef> {
+    (ident(), prop::option::of(ident())).prop_map(|(stream, alias)| TableRef { stream, alias })
+}
+
+fn select_stmt() -> impl Strategy<Value = SelectStmt> {
+    (
+        prop_oneof![
+            1 => Just(Projection::Star),
+            3 => prop::collection::vec(select_item(), 1..4).prop_map(Projection::Items),
+        ],
+        table_ref(),
+        prop::option::of((table_ref(), expr(), duration()).prop_map(|(table, on, window)| {
+            JoinClause { table, on, window }
+        })),
+        prop::option::of(expr()),
+        prop::option::of(
+            (
+                prop::collection::vec(expr(), 1..3),
+                prop::option::of(duration()),
+                duration(),
+            )
+                .prop_map(|(keys, window, every)| GroupByClause { keys, window, every }),
+        ),
+        prop::option::of(expr()),
+    )
+        .prop_map(|(projection, from, join, filter, group_by, having)| SelectStmt {
+            projection,
+            from,
+            join,
+            filter,
+            // HAVING is only legal with GROUP BY.
+            having: if group_by.is_some() { having } else { None },
+            group_by,
+        })
+}
+
+fn create_stream() -> impl Strategy<Value = Stmt> {
+    (
+        ident(),
+        prop::collection::vec(
+            (
+                ident(),
+                prop_oneof![
+                    Just(DataType::Int),
+                    Just(DataType::Float),
+                    Just(DataType::Bool),
+                    Just(DataType::Str),
+                ],
+            ),
+            1..5,
+        ),
+        prop_oneof![
+            Just(TimestampKind::Internal),
+            Just(TimestampKind::External),
+            Just(TimestampKind::Latent),
+        ],
+        prop::option::of(duration()),
+    )
+        .prop_map(|(name, fields, kind, slack)| Stmt::CreateStream {
+            name,
+            fields,
+            kind,
+            slack,
+        })
+}
+
+// ---- properties ------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn create_stream_roundtrips(stmt in create_stream()) {
+        let text = stmt.to_string();
+        let parsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        prop_assert_eq!(parsed, vec![stmt]);
+    }
+
+    #[test]
+    fn expressions_roundtrip(e in expr()) {
+        // Embed in a SELECT so the parser exercises the expression grammar.
+        let text = format!("SELECT {e} FROM id_s");
+        let parsed = parse_program(&text)
+            .unwrap_or_else(|err| panic!("`{text}` failed to parse: {err}"));
+        let Stmt::Query(q) = &parsed[0] else { panic!("expected query") };
+        let Projection::Items(items) = &q.branches[0].projection else {
+            panic!("expected items")
+        };
+        prop_assert_eq!(&items[0].expr, &e, "text was `{}`", text);
+    }
+
+    #[test]
+    fn select_statements_roundtrip(branches in prop::collection::vec(select_stmt(), 1..3)) {
+        let q = Query { branches };
+        let text = q.to_string();
+        let parsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        prop_assert_eq!(parsed, vec![Stmt::Query(q)], "text was `{}`", text);
+    }
+}

@@ -1,0 +1,61 @@
+//! Wall-clock time for the real-time engine.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use millstream_types::Timestamp;
+
+/// A shared wall clock measuring microseconds since engine start.
+///
+/// The real-time engine maps `std::time::Instant` onto the same
+/// [`Timestamp`] timeline the simulator uses, so metrics and operators are
+/// interchangeable between the two engines.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Arc<Instant>,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WallClock {
+    /// Starts a clock at the current instant.
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Arc::new(Instant::now()),
+        }
+    }
+
+    /// Microseconds elapsed since the epoch, as a timestamp.
+    pub fn now(&self) -> Timestamp {
+        Timestamp::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let c = WallClock::new();
+        let a = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = c.now();
+        assert!(b > a);
+        assert!(b.as_micros() >= 2_000);
+    }
+
+    #[test]
+    fn clones_share_the_epoch() {
+        let c = WallClock::new();
+        let d = c.clone();
+        let a = c.now();
+        let b = d.now();
+        // Within a few milliseconds of each other.
+        assert!(b.duration_since(a).as_micros() < 5_000);
+    }
+}

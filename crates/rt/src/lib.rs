@@ -1,0 +1,35 @@
+//! # millstream-rt
+//!
+//! A real-time, thread-per-operator stream engine that validates the
+//! paper's on-demand ETS mechanism against **wall-clock** time (the
+//! simulator in `millstream-sim` validates it on virtual time).
+//!
+//! Key pieces:
+//!
+//! * [`RtSource`] — producer handles that stamp internal timestamps inside
+//!   the same lock that serializes channel sends, making
+//!   [`RtSource::request_ets`] race-free: the on-demand punctuation can
+//!   never be undercut by an in-flight data tuple;
+//! * [`spawn_union`] / [`spawn_union2`] — the IWP merge with TSM
+//!   registers; when starved under [`RtStrategy::OnDemand`] it performs
+//!   the paper's backtrack-to-source step by requesting an ETS from the
+//!   silent source;
+//! * [`spawn_window_join`] — the symmetric window join on threads, same
+//!   TSM/ETS discipline;
+//! * [`Fig4Rt`] — the paper's experimental pipeline, ready to run.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod clock;
+mod engine;
+mod pipeline;
+mod stream;
+
+pub use clock::WallClock;
+pub use engine::{Fig4Rt, RtEngine, RtMetrics};
+pub use pipeline::{
+    spawn_filter, spawn_heartbeat, spawn_map, spawn_sink, spawn_union, spawn_union2,
+    spawn_window_join, RtStrategy,
+};
+pub use stream::RtSource;

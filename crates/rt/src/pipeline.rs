@@ -1,0 +1,534 @@
+//! Thread-per-operator real-time pipeline stages.
+//!
+//! Each stage is a thread connected by crossbeam channels. The union stage
+//! implements the paper's IWP logic against wall-clock time: TSM registers
+//! per input, the relaxed `more` condition, and — under
+//! [`RtStrategy::OnDemand`] — an **ETS request to the starving source**
+//! whenever the merge is blocked, the real-time analogue of
+//! backtrack-to-source. Shutdown is cooperative: closing a source
+//! disconnects its channel, which cascades down the pipeline.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Select, Sender, TryRecvError};
+
+use millstream_types::{Timestamp, Tuple, Value};
+
+use crate::clock::WallClock;
+use crate::stream::RtSource;
+
+/// Timestamp-management strategy of a real-time union.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtStrategy {
+    /// No ETS: when starved, poll the silent input at the given period
+    /// (experiment line A; the poll period only bounds shutdown latency).
+    NoEts {
+        /// Poll period while idle-waiting.
+        poll: Duration,
+    },
+    /// On-demand ETS: ask the starving source for an enabling timestamp
+    /// immediately (line C).
+    OnDemand,
+    /// Latent timestamps: forward immediately, restamping on the way out
+    /// (line D).
+    Latent,
+}
+
+/// Spawns a filter stage: data tuples failing `predicate` are dropped,
+/// punctuation passes through.
+pub fn spawn_filter<F>(
+    name: &str,
+    rx: Receiver<Tuple>,
+    tx: Sender<Tuple>,
+    predicate: F,
+) -> JoinHandle<()>
+where
+    F: Fn(&[Value]) -> bool + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("ms-filter-{name}"))
+        .spawn(move || {
+            while let Ok(tuple) = rx.recv() {
+                let keep = match tuple.values() {
+                    None => true,
+                    Some(row) => predicate(row),
+                };
+                if keep && tx.send(tuple).is_err() {
+                    break;
+                }
+            }
+            // Sender dropped here: disconnect cascades downstream.
+        })
+        .expect("spawn filter thread")
+}
+
+/// Spawns a map stage transforming data rows; punctuation passes through.
+pub fn spawn_map<F>(
+    name: &str,
+    rx: Receiver<Tuple>,
+    tx: Sender<Tuple>,
+    f: F,
+) -> JoinHandle<()>
+where
+    F: Fn(&[Value]) -> Vec<Value> + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("ms-map-{name}"))
+        .spawn(move || {
+            while let Ok(tuple) = rx.recv() {
+                let out = match tuple.values() {
+                    None => tuple,
+                    Some(row) => tuple.with_values(f(row)),
+                };
+                if tx.send(out).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn map thread")
+}
+
+/// Spawns a sink stage: eliminates punctuation and hands each data tuple
+/// with its delivery instant to `deliver`.
+pub fn spawn_sink<F>(name: &str, rx: Receiver<Tuple>, clock: WallClock, mut deliver: F) -> JoinHandle<()>
+where
+    F: FnMut(Tuple, Timestamp) + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("ms-sink-{name}"))
+        .spawn(move || {
+            while let Ok(tuple) = rx.recv() {
+                if tuple.is_data() {
+                    deliver(tuple, clock.now());
+                }
+            }
+        })
+        .expect("spawn sink thread")
+}
+
+/// Spawns a heartbeat thread pushing periodic punctuation into `source`
+/// (experiment line B). Stops when the source closes or its consumer
+/// disconnects.
+pub fn spawn_heartbeat(source: Arc<RtSource>, period: Duration) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("ms-heartbeat-{}", source.name()))
+        .spawn(move || loop {
+            std::thread::sleep(period);
+            if source.push_heartbeat().is_err() {
+                break;
+            }
+        })
+        .expect("spawn heartbeat thread")
+}
+
+/// Per-input state of the real-time union.
+struct UnionInput {
+    rx: Receiver<Tuple>,
+    source: Arc<RtSource>,
+    head: Option<Tuple>,
+    /// TSM register: last observed timestamp (survives empty channels).
+    tsm: Option<Timestamp>,
+    open: bool,
+}
+
+impl UnionInput {
+    /// Non-blocking refill of the head slot.
+    fn refill(&mut self) {
+        if self.head.is_some() || !self.open {
+            return;
+        }
+        match self.rx.try_recv() {
+            Ok(t) => {
+                self.tsm = Some(self.tsm.map_or(t.ts, |r| r.max(t.ts)));
+                self.head = Some(t);
+            }
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => self.open = false,
+        }
+    }
+
+    /// The effective lower bound for future tuples on this input.
+    /// `None` means unknown (never heard from an open input).
+    fn register(&self) -> Option<Timestamp> {
+        if let Some(h) = &self.head {
+            return Some(h.ts);
+        }
+        if !self.open {
+            // Closed input: no future tuples; never the minimum.
+            return Some(Timestamp::MAX);
+        }
+        self.tsm
+    }
+}
+
+/// Spawns a 2-input merging union with the given strategy (the common
+/// case; see [`spawn_union`] for arbitrary arity).
+pub fn spawn_union2(
+    name: &str,
+    inputs: [(Receiver<Tuple>, Arc<RtSource>); 2],
+    tx: Sender<Tuple>,
+    strategy: RtStrategy,
+    clock: WallClock,
+) -> JoinHandle<()> {
+    spawn_union(name, inputs.into(), tx, strategy, clock)
+}
+
+/// Spawns an n-input merging union with the given strategy.
+// Index-based loops are deliberate throughout the merge: taking `&mut
+// ins[i]` by index sidesteps simultaneous-borrow issues with `tx`/`regs`.
+#[allow(clippy::needless_range_loop)]
+pub fn spawn_union(
+    name: &str,
+    inputs: Vec<(Receiver<Tuple>, Arc<RtSource>)>,
+    tx: Sender<Tuple>,
+    strategy: RtStrategy,
+    clock: WallClock,
+) -> JoinHandle<()> {
+    assert!(inputs.len() >= 2, "union needs at least two inputs");
+    std::thread::Builder::new()
+        .name(format!("ms-union-{name}"))
+        .spawn(move || {
+            let mut ins: Vec<UnionInput> = inputs
+                .into_iter()
+                .map(|(rx, source)| UnionInput {
+                    rx,
+                    source,
+                    head: None,
+                    tsm: None,
+                    open: true,
+                })
+                .collect();
+            let n = ins.len();
+            let mut emitted_hw: Option<Timestamp> = None;
+
+            'outer: loop {
+                for input in ins.iter_mut() {
+                    input.refill();
+                }
+
+                let any_head = ins.iter().any(|i| i.head.is_some());
+                let any_open = ins.iter().any(|i| i.open);
+                if !any_head && !any_open {
+                    break; // drained and closed; tx drops, cascading EOS
+                }
+
+                if strategy == RtStrategy::Latent {
+                    if any_head {
+                        for i in 0..n {
+                            if let Some(mut t) = ins[i].head.take() {
+                                if t.is_punctuation() {
+                                    continue; // meaningless on latent streams
+                                }
+                                let stamp = emitted_hw.map_or(clock.now(), |h| clock.now().max(h));
+                                t.ts = stamp;
+                                emitted_hw = Some(stamp);
+                                if tx.send(t).is_err() {
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    } else {
+                        block_until_any(&mut ins);
+                    }
+                    continue;
+                }
+
+                if !any_head {
+                    // Nothing pending anywhere: sleep until an input speaks
+                    // instead of spinning (or spamming ETS requests).
+                    block_until_any(&mut ins);
+                    continue;
+                }
+
+                // Merge by τ = min over registers (relaxed `more`).
+                let regs: Vec<Option<Timestamp>> = ins.iter().map(|i| i.register()).collect();
+                let tau = regs
+                    .iter()
+                    .try_fold(Timestamp::MAX, |acc, r| r.map(|v| acc.min(v)));
+                let witness = tau.and_then(|tau| {
+                    // Prefer a data head at τ over punctuation.
+                    let mut punct = None;
+                    for i in 0..n {
+                        if let Some(h) = &ins[i].head {
+                            if h.ts == tau {
+                                if h.is_data() {
+                                    return Some(i);
+                                }
+                                punct.get_or_insert(i);
+                            }
+                        }
+                    }
+                    punct
+                });
+
+                if let Some(i) = witness {
+                    let t = ins[i].head.take().expect("witness head");
+                    if t.is_punctuation() {
+                        if emitted_hw.is_some_and(|h| t.ts <= h) {
+                            continue; // duplicate ETS adds nothing
+                        }
+                        emitted_hw = Some(t.ts);
+                    } else {
+                        emitted_hw = Some(emitted_hw.map_or(t.ts, |h| h.max(t.ts)));
+                    }
+                    if tx.send(t).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+
+                // Starved. Identify the blocking input: the open one whose
+                // register is unset or equals τ while its head is empty.
+                let starving = (0..n)
+                    .filter(|&i| ins[i].open && ins[i].head.is_none())
+                    .min_by_key(|&i| regs[i].unwrap_or(Timestamp::ZERO));
+                let Some(j) = starving else {
+                    // Heads exist but none at τ with both registers known —
+                    // impossible for open inputs; loop to re-evaluate.
+                    continue;
+                };
+
+                // Data is pending if some head holds it — or if it is queued
+                // in a channel behind a punctuation head (invisible to the
+                // heads alone). Lone punctuation heads pend nothing
+                // user-visible, and requesting for them would ping-pong ETS
+                // between idle sources forever.
+                let has_pending_data = ins.iter().any(|i| {
+                    i.head.as_ref().is_some_and(|h| h.is_data()) || !i.rx.is_empty()
+                });
+                let wait = match strategy {
+                    RtStrategy::OnDemand => {
+                        if has_pending_data || ins[j].tsm.is_none() {
+                            // The backtrack-to-source moment: ask for an ETS.
+                            let _ = ins[j].source.request_ets();
+                        }
+                        Duration::from_millis(1)
+                    }
+                    RtStrategy::NoEts { poll } => poll,
+                    RtStrategy::Latent => unreachable!("handled above"),
+                };
+                match ins[j].rx.recv_timeout(wait) {
+                    Ok(t) => {
+                        ins[j].tsm = Some(ins[j].tsm.map_or(t.ts, |r| r.max(t.ts)));
+                        ins[j].head = Some(t);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => ins[j].open = false,
+                }
+            }
+        })
+        .expect("spawn union thread")
+}
+
+/// Spawns a 2-input symmetric window join (Kang et al. semantics, as in
+/// `millstream-ops`): a data tuple at τ probes the opposite window, joins
+/// on the optional equality `key`, and slides into its own window; a
+/// punctuation witness expires both windows and is forwarded. Under
+/// [`RtStrategy::OnDemand`], starvation on one input triggers an ETS
+/// request to that side's source — the wall-clock backtrack-to-source.
+/// Latent mode is rejected: window joins need real timestamps.
+pub fn spawn_window_join(
+    name: &str,
+    inputs: [(Receiver<Tuple>, Arc<RtSource>); 2],
+    tx: Sender<Tuple>,
+    window: Duration,
+    key: Option<(usize, usize)>,
+    strategy: RtStrategy,
+) -> JoinHandle<()> {
+    assert!(
+        strategy != RtStrategy::Latent,
+        "window joins require real timestamps"
+    );
+    let [a, b] = inputs;
+    std::thread::Builder::new()
+        .name(format!("ms-join-{name}"))
+        .spawn(move || {
+            let mut ins = [
+                UnionInput {
+                    rx: a.0,
+                    source: a.1,
+                    head: None,
+                    tsm: None,
+                    open: true,
+                },
+                UnionInput {
+                    rx: b.0,
+                    source: b.1,
+                    head: None,
+                    tsm: None,
+                    open: true,
+                },
+            ];
+            let window_us = window.as_micros() as u64;
+            let mut stores: [std::collections::VecDeque<Tuple>; 2] = Default::default();
+            let mut emitted_hw: Option<Timestamp> = None;
+
+            let expire = |store: &mut std::collections::VecDeque<Tuple>, ts: Timestamp| {
+                let floor = ts.saturating_sub(millstream_types::TimeDelta::from_micros(window_us));
+                while store.front().is_some_and(|t| t.ts < floor) {
+                    store.pop_front();
+                }
+            };
+
+            loop {
+                for input in ins.iter_mut() {
+                    input.refill();
+                }
+                let any_head = ins.iter().any(|i| i.head.is_some());
+                let any_open = ins.iter().any(|i| i.open);
+                if !any_head && !any_open {
+                    break;
+                }
+                if !any_head {
+                    block_until_any(&mut ins);
+                    continue;
+                }
+
+                let regs = [ins[0].register(), ins[1].register()];
+                let tau = match (regs[0], regs[1]) {
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                    _ => None,
+                };
+                // Prefer a data witness at τ.
+                let witness = tau.and_then(|tau| {
+                    let mut punct = None;
+                    for (i, input) in ins.iter().enumerate() {
+                        if let Some(h) = &input.head {
+                            if h.ts == tau {
+                                if h.is_data() {
+                                    return Some(i);
+                                }
+                                punct.get_or_insert(i);
+                            }
+                        }
+                    }
+                    punct
+                });
+
+                if let Some(i) = witness {
+                    let t = ins[i].head.take().expect("witness head");
+                    if t.is_punctuation() {
+                        expire(&mut stores[0], t.ts);
+                        expire(&mut stores[1], t.ts);
+                        if emitted_hw.is_none_or(|h| t.ts > h) {
+                            emitted_hw = Some(t.ts);
+                            if tx.send(t).is_err() {
+                                break;
+                            }
+                        }
+                        continue;
+                    }
+                    // Data probe: expire the opposite window, join, slide in.
+                    let other = 1 - i;
+                    expire(&mut stores[other], t.ts);
+                    let mut out = Vec::new();
+                    for s in &stores[other] {
+                        let matches = match key {
+                            None => true,
+                            Some((ka, kb)) => {
+                                let (av, bv) = if i == 0 {
+                                    (&t.values_expect()[ka], &s.values_expect()[kb])
+                                } else {
+                                    (&s.values_expect()[ka], &t.values_expect()[kb])
+                                };
+                                !av.is_null() && av == bv
+                            }
+                        };
+                        if matches {
+                            let mut j = if i == 0 {
+                                Tuple::join(&t, s)
+                            } else {
+                                Tuple::join(s, &t)
+                            };
+                            j.ts = t.ts;
+                            j.entry = t.entry;
+                            out.push(j);
+                        }
+                    }
+                    let mut hung_up = false;
+                    for j in out {
+                        emitted_hw = Some(emitted_hw.map_or(j.ts, |h| h.max(j.ts)));
+                        if tx.send(j).is_err() {
+                            hung_up = true;
+                            break;
+                        }
+                    }
+                    if hung_up {
+                        break;
+                    }
+                    stores[i].push_back(t);
+                    continue;
+                }
+
+                // Starved on the τ-bounding open input.
+                let starving = (0..2)
+                    .filter(|&i| ins[i].open && ins[i].head.is_none())
+                    .min_by_key(|&i| regs[i].unwrap_or(Timestamp::ZERO));
+                let Some(j) = starving else {
+                    continue;
+                };
+                // See the union stage for the pending-data rationale.
+                let has_pending_data = ins.iter().any(|i| {
+                    i.head.as_ref().is_some_and(|h| h.is_data()) || !i.rx.is_empty()
+                });
+                let wait = match strategy {
+                    RtStrategy::OnDemand => {
+                        if has_pending_data || ins[j].tsm.is_none() {
+                            let _ = ins[j].source.request_ets();
+                        }
+                        Duration::from_millis(1)
+                    }
+                    RtStrategy::NoEts { poll } => poll,
+                    RtStrategy::Latent => unreachable!("rejected at spawn"),
+                };
+                match ins[j].rx.recv_timeout(wait) {
+                    Ok(t) => {
+                        ins[j].tsm = Some(ins[j].tsm.map_or(t.ts, |r| r.max(t.ts)));
+                        ins[j].head = Some(t);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => ins[j].open = false,
+                }
+            }
+        })
+        .expect("spawn join thread")
+}
+
+/// Blocks until any open input has a tuple; returns false if all inputs
+/// disconnected.
+fn block_until_any(ins: &mut [UnionInput]) -> bool {
+    // Clone the receivers so the Select's borrows do not pin `ins`.
+    let candidates: Vec<(usize, Receiver<Tuple>)> = ins
+        .iter()
+        .enumerate()
+        .filter(|(_, input)| input.open && input.head.is_none())
+        .map(|(i, input)| (i, input.rx.clone()))
+        .collect();
+    if candidates.is_empty() {
+        return false;
+    }
+    let mut sel = Select::new();
+    for (_, rx) in &candidates {
+        sel.recv(rx);
+    }
+    let got = match sel.select_timeout(Duration::from_millis(10)) {
+        Ok(op) => {
+            let (i, rx) = &candidates[op.index()];
+            match op.recv(rx) {
+                Ok(t) => {
+                    ins[*i].tsm = Some(ins[*i].tsm.map_or(t.ts, |r| r.max(t.ts)));
+                    ins[*i].head = Some(t);
+                    true
+                }
+                Err(_) => {
+                    ins[*i].open = false;
+                    false
+                }
+            }
+        }
+        Err(_) => false,
+    };
+    got
+}

@@ -1,0 +1,341 @@
+//! Stochastic workload generators.
+//!
+//! The paper generated "input data tuples … randomly … under a Poisson
+//! arrival process with the desired average arrival rates" (§6). This
+//! module provides that generator plus two extensions exercised by the
+//! ablation benches:
+//!
+//! * constant-rate arrivals (deterministic inter-arrival gap), and
+//! * bursty arrivals (compound Poisson: a Poisson process of burst epochs,
+//!   each delivering a geometric batch of tuples), which drives the
+//!   Fig. 8(b) observation that high periodic-punctuation rates inflate
+//!   memory "when bursts of data tuples are being processed".
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use millstream_types::{Error, Result, TimeDelta, Value};
+
+/// An arrival process: a (possibly random) sequence of inter-arrival gaps
+/// and batch sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate_hz` tuples per second (exponential
+    /// inter-arrival times, batch size 1).
+    Poisson {
+        /// Mean arrival rate in tuples per second.
+        rate_hz: f64,
+    },
+    /// One tuple every `1/rate_hz` seconds exactly.
+    Constant {
+        /// Arrival rate in tuples per second.
+        rate_hz: f64,
+    },
+    /// Bursts at Poisson epochs; each burst carries a geometrically
+    /// distributed number of tuples with mean `mean_burst` (all sharing the
+    /// epoch's arrival instant). The average tuple rate is still `rate_hz`.
+    Bursty {
+        /// Mean arrival rate in tuples per second (across bursts).
+        rate_hz: f64,
+        /// Mean tuples per burst (≥ 1).
+        mean_burst: f64,
+    },
+    /// A two-state Markov-modulated process: Poisson arrivals at `on_rate_hz`
+    /// during ON periods, silence during OFF periods, with exponentially
+    /// distributed period lengths. Models duty-cycled sensors and diurnal
+    /// traffic — long OFF periods are idle-waiting at its worst.
+    OnOff {
+        /// Arrival rate while ON.
+        on_rate_hz: f64,
+        /// Mean ON period length in seconds.
+        mean_on_s: f64,
+        /// Mean OFF period length in seconds.
+        mean_off_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<()> {
+        let rate = self.rate_hz();
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(Error::config(format!("arrival rate must be positive, got {rate}")));
+        }
+        // NaN-aware bounds: `is_finite` first so NaN parameters are caught
+        // explicitly rather than slipping through a comparison.
+        match self {
+            ArrivalProcess::Bursty { mean_burst, .. }
+                if !mean_burst.is_finite() || *mean_burst < 1.0 =>
+            {
+                return Err(Error::config(format!(
+                    "mean burst size must be >= 1, got {mean_burst}"
+                )));
+            }
+            ArrivalProcess::OnOff {
+                mean_on_s,
+                mean_off_s,
+                ..
+            } if !mean_on_s.is_finite()
+                || !mean_off_s.is_finite()
+                || *mean_on_s <= 0.0
+                || *mean_off_s <= 0.0 =>
+            {
+                return Err(Error::config(
+                    "on/off period means must be positive".to_string(),
+                ));
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Mean tuple rate of the process in tuples per second.
+    pub fn rate_hz(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_hz }
+            | ArrivalProcess::Constant { rate_hz }
+            | ArrivalProcess::Bursty { rate_hz, .. } => *rate_hz,
+            ArrivalProcess::OnOff {
+                on_rate_hz,
+                mean_on_s,
+                mean_off_s,
+            } => on_rate_hz * mean_on_s / (mean_on_s + mean_off_s),
+        }
+    }
+
+    /// Samples the gap to the next arrival epoch and the number of tuples
+    /// delivered at that epoch.
+    pub fn next_arrival(&self, rng: &mut SmallRng) -> (TimeDelta, u32) {
+        match *self {
+            ArrivalProcess::Constant { rate_hz } => {
+                (TimeDelta::from_secs_f64(1.0 / rate_hz), 1)
+            }
+            ArrivalProcess::Poisson { rate_hz } => {
+                (TimeDelta::from_secs_f64(sample_exp(rng, rate_hz)), 1)
+            }
+            ArrivalProcess::Bursty { rate_hz, mean_burst } => {
+                // Burst epochs arrive at rate_hz / mean_burst so the tuple
+                // rate averages rate_hz.
+                let epoch_rate = rate_hz / mean_burst;
+                let gap = TimeDelta::from_secs_f64(sample_exp(rng, epoch_rate));
+                (gap, sample_geometric(rng, mean_burst))
+            }
+            ArrivalProcess::OnOff {
+                on_rate_hz,
+                mean_on_s,
+                mean_off_s,
+            } => {
+                // Memorylessness of the exponential lets the process be
+                // sampled without tracking state: each inter-arrival is an
+                // ON-rate gap, plus an OFF excursion with the probability
+                // that the ON period expires first.
+                let mut gap = sample_exp(rng, on_rate_hz);
+                let p_silence = 1.0 - (-gap / mean_on_s).exp();
+                if rng.gen_range(0.0..1.0) < p_silence {
+                    gap += sample_exp(rng, 1.0 / mean_off_s);
+                }
+                (TimeDelta::from_secs_f64(gap), 1)
+            }
+        }
+    }
+}
+
+/// Exponential sample with rate `lambda` (mean 1/lambda seconds).
+fn sample_exp(rng: &mut SmallRng, lambda: f64) -> f64 {
+    // Inversion; guard u=0.
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / lambda
+}
+
+/// Geometric sample on {1, 2, ...} with the given mean.
+fn sample_geometric(rng: &mut SmallRng, mean: f64) -> u32 {
+    if mean <= 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean; // success prob; mean of geometric-on-{1,..} is 1/p
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let k = (u.ln() / (1.0 - p).ln()).floor() as u32 + 1;
+    k.max(1)
+}
+
+/// Generates tuple payloads for a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadGen {
+    /// One INT column: a uniform value in `[0, modulus)`. The paper's 95%
+    /// selectivity filter is `v < 95` with `modulus = 100`.
+    UniformInt {
+        /// Exclusive upper bound of the value.
+        modulus: i64,
+    },
+    /// Two INT columns: a uniform key in `[0, keys)` and a sequence number.
+    /// Used by join and aggregation workloads.
+    KeyedSeq {
+        /// Number of distinct keys.
+        keys: i64,
+    },
+}
+
+impl PayloadGen {
+    /// Number of columns produced.
+    pub fn width(&self) -> usize {
+        match self {
+            PayloadGen::UniformInt { .. } => 1,
+            PayloadGen::KeyedSeq { .. } => 2,
+        }
+    }
+
+    /// Generates the row for the `seq`-th tuple of the stream.
+    pub fn generate(&self, rng: &mut SmallRng, seq: u64) -> Vec<Value> {
+        match *self {
+            PayloadGen::UniformInt { modulus } => {
+                vec![Value::Int(rng.gen_range(0..modulus.max(1)))]
+            }
+            PayloadGen::KeyedSeq { keys } => vec![
+                Value::Int(rng.gen_range(0..keys.max(1))),
+                Value::Int(seq as i64),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_process_is_exact() {
+        let p = ArrivalProcess::Constant { rate_hz: 50.0 };
+        let mut r = rng();
+        let (gap, n) = p.next_arrival(&mut r);
+        assert_eq!(gap, TimeDelta::from_micros(20_000));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn poisson_mean_rate_converges() {
+        let p = ArrivalProcess::Poisson { rate_hz: 50.0 };
+        let mut r = rng();
+        let mut total = TimeDelta::ZERO;
+        let samples = 20_000;
+        for _ in 0..samples {
+            total += p.next_arrival(&mut r).0;
+        }
+        let mean_gap_s = total.as_secs_f64() / samples as f64;
+        assert!(
+            (mean_gap_s - 0.02).abs() < 0.002,
+            "mean gap {mean_gap_s} should approach 20ms"
+        );
+    }
+
+    #[test]
+    fn bursty_preserves_tuple_rate() {
+        let p = ArrivalProcess::Bursty {
+            rate_hz: 50.0,
+            mean_burst: 8.0,
+        };
+        let mut r = rng();
+        let mut time = 0.0;
+        let mut tuples = 0u64;
+        for _ in 0..20_000 {
+            let (gap, n) = p.next_arrival(&mut r);
+            time += gap.as_secs_f64();
+            tuples += n as u64;
+        }
+        let rate = tuples as f64 / time;
+        assert!(
+            (rate - 50.0).abs() < 5.0,
+            "empirical tuple rate {rate} should approach 50/s"
+        );
+        // Burst sizes average ~8.
+        let mean_burst = tuples as f64 / 20_000.0;
+        assert!((mean_burst - 8.0).abs() < 0.5, "mean burst {mean_burst}");
+    }
+
+    #[test]
+    fn on_off_produces_long_silences_and_roughly_the_duty_cycled_rate() {
+        let p = ArrivalProcess::OnOff {
+            on_rate_hz: 100.0,
+            mean_on_s: 1.0,
+            mean_off_s: 4.0,
+        };
+        p.validate().unwrap();
+        assert!((p.rate_hz() - 20.0).abs() < 1e-9, "duty-cycled mean rate");
+        let mut r = rng();
+        let mut time = 0.0;
+        let mut tuples = 0u64;
+        let mut long_gaps = 0;
+        for _ in 0..50_000 {
+            let (gap, n) = p.next_arrival(&mut r);
+            if gap.as_secs_f64() > 1.0 {
+                long_gaps += 1;
+            }
+            time += gap.as_secs_f64();
+            tuples += n as u64;
+        }
+        let rate = tuples as f64 / time;
+        assert!((rate - 20.0).abs() < 4.0, "empirical rate {rate}");
+        assert!(long_gaps > 50, "OFF periods appear: {long_gaps}");
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(ArrivalProcess::Poisson { rate_hz: 0.0 }.validate().is_err());
+        assert!(ArrivalProcess::Poisson { rate_hz: -3.0 }.validate().is_err());
+        assert!(ArrivalProcess::Poisson {
+            rate_hz: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Bursty {
+            rate_hz: 1.0,
+            mean_burst: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Bursty {
+            rate_hz: 1.0,
+            mean_burst: 4.0
+        }
+        .validate()
+        .is_ok());
+        assert!(ArrivalProcess::OnOff {
+            on_rate_hz: 10.0,
+            mean_on_s: 0.0,
+            mean_off_s: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn payload_shapes() {
+        let mut r = rng();
+        let p = PayloadGen::UniformInt { modulus: 100 };
+        assert_eq!(p.width(), 1);
+        for _ in 0..1000 {
+            let row = p.generate(&mut r, 0);
+            let v = row[0].as_int().unwrap();
+            assert!((0..100).contains(&v));
+        }
+        let p = PayloadGen::KeyedSeq { keys: 10 };
+        assert_eq!(p.width(), 2);
+        let row = p.generate(&mut r, 42);
+        assert!((0..10).contains(&row[0].as_int().unwrap()));
+        assert_eq!(row[1], Value::Int(42));
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let p = ArrivalProcess::Poisson { rate_hz: 5.0 };
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = SmallRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(p.next_arrival(&mut a), p.next_arrival(&mut b));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The error type shared across the millstream workspace.
+
+use core::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T, E = Error> = core::result::Result<T, E>;
+
+/// Errors raised by millstream components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A value of the wrong dynamic type was supplied where another was
+    /// required.
+    TypeMismatch {
+        /// The type that was expected.
+        expected: String,
+        /// The type that was found.
+        found: String,
+    },
+    /// A column name could not be resolved against a schema.
+    UnknownColumn(String),
+    /// A column index was out of range for a row.
+    ColumnIndexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Row width.
+        width: usize,
+    },
+    /// A tuple violated the timestamp ordering contract of its stream.
+    OutOfOrder {
+        /// The stream or buffer where the violation was detected.
+        context: String,
+        /// The timestamp that went backwards (microseconds).
+        got: u64,
+        /// The high-water mark it violated (microseconds).
+        watermark: u64,
+    },
+    /// Expression evaluation failed (division by zero, bad operand, ...).
+    Eval(String),
+    /// A query-graph was structurally invalid (cycle, dangling buffer,
+    /// arity mismatch, ...).
+    Graph(String),
+    /// The query-language front end rejected the input.
+    Parse {
+        /// Error message.
+        message: String,
+        /// 1-based line of the offending token.
+        line: u32,
+        /// 1-based column of the offending token.
+        column: u32,
+    },
+    /// Semantic analysis / planning failed.
+    Plan(String),
+    /// A configuration value was invalid (negative rate, zero window, ...).
+    Config(String),
+    /// The real-time engine encountered a channel/thread failure.
+    Runtime(String),
+}
+
+impl Error {
+    /// Builds a [`Error::TypeMismatch`].
+    pub fn type_mismatch(expected: impl Into<String>, found: impl Into<String>) -> Self {
+        Error::TypeMismatch {
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+
+    /// Builds an [`Error::Eval`].
+    pub fn eval(msg: impl Into<String>) -> Self {
+        Error::Eval(msg.into())
+    }
+
+    /// Builds an [`Error::Graph`].
+    pub fn graph(msg: impl Into<String>) -> Self {
+        Error::Graph(msg.into())
+    }
+
+    /// Builds an [`Error::Plan`].
+    pub fn plan(msg: impl Into<String>) -> Self {
+        Error::Plan(msg.into())
+    }
+
+    /// Builds an [`Error::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+
+    /// Builds an [`Error::Runtime`].
+    pub fn runtime(msg: impl Into<String>) -> Self {
+        Error::Runtime(msg.into())
+    }
+
+    /// Builds an [`Error::Parse`] with a source location.
+    pub fn parse(msg: impl Into<String>, line: u32, column: u32) -> Self {
+        Error::Parse {
+            message: msg.into(),
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            Error::ColumnIndexOutOfRange { index, width } => {
+                write!(f, "column index {index} out of range for row of width {width}")
+            }
+            Error::OutOfOrder {
+                context,
+                got,
+                watermark,
+            } => write!(
+                f,
+                "out-of-order tuple in {context}: ts {got}us < watermark {watermark}us"
+            ),
+            Error::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            Error::Graph(msg) => write!(f, "invalid query graph: {msg}"),
+            Error::Parse {
+                message,
+                line,
+                column,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            Error::Plan(msg) => write!(f, "planning error: {msg}"),
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Runtime(msg) => write!(f, "runtime error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        let e = Error::type_mismatch("INT", "STRING");
+        assert_eq!(e.to_string(), "type mismatch: expected INT, found STRING");
+
+        let e = Error::parse("unexpected `)`", 3, 14);
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected `)`");
+
+        let e = Error::OutOfOrder {
+            context: "source packets".into(),
+            got: 5,
+            watermark: 9,
+        };
+        assert!(e.to_string().contains("watermark 9us"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::eval("x"));
+    }
+}

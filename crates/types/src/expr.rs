@@ -1,0 +1,491 @@
+//! Row expressions.
+//!
+//! Selections, projections-with-computation and join conditions all evaluate
+//! a small expression language over a single row (or, for join conditions, a
+//! concatenated pair of rows). The query-language front end
+//! (`millstream-query`) parses into this same AST, so the expression
+//! evaluator lives here in the data-model crate.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinOp {
+    /// The surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+
+    /// True for comparison operators (result type BOOL).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// True for the boolean connectives.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// An expression over one row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference, resolved to an index at plan time.
+    Column(usize),
+    /// A literal value.
+    Literal(Value),
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// `IS NULL` test.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(index: usize) -> Expr {
+        Expr::Column(index)
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Builds `left op right`.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// `self = rhs`
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Eq, self, rhs)
+    }
+    /// `self <> rhs`
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Ne, self, rhs)
+    }
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Lt, self, rhs)
+    }
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Le, self, rhs)
+    }
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Gt, self, rhs)
+    }
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Ge, self, rhs)
+    }
+    /// `self AND rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::And, self, rhs)
+    }
+    /// `self OR rhs`
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Or, self, rhs)
+    }
+    /// `self + rhs`
+    // Builder methods mirror the surface operators on purpose; implementing
+    // std::ops would force `Expr + Expr` to mean AST construction, which
+    // reads like evaluation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Add, self, rhs)
+    }
+    /// `self - rhs`
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Sub, self, rhs)
+    }
+    /// `self * rhs`
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Mul, self, rhs)
+    }
+
+    /// Evaluates the expression against a row.
+    ///
+    /// Null propagation follows SQL three-valued logic for comparisons and
+    /// arithmetic (any null operand yields null); `AND`/`OR` use Kleene
+    /// logic so that `false AND null = false` and `true OR null = true`.
+    pub fn eval(&self, row: &[Value]) -> Result<Value> {
+        match self {
+            Expr::Column(i) => row.get(*i).cloned().ok_or(Error::ColumnIndexOutOfRange {
+                index: *i,
+                width: row.len(),
+            }),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Not(inner) => match inner.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                v => Ok(Value::Bool(!v.as_bool()?)),
+            },
+            Expr::Neg(inner) => match inner.eval(row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                v => Err(Error::eval(format!("cannot negate {}", v.type_name()))),
+            },
+            Expr::IsNull(inner) => Ok(Value::Bool(inner.eval(row)?.is_null())),
+            Expr::Binary { op, left, right } => {
+                if op.is_logical() {
+                    return eval_logical(*op, left, right, row);
+                }
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                match op {
+                    BinOp::Add => l.add(&r),
+                    BinOp::Sub => l.sub(&r),
+                    BinOp::Mul => l.mul(&r),
+                    BinOp::Div => l.div(&r),
+                    BinOp::Rem => l.rem(&r),
+                    BinOp::Eq => Ok(Value::Bool(l == r)),
+                    BinOp::Ne => Ok(Value::Bool(l != r)),
+                    BinOp::Lt => Ok(Value::Bool(l < r)),
+                    BinOp::Le => Ok(Value::Bool(l <= r)),
+                    BinOp::Gt => Ok(Value::Bool(l > r)),
+                    BinOp::Ge => Ok(Value::Bool(l >= r)),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression as a predicate: nulls count as false.
+    pub fn eval_predicate(&self, row: &[Value]) -> Result<bool> {
+        match self.eval(row)? {
+            Value::Null => Ok(false),
+            v => v.as_bool(),
+        }
+    }
+
+    /// Infers the static result type against a schema, checking column
+    /// indices. Arithmetic on two INTs is INT, otherwise FLOAT.
+    pub fn infer_type(&self, schema: &Schema) -> Result<DataType> {
+        match self {
+            Expr::Column(i) => schema
+                .field(*i)
+                .map(|f| f.data_type)
+                .ok_or(Error::ColumnIndexOutOfRange {
+                    index: *i,
+                    width: schema.len(),
+                }),
+            Expr::Literal(v) => Ok(v.data_type().unwrap_or(DataType::Bool)),
+            Expr::Not(inner) => {
+                let t = inner.infer_type(schema)?;
+                if t != DataType::Bool {
+                    return Err(Error::type_mismatch("BOOL", t.to_string()));
+                }
+                Ok(DataType::Bool)
+            }
+            Expr::Neg(inner) => {
+                let t = inner.infer_type(schema)?;
+                if t != DataType::Int && t != DataType::Float {
+                    return Err(Error::type_mismatch("INT or FLOAT", t.to_string()));
+                }
+                Ok(t)
+            }
+            Expr::IsNull(inner) => {
+                inner.infer_type(schema)?;
+                Ok(DataType::Bool)
+            }
+            Expr::Binary { op, left, right } => {
+                let lt = left.infer_type(schema)?;
+                let rt = right.infer_type(schema)?;
+                if op.is_comparison() || op.is_logical() {
+                    if op.is_logical() && (lt != DataType::Bool || rt != DataType::Bool) {
+                        return Err(Error::type_mismatch(
+                            "BOOL",
+                            format!("{lt} {} {rt}", op.symbol()),
+                        ));
+                    }
+                    Ok(DataType::Bool)
+                } else if lt == DataType::Int && rt == DataType::Int {
+                    Ok(DataType::Int)
+                } else if matches!(lt, DataType::Int | DataType::Float)
+                    && matches!(rt, DataType::Int | DataType::Float)
+                {
+                    Ok(DataType::Float)
+                } else {
+                    Err(Error::type_mismatch(
+                        "numeric operands",
+                        format!("{lt} {} {rt}", op.symbol()),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// All column indices referenced by the expression (with duplicates).
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Column(i) => out.push(*i),
+            Expr::Literal(_) => {}
+            Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e) => e.referenced_columns(out),
+            Expr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+        }
+    }
+
+    /// Rewrites column indices through `map` (old index → new index). Used
+    /// when an expression authored against one schema must run against a
+    /// projected or joined schema.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Column(i) => Expr::Column(map(*i)),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Not(e) => Expr::Not(Box::new(e.remap_columns(map))),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.remap_columns(map))),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.remap_columns(map))),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.remap_columns(map)),
+                right: Box::new(right.remap_columns(map)),
+            },
+        }
+    }
+}
+
+/// Kleene three-valued AND/OR with short-circuiting.
+fn eval_logical(op: BinOp, left: &Expr, right: &Expr, row: &[Value]) -> Result<Value> {
+    let l = left.eval(row)?;
+    match (op, &l) {
+        (BinOp::And, Value::Bool(false)) => return Ok(Value::Bool(false)),
+        (BinOp::Or, Value::Bool(true)) => return Ok(Value::Bool(true)),
+        _ => {}
+    }
+    let r = right.eval(row)?;
+    let lb = match &l {
+        Value::Null => None,
+        v => Some(v.as_bool()?),
+    };
+    let rb = match &r {
+        Value::Null => None,
+        v => Some(v.as_bool()?),
+    };
+    let out = match (op, lb, rb) {
+        (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Some(false),
+        (BinOp::And, Some(true), Some(true)) => Some(true),
+        (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Some(true),
+        (BinOp::Or, Some(false), Some(false)) => Some(false),
+        _ => None,
+    };
+    Ok(out.map_or(Value::Null, Value::Bool))
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::IsNull(e) => write!(f, "({e}) IS NULL"),
+            Expr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn row() -> Vec<Value> {
+        vec![Value::Int(10), Value::Float(2.5), Value::str("tcp"), Value::Null]
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+            Field::new("c", DataType::Str),
+            Field::new("d", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let e = Expr::col(0).add(Expr::lit(5)).gt(Expr::lit(14));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(true));
+
+        let e = Expr::col(1).mul(Expr::lit(4)).eq(Expr::lit(10.0));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn string_equality() {
+        let e = Expr::col(2).eq(Expr::lit("tcp"));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(true));
+        let e = Expr::col(2).eq(Expr::lit("udp"));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn null_propagation() {
+        let e = Expr::col(3).add(Expr::lit(1));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Null);
+        let e = Expr::col(3).eq(Expr::lit(1));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Null);
+        // Predicates treat null as false.
+        assert!(!Expr::col(3).eq(Expr::lit(1)).eval_predicate(&row()).unwrap());
+        // IS NULL sees through.
+        let e = Expr::IsNull(Box::new(Expr::col(3)));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn kleene_logic() {
+        let null = Expr::Literal(Value::Null);
+        let tru = Expr::lit(true);
+        let fal = Expr::lit(false);
+        assert_eq!(fal.clone().and(null.clone()).eval(&[]).unwrap(), Value::Bool(false));
+        assert_eq!(tru.clone().or(null.clone()).eval(&[]).unwrap(), Value::Bool(true));
+        assert_eq!(tru.clone().and(null.clone()).eval(&[]).unwrap(), Value::Null);
+        assert_eq!(fal.clone().or(null.clone()).eval(&[]).unwrap(), Value::Null);
+        // Short-circuit: the right side would error if evaluated eagerly
+        // with a bad type, but AND false short-circuits before the type
+        // error in as_bool (note: eval of the right side still happens for
+        // Kleene correctness, so use a null instead to test laziness of the
+        // *boolean* outcome only).
+        assert_eq!(
+            Expr::lit(false).and(Expr::col(9)).eval(&[Value::Int(0)]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(
+            Expr::Neg(Box::new(Expr::lit(4))).eval(&[]).unwrap(),
+            Value::Int(-4)
+        );
+        assert_eq!(
+            Expr::Not(Box::new(Expr::lit(true))).eval(&[]).unwrap(),
+            Value::Bool(false)
+        );
+        assert!(Expr::Neg(Box::new(Expr::lit("x"))).eval(&[]).is_err());
+    }
+
+    #[test]
+    fn type_inference() {
+        let s = schema();
+        assert_eq!(
+            Expr::col(0).add(Expr::lit(1)).infer_type(&s).unwrap(),
+            DataType::Int
+        );
+        assert_eq!(
+            Expr::col(0).add(Expr::col(1)).infer_type(&s).unwrap(),
+            DataType::Float
+        );
+        assert_eq!(
+            Expr::col(0).lt(Expr::lit(3)).infer_type(&s).unwrap(),
+            DataType::Bool
+        );
+        assert!(Expr::col(2).add(Expr::lit(1)).infer_type(&s).is_err());
+        assert!(Expr::col(9).infer_type(&s).is_err());
+        assert!(Expr::col(0).and(Expr::col(1)).infer_type(&s).is_err());
+    }
+
+    #[test]
+    fn referenced_and_remapped_columns() {
+        let e = Expr::col(1).add(Expr::col(3)).gt(Expr::col(1));
+        let mut cols = vec![];
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec![1, 3, 1]);
+
+        let shifted = e.remap_columns(&|i| i + 10);
+        let mut cols = vec![];
+        shifted.referenced_columns(&mut cols);
+        assert_eq!(cols, vec![11, 13, 11]);
+    }
+
+    #[test]
+    fn out_of_range_column_errors() {
+        assert!(matches!(
+            Expr::col(7).eval(&row()),
+            Err(Error::ColumnIndexOutOfRange { index: 7, width: 4 })
+        ));
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let e = Expr::col(0).add(Expr::lit(5)).gt(Expr::lit(14));
+        assert_eq!(e.to_string(), "((#0 + 5) > 14)");
+    }
+}

@@ -1,0 +1,35 @@
+//! # millstream-types
+//!
+//! The shared data model of the **millstream** DSMS — a Rust reproduction of
+//! *"Optimizing Timestamp Management in Data Stream Management Systems"*
+//! (Bai, Thakkar, Wang, Zaniolo; ICDE 2007).
+//!
+//! This crate defines:
+//!
+//! * [`Timestamp`] / [`TimeDelta`] — microsecond instants and spans on the
+//!   (virtual or wall-clock) timeline, plus the three stream timestamp
+//!   disciplines of the paper's §5 ([`TimestampKind`]).
+//! * [`Tuple`] — the unit of data flow, either a data row or a
+//!   **punctuation tuple** carrying an Enabling Time-Stamp (ETS).
+//! * [`Value`] / [`DataType`] / [`Schema`] — dynamically tagged rows and
+//!   their static description.
+//! * [`Expr`] — the row-expression language used by selections, maps and
+//!   join conditions.
+//! * [`Error`] — the workspace-wide error type.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod expr;
+pub mod schema;
+pub mod timestamp;
+pub mod tuple;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use expr::{BinOp, Expr};
+pub use schema::{Field, Schema};
+pub use timestamp::{TimeDelta, Timestamp, TimestampKind, MICROS_PER_MILLI, MICROS_PER_SEC};
+pub use tuple::{Tuple, TupleBody};
+pub use value::{DataType, Value};

@@ -1,0 +1,231 @@
+//! Stream schemas.
+//!
+//! A [`Schema`] names and types the columns of a stream. Schemas are cheap
+//! to clone (`Arc` inside) because every operator in a query graph holds the
+//! schemas of its inputs and output.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+
+/// One column of a stream.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Column name (case-sensitive).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)
+    }
+}
+
+/// The ordered column list of a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Builds a schema from a list of fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema {
+            fields: fields.into(),
+        }
+    }
+
+    /// The empty schema (zero columns). Punctuation-only streams use it.
+    pub fn empty() -> Self {
+        Schema { fields: Arc::from([]) }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True iff the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// The field at `index`, if in range.
+    pub fn field(&self, index: usize) -> Option<&Field> {
+        self.fields.get(index)
+    }
+
+    /// Resolves a column name to its index.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| Error::UnknownColumn(name.to_string()))
+    }
+
+    /// Validates that `row` has the right width and element types.
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.fields.len() {
+            return Err(Error::ColumnIndexOutOfRange {
+                index: row.len(),
+                width: self.fields.len(),
+            });
+        }
+        for (value, field) in row.iter().zip(self.fields.iter()) {
+            if !value.conforms_to(field.data_type) {
+                return Err(Error::type_mismatch(
+                    field.data_type.to_string(),
+                    value.type_name(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenates two schemas (used by joins), prefixing colliding names
+    /// with the given qualifiers.
+    pub fn join(&self, other: &Schema, left_qualifier: &str, right_qualifier: &str) -> Schema {
+        let mut fields = Vec::with_capacity(self.len() + other.len());
+        for f in self.fields.iter() {
+            let name = if other.index_of(&f.name).is_ok() {
+                format!("{left_qualifier}.{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.data_type));
+        }
+        for f in other.fields.iter() {
+            let name = if self.index_of(&f.name).is_ok() {
+                format!("{right_qualifier}.{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.data_type));
+        }
+        Schema::new(fields)
+    }
+
+    /// Projects a subset of columns by index, preserving order of `indices`.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let f = self.field(i).ok_or(Error::ColumnIndexOutOfRange {
+                index: i,
+                width: self.len(),
+            })?;
+            fields.push(f.clone());
+        }
+        Ok(Schema::new(fields))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Field> for Schema {
+    fn from_iter<T: IntoIterator<Item = Field>>(iter: T) -> Self {
+        Schema::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packets() -> Schema {
+        Schema::new(vec![
+            Field::new("src", DataType::Int),
+            Field::new("len", DataType::Int),
+            Field::new("proto", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = packets();
+        assert_eq!(s.index_of("len").unwrap(), 1);
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(Error::UnknownColumn(n)) if n == "nope"
+        ));
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = packets();
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Int(2), Value::str("tcp")])
+            .is_ok());
+        // Null conforms to any column type.
+        assert!(s
+            .check_row(&[Value::Null, Value::Int(2), Value::Null])
+            .is_ok());
+        assert!(s.check_row(&[Value::Int(1), Value::Int(2)]).is_err());
+        assert!(s
+            .check_row(&[Value::str("x"), Value::Int(2), Value::str("tcp")])
+            .is_err());
+    }
+
+    #[test]
+    fn join_qualifies_collisions() {
+        let a = packets();
+        let b = Schema::new(vec![
+            Field::new("src", DataType::Int),
+            Field::new("alert", DataType::Str),
+        ]);
+        let j = a.join(&b, "a", "b");
+        assert_eq!(j.len(), 5);
+        assert_eq!(j.field(0).unwrap().name, "a.src");
+        assert_eq!(j.field(3).unwrap().name, "b.src");
+        assert_eq!(j.field(1).unwrap().name, "len");
+        assert_eq!(j.field(4).unwrap().name, "alert");
+    }
+
+    #[test]
+    fn projection() {
+        let s = packets();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.field(0).unwrap().name, "proto");
+        assert_eq!(p.field(1).unwrap().name, "src");
+        assert!(s.project(&[7]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            packets().to_string(),
+            "(src INT, len INT, proto STRING)"
+        );
+        assert_eq!(Schema::empty().to_string(), "()");
+        assert!(Schema::empty().is_empty());
+    }
+}

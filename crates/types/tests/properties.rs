@@ -1,0 +1,128 @@
+//! Property tests over the core data model: total ordering of values,
+//! hash/equality consistency, timestamp arithmetic laws, and totality of
+//! the expression evaluator.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use proptest::prelude::*;
+
+use millstream_types::{BinOp, Expr, TimeDelta, Timestamp, Value};
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 ]{0,6}".prop_map(Value::str),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// `Ord` is a total order: antisymmetric and transitive.
+    #[test]
+    fn value_order_is_total(a in value(), b in value(), c in value()) {
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(b.cmp(&a), Ordering::Equal),
+        }
+        // Transitivity (≤).
+        if a <= b && b <= c {
+            prop_assert!(a <= c, "{a:?} <= {b:?} <= {c:?} but not {a:?} <= {c:?}");
+        }
+        // Consistency of Eq with Ord.
+        prop_assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
+    }
+
+    /// Equal values hash equally (including Int/Float cross-equality).
+    #[test]
+    fn value_hash_respects_eq(a in value(), b in value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b), "equal values must hash equally: {:?} == {:?}", a, b);
+        }
+    }
+
+    /// Int(i) and Float(i as f64) are interchangeable for order and hash.
+    #[test]
+    fn int_float_coherence(i in -(1i64 << 52)..(1i64 << 52), other in value()) {
+        let vi = Value::Int(i);
+        let vf = Value::Float(i as f64);
+        prop_assert_eq!(&vi, &vf);
+        prop_assert_eq!(hash_of(&vi), hash_of(&vf));
+        prop_assert_eq!(vi.cmp(&other), vf.cmp(&other));
+    }
+
+    /// Timestamp arithmetic: (t + d) − t = d; duration_since saturates;
+    /// min/max are consistent with Ord.
+    #[test]
+    fn timestamp_arithmetic(t in 0u64..1u64 << 60, d in 0u64..1u64 << 30, e in 0u64..1u64 << 30) {
+        let ts = Timestamp::from_micros(t);
+        let dd = TimeDelta::from_micros(d);
+        let ee = TimeDelta::from_micros(e);
+        prop_assert_eq!((ts + dd) - ts, dd);
+        prop_assert_eq!(ts.duration_since(ts + dd), TimeDelta::ZERO);
+        prop_assert_eq!((ts + dd) + ee, (ts + ee) + dd, "commutes");
+        // saturating_sub then adding back never overshoots the original.
+        let back = ts.saturating_sub(dd).saturating_add(dd);
+        prop_assert!(back >= ts, "{back:?} vs {ts:?}");
+        prop_assert!(back.as_micros() - ts.as_micros() <= d);
+    }
+
+    /// The evaluator is total over well-formed expressions: it returns
+    /// Ok or a structured error, never panics, and is deterministic.
+    #[test]
+    fn evaluator_is_total_and_deterministic(
+        a in value(), b in value(), c in value(),
+        op1 in 0usize..13, op2 in 0usize..13,
+        col in 0usize..4,
+    ) {
+        let ops = [
+            BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Rem,
+            BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge,
+            BinOp::And, BinOp::Or,
+        ];
+        let row = vec![a.clone(), b.clone(), c.clone()];
+        let e = Expr::binary(
+            ops[op1],
+            Expr::binary(ops[op2], Expr::col(col.min(2)), Expr::Literal(b)),
+            Expr::Literal(c),
+        );
+        let r1 = e.eval(&row);
+        let r2 = e.eval(&row);
+        match (&r1, &r2) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "nondeterministic evaluation"),
+        }
+        // Predicates coerce to bool or fail — never panic.
+        let _ = e.eval_predicate(&row);
+    }
+
+    /// remap_columns shifts exactly the referenced columns.
+    #[test]
+    fn remap_is_consistent(cols in prop::collection::vec(0usize..8, 1..5), shift in 0usize..10) {
+        let mut e = Expr::col(cols[0]);
+        for &c in &cols[1..] {
+            e = e.add(Expr::col(c));
+        }
+        let shifted = e.remap_columns(&|i| i + shift);
+        let mut before = vec![];
+        e.referenced_columns(&mut before);
+        let mut after = vec![];
+        shifted.referenced_columns(&mut after);
+        let expect: Vec<usize> = before.iter().map(|i| i + shift).collect();
+        prop_assert_eq!(after, expect);
+    }
+}

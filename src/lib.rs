@@ -1,0 +1,7 @@
+//! `millstream-suite` — workspace-level integration-test and example host.
+//!
+//! The real library surface lives in [`millstream_core`]; this crate only
+//! re-exports it so that `tests/` and `examples/` at the workspace root can
+//! use a single dependency name.
+
+pub use millstream_core as core;

@@ -1,0 +1,134 @@
+//! Integration of the query-language front end with the simulation driver:
+//! plan a textual query, wire stochastic workloads to its sources, and run
+//! it on virtual time under different ETS policies.
+
+use millstream_exec::{CostModel, EtsPolicy, Executor, VirtualClock};
+use millstream_query::plan_program;
+use millstream_sim::{
+    ArrivalProcess, PayloadGen, SharedLatencyCollector, SimReport, Simulation, StreamSpec,
+};
+use millstream_types::{TimeDelta, TimestampKind};
+
+const PROGRAM: &str = "
+    CREATE STREAM fast (v INT);
+    CREATE STREAM slow (v INT);
+    SELECT v FROM fast WHERE v < 950
+    UNION
+    SELECT v FROM slow WHERE v < 950;
+";
+
+fn run(policy: EtsPolicy, seconds: u64) -> SimReport {
+    let collector = SharedLatencyCollector::new();
+    let planned = plan_program(PROGRAM, collector.clone()).expect("plans");
+    assert_eq!(planned.sources.len(), 2);
+    let monitor = planned.monitor.expect("union is monitored");
+
+    let executor = Executor::new(
+        planned.graph,
+        VirtualClock::shared(),
+        CostModel::default(),
+        policy,
+    );
+
+    let spec = |name: &str, rate: f64, schema| StreamSpec {
+        name: name.into(),
+        schema,
+        kind: TimestampKind::Internal,
+        process: ArrivalProcess::Poisson { rate_hz: rate },
+        payload: PayloadGen::UniformInt { modulus: 1000 },
+        heartbeat_period: None,
+        external_delay: TimeDelta::ZERO,
+        external_jitter: TimeDelta::ZERO,
+    };
+    let fast = planned.sources[0].clone();
+    let slow = planned.sources[1].clone();
+    let mut sim = Simulation::new(
+        executor,
+        vec![
+            (fast.id, spec("fast", 40.0, fast.schema.clone())),
+            (slow.id, spec("slow", 0.1, slow.schema.clone())),
+        ],
+        collector,
+        Some(monitor),
+        2024,
+    )
+    .expect("sim builds");
+    sim.run(TimeDelta::from_secs(seconds)).expect("sim runs")
+}
+
+#[test]
+fn planned_query_runs_under_on_demand_ets() {
+    let r = run(EtsPolicy::on_demand(), 60);
+    assert!(r.metrics.delivered > 1_500, "delivered {}", r.metrics.delivered);
+    assert!(
+        r.metrics.latency.mean_ms < 1.0,
+        "mean {} ms",
+        r.metrics.latency.mean_ms
+    );
+    assert!(r.exec.ets_generated > 0);
+    // Roughly 95% of ingested traffic passes the WHERE clause.
+    let ingested: u64 = r.ingested_per_stream.iter().sum();
+    let ratio = r.metrics.delivered as f64 / ingested as f64;
+    assert!((ratio - 0.95).abs() < 0.05, "selectivity ratio {ratio}");
+}
+
+#[test]
+fn planned_query_idle_waits_without_ets() {
+    let r = run(EtsPolicy::None, 60);
+    assert!(
+        r.metrics.latency.mean_ms > 100.0,
+        "mean {} ms",
+        r.metrics.latency.mean_ms
+    );
+    assert!(r.metrics.idle.idle_fraction > 0.5, "idle {}", r.metrics.idle.idle_fraction);
+}
+
+#[test]
+fn planned_join_query_executes() {
+    let program = "
+        CREATE STREAM l (k INT, a INT);
+        CREATE STREAM r (k INT, b INT);
+        SELECT l.k, a, b FROM l JOIN r ON l.k = r.k WINDOW 2 SECONDS;
+    ";
+    let collector = SharedLatencyCollector::new();
+    let planned = plan_program(program, collector.clone()).expect("plans");
+    let monitor = planned.monitor.expect("join monitored");
+    let executor = Executor::new(
+        planned.graph,
+        VirtualClock::shared(),
+        CostModel::default(),
+        EtsPolicy::on_demand(),
+    );
+    let spec = |rate: f64, schema| StreamSpec {
+        name: "s".into(),
+        schema,
+        kind: TimestampKind::Internal,
+        process: ArrivalProcess::Poisson { rate_hz: rate },
+        payload: PayloadGen::KeyedSeq { keys: 5 },
+        heartbeat_period: None,
+        external_delay: TimeDelta::ZERO,
+        external_jitter: TimeDelta::ZERO,
+    };
+    let a = planned.sources[0].clone();
+    let b = planned.sources[1].clone();
+    let mut sim = Simulation::new(
+        executor,
+        vec![
+            (a.id, spec(20.0, a.schema.clone())),
+            (b.id, spec(1.0, b.schema.clone())),
+        ],
+        collector,
+        Some(monitor),
+        7,
+    )
+    .expect("sim builds");
+    let r = sim.run(TimeDelta::from_secs(30)).expect("runs");
+    // With 5 keys and a 2 s window there are plenty of matches, and the
+    // on-demand policy delivers them at service-time latency.
+    assert!(r.metrics.delivered > 50, "delivered {}", r.metrics.delivered);
+    assert!(
+        r.metrics.latency.mean_ms < 5.0,
+        "mean {} ms",
+        r.metrics.latency.mean_ms
+    );
+}

@@ -1,0 +1,337 @@
+//! Integration tests of the real-time engine: wall-clock validation of the
+//! behaviour the simulator measures on virtual time, plus shutdown and
+//! back-pressure behaviour across threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use millstream_rt::{
+    spawn_sink, spawn_union, spawn_union2, spawn_window_join, Fig4Rt, RtStrategy, RtSource,
+    WallClock,
+};
+use millstream_types::{Timestamp, TimestampKind, Value};
+
+#[test]
+fn rt_on_demand_vs_no_ets_mirror_the_sim() {
+    // On-demand: delivered promptly.
+    let rig = Fig4Rt::start(RtStrategy::OnDemand, None);
+    for i in 0..25 {
+        rig.fast.push_row(vec![Value::Int(i)]).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(60));
+    let on_demand_delivered = rig.metrics.delivered();
+    let on_demand_mean = rig.metrics.summary().mean_ms;
+    rig.shutdown();
+
+    // No ETS: nothing moves while the slow stream is silent.
+    let rig = Fig4Rt::start(
+        RtStrategy::NoEts {
+            poll: Duration::from_millis(2),
+        },
+        None,
+    );
+    for i in 0..25 {
+        rig.fast.push_row(vec![Value::Int(i)]).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(60));
+    let no_ets_delivered = rig.metrics.delivered();
+    rig.shutdown();
+
+    assert!(on_demand_delivered >= 20, "{on_demand_delivered}");
+    assert_eq!(no_ets_delivered, 0);
+    assert!(
+        on_demand_mean < 30.0,
+        "wall-clock mean {on_demand_mean} ms should be tiny"
+    );
+}
+
+#[test]
+fn rt_union_preserves_timestamp_order_under_concurrency() {
+    let clock = WallClock::new();
+    let (src_a, rx_a) = RtSource::new("a", TimestampKind::Internal, clock.clone(), None);
+    let (src_b, rx_b) = RtSource::new("b", TimestampKind::Internal, clock.clone(), None);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let union = spawn_union2(
+        "u",
+        [(rx_a, src_a.clone()), (rx_b, src_b.clone())],
+        tx,
+        RtStrategy::OnDemand,
+        clock.clone(),
+    );
+    let order_violations = Arc::new(AtomicU64::new(0));
+    let count = Arc::new(AtomicU64::new(0));
+    let v2 = order_violations.clone();
+    let c2 = count.clone();
+    let sink = spawn_sink("s", rx, clock, move |t, _| {
+        static LAST: AtomicU64 = AtomicU64::new(0);
+        let prev = LAST.swap(t.ts.as_micros(), Ordering::SeqCst);
+        if t.ts.as_micros() < prev {
+            v2.fetch_add(1, Ordering::SeqCst);
+        }
+        c2.fetch_add(1, Ordering::SeqCst);
+    });
+
+    // Two concurrent producers at different paces.
+    let pa = {
+        let s = src_a.clone();
+        std::thread::spawn(move || {
+            for i in 0..200i64 {
+                s.push_row(vec![Value::Int(i)]).unwrap();
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        })
+    };
+    let pb = {
+        let s = src_b.clone();
+        std::thread::spawn(move || {
+            for i in 0..20i64 {
+                s.push_row(vec![Value::Int(1_000 + i)]).unwrap();
+                std::thread::sleep(Duration::from_millis(3));
+            }
+        })
+    };
+    pa.join().unwrap();
+    pb.join().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    src_a.close();
+    src_b.close();
+    union.join().unwrap();
+    sink.join().unwrap();
+
+    assert_eq!(order_violations.load(Ordering::SeqCst), 0, "sink saw disorder");
+    assert_eq!(count.load(Ordering::SeqCst), 220, "every tuple delivered");
+}
+
+#[test]
+fn rt_shutdown_drains_and_joins_cleanly() {
+    let rig = Fig4Rt::start(RtStrategy::OnDemand, None);
+    for i in 0..10 {
+        rig.fast.push_row(vec![Value::Int(i)]).unwrap();
+    }
+    // Closing both sources lets disconnects cascade; shutdown must not hang
+    // and everything pushed must come out (closed peers stop blocking the
+    // merge).
+    std::thread::sleep(Duration::from_millis(30));
+    rig.slow.close();
+    std::thread::sleep(Duration::from_millis(30));
+    let delivered_before_close = rig.metrics.delivered();
+    rig.fast.close();
+    // shutdown() joins every thread.
+    let metrics = rig.metrics.clone();
+    rig.shutdown();
+    assert!(
+        metrics.delivered() >= delivered_before_close,
+        "draining never loses tuples"
+    );
+    assert_eq!(metrics.delivered(), 10, "all tuples drained on shutdown");
+}
+
+#[test]
+fn rt_heartbeats_bound_latency() {
+    let rig = Fig4Rt::start(
+        RtStrategy::NoEts {
+            poll: Duration::from_millis(1),
+        },
+        Some(Duration::from_millis(5)),
+    );
+    let t0 = std::time::Instant::now();
+    for i in 0..30 {
+        rig.fast.push_row(vec![Value::Int(i)]).unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Wait for heartbeats to flush the tail.
+    while rig.metrics.delivered() < 30 && t0.elapsed() < Duration::from_secs(2) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(rig.metrics.delivered(), 30);
+    let p99 = rig.metrics.summary().p99_ms;
+    assert!(p99 < 100.0, "heartbeat-bounded latency, p99 {p99} ms");
+    rig.shutdown();
+}
+
+#[test]
+fn rt_three_way_union_merges_in_order() {
+    let clock = WallClock::new();
+    let mut sources = Vec::new();
+    let mut inputs = Vec::new();
+    for name in ["a", "b", "c"] {
+        let (s, rx) = RtSource::new(name, TimestampKind::Internal, clock.clone(), None);
+        inputs.push((rx, s.clone()));
+        sources.push(s);
+    }
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let union = spawn_union("u3", inputs, tx, RtStrategy::OnDemand, clock.clone());
+    let seen = Arc::new(AtomicU64::new(0));
+    let violations = Arc::new(AtomicU64::new(0));
+    let s2 = seen.clone();
+    let v2 = violations.clone();
+    let sink = spawn_sink("s", rx, clock, move |t, _| {
+        static LAST3: AtomicU64 = AtomicU64::new(0);
+        let prev = LAST3.swap(t.ts.as_micros(), Ordering::SeqCst);
+        if t.ts.as_micros() < prev {
+            v2.fetch_add(1, Ordering::SeqCst);
+        }
+        s2.fetch_add(1, Ordering::SeqCst);
+    });
+
+    // Three producers with very different paces.
+    let handles: Vec<_> = sources
+        .iter()
+        .enumerate()
+        .map(|(k, s)| {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                let (count, pace_us) = match k {
+                    0 => (100, 200u64),
+                    1 => (30, 900),
+                    _ => (5, 6_000),
+                };
+                for i in 0..count {
+                    s.push_row(vec![Value::Int(i)]).unwrap();
+                    std::thread::sleep(Duration::from_micros(pace_us));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    for s in &sources {
+        s.close();
+    }
+    union.join().unwrap();
+    sink.join().unwrap();
+    assert_eq!(seen.load(Ordering::SeqCst), 135);
+    assert_eq!(violations.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn rt_window_join_matches_under_on_demand_ets() {
+    let clock = WallClock::new();
+    let (src_a, rx_a) = RtSource::new("trades", TimestampKind::Internal, clock.clone(), None);
+    let (src_b, rx_b) = RtSource::new("quotes", TimestampKind::Internal, clock.clone(), None);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let join = spawn_window_join(
+        "j",
+        [(rx_a, src_a.clone()), (rx_b, src_b.clone())],
+        tx,
+        Duration::from_millis(100),
+        Some((0, 0)),
+        RtStrategy::OnDemand,
+    );
+    let results = Arc::new(AtomicU64::new(0));
+    let worst_us = Arc::new(AtomicU64::new(0));
+    let r2 = results.clone();
+    let w2 = worst_us.clone();
+    let sink = spawn_sink("s", rx, clock, move |t, now| {
+        r2.fetch_add(1, Ordering::SeqCst);
+        w2.fetch_max(now.duration_since(t.entry).as_micros(), Ordering::SeqCst);
+    });
+
+    // Quotes (sparse) then trades (frequent) on overlapping keys.
+    src_b.push_row(vec![Value::Int(7), Value::Int(99)]).unwrap();
+    std::thread::sleep(Duration::from_millis(5));
+    for i in 0..20i64 {
+        // Key 7 every 4th trade; the rest miss.
+        let key = if i % 4 == 0 { 7 } else { 1000 + i };
+        src_a.push_row(vec![Value::Int(key), Value::Int(i)]).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(60));
+    let matched = results.load(Ordering::SeqCst);
+    let worst = worst_us.load(Ordering::SeqCst);
+    src_a.close();
+    src_b.close();
+    join.join().unwrap();
+    sink.join().unwrap();
+
+    // Trades at 0,4,8,…,16 within the 100 ms window of the quote → up to 5;
+    // at least the early ones must match and arrive promptly.
+    assert!(matched >= 3, "matched {matched}");
+    assert!(
+        worst < 50_000,
+        "join results delivered at ms-scale latency, worst {worst} µs"
+    );
+    assert!(src_b.ets_generated() > 0, "the sparse side answered ETS requests");
+}
+
+#[test]
+fn rt_window_join_stalls_without_ets() {
+    let clock = WallClock::new();
+    let (src_a, rx_a) = RtSource::new("a", TimestampKind::Internal, clock.clone(), None);
+    let (src_b, rx_b) = RtSource::new("b", TimestampKind::Internal, clock.clone(), None);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let join = spawn_window_join(
+        "j",
+        [(rx_a, src_a.clone()), (rx_b, src_b.clone())],
+        tx,
+        Duration::from_millis(100),
+        None,
+        RtStrategy::NoEts {
+            poll: Duration::from_millis(2),
+        },
+    );
+    let results = Arc::new(AtomicU64::new(0));
+    let r2 = results.clone();
+    let sink = spawn_sink("s", rx, clock, move |_, _| {
+        r2.fetch_add(1, Ordering::SeqCst);
+    });
+    // b speaks once, then goes silent; later a-tuples cannot probe.
+    src_b.push_row(vec![Value::Int(1)]).unwrap();
+    std::thread::sleep(Duration::from_millis(5));
+    for _ in 0..5 {
+        src_a.push_row(vec![Value::Int(1)]).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(40));
+    assert_eq!(
+        results.load(Ordering::SeqCst),
+        0,
+        "a-probes blocked: b's register is stuck behind them"
+    );
+    src_a.close();
+    src_b.close();
+    join.join().unwrap();
+    sink.join().unwrap();
+    // EOS drains the backlog: the five cross-pairs appear.
+    assert!(results.load(Ordering::SeqCst) >= 5);
+}
+
+#[test]
+fn rt_latent_restamps_monotonically() {
+    let clock = WallClock::new();
+    let (src_a, rx_a) = RtSource::new("a", TimestampKind::Latent, clock.clone(), None);
+    let (src_b, rx_b) = RtSource::new("b", TimestampKind::Latent, clock.clone(), None);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let union = spawn_union2(
+        "u",
+        [(rx_a, src_a.clone()), (rx_b, src_b.clone())],
+        tx,
+        RtStrategy::Latent,
+        clock.clone(),
+    );
+    let stamps = Arc::new(parking_lot::Mutex::new(Vec::<Timestamp>::new()));
+    let s2 = stamps.clone();
+    let sink = spawn_sink("s", rx, clock, move |t, _| {
+        s2.lock().push(t.ts);
+    });
+    for i in 0..50i64 {
+        if i % 2 == 0 {
+            src_a.push_row(vec![Value::Int(i)]).unwrap();
+        } else {
+            src_b.push_row(vec![Value::Int(i)]).unwrap();
+        }
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    src_a.close();
+    src_b.close();
+    union.join().unwrap();
+    sink.join().unwrap();
+    let stamps = stamps.lock();
+    assert_eq!(stamps.len(), 50);
+    assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "monotone restamping");
+}

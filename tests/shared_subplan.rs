@@ -1,0 +1,174 @@
+//! Shared subplans: one stream fanned out through a `Split` to several
+//! query branches — the multi-query sharing a production DSMS performs.
+//! Verifies correctness of the fan-out, punctuation propagation to every
+//! branch, and the planner's automatic Split insertion for streams
+//! referenced by multiple branches.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use millstream_core::prelude::*;
+use millstream_core::QueryRunner;
+
+#[derive(Clone, Default)]
+struct Out(Rc<RefCell<Vec<Tuple>>>);
+
+impl SinkCollector for Out {
+    fn deliver(&mut self, tuple: Tuple, _now: Timestamp) {
+        self.0.borrow_mut().push(tuple);
+    }
+}
+
+/// events ─⋔─→ σ(v ≥ 100) ──┐
+///            └→ σ(v < 100) ─┴ both → own sinks
+fn build_fanout(policy: EtsPolicy) -> (Executor, SourceId, Out, Out) {
+    let schema = Schema::new(vec![Field::new("v", DataType::Int)]);
+    let mut b = GraphBuilder::new();
+    let s = b.source("events", schema.clone(), TimestampKind::Internal);
+    let split = b
+        .operator(
+            Box::new(Split::new("⋔", schema.clone(), 2)),
+            vec![Input::Source(s)],
+        )
+        .unwrap();
+    let hi = b
+        .operator(
+            Box::new(Filter::new(
+                "σ_hi",
+                schema.clone(),
+                Expr::col(0).ge(Expr::lit(100)),
+            )),
+            vec![Input::OpPort(split, 0)],
+        )
+        .unwrap();
+    let lo = b
+        .operator(
+            Box::new(Filter::new(
+                "σ_lo",
+                schema.clone(),
+                Expr::col(0).lt(Expr::lit(100)),
+            )),
+            vec![Input::OpPort(split, 1)],
+        )
+        .unwrap();
+    let out_hi = Out::default();
+    let out_lo = Out::default();
+    b.operator(
+        Box::new(Sink::new("sink_hi", schema.clone(), out_hi.clone())),
+        vec![Input::Op(hi)],
+    )
+    .unwrap();
+    b.operator(
+        Box::new(Sink::new("sink_lo", schema, out_lo.clone())),
+        vec![Input::Op(lo)],
+    )
+    .unwrap();
+    let exec = Executor::new(
+        b.build().unwrap(),
+        VirtualClock::shared(),
+        CostModel::default(),
+        policy,
+    );
+    (exec, s, out_hi, out_lo)
+}
+
+#[test]
+fn fanout_partitions_the_stream() {
+    let (mut exec, s, out_hi, out_lo) = build_fanout(EtsPolicy::None);
+    for i in 0..50u64 {
+        exec.clock().advance_to(Timestamp::from_millis(10 * i));
+        let ts = exec.clock().now();
+        exec.ingest(s, Tuple::data(ts, vec![Value::Int((i * 7 % 200) as i64)]))
+            .unwrap();
+        exec.run_until_quiescent(100_000).unwrap();
+    }
+    let hi = out_hi.0.borrow().len();
+    let lo = out_lo.0.borrow().len();
+    assert_eq!(hi + lo, 50, "every tuple lands in exactly one partition");
+    assert!(hi > 0 && lo > 0);
+    // Both partitions remain timestamp-ordered.
+    for out in [&out_hi, &out_lo] {
+        let ts: Vec<_> = out.0.borrow().iter().map(|t| t.ts).collect();
+        let mut sorted = ts.clone();
+        sorted.sort();
+        assert_eq!(ts, sorted);
+    }
+}
+
+#[test]
+fn split_fans_ets_to_a_union_branch() {
+    // events ─⋔→ branch A: σ_all ─┐
+    //           └→ branch B ──────┴→ ∪ with a second, silent stream.
+    let schema = Schema::new(vec![Field::new("v", DataType::Int)]);
+    let mut b = GraphBuilder::new();
+    let s = b.source("events", schema.clone(), TimestampKind::Internal);
+    let quiet = b.source("quiet", schema.clone(), TimestampKind::Internal);
+    let split = b
+        .operator(
+            Box::new(Split::new("⋔", schema.clone(), 2)),
+            vec![Input::Source(s)],
+        )
+        .unwrap();
+    let out_direct = Out::default();
+    b.operator(
+        Box::new(Sink::new("sink_direct", schema.clone(), out_direct.clone())),
+        vec![Input::OpPort(split, 0)],
+    )
+    .unwrap();
+    let u = b
+        .operator(
+            Box::new(Union::new("∪", schema.clone(), 2)),
+            vec![Input::OpPort(split, 1), Input::Source(quiet)],
+        )
+        .unwrap();
+    let out_union = Out::default();
+    b.operator(
+        Box::new(Sink::new("sink_union", schema, out_union.clone())),
+        vec![Input::Op(u)],
+    )
+    .unwrap();
+    let mut exec = Executor::new(
+        b.build().unwrap(),
+        VirtualClock::shared(),
+        CostModel::default(),
+        EtsPolicy::on_demand(),
+    );
+    for i in 0..20u64 {
+        exec.clock().advance_to(Timestamp::from_millis(5 * i));
+        let ts = exec.clock().now();
+        exec.ingest(s, Tuple::data(ts, vec![Value::Int(i as i64)]))
+            .unwrap();
+        exec.run_until_quiescent(100_000).unwrap();
+    }
+    assert_eq!(out_direct.0.borrow().len(), 20, "direct branch drains");
+    assert_eq!(
+        out_union.0.borrow().len(),
+        20,
+        "the union branch drains too: ETS on `quiet` unblocks it"
+    );
+}
+
+#[test]
+fn planned_shared_stream_executes_both_branches() {
+    let mut q = QueryRunner::new(
+        "CREATE STREAM reqs (host INT, ms INT);
+         SELECT host, ms FROM reqs WHERE ms >= 100
+         UNION
+         SELECT host, ms FROM reqs WHERE ms < 100;",
+    )
+    .unwrap();
+    for (i, ms) in [20i64, 150, 80, 300, 99].iter().enumerate() {
+        q.push(
+            "reqs",
+            1_000 * (i as u64 + 1),
+            vec![Value::Int(i as i64), Value::Int(*ms)],
+        )
+        .unwrap();
+    }
+    let out = q.finish().unwrap();
+    assert_eq!(out.len(), 5, "partition-and-union covers the stream");
+    let ts: Vec<u64> = out.iter().map(|t| t.ts.as_micros()).collect();
+    let mut sorted = ts.clone();
+    sorted.sort();
+    assert_eq!(ts, sorted, "union output ordered despite the shared scan");
+}

@@ -1,0 +1,117 @@
+//! Property-based integration tests over the simulation substrate: the
+//! paper's qualitative claims must hold for *any* workload in a broad
+//! parameter space, not just the §6 configuration.
+
+use proptest::prelude::*;
+
+use millstream_sim::{run_union_experiment, Strategy, UnionExperiment};
+use millstream_types::TimeDelta;
+
+fn cfg(
+    strategy: Strategy,
+    fast: f64,
+    slow: f64,
+    selectivity: f64,
+    seed: u64,
+) -> UnionExperiment {
+    UnionExperiment {
+        fast_rate_hz: fast,
+        slow_rate_hz: slow,
+        selectivity,
+        strategy,
+        duration: TimeDelta::from_secs(20),
+        seed,
+        ..UnionExperiment::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Delivered tuples never exceed ingested tuples, latencies are
+    /// non-negative and finite, and the peak queue is at least the final
+    /// backlog.
+    #[test]
+    fn accounting_invariants(
+        fast in 1.0f64..80.0,
+        slow in 0.02f64..2.0,
+        selectivity in 0.1f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        for strategy in [Strategy::NoEts, Strategy::OnDemand, Strategy::Latent] {
+            let r = run_union_experiment(&cfg(strategy, fast, slow, selectivity, seed)).unwrap();
+            let ingested: u64 = r.ingested_per_stream.iter().sum();
+            prop_assert!(r.metrics.delivered <= ingested);
+            if r.metrics.delivered > 0 {
+                prop_assert!(r.metrics.latency.mean_ms.is_finite());
+                prop_assert!(r.metrics.latency.mean_ms >= 0.0);
+                prop_assert!(r.metrics.latency.min_ms <= r.metrics.latency.mean_ms + 1e-9);
+                prop_assert!(r.metrics.latency.mean_ms <= r.metrics.latency.max_ms + 1e-9);
+            }
+            prop_assert!(r.metrics.idle.idle_fraction >= 0.0);
+            prop_assert!(r.metrics.idle.idle_fraction <= 1.0 + 1e-9);
+        }
+    }
+
+    /// On-demand ETS never loses data: with selectivity 1 every ingested
+    /// tuple is eventually delivered (up to the final in-flight wave).
+    #[test]
+    fn on_demand_conservation(
+        fast in 5.0f64..60.0,
+        slow in 0.05f64..2.0,
+        seed in 0u64..1_000,
+    ) {
+        let r = run_union_experiment(&cfg(Strategy::OnDemand, fast, slow, 1.0, seed)).unwrap();
+        let ingested: u64 = r.ingested_per_stream.iter().sum();
+        // Everything but at most a handful of tuples from the very last
+        // activation is delivered.
+        prop_assert!(
+            ingested - r.metrics.delivered <= 4,
+            "ingested {} delivered {}",
+            ingested,
+            r.metrics.delivered
+        );
+    }
+
+    /// On-demand dominates no-ETS in latency and memory on every workload
+    /// with real skew, and never generates unbounded punctuation.
+    #[test]
+    fn on_demand_dominates_no_ets(
+        fast in 20.0f64..80.0,
+        slow in 0.02f64..0.5,
+        seed in 0u64..1_000,
+    ) {
+        let a = run_union_experiment(&cfg(Strategy::NoEts, fast, slow, 0.95, seed)).unwrap();
+        let c = run_union_experiment(&cfg(Strategy::OnDemand, fast, slow, 0.95, seed)).unwrap();
+        // Some short runs may see zero slow tuples; A then delivers nothing
+        // and reports NaN latency — C must still deliver.
+        prop_assert!(c.metrics.delivered >= a.metrics.delivered);
+        if a.metrics.delivered > 0 {
+            prop_assert!(c.metrics.latency.mean_ms <= a.metrics.latency.mean_ms);
+        }
+        prop_assert!(c.metrics.peak_queue_tuples <= a.metrics.peak_queue_tuples.max(8));
+        let ingested: u64 = c.ingested_per_stream.iter().sum();
+        prop_assert!(
+            c.exec.ets_generated <= 2 * ingested + 4,
+            "ets {} vs ingested {}",
+            c.exec.ets_generated,
+            ingested
+        );
+    }
+
+    /// Identical seeds give bit-identical runs (full determinism of the
+    /// event calendar, RNG and executor).
+    #[test]
+    fn determinism(seed in 0u64..10_000) {
+        let c = cfg(Strategy::OnDemand, 30.0, 0.2, 0.9, seed);
+        let r1 = run_union_experiment(&c).unwrap();
+        let r2 = run_union_experiment(&c).unwrap();
+        prop_assert_eq!(r1.metrics.delivered, r2.metrics.delivered);
+        prop_assert_eq!(r1.metrics.latency.mean_ms.to_bits(), r2.metrics.latency.mean_ms.to_bits());
+        prop_assert_eq!(r1.exec.steps, r2.exec.steps);
+        prop_assert_eq!(r1.metrics.peak_queue_tuples, r2.metrics.peak_queue_tuples);
+    }
+}
