@@ -43,7 +43,13 @@ fn main() {
     }
     print_table(
         "peak queue (tuples) and punctuation enqueued, coalescing off vs on",
-        &["punct/s", "peak off", "peak on", "punct enq. off", "punct enq. on"],
+        &[
+            "punct/s",
+            "peak off",
+            "peak on",
+            "punct enq. off",
+            "punct enq. on",
+        ],
         &rows,
     );
 
@@ -52,9 +58,7 @@ fn main() {
         on <= off,
         "coalescing must not increase the peak (rate {rate}: {off} -> {on})"
     );
-    let improved = improvements
-        .iter()
-        .any(|&(_, off, on)| off > on + on / 4);
+    let improved = improvements.iter().any(|&(_, off, on)| off > on + on / 4);
     assert!(
         improved,
         "at some high rate coalescing must visibly cut the peak: {improvements:?}"

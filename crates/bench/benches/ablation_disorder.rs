@@ -10,9 +10,7 @@
 //! slack above it only adds latency.
 
 use millstream_bench::{fmt_ms, print_table};
-use millstream_sim::{
-    run_disorder_experiment, DisorderExperiment, Strategy, UnionExperiment,
-};
+use millstream_sim::{run_disorder_experiment, DisorderExperiment, Strategy, UnionExperiment};
 use millstream_types::TimeDelta;
 
 fn run(jitter_ms: u64, slack_ms: u64) -> (u64, f64, u64) {
@@ -63,12 +61,19 @@ fn main() {
     // DSMS-side clock, so an arrival racing the ETS inside one service
     // interval (µs) can still undercut it — the same boundary effect a
     // real wrapper has, and ≲0.1% of traffic here.
-    let under = series.iter().find(|&&(s, _, _)| s < JITTER_MS / 4).expect("row");
+    let under = series
+        .iter()
+        .find(|&&(s, _, _)| s < JITTER_MS / 4)
+        .expect("row");
     let covered: Vec<&(u64, u64, f64)> = series
         .iter()
         .filter(|&&(s, _, _)| s >= JITTER_MS + 5)
         .collect();
-    assert!(under.1 > 50, "tight slack must shed tuples, got {}", under.1);
+    assert!(
+        under.1 > 50,
+        "tight slack must shed tuples, got {}",
+        under.1
+    );
     assert!(
         covered.iter().all(|&&(_, late, _)| late <= 10),
         "slack ≥ jitter+ε sheds at most the ETS-race residue: {series:?}"

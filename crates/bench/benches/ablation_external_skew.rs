@@ -16,9 +16,7 @@ use millstream_ops::{Filter, Sink, Union};
 use millstream_sim::{
     ArrivalProcess, PayloadGen, SharedLatencyCollector, SimReport, Simulation, StreamSpec,
 };
-use millstream_types::{
-    DataType, Expr, Field, Schema, TimeDelta, TimestampKind,
-};
+use millstream_types::{DataType, Expr, Field, Schema, TimeDelta, TimestampKind};
 
 const TRANSFER_DELAY_MS: u64 = 5;
 
@@ -78,9 +76,7 @@ fn run(policy: EtsPolicy) -> SimReport {
 }
 
 fn main() {
-    println!(
-        "millstream ablation A4 — external timestamps, skew-bound on-demand ETS (t + τ − δ)"
-    );
+    println!("millstream ablation A4 — external timestamps, skew-bound on-demand ETS (t + τ − δ)");
     println!("transfer delay {TRANSFER_DELAY_MS} ms; fast 50/s, slow 0.05/s, 300 s virtual");
 
     let baseline = run(EtsPolicy::None);

@@ -41,19 +41,35 @@ fn main() {
         "join-result latency and memory by strategy",
         &["strategy", "mean latency (ms)", "peak queue", "results"],
         &[
-            vec!["A no-ETS".into(), fmt_ms(a_ms), a_peak.to_string(), a_out.to_string()],
+            vec![
+                "A no-ETS".into(),
+                fmt_ms(a_ms),
+                a_peak.to_string(),
+                a_out.to_string(),
+            ],
             vec![
                 "B periodic 10/s".into(),
                 fmt_ms(b_ms),
                 b_peak.to_string(),
                 b_out.to_string(),
             ],
-            vec!["C on-demand".into(), fmt_ms(c_ms), c_peak.to_string(), c_out.to_string()],
+            vec![
+                "C on-demand".into(),
+                fmt_ms(c_ms),
+                c_peak.to_string(),
+                c_out.to_string(),
+            ],
         ],
     );
 
-    assert!(a_ms > b_ms && b_ms > c_ms, "A > B > C must hold for joins too");
-    assert!(c_ms < 1.0, "on-demand joins at service-time latency, got {c_ms}");
+    assert!(
+        a_ms > b_ms && b_ms > c_ms,
+        "A > B > C must hold for joins too"
+    );
+    assert!(
+        c_ms < 1.0,
+        "on-demand joins at service-time latency, got {c_ms}"
+    );
     assert!(a_peak > c_peak, "no-ETS queues more ({a_peak} vs {c_peak})");
     println!("\nshape checks passed: the join behaves like the union under all strategies");
 }

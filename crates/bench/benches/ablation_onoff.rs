@@ -51,7 +51,14 @@ fn main() {
     }
     print_table(
         "mean latency (ms) and punctuation enqueued by mean OFF period",
-        &["OFF (s)", "A no-ETS", "B 10/s", "C on-demand", "punct B", "punct C"],
+        &[
+            "OFF (s)",
+            "A no-ETS",
+            "B 10/s",
+            "C on-demand",
+            "punct B",
+            "punct C",
+        ],
         &rows,
     );
 
@@ -78,7 +85,10 @@ fn main() {
         "no-ETS latency must grow with the OFF period ({a_first} → {a_last})"
     );
     for &(off_s, _, c_ms) in &series {
-        assert!(c_ms < 1.0, "on-demand stays flat at OFF={off_s}s, got {c_ms} ms");
+        assert!(
+            c_ms < 1.0,
+            "on-demand stays flat at OFF={off_s}s, got {c_ms} ms"
+        );
     }
     println!("\nshape checks passed: duty-cycled silences hurt exactly the no-ETS baseline");
 }

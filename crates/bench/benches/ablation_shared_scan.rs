@@ -25,9 +25,7 @@
 
 use millstream_bench::print_table;
 use millstream_buffer::PunctuationPolicy;
-use millstream_exec::{
-    CostModel, EtsPolicy, Executor, GraphBuilder, Input, VirtualClock,
-};
+use millstream_exec::{CostModel, EtsPolicy, Executor, GraphBuilder, Input, VirtualClock};
 use millstream_ops::{Filter, Sink, Split};
 use millstream_sim::{
     ArrivalProcess, PayloadGen, SharedLatencyCollector, SimReport, Simulation, StreamSpec,
@@ -65,13 +63,20 @@ fn run_shared(branches: usize, rate: f64, seconds: u64) -> SimReport {
     let mut b = GraphBuilder::new().with_punctuation_policy(PunctuationPolicy::Coalesce);
     let s = b.source("events", schema(), TimestampKind::Internal);
     let split = b
-        .operator(Box::new(Split::new("⋔", schema(), branches)), vec![Input::Source(s)])
+        .operator(
+            Box::new(Split::new("⋔", schema(), branches)),
+            vec![Input::Source(s)],
+        )
         .unwrap();
     let collector = SharedLatencyCollector::new();
     for i in 0..branches {
         let f = b
             .operator(
-                Box::new(Filter::new(format!("σ{i}"), schema(), branch_filter(i, branches))),
+                Box::new(Filter::new(
+                    format!("σ{i}"),
+                    schema(),
+                    branch_filter(i, branches),
+                )),
                 vec![Input::OpPort(split, i)],
             )
             .unwrap();
@@ -100,7 +105,11 @@ fn run_duplicated(branches: usize, rate: f64, seconds: u64) -> SimReport {
         let s = b.source(format!("events{i}"), schema(), TimestampKind::Internal);
         let f = b
             .operator(
-                Box::new(Filter::new(format!("σ{i}"), schema(), branch_filter(i, branches))),
+                Box::new(Filter::new(
+                    format!("σ{i}"),
+                    schema(),
+                    branch_filter(i, branches),
+                )),
                 vec![Input::Source(s)],
             )
             .unwrap();

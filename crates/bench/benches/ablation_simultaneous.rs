@@ -154,11 +154,7 @@ fn main() {
         let (tsm_curve, tsm_stranded) = drive(&mut tsm, &phases);
 
         // Lag: how many tuple-phases the naive union trails the TSM union.
-        let lag: usize = naive_curve
-            .iter()
-            .zip(&tsm_curve)
-            .map(|(n, t)| t - n)
-            .sum();
+        let lag: usize = naive_curve.iter().zip(&tsm_curve).map(|(n, t)| t - n).sum();
         final_lag = lag;
         rows.push(vec![
             format!("{total}"),
@@ -173,7 +169,12 @@ fn main() {
     }
     print_table(
         "emitted/stranded at end, and cumulative emission lag of the naive rules",
-        &["input tuples", "naive: emitted/stranded", "TSM: emitted/stranded", "naive lag (tuple·phases)"],
+        &[
+            "input tuples",
+            "naive: emitted/stranded",
+            "TSM: emitted/stranded",
+            "naive lag (tuple·phases)",
+        ],
         &rows,
     );
 
@@ -181,5 +182,7 @@ fn main() {
         final_lag > 2_000,
         "the naive rules must trail substantially on simultaneous workloads, lag {final_lag}"
     );
-    println!("\nshape checks passed: TSM + relaxed `more` eliminates simultaneous-tuple idle-waiting");
+    println!(
+        "\nshape checks passed: TSM + relaxed `more` eliminates simultaneous-tuple idle-waiting"
+    );
 }

@@ -74,6 +74,9 @@ fn main() {
         "A latency must grow with skew ({a_small} -> {a_large})"
     );
     let c_max = series.iter().map(|&(_, _, c)| c).fold(0.0, f64::max);
-    assert!(c_max < 1.0, "C stays sub-millisecond at every skew, got {c_max}");
+    assert!(
+        c_max < 1.0,
+        "C stays sub-millisecond at every skew, got {c_max}"
+    );
     println!("\nshape checks passed: idle-waiting cost scales with skew; on-demand ETS is flat");
 }

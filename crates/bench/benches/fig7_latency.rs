@@ -70,7 +70,13 @@ fn main() {
     }
     print_table(
         "Fig. 7(a) — avg output latency (ms) vs punctuation rate (log-scale in paper)",
-        &["punct/s", "A no-ETS", "B periodic", "C on-demand", "D latent"],
+        &[
+            "punct/s",
+            "A no-ETS",
+            "B periodic",
+            "C on-demand",
+            "D latent",
+        ],
         &rows,
     );
 
@@ -86,7 +92,10 @@ fn main() {
     );
 
     // Shape assertions: fail loudly if the reproduction drifts.
-    assert!(a_ms > 1_000.0, "line A must be in the seconds range, got {a_ms} ms");
+    assert!(
+        a_ms > 1_000.0,
+        "line A must be in the seconds range, got {a_ms} ms"
+    );
     assert!(c_ms < 1.0, "line C must be sub-millisecond, got {c_ms} ms");
     assert!(d_ms <= c_ms, "latent is the lower bound");
     assert!(

@@ -54,7 +54,13 @@ fn main() {
     }
     print_table(
         "Fig. 8(a) — peak total queue size (tuples), Poisson traffic",
-        &["punct/s", "A no-ETS", "B periodic", "C on-demand", "D latent"],
+        &[
+            "punct/s",
+            "A no-ETS",
+            "B periodic",
+            "C on-demand",
+            "D latent",
+        ],
         &rows,
     );
 

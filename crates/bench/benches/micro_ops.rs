@@ -38,7 +38,10 @@ fn bench_buffer(c: &mut Criterion) {
 }
 
 fn bench_expr(c: &mut Criterion) {
-    let expr = Expr::col(0).mul(Expr::lit(3)).add(Expr::lit(7)).gt(Expr::lit(100));
+    let expr = Expr::col(0)
+        .mul(Expr::lit(3))
+        .add(Expr::lit(7))
+        .gt(Expr::lit(100));
     let row = vec![Value::Int(42)];
     c.bench_function("expr/eval_predicate", |b| {
         b.iter(|| std::hint::black_box(expr.eval_predicate(&row).unwrap()));
@@ -165,7 +168,8 @@ fn bench_executor_wave(c: &mut Criterion) {
             },
             |(mut exec, s1)| {
                 exec.clock().advance(TimeDelta::from_micros(10));
-                exec.ingest(s1, data(exec.clock().now().as_micros(), 1)).unwrap();
+                exec.ingest(s1, data(exec.clock().now().as_micros(), 1))
+                    .unwrap();
                 exec.run_until_quiescent(1_000).unwrap();
                 std::hint::black_box(exec.stats().steps);
             },
@@ -179,9 +183,7 @@ fn bench_reorder(c: &mut Criterion) {
     c.bench_function("reorder/jittered_512", |b| {
         b.iter_batched(
             || {
-                let input = RefCell::new(
-                    Buffer::new("in").with_order_policy(OrderPolicy::Accept),
-                );
+                let input = RefCell::new(Buffer::new("in").with_order_policy(OrderPolicy::Accept));
                 let out = RefCell::new(Buffer::new("out"));
                 // Deterministic jitter pattern within a 64 µs bound.
                 for i in 0..512u64 {
@@ -213,7 +215,10 @@ fn bench_sliding_aggregate(c: &mut Criterion) {
                 let input = RefCell::new(Buffer::new("in"));
                 let out = RefCell::new(Buffer::new("out"));
                 for i in 0..1_000u64 {
-                    input.borrow_mut().push(data(10 * i, (i % 8) as i64)).unwrap();
+                    input
+                        .borrow_mut()
+                        .push(data(10 * i, (i % 8) as i64))
+                        .unwrap();
                 }
                 input
                     .borrow_mut()

@@ -86,8 +86,7 @@ pub const PERIODIC_RATES: [f64; 8] = [0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500
 pub fn write_results(name: &str, results: Json) {
     // Bench binaries run with the package as cwd; anchor at the workspace
     // root so artifacts land in one place.
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;

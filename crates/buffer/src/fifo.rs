@@ -57,6 +57,10 @@ pub struct Buffer {
     queue: VecDeque<Tuple>,
     /// Highest timestamp ever pushed; the ordering contract floor.
     high_water: Option<Timestamp>,
+    /// Highest *punctuation* timestamp ever pushed. A punctuation at or
+    /// below this mark is informationless (its ETS was already asserted),
+    /// which is what lets the executor drop duplicate heartbeats.
+    punct_high_water: Option<Timestamp>,
     punctuation_policy: PunctuationPolicy,
     order_policy: OrderPolicy,
     tracker: Option<Rc<OccupancyTracker>>,
@@ -75,6 +79,7 @@ impl Buffer {
             name: name.into(),
             queue: VecDeque::new(),
             high_water: None,
+            punct_high_water: None,
             punctuation_policy: PunctuationPolicy::default(),
             order_policy: OrderPolicy::default(),
             tracker: None,
@@ -140,6 +145,11 @@ impl Buffer {
         self.high_water
     }
 
+    /// Highest punctuation timestamp ever pushed into this buffer.
+    pub fn punct_high_water(&self) -> Option<Timestamp> {
+        self.punct_high_water
+    }
+
     /// Lifetime number of successful pushes.
     pub fn pushed(&self) -> u64 {
         self.pushed
@@ -180,6 +190,12 @@ impl Buffer {
         // High-water tracks the max (under Accept a regressed tuple must
         // not lower it).
         self.high_water = Some(self.high_water.map_or(tuple.ts, |hw| hw.max(tuple.ts)));
+        if tuple.is_punctuation() {
+            self.punct_high_water = Some(
+                self.punct_high_water
+                    .map_or(tuple.ts, |hw| hw.max(tuple.ts)),
+            );
+        }
 
         if tuple.is_punctuation() && self.punctuation_policy == PunctuationPolicy::Coalesce {
             if let Some(tail) = self.queue.back_mut() {
@@ -205,6 +221,23 @@ impl Buffer {
         Ok(())
     }
 
+    /// Appends a run of tuples at the production end, applying the same
+    /// order and punctuation policies as [`Buffer::push`]. Returns the
+    /// number of tuples accepted (coalesced punctuation counts as
+    /// accepted). On an ordering error, tuples already accepted stay
+    /// queued — exactly as if they had been pushed one by one.
+    pub fn push_batch<I>(&mut self, tuples: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut accepted = 0;
+        for tuple in tuples {
+            self.push(tuple)?;
+            accepted += 1;
+        }
+        Ok(accepted)
+    }
+
     /// Removes and returns the front tuple.
     pub fn pop(&mut self) -> Option<Tuple> {
         let tuple = self.queue.pop_front()?;
@@ -216,6 +249,35 @@ impl Buffer {
         }
         self.popped += 1;
         Some(tuple)
+    }
+
+    /// Removes and returns up to `n` tuples from the consumption end,
+    /// preserving FIFO order (tracker-aware, like [`Buffer::pop`]).
+    pub fn drain_front(&mut self, n: usize) -> Vec<Tuple> {
+        let take = n.min(self.queue.len());
+        let mut out = Vec::with_capacity(take);
+        for _ in 0..take {
+            out.push(self.pop().expect("length checked"));
+        }
+        out
+    }
+
+    /// Removes and drops up to `n` tuples from the consumption end without
+    /// returning them. The bulk variant of [`Buffer::pop`] for fused
+    /// drop-runs: same accounting, one pass, no intermediate allocation.
+    /// Returns the number of tuples removed.
+    pub fn discard_front(&mut self, n: usize) -> usize {
+        let take = n.min(self.queue.len());
+        for tuple in self.queue.drain(..take) {
+            if let Some(t) = &self.tracker {
+                t.on_dequeue(tuple.is_punctuation());
+            }
+            if tuple.is_data() {
+                self.data_count -= 1;
+            }
+        }
+        self.popped += take as u64;
+        take
     }
 
     /// Iterates the queued tuples front-to-back without consuming them.
@@ -256,7 +318,14 @@ mod tests {
         let mut b = Buffer::new("t");
         b.push(data(10)).unwrap();
         let err = b.push(data(5)).unwrap_err();
-        assert!(matches!(err, Error::OutOfOrder { got: 5, watermark: 10, .. }));
+        assert!(matches!(
+            err,
+            Error::OutOfOrder {
+                got: 5,
+                watermark: 10,
+                ..
+            }
+        ));
         // High-water survives even after the queue drains.
         b.pop();
         assert!(b.push(data(7)).is_err());
@@ -279,7 +348,11 @@ mod tests {
         b.push(data(7)).unwrap();
         assert_eq!(b.len(), 3);
         assert_eq!(b.front_ts().unwrap().as_micros(), 10, "FIFO, not sorted");
-        assert_eq!(b.high_water().unwrap().as_micros(), 10, "high-water is the max");
+        assert_eq!(
+            b.high_water().unwrap().as_micros(),
+            10,
+            "high-water is the max"
+        );
     }
 
     #[test]
@@ -297,9 +370,12 @@ mod tests {
         let mut b = Buffer::new("t")
             .with_punctuation_policy(PunctuationPolicy::Coalesce)
             .with_tracker(tracker.clone());
-        b.push(Tuple::punctuation(Timestamp::from_micros(1))).unwrap();
-        b.push(Tuple::punctuation(Timestamp::from_micros(2))).unwrap();
-        b.push(Tuple::punctuation(Timestamp::from_micros(3))).unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(1)))
+            .unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(2)))
+            .unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(3)))
+            .unwrap();
         assert_eq!(b.len(), 1, "consecutive punctuation collapses");
         assert_eq!(b.front_ts().unwrap().as_micros(), 3);
         assert_eq!(tracker.coalesced(), 2);
@@ -307,15 +383,18 @@ mod tests {
 
         // A data tuple breaks the run; the next punctuation queues anew.
         b.push(data(4)).unwrap();
-        b.push(Tuple::punctuation(Timestamp::from_micros(5))).unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(5)))
+            .unwrap();
         assert_eq!(b.len(), 3);
     }
 
     #[test]
     fn keep_all_retains_every_punctuation() {
         let mut b = Buffer::new("t");
-        b.push(Tuple::punctuation(Timestamp::from_micros(1))).unwrap();
-        b.push(Tuple::punctuation(Timestamp::from_micros(2))).unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(1)))
+            .unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(2)))
+            .unwrap();
         assert_eq!(b.len(), 2);
     }
 
@@ -326,7 +405,8 @@ mod tests {
         let mut b = Buffer::new("b").with_tracker(tracker.clone());
         a.push(data(1)).unwrap();
         b.push(data(1)).unwrap();
-        b.push(Tuple::punctuation(Timestamp::from_micros(2))).unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(2)))
+            .unwrap();
         assert_eq!(tracker.total(), 3);
         assert_eq!(tracker.peak(), 3);
         assert_eq!(tracker.punctuation_total(), 1);
@@ -334,6 +414,71 @@ mod tests {
         b.clear();
         assert_eq!(tracker.total(), 0);
         assert_eq!(tracker.peak(), 3);
+    }
+
+    #[test]
+    fn push_batch_matches_sequential_pushes() {
+        let tracker = OccupancyTracker::shared();
+        let mut b = Buffer::new("t").with_tracker(tracker.clone());
+        let n = b
+            .push_batch(vec![
+                data(1),
+                Tuple::punctuation(Timestamp::from_micros(2)),
+                data(3),
+            ])
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.data_len(), 2);
+        assert_eq!(b.pushed(), 3);
+        assert_eq!(tracker.total(), 3);
+        assert_eq!(b.high_water().unwrap().as_micros(), 3);
+        assert_eq!(b.punct_high_water().unwrap().as_micros(), 2);
+    }
+
+    #[test]
+    fn push_batch_stops_at_first_ordering_error() {
+        let mut b = Buffer::new("t");
+        let err = b.push_batch(vec![data(5), data(3), data(9)]).unwrap_err();
+        assert!(matches!(err, Error::OutOfOrder { got: 3, .. }));
+        assert_eq!(b.len(), 1, "tuples before the error stay queued");
+    }
+
+    #[test]
+    fn drain_front_preserves_order_and_accounting() {
+        let tracker = OccupancyTracker::shared();
+        let mut b = Buffer::new("t").with_tracker(tracker.clone());
+        b.push_batch((1..=5).map(data)).unwrap();
+        let got = b.drain_front(3);
+        let ts: Vec<u64> = got.iter().map(|t| t.ts.as_micros()).collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.data_len(), 2);
+        assert_eq!(b.popped(), 3);
+        assert_eq!(tracker.total(), 2);
+        // Over-asking drains everything without panicking.
+        assert_eq!(b.drain_front(100).len(), 2);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn discard_front_matches_pop_accounting() {
+        let tracker = OccupancyTracker::shared();
+        let mut b = Buffer::new("t").with_tracker(tracker.clone());
+        b.push_batch((1..=4).map(data)).unwrap();
+        b.push(Tuple::punctuation(Timestamp::from_micros(5)))
+            .unwrap();
+        assert_eq!(b.discard_front(3), 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.data_len(), 1);
+        assert_eq!(b.popped(), 3);
+        assert_eq!(tracker.total(), 2);
+        assert_eq!(b.front_ts().unwrap().as_micros(), 4);
+        // Over-asking clamps; punctuation accounting stays consistent.
+        assert_eq!(b.discard_front(10), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.data_len(), 0);
+        assert_eq!(tracker.total(), 0);
     }
 
     #[test]

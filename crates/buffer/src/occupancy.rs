@@ -50,7 +50,8 @@ impl OccupancyTracker {
     pub fn on_dequeue(&self, punctuation: bool) {
         self.total.set(self.total.get().saturating_sub(1));
         if punctuation {
-            self.punct_total.set(self.punct_total.get().saturating_sub(1));
+            self.punct_total
+                .set(self.punct_total.get().saturating_sub(1));
         } else {
             self.data_total.set(self.data_total.get().saturating_sub(1));
         }

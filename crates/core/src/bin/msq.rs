@@ -4,7 +4,7 @@
 //! stream, with optional plan/profile diagnostics:
 //!
 //! ```text
-//! msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile]
+//! msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--batch K]
 //!
 //!   query.msq   CREATE STREAM definitions + one SELECT query
 //!   trace.csv   lines of: timestamp_micros,stream_name,v1,v2,…
@@ -12,6 +12,8 @@
 //!   --dot       print the plan as Graphviz DOT and exit
 //!   --profile   print the per-operator profile after the run
 //!   --trace     print the last scheduler activities after the run
+//!   --batch K   fuse up to K consecutive Encore steps per scheduling
+//!               decision (default 1 = per-tuple execution)
 //! ```
 //!
 //! Example query file:
@@ -41,10 +43,11 @@ struct Options {
     dot: bool,
     profile: bool,
     trace: bool,
+    batch: usize,
 }
 
 const USAGE: &str =
-    "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace]";
+    "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K]";
 
 fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
     let mut positional = Vec::new();
@@ -52,12 +55,26 @@ fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
     let mut dot = false;
     let mut profile = false;
     let mut trace = false;
-    for a in args {
+    let mut batch = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--no-ets" => ets = false,
             "--dot" => dot = true,
             "--profile" => profile = true,
             "--trace" => trace = true,
+            "--batch" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--batch requires a value\n{USAGE}"))?;
+                batch = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&k| k >= 1)
+                    .ok_or_else(|| {
+                        format!("--batch expects a positive integer, got `{value}`\n{USAGE}")
+                    })?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`\n{USAGE}"));
@@ -79,6 +96,7 @@ fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
         dot,
         profile,
         trace,
+        batch,
     })
 }
 
@@ -129,7 +147,8 @@ fn run(opts: &Options) -> Result<()> {
         VirtualClock::shared(),
         CostModel::default(),
         policy,
-    );
+    )
+    .with_encore_batch(opts.batch);
     if opts.trace {
         executor.enable_trace(64);
     }
@@ -141,17 +160,29 @@ fn run(opts: &Options) -> Result<()> {
         planned.output_schema
     );
 
-    // Replay the trace, printing rows as the sink delivers them.
+    // Replay the trace, printing rows as the sink delivers them. Records
+    // sharing an arrival timestamp land together before the engine runs —
+    // they arrived simultaneously — so the scheduler sees real queues (and
+    // `--batch` has runs to fuse) instead of one tuple at a time.
     let source_by_index: Vec<_> = planned.sources.iter().map(|s| s.id).collect();
+    let mut pending_at: Option<Timestamp> = None;
     for rec in &trace {
+        if pending_at.is_some_and(|at| at != rec.at) {
+            loop {
+                if matches!(executor.step()?, Activity::Quiescent) {
+                    break;
+                }
+            }
+        }
+        pending_at = Some(rec.at);
         let source = source_by_index[rec.stream];
         executor.clock().advance_to(rec.at);
         let ts = executor.clock().now();
         executor.ingest(source, Tuple::data(ts, rec.values.clone()))?;
-        loop {
-            if matches!(executor.step()?, Activity::Quiescent) {
-                break;
-            }
+    }
+    loop {
+        if matches!(executor.step()?, Activity::Quiescent) {
+            break;
         }
     }
 

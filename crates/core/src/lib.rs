@@ -77,8 +77,7 @@ pub mod prelude {
     pub use millstream_metrics::{LatencyRecorder, RunMetrics};
     pub use millstream_ops::{
         Filter, JoinSpec, LatePolicy, MultiWindowJoin, Operator, Project, Reorder, Sink,
-        SinkCollector, SlidingAggregate, Split, Union, VecCollector, WindowAggregate,
-        WindowJoin,
+        SinkCollector, SlidingAggregate, Split, Union, VecCollector, WindowAggregate, WindowJoin,
     };
     pub use millstream_sim::{
         run_disorder_experiment, run_join_experiment, run_union_experiment, ArrivalProcess,
@@ -86,7 +85,7 @@ pub mod prelude {
         UnionExperiment,
     };
     pub use millstream_types::{
-        DataType, Error, Expr, Field, Result, Schema, TimeDelta, Timestamp, TimestampKind,
-        Tuple, Value,
+        DataType, Error, Expr, Field, Result, Schema, TimeDelta, Timestamp, TimestampKind, Tuple,
+        Value,
     };
 }

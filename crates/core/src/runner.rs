@@ -206,9 +206,12 @@ mod tests {
              JOIN quotes AS q ON t.sym = q.sym WINDOW 1 SECONDS;",
         )
         .unwrap();
-        q.push("quotes", 100, vec![Value::Int(7), Value::Int(99)]).unwrap();
-        q.push("trades", 200, vec![Value::Int(7), Value::Int(101)]).unwrap();
-        q.push("trades", 300, vec![Value::Int(8), Value::Int(50)]).unwrap();
+        q.push("quotes", 100, vec![Value::Int(7), Value::Int(99)])
+            .unwrap();
+        q.push("trades", 200, vec![Value::Int(7), Value::Int(101)])
+            .unwrap();
+        q.push("trades", 300, vec![Value::Int(8), Value::Int(50)])
+            .unwrap();
         let out = q.finish().unwrap();
         assert_eq!(out.len(), 1, "only symbol 7 joins");
         assert_eq!(
@@ -234,9 +237,12 @@ mod tests {
              GROUP BY k EVERY 1 SECONDS;",
         )
         .unwrap();
-        q.push("s", 100_000, vec![Value::Int(1), Value::Int(10)]).unwrap();
-        q.push("s", 200_000, vec![Value::Int(1), Value::Int(20)]).unwrap();
-        q.push("t", 300_000, vec![Value::Int(2), Value::Int(5)]).unwrap();
+        q.push("s", 100_000, vec![Value::Int(1), Value::Int(10)])
+            .unwrap();
+        q.push("s", 200_000, vec![Value::Int(1), Value::Int(20)])
+            .unwrap();
+        q.push("t", 300_000, vec![Value::Int(2), Value::Int(5)])
+            .unwrap();
         // Cross both aggregates' window boundary and flush.
         q.advance_time(2_000_000).unwrap();
         let out = q.drain();
@@ -290,8 +296,10 @@ mod tests {
         )
         .unwrap();
         // Two tuples in consecutive 1 s panes of stream s.
-        q.push("s", 500_000, vec![Value::Int(1), Value::Int(10)]).unwrap();
-        q.push("s", 1_500_000, vec![Value::Int(1), Value::Int(20)]).unwrap();
+        q.push("s", 500_000, vec![Value::Int(1), Value::Int(10)])
+            .unwrap();
+        q.push("s", 1_500_000, vec![Value::Int(1), Value::Int(20)])
+            .unwrap();
         q.advance_time(5_000_000).unwrap();
         let out = q.drain();
         // Overlapping windows: [−1,1)→10, [0,2)→30, [1,3)→20.

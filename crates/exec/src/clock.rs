@@ -88,6 +88,14 @@ impl CostModel {
     pub fn step_cost(&self, work: usize) -> TimeDelta {
         self.step + self.per_unit.saturating_mul(work as u64)
     }
+
+    /// The cost of a batch of `steps` operator steps totalling `work`
+    /// units. `step_cost` is linear in work, so this equals the sum of the
+    /// per-step costs exactly — batched execution charges the same virtual
+    /// time as per-tuple execution, just in one clock advance.
+    pub fn batch_cost(&self, steps: usize, work: usize) -> TimeDelta {
+        self.step.saturating_mul(steps as u64) + self.per_unit.saturating_mul(work as u64)
+    }
 }
 
 #[cfg(test)]
@@ -112,5 +120,15 @@ mod tests {
         assert_eq!(m.step_cost(0), TimeDelta::from_micros(2));
         assert_eq!(m.step_cost(3), TimeDelta::from_micros(5));
         assert_eq!(CostModel::free().step_cost(100), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn batch_cost_equals_sum_of_step_costs() {
+        let m = CostModel::default();
+        // A batch of 3 steps with work 2, 0, 5.
+        let per_tuple = m.step_cost(2) + m.step_cost(0) + m.step_cost(5);
+        assert_eq!(m.batch_cost(3, 7), per_tuple);
+        assert_eq!(m.batch_cost(1, 4), m.step_cost(4), "K = 1 is one step");
+        assert_eq!(CostModel::free().batch_cost(64, 1000), TimeDelta::ZERO);
     }
 }

@@ -33,7 +33,7 @@ use std::rc::Rc;
 
 use millstream_buffer::Buffer;
 use millstream_metrics::IdleTracker;
-use millstream_ops::{OpContext, Poll, StepOutcome};
+use millstream_ops::{BatchOutcome, OpContext, Poll, StepOutcome};
 use millstream_types::{Result, Timestamp, Tuple};
 
 use crate::clock::{CostModel, VirtualClock};
@@ -101,12 +101,39 @@ pub struct OpProfile {
 pub struct ExecStats {
     /// Operator steps executed.
     pub steps: u64,
+    /// Scheduling decisions made (batches executed). Equals `steps` under
+    /// per-tuple execution (`encore_batch == 1`); smaller when Encore runs
+    /// fuse, and `steps / batches` is the realized batching factor.
+    pub batches: u64,
     /// Backtrack hops performed.
     pub backtracks: u64,
     /// On-demand ETS generated.
     pub ets_generated: u64,
     /// Total work units (cost-model input) executed.
     pub work_units: u64,
+    /// Heartbeats dropped at ingestion for being stale (at or below an
+    /// already-asserted punctuation mark, or below the data high-water).
+    pub dropped_stale_heartbeats: u64,
+}
+
+/// Execution tuning knobs, separate from the paper-level policies
+/// ([`EtsPolicy`], [`SchedPolicy`]) because they must not change output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Maximum consecutive Encore steps of one operator fused into a
+    /// single scheduling decision. `1` reproduces the paper's per-tuple
+    /// execution exactly; larger values amortize NOS overhead over runs of
+    /// silent steps (e.g. a filter draining a burst of non-matching
+    /// tuples). Only batch-safe operators ([`millstream_ops::Operator::batch_safe`])
+    /// and only the depth-first scheduler use the batched path; output is
+    /// byte-identical either way.
+    pub encore_batch: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { encore_batch: 1 }
+    }
 }
 
 /// The depth-first NOS executor over one query graph.
@@ -116,6 +143,7 @@ pub struct Executor {
     cost: CostModel,
     policy: EtsPolicy,
     sched: SchedPolicy,
+    opts: ExecOptions,
     current: Option<NodeId>,
     /// Rotation cursor for round-robin scheduling.
     rr_cursor: usize,
@@ -149,6 +177,7 @@ impl Executor {
             cost,
             policy,
             sched: SchedPolicy::DepthFirst,
+            opts: ExecOptions::default(),
             current: None,
             rr_cursor: 0,
             idle: HashMap::new(),
@@ -183,10 +212,9 @@ impl Executor {
                     outcome.consumed,
                     outcome.produced
                 ),
-                Activity::EtsGenerated { source, ts } => format!(
-                    "{at} ETS on {} @ {ts}",
-                    self.graph.source(*source).name
-                ),
+                Activity::EtsGenerated { source, ts } => {
+                    format!("{at} ETS on {} @ {ts}", self.graph.source(*source).name)
+                }
                 Activity::Quiescent => format!("{at} quiescent"),
             };
             let _ = writeln!(out, "{line}");
@@ -198,6 +226,24 @@ impl Executor {
     pub fn with_sched_policy(mut self, sched: SchedPolicy) -> Self {
         self.sched = sched;
         self
+    }
+
+    /// Sets the execution tuning knobs (builder style).
+    pub fn with_exec_options(mut self, opts: ExecOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the Encore batch size (builder style); see
+    /// [`ExecOptions::encore_batch`].
+    pub fn with_encore_batch(mut self, encore_batch: usize) -> Self {
+        self.opts.encore_batch = encore_batch.max(1);
+        self
+    }
+
+    /// The execution tuning knobs in effect.
+    pub fn options(&self) -> ExecOptions {
+        self.opts
     }
 
     /// The underlying graph (read access).
@@ -220,12 +266,13 @@ impl Executor {
         &self.profile
     }
 
-    /// Records one executed step against the operator's profile.
-    fn charge(&mut self, node: NodeId, outcome: &StepOutcome, cost: millstream_types::TimeDelta) {
+    /// Records one executed batch (one or more steps) against the
+    /// operator's profile.
+    fn charge(&mut self, node: NodeId, batch: &BatchOutcome, cost: millstream_types::TimeDelta) {
         let p = &mut self.profile[node.0];
-        p.steps += 1;
-        p.consumed += outcome.consumed as u64;
-        p.produced += outcome.produced as u64;
+        p.steps += batch.steps as u64;
+        p.consumed += batch.consumed as u64;
+        p.produced += batch.produced as u64;
         p.busy_micros += cost.as_micros();
     }
 
@@ -295,12 +342,30 @@ impl Executor {
 
     /// Ingests a heartbeat punctuation at a source — the periodic-ETS
     /// baseline of [Johnson et al., VLDB'05] (experiment line B). Stale
-    /// heartbeats (not past the buffer's high-water mark) are dropped at
-    /// the door, matching a wrapper that stamps heartbeats with its clock.
+    /// heartbeats are dropped at the door (and counted in
+    /// [`ExecStats::dropped_stale_heartbeats`]): one below the buffer's
+    /// data high-water mark carries no order information, and one at or
+    /// below an already-asserted punctuation mark is a duplicate ETS — a
+    /// line-B run would otherwise push a redundant punctuation through the
+    /// whole graph every period. Like [`Executor::ingest`], heartbeats on
+    /// a closed source are a runtime error: end-of-stream already asserted
+    /// `Timestamp::MAX`.
     pub fn ingest_heartbeat(&mut self, source: SourceId, ts: Timestamp) -> Result<()> {
         let s = &mut self.graph.sources[source.0];
+        if s.closed {
+            return Err(millstream_types::Error::runtime(format!(
+                "source `{}` is closed",
+                s.name
+            )));
+        }
         let buffer = &self.graph.buffers[s.buffer.0];
-        if buffer.borrow().high_water().is_some_and(|hw| ts < hw) {
+        let stale = {
+            let b = buffer.borrow();
+            b.high_water().is_some_and(|hw| ts < hw)
+                || b.punct_high_water().is_some_and(|hw| ts <= hw)
+        };
+        if stale {
+            self.stats.dropped_stale_heartbeats += 1;
             return Ok(());
         }
         buffer.borrow_mut().push(Tuple::punctuation(ts))?;
@@ -365,18 +430,43 @@ impl Executor {
         };
         match poll {
             Poll::Ready => {
-                let outcome = {
-                    let QueryGraph { ops, buffers, .. } = &mut self.graph;
-                    exec_node(ops, buffers, node, now)?
+                // The batched Encore path: run up to `encore_batch`
+                // consecutive steps of this operator as one scheduling
+                // decision. The batch stops at every per-tuple NOS boundary
+                // (yield, starvation), so `select_next` sees the same state
+                // it would after single-stepping — outputs are identical.
+                // Operators that read the clock are not batch-safe and run
+                // one step at a time.
+                let max_steps = if self.graph.ops[node.0].op.batch_safe() {
+                    self.opts.encore_batch.max(1)
+                } else {
+                    1
                 };
-                let cost = self.cost.step_cost(outcome.total_work());
+                let batch = {
+                    let QueryGraph { ops, buffers, .. } = &mut self.graph;
+                    if max_steps > 1 {
+                        exec_node_batch(ops, buffers, node, now, max_steps)?
+                    } else {
+                        // encore_batch == 1 (or a clock-reading operator):
+                        // take the plain per-tuple step, so per-tuple
+                        // execution stays the unmodified legacy path.
+                        let mut one = BatchOutcome::default();
+                        one.record(exec_node(ops, buffers, node, now)?);
+                        one
+                    }
+                };
+                let cost = self.cost.batch_cost(batch.steps, batch.total_work());
                 self.clock.advance(cost);
-                self.stats.steps += 1;
-                self.stats.work_units += outcome.total_work() as u64;
-                self.charge(node, &outcome, cost);
+                self.stats.steps += batch.steps as u64;
+                self.stats.batches += 1;
+                self.stats.work_units += batch.total_work() as u64;
+                self.charge(node, &batch, cost);
                 self.select_next(node);
                 self.refresh_idle();
-                Ok(Activity::Executed { node, outcome })
+                Ok(Activity::Executed {
+                    node,
+                    outcome: batch.as_step_outcome(),
+                })
             }
             Poll::Starved { starving } => {
                 let mut visited = std::collections::HashSet::new();
@@ -408,15 +498,21 @@ impl Executor {
         match chosen {
             Some(node) => {
                 self.rr_cursor = (node.0 + 1) % n;
+                // Round-robin stays strictly per-tuple: fusing Encore runs
+                // would starve the rotation's fairness, so `encore_batch`
+                // is deliberately ignored here.
                 let outcome = {
                     let QueryGraph { ops, buffers, .. } = &mut self.graph;
                     exec_node(ops, buffers, node, now)?
                 };
+                let mut batch = BatchOutcome::default();
+                batch.record(outcome);
                 let cost = self.cost.step_cost(outcome.total_work());
                 self.clock.advance(cost);
                 self.stats.steps += 1;
+                self.stats.batches += 1;
                 self.stats.work_units += outcome.total_work() as u64;
-                self.charge(node, &outcome, cost);
+                self.charge(node, &batch, cost);
                 self.refresh_idle();
                 Ok(Activity::Executed { node, outcome })
             }
@@ -727,6 +823,21 @@ fn exec_node(
     n.op.step(&ctx)
 }
 
+/// Executes up to `max_steps` fused Encore steps of a node.
+fn exec_node_batch(
+    ops: &mut [OpNode],
+    buffers: &[RefCell<Buffer>],
+    node: NodeId,
+    now: Timestamp,
+    max_steps: usize,
+) -> Result<BatchOutcome> {
+    let n = &mut ops[node.0];
+    let inputs: Vec<&RefCell<Buffer>> = n.inputs.iter().map(|b| &buffers[b.0]).collect();
+    let outputs: Vec<&RefCell<Buffer>> = n.outputs.iter().map(|b| &buffers[b.0]).collect();
+    let ctx = OpContext::new(&inputs, &outputs, now);
+    n.op.step_batch(&ctx, max_steps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -762,16 +873,24 @@ mod tests {
     ///                                  S2 → σ2 ↗
     fn fig4(policy: EtsPolicy, latent: bool) -> Fig4 {
         let mut b = GraphBuilder::new();
-        let s1 = b.source("S1", schema(), if latent {
-            TimestampKind::Latent
-        } else {
-            TimestampKind::Internal
-        });
-        let s2 = b.source("S2", schema(), if latent {
-            TimestampKind::Latent
-        } else {
-            TimestampKind::Internal
-        });
+        let s1 = b.source(
+            "S1",
+            schema(),
+            if latent {
+                TimestampKind::Latent
+            } else {
+                TimestampKind::Internal
+            },
+        );
+        let s2 = b.source(
+            "S2",
+            schema(),
+            if latent {
+                TimestampKind::Latent
+            } else {
+                TimestampKind::Internal
+            },
+        );
         let pass = Expr::col(0).ge(Expr::lit(0)); // everything passes
         let f1 = b
             .operator(
@@ -982,7 +1101,9 @@ mod tests {
         let mut f = fig4(EtsPolicy::on_demand(), false);
         let mut rr = fig4(EtsPolicy::on_demand(), false);
         // Rebuild the executor with round-robin scheduling.
-        take_mut(&mut rr.exec, |e| e.with_sched_policy(SchedPolicy::RoundRobin));
+        take_mut(&mut rr.exec, |e| {
+            e.with_sched_policy(SchedPolicy::RoundRobin)
+        });
 
         for rig in [&mut f, &mut rr] {
             rig.exec.clock().advance_to(Timestamp::from_micros(100));
@@ -1021,9 +1142,7 @@ mod tests {
         // Without ETS, data is stuck at the union…
         f.exec.clock().advance_to(Timestamp::from_micros(100));
         for i in 0..5u64 {
-            f.exec
-                .ingest(f.s1, data(100 + i, (i as i64) + 1))
-                .unwrap();
+            f.exec.ingest(f.s1, data(100 + i, (i as i64) + 1)).unwrap();
         }
         f.exec.run_until_quiescent(10_000).unwrap();
         assert_eq!(f.out.0.borrow().delivered.len(), 0);
@@ -1046,5 +1165,114 @@ mod tests {
         f.exec.ingest(f.s1, data(10, 1)).unwrap();
         f.exec.run_until_quiescent(1_000).unwrap();
         assert!(f.exec.clock().now() > before, "cost model charges time");
+    }
+
+    #[test]
+    fn heartbeat_on_closed_source_errors_like_ingest() {
+        let mut f = fig4(EtsPolicy::None, false);
+        f.exec.close_source(f.s2).unwrap();
+        let err = f
+            .exec
+            .ingest_heartbeat(f.s2, Timestamp::from_micros(100))
+            .unwrap_err();
+        assert!(err.to_string().contains("closed"), "{err}");
+        // Identical contract to ingest on a closed source.
+        let ingest_err = f.exec.ingest(f.s2, data(100, 1)).unwrap_err();
+        assert_eq!(err.to_string(), ingest_err.to_string());
+    }
+
+    #[test]
+    fn duplicate_heartbeats_are_dropped_and_counted() {
+        let mut f = fig4(EtsPolicy::None, false);
+        let hb = Timestamp::from_micros(200);
+        f.exec.ingest_heartbeat(f.s2, hb).unwrap();
+        let queued = f.exec.graph().total_queued();
+        // The same heartbeat again adds no information: dropped at the
+        // door, not pushed through the graph.
+        f.exec.ingest_heartbeat(f.s2, hb).unwrap();
+        assert_eq!(f.exec.graph().total_queued(), queued);
+        assert_eq!(f.exec.stats().dropped_stale_heartbeats, 1);
+        // A regressed heartbeat is dropped too.
+        f.exec
+            .ingest_heartbeat(f.s2, Timestamp::from_micros(150))
+            .unwrap();
+        assert_eq!(f.exec.stats().dropped_stale_heartbeats, 2);
+        // A fresh heartbeat past the mark is admitted.
+        f.exec
+            .ingest_heartbeat(f.s2, Timestamp::from_micros(300))
+            .unwrap();
+        assert_eq!(f.exec.graph().total_queued(), queued + 1);
+        assert_eq!(f.exec.stats().dropped_stale_heartbeats, 2);
+    }
+
+    #[test]
+    fn heartbeat_at_data_high_water_is_still_admitted() {
+        let mut f = fig4(EtsPolicy::None, false);
+        f.exec.clock().advance_to(Timestamp::from_micros(100));
+        f.exec.ingest(f.s2, data(100, 1)).unwrap();
+        let queued = f.exec.graph().total_queued();
+        // ts == data high-water: asserts silence up to 100 — informative.
+        f.exec
+            .ingest_heartbeat(f.s2, Timestamp::from_micros(100))
+            .unwrap();
+        assert_eq!(f.exec.graph().total_queued(), queued + 1);
+        assert_eq!(f.exec.stats().dropped_stale_heartbeats, 0);
+    }
+
+    #[test]
+    fn batched_execution_matches_per_tuple_output() {
+        // Selective filters so Encore drop-runs actually fuse: only every
+        // fourth value passes.
+        fn selective(policy: EtsPolicy, k: usize) -> Fig4 {
+            let mut f = fig4(policy, false);
+            take_mut(&mut f.exec, |e| e.with_encore_batch(k));
+            f
+        }
+        for policy in [EtsPolicy::None, EtsPolicy::on_demand()] {
+            let mut base = selective(policy, 1);
+            let mut batched = selective(policy, 64);
+            for rig in [&mut base, &mut batched] {
+                rig.exec.clock().advance_to(Timestamp::from_micros(100));
+                for i in 0..40u64 {
+                    rig.exec.ingest(rig.s1, data(100 + i, i as i64)).unwrap();
+                    if i % 8 == 0 {
+                        rig.exec.ingest(rig.s2, data(100 + i, -(i as i64))).unwrap();
+                    }
+                }
+                rig.exec.run_until_quiescent(100_000).unwrap();
+                rig.exec.close_source(rig.s1).unwrap();
+                rig.exec.close_source(rig.s2).unwrap();
+                rig.exec.run_until_quiescent(100_000).unwrap();
+            }
+            let base_out = base.out.0.borrow().delivered.clone();
+            let batched_out = batched.out.0.borrow().delivered.clone();
+            assert_eq!(base_out, batched_out, "byte-identical deliveries");
+            let (bs, ks) = (base.exec.stats(), batched.exec.stats());
+            assert_eq!(bs.steps, ks.steps, "same inner step count");
+            assert_eq!(bs.ets_generated, ks.ets_generated);
+            assert_eq!(bs.work_units, ks.work_units);
+            assert_eq!(bs.batches, bs.steps, "K = 1: one step per decision");
+            assert!(ks.batches <= ks.steps);
+            assert_eq!(
+                base.exec.clock().now(),
+                batched.exec.clock().now(),
+                "batch cost charging is sum-exact"
+            );
+        }
+    }
+
+    #[test]
+    fn exec_options_default_and_builder() {
+        let f = fig4(EtsPolicy::None, false);
+        assert_eq!(f.exec.options(), ExecOptions::default());
+        assert_eq!(f.exec.options().encore_batch, 1);
+        let mut f = fig4(EtsPolicy::None, false);
+        take_mut(&mut f.exec, |e| e.with_encore_batch(0));
+        assert_eq!(f.exec.options().encore_batch, 1, "clamped to 1");
+        let mut f = fig4(EtsPolicy::None, false);
+        take_mut(&mut f.exec, |e| {
+            e.with_exec_options(ExecOptions { encore_batch: 8 })
+        });
+        assert_eq!(f.exec.options().encore_batch, 8);
     }
 }

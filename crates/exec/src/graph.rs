@@ -217,9 +217,7 @@ impl QueryGraph {
             let _ = writeln!(
                 out,
                 "source {} {:?} -> {}",
-                s.name,
-                s.kind,
-                self.ops[s.consumer.0].name
+                s.name, s.kind, self.ops[s.consumer.0].name
             );
         }
         for (i, n) in self.ops.iter().enumerate() {
@@ -484,13 +482,12 @@ impl GraphBuilder {
                         s, self.sources[s].name
                     )));
                 }
-                Some(c) if self.sources[s].unordered
-                    && !nodes[c.0].op.accepts_disorder() => {
-                        return Err(Error::graph(format!(
+                Some(c) if self.sources[s].unordered && !nodes[c.0].op.accepts_disorder() => {
+                    return Err(Error::graph(format!(
                             "unordered source `{}` must feed an order-restoring                              operator (Reorder), not `{}`",
                             self.sources[s].name, nodes[c.0].name
                         )));
-                    }
+                }
                 _ => {}
             }
         }
@@ -593,7 +590,10 @@ mod tests {
         let dot = g.to_dot();
         assert!(dot.starts_with("digraph millstream {"));
         assert!(dot.contains("shape=diamond"), "IWP ops are diamonds: {dot}");
-        assert!(dot.contains("shape=doublecircle"), "sinks are marked: {dot}");
+        assert!(
+            dot.contains("shape=doublecircle"),
+            "sinks are marked: {dot}"
+        );
         assert!(dot.contains("src0 -> op0;"));
         assert!(dot.contains("op2 -> op3;"));
         assert_eq!(g.find_op("∪"), Some(u));
@@ -703,7 +703,9 @@ mod tests {
     fn rejects_forward_reference() {
         let mut b = GraphBuilder::new();
         let _s1 = b.source("S1", schema(), TimestampKind::Internal);
-        let err = b.operator(filter("σ"), vec![Input::Op(NodeId(5))]).unwrap_err();
+        let err = b
+            .operator(filter("σ"), vec![Input::Op(NodeId(5))])
+            .unwrap_err();
         assert!(matches!(err, Error::Graph(_)));
     }
 }

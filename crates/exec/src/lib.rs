@@ -23,8 +23,6 @@ mod graph;
 mod strategy;
 
 pub use clock::{CostModel, VirtualClock};
-pub use executor::{Activity, ExecStats, Executor, OpProfile, SchedPolicy};
-pub use graph::{
-    BufferId, GraphBuilder, Input, NodeId, Pred, QueryGraph, SourceId, SourceState,
-};
+pub use executor::{Activity, ExecOptions, ExecStats, Executor, OpProfile, SchedPolicy};
+pub use graph::{BufferId, GraphBuilder, Input, NodeId, Pred, QueryGraph, SourceId, SourceState};
 pub use strategy::EtsPolicy;

@@ -18,9 +18,7 @@ use millstream_exec::{
     CostModel, EtsPolicy, Executor, GraphBuilder, Input, SchedPolicy, VirtualClock,
 };
 use millstream_ops::{Filter, Project, Sink, SinkCollector, Union};
-use millstream_types::{
-    DataType, Expr, Field, Schema, Timestamp, Tuple, Value,
-};
+use millstream_types::{DataType, Expr, Field, Schema, Timestamp, Tuple, Value};
 
 #[derive(Clone, Default)]
 struct Out(Rc<RefCell<Vec<Tuple>>>);
@@ -49,7 +47,11 @@ fn build(
     let mut inputs = Vec::new();
     let mut sources = Vec::new();
     for (bi, stages) in branches.iter().enumerate() {
-        let s = b.source(format!("s{bi}"), schema(), millstream_types::TimestampKind::Internal);
+        let s = b.source(
+            format!("s{bi}"),
+            schema(),
+            millstream_types::TimestampKind::Internal,
+        );
         sources.push(s);
         let mut input = Input::Source(s);
         for (si, stage) in stages.iter().enumerate() {
@@ -84,10 +86,7 @@ fn build(
         inputs.pop().expect("one branch")
     } else {
         let u = b
-            .operator(
-                Box::new(Union::new("∪", schema(), inputs.len())),
-                inputs,
-            )
+            .operator(Box::new(Union::new("∪", schema(), inputs.len())), inputs)
             .unwrap();
         Input::Op(u)
     };
@@ -103,8 +102,11 @@ fn build(
         ),
         other => other,
     };
-    b.operator(Box::new(Sink::new("sink", schema(), out.clone())), vec![top])
-        .unwrap();
+    b.operator(
+        Box::new(Sink::new("sink", schema(), out.clone())),
+        vec![top],
+    )
+    .unwrap();
     let exec = Executor::new(
         b.build().unwrap(),
         VirtualClock::shared(),

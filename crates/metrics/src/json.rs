@@ -191,7 +191,10 @@ impl ToJson for crate::RunMetrics {
         Json::obj([
             ("latency", self.latency.to_json()),
             ("idle", self.idle.to_json()),
-            ("peak_queue_tuples", Json::Num(self.peak_queue_tuples as f64)),
+            (
+                "peak_queue_tuples",
+                Json::Num(self.peak_queue_tuples as f64),
+            ),
             (
                 "punctuation_enqueued",
                 Json::Num(self.punctuation_enqueued as f64),

@@ -144,10 +144,7 @@ impl AggState {
                     });
                 }
             }
-            (
-                AggState::Avg { sum: sa, count: ca },
-                AggState::Avg { sum: sb, count: cb },
-            ) => {
+            (AggState::Avg { sum: sa, count: ca }, AggState::Avg { sum: sb, count: cb }) => {
                 *sa += sb;
                 *ca += cb;
             }
@@ -335,9 +332,10 @@ impl Operator for WindowAggregate {
                 for g in &self.group_by {
                     key.push(g.eval(row)?);
                 }
-                let states = self.groups.entry(key).or_insert_with(|| {
-                    self.aggs.iter().map(|a| AggState::new(a.func)).collect()
-                });
+                let states = self
+                    .groups
+                    .entry(key)
+                    .or_insert_with(|| self.aggs.iter().map(|a| AggState::new(a.func)).collect());
                 for (state, agg) in states.iter_mut().zip(self.aggs.iter()) {
                     let v = match agg.func {
                         AggFunc::Count => Value::Int(1),
@@ -396,7 +394,10 @@ mod tests {
     }
 
     fn data(ts: u64, k: i64, v: i64) -> Tuple {
-        Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(k), Value::Int(v)])
+        Tuple::data(
+            Timestamp::from_micros(ts),
+            vec![Value::Int(k), Value::Int(v)],
+        )
     }
 
     fn run(a: &mut WindowAggregate, tuples: Vec<Tuple>) -> Vec<Tuple> {
@@ -510,10 +511,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let null_tuple = Tuple::data(
-            Timestamp::from_micros(15),
-            vec![Value::Int(0), Value::Null],
-        );
+        let null_tuple = Tuple::data(Timestamp::from_micros(15), vec![Value::Int(0), Value::Null]);
         let out = run(
             &mut a,
             vec![data(10, 0, 9), null_tuple, data(20, 0, 3), data(130, 0, 1)],
@@ -526,14 +524,8 @@ mod tests {
 
     #[test]
     fn zero_window_rejected() {
-        let err = WindowAggregate::new(
-            "γ",
-            &schema(),
-            TimeDelta::ZERO,
-            vec![],
-            vec![],
-        )
-        .unwrap_err();
+        let err =
+            WindowAggregate::new("γ", &schema(), TimeDelta::ZERO, vec![], vec![]).unwrap_err();
         assert!(matches!(err, Error::Config(_)));
     }
 
@@ -555,7 +547,10 @@ mod tests {
     fn window_alignment_is_stable() {
         let mut a = agg();
         // First tuple at 250 → window [200, 300).
-        let out = run(&mut a, vec![data(250, 1, 1), data(299, 1, 1), data(305, 1, 1)]);
+        let out = run(
+            &mut a,
+            vec![data(250, 1, 1), data(299, 1, 1), data(305, 1, 1)],
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].values().unwrap()[0], Value::Int(200));
         assert_eq!(out[0].values().unwrap()[2], Value::Int(2));

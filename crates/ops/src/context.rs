@@ -39,7 +39,11 @@ impl<'a> OpContext<'a> {
         outputs: &'a [&'a RefCell<Buffer>],
         now: Timestamp,
     ) -> Self {
-        OpContext { inputs, outputs, now }
+        OpContext {
+            inputs,
+            outputs,
+            now,
+        }
     }
 
     /// Number of input buffers.
@@ -62,6 +66,11 @@ impl<'a> OpContext<'a> {
         self.inputs[i].borrow_mut()
     }
 
+    /// Immutable view of output buffer `i`.
+    pub fn output(&self, i: usize) -> Ref<'_, Buffer> {
+        self.outputs[i].borrow()
+    }
+
     /// Mutable view of output buffer `i` (for production).
     pub fn output_mut(&self, i: usize) -> RefMut<'_, Buffer> {
         self.outputs[i].borrow_mut()
@@ -71,6 +80,14 @@ impl<'a> OpContext<'a> {
     /// `yield` condition.
     pub fn output_nonempty(&self) -> bool {
         self.outputs.first().is_some_and(|b| !b.borrow().is_empty())
+    }
+
+    /// True iff *any* output buffer holds tuples — the exact `yield`
+    /// condition the depth-first scheduler's Forward rule tests. Batched
+    /// execution must stop the moment this turns true so the scheduling
+    /// decisions stay identical to per-tuple execution.
+    pub fn yielded(&self) -> bool {
+        self.outputs.iter().any(|b| !b.borrow().is_empty())
     }
 }
 
@@ -131,6 +148,46 @@ impl StepOutcome {
     }
 }
 
+/// What a run of consecutive [`Operator::step_batch`] steps did — the
+/// aggregate of the per-step [`StepOutcome`]s plus the step count, so the
+/// scheduler can charge the exact per-tuple cost (`steps × step_cost_fixed
+/// + per_unit × total_work`) in one clock advance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Operator steps executed in this batch.
+    pub steps: usize,
+    /// Tuples removed from input buffers across the batch.
+    pub consumed: usize,
+    /// Tuples appended to output buffers across the batch.
+    pub produced: usize,
+    /// Extra work units across the batch.
+    pub work: usize,
+}
+
+impl BatchOutcome {
+    /// Folds one step's outcome into the batch.
+    pub fn record(&mut self, step: StepOutcome) {
+        self.steps += 1;
+        self.consumed += step.consumed;
+        self.produced += step.produced;
+        self.work += step.work;
+    }
+
+    /// Total work units for cost accounting (sum over the batch's steps).
+    pub fn total_work(&self) -> usize {
+        self.consumed + self.produced + self.work
+    }
+
+    /// The batch viewed as a single aggregate step (for activity traces).
+    pub fn as_step_outcome(&self) -> StepOutcome {
+        StepOutcome {
+            consumed: self.consumed,
+            produced: self.produced,
+            work: self.work,
+        }
+    }
+}
+
 /// A query operator — one node of the query graph.
 ///
 /// Implementations process **one head tuple per step** and must keep their
@@ -184,6 +241,42 @@ pub trait Operator {
     /// returned [`Poll::Ready`]; implementations may return an empty
     /// outcome if the state changed in between, but must not block.
     fn step(&mut self, ctx: &OpContext<'_>) -> Result<StepOutcome>;
+
+    /// True iff consecutive steps of this operator may be fused into one
+    /// scheduling decision without changing its output: the operator must
+    /// not read [`OpContext::now`] (the clock advances between per-tuple
+    /// steps, so a now-dependent operator would stamp different values)
+    /// and each step must depend only on buffer and operator state.
+    /// Conservative default: `false`.
+    fn batch_safe(&self) -> bool {
+        false
+    }
+
+    /// Executes up to `max_steps` consecutive steps as one batch — the
+    /// scheduler's Encore rule applied without returning to the scheduler
+    /// in between. Like [`Operator::step`], only called after `poll`
+    /// returned [`Poll::Ready`], so the first step runs unconditionally.
+    ///
+    /// The batch must stop at every boundary where the depth-first
+    /// scheduler would stop making Encore decisions:
+    /// * **yield** — any output buffer became (or already was) non-empty,
+    ///   which would fire the Forward rule;
+    /// * **starvation** — `poll` no longer returns ready;
+    /// * **the step budget** — `max_steps` reached.
+    ///
+    /// The default implementation loops `step`; operators override it to
+    /// fuse buffer borrows across the run.
+    fn step_batch(&mut self, ctx: &OpContext<'_>, max_steps: usize) -> Result<BatchOutcome> {
+        let mut batch = BatchOutcome::default();
+        loop {
+            let outcome = self.step(ctx)?;
+            batch.record(outcome);
+            if batch.steps >= max_steps || ctx.yielded() || !self.poll(ctx).is_ready() {
+                break;
+            }
+        }
+        Ok(batch)
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +301,131 @@ mod tests {
         assert_eq!(s.total_work(), 9);
         assert_eq!(StepOutcome::consumed_one(2).total_work(), 3);
         assert_eq!(StepOutcome::default().total_work(), 0);
+    }
+
+    #[test]
+    fn batch_outcome_aggregates_steps() {
+        let mut b = BatchOutcome::default();
+        b.record(StepOutcome::consumed_one(0));
+        b.record(StepOutcome::consumed_one(2));
+        b.record(StepOutcome {
+            consumed: 1,
+            produced: 0,
+            work: 4,
+        });
+        assert_eq!(b.steps, 3);
+        assert_eq!(b.consumed, 3);
+        assert_eq!(b.produced, 2);
+        assert_eq!(b.total_work(), 9);
+        assert_eq!(
+            b.as_step_outcome(),
+            StepOutcome {
+                consumed: 3,
+                produced: 2,
+                work: 4
+            }
+        );
+    }
+
+    /// A toy operator that consumes one tuple per step and produces output
+    /// only for even-valued tuples — enough to exercise every stop
+    /// condition of the default `step_batch`.
+    struct EvenKeeper {
+        schema: Schema,
+    }
+
+    impl Operator for EvenKeeper {
+        fn name(&self) -> &str {
+            "even"
+        }
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn output_schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn poll(&mut self, ctx: &OpContext<'_>) -> Poll {
+            if ctx.input(0).is_empty() {
+                Poll::starved_on(0)
+            } else {
+                Poll::Ready
+            }
+        }
+        fn step(&mut self, ctx: &OpContext<'_>) -> Result<StepOutcome> {
+            use millstream_types::Value;
+            let Some(t) = ctx.input_mut(0).pop() else {
+                return Ok(StepOutcome::default());
+            };
+            let keep = matches!(t.values(), Some([Value::Int(v)]) if v % 2 == 0);
+            if keep {
+                ctx.output_mut(0).push(t)?;
+                Ok(StepOutcome::consumed_one(1))
+            } else {
+                Ok(StepOutcome::consumed_one(0))
+            }
+        }
+    }
+
+    fn even_rig(values: &[i64]) -> (RefCell<Buffer>, RefCell<Buffer>) {
+        use millstream_types::{Tuple, Value};
+        let input = RefCell::new(Buffer::new("in"));
+        let output = RefCell::new(Buffer::new("out"));
+        for (i, &v) in values.iter().enumerate() {
+            input
+                .borrow_mut()
+                .push(Tuple::data(
+                    Timestamp::from_micros(i as u64),
+                    vec![Value::Int(v)],
+                ))
+                .unwrap();
+        }
+        (input, output)
+    }
+
+    #[test]
+    fn default_step_batch_stops_at_yield() {
+        use millstream_types::{DataType, Field};
+        let schema = Schema::new(vec![Field::new("v", DataType::Int)]);
+        let mut op = EvenKeeper { schema };
+        let (input, output) = even_rig(&[1, 3, 5, 4, 7]);
+        let inputs = [&input];
+        let outputs = [&output];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        // Three silent drops, then the produced tuple stops the batch.
+        let b = op.step_batch(&ctx, 64).unwrap();
+        assert_eq!(b.steps, 4);
+        assert_eq!(b.consumed, 4);
+        assert_eq!(b.produced, 1);
+        assert_eq!(input.borrow().len(), 1, "the 7 is untouched");
+    }
+
+    #[test]
+    fn default_step_batch_respects_budget_and_starvation() {
+        use millstream_types::{DataType, Field};
+        let schema = Schema::new(vec![Field::new("v", DataType::Int)]);
+        let mut op = EvenKeeper {
+            schema: schema.clone(),
+        };
+        let (input, output) = even_rig(&[1, 3, 5]);
+        let inputs = [&input];
+        let outputs = [&output];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        // Budget of 2 stops mid-run.
+        let b = op.step_batch(&ctx, 2).unwrap();
+        assert_eq!(b.steps, 2);
+        // Draining the rest stops on starvation, not the budget.
+        let b = op.step_batch(&ctx, 64).unwrap();
+        assert_eq!(b.steps, 1);
+        assert!(input.borrow().is_empty());
+        assert!(output.borrow().is_empty());
+        // Budget of 1 is exactly one per-tuple step.
+        let mut op1 = EvenKeeper { schema };
+        let (input1, output1) = even_rig(&[2]);
+        let inputs1 = [&input1];
+        let outputs1 = [&output1];
+        let ctx1 = OpContext::new(&inputs1, &outputs1, Timestamp::ZERO);
+        let b = op1.step_batch(&ctx1, 1).unwrap();
+        assert_eq!((b.steps, b.produced), (1, 1));
     }
 
     #[test]

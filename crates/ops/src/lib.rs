@@ -34,7 +34,7 @@ mod split;
 mod union;
 
 pub use aggregate::{AggExpr, AggFunc, WindowAggregate};
-pub use context::{OpContext, Operator, Poll, StepOutcome};
+pub use context::{BatchOutcome, OpContext, Operator, Poll, StepOutcome};
 pub use filter::{DropBehavior, Filter};
 pub use join::{JoinSpec, WindowJoin};
 pub use multijoin::MultiWindowJoin;

@@ -317,7 +317,9 @@ mod tests {
     impl Rig3 {
         fn new() -> Self {
             Rig3 {
-                bufs: (0..3).map(|i| RefCell::new(Buffer::new(format!("in{i}")))).collect(),
+                bufs: (0..3)
+                    .map(|i| RefCell::new(Buffer::new(format!("in{i}"))))
+                    .collect(),
                 out: RefCell::new(Buffer::new("out")),
             }
         }
@@ -415,7 +417,10 @@ mod tests {
         rig.bufs[0].borrow_mut().push(punct(600)).unwrap();
         rig.bufs[1].borrow_mut().push(punct(600)).unwrap();
         let out = rig.drain(&mut j);
-        assert!(out.iter().all(|t| t.is_punctuation()), "stale windows expired");
+        assert!(
+            out.iter().all(|t| t.is_punctuation()),
+            "stale windows expired"
+        );
         assert_eq!(j.window_len(0), 0);
         assert_eq!(j.window_len(1), 0);
     }
@@ -464,12 +469,7 @@ mod tests {
             let b = RefCell::new(Buffer::new("b"));
             let out = RefCell::new(Buffer::new("out"));
             let cond = Expr::col(0).eq(Expr::col(1));
-            let mut j = MultiWindowJoin::new(
-                "m",
-                &[schema(), schema()],
-                vec![w, w],
-                Some(cond),
-            );
+            let mut j = MultiWindowJoin::new("m", &[schema(), schema()], vec![w, w], Some(cond));
             for &(ts, v) in &tuples_a {
                 a.borrow_mut().push(data(ts, v)).unwrap();
             }

@@ -8,7 +8,7 @@
 
 use millstream_types::{Expr, Result, Schema};
 
-use crate::context::{OpContext, Operator, Poll, StepOutcome};
+use crate::context::{BatchOutcome, OpContext, Operator, Poll, StepOutcome};
 
 /// The projection/map operator.
 pub struct Project {
@@ -82,6 +82,21 @@ impl Operator for Project {
             }
         }
     }
+
+    fn batch_safe(&self) -> bool {
+        // Expressions see only the input row; `ctx.now` is never read.
+        true
+    }
+
+    /// Every projection step produces exactly one output tuple, so the
+    /// scheduler's yield boundary falls after the first step of any batch.
+    /// The override encodes that invariant directly, skipping the default
+    /// loop's redundant yield probe and re-poll.
+    fn step_batch(&mut self, ctx: &OpContext<'_>, _max_steps: usize) -> Result<BatchOutcome> {
+        let mut batch = BatchOutcome::default();
+        batch.record(self.step(ctx)?);
+        Ok(batch)
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +136,10 @@ mod tests {
     fn computes_expressions() {
         let out_schema = Schema::new(vec![Field::new("sum", DataType::Int)]);
         let mut p = Project::new("π", out_schema, vec![Expr::col(0).add(Expr::col(1))]);
-        let t = Tuple::data(Timestamp::from_micros(3), vec![Value::Int(2), Value::Int(5)]);
+        let t = Tuple::data(
+            Timestamp::from_micros(3),
+            vec![Value::Int(2), Value::Int(5)],
+        );
         let out = run(&mut p, vec![t]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].values().unwrap(), &[Value::Int(7)]);
@@ -144,6 +162,29 @@ mod tests {
         let out = run(&mut p, vec![Tuple::punctuation(Timestamp::from_micros(9))]);
         assert_eq!(out.len(), 1);
         assert!(out[0].is_punctuation());
+    }
+
+    #[test]
+    fn step_batch_is_one_yielding_step() {
+        let mut p = Project::columns("π", &in_schema(), &[0]).unwrap();
+        assert!(p.batch_safe());
+        let input = RefCell::new(Buffer::new("in"));
+        let output = RefCell::new(Buffer::new("out"));
+        for i in 0..3u64 {
+            input
+                .borrow_mut()
+                .push(Tuple::data(
+                    Timestamp::from_micros(i),
+                    vec![Value::Int(i as i64), Value::Int(0)],
+                ))
+                .unwrap();
+        }
+        let inputs = [&input];
+        let outputs = [&output];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        let b = p.step_batch(&ctx, 64).unwrap();
+        assert_eq!((b.steps, b.consumed, b.produced), (1, 1, 1));
+        assert_eq!(input.borrow().len(), 2, "yield after every step");
     }
 
     #[test]

@@ -129,11 +129,7 @@ impl Reorder {
     /// Releases every buffered tuple at or below the watermark, in order.
     fn release(&mut self, ctx: &OpContext<'_>, up_to: Timestamp) -> Result<usize> {
         let mut produced = 0;
-        while self
-            .heap
-            .peek()
-            .is_some_and(|Reverse(p)| p.ts <= up_to)
-        {
+        while self.heap.peek().is_some_and(|Reverse(p)| p.ts <= up_to) {
             let Reverse(p) = self.heap.pop().expect("peeked");
             self.emitted_high_water = Some(
                 self.emitted_high_water
@@ -197,10 +193,7 @@ impl Operator for Reorder {
                 });
             }
             // Too late even for the slack bound?
-            if self
-                .emitted_high_water
-                .is_some_and(|h| tuple.ts < h)
-            {
+            if self.emitted_high_water.is_some_and(|h| tuple.ts < h) {
                 self.late_tuples += 1;
                 if let Some(c) = &self.late_counter {
                     c.set(self.late_tuples);

@@ -131,11 +131,7 @@ impl SlidingAggregate {
             let keep_from = boundary
                 .saturating_add(self.slide)
                 .saturating_sub(self.window);
-            while self
-                .panes
-                .front()
-                .is_some_and(|(s, _)| *s < keep_from)
-            {
+            while self.panes.front().is_some_and(|(s, _)| *s < keep_from) {
                 self.panes.pop_front();
             }
 
@@ -236,9 +232,10 @@ impl Operator for SlidingAggregate {
                 for g in &self.group_by {
                     key.push(g.eval(row)?);
                 }
-                let states = self.current.entry(key).or_insert_with(|| {
-                    self.aggs.iter().map(|a| AggState::new(a.func)).collect()
-                });
+                let states = self
+                    .current
+                    .entry(key)
+                    .or_insert_with(|| self.aggs.iter().map(|a| AggState::new(a.func)).collect());
                 for (state, agg) in states.iter_mut().zip(self.aggs.iter()) {
                     let v = match agg.func {
                         AggFunc::Count => Value::Int(1),
@@ -293,7 +290,10 @@ mod tests {
     }
 
     fn data(ts: u64, k: i64, v: i64) -> Tuple {
-        Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(k), Value::Int(v)])
+        Tuple::data(
+            Timestamp::from_micros(ts),
+            vec![Value::Int(k), Value::Int(v)],
+        )
     }
 
     fn run(a: &mut SlidingAggregate, tuples: Vec<Tuple>) -> Vec<(i64, i64, i64, i64)> {
@@ -350,7 +350,12 @@ mod tests {
         let mut s = sliding(100, 100);
         let rows = run(
             &mut s,
-            vec![data(10, 1, 5), data(20, 1, 7), data(150, 1, 100), eos(1_000)],
+            vec![
+                data(10, 1, 5),
+                data(20, 1, 7),
+                data(150, 1, 100),
+                eos(1_000),
+            ],
         );
         // Window [0,100): n=2, s=12. Window [100,200): n=1, s=100.
         assert_eq!(rows, vec![(0, 1, 2, 12), (100, 1, 1, 100)]);
@@ -376,10 +381,7 @@ mod tests {
     #[test]
     fn groups_stay_separate_across_panes() {
         let mut s = sliding(200, 100);
-        let rows = run(
-            &mut s,
-            vec![data(50, 1, 1), data(150, 2, 2), eos(1_000)],
-        );
+        let rows = run(&mut s, vec![data(50, 1, 1), data(150, 2, 2), eos(1_000)]);
         // Boundary 200 window [0,200) has both groups.
         let b200: Vec<_> = rows.iter().filter(|r| r.0 == 0 && r.2 == 1).collect();
         assert!(b200.len() >= 2, "rows {rows:?}");

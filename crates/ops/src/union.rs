@@ -20,7 +20,7 @@
 use millstream_buffer::TsmBank;
 use millstream_types::{Result, Schema, Timestamp};
 
-use crate::context::{OpContext, Operator, Poll, StepOutcome};
+use crate::context::{BatchOutcome, OpContext, Operator, Poll, StepOutcome};
 
 /// The n-ary merging union operator.
 pub struct Union {
@@ -153,8 +153,7 @@ impl Operator for Union {
                 starving: self.tsm.argmin(),
             },
             Some(tau) => {
-                let witnessed = (0..self.inputs)
-                    .any(|i| ctx.input(i).front_ts() == Some(tau));
+                let witnessed = (0..self.inputs).any(|i| ctx.input(i).front_ts() == Some(tau));
                 if witnessed {
                     Poll::Ready
                 } else {
@@ -228,6 +227,68 @@ impl Operator for Union {
         self.forwarded_data += 1;
         ctx.output_mut(0).push(tuple)?;
         Ok(StepOutcome::consumed_one(1))
+    }
+
+    fn batch_safe(&self) -> bool {
+        // The merging union reads only buffer heads and TSM registers. The
+        // latent union stamps `ctx.now` onto every tuple — fusing its steps
+        // would collapse distinct stamps into one, so it must stay on the
+        // per-tuple path.
+        !self.latent
+    }
+
+    /// The merging union's Encore run: suppressed duplicate punctuation
+    /// consumes input without producing output, so a run of duplicates
+    /// (e.g. one heartbeat per input at the same τ) fuses into one
+    /// scheduling decision. Folding the poll's TSM observation into the
+    /// step loop also halves the head scans of the default path.
+    fn step_batch(&mut self, ctx: &OpContext<'_>, max_steps: usize) -> Result<BatchOutcome> {
+        let mut batch = BatchOutcome::default();
+        if self.latent {
+            // Not batch-safe; behave exactly like one per-tuple step.
+            batch.record(self.step(ctx)?);
+            return Ok(batch);
+        }
+        loop {
+            self.observe_heads(ctx);
+            let picked = self
+                .tsm
+                .min_tau()
+                .and_then(|tau| self.pick_tau_input(ctx, tau));
+            let Some(i) = picked else {
+                // Mirrors `step`'s defensive empty outcome when poll and
+                // step observe different states.
+                if batch.steps == 0 {
+                    batch.record(StepOutcome::default());
+                }
+                break;
+            };
+            let tuple = ctx.input_mut(i).pop().expect("head checked by pick");
+            self.next_input = (i + 1) % self.inputs;
+
+            if tuple.is_punctuation() {
+                if self.emitted_high_water.is_some_and(|hw| tuple.ts <= hw) {
+                    self.suppressed_punct += 1;
+                    batch.record(StepOutcome::consumed_one(0));
+                    if batch.steps >= max_steps || ctx.yielded() {
+                        break;
+                    }
+                    continue; // silent consumption: Encore again
+                }
+                self.emitted_high_water = Some(tuple.ts);
+                self.forwarded_punct += 1;
+            } else {
+                self.emitted_high_water = Some(
+                    self.emitted_high_water
+                        .map_or(tuple.ts, |hw| hw.max(tuple.ts)),
+                );
+                self.forwarded_data += 1;
+            }
+            ctx.output_mut(0).push(tuple)?;
+            batch.record(StepOutcome::consumed_one(1));
+            break; // yield
+        }
+        Ok(batch)
     }
 }
 
@@ -377,7 +438,10 @@ mod tests {
         let mut u = Union::new("∪", schema(), 2);
         for i in 0..20u64 {
             rig.a.borrow_mut().push(data(i * 3, i as i64)).unwrap();
-            rig.b.borrow_mut().push(data(i * 5, 100 + i as i64)).unwrap();
+            rig.b
+                .borrow_mut()
+                .push(data(i * 5, 100 + i as i64))
+                .unwrap();
         }
         let out = rig.drain(&mut u, 1_000);
         let ts: Vec<u64> = out.iter().map(|t| t.ts.as_micros()).collect();
@@ -425,5 +489,50 @@ mod tests {
     #[should_panic(expected = "at least two inputs")]
     fn rejects_unary_union() {
         let _ = Union::new("∪", schema(), 1);
+    }
+
+    #[test]
+    fn step_batch_fuses_suppressed_punctuation_runs() {
+        let rig = Rig::new();
+        let mut u = Union::new("∪", schema(), 2);
+        assert!(u.batch_safe());
+        // Both inputs carry an ETS at τ = 7; one input also holds a
+        // simultaneous data tuple behind its ETS.
+        rig.a.borrow_mut().push(punct(7)).unwrap();
+        rig.b.borrow_mut().push(punct(7)).unwrap();
+        rig.b.borrow_mut().push(data(7, 1)).unwrap();
+        let inputs = [&rig.a, &rig.b];
+        let outputs = [&rig.out];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+        // First batch forwards the first ETS and stops at yield.
+        let b = u.step_batch(&ctx, 64).unwrap();
+        assert_eq!((b.steps, b.produced), (1, 1));
+        assert!(rig.out.borrow().front().unwrap().is_punctuation());
+        rig.out.borrow_mut().clear();
+        // Second batch: the duplicate ETS is consumed silently (Encore),
+        // then the simultaneous data tuple produces and ends the batch.
+        let b = u.step_batch(&ctx, 64).unwrap();
+        assert_eq!((b.steps, b.consumed, b.produced), (2, 2, 1));
+        assert_eq!(u.suppressed_punctuation(), 1);
+        let out = rig.out.borrow_mut().pop().unwrap();
+        assert!(out.is_data());
+        assert_eq!(out.ts.as_micros(), 7);
+    }
+
+    #[test]
+    fn latent_union_is_not_batch_safe() {
+        let rig = Rig::new();
+        let mut u = Union::latent("∪", schema(), 2);
+        assert!(!u.batch_safe());
+        rig.a.borrow_mut().push(data(1, 1)).unwrap();
+        rig.a.borrow_mut().push(data(2, 2)).unwrap();
+        let inputs = [&rig.a, &rig.b];
+        let outputs = [&rig.out];
+        let ctx = OpContext::new(&inputs, &outputs, Timestamp::from_micros(100));
+        // Even if asked for a batch, the latent union takes one step so
+        // each tuple gets its own clock stamp.
+        let b = u.step_batch(&ctx, 64).unwrap();
+        assert_eq!(b.steps, 1);
+        assert_eq!(rig.a.borrow().len(), 1);
     }
 }

@@ -19,9 +19,7 @@ use millstream_ops::{
     AggExpr, AggFunc, JoinSpec, OpContext, Operator, SlidingAggregate, Union, WindowAggregate,
     WindowJoin,
 };
-use millstream_types::{
-    DataType, Expr, Field, Schema, TimeDelta, Timestamp, Tuple, Value,
-};
+use millstream_types::{DataType, Expr, Field, Schema, TimeDelta, Timestamp, Tuple, Value};
 
 fn schema() -> Schema {
     Schema::new(vec![Field::new("v", DataType::Int)])

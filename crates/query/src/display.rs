@@ -221,8 +221,8 @@ mod tests {
         let ast1 = parse_program(text).expect("first parse");
         let printed: Vec<String> = ast1.iter().map(|s| s.to_string()).collect();
         let joined = printed.join(";\n");
-        let ast2 = parse_program(&joined)
-            .unwrap_or_else(|e| panic!("reparse of `{joined}` failed: {e}"));
+        let ast2 =
+            parse_program(&joined).unwrap_or_else(|e| panic!("reparse of `{joined}` failed: {e}"));
         assert_eq!(ast1, ast2, "printed form `{joined}` changed the AST");
     }
 

@@ -58,10 +58,46 @@ pub enum Tok {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Keyword {
-    Create, Stream, Select, From, Where, Union, All, Join, On, As, Window,
-    Group, By, Having, And, Or, Not, Is, Null, True, False,
-    Int, Float, Bool, String, Timestamp, Internal, External, Latent, Slack,
-    Seconds, Milliseconds, Minutes, Count, Sum, Min, Max, Avg, Every, Into,
+    Create,
+    Stream,
+    Select,
+    From,
+    Where,
+    Union,
+    All,
+    Join,
+    On,
+    As,
+    Window,
+    Group,
+    By,
+    Having,
+    And,
+    Or,
+    Not,
+    Is,
+    Null,
+    True,
+    False,
+    Int,
+    Float,
+    Bool,
+    String,
+    Timestamp,
+    Internal,
+    External,
+    Latent,
+    Slack,
+    Seconds,
+    Milliseconds,
+    Minutes,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    Every,
+    Into,
 }
 
 impl Keyword {
@@ -243,14 +279,14 @@ pub fn lex(text: &str) -> Result<Vec<Spanned>> {
                 col += (j - i - 1) as u32;
                 i = j - 1;
                 if is_float {
-                    let v = text
-                        .parse::<f64>()
-                        .map_err(|_| Error::parse(format!("bad float `{text}`"), line, start_col))?;
+                    let v = text.parse::<f64>().map_err(|_| {
+                        Error::parse(format!("bad float `{text}`"), line, start_col)
+                    })?;
                     push!(Tok::Float(v), start_col);
                 } else {
-                    let v = text
-                        .parse::<i64>()
-                        .map_err(|_| Error::parse(format!("bad integer `{text}`"), line, start_col))?;
+                    let v = text.parse::<i64>().map_err(|_| {
+                        Error::parse(format!("bad integer `{text}`"), line, start_col)
+                    })?;
                     push!(Tok::Int(v), start_col);
                 }
             }
@@ -303,10 +339,7 @@ mod tests {
         // Case-insensitive keywords, case-preserving identifiers.
         assert_eq!(
             toks("select MyStream"),
-            vec![
-                Tok::Keyword(Keyword::Select),
-                Tok::Ident("MyStream".into())
-            ]
+            vec![Tok::Keyword(Keyword::Select), Tok::Ident("MyStream".into())]
         );
     }
 

@@ -237,7 +237,11 @@ impl Parser {
             };
             self.expect_kw(Keyword::Every, "EVERY")?;
             let every = self.duration()?;
-            Some(GroupByClause { keys, window, every })
+            Some(GroupByClause {
+                keys,
+                window,
+                every,
+            })
         } else {
             None
         };
@@ -527,10 +531,9 @@ mod tests {
 
     #[test]
     fn parses_slack_clause() {
-        let stmts = parse_program(
-            "CREATE STREAM s (x INT) TIMESTAMP EXTERNAL SLACK 250 MILLISECONDS",
-        )
-        .unwrap();
+        let stmts =
+            parse_program("CREATE STREAM s (x INT) TIMESTAMP EXTERNAL SLACK 250 MILLISECONDS")
+                .unwrap();
         let Stmt::CreateStream { kind, slack, .. } = &stmts[0] else {
             panic!()
         };
@@ -563,10 +566,9 @@ mod tests {
 
     #[test]
     fn parses_window_join() {
-        let q = parse_query(
-            "SELECT a.src FROM s1 AS a JOIN s2 AS b ON a.src = b.src WINDOW 5 SECONDS",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT a.src FROM s1 AS a JOIN s2 AS b ON a.src = b.src WINDOW 5 SECONDS")
+                .unwrap();
         let j = q.branches[0].join.as_ref().unwrap();
         assert_eq!(j.table.binding(), "b");
         assert_eq!(j.window, TimeDelta::from_secs(5));
@@ -619,7 +621,12 @@ mod tests {
         let q = parse_query("SELECT * FROM s WHERE a + b * 2 > 10 AND NOT c = 3 OR d < 1").unwrap();
         // ((a + (b*2)) > 10 AND NOT (c = 3)) OR (d < 1)
         let f = q.branches[0].filter.as_ref().unwrap();
-        let AstExpr::Binary { op: BinOp::Or, left, .. } = f else {
+        let AstExpr::Binary {
+            op: BinOp::Or,
+            left,
+            ..
+        } = f
+        else {
             panic!("top must be OR, got {f:?}");
         };
         let AstExpr::Binary { op: BinOp::And, .. } = left.as_ref() else {

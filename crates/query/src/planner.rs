@@ -64,7 +64,14 @@ impl Catalog {
         if self.streams.contains_key(&name) {
             return Err(Error::plan(format!("stream `{name}` already defined")));
         }
-        self.streams.insert(name, StreamDef { schema, kind, slack });
+        self.streams.insert(
+            name,
+            StreamDef {
+                schema,
+                kind,
+                slack,
+            },
+        );
         Ok(())
     }
 
@@ -389,11 +396,11 @@ impl PlanCtx<'_> {
                 )));
             }
             let name = self.next_name("⋔");
-            let split = self
-                .builder
-                .operator(Box::new(Split::new(name, schema.clone(), uses)), vec![input])?;
-            let mut ports: Vec<Input> =
-                (0..uses).map(|p| Input::OpPort(split, p)).collect();
+            let split = self.builder.operator(
+                Box::new(Split::new(name, schema.clone(), uses)),
+                vec![input],
+            )?;
+            let mut ports: Vec<Input> = (0..uses).map(|p| Input::OpPort(split, p)).collect();
             input = ports.pop().expect("uses >= 2");
             self.shared.insert(table.stream.clone(), ports);
         }
@@ -423,8 +430,7 @@ impl PlanCtx<'_> {
                 );
                 let on = resolve_expr(&join.on, &scope)?;
                 let (key, residual) = split_join_condition(on, src_schema.len());
-                let joined =
-                    src_schema.join(&schema2, b.from.binding(), join.table.binding());
+                let joined = src_schema.join(&schema2, b.from.binding(), join.table.binding());
                 let mut spec = JoinSpec {
                     window_a: join.window,
                     window_b: join.window,
@@ -452,9 +458,10 @@ impl PlanCtx<'_> {
                 return Err(Error::plan("WHERE predicate must be boolean"));
             }
             let name = self.next_name("σ");
-            let f = self
-                .builder
-                .operator(Box::new(Filter::new(name, schema.clone(), predicate)), vec![input])?;
+            let f = self.builder.operator(
+                Box::new(Filter::new(name, schema.clone(), predicate)),
+                vec![input],
+            )?;
             input = Input::Op(f);
         }
 
@@ -500,9 +507,10 @@ impl PlanCtx<'_> {
             }
             let out_schema: Schema = fields.into_iter().collect();
             let name = self.next_name("π");
-            let p = self
-                .builder
-                .operator(Box::new(Project::new(name, out_schema.clone(), exprs)), vec![input])?;
+            let p = self.builder.operator(
+                Box::new(Project::new(name, out_schema.clone(), exprs)),
+                vec![input],
+            )?;
             input = Input::Op(p);
             schema = out_schema;
         }
@@ -546,10 +554,9 @@ impl PlanCtx<'_> {
                         Some(a) => resolve_expr(a, scope)?,
                         None => Expr::lit(Value::Int(1)),
                     };
-                    let name = item
-                        .alias
-                        .clone()
-                        .unwrap_or_else(|| format!("{}{}", agg_func(*func).name().to_lowercase(), i));
+                    let name = item.alias.clone().unwrap_or_else(|| {
+                        format!("{}{}", agg_func(*func).name().to_lowercase(), i)
+                    });
                     aggs.push(AggExpr {
                         func: agg_func(*func),
                         arg: resolved,
@@ -572,14 +579,7 @@ impl PlanCtx<'_> {
         // without the WINDOW clause the window tumbles with the period.
         let (op, out_schema): (Box<dyn Operator>, Schema) = match group.window {
             Some(window) if window != group.every => {
-                let agg = SlidingAggregate::new(
-                    name,
-                    schema,
-                    window,
-                    group.every,
-                    keys,
-                    aggs,
-                )?;
+                let agg = SlidingAggregate::new(name, schema, window, group.every, keys, aggs)?;
                 let out = agg.output_schema().clone();
                 (Box::new(agg), out)
             }
@@ -758,10 +758,7 @@ mod tests {
         // window_start + src + n + mean.
         assert_eq!(p.output_schema.len(), 4);
         assert_eq!(p.output_schema.field(2).unwrap().name, "n");
-        assert_eq!(
-            p.output_schema.field(3).unwrap().data_type,
-            DataType::Float
-        );
+        assert_eq!(p.output_schema.field(3).unwrap().data_type, DataType::Float);
     }
 
     #[test]
@@ -790,10 +787,9 @@ mod tests {
 
     #[test]
     fn rejects_ambiguous_column() {
-        let err = plan(
-            "SELECT src FROM packets AS a JOIN flows AS b ON a.src = b.src WINDOW 1 SECONDS",
-        )
-        .unwrap_err();
+        let err =
+            plan("SELECT src FROM packets AS a JOIN flows AS b ON a.src = b.src WINDOW 1 SECONDS")
+                .unwrap_err();
         assert!(err.to_string().contains("ambiguous"), "{err}");
     }
 
@@ -825,10 +821,8 @@ mod tests {
 
     #[test]
     fn rejects_non_grouped_item() {
-        let err = plan(
-            "SELECT len, COUNT(*) AS n FROM packets GROUP BY src EVERY 1 SECONDS",
-        )
-        .unwrap_err();
+        let err = plan("SELECT len, COUNT(*) AS n FROM packets GROUP BY src EVERY 1 SECONDS")
+            .unwrap_err();
         assert!(err.to_string().contains("GROUP BY"), "{err}");
     }
 
@@ -872,8 +866,11 @@ mod tests {
     #[test]
     fn catalog_rejects_duplicates() {
         let mut c = Catalog::new();
-        c.define("s", Schema::empty(), TimestampKind::Internal).unwrap();
-        assert!(c.define("s", Schema::empty(), TimestampKind::Internal).is_err());
+        c.define("s", Schema::empty(), TimestampKind::Internal)
+            .unwrap();
+        assert!(c
+            .define("s", Schema::empty(), TimestampKind::Internal)
+            .is_err());
         assert_eq!(c.len(), 1);
         assert!(!c.is_empty());
     }

@@ -22,9 +22,7 @@ fn literal() -> impl Strategy<Value = Value> {
         // Non-negative only: a leading minus parses as unary negation.
         (0i64..10_000).prop_map(Value::Int),
         // Floats with a guaranteed fractional part so they print with a dot.
-        (0i64..1_000, 1i64..100).prop_map(|(a, b)| {
-            Value::Float(a as f64 + b as f64 / 128.0)
-        }),
+        (0i64..1_000, 1i64..100).prop_map(|(a, b)| { Value::Float(a as f64 + b as f64 / 128.0) }),
         Just(Value::Bool(true)),
         Just(Value::Bool(false)),
         Just(Value::Null),
@@ -96,8 +94,8 @@ fn agg() -> impl Strategy<Value = AstAgg> {
 }
 
 fn select_item() -> impl Strategy<Value = SelectItem> {
-    let plain = (expr(), prop::option::of(ident()))
-        .prop_map(|(expr, alias)| SelectItem { expr, alias });
+    let plain =
+        (expr(), prop::option::of(ident())).prop_map(|(expr, alias)| SelectItem { expr, alias });
     let agg_item = (agg(), prop::option::of(expr()), ident()).prop_map(|(func, arg, alias)| {
         let arg = match (func, arg) {
             // Only COUNT may take `*`.
@@ -124,9 +122,13 @@ fn select_stmt() -> impl Strategy<Value = SelectStmt> {
             3 => prop::collection::vec(select_item(), 1..4).prop_map(Projection::Items),
         ],
         table_ref(),
-        prop::option::of((table_ref(), expr(), duration()).prop_map(|(table, on, window)| {
-            JoinClause { table, on, window }
-        })),
+        prop::option::of(
+            (table_ref(), expr(), duration()).prop_map(|(table, on, window)| JoinClause {
+                table,
+                on,
+                window,
+            }),
+        ),
         prop::option::of(expr()),
         prop::option::of(
             (
@@ -134,19 +136,25 @@ fn select_stmt() -> impl Strategy<Value = SelectStmt> {
                 prop::option::of(duration()),
                 duration(),
             )
-                .prop_map(|(keys, window, every)| GroupByClause { keys, window, every }),
+                .prop_map(|(keys, window, every)| GroupByClause {
+                    keys,
+                    window,
+                    every,
+                }),
         ),
         prop::option::of(expr()),
     )
-        .prop_map(|(projection, from, join, filter, group_by, having)| SelectStmt {
-            projection,
-            from,
-            join,
-            filter,
-            // HAVING is only legal with GROUP BY.
-            having: if group_by.is_some() { having } else { None },
-            group_by,
-        })
+        .prop_map(
+            |(projection, from, join, filter, group_by, having)| SelectStmt {
+                projection,
+                from,
+                join,
+                filter,
+                // HAVING is only legal with GROUP BY.
+                having: if group_by.is_some() { having } else { None },
+                group_by,
+            },
+        )
 }
 
 fn create_stream() -> impl Strategy<Value = Stmt> {

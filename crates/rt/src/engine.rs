@@ -11,7 +11,9 @@ use millstream_metrics::{LatencyRecorder, LatencySummary};
 use millstream_types::{TimestampKind, Value};
 
 use crate::clock::WallClock;
-use crate::pipeline::{spawn_filter, spawn_heartbeat, spawn_sink, spawn_union2, RtStrategy};
+use crate::pipeline::{
+    spawn_filter_batched, spawn_heartbeat, spawn_sink, spawn_union2, RtStrategy,
+};
 use crate::stream::RtSource;
 
 /// Thread-safe latency metrics shared with the sink stage.
@@ -94,6 +96,17 @@ impl Fig4Rt {
     /// Builds and starts the pipeline. `heartbeat` adds a periodic
     /// punctuation thread on the slow stream (line B).
     pub fn start(strategy: RtStrategy, heartbeat: Option<Duration>) -> Fig4Rt {
+        Fig4Rt::start_with_batch(strategy, heartbeat, 1)
+    }
+
+    /// Like [`Fig4Rt::start`], with the filter stages draining up to
+    /// `encore_batch` queued tuples per channel wake (the real-time
+    /// analogue of `ExecOptions::encore_batch`; `1` = per-tuple).
+    pub fn start_with_batch(
+        strategy: RtStrategy,
+        heartbeat: Option<Duration>,
+        encore_batch: usize,
+    ) -> Fig4Rt {
         let clock = WallClock::new();
         let kind = if strategy == RtStrategy::Latent {
             TimestampKind::Latent
@@ -108,8 +121,20 @@ impl Fig4Rt {
         let (f2_tx, f2_rx) = crossbeam::channel::unbounded();
         // 95% selectivity on a [0, 1000) value column, like the simulator.
         let pass = |row: &[Value]| matches!(row.first(), Some(Value::Int(v)) if *v < 950);
-        engine.add(spawn_filter("fast", fast_rx, f1_tx, pass));
-        engine.add(spawn_filter("slow", slow_rx, f2_tx, pass));
+        engine.add(spawn_filter_batched(
+            "fast",
+            fast_rx,
+            f1_tx,
+            pass,
+            encore_batch,
+        ));
+        engine.add(spawn_filter_batched(
+            "slow",
+            slow_rx,
+            f2_tx,
+            pass,
+            encore_batch,
+        ));
 
         let (u_tx, u_rx) = crossbeam::channel::unbounded();
         engine.add(spawn_union2(
@@ -154,10 +179,16 @@ mod tests {
 
     /// Pushes `n` fast tuples with small gaps while the slow stream stays
     /// silent, then returns the metrics.
-    fn run_fast_only(strategy: RtStrategy, heartbeat: Option<Duration>, n: u64) -> (u64, LatencySummary) {
+    fn run_fast_only(
+        strategy: RtStrategy,
+        heartbeat: Option<Duration>,
+        n: u64,
+    ) -> (u64, LatencySummary) {
         let rig = Fig4Rt::start(strategy, heartbeat);
         for i in 0..n {
-            rig.fast.push_row(vec![Value::Int((i % 900) as i64)]).unwrap();
+            rig.fast
+                .push_row(vec![Value::Int((i % 900) as i64)])
+                .unwrap();
             std::thread::sleep(Duration::from_millis(1));
         }
         // Give the pipeline a moment to drain what it can.

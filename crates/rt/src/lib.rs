@@ -29,7 +29,7 @@ mod stream;
 pub use clock::WallClock;
 pub use engine::{Fig4Rt, RtEngine, RtMetrics};
 pub use pipeline::{
-    spawn_filter, spawn_heartbeat, spawn_map, spawn_sink, spawn_union, spawn_union2,
-    spawn_window_join, RtStrategy,
+    spawn_filter, spawn_filter_batched, spawn_heartbeat, spawn_map, spawn_map_batched, spawn_sink,
+    spawn_union, spawn_union2, spawn_window_join, RtStrategy,
 };
 pub use stream::RtSource;

@@ -47,16 +47,45 @@ pub fn spawn_filter<F>(
 where
     F: Fn(&[Value]) -> bool + Send + 'static,
 {
+    spawn_filter_batched(name, rx, tx, predicate, 1)
+}
+
+/// Spawns a filter stage that drains up to `batch` queued tuples per
+/// channel wake — the wall-clock analogue of the executor's Encore batch
+/// (`ExecOptions::encore_batch`): one blocking receive amortizes over a
+/// run of queued tuples instead of paying a wake per tuple. FIFO order is
+/// preserved, so the output stream is identical to the per-tuple stage.
+pub fn spawn_filter_batched<F>(
+    name: &str,
+    rx: Receiver<Tuple>,
+    tx: Sender<Tuple>,
+    predicate: F,
+    batch: usize,
+) -> JoinHandle<()>
+where
+    F: Fn(&[Value]) -> bool + Send + 'static,
+{
+    let batch = batch.max(1);
     std::thread::Builder::new()
         .name(format!("ms-filter-{name}"))
         .spawn(move || {
-            while let Ok(tuple) = rx.recv() {
-                let keep = match tuple.values() {
-                    None => true,
-                    Some(row) => predicate(row),
-                };
-                if keep && tx.send(tuple).is_err() {
-                    break;
+            let mut run: Vec<Tuple> = Vec::with_capacity(batch);
+            'outer: while let Ok(first) = rx.recv() {
+                run.push(first);
+                while run.len() < batch {
+                    match rx.try_recv() {
+                        Ok(t) => run.push(t),
+                        Err(_) => break,
+                    }
+                }
+                for tuple in run.drain(..) {
+                    let keep = match tuple.values() {
+                        None => true,
+                        Some(row) => predicate(row),
+                    };
+                    if keep && tx.send(tuple).is_err() {
+                        break 'outer;
+                    }
                 }
             }
             // Sender dropped here: disconnect cascades downstream.
@@ -65,25 +94,46 @@ where
 }
 
 /// Spawns a map stage transforming data rows; punctuation passes through.
-pub fn spawn_map<F>(
+pub fn spawn_map<F>(name: &str, rx: Receiver<Tuple>, tx: Sender<Tuple>, f: F) -> JoinHandle<()>
+where
+    F: Fn(&[Value]) -> Vec<Value> + Send + 'static,
+{
+    spawn_map_batched(name, rx, tx, f, 1)
+}
+
+/// Spawns a map stage draining up to `batch` queued tuples per channel
+/// wake; see [`spawn_filter_batched`] for the batching rationale.
+pub fn spawn_map_batched<F>(
     name: &str,
     rx: Receiver<Tuple>,
     tx: Sender<Tuple>,
     f: F,
+    batch: usize,
 ) -> JoinHandle<()>
 where
     F: Fn(&[Value]) -> Vec<Value> + Send + 'static,
 {
+    let batch = batch.max(1);
     std::thread::Builder::new()
         .name(format!("ms-map-{name}"))
         .spawn(move || {
-            while let Ok(tuple) = rx.recv() {
-                let out = match tuple.values() {
-                    None => tuple,
-                    Some(row) => tuple.with_values(f(row)),
-                };
-                if tx.send(out).is_err() {
-                    break;
+            let mut run: Vec<Tuple> = Vec::with_capacity(batch);
+            'outer: while let Ok(first) = rx.recv() {
+                run.push(first);
+                while run.len() < batch {
+                    match rx.try_recv() {
+                        Ok(t) => run.push(t),
+                        Err(_) => break,
+                    }
+                }
+                for tuple in run.drain(..) {
+                    let out = match tuple.values() {
+                        None => tuple,
+                        Some(row) => tuple.with_values(f(row)),
+                    };
+                    if tx.send(out).is_err() {
+                        break 'outer;
+                    }
                 }
             }
         })
@@ -92,7 +142,12 @@ where
 
 /// Spawns a sink stage: eliminates punctuation and hands each data tuple
 /// with its delivery instant to `deliver`.
-pub fn spawn_sink<F>(name: &str, rx: Receiver<Tuple>, clock: WallClock, mut deliver: F) -> JoinHandle<()>
+pub fn spawn_sink<F>(
+    name: &str,
+    rx: Receiver<Tuple>,
+    clock: WallClock,
+    mut deliver: F,
+) -> JoinHandle<()>
 where
     F: FnMut(Tuple, Timestamp) + Send + 'static,
 {
@@ -295,9 +350,9 @@ pub fn spawn_union(
                 // heads alone). Lone punctuation heads pend nothing
                 // user-visible, and requesting for them would ping-pong ETS
                 // between idle sources forever.
-                let has_pending_data = ins.iter().any(|i| {
-                    i.head.as_ref().is_some_and(|h| h.is_data()) || !i.rx.is_empty()
-                });
+                let has_pending_data = ins
+                    .iter()
+                    .any(|i| i.head.as_ref().is_some_and(|h| h.is_data()) || !i.rx.is_empty());
                 let wait = match strategy {
                     RtStrategy::OnDemand => {
                         if has_pending_data || ins[j].tsm.is_none() {
@@ -470,9 +525,9 @@ pub fn spawn_window_join(
                     continue;
                 };
                 // See the union stage for the pending-data rationale.
-                let has_pending_data = ins.iter().any(|i| {
-                    i.head.as_ref().is_some_and(|h| h.is_data()) || !i.rx.is_empty()
-                });
+                let has_pending_data = ins
+                    .iter()
+                    .any(|i| i.head.as_ref().is_some_and(|h| h.is_data()) || !i.rx.is_empty());
                 let wait = match strategy {
                     RtStrategy::OnDemand => {
                         if has_pending_data || ins[j].tsm.is_none() {
@@ -513,7 +568,7 @@ fn block_until_any(ins: &mut [UnionInput]) -> bool {
     for (_, rx) in &candidates {
         sel.recv(rx);
     }
-    let got = match sel.select_timeout(Duration::from_millis(10)) {
+    match sel.select_timeout(Duration::from_millis(10)) {
         Ok(op) => {
             let (i, rx) = &candidates[op.index()];
             match op.recv(rx) {
@@ -529,6 +584,5 @@ fn block_until_any(ins: &mut [UnionInput]) -> bool {
             }
         }
         Err(_) => false,
-    };
-    got
+    }
 }

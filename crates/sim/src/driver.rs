@@ -198,10 +198,12 @@ impl Simulation {
             while let Some(event) = self.events.pop_due(now) {
                 self.handle(event)?;
             }
-            if self.executor.step()? == Activity::Quiescent { match self.events.peek_time() {
-                Some(t) => self.executor.clock().advance_to(t),
-                None => break,
-            } }
+            if self.executor.step()? == Activity::Quiescent {
+                match self.events.peek_time() {
+                    Some(t) => self.executor.clock().advance_to(t),
+                    None => break,
+                }
+            }
         }
         self.executor.finish_idle();
         Ok(self.report())

@@ -9,9 +9,7 @@
 //! stochastic driver.
 
 use millstream_exec::{Activity, Executor, SourceId};
-use millstream_types::{
-    DataType, Error, Result, Schema, Timestamp, Tuple, Value,
-};
+use millstream_types::{DataType, Error, Result, Schema, Timestamp, Tuple, Value};
 
 use crate::driver::SharedLatencyCollector;
 
@@ -146,9 +144,7 @@ pub fn replay(
     let recorder = collector.recorder();
     Ok(ReplayReport {
         delivered: collector.delivered(),
-        mean_latency_ms: recorder
-            .mean()
-            .map_or(f64::NAN, |d| d.as_millis_f64()),
+        mean_latency_ms: recorder.mean().map_or(f64::NAN, |d| d.as_millis_f64()),
         ingested,
         ets_generated: executor.stats().ets_generated,
     })

@@ -59,7 +59,9 @@ impl ArrivalProcess {
     pub fn validate(&self) -> Result<()> {
         let rate = self.rate_hz();
         if !rate.is_finite() || rate <= 0.0 {
-            return Err(Error::config(format!("arrival rate must be positive, got {rate}")));
+            return Err(Error::config(format!(
+                "arrival rate must be positive, got {rate}"
+            )));
         }
         // NaN-aware bounds: `is_finite` first so NaN parameters are caught
         // explicitly rather than slipping through a comparison.
@@ -107,13 +109,14 @@ impl ArrivalProcess {
     /// delivered at that epoch.
     pub fn next_arrival(&self, rng: &mut SmallRng) -> (TimeDelta, u32) {
         match *self {
-            ArrivalProcess::Constant { rate_hz } => {
-                (TimeDelta::from_secs_f64(1.0 / rate_hz), 1)
-            }
+            ArrivalProcess::Constant { rate_hz } => (TimeDelta::from_secs_f64(1.0 / rate_hz), 1),
             ArrivalProcess::Poisson { rate_hz } => {
                 (TimeDelta::from_secs_f64(sample_exp(rng, rate_hz)), 1)
             }
-            ArrivalProcess::Bursty { rate_hz, mean_burst } => {
+            ArrivalProcess::Bursty {
+                rate_hz,
+                mean_burst,
+            } => {
                 // Burst epochs arrive at rate_hz / mean_burst so the tuple
                 // rate averages rate_hz.
                 let epoch_rate = rate_hz / mean_burst;
@@ -285,7 +288,9 @@ mod tests {
     #[test]
     fn validation_rejects_nonsense() {
         assert!(ArrivalProcess::Poisson { rate_hz: 0.0 }.validate().is_err());
-        assert!(ArrivalProcess::Poisson { rate_hz: -3.0 }.validate().is_err());
+        assert!(ArrivalProcess::Poisson { rate_hz: -3.0 }
+            .validate()
+            .is_err());
         assert!(ArrivalProcess::Poisson {
             rate_hz: f64::INFINITY
         }

@@ -108,7 +108,10 @@ impl fmt::Display for Error {
             }
             Error::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
             Error::ColumnIndexOutOfRange { index, width } => {
-                write!(f, "column index {index} out of range for row of width {width}")
+                write!(
+                    f,
+                    "column index {index} out of range for row of width {width}"
+                )
             }
             Error::OutOfOrder {
                 context,

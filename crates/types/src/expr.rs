@@ -223,7 +223,35 @@ impl Expr {
     }
 
     /// Evaluates the expression as a predicate: nulls count as false.
+    ///
+    /// The common filter shape `colᵢ ⟨cmp⟩ literal` is evaluated by
+    /// reference — no [`Value`] clones — which matters on the executor's
+    /// fused drop-run path where the predicate runs once per queued tuple.
     pub fn eval_predicate(&self, row: &[Value]) -> Result<bool> {
+        if let Expr::Binary { op, left, right } = self {
+            if let (Expr::Column(i), Expr::Literal(lit)) = (left.as_ref(), right.as_ref()) {
+                if op.is_comparison() {
+                    let v = row.get(*i).ok_or(Error::ColumnIndexOutOfRange {
+                        index: *i,
+                        width: row.len(),
+                    })?;
+                    // SQL three-valued logic: a null operand makes the
+                    // comparison null, and null predicates are false.
+                    if v.is_null() || lit.is_null() {
+                        return Ok(false);
+                    }
+                    return Ok(match op {
+                        BinOp::Eq => v == lit,
+                        BinOp::Ne => v != lit,
+                        BinOp::Lt => v < lit,
+                        BinOp::Le => v <= lit,
+                        BinOp::Gt => v > lit,
+                        BinOp::Ge => v >= lit,
+                        _ => unreachable!("is_comparison checked"),
+                    });
+                }
+            }
+        }
         match self.eval(row)? {
             Value::Null => Ok(false),
             v => v.as_bool(),
@@ -234,13 +262,15 @@ impl Expr {
     /// indices. Arithmetic on two INTs is INT, otherwise FLOAT.
     pub fn infer_type(&self, schema: &Schema) -> Result<DataType> {
         match self {
-            Expr::Column(i) => schema
-                .field(*i)
-                .map(|f| f.data_type)
-                .ok_or(Error::ColumnIndexOutOfRange {
-                    index: *i,
-                    width: schema.len(),
-                }),
+            Expr::Column(i) => {
+                schema
+                    .field(*i)
+                    .map(|f| f.data_type)
+                    .ok_or(Error::ColumnIndexOutOfRange {
+                        index: *i,
+                        width: schema.len(),
+                    })
+            }
             Expr::Literal(v) => Ok(v.data_type().unwrap_or(DataType::Bool)),
             Expr::Not(inner) => {
                 let t = inner.infer_type(schema)?;
@@ -367,7 +397,12 @@ mod tests {
     use crate::schema::Field;
 
     fn row() -> Vec<Value> {
-        vec![Value::Int(10), Value::Float(2.5), Value::str("tcp"), Value::Null]
+        vec![
+            Value::Int(10),
+            Value::Float(2.5),
+            Value::str("tcp"),
+            Value::Null,
+        ]
     }
 
     fn schema() -> Schema {
@@ -403,10 +438,40 @@ mod tests {
         let e = Expr::col(3).eq(Expr::lit(1));
         assert_eq!(e.eval(&row()).unwrap(), Value::Null);
         // Predicates treat null as false.
-        assert!(!Expr::col(3).eq(Expr::lit(1)).eval_predicate(&row()).unwrap());
+        assert!(!Expr::col(3)
+            .eq(Expr::lit(1))
+            .eval_predicate(&row())
+            .unwrap());
         // IS NULL sees through.
         let e = Expr::IsNull(Box::new(Expr::col(3)));
         assert_eq!(e.eval(&row()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn predicate_fast_path_matches_eval() {
+        // `colᵢ ⟨cmp⟩ literal` takes the by-reference fast path; its result
+        // must agree with the general evaluator on every operator, on
+        // nulls, and on column errors.
+        let r = row();
+        for (e, expect) in [
+            (Expr::col(0).eq(Expr::lit(10)), true),
+            (Expr::col(0).ne(Expr::lit(10)), false),
+            (Expr::col(0).lt(Expr::lit(10)), false),
+            (Expr::col(0).le(Expr::lit(10)), true),
+            (Expr::col(0).gt(Expr::lit(9)), true),
+            (Expr::col(0).ge(Expr::lit(11)), false),
+            (Expr::col(2).eq(Expr::lit("tcp")), true),
+            (Expr::col(3).eq(Expr::lit(1)), false), // null → false
+            (Expr::col(0).eq(Expr::Literal(Value::Null)), false),
+        ] {
+            assert_eq!(e.eval_predicate(&r).unwrap(), expect, "{e}");
+            let general = match e.eval(&r).unwrap() {
+                Value::Null => false,
+                v => v.as_bool().unwrap(),
+            };
+            assert_eq!(general, expect, "general evaluator disagrees: {e}");
+        }
+        assert!(Expr::col(9).eq(Expr::lit(1)).eval_predicate(&r).is_err());
     }
 
     #[test]
@@ -414,9 +479,18 @@ mod tests {
         let null = Expr::Literal(Value::Null);
         let tru = Expr::lit(true);
         let fal = Expr::lit(false);
-        assert_eq!(fal.clone().and(null.clone()).eval(&[]).unwrap(), Value::Bool(false));
-        assert_eq!(tru.clone().or(null.clone()).eval(&[]).unwrap(), Value::Bool(true));
-        assert_eq!(tru.clone().and(null.clone()).eval(&[]).unwrap(), Value::Null);
+        assert_eq!(
+            fal.clone().and(null.clone()).eval(&[]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            tru.clone().or(null.clone()).eval(&[]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            tru.clone().and(null.clone()).eval(&[]).unwrap(),
+            Value::Null
+        );
         assert_eq!(fal.clone().or(null.clone()).eval(&[]).unwrap(), Value::Null);
         // Short-circuit: the right side would error if evaluated eagerly
         // with a bad type, but AND false short-circuits before the type
@@ -424,7 +498,10 @@ mod tests {
         // Kleene correctness, so use a null instead to test laziness of the
         // *boolean* outcome only).
         assert_eq!(
-            Expr::lit(false).and(Expr::col(9)).eval(&[Value::Int(0)]).unwrap(),
+            Expr::lit(false)
+                .and(Expr::col(9))
+                .eval(&[Value::Int(0)])
+                .unwrap(),
             Value::Bool(false)
         );
     }

@@ -51,7 +51,9 @@ impl Schema {
 
     /// The empty schema (zero columns). Punctuation-only streams use it.
     pub fn empty() -> Self {
-        Schema { fields: Arc::from([]) }
+        Schema {
+            fields: Arc::from([]),
+        }
     }
 
     /// Number of columns.
@@ -221,10 +223,7 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(
-            packets().to_string(),
-            "(src INT, len INT, proto STRING)"
-        );
+        assert_eq!(packets().to_string(), "(src INT, len INT, proto STRING)");
         assert_eq!(Schema::empty().to_string(), "()");
         assert!(Schema::empty().is_empty());
     }

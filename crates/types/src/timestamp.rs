@@ -29,8 +29,19 @@ pub const MICROS_PER_MILLI: u64 = 1_000;
 /// `Timestamp` is totally ordered; streams entering the DSMS are required to
 /// be non-decreasing in their timestamps, which is the property every
 /// idle-waiting-prone operator relies on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct Timestamp(u64);
 
@@ -142,8 +153,19 @@ impl Sub<Timestamp> for Timestamp {
 ///
 /// Distinct from [`Timestamp`] so that instants and spans cannot be mixed up
 /// in ETS arithmetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct TimeDelta(u64);
 
@@ -244,8 +266,7 @@ impl core::iter::Sum for TimeDelta {
 }
 
 /// The three timestamp disciplines a stream can use (paper §5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum TimestampKind {
     /// Tuples were timestamped by the producing application. Future tuples
     /// are only bounded by an application-specific maximum skew, so ETS for
@@ -279,7 +300,10 @@ mod tests {
         assert_eq!(Timestamp::from_secs(3), Timestamp::from_micros(3_000_000));
         assert_eq!(Timestamp::from_millis(5), Timestamp::from_micros(5_000));
         assert_eq!(TimeDelta::from_secs(2), TimeDelta::from_micros(2_000_000));
-        assert_eq!(Timestamp::from_secs_f64(1.5), Timestamp::from_micros(1_500_000));
+        assert_eq!(
+            Timestamp::from_secs_f64(1.5),
+            Timestamp::from_micros(1_500_000)
+        );
         assert_eq!(Timestamp::from_secs_f64(-1.0), Timestamp::ZERO);
     }
 
@@ -305,7 +329,10 @@ mod tests {
     #[test]
     fn saturating_ops_do_not_wrap() {
         let t = Timestamp::from_micros(5);
-        assert_eq!(t.saturating_sub(TimeDelta::from_micros(10)), Timestamp::ZERO);
+        assert_eq!(
+            t.saturating_sub(TimeDelta::from_micros(10)),
+            Timestamp::ZERO
+        );
         assert_eq!(
             Timestamp::MAX.saturating_add(TimeDelta::from_secs(1)),
             Timestamp::MAX
@@ -333,10 +360,7 @@ mod tests {
 
     #[test]
     fn sum_of_deltas() {
-        let total: TimeDelta = [1u64, 2, 3]
-            .into_iter()
-            .map(TimeDelta::from_micros)
-            .sum();
+        let total: TimeDelta = [1u64, 2, 3].into_iter().map(TimeDelta::from_micros).sum();
         assert_eq!(total, TimeDelta::from_micros(6));
     }
 }

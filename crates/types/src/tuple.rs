@@ -97,7 +97,8 @@ impl Tuple {
     /// after checking [`Tuple::is_data`].
     #[inline]
     pub fn values_expect(&self) -> &[Value] {
-        self.values().expect("data tuple expected, found punctuation")
+        self.values()
+            .expect("data tuple expected, found punctuation")
     }
 
     /// Returns a copy of this tuple with a different row but the same

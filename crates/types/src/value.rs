@@ -12,8 +12,7 @@ use std::sync::Arc;
 use crate::error::{Error, Result};
 
 /// The static type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -381,11 +380,13 @@ mod tests {
 
     #[test]
     fn cross_type_order_is_stable() {
-        let mut vals = [Value::str("z"),
+        let mut vals = [
+            Value::str("z"),
             Value::Int(1),
             Value::Null,
             Value::Bool(true),
-            Value::Float(0.5)];
+            Value::Float(0.5),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));

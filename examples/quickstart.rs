@@ -33,7 +33,10 @@ fn main() -> Result<()> {
         "union idle-waiting   : {:.4}% of run time",
         report.metrics.idle.idle_fraction * 100.0
     );
-    println!("peak queued tuples   : {}", report.metrics.peak_queue_tuples);
+    println!(
+        "peak queued tuples   : {}",
+        report.metrics.peak_queue_tuples
+    );
     println!(
         "on-demand ETS issued : {:?} (bounded by the data rate)",
         report.ets_per_stream

@@ -53,16 +53,8 @@ fn main() -> Result<()> {
         );
         let web = planned.sources[0].clone();
         let jobs = planned.sources[1].clone();
-        let trace = parse_trace(
-            TRACE,
-            &[("web", &web.schema), ("jobs", &jobs.schema)],
-        )?;
-        let report = replay(
-            &mut executor,
-            &[web.id, jobs.id],
-            &trace,
-            &collector,
-        )?;
+        let trace = parse_trace(TRACE, &[("web", &web.schema), ("jobs", &jobs.schema)])?;
+        let report = replay(&mut executor, &[web.id, jobs.id], &trace, &collector)?;
         println!("{label}:");
         println!("  records ingested : {}", report.ingested);
         println!("  audit rows out   : {}", report.delivered);

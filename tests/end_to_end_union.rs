@@ -81,7 +81,9 @@ fn rig(policy: EtsPolicy) -> Rig {
 fn push(rig: &mut Rig, src: SourceId, ms: u64, v: i64) {
     rig.exec.clock().advance_to(Timestamp::from_millis(ms));
     let ts = rig.exec.clock().now();
-    rig.exec.ingest(src, Tuple::data(ts, vec![Value::Int(v)])).unwrap();
+    rig.exec
+        .ingest(src, Tuple::data(ts, vec![Value::Int(v)]))
+        .unwrap();
     rig.exec.run_until_quiescent(100_000).unwrap();
 }
 

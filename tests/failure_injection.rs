@@ -86,10 +86,7 @@ fn zero_rate_stream_is_rejected_by_workload_validation() {
         duration: TimeDelta::from_secs(1),
         ..UnionExperiment::default()
     };
-    assert!(matches!(
-        run_union_experiment(&cfg),
-        Err(Error::Config(_))
-    ));
+    assert!(matches!(run_union_experiment(&cfg), Err(Error::Config(_))));
 }
 
 #[test]
@@ -144,7 +141,8 @@ fn punctuation_only_stream_unblocks_but_emits_nothing() {
     exec.ingest(s1, t(10)).unwrap();
     for ms in [20u64, 30, 40] {
         exec.clock().advance_to(Timestamp::from_millis(ms));
-        exec.ingest_heartbeat(s2, Timestamp::from_millis(ms)).unwrap();
+        exec.ingest_heartbeat(s2, Timestamp::from_millis(ms))
+            .unwrap();
         exec.run_until_quiescent(10_000).unwrap();
     }
     let delivered = out.0.borrow();
@@ -180,8 +178,11 @@ fn expression_error_surfaces_through_the_executor() {
         CostModel::free(),
         EtsPolicy::None,
     );
-    exec.ingest(s, Tuple::data(Timestamp::from_millis(1), vec![Value::Int(0)]))
-        .unwrap();
+    exec.ingest(
+        s,
+        Tuple::data(Timestamp::from_millis(1), vec![Value::Int(0)]),
+    )
+    .unwrap();
     let mut saw_error = false;
     for _ in 0..10 {
         match exec.step() {

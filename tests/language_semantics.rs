@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 
 use millstream_core::QueryRunner;
-use millstream_query::parse_program;
 use millstream_query::ast::{Projection, Stmt};
+use millstream_query::parse_program;
 use millstream_types::{Expr, Value};
 
 /// A random comparison predicate over columns a (int) and b (int):
@@ -47,13 +47,21 @@ fn predicate() -> impl Strategy<Value = Pred> {
             k2,
         },
         3 => Pred {
-            text: format!("{} AND {}", atom_text("a", "<", k1), atom_text("b", ">", k2)),
+            text: format!(
+                "{} AND {}",
+                atom_text("a", "<", k1),
+                atom_text("b", ">", k2)
+            ),
             eval: |a, b, k1, k2| a < k1 && b > k2,
             k1,
             k2,
         },
         4 => Pred {
-            text: format!("{} OR {}", atom_text("a", ">", k1), atom_text("b", "<=", k2)),
+            text: format!(
+                "{} OR {}",
+                atom_text("a", ">", k1),
+                atom_text("b", "<=", k2)
+            ),
             eval: |a, b, k1, k2| a > k1 || b <= k2,
             k1,
             k2,

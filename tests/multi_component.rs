@@ -69,7 +69,8 @@ fn build(policy: EtsPolicy) -> (Executor, [SourceId; 3], Out, Out) {
 fn push(exec: &mut Executor, src: SourceId, ms: u64, v: i64) {
     exec.clock().advance_to(Timestamp::from_millis(ms));
     let ts = exec.clock().now();
-    exec.ingest(src, Tuple::data(ts, vec![Value::Int(v)])).unwrap();
+    exec.ingest(src, Tuple::data(ts, vec![Value::Int(v)]))
+        .unwrap();
     exec.run_until_quiescent(100_000).unwrap();
 }
 

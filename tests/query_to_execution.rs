@@ -59,7 +59,11 @@ fn run(policy: EtsPolicy, seconds: u64) -> SimReport {
 #[test]
 fn planned_query_runs_under_on_demand_ets() {
     let r = run(EtsPolicy::on_demand(), 60);
-    assert!(r.metrics.delivered > 1_500, "delivered {}", r.metrics.delivered);
+    assert!(
+        r.metrics.delivered > 1_500,
+        "delivered {}",
+        r.metrics.delivered
+    );
     assert!(
         r.metrics.latency.mean_ms < 1.0,
         "mean {} ms",
@@ -80,7 +84,11 @@ fn planned_query_idle_waits_without_ets() {
         "mean {} ms",
         r.metrics.latency.mean_ms
     );
-    assert!(r.metrics.idle.idle_fraction > 0.5, "idle {}", r.metrics.idle.idle_fraction);
+    assert!(
+        r.metrics.idle.idle_fraction > 0.5,
+        "idle {}",
+        r.metrics.idle.idle_fraction
+    );
 }
 
 #[test]
@@ -125,7 +133,11 @@ fn planned_join_query_executes() {
     let r = sim.run(TimeDelta::from_secs(30)).expect("runs");
     // With 5 keys and a 2 s window there are plenty of matches, and the
     // on-demand policy delivers them at service-time latency.
-    assert!(r.metrics.delivered > 50, "delivered {}", r.metrics.delivered);
+    assert!(
+        r.metrics.delivered > 50,
+        "delivered {}",
+        r.metrics.delivered
+    );
     assert!(
         r.metrics.latency.mean_ms < 5.0,
         "mean {} ms",

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use millstream_rt::{
-    spawn_sink, spawn_union, spawn_union2, spawn_window_join, Fig4Rt, RtStrategy, RtSource,
+    spawn_sink, spawn_union, spawn_union2, spawn_window_join, Fig4Rt, RtSource, RtStrategy,
     WallClock,
 };
 use millstream_types::{Timestamp, TimestampKind, Value};
@@ -101,7 +101,11 @@ fn rt_union_preserves_timestamp_order_under_concurrency() {
     union.join().unwrap();
     sink.join().unwrap();
 
-    assert_eq!(order_violations.load(Ordering::SeqCst), 0, "sink saw disorder");
+    assert_eq!(
+        order_violations.load(Ordering::SeqCst),
+        0,
+        "sink saw disorder"
+    );
     assert_eq!(count.load(Ordering::SeqCst), 220, "every tuple delivered");
 }
 
@@ -238,7 +242,9 @@ fn rt_window_join_matches_under_on_demand_ets() {
     for i in 0..20i64 {
         // Key 7 every 4th trade; the rest miss.
         let key = if i % 4 == 0 { 7 } else { 1000 + i };
-        src_a.push_row(vec![Value::Int(key), Value::Int(i)]).unwrap();
+        src_a
+            .push_row(vec![Value::Int(key), Value::Int(i)])
+            .unwrap();
         std::thread::sleep(Duration::from_millis(2));
     }
     std::thread::sleep(Duration::from_millis(60));
@@ -256,7 +262,10 @@ fn rt_window_join_matches_under_on_demand_ets() {
         worst < 50_000,
         "join results delivered at ms-scale latency, worst {worst} µs"
     );
-    assert!(src_b.ets_generated() > 0, "the sparse side answered ETS requests");
+    assert!(
+        src_b.ets_generated() > 0,
+        "the sparse side answered ETS requests"
+    );
 }
 
 #[test]
@@ -333,5 +342,8 @@ fn rt_latent_restamps_monotonically() {
     sink.join().unwrap();
     let stamps = stamps.lock();
     assert_eq!(stamps.len(), 50);
-    assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "monotone restamping");
+    assert!(
+        stamps.windows(2).all(|w| w[0] <= w[1]),
+        "monotone restamping"
+    );
 }

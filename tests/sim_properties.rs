@@ -7,13 +7,7 @@ use proptest::prelude::*;
 use millstream_sim::{run_union_experiment, Strategy, UnionExperiment};
 use millstream_types::TimeDelta;
 
-fn cfg(
-    strategy: Strategy,
-    fast: f64,
-    slow: f64,
-    selectivity: f64,
-    seed: u64,
-) -> UnionExperiment {
+fn cfg(strategy: Strategy, fast: f64, slow: f64, selectivity: f64, seed: u64) -> UnionExperiment {
     UnionExperiment {
         fast_rate_hz: fast,
         slow_rate_hz: slow,

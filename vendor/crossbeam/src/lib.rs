@@ -1,0 +1,493 @@
+//! Offline stand-in for the `crossbeam::channel` API surface that
+//! millstream-rt uses: cloneable MPMC `Sender`/`Receiver` pairs from
+//! [`channel::unbounded`]/[`channel::bounded`], the usual recv variants,
+//! and a polling [`channel::Select`] good enough for
+//! `select_timeout` over a handful of receivers.
+//!
+//! Built on `std::sync` (`Mutex` + `Condvar`); the real crate's lock-free
+//! internals are a throughput optimisation the rt pipeline's tests do not
+//! depend on.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled when a message arrives or all senders drop.
+        avail: Condvar,
+        /// Signalled when capacity frees up or all receivers drop.
+        space: Condvar,
+    }
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            avail: Condvar::new(),
+            space: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Creates a channel of unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a channel holding at most `cap` messages; `send` blocks when
+    /// full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap))
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: Send> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders dropped and the channel is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders dropped and the channel is drained.
+        Disconnected,
+    }
+
+    /// The sending half of a channel; cloneable for MPMC use.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match inner.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self.shared.space.wait(inner).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.avail.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.avail.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// The receiving half of a channel; cloneable for MPMC use.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one is available or all
+        /// senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.space.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.avail.wait(inner).unwrap();
+            }
+        }
+
+        /// Receives a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.space.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receives a message, waiting at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.space.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .avail
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap();
+                inner = guard;
+            }
+        }
+
+        /// Whether the channel holds no messages right now.
+        pub fn is_empty(&self) -> bool {
+            self.shared.inner.lock().unwrap().queue.is_empty()
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// Blocking iterator that ends when all senders drop.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        /// Readiness check for [`Select`]: a `recv` would not block.
+        fn ready(&self) -> bool {
+            let inner = self.shared.inner.lock().unwrap();
+            !inner.queue.is_empty() || inner.senders == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.shared.space.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Error returned by [`Select::select_timeout`] when nothing became
+    /// ready in time.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct SelectTimeoutError;
+
+    impl fmt::Display for SelectTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("select timed out")
+        }
+    }
+
+    impl std::error::Error for SelectTimeoutError {}
+
+    /// A polling implementation of crossbeam's `Select`.
+    ///
+    /// Readiness is rechecked every 200 µs; with the 10 ms timeouts the rt
+    /// pipeline uses, that wakes at most 50 times per idle select — cheap
+    /// next to a thread-per-operator design.
+    pub struct Select<'a> {
+        ops: Vec<Box<dyn Fn() -> bool + 'a>>,
+        /// Round-robin start so one chatty input cannot starve the rest.
+        next_start: usize,
+    }
+
+    impl Default for Select<'_> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<'a> Select<'a> {
+        /// Creates an empty select set.
+        pub fn new() -> Self {
+            Select {
+                ops: Vec::new(),
+                next_start: 0,
+            }
+        }
+
+        /// Adds a receive operation; returns its index.
+        pub fn recv<T>(&mut self, rx: &'a Receiver<T>) -> usize {
+            let idx = self.ops.len();
+            self.ops.push(Box::new(move || rx.ready()));
+            idx
+        }
+
+        fn poll_once(&mut self) -> Option<usize> {
+            let n = self.ops.len();
+            let start = self.next_start % n.max(1);
+            for off in 0..n {
+                let i = (start + off) % n;
+                if (self.ops[i])() {
+                    self.next_start = i + 1;
+                    return Some(i);
+                }
+            }
+            None
+        }
+
+        /// Waits for any registered operation to become ready, at most
+        /// `timeout`. A disconnected receiver counts as ready (its recv
+        /// completes immediately with an error), matching crossbeam.
+        pub fn select_timeout(
+            &mut self,
+            timeout: Duration,
+        ) -> Result<SelectedOperation, SelectTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            loop {
+                if let Some(i) = self.poll_once() {
+                    return Ok(SelectedOperation { index: i });
+                }
+                if Instant::now() >= deadline {
+                    return Err(SelectTimeoutError);
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// A ready operation handed out by [`Select::select_timeout`].
+    pub struct SelectedOperation {
+        index: usize,
+    }
+
+    impl SelectedOperation {
+        /// Index of the ready operation (registration order).
+        pub fn index(&self) -> usize {
+            self.index
+        }
+
+        /// Completes the receive on the receiver this operation was
+        /// registered with.
+        pub fn recv<T>(self, rx: &Receiver<T>) -> Result<T, RecvError> {
+            // The operation reported ready, but with cloned receivers a
+            // sibling consumer may drain the message first; re-poll briefly
+            // before giving up so a transient Empty is not misread as a
+            // disconnect.
+            let deadline = Instant::now() + Duration::from_millis(10);
+            loop {
+                match rx.try_recv() {
+                    Ok(msg) => return Ok(msg),
+                    Err(TryRecvError::Disconnected) => return Err(RecvError),
+                    Err(TryRecvError::Empty) => {
+                        if Instant::now() >= deadline {
+                            return Err(RecvError);
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{self, RecvTimeoutError, Select, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = channel::unbounded();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(2).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn select_picks_ready_receiver() {
+        let (tx1, rx1) = channel::unbounded::<i32>();
+        let (tx2, rx2) = channel::unbounded::<i32>();
+        tx2.send(7).unwrap();
+        let mut sel = Select::new();
+        sel.recv(&rx1);
+        sel.recv(&rx2);
+        let op = sel.select_timeout(Duration::from_millis(50)).unwrap();
+        assert_eq!(op.index(), 1);
+        assert_eq!(op.recv(&rx2), Ok(7));
+        drop(tx1);
+        drop(tx2);
+        // Disconnected receivers count as ready.
+        let mut sel = Select::new();
+        sel.recv(&rx1);
+        let op = sel.select_timeout(Duration::from_millis(50)).unwrap();
+        assert!(op.recv(&rx1).is_err());
+    }
+
+    #[test]
+    fn iterator_ends_on_disconnect() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

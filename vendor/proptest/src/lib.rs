@@ -1,0 +1,755 @@
+//! Offline stand-in for the slice of `proptest` that millstream's
+//! property tests use: [`Strategy`] with `prop_map`/`prop_recursive`,
+//! [`Just`], [`any`], integer-range and regex-literal strategies, tuple
+//! composition, `prop::collection::vec`, `prop::option::of`, the
+//! `proptest!`/`prop_oneof!`/`prop_assert*!` macros, and
+//! [`ProptestConfig`].
+//!
+//! Differences from the real crate, deliberate for an offline build:
+//!
+//! * **No shrinking.** A failing case panics with the generated values
+//!   interpolated into the assertion message (the tests all format their
+//!   inputs), so diagnosis works without minimisation.
+//! * **Deterministic seeding.** Each test derives its RNG stream from a
+//!   hash of the test name and the case index, so failures reproduce
+//!   exactly on every run — there is no persistence file to manage
+//!   (existing `.proptest-regressions` files are ignored).
+//! * **Regex strategies** support the subset the tests use: sequences of
+//!   character classes (`[a-zA-Z0-9 _']` with ranges) each followed by an
+//!   optional `{n}`/`{n,m}` repeat.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-case random stream (xoshiro256++ over a SplitMix64
+/// expansion of the seed).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds the stream for one test case from the test's name and the
+    /// case index.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut sm = h ^ ((case as u64) << 32 | 0x9e37_79b9);
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind a cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds recursive structures: `recurse` receives a strategy for
+    /// shallower values and returns one for the next level. Samples mix
+    /// all depths up to `depth` so both leaves and deep nests appear.
+    /// (`_desired_size` and `_expected_branch_size` shape probabilities
+    /// in the real crate; the level mix here already bounds size.)
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+        for _ in 0..depth {
+            let shallower = LevelMix {
+                levels: levels.clone(),
+            }
+            .boxed();
+            levels.push(recurse(shallower).boxed());
+        }
+        LevelMix { levels }.boxed()
+    }
+}
+
+/// Uniform choice among strategies for increasing recursion depths.
+struct LevelMix<T> {
+    levels: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for LevelMix<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.levels.len() as u64) as usize;
+        self.levels[i].sample(rng)
+    }
+}
+
+/// A cloneable, type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among same-typed strategies; built by `prop_oneof!`.
+pub struct WeightedUnion<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> WeightedUnion<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        WeightedUnion { arms, total }
+    }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weight bookkeeping")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: any::<T>(), ranges, regex literals, tuples
+// ---------------------------------------------------------------------------
+
+/// Types with a default generation strategy, à la `proptest::arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                // Bias 1-in-8 toward boundary values, like the real crate's
+                // preference for edge cases.
+                if rng.below(8) == 0 {
+                    match rng.below(4) {
+                        0 => 0 as $ty,
+                        1 => 1 as $ty,
+                        2 => <$ty>::MIN,
+                        _ => <$ty>::MAX,
+                    }
+                } else {
+                    rng.next_u64() as $ty
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mix special values in, as any::<f64>() does.
+        if rng.below(8) == 0 {
+            match rng.below(6) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                _ => f64::MIN_POSITIVE,
+            }
+        } else if rng.below(2) == 0 {
+            // Moderate magnitudes, where arithmetic stays finite.
+            (rng.unit_f64() - 0.5) * 2e6
+        } else {
+            // Arbitrary bit patterns (may be huge, subnormal, or NaN).
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy for [`any`], parameterised by the generated type.
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty => $wide:ty),* $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let v = rng.below(span);
+                ((self.start as $wide).wrapping_add(v as $wide)) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// String-literal regex strategies over the supported subset: a sequence
+/// of character classes, each with an optional `{n}`/`{n,m}` repeat.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // Atom: a character class or a literal character.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"))
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    assert!(lo <= hi, "bad range in pattern `{pattern}`");
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        assert!(!alphabet.is_empty(), "empty class in pattern `{pattern}`");
+
+        // Optional repeat.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let parsed = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse::<usize>().expect("repeat lower bound"),
+                    hi.parse::<usize>().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = body.parse::<usize>().expect("repeat count");
+                    (n, n)
+                }
+            };
+            i = close + 1;
+            parsed
+        } else {
+            (1, 1)
+        };
+
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..len {
+            let k = rng.below(alphabet.len() as u64) as usize;
+            out.push(alphabet[k]);
+        }
+    }
+    out
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+// ---------------------------------------------------------------------------
+// Collection / option strategies
+// ---------------------------------------------------------------------------
+
+/// `prop::collection` equivalents.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `prop::option` equivalents.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `None` one time in four, matching the real
+    /// crate's default weighting toward `Some`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Option`s of `inner` values.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Knobs for the `proptest!` runner; mirrors `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+    /// Accepted for compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; this shim has no rejection filters.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT_CASE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Runs `case` for each configured case with a deterministic per-case
+/// stream. Called by the `proptest!` macro expansion.
+pub fn run_proptest<F: FnMut(&mut TestRng)>(config: &ProptestConfig, name: &str, mut case: F) {
+    struct CaseReport(&'static str);
+    impl Drop for CaseReport {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                let case = CURRENT_CASE.with(|c| c.get());
+                eprintln!(
+                    "proptest shim: `{}` failed at case {case} \
+                     (deterministic; re-run reproduces it)",
+                    self.0
+                );
+            }
+        }
+    }
+    let _report = CaseReport(Box::leak(name.to_owned().into_boxed_str()));
+    for i in 0..config.cases {
+        CURRENT_CASE.with(|c| c.set(i));
+        let mut rng = TestRng::for_case(name, i);
+        case(&mut rng);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests; see the crate docs for the supported shape.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_proptest(&config, stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Chooses among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::WeightedUnion::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// Module-style access (`prop::collection::vec`, `prop::option::of`),
+    /// mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("shim-internal", 0)
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let v = (0u64..50, any::<i8>()).sample(&mut r);
+            assert!(v.0 < 50);
+            let w = (1i64..5).sample(&mut r);
+            assert!((1..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn regex_patterns() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[a-z][a-z0-9_]{0,6}".sample(&mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let c0 = s.chars().next().unwrap();
+            assert!(c0.is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars()
+                    .skip(1)
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+            let t = "[a-zA-Z0-9 ]{0,6}".sample(&mut r);
+            assert!(t.len() <= 6);
+            let q = "[a-z ']{0,8}".sample(&mut r);
+            assert!(q
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == ' ' || c == '\''));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_and_map() {
+        let strat = prop_oneof![3 => Just(1u8), 1 => Just(2u8)];
+        let mut r = rng();
+        let mut ones = 0;
+        for _ in 0..1_000 {
+            if strat.sample(&mut r) == 1 {
+                ones += 1;
+            }
+        }
+        assert!((650..900).contains(&ones), "ones {ones}");
+        let mapped = (0u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            assert_eq!(mapped.sample(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_generates_all_depths() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(inner) => 1 + depth(inner),
+            }
+        }
+        let strat = Just(0u8)
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                inner.prop_map(|t| Tree::Node(Box::new(t)))
+            });
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            let d = depth(&strat.sample(&mut r));
+            assert!(d <= 3);
+            seen[d] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn collections_and_options() {
+        let mut r = rng();
+        let vs = prop::collection::vec(0u64..5, 2..6);
+        let mut saw_none = false;
+        let os = prop::option::of(0u64..5);
+        for _ in 0..500 {
+            let v = vs.sample(&mut r);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+            saw_none |= os.sample(&mut r).is_none();
+        }
+        assert!(saw_none);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// The macro wires args, strategies and assertions together.
+        #[test]
+        fn macro_smoke(a in 0u64..10, b in any::<bool>(), s in "[a-z]{1,3}") {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, b);
+            prop_assert!(!s.is_empty() && s.len() <= 3, "bad sample {:?}", s);
+        }
+    }
+}

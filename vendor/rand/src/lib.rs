@@ -1,0 +1,199 @@
+//! Offline stand-in for the parts of `rand` 0.8 that millstream uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`]/[`Rng::gen_bool`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction real `SmallRng` uses on 64-bit targets, so statistical
+//! quality is comparable. Streams are NOT bit-compatible with the real
+//! crate; the simulator only requires determinism per seed, which this
+//! provides.
+
+/// Seedable random generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface over a random generator.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A Bernoulli sample with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+/// A uniform `f64` in `[0, 1)` from 53 random bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges a [`Rng`] can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                // Multiply-shift bounded sampling (Lemire); the tiny bias is
+                // irrelevant for simulation workloads.
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((self.start as $wide).wrapping_add(v as $wide)) as $ty
+            }
+        }
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                let v = ((rng.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+                ((start as $wide).wrapping_add(v as $wide)) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = unit_f64(rng.next_u64());
+        let v = self.start + u * (self.end - self.start);
+        // Guard against landing exactly on `end` through rounding.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f32 {
+        let wide: f64 = (self.start as f64..self.end as f64).sample_from(rng);
+        wide as f32
+    }
+}
+
+/// Generator families, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small fast generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as rand_core does.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::SmallRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let u: u64 = rng.gen_range(0..=3);
+            assert!(u <= 3);
+            let f: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! millstream annotates config and summary types with
+//! `#[derive(serde::Serialize, serde::Deserialize)]` so that a real serde
+//! backend can be attached when one is available, but no code in the
+//! workspace ever *calls* serde serialization (the metrics crate carries
+//! its own minimal JSON emitter). In offline builds this proc-macro crate
+//! takes serde's place: the derives parse and accept `#[serde(...)]`
+//! helper attributes, then expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
