@@ -19,21 +19,21 @@
 //! per-tuple execution (K = 1). The measured numbers are recorded in
 //! EXPERIMENTS.md.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-use millstream_bench::{print_table, write_results};
+use millstream_bench::{print_table, write_bench_summary, write_results};
 use millstream_core::prelude::*;
 use millstream_metrics::Json;
 
 /// Counts deliveries without storing tuples (keeps the sink cost flat).
 #[derive(Clone, Default)]
-struct Count(Rc<Cell<u64>>);
+struct Count(Arc<AtomicU64>);
 
 impl SinkCollector for Count {
     fn deliver(&mut self, _tuple: Tuple, _now: Timestamp) {
-        self.0.set(self.0.get() + 1);
+        self.0.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -126,7 +126,7 @@ fn run(encore_batch: usize) -> RunResult {
     let stats = exec.stats();
     RunResult {
         tuples: ingested,
-        delivered: out.0.get(),
+        delivered: out.0.load(Ordering::Relaxed),
         secs,
         steps: stats.steps,
         batches: stats.batches,
@@ -194,17 +194,16 @@ fn main() {
         ],
         &rows,
     );
-    write_results(
-        "micro_batching",
-        Json::obj([
-            (
-                "tuples_per_run",
-                Json::Num((2 * WAVES * WAVE_TUPLES) as f64),
-            ),
-            ("selectivity", Json::str("1-in-32")),
-            ("rows", Json::Arr(json_rows)),
-        ]),
-    );
+    let summary = Json::obj([
+        (
+            "tuples_per_run",
+            Json::Num((2 * WAVES * WAVE_TUPLES) as f64),
+        ),
+        ("selectivity", Json::str("1-in-32")),
+        ("rows", Json::Arr(json_rows)),
+    ]);
+    write_results("micro_batching", summary.clone());
+    write_bench_summary("micro_batching", summary);
 
     let k64 = results.iter().find(|(k, _)| *k == 64).unwrap();
     let speedup = base.secs / k64.1.secs;

@@ -10,7 +10,7 @@
 //! | `fig7_latency` | Fig. 7(a)/(b): average output latency vs. punctuation rate |
 //! | `idle_waiting_table` | §6 in-text idle-waiting percentages |
 //! | `fig8_memory` | Fig. 8(a)/(b): peak total queue size vs. punctuation rate |
-//! | `ablation_*` | design-choice ablations (DESIGN.md §5) |
+//! | `ablation_*` | design-choice ablations (DESIGN.md §6) |
 //! | `micro_ops` | Criterion micro-benchmarks of operator primitives |
 
 #![warn(missing_docs)]
@@ -94,6 +94,19 @@ pub fn write_results(name: &str, results: Json) {
     let path = dir.join(format!("{name}.json"));
     match std::fs::write(&path, results.render_pretty()) {
         Ok(()) => println!("results written to {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Persists a harness's headline numbers as `BENCH_<name>.json` at the
+/// **workspace root**, next to EXPERIMENTS.md. Unlike the full dumps under
+/// `target/experiments/`, these land in the tree so the perf trajectory is
+/// tracked across PRs. Failures to write are reported but never fail the
+/// experiment.
+pub fn write_bench_summary(name: &str, results: Json) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../BENCH_{name}.json"));
+    match std::fs::write(&path, results.render_pretty()) {
+        Ok(()) => println!("summary written to {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 }

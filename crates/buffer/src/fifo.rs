@@ -14,7 +14,7 @@
 //! is evaluated by the `ablation_coalescing` bench.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use millstream_types::{Error, Result, Timestamp, Tuple};
 
@@ -63,7 +63,7 @@ pub struct Buffer {
     punct_high_water: Option<Timestamp>,
     punctuation_policy: PunctuationPolicy,
     order_policy: OrderPolicy,
-    tracker: Option<Rc<OccupancyTracker>>,
+    tracker: Option<Arc<OccupancyTracker>>,
     /// Number of queued *data* tuples (punctuation excluded).
     data_count: usize,
     /// Lifetime counts for diagnostics.
@@ -91,9 +91,25 @@ impl Buffer {
     }
 
     /// Attaches a shared occupancy tracker (builder style).
-    pub fn with_tracker(mut self, tracker: Rc<OccupancyTracker>) -> Self {
+    pub fn with_tracker(mut self, tracker: Arc<OccupancyTracker>) -> Self {
         self.tracker = Some(tracker);
         self
+    }
+
+    /// Replaces the shared occupancy tracker, registering any currently
+    /// queued tuples with the new tracker so its occupancy (and peak)
+    /// reflect reality from the moment of attachment. Used when a graph is
+    /// partitioned into components and each sub-graph gets a private
+    /// tracker.
+    pub fn set_tracker(&mut self, tracker: Arc<OccupancyTracker>) {
+        let punct_count = self.queue.len() - self.data_count;
+        for _ in 0..self.data_count {
+            tracker.on_enqueue(false);
+        }
+        for _ in 0..punct_count {
+            tracker.on_enqueue(true);
+        }
+        self.tracker = Some(tracker);
     }
 
     /// Sets the punctuation policy (builder style).

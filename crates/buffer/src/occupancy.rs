@@ -6,103 +6,108 @@
 //! bumped on each enqueue and decremented on each dequeue; the peak is
 //! maintained incrementally so no sampling is needed.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
-/// Aggregate queue-occupancy statistics shared by all buffers of one graph.
+/// Aggregate queue-occupancy statistics shared by all buffers of one graph
+/// (with parallel execution: of one connected component — each component's
+/// sub-graph owns a private tracker).
 ///
-/// Single-threaded by design (the paper's execution model runs one
-/// scheduling unit on one thread), hence `Cell` + `Rc`.
+/// The counters are relaxed atomics so a component's graph can be moved
+/// onto a worker thread; within a component all updates still come from
+/// one thread at a time, so relaxed ordering is exact, not approximate.
 #[derive(Debug, Default)]
 pub struct OccupancyTracker {
-    total: Cell<usize>,
-    peak: Cell<usize>,
-    data_total: Cell<usize>,
-    punct_total: Cell<usize>,
-    enqueued: Cell<u64>,
-    punct_enqueued: Cell<u64>,
-    coalesced: Cell<u64>,
+    total: AtomicUsize,
+    peak: AtomicUsize,
+    data_total: AtomicUsize,
+    punct_total: AtomicUsize,
+    enqueued: AtomicU64,
+    punct_enqueued: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl OccupancyTracker {
     /// Creates a fresh tracker wrapped for sharing.
-    pub fn shared() -> Rc<OccupancyTracker> {
-        Rc::new(OccupancyTracker::default())
+    pub fn shared() -> Arc<OccupancyTracker> {
+        Arc::new(OccupancyTracker::default())
     }
 
     /// Records one tuple entering some buffer.
     pub fn on_enqueue(&self, punctuation: bool) {
-        let t = self.total.get() + 1;
-        self.total.set(t);
-        if t > self.peak.get() {
-            self.peak.set(t);
-        }
-        self.enqueued.set(self.enqueued.get() + 1);
+        let t = self.total.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(t, Ordering::Relaxed);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
         if punctuation {
-            self.punct_total.set(self.punct_total.get() + 1);
-            self.punct_enqueued.set(self.punct_enqueued.get() + 1);
+            self.punct_total.fetch_add(1, Ordering::Relaxed);
+            self.punct_enqueued.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.data_total.set(self.data_total.get() + 1);
+            self.data_total.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Records one tuple leaving some buffer.
     pub fn on_dequeue(&self, punctuation: bool) {
-        self.total.set(self.total.get().saturating_sub(1));
+        saturating_dec(&self.total);
         if punctuation {
-            self.punct_total
-                .set(self.punct_total.get().saturating_sub(1));
+            saturating_dec(&self.punct_total);
         } else {
-            self.data_total.set(self.data_total.get().saturating_sub(1));
+            saturating_dec(&self.data_total);
         }
     }
 
     /// Records a punctuation tuple that was merged into the buffer tail
     /// instead of occupying a new slot.
     pub fn on_coalesce(&self) {
-        self.coalesced.set(self.coalesced.get() + 1);
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Current total number of queued tuples across the graph.
     pub fn total(&self) -> usize {
-        self.total.get()
+        self.total.load(Ordering::Relaxed)
     }
 
     /// Current number of queued *data* tuples.
     pub fn data_total(&self) -> usize {
-        self.data_total.get()
+        self.data_total.load(Ordering::Relaxed)
     }
 
     /// Current number of queued punctuation tuples.
     pub fn punctuation_total(&self) -> usize {
-        self.punct_total.get()
+        self.punct_total.load(Ordering::Relaxed)
     }
 
     /// Highest total occupancy observed so far (the Fig. 8 metric).
     pub fn peak(&self) -> usize {
-        self.peak.get()
+        self.peak.load(Ordering::Relaxed)
     }
 
     /// Lifetime count of enqueued tuples (data + punctuation).
     pub fn enqueued(&self) -> u64 {
-        self.enqueued.get()
+        self.enqueued.load(Ordering::Relaxed)
     }
 
     /// Lifetime count of enqueued punctuation tuples.
     pub fn punctuation_enqueued(&self) -> u64 {
-        self.punct_enqueued.get()
+        self.punct_enqueued.load(Ordering::Relaxed)
     }
 
     /// Lifetime count of coalesced punctuation tuples.
     pub fn coalesced(&self) -> u64 {
-        self.coalesced.get()
+        self.coalesced.load(Ordering::Relaxed)
     }
 
     /// Resets the peak to the current occupancy (useful after a warm-up
     /// phase so the reported peak reflects steady state).
     pub fn reset_peak(&self) {
-        self.peak.set(self.total.get());
+        self.peak
+            .store(self.total.load(Ordering::Relaxed), Ordering::Relaxed);
     }
+}
+
+/// Decrements an unsigned counter without wrapping below zero.
+fn saturating_dec(counter: &AtomicUsize) {
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
 }
 
 #[cfg(test)]
@@ -166,5 +171,11 @@ mod tests {
         t.on_coalesce();
         assert_eq!(t.coalesced(), 2);
         assert_eq!(t.total(), 0, "coalescing does not change occupancy");
+    }
+
+    #[test]
+    fn tracker_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OccupancyTracker>();
     }
 }

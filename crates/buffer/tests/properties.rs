@@ -1,7 +1,7 @@
 //! Property tests for the buffer substrate: FIFO discipline, occupancy
 //! accounting, punctuation coalescing bounds, and TSM register laws.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
@@ -52,7 +52,7 @@ proptest! {
     /// step, and the peak is the running max of totals.
     #[test]
     fn tracker_accounting(items_a in stream(40), items_b in stream(40), pops in 0usize..50) {
-        let tracker: Rc<OccupancyTracker> = OccupancyTracker::shared();
+        let tracker: Arc<OccupancyTracker> = OccupancyTracker::shared();
         let mut a = Buffer::new("a").with_tracker(tracker.clone());
         let mut b = Buffer::new("b").with_tracker(tracker.clone());
         let mut max_seen = 0usize;

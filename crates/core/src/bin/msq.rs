@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--batch K]
+//!                              [--workers N]
 //!
 //!   query.msq   CREATE STREAM definitions + one SELECT query
 //!   trace.csv   lines of: timestamp_micros,stream_name,v1,v2,…
@@ -14,6 +15,10 @@
 //!   --trace     print the last scheduler activities after the run
 //!   --batch K   fuse up to K consecutive Encore steps per scheduling
 //!               decision (default 1 = per-tuple execution)
+//!   --workers N run each connected component of the plan on its own
+//!               worker thread, up to N threads (default: serial; a
+//!               single-query plan is usually one component, so this
+//!               mainly matters for multi-component plans)
 //! ```
 //!
 //! Example query file:
@@ -26,11 +31,13 @@
 //! SELECT host, ms FROM db;
 //! ```
 
-use std::cell::Cell;
 use std::process::ExitCode;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use millstream_exec::{Activity, CostModel, EtsPolicy, Executor, VirtualClock};
+use millstream_exec::{
+    Activity, CostModel, EtsPolicy, Executor, ParallelConfig, ParallelExecutor, VirtualClock,
+};
 use millstream_ops::SinkCollector;
 use millstream_query::plan_program;
 use millstream_sim::parse_trace;
@@ -44,10 +51,10 @@ struct Options {
     profile: bool,
     trace: bool,
     batch: usize,
+    workers: usize,
 }
 
-const USAGE: &str =
-    "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K]";
+const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N]";
 
 fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
     let mut positional = Vec::new();
@@ -56,6 +63,7 @@ fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
     let mut profile = false;
     let mut trace = false;
     let mut batch = 1usize;
+    let mut workers = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -73,6 +81,18 @@ fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
                     .filter(|&k| k >= 1)
                     .ok_or_else(|| {
                         format!("--batch expects a positive integer, got `{value}`\n{USAGE}")
+                    })?;
+            }
+            "--workers" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--workers requires a value\n{USAGE}"))?;
+                workers = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        format!("--workers expects a positive integer, got `{value}`\n{USAGE}")
                     })?;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -97,22 +117,25 @@ fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
         profile,
         trace,
         batch,
+        workers,
     })
 }
 
 /// Prints each delivered row immediately and keeps latency statistics.
 #[derive(Clone, Default)]
 struct PrintingCollector {
-    count: Rc<Cell<u64>>,
-    latency_sum_us: Rc<Cell<u64>>,
+    count: Arc<AtomicU64>,
+    latency_sum_us: Arc<AtomicU64>,
 }
 
 impl SinkCollector for PrintingCollector {
     fn deliver(&mut self, tuple: Tuple, now: Timestamp) {
         println!("{tuple}");
-        self.count.set(self.count.get() + 1);
-        self.latency_sum_us
-            .set(self.latency_sum_us.get() + now.duration_since(tuple.entry).as_micros());
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(
+            now.duration_since(tuple.entry).as_micros(),
+            Ordering::Relaxed,
+        );
     }
 }
 
@@ -142,6 +165,11 @@ fn run(opts: &Options) -> Result<()> {
     } else {
         EtsPolicy::None
     };
+
+    if opts.workers > 1 {
+        return run_parallel(opts, planned, trace, policy, &collector);
+    }
+
     let mut executor = Executor::new(
         planned.graph,
         VirtualClock::shared(),
@@ -186,11 +214,11 @@ fn run(opts: &Options) -> Result<()> {
         }
     }
 
-    let delivered = collector.count.get();
+    let delivered = collector.count.load(Ordering::Relaxed);
     let mean_ms = if delivered == 0 {
         f64::NAN
     } else {
-        collector.latency_sum_us.get() as f64 / delivered as f64 / 1_000.0
+        collector.latency_sum_us.load(Ordering::Relaxed) as f64 / delivered as f64 / 1_000.0
     };
     eprintln!(
         "# delivered {delivered} row(s); mean latency {mean_ms:.3} ms; on-demand ETS {}",
@@ -211,6 +239,82 @@ fn run(opts: &Options) -> Result<()> {
             "operator", "steps", "consumed", "produced", "busy (us)"
         );
         for p in executor.profile() {
+            eprintln!(
+                "# {:<14} {:>8} {:>10} {:>10} {:>12}",
+                p.name, p.steps, p.consumed, p.produced, p.busy_micros
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The `--workers N` path: one worker thread per plan component. The trace
+/// replay keeps the serial driver's epoch discipline — records sharing an
+/// arrival timestamp land together, then a quiescence barrier runs every
+/// component — so output per sink is identical to the serial run.
+fn run_parallel(
+    opts: &Options,
+    planned: millstream_query::PlannedQuery,
+    trace: Vec<millstream_sim::TraceRecord>,
+    policy: EtsPolicy,
+    collector: &PrintingCollector,
+) -> Result<()> {
+    let source_by_index: Vec<_> = planned.sources.iter().map(|s| s.id).collect();
+    let config = ParallelConfig::new(CostModel::default(), policy, opts.workers);
+    let config = ParallelConfig {
+        opts: millstream_exec::ExecOptions {
+            encore_batch: opts.batch.max(1),
+        },
+        ..config
+    };
+    let pex = ParallelExecutor::new(planned.graph, config);
+
+    eprintln!(
+        "# {} record(s), {} stream(s), output schema {}; {} component(s) on {} worker(s)",
+        trace.len(),
+        planned.sources.len(),
+        planned.output_schema,
+        pex.num_components(),
+        pex.num_workers(),
+    );
+
+    let mut pending_at: Option<Timestamp> = None;
+    for rec in &trace {
+        if pending_at.is_some_and(|at| at != rec.at) {
+            pex.run_until_quiescent(u64::MAX)?;
+        }
+        pending_at = Some(rec.at);
+        pex.advance_to(rec.at)?;
+        pex.ingest(
+            source_by_index[rec.stream],
+            Tuple::data(rec.at, rec.values.clone()),
+        )?;
+    }
+    pex.run_until_quiescent(u64::MAX)?;
+
+    let snap = pex.snapshot()?;
+    let delivered = collector.count.load(Ordering::Relaxed);
+    let mean_ms = if delivered == 0 {
+        f64::NAN
+    } else {
+        collector.latency_sum_us.load(Ordering::Relaxed) as f64 / delivered as f64 / 1_000.0
+    };
+    eprintln!(
+        "# delivered {delivered} row(s); mean latency {mean_ms:.3} ms; on-demand ETS {}",
+        snap.stats.ets_generated
+    );
+
+    if opts.trace {
+        eprintln!("# --trace is per-component state; not merged under --workers");
+    }
+
+    if opts.profile {
+        eprintln!("\n# per-operator profile");
+        eprintln!(
+            "# {:<14} {:>8} {:>10} {:>10} {:>12}",
+            "operator", "steps", "consumed", "produced", "busy (us)"
+        );
+        for p in &snap.profile {
             eprintln!(
                 "# {:<14} {:>8} {:>10} {:>10} {:>12}",
                 p.name, p.steps, p.consumed, p.produced, p.busy_micros

@@ -71,8 +71,9 @@ pub use millstream_types as types;
 pub mod prelude {
     pub use crate::QueryRunner;
     pub use millstream_exec::{
-        Activity, CostModel, EtsPolicy, Executor, GraphBuilder, Input, NodeId, OpProfile,
-        QueryGraph, SchedPolicy, SourceId, VirtualClock,
+        Activity, CostModel, EtsPolicy, ExecStats, Executor, GraphBuilder, Input, NodeId,
+        OpProfile, ParallelConfig, ParallelExecutor, ParallelSnapshot, QueryGraph, SchedPolicy,
+        SourceId, VirtualClock,
     };
     pub use millstream_metrics::{LatencyRecorder, RunMetrics};
     pub use millstream_ops::{
@@ -81,8 +82,8 @@ pub mod prelude {
     };
     pub use millstream_sim::{
         run_disorder_experiment, run_join_experiment, run_union_experiment, ArrivalProcess,
-        DisorderExperiment, JoinExperiment, PayloadGen, Simulation, Strategy, StreamSpec,
-        UnionExperiment,
+        DisorderExperiment, JoinExperiment, ParallelSimulation, PayloadGen, Simulation, Strategy,
+        StreamSpec, UnionExperiment,
     };
     pub use millstream_types::{
         DataType, Error, Expr, Field, Result, Schema, TimeDelta, Timestamp, TimestampKind, Tuple,

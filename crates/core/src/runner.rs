@@ -5,21 +5,23 @@
 //! with explicit timestamps — the easiest way to use millstream as a
 //! library (workload-driven experiments use `millstream-sim` instead).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use millstream_exec::{CostModel, EtsPolicy, Executor, SourceId, VirtualClock};
+use millstream_exec::{
+    CostModel, EtsPolicy, Executor, OpProfile, ParallelConfig, ParallelExecutor, SourceId,
+    VirtualClock,
+};
 use millstream_ops::{SinkCollector, VecCollector};
 use millstream_query::{plan_program, PlannedSource};
 use millstream_types::{Error, Result, Schema, Timestamp, Tuple, Value};
 
 /// A `SinkCollector` that shares its deliveries with the runner.
 #[derive(Clone, Default)]
-struct SharedVec(Rc<RefCell<VecCollector>>);
+struct SharedVec(Arc<Mutex<VecCollector>>);
 
 impl SinkCollector for SharedVec {
     fn deliver(&mut self, tuple: Tuple, now: Timestamp) {
-        self.0.borrow_mut().deliver(tuple, now);
+        self.0.lock().unwrap().deliver(tuple, now);
     }
 }
 
@@ -41,16 +43,45 @@ impl SinkCollector for SharedVec {
 /// assert!(out[0].ts < out[1].ts);
 /// ```
 pub struct QueryRunner {
-    executor: Executor,
+    engine: Engine,
     sources: Vec<PlannedSource>,
     output: SharedVec,
     output_schema: Schema,
     drained: usize,
 }
 
+/// The execution backend behind a [`QueryRunner`].
+enum Engine {
+    /// The single-threaded depth-first NOS executor.
+    Serial(Executor),
+    /// One worker thread per query-graph component (`msq --workers N`).
+    /// The plan DOT is rendered before partitioning (the whole graph).
+    Parallel {
+        pex: ParallelExecutor,
+        plan_dot: String,
+    },
+}
+
 impl QueryRunner {
     /// Compiles `program` (CREATE STREAM statements + one query).
+    ///
+    /// Honors the `MILLSTREAM_WORKERS` environment variable: when set to a
+    /// positive integer the parallel per-component backend is used (the
+    /// programmatic equivalent of `msq --workers N`); otherwise the serial
+    /// executor runs the whole graph.
     pub fn new(program: &str) -> Result<QueryRunner> {
+        match std::env::var("MILLSTREAM_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+        {
+            Some(workers) => QueryRunner::new_parallel(program, workers),
+            None => QueryRunner::new_serial(program),
+        }
+    }
+
+    /// Compiles `program` onto the single-threaded executor.
+    pub fn new_serial(program: &str) -> Result<QueryRunner> {
         let output = SharedVec::default();
         let planned = plan_program(program, output.clone())?;
         let clock = VirtualClock::shared();
@@ -63,12 +94,39 @@ impl QueryRunner {
             EtsPolicy::None,
         );
         Ok(QueryRunner {
-            executor,
+            engine: Engine::Serial(executor),
             sources: planned.sources,
             output,
             output_schema: planned.output_schema,
             drained: 0,
         })
+    }
+
+    /// Compiles `program` onto the parallel per-component backend with up
+    /// to `workers` threads (components are multiplexed when fewer).
+    pub fn new_parallel(program: &str, workers: usize) -> Result<QueryRunner> {
+        let output = SharedVec::default();
+        let planned = plan_program(program, output.clone())?;
+        let plan_dot = planned.graph.to_dot();
+        let pex = ParallelExecutor::new(
+            planned.graph,
+            ParallelConfig::new(CostModel::free(), EtsPolicy::None, workers),
+        );
+        Ok(QueryRunner {
+            engine: Engine::Parallel { pex, plan_dot },
+            sources: planned.sources,
+            output,
+            output_schema: planned.output_schema,
+            drained: 0,
+        })
+    }
+
+    /// Worker threads in use (1 means the serial backend).
+    pub fn workers(&self) -> usize {
+        match &self.engine {
+            Engine::Serial(_) => 1,
+            Engine::Parallel { pex, .. } => pex.num_workers(),
+        }
     }
 
     /// The schema of the delivered stream.
@@ -78,12 +136,19 @@ impl QueryRunner {
 
     /// Renders the compiled plan as Graphviz DOT.
     pub fn plan_dot(&self) -> String {
-        self.executor.graph().to_dot()
+        match &self.engine {
+            Engine::Serial(e) => e.graph().to_dot(),
+            Engine::Parallel { plan_dot, .. } => plan_dot.clone(),
+        }
     }
 
-    /// Per-operator execution profile so far (steps, tuples, virtual time).
-    pub fn profile(&self) -> &[millstream_exec::OpProfile] {
-        self.executor.profile()
+    /// Per-operator execution profile so far (steps, tuples, virtual
+    /// time), in plan order regardless of backend.
+    pub fn profile(&self) -> Vec<OpProfile> {
+        match &self.engine {
+            Engine::Serial(e) => e.profile().to_vec(),
+            Engine::Parallel { pex, .. } => pex.snapshot().map(|s| s.profile).unwrap_or_default(),
+        }
     }
 
     /// The names of the input streams, in planning order.
@@ -100,14 +165,30 @@ impl QueryRunner {
     }
 
     /// Pushes one tuple with an explicit timestamp (microseconds), then
-    /// runs the executor until quiescent.
+    /// runs the executor until quiescent. Errors (schema mismatch,
+    /// out-of-order timestamps) are reported from this call on both
+    /// backends: the parallel ingest is fire-and-forget, but `run`'s
+    /// quiescence barrier surfaces any error it caused.
     pub fn push(&mut self, stream: &str, ts_micros: u64, values: Vec<Value>) -> Result<()> {
         let id = self.source_id(stream)?;
-        let source = self.executor.graph().source(id);
-        source.schema.check_row(&values)?;
+        let schema = &self
+            .sources
+            .iter()
+            .find(|s| s.id == id)
+            .expect("id from sources")
+            .schema;
+        schema.check_row(&values)?;
         let ts = Timestamp::from_micros(ts_micros);
-        self.executor.clock().advance_to(ts);
-        self.executor.ingest(id, Tuple::data(ts, values))?;
+        match &mut self.engine {
+            Engine::Serial(e) => {
+                e.clock().advance_to(ts);
+                e.ingest(id, Tuple::data(ts, values))?;
+            }
+            Engine::Parallel { pex, .. } => {
+                pex.advance_to(ts)?;
+                pex.ingest(id, Tuple::data(ts, values))?;
+            }
+        }
         self.run()
     }
 
@@ -116,9 +197,19 @@ impl QueryRunner {
     /// equivalent of an ETS round.
     pub fn advance_time(&mut self, ts_micros: u64) -> Result<()> {
         let ts = Timestamp::from_micros(ts_micros);
-        self.executor.clock().advance_to(ts);
-        for s in self.sources.clone() {
-            self.executor.ingest_heartbeat(s.id, ts)?;
+        match &mut self.engine {
+            Engine::Serial(e) => {
+                e.clock().advance_to(ts);
+                for s in self.sources.clone() {
+                    e.ingest_heartbeat(s.id, ts)?;
+                }
+            }
+            Engine::Parallel { pex, .. } => {
+                pex.advance_to(ts)?;
+                for s in self.sources.clone() {
+                    pex.ingest_heartbeat(s.id, ts)?;
+                }
+            }
         }
         self.run()
     }
@@ -127,13 +218,20 @@ impl QueryRunner {
     pub fn run(&mut self) -> Result<()> {
         // The step budget only guards against runaway loops; real programs
         // finish long before.
-        self.executor.run_until_quiescent(10_000_000)?;
+        match &mut self.engine {
+            Engine::Serial(e) => {
+                e.run_until_quiescent(10_000_000)?;
+            }
+            Engine::Parallel { pex, .. } => {
+                pex.run_until_quiescent(10_000_000)?;
+            }
+        }
         Ok(())
     }
 
     /// Takes the tuples delivered since the last drain.
     pub fn drain(&mut self) -> Vec<Tuple> {
-        let inner = self.output.0.borrow();
+        let inner = self.output.0.lock().unwrap();
         let fresh: Vec<Tuple> = inner.delivered[self.drained..]
             .iter()
             .map(|(t, _)| t.clone())
@@ -148,7 +246,10 @@ impl QueryRunner {
     /// output.
     pub fn finish(mut self) -> Result<Vec<Tuple>> {
         for s in self.sources.clone() {
-            self.executor.close_source(s.id)?;
+            match &mut self.engine {
+                Engine::Serial(e) => e.close_source(s.id)?,
+                Engine::Parallel { pex, .. } => pex.close_source(s.id)?,
+            }
         }
         self.run()?;
         self.drained = 0;
@@ -326,6 +427,50 @@ mod tests {
         assert_eq!(out.len(), 3, "nothing lost");
         let ts: Vec<u64> = out.iter().map(|t| t.ts.as_micros()).collect();
         assert_eq!(ts, vec![50_000, 100_000, 150_000], "order restored");
+    }
+
+    #[test]
+    fn parallel_backend_matches_serial() {
+        let program = "CREATE STREAM a (v INT);
+             CREATE STREAM b (v INT);
+             SELECT v FROM a WHERE v >= 10 UNION SELECT v FROM b;";
+        let drive = |mut q: QueryRunner| -> (Vec<Tuple>, Vec<OpProfile>) {
+            q.push("a", 10, vec![Value::Int(5)]).unwrap();
+            q.push("a", 20, vec![Value::Int(15)]).unwrap();
+            q.push("b", 30, vec![Value::Int(1)]).unwrap();
+            q.advance_time(40).unwrap();
+            let profile = q.profile();
+            (q.finish().unwrap(), profile)
+        };
+        let serial = QueryRunner::new_serial(program).unwrap();
+        assert_eq!(serial.workers(), 1);
+        let parallel = QueryRunner::new_parallel(program, 4).unwrap();
+        assert_eq!(
+            parallel.workers(),
+            1,
+            "one query = one component; extra workers are not spawned"
+        );
+        assert_eq!(serial.plan_dot(), parallel.plan_dot());
+        let (s_out, s_prof) = drive(serial);
+        let (p_out, p_prof) = drive(parallel);
+        assert_eq!(s_out, p_out);
+        assert_eq!(s_prof, p_prof, "identical work on both backends");
+    }
+
+    #[test]
+    fn parallel_backend_rejects_out_of_order_push() {
+        let mut q = QueryRunner::new_parallel(
+            "CREATE STREAM a (v INT);
+             CREATE STREAM b (v INT);
+             SELECT v FROM a UNION SELECT v FROM b;",
+            2,
+        )
+        .unwrap();
+        q.push("a", 100, vec![Value::Int(1)]).unwrap();
+        assert!(matches!(
+            q.push("a", 50, vec![Value::Int(2)]).unwrap_err(),
+            Error::OutOfOrder { .. }
+        ));
     }
 
     #[test]

@@ -7,39 +7,42 @@
 //! makes punctuation *overhead* visible — the effect behind the rising
 //! right half of the paper's Fig. 8(b).
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use millstream_types::{TimeDelta, Timestamp};
 
-/// A shared, monotone virtual clock (single-threaded; `Rc<VirtualClock>`).
+/// A shared, monotone virtual clock (`Arc<VirtualClock>`).
+///
+/// The counter is a relaxed atomic so a clock can be owned by a graph that
+/// moves onto a worker thread. Under parallel execution each component has
+/// its own clock, so all updates still come from one thread at a time and
+/// relaxed ordering is exact.
 #[derive(Debug, Default)]
 pub struct VirtualClock {
-    micros: Cell<u64>,
+    micros: AtomicU64,
 }
 
 impl VirtualClock {
     /// A new clock at the epoch, wrapped for sharing.
-    pub fn shared() -> Rc<VirtualClock> {
-        Rc::new(VirtualClock::default())
+    pub fn shared() -> Arc<VirtualClock> {
+        Arc::new(VirtualClock::default())
     }
 
     /// Current reading.
     pub fn now(&self) -> Timestamp {
-        Timestamp::from_micros(self.micros.get())
+        Timestamp::from_micros(self.micros.load(Ordering::Relaxed))
     }
 
     /// Moves the clock forward by `delta`.
     pub fn advance(&self, delta: TimeDelta) {
-        self.micros.set(self.micros.get() + delta.as_micros());
+        self.micros.fetch_add(delta.as_micros(), Ordering::Relaxed);
     }
 
     /// Jumps the clock forward to `to`; ignored if `to` is in the past
     /// (the clock never goes backwards).
     pub fn advance_to(&self, to: Timestamp) {
-        if to.as_micros() > self.micros.get() {
-            self.micros.set(to.as_micros());
-        }
+        self.micros.fetch_max(to.as_micros(), Ordering::Relaxed);
     }
 }
 

@@ -29,7 +29,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use millstream_buffer::Buffer;
 use millstream_metrics::IdleTracker;
@@ -139,7 +139,7 @@ impl Default for ExecOptions {
 /// The depth-first NOS executor over one query graph.
 pub struct Executor {
     graph: QueryGraph,
-    clock: Rc<VirtualClock>,
+    clock: Arc<VirtualClock>,
     cost: CostModel,
     policy: EtsPolicy,
     sched: SchedPolicy,
@@ -159,7 +159,7 @@ impl Executor {
     /// Creates an executor over `graph` driven by `clock`.
     pub fn new(
         graph: QueryGraph,
-        clock: Rc<VirtualClock>,
+        clock: Arc<VirtualClock>,
         cost: CostModel,
         policy: EtsPolicy,
     ) -> Self {
@@ -252,7 +252,7 @@ impl Executor {
     }
 
     /// The shared clock.
-    pub fn clock(&self) -> &Rc<VirtualClock> {
+    pub fn clock(&self) -> &Arc<VirtualClock> {
         &self.clock
     }
 
@@ -848,11 +848,11 @@ mod tests {
     /// Shared collector so tests can inspect deliveries after the graph
     /// takes ownership of the sink.
     #[derive(Clone, Default)]
-    struct Shared(Rc<RefCell<VecCollector>>);
+    struct Shared(Arc<std::sync::Mutex<VecCollector>>);
 
     impl SinkCollector for Shared {
         fn deliver(&mut self, tuple: Tuple, now: Timestamp) {
-            self.0.borrow_mut().deliver(tuple, now);
+            self.0.lock().unwrap().deliver(tuple, now);
         }
     }
 
@@ -953,7 +953,7 @@ mod tests {
         f.exec.ingest(f.s1, data(100, 1)).unwrap();
         f.exec.run_until_quiescent(100).unwrap();
         // The tuple crossed σ1 but is stuck at the union: S2 never spoke.
-        assert_eq!(f.out.0.borrow().delivered.len(), 0);
+        assert_eq!(f.out.0.lock().unwrap().delivered.len(), 0);
         assert!(f.exec.graph().total_queued() >= 1);
         // Union is idle-waiting.
         f.exec.clock().advance_to(Timestamp::from_secs(10));
@@ -982,9 +982,13 @@ mod tests {
         // The unblocking ETS targets the silent source; a follow-up ETS on
         // S1 may then flush the residual punctuation at the union.
         assert_eq!(ets_sources.first(), Some(&f.s2));
-        assert_eq!(f.out.0.borrow().delivered.len(), 1, "tuple delivered");
+        assert_eq!(
+            f.out.0.lock().unwrap().delivered.len(),
+            1,
+            "tuple delivered"
+        );
         // Latency is microseconds (processing only), not idle-waiting.
-        let (t, at) = f.out.0.borrow().delivered[0].clone();
+        let (t, at) = f.out.0.lock().unwrap().delivered[0].clone();
         let latency = at.duration_since(t.entry);
         assert!(
             latency < TimeDelta::from_millis(1),
@@ -1021,7 +1025,7 @@ mod tests {
         f.exec.clock().advance_to(Timestamp::from_micros(100));
         f.exec.ingest(f.s1, data(100, 1)).unwrap();
         f.exec.run_until_quiescent(100).unwrap();
-        assert_eq!(f.out.0.borrow().delivered.len(), 1);
+        assert_eq!(f.out.0.lock().unwrap().delivered.len(), 1);
         assert_eq!(f.exec.stats().ets_generated, 0);
     }
 
@@ -1031,14 +1035,14 @@ mod tests {
         f.exec.clock().advance_to(Timestamp::from_micros(100));
         f.exec.ingest(f.s1, data(100, 1)).unwrap();
         f.exec.run_until_quiescent(100).unwrap();
-        assert_eq!(f.out.0.borrow().delivered.len(), 0);
+        assert_eq!(f.out.0.lock().unwrap().delivered.len(), 0);
         // Periodic heartbeat on the sparse stream at ts 200.
         f.exec.clock().advance_to(Timestamp::from_micros(200));
         f.exec
             .ingest_heartbeat(f.s2, Timestamp::from_micros(200))
             .unwrap();
         f.exec.run_until_quiescent(100).unwrap();
-        assert_eq!(f.out.0.borrow().delivered.len(), 1);
+        assert_eq!(f.out.0.lock().unwrap().delivered.len(), 1);
     }
 
     #[test]
@@ -1064,7 +1068,7 @@ mod tests {
                 .unwrap();
             f.exec.run_until_quiescent(10_000).unwrap();
         }
-        let delivered = f.out.0.borrow().delivered.clone();
+        let delivered = f.out.0.lock().unwrap().delivered.clone();
         assert_eq!(delivered.len(), 55);
         let ts: Vec<u64> = delivered.iter().map(|(t, _)| t.ts.as_micros()).collect();
         let mut sorted = ts.clone();
@@ -1110,8 +1114,12 @@ mod tests {
             rig.exec.ingest(rig.s1, data(100, 1)).unwrap();
             rig.exec.run_until_quiescent(10_000).unwrap();
         }
-        assert_eq!(f.out.0.borrow().delivered.len(), 1, "DFS delivers");
-        assert_eq!(rr.out.0.borrow().delivered.len(), 1, "round-robin delivers");
+        assert_eq!(f.out.0.lock().unwrap().delivered.len(), 1, "DFS delivers");
+        assert_eq!(
+            rr.out.0.lock().unwrap().delivered.len(),
+            1,
+            "round-robin delivers"
+        );
         assert!(rr.exec.stats().ets_generated >= 1);
     }
 
@@ -1145,12 +1153,16 @@ mod tests {
             f.exec.ingest(f.s1, data(100 + i, (i as i64) + 1)).unwrap();
         }
         f.exec.run_until_quiescent(10_000).unwrap();
-        assert_eq!(f.out.0.borrow().delivered.len(), 0);
+        assert_eq!(f.out.0.lock().unwrap().delivered.len(), 0);
         // …until both sources declare end-of-stream.
         f.exec.close_source(f.s1).unwrap();
         f.exec.close_source(f.s2).unwrap();
         f.exec.run_until_quiescent(10_000).unwrap();
-        assert_eq!(f.out.0.borrow().delivered.len(), 5, "EOS flushes the union");
+        assert_eq!(
+            f.out.0.lock().unwrap().delivered.len(),
+            5,
+            "EOS flushes the union"
+        );
         assert_eq!(f.exec.graph().total_queued(), 0, "nothing left anywhere");
         // Idempotent close; rejected ingest.
         f.exec.close_source(f.s1).unwrap();
@@ -1244,8 +1256,8 @@ mod tests {
                 rig.exec.close_source(rig.s2).unwrap();
                 rig.exec.run_until_quiescent(100_000).unwrap();
             }
-            let base_out = base.out.0.borrow().delivered.clone();
-            let batched_out = batched.out.0.borrow().delivered.clone();
+            let base_out = base.out.0.lock().unwrap().delivered.clone();
+            let batched_out = batched.out.0.lock().unwrap().delivered.clone();
             assert_eq!(base_out, batched_out, "byte-identical deliveries");
             let (bs, ks) = (base.exec.stats(), batched.exec.stats());
             assert_eq!(bs.steps, ks.steps, "same inner step count");

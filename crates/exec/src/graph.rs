@@ -11,7 +11,7 @@
 //! producer/consumer per buffer, acyclicity.
 
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use millstream_buffer::{Buffer, OccupancyTracker, OrderPolicy, PunctuationPolicy};
 use millstream_ops::Operator;
@@ -21,9 +21,23 @@ use millstream_types::{Error, Result, Schema, Timestamp, TimestampKind};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) usize);
 
+impl NodeId {
+    /// The node's position in the graph's node list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Identifies a source node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SourceId(pub(crate) usize);
+
+impl SourceId {
+    /// The source's position in the graph's source list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Identifies a buffer (arc).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,7 +123,7 @@ pub struct QueryGraph {
     pub(crate) ops: Vec<OpNode>,
     pub(crate) buffers: Vec<RefCell<Buffer>>,
     pub(crate) sources: Vec<SourceState>,
-    pub(crate) tracker: Rc<OccupancyTracker>,
+    pub(crate) tracker: Arc<OccupancyTracker>,
 }
 
 impl QueryGraph {
@@ -124,7 +138,7 @@ impl QueryGraph {
     }
 
     /// The shared occupancy tracker (Fig. 8's peak-queue metric).
-    pub fn tracker(&self) -> &Rc<OccupancyTracker> {
+    pub fn tracker(&self) -> &Arc<OccupancyTracker> {
         &self.tracker
     }
 
@@ -171,31 +185,209 @@ impl QueryGraph {
         self.tracker.total()
     }
 
-    /// Renders the graph as Graphviz DOT for visualization
-    /// (`dot -Tpng graph.dot -o graph.png`).
-    pub fn to_dot(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::from("digraph millstream {\n  rankdir=LR;\n");
-        for (i, s) in self.sources.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "  src{i} [shape=cds, label=\"{} ({:?})\"];",
-                s.name, s.kind
-            );
+    /// Assigns every operator and source to a connected component of the
+    /// undirected arc structure. Returns `(op_component, source_component,
+    /// component_count)`. Components are numbered in order of their
+    /// smallest operator node id, so the assignment is deterministic for a
+    /// given graph.
+    pub(crate) fn component_assignment(&self) -> (Vec<usize>, Vec<usize>, usize) {
+        // Union-find over operator nodes; every arc is either op→op
+        // (union the endpoints) or source→op (the source adopts its
+        // consumer's component).
+        let mut parent: Vec<usize> = (0..self.ops.len()).collect();
+        fn root(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]]; // path halving
+                i = parent[i];
+            }
+            i
         }
         for (i, n) in self.ops.iter().enumerate() {
-            let shape = if n.outputs.is_empty() {
-                "doublecircle"
-            } else if n.op.is_iwp() {
-                "diamond"
+            for pred in &n.preds {
+                if let Pred::Op(p) = pred {
+                    let (a, b) = (root(&mut parent, i), root(&mut parent, p.0));
+                    if a != b {
+                        // Attach the larger root under the smaller so the
+                        // representative is the smallest node id.
+                        parent[a.max(b)] = a.min(b);
+                    }
+                }
+            }
+        }
+        let mut next = 0usize;
+        let mut comp_of_root: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let op_comp: Vec<usize> = (0..self.ops.len())
+            .map(|i| {
+                let r = root(&mut parent, i);
+                *comp_of_root.entry(r).or_insert_with(|| {
+                    let c = next;
+                    next += 1;
+                    c
+                })
+            })
+            .collect();
+        let source_comp: Vec<usize> = self.sources.iter().map(|s| op_comp[s.consumer.0]).collect();
+        (op_comp, source_comp, next)
+    }
+
+    /// Number of connected components.
+    pub fn num_components(&self) -> usize {
+        self.component_assignment().2
+    }
+
+    /// Splits the graph into its connected components, producing one
+    /// self-contained [`QueryGraph`] per component plus the id remapping
+    /// between the whole graph and each sub-graph.
+    ///
+    /// Invariants:
+    /// - every node, source, and buffer lands in exactly one component;
+    /// - the relative order of nodes within a component is preserved, so
+    ///   sub-graphs stay bottom-up (arcs point from lower to higher local
+    ///   ids) exactly like builder output;
+    /// - components are numbered by their smallest global operator id, so
+    ///   partitioning is deterministic;
+    /// - each sub-graph gets a **private** [`OccupancyTracker`]; tuples
+    ///   already queued in moved buffers are re-registered on it.
+    pub fn partition_components(self) -> ComponentPartition {
+        let (op_comp, source_comp, count) = self.component_assignment();
+
+        // Buffers: a source buffer follows its source, an operator output
+        // buffer follows its producing operator.
+        let mut buffer_comp: Vec<usize> = vec![0; self.buffers.len()];
+        for (s, state) in self.sources.iter().enumerate() {
+            buffer_comp[state.buffer.0] = source_comp[s];
+        }
+        for (i, n) in self.ops.iter().enumerate() {
+            for b in &n.outputs {
+                buffer_comp[b.0] = op_comp[i];
+            }
+        }
+
+        // Local ids, assigned in ascending global order per component.
+        let mut node_local: Vec<usize> = vec![0; self.ops.len()];
+        let mut source_local: Vec<usize> = vec![0; self.sources.len()];
+        let mut buffer_local: Vec<usize> = vec![0; self.buffers.len()];
+        let mut nodes_of: Vec<Vec<NodeId>> = vec![Vec::new(); count];
+        let mut sources_of: Vec<Vec<SourceId>> = vec![Vec::new(); count];
+        let mut buffers_of: Vec<Vec<BufferId>> = vec![Vec::new(); count];
+        for (i, &c) in op_comp.iter().enumerate() {
+            node_local[i] = nodes_of[c].len();
+            nodes_of[c].push(NodeId(i));
+        }
+        for (s, &c) in source_comp.iter().enumerate() {
+            source_local[s] = sources_of[c].len();
+            sources_of[c].push(SourceId(s));
+        }
+        for (b, &c) in buffer_comp.iter().enumerate() {
+            buffer_local[b] = buffers_of[c].len();
+            buffers_of[c].push(BufferId(b));
+        }
+
+        // Distribute the owned pieces.
+        let mut ops_parts: Vec<Vec<OpNode>> = (0..count).map(|_| Vec::new()).collect();
+        for (i, mut node) in self.ops.into_iter().enumerate() {
+            let c = op_comp[i];
+            for b in node.inputs.iter_mut().chain(node.outputs.iter_mut()) {
+                *b = BufferId(buffer_local[b.0]);
+            }
+            for pred in node.preds.iter_mut() {
+                *pred = match *pred {
+                    Pred::Op(n) => Pred::Op(NodeId(node_local[n.0])),
+                    Pred::Source(s) => Pred::Source(SourceId(source_local[s.0])),
+                };
+            }
+            for succ in node.succs.iter_mut() {
+                *succ = NodeId(node_local[succ.0]);
+            }
+            ops_parts[c].push(node);
+        }
+        let mut source_parts: Vec<Vec<SourceState>> = (0..count).map(|_| Vec::new()).collect();
+        let mut source_map: Vec<(usize, SourceId)> = Vec::with_capacity(self.sources.len());
+        for (s, mut state) in self.sources.into_iter().enumerate() {
+            let c = source_comp[s];
+            state.buffer = BufferId(buffer_local[state.buffer.0]);
+            state.consumer = NodeId(node_local[state.consumer.0]);
+            source_map.push((c, SourceId(source_local[s])));
+            source_parts[c].push(state);
+        }
+        let trackers: Vec<Arc<OccupancyTracker>> =
+            (0..count).map(|_| OccupancyTracker::shared()).collect();
+        let mut buffer_parts: Vec<Vec<RefCell<Buffer>>> = (0..count).map(|_| Vec::new()).collect();
+        for (b, cell) in self.buffers.into_iter().enumerate() {
+            let c = buffer_comp[b];
+            cell.borrow_mut().set_tracker(trackers[c].clone());
+            buffer_parts[c].push(cell);
+        }
+
+        let mut components = Vec::with_capacity(count);
+        let mut ops_parts = ops_parts.into_iter();
+        let mut source_parts = source_parts.into_iter();
+        let mut buffer_parts = buffer_parts.into_iter();
+        for c in 0..count {
+            components.push(ComponentGraph {
+                graph: QueryGraph {
+                    ops: ops_parts.next().expect("count"),
+                    buffers: buffer_parts.next().expect("count"),
+                    sources: source_parts.next().expect("count"),
+                    tracker: trackers[c].clone(),
+                },
+                nodes: std::mem::take(&mut nodes_of[c]),
+                sources: std::mem::take(&mut sources_of[c]),
+                buffers: std::mem::take(&mut buffers_of[c]),
+            });
+        }
+        ComponentPartition {
+            components,
+            source_map,
+        }
+    }
+
+    /// Renders the graph as Graphviz DOT for visualization
+    /// (`dot -Tpng graph.dot -o graph.png`). Multi-component graphs render
+    /// each connected component as a labelled `subgraph cluster_N`.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let (op_comp, source_comp, count) = self.component_assignment();
+        let mut out = String::from("digraph millstream {\n  rankdir=LR;\n");
+        for c in 0..count {
+            let (indent, close) = if count > 1 {
+                let _ = writeln!(out, "  subgraph cluster_{c} {{");
+                let _ = writeln!(out, "    label=\"component {c}\";");
+                ("    ", true)
             } else {
-                "box"
+                ("  ", false)
             };
-            let _ = writeln!(
-                out,
-                "  op{i} [shape={shape}, label=\"{}\"];",
-                n.name.replace('"', "'")
-            );
+            for (i, s) in self.sources.iter().enumerate() {
+                if source_comp[i] != c {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{indent}src{i} [shape=cds, label=\"{} ({:?})\"];",
+                    s.name, s.kind
+                );
+            }
+            for (i, n) in self.ops.iter().enumerate() {
+                if op_comp[i] != c {
+                    continue;
+                }
+                let shape = if n.outputs.is_empty() {
+                    "doublecircle"
+                } else if n.op.is_iwp() {
+                    "diamond"
+                } else {
+                    "box"
+                };
+                let _ = writeln!(
+                    out,
+                    "{indent}op{i} [shape={shape}, label=\"{}\"];",
+                    n.name.replace('"', "'")
+                );
+            }
+            if close {
+                out.push_str("  }\n");
+            }
         }
         for (i, s) in self.sources.iter().enumerate() {
             let _ = writeln!(out, "  src{i} -> op{};", s.consumer.0);
@@ -240,6 +432,36 @@ impl QueryGraph {
         }
         out
     }
+}
+
+/// The result of [`QueryGraph::partition_components`]: one self-contained
+/// sub-graph per connected component plus the global→local id remapping.
+pub struct ComponentPartition {
+    /// The component sub-graphs, ordered by smallest global operator id.
+    pub components: Vec<ComponentGraph>,
+    /// Global source id → (component index, local source id). This is the
+    /// routing table for ingest under parallel execution.
+    pub source_map: Vec<(usize, SourceId)>,
+}
+
+impl ComponentPartition {
+    /// The component index and local source id for a global source.
+    pub fn route(&self, global: SourceId) -> (usize, SourceId) {
+        self.source_map[global.0]
+    }
+}
+
+/// One connected component of a partitioned graph, with the mapping from
+/// local ids back to the ids of the whole graph.
+pub struct ComponentGraph {
+    /// The component as a standalone, executable graph.
+    pub graph: QueryGraph,
+    /// Local node index → global [`NodeId`].
+    pub nodes: Vec<NodeId>,
+    /// Local source index → global [`SourceId`].
+    pub sources: Vec<SourceId>,
+    /// Local buffer index → global [`BufferId`].
+    pub buffers: Vec<BufferId>,
 }
 
 /// Builds and validates a [`QueryGraph`].
@@ -697,6 +919,137 @@ mod tests {
             .borrow_mut()
             .push(Tuple::data(Timestamp::from_micros(5), vec![Value::Int(2)]))
             .expect("unordered source accepts regressions");
+    }
+
+    /// Two components: S1→σa→sink_a and (S2,S3)→σb,σc→∪→sink_u.
+    fn two_component_graph() -> (QueryGraph, [SourceId; 3]) {
+        let mut b = GraphBuilder::new();
+        let s1 = b.source("S1", schema(), TimestampKind::Internal);
+        let s2 = b.source("S2", schema(), TimestampKind::Internal);
+        let s3 = b.source("S3", schema(), TimestampKind::Internal);
+        let fa = b.operator(filter("σa"), vec![Input::Source(s1)]).unwrap();
+        let _ka = b
+            .operator(
+                Box::new(Sink::new("sink_a", schema(), VecCollector::default())),
+                vec![Input::Op(fa)],
+            )
+            .unwrap();
+        let fb = b.operator(filter("σb"), vec![Input::Source(s2)]).unwrap();
+        let fc = b.operator(filter("σc"), vec![Input::Source(s3)]).unwrap();
+        let u = b
+            .operator(
+                Box::new(Union::new("∪", schema(), 2)),
+                vec![Input::Op(fb), Input::Op(fc)],
+            )
+            .unwrap();
+        let _ku = b
+            .operator(
+                Box::new(Sink::new("sink_u", schema(), VecCollector::default())),
+                vec![Input::Op(u)],
+            )
+            .unwrap();
+        (b.build().unwrap(), [s1, s2, s3])
+    }
+
+    #[test]
+    fn component_assignment_is_by_smallest_node_id() {
+        let (g, _) = two_component_graph();
+        assert_eq!(g.num_components(), 2);
+        let (op_comp, source_comp, count) = g.component_assignment();
+        assert_eq!(count, 2);
+        // σa (node 0) anchors component 0; σb (node 2) anchors component 1.
+        assert_eq!(op_comp, vec![0, 0, 1, 1, 1, 1]);
+        assert_eq!(source_comp, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn partition_produces_self_contained_subgraphs() {
+        let (g, [s1, s2, s3]) = two_component_graph();
+        let total_ops = g.num_ops();
+        let total_sources = g.num_sources();
+        let total_buffers = g.buffers.len();
+        let part = g.partition_components();
+        assert_eq!(part.components.len(), 2);
+        assert_eq!(
+            part.components
+                .iter()
+                .map(|c| c.graph.num_ops())
+                .sum::<usize>(),
+            total_ops
+        );
+        assert_eq!(
+            part.components
+                .iter()
+                .map(|c| c.graph.num_sources())
+                .sum::<usize>(),
+            total_sources
+        );
+        assert_eq!(
+            part.components
+                .iter()
+                .map(|c| c.graph.buffers.len())
+                .sum::<usize>(),
+            total_buffers
+        );
+        // Routing: S1 → component 0; S2, S3 → component 1.
+        assert_eq!(part.route(s1).0, 0);
+        assert_eq!(part.route(s2).0, 1);
+        assert_eq!(part.route(s3).0, 1);
+        // Local wiring is internally consistent: every source's consumer
+        // exists and its buffer is in range.
+        for comp in &part.components {
+            let g = &comp.graph;
+            for s in g.source_ids() {
+                let state = g.source(s);
+                assert!(state.consumer.0 < g.num_ops());
+                assert!(state.buffer.0 < g.buffers.len());
+                assert_eq!(g.ops[state.consumer.0].preds[0], Pred::Source(s));
+            }
+            // Bottom-up: arcs point from lower to higher local ids.
+            for (i, n) in g.ops.iter().enumerate() {
+                for succ in &n.succs {
+                    assert!(succ.0 > i, "partitioned graph must stay bottom-up");
+                }
+            }
+        }
+        // The union component kept its shape under remapping.
+        let cu = &part.components[1];
+        let u = cu.graph.find_op("∪").unwrap();
+        assert!(cu.graph.is_iwp(u));
+        assert_eq!(cu.graph.ops[u.0].preds.len(), 2);
+    }
+
+    #[test]
+    fn partition_reregisters_queued_tuples_on_private_trackers() {
+        use millstream_types::{Timestamp, Tuple, Value};
+        let (g, [s1, _, _]) = two_component_graph();
+        let buf = g.source(s1).buffer;
+        g.buffers[buf.0]
+            .borrow_mut()
+            .push(Tuple::data(Timestamp::from_micros(1), vec![Value::Int(1)]))
+            .unwrap();
+        let part = g.partition_components();
+        assert_eq!(part.components[0].graph.total_queued(), 1);
+        assert_eq!(part.components[1].graph.total_queued(), 0);
+    }
+
+    #[test]
+    fn multi_component_dot_renders_clusters() {
+        let (g, _) = two_component_graph();
+        let dot = g.to_dot();
+        assert!(dot.contains("subgraph cluster_0 {"), "{dot}");
+        assert!(dot.contains("subgraph cluster_1 {"), "{dot}");
+        assert!(dot.contains("label=\"component 1\";"), "{dot}");
+        // Single-component graphs render without clusters.
+        let mut b = GraphBuilder::new();
+        let s = b.source("S", schema(), TimestampKind::Internal);
+        let f = b.operator(filter("σ"), vec![Input::Source(s)]).unwrap();
+        b.operator(
+            Box::new(Sink::new("sink", schema(), VecCollector::default())),
+            vec![Input::Op(f)],
+        )
+        .unwrap();
+        assert!(!b.build().unwrap().to_dot().contains("subgraph"));
     }
 
     #[test]

@@ -20,9 +20,14 @@
 mod clock;
 mod executor;
 mod graph;
+mod parallel;
 mod strategy;
 
 pub use clock::{CostModel, VirtualClock};
 pub use executor::{Activity, ExecOptions, ExecStats, Executor, OpProfile, SchedPolicy};
-pub use graph::{BufferId, GraphBuilder, Input, NodeId, Pred, QueryGraph, SourceId, SourceState};
+pub use graph::{
+    BufferId, ComponentGraph, ComponentPartition, GraphBuilder, Input, NodeId, Pred, QueryGraph,
+    SourceId, SourceState,
+};
+pub use parallel::{IngestHandle, ParallelConfig, ParallelExecutor, ParallelSnapshot};
 pub use strategy::EtsPolicy;

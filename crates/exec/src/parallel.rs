@@ -1,0 +1,739 @@
+//! Parallel multi-component execution — one worker thread per connected
+//! component of the query graph.
+//!
+//! The paper's §3 execution model is strictly single-threaded, but its
+//! scheduling rules never cross a component boundary: Forward walks output
+//! arcs, Encore stays on the current operator, and Backtrack walks *input*
+//! arcs back to a starved source — all arcs internal to one connected
+//! component. On-demand ETS generation (§4) likewise happens at the
+//! starved component's own sources. Independent components are therefore
+//! embarrassingly parallel, and [`ParallelExecutor`] exploits exactly
+//! that: [`QueryGraph::partition_components`] splits the graph, and each
+//! component's sub-graph runs on its **own unmodified single-threaded
+//! [`Executor`]** hosted by a worker thread. The `RefCell` hot path is
+//! untouched; only the leaf counters (clock, occupancy tracker) are
+//! atomics so a component can move across the thread boundary.
+//!
+//! ## Cross-thread surface
+//!
+//! Everything crosses on **one FIFO command channel per worker** — the
+//! same serialized-send discipline as `crates/rt`'s pipeline, so a
+//! heartbeat or `advance_to` can never be undercut by a later data tuple
+//! sent on the same worker. Workers mutate state on ingest-class commands
+//! but only *execute* on an explicit [`Cmd::Run`], which preserves the
+//! serial baseline's ingest-then-run interleaving exactly — queues form
+//! identically, so `tests/parallel_equivalence.rs` can assert equality of
+//! steps, work units, ETS counts and final clocks, not just delivery.
+//!
+//! ## Quiescence barrier
+//!
+//! [`ParallelExecutor::run_until_quiescent`] broadcasts [`Cmd::Run`] and
+//! then blocks on every worker's reply. Because components are
+//! independent, a component that reports quiescence cannot be re-awakened
+//! by another component's progress, so one pass per component is a true
+//! global quiescence check. Worker-side errors (e.g. out-of-order ingest
+//! through a fire-and-forget handle) are stashed and surfaced at the next
+//! barrier.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender};
+
+use millstream_metrics::IdleTracker;
+use millstream_types::{Error, Result, Timestamp, Tuple};
+
+use crate::clock::{CostModel, VirtualClock};
+use crate::executor::{ExecOptions, ExecStats, Executor, OpProfile, SchedPolicy};
+use crate::graph::{ComponentGraph, NodeId, QueryGraph, SourceId};
+use crate::strategy::EtsPolicy;
+
+/// Construction-time configuration for a [`ParallelExecutor`] — the same
+/// knobs [`Executor`] takes, plus the worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Virtual CPU cost model, applied per component.
+    pub cost: CostModel,
+    /// Timestamp-management policy.
+    pub policy: EtsPolicy,
+    /// Operator-scheduling discipline inside each component.
+    pub sched: SchedPolicy,
+    /// Execution tuning knobs (Encore batching).
+    pub opts: ExecOptions,
+    /// Worker threads to spawn. Components are multiplexed round-robin
+    /// onto `min(workers, components)` threads, so any positive value is
+    /// valid; extra workers beyond the component count are not spawned.
+    pub workers: usize,
+}
+
+impl ParallelConfig {
+    /// A config with default scheduling/tuning and the given essentials.
+    pub fn new(cost: CostModel, policy: EtsPolicy, workers: usize) -> Self {
+        ParallelConfig {
+            cost,
+            policy,
+            sched: SchedPolicy::default(),
+            opts: ExecOptions::default(),
+            workers,
+        }
+    }
+
+    /// Selects the operator-scheduling discipline (builder style).
+    pub fn with_sched_policy(mut self, sched: SchedPolicy) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Sets the Encore batch size (builder style).
+    pub fn with_encore_batch(mut self, encore_batch: usize) -> Self {
+        self.opts.encore_batch = encore_batch.max(1);
+        self
+    }
+}
+
+/// Commands crossing from the coordinator (or ingest handles) to a worker.
+enum Cmd {
+    /// Ingest a data tuple at a component's local source.
+    Ingest {
+        comp: usize,
+        source: SourceId,
+        tuple: Tuple,
+    },
+    /// Ingest a heartbeat punctuation.
+    Heartbeat {
+        comp: usize,
+        source: SourceId,
+        ts: Timestamp,
+    },
+    /// Declare end-of-stream on a source.
+    Close { comp: usize, source: SourceId },
+    /// Advance every hosted component's clock to `ts`.
+    AdvanceTo(Timestamp),
+    /// Begin idle-waiting tracking for a component-local node.
+    MonitorIdle { comp: usize, node: NodeId },
+    /// Finalize idle trackers at the current component clocks.
+    FinishIdle,
+    /// Run every hosted component until quiescent (or `max_steps` each)
+    /// and reply with the total steps taken, or the first stashed error.
+    Run {
+        max_steps: u64,
+        reply: Sender<Result<u64>>,
+    },
+    /// Reply with a state snapshot of every hosted component.
+    Snapshot { reply: Sender<Vec<CompSnapshot>> },
+}
+
+/// Per-component state snapshot shipped back over the snapshot barrier.
+struct CompSnapshot {
+    comp: usize,
+    stats: ExecStats,
+    profile: Vec<OpProfile>,
+    /// Per local source: (on-demand ETS generated, data tuples ingested).
+    sources: Vec<(u64, u64)>,
+    clock: Timestamp,
+    peak_queued: usize,
+    total_queued: usize,
+    punct_enqueued: u64,
+    idle: Vec<(NodeId, IdleTracker)>,
+}
+
+/// A component hosted by a worker thread.
+struct Slot {
+    comp: usize,
+    exec: Executor,
+}
+
+/// Worker main loop: apply ingest-class commands in arrival order, execute
+/// only on [`Cmd::Run`], stash the first error until the next barrier.
+fn worker_loop(rx: Receiver<Cmd>, mut slots: Vec<Slot>) {
+    let mut pending_err: Option<Error> = None;
+    let stash = |r: std::result::Result<(), Error>, pending: &mut Option<Error>| {
+        if let Err(e) = r {
+            pending.get_or_insert(e);
+        }
+    };
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Ingest {
+                comp,
+                source,
+                tuple,
+            } => {
+                let slot = slots.iter_mut().find(|s| s.comp == comp).expect("routed");
+                stash(slot.exec.ingest(source, tuple), &mut pending_err);
+            }
+            Cmd::Heartbeat { comp, source, ts } => {
+                let slot = slots.iter_mut().find(|s| s.comp == comp).expect("routed");
+                stash(slot.exec.ingest_heartbeat(source, ts), &mut pending_err);
+            }
+            Cmd::Close { comp, source } => {
+                let slot = slots.iter_mut().find(|s| s.comp == comp).expect("routed");
+                stash(slot.exec.close_source(source), &mut pending_err);
+            }
+            Cmd::AdvanceTo(ts) => {
+                for slot in &mut slots {
+                    slot.exec.clock().advance_to(ts);
+                    slot.exec.refresh_idle();
+                }
+            }
+            Cmd::MonitorIdle { comp, node } => {
+                let slot = slots.iter_mut().find(|s| s.comp == comp).expect("routed");
+                slot.exec.monitor_idle(node);
+            }
+            Cmd::FinishIdle => {
+                for slot in &mut slots {
+                    slot.exec.finish_idle();
+                }
+            }
+            Cmd::Run { max_steps, reply } => {
+                let result = match pending_err.take() {
+                    Some(e) => Err(e),
+                    None => {
+                        // Hosted components are mutually independent, so
+                        // one quiescence pass each is a complete check.
+                        let mut taken = 0;
+                        let mut outcome = Ok(());
+                        for slot in &mut slots {
+                            match slot.exec.run_until_quiescent(max_steps) {
+                                Ok(n) => taken += n,
+                                Err(e) => {
+                                    outcome = Err(e);
+                                    break;
+                                }
+                            }
+                        }
+                        outcome.map(|()| taken)
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            Cmd::Snapshot { reply } => {
+                let snaps = slots
+                    .iter()
+                    .map(|slot| CompSnapshot {
+                        comp: slot.comp,
+                        stats: slot.exec.stats(),
+                        profile: slot.exec.profile().to_vec(),
+                        sources: slot
+                            .exec
+                            .graph()
+                            .source_ids()
+                            .map(|s| {
+                                let st = slot.exec.graph().source(s);
+                                (st.ets_generated, st.ingested)
+                            })
+                            .collect(),
+                        clock: slot.exec.clock().now(),
+                        peak_queued: slot.exec.graph().tracker().peak(),
+                        total_queued: slot.exec.graph().total_queued(),
+                        punct_enqueued: slot.exec.graph().tracker().punctuation_enqueued(),
+                        idle: slot
+                            .exec
+                            .graph()
+                            .node_ids()
+                            .filter_map(|n| slot.exec.idle_tracker(n).map(|t| (n, t.clone())))
+                            .collect(),
+                    })
+                    .collect();
+                let _ = reply.send(snaps);
+            }
+        }
+    }
+}
+
+/// A cloneable, `Send`-able ingest handle bound to one source. Sends are
+/// fire-and-forget over the owning worker's FIFO channel; errors (closed
+/// source, out-of-order tuple) surface at the next
+/// [`ParallelExecutor::run_until_quiescent`] barrier.
+#[derive(Clone)]
+pub struct IngestHandle {
+    tx: Sender<Cmd>,
+    comp: usize,
+    source: SourceId,
+}
+
+impl IngestHandle {
+    /// Ingests a data tuple.
+    pub fn ingest(&self, tuple: Tuple) -> Result<()> {
+        self.tx
+            .send(Cmd::Ingest {
+                comp: self.comp,
+                source: self.source,
+                tuple,
+            })
+            .map_err(|_| disconnected())
+    }
+
+    /// Ingests a heartbeat punctuation.
+    pub fn heartbeat(&self, ts: Timestamp) -> Result<()> {
+        self.tx
+            .send(Cmd::Heartbeat {
+                comp: self.comp,
+                source: self.source,
+                ts,
+            })
+            .map_err(|_| disconnected())
+    }
+
+    /// Declares end-of-stream on the source.
+    pub fn close(&self) -> Result<()> {
+        self.tx
+            .send(Cmd::Close {
+                comp: self.comp,
+                source: self.source,
+            })
+            .map_err(|_| disconnected())
+    }
+}
+
+fn disconnected() -> Error {
+    Error::runtime("parallel worker disconnected")
+}
+
+/// Merged cross-component state, collected over a snapshot barrier.
+#[derive(Debug, Clone)]
+pub struct ParallelSnapshot {
+    /// Executor counters summed over all components.
+    pub stats: ExecStats,
+    /// Per-operator profile in **global** node order (the order of the
+    /// unpartitioned graph).
+    pub profile: Vec<OpProfile>,
+    /// Per **global** source: on-demand ETS generated.
+    pub ets_per_source: Vec<u64>,
+    /// Per **global** source: data tuples ingested.
+    pub ingested_per_source: Vec<u64>,
+    /// Each component's virtual clock reading. Components run on private
+    /// clocks, so there is one reading per component, not a global "now".
+    pub component_clocks: Vec<Timestamp>,
+    /// Each component's unmerged executor counters.
+    pub component_stats: Vec<ExecStats>,
+    /// Each component's peak queue occupancy. The sum is an upper bound on
+    /// the whole-graph peak (component peaks need not coincide in time).
+    pub component_peaks: Vec<usize>,
+    /// Tuples currently queued across all components.
+    pub total_queued: usize,
+    /// Lifetime punctuation enqueued, summed over all components.
+    pub punctuation_enqueued: u64,
+    /// Idle trackers of monitored nodes, by **global** node id.
+    pub idle: Vec<(NodeId, IdleTracker)>,
+}
+
+/// Runs a multi-component [`QueryGraph`] across worker threads — one
+/// single-threaded [`Executor`] per connected component, components
+/// multiplexed round-robin onto `min(workers, components)` threads.
+pub struct ParallelExecutor {
+    /// One command sender per worker thread.
+    senders: Vec<Sender<Cmd>>,
+    threads: Vec<JoinHandle<()>>,
+    /// Global source id → (component, local source id).
+    source_route: Vec<(usize, SourceId)>,
+    /// Global node id → (component, local node id).
+    node_route: Vec<(usize, NodeId)>,
+    /// Component → worker index.
+    comp_worker: Vec<usize>,
+    /// Component → local→global node ids (for profile merging).
+    comp_nodes: Vec<Vec<NodeId>>,
+    /// Component → local→global source ids.
+    comp_sources: Vec<Vec<SourceId>>,
+    num_ops: usize,
+    num_sources: usize,
+}
+
+impl ParallelExecutor {
+    /// Partitions `graph` into connected components and spawns the worker
+    /// threads. A single-component graph degenerates to one worker — the
+    /// serial executor behind a channel.
+    pub fn new(graph: QueryGraph, config: ParallelConfig) -> ParallelExecutor {
+        let num_ops = graph.num_ops();
+        let num_sources = graph.num_sources();
+        let partition = graph.partition_components();
+        let count = partition.components.len();
+        let workers = config.workers.max(1).min(count.max(1));
+
+        let mut comp_nodes = Vec::with_capacity(count);
+        let mut comp_sources = Vec::with_capacity(count);
+        let mut node_route = vec![(0usize, NodeId(0)); num_ops];
+        let mut comp_worker = Vec::with_capacity(count);
+        // Round-robin multiplexing: component c runs on worker c % workers.
+        let mut slots_of: Vec<Vec<Slot>> = (0..workers).map(|_| Vec::new()).collect();
+        for (c, part) in partition.components.into_iter().enumerate() {
+            let ComponentGraph {
+                graph,
+                nodes,
+                sources,
+                ..
+            } = part;
+            for (local, &global) in nodes.iter().enumerate() {
+                node_route[global.0] = (c, NodeId(local));
+            }
+            let exec = Executor::new(graph, VirtualClock::shared(), config.cost, config.policy)
+                .with_sched_policy(config.sched)
+                .with_exec_options(config.opts);
+            comp_worker.push(c % workers);
+            slots_of[c % workers].push(Slot { comp: c, exec });
+            comp_nodes.push(nodes);
+            comp_sources.push(sources);
+        }
+
+        let mut senders = Vec::with_capacity(workers);
+        let mut threads = Vec::with_capacity(workers);
+        for (w, slots) in slots_of.into_iter().enumerate() {
+            let (tx, rx) = channel::unbounded();
+            senders.push(tx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("millstream-worker-{w}"))
+                    .spawn(move || worker_loop(rx, slots))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        ParallelExecutor {
+            senders,
+            threads,
+            source_route: partition.source_map,
+            node_route,
+            comp_worker,
+            comp_nodes,
+            comp_sources,
+            num_ops,
+            num_sources,
+        }
+    }
+
+    /// Number of connected components.
+    pub fn num_components(&self) -> usize {
+        self.comp_worker.len()
+    }
+
+    /// Number of worker threads actually spawned.
+    pub fn num_workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The component a global source routes to.
+    pub fn component_of(&self, source: SourceId) -> usize {
+        self.source_route[source.0].0
+    }
+
+    fn sender_for(&self, comp: usize) -> &Sender<Cmd> {
+        &self.senders[self.comp_worker[comp]]
+    }
+
+    /// A cloneable, `Send`-able ingest handle for a global source.
+    pub fn ingest_handle(&self, source: SourceId) -> IngestHandle {
+        let (comp, local) = self.source_route[source.0];
+        IngestHandle {
+            tx: self.sender_for(comp).clone(),
+            comp,
+            source: local,
+        }
+    }
+
+    /// Ingests a data tuple at a global source (fire-and-forget; errors
+    /// surface at the next barrier).
+    pub fn ingest(&self, source: SourceId, tuple: Tuple) -> Result<()> {
+        let (comp, local) = self.source_route[source.0];
+        self.sender_for(comp)
+            .send(Cmd::Ingest {
+                comp,
+                source: local,
+                tuple,
+            })
+            .map_err(|_| disconnected())
+    }
+
+    /// Ingests a heartbeat punctuation at a global source.
+    pub fn ingest_heartbeat(&self, source: SourceId, ts: Timestamp) -> Result<()> {
+        let (comp, local) = self.source_route[source.0];
+        self.sender_for(comp)
+            .send(Cmd::Heartbeat {
+                comp,
+                source: local,
+                ts,
+            })
+            .map_err(|_| disconnected())
+    }
+
+    /// Declares end-of-stream on a global source.
+    pub fn close_source(&self, source: SourceId) -> Result<()> {
+        let (comp, local) = self.source_route[source.0];
+        self.sender_for(comp)
+            .send(Cmd::Close {
+                comp,
+                source: local,
+            })
+            .map_err(|_| disconnected())
+    }
+
+    /// Advances every component's clock to `ts` (clocks never go
+    /// backwards, so components already past `ts` are unaffected).
+    pub fn advance_to(&self, ts: Timestamp) -> Result<()> {
+        for tx in &self.senders {
+            tx.send(Cmd::AdvanceTo(ts)).map_err(|_| disconnected())?;
+        }
+        Ok(())
+    }
+
+    /// Begins idle-waiting tracking for a global node.
+    pub fn monitor_idle(&self, node: NodeId) -> Result<()> {
+        let (comp, local) = self.node_route[node.0];
+        self.sender_for(comp)
+            .send(Cmd::MonitorIdle { comp, node: local })
+            .map_err(|_| disconnected())
+    }
+
+    /// Finalizes idle trackers at the current component clocks.
+    pub fn finish_idle(&self) -> Result<()> {
+        for tx in &self.senders {
+            tx.send(Cmd::FinishIdle).map_err(|_| disconnected())?;
+        }
+        Ok(())
+    }
+
+    /// The quiescence barrier: every worker runs each hosted component
+    /// until quiescent (or `max_steps` per component), in parallel; the
+    /// call returns once **all** components are quiescent, with the total
+    /// steps taken. The first worker-side error — including errors stashed
+    /// by fire-and-forget ingest since the last barrier — is returned.
+    pub fn run_until_quiescent(&self, max_steps: u64) -> Result<u64> {
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for tx in &self.senders {
+            let (reply_tx, reply_rx) = channel::bounded(1);
+            tx.send(Cmd::Run {
+                max_steps,
+                reply: reply_tx,
+            })
+            .map_err(|_| disconnected())?;
+            replies.push(reply_rx);
+        }
+        let mut total = 0;
+        let mut first_err = None;
+        for rx in replies {
+            match rx.recv().map_err(|_| disconnected())? {
+                Ok(n) => total += n,
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    }
+
+    /// Synchronizes with every worker without executing: drains the
+    /// command queues and surfaces any stashed ingest error. Makes
+    /// fire-and-forget errors observable at a deterministic point.
+    pub fn barrier(&self) -> Result<()> {
+        self.run_until_quiescent(0).map(|_| ())
+    }
+
+    /// Collects and merges a state snapshot from every component.
+    pub fn snapshot(&self) -> Result<ParallelSnapshot> {
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for tx in &self.senders {
+            let (reply_tx, reply_rx) = channel::bounded(1);
+            tx.send(Cmd::Snapshot { reply: reply_tx })
+                .map_err(|_| disconnected())?;
+            replies.push(reply_rx);
+        }
+        let mut stats = ExecStats::default();
+        let mut profile: Vec<Option<OpProfile>> = vec![None; self.num_ops];
+        let mut ets_per_source = vec![0u64; self.num_sources];
+        let mut ingested_per_source = vec![0u64; self.num_sources];
+        let mut component_clocks = vec![Timestamp::ZERO; self.num_components()];
+        let mut component_stats = vec![ExecStats::default(); self.num_components()];
+        let mut component_peaks = vec![0usize; self.num_components()];
+        let mut total_queued = 0;
+        let mut punctuation_enqueued = 0;
+        let mut idle = Vec::new();
+        for rx in replies {
+            for snap in rx.recv().map_err(|_| disconnected())? {
+                let s = snap.stats;
+                stats.steps += s.steps;
+                stats.batches += s.batches;
+                stats.backtracks += s.backtracks;
+                stats.ets_generated += s.ets_generated;
+                stats.work_units += s.work_units;
+                stats.dropped_stale_heartbeats += s.dropped_stale_heartbeats;
+                for (local, p) in snap.profile.into_iter().enumerate() {
+                    profile[self.comp_nodes[snap.comp][local].0] = Some(p);
+                }
+                for (local, (ets, ingested)) in snap.sources.into_iter().enumerate() {
+                    let global = self.comp_sources[snap.comp][local].0;
+                    ets_per_source[global] = ets;
+                    ingested_per_source[global] = ingested;
+                }
+                component_clocks[snap.comp] = snap.clock;
+                component_stats[snap.comp] = s;
+                component_peaks[snap.comp] = snap.peak_queued;
+                total_queued += snap.total_queued;
+                punctuation_enqueued += snap.punct_enqueued;
+                for (local, tracker) in snap.idle {
+                    idle.push((self.comp_nodes[snap.comp][local.0], tracker));
+                }
+            }
+        }
+        idle.sort_by_key(|(n, _)| n.0);
+        Ok(ParallelSnapshot {
+            stats,
+            profile: profile
+                .into_iter()
+                .map(|p| p.expect("every node belongs to exactly one component"))
+                .collect(),
+            ets_per_source,
+            ingested_per_source,
+            component_clocks,
+            component_stats,
+            component_peaks,
+            total_queued,
+            punctuation_enqueued,
+            idle,
+        })
+    }
+}
+
+impl Drop for ParallelExecutor {
+    fn drop(&mut self) {
+        // Dropping the senders disconnects the channels; workers exit
+        // their recv loop and the threads join.
+        self.senders.clear();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, Input};
+    use millstream_ops::{Filter, Sink, SinkCollector, Union};
+    use millstream_types::{DataType, Expr, Field, Schema, TimestampKind, Value};
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone, Default)]
+    struct Out(Arc<Mutex<Vec<Tuple>>>);
+
+    impl SinkCollector for Out {
+        fn deliver(&mut self, tuple: Tuple, _now: Timestamp) {
+            self.0.lock().unwrap().push(tuple);
+        }
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("v", DataType::Int)])
+    }
+
+    /// Two components: S1→σ→sink and (S2,S3)→∪→sink.
+    fn build() -> (QueryGraph, [SourceId; 3], Out, Out) {
+        let mut b = GraphBuilder::new();
+        let s1 = b.source("S1", schema(), TimestampKind::Internal);
+        let s2 = b.source("S2", schema(), TimestampKind::Internal);
+        let s3 = b.source("S3", schema(), TimestampKind::Internal);
+        let f = b
+            .operator(
+                Box::new(Filter::new("σ", schema(), Expr::col(0).ge(Expr::lit(0)))),
+                vec![Input::Source(s1)],
+            )
+            .unwrap();
+        let out1 = Out::default();
+        b.operator(
+            Box::new(Sink::new("sink1", schema(), out1.clone())),
+            vec![Input::Op(f)],
+        )
+        .unwrap();
+        let u = b
+            .operator(
+                Box::new(Union::new("∪", schema(), 2)),
+                vec![Input::Source(s2), Input::Source(s3)],
+            )
+            .unwrap();
+        let out2 = Out::default();
+        b.operator(
+            Box::new(Sink::new("sink2", schema(), out2.clone())),
+            vec![Input::Op(u)],
+        )
+        .unwrap();
+        (b.build().unwrap(), [s1, s2, s3], out1, out2)
+    }
+
+    fn data(ts: u64) -> Tuple {
+        Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(ts as i64)])
+    }
+
+    #[test]
+    fn parallel_runs_both_components() {
+        let (g, [s1, s2, s3], out1, out2) = build();
+        let pex = ParallelExecutor::new(
+            g,
+            ParallelConfig::new(CostModel::free(), EtsPolicy::on_demand(), 2),
+        );
+        assert_eq!(pex.num_components(), 2);
+        assert_eq!(pex.num_workers(), 2);
+        for i in 0..10u64 {
+            pex.ingest(s1, data(i)).unwrap();
+            pex.ingest(s2, data(i)).unwrap();
+            pex.ingest(s3, data(i)).unwrap();
+        }
+        pex.close_source(s1).unwrap();
+        pex.close_source(s2).unwrap();
+        pex.close_source(s3).unwrap();
+        pex.run_until_quiescent(1_000_000).unwrap();
+        assert_eq!(out1.0.lock().unwrap().len(), 10);
+        assert_eq!(out2.0.lock().unwrap().len(), 20);
+        let snap = pex.snapshot().unwrap();
+        assert_eq!(snap.ingested_per_source, vec![10, 10, 10]);
+        assert_eq!(snap.total_queued, 0);
+        assert_eq!(snap.profile.len(), 4);
+        assert_eq!(snap.profile[0].name, "σ");
+        assert_eq!(snap.profile[2].name, "∪");
+    }
+
+    #[test]
+    fn handles_route_by_component_and_workers_multiplex() {
+        let (g, [s1, s2, s3], out1, out2) = build();
+        // One worker hosting both components still works (multiplexed).
+        let pex = ParallelExecutor::new(
+            g,
+            ParallelConfig::new(CostModel::free(), EtsPolicy::on_demand(), 1),
+        );
+        assert_eq!(pex.num_workers(), 1);
+        assert_eq!(pex.component_of(s1), 0);
+        assert_eq!(pex.component_of(s2), 1);
+        let h1 = pex.ingest_handle(s1);
+        let h2 = pex.ingest_handle(s2);
+        let h3 = pex.ingest_handle(s3);
+        let feeder = std::thread::spawn(move || {
+            for i in 0..5u64 {
+                h1.ingest(data(i)).unwrap();
+                h2.ingest(data(i)).unwrap();
+                h3.ingest(data(i)).unwrap();
+            }
+            h1.close().unwrap();
+            h2.close().unwrap();
+            h3.close().unwrap();
+        });
+        feeder.join().unwrap();
+        pex.run_until_quiescent(1_000_000).unwrap();
+        assert_eq!(out1.0.lock().unwrap().len(), 5);
+        assert_eq!(out2.0.lock().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn ingest_errors_surface_at_the_barrier() {
+        let (g, [s1, _, _], _, _) = build();
+        let pex = ParallelExecutor::new(
+            g,
+            ParallelConfig::new(CostModel::free(), EtsPolicy::on_demand(), 2),
+        );
+        pex.ingest(s1, data(100)).unwrap();
+        // Out-of-order: fire-and-forget send succeeds, the barrier errors.
+        pex.ingest(s1, data(5)).unwrap();
+        let err = pex.barrier().unwrap_err();
+        assert!(err.to_string().contains("out-of-order"), "{err}");
+        // The error is consumed; the next barrier is clean.
+        pex.barrier().unwrap();
+    }
+}

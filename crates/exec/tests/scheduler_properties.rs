@@ -9,8 +9,7 @@
 //!   respect to *what* is delivered (scheduling changes only the order of
 //!   execution, never the result set).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
@@ -21,11 +20,11 @@ use millstream_ops::{Filter, Project, Sink, SinkCollector, Union};
 use millstream_types::{DataType, Expr, Field, Schema, Timestamp, Tuple, Value};
 
 #[derive(Clone, Default)]
-struct Out(Rc<RefCell<Vec<Tuple>>>);
+struct Out(Arc<Mutex<Vec<Tuple>>>);
 
 impl SinkCollector for Out {
     fn deliver(&mut self, tuple: Tuple, _now: Timestamp) {
-        self.0.borrow_mut().push(tuple);
+        self.0.lock().unwrap().push(tuple);
     }
 }
 
@@ -163,7 +162,7 @@ proptest! {
             }
             exec.run_until_quiescent(1_000_000).unwrap();
 
-            let delivered = out.0.borrow().clone();
+            let delivered = out.0.lock().unwrap().clone();
             // Conservation: exactly the surviving tuples arrive.
             prop_assert_eq!(
                 delivered.len(),

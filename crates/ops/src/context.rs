@@ -194,7 +194,11 @@ impl BatchOutcome {
 /// outputs ordered by timestamp. IWP operators ([`Operator::is_iwp`]) use
 /// TSM registers and must propagate punctuation per Fig. 6; non-IWP
 /// operators must pass punctuation through unchanged (modulo reformatting).
-pub trait Operator {
+///
+/// Operators must be [`Send`] so a whole component sub-graph can move onto
+/// a worker thread (parallel execution). Operators are still driven by one
+/// thread at a time — `Send`, not `Sync`, is the requirement.
+pub trait Operator: Send {
     /// Human-readable operator name for plans and diagnostics.
     fn name(&self) -> &str;
 

@@ -15,10 +15,10 @@
 //! slack, so it flushes everything ≤ τ and is forwarded — which is how
 //! on-demand ETS keeps working across a Reorder stage.
 
-use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use millstream_types::{Result, Schema, TimeDelta, Timestamp, Tuple};
 
@@ -79,7 +79,7 @@ pub struct Reorder {
     late_tuples: u64,
     /// Optional shared mirror of `late_tuples`, for observers that only
     /// hold the built graph (the operator itself is boxed away).
-    late_counter: Option<Rc<Cell<u64>>>,
+    late_counter: Option<Arc<AtomicU64>>,
 }
 
 impl Reorder {
@@ -106,7 +106,7 @@ impl Reorder {
     }
 
     /// Mirrors the late-tuple count into a shared cell (builder style).
-    pub fn with_late_counter(mut self, counter: Rc<Cell<u64>>) -> Self {
+    pub fn with_late_counter(mut self, counter: Arc<AtomicU64>) -> Self {
         self.late_counter = Some(counter);
         self
     }
@@ -196,7 +196,7 @@ impl Operator for Reorder {
             if self.emitted_high_water.is_some_and(|h| tuple.ts < h) {
                 self.late_tuples += 1;
                 if let Some(c) = &self.late_counter {
-                    c.set(self.late_tuples);
+                    c.store(self.late_tuples, Ordering::Relaxed);
                 }
                 match self.late_policy {
                     LatePolicy::Drop => {
@@ -366,15 +366,15 @@ mod tests {
 
     #[test]
     fn shared_late_counter_mirrors() {
-        let counter = Rc::new(Cell::new(0));
+        let counter = Arc::new(AtomicU64::new(0));
         let mut r = Reorder::new("↻", schema(), TimeDelta::from_micros(5))
             .with_late_counter(counter.clone());
         run(
             &mut r,
             vec![data(10, 0), data(20, 1), data(2, 2), data(40, 3)],
         );
-        assert_eq!(counter.get(), 1);
-        assert_eq!(counter.get(), r.late_tuples());
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+        assert_eq!(counter.load(Ordering::Relaxed), r.late_tuples());
     }
 
     #[test]

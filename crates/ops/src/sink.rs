@@ -18,7 +18,11 @@ use millstream_types::{Result, Schema, Timestamp, Tuple};
 use crate::context::{OpContext, Operator, Poll, StepOutcome};
 
 /// Receives the tuples a sink delivers.
-pub trait SinkCollector {
+///
+/// Collectors must be [`Send`] because the sink that owns them may run on
+/// a worker thread under parallel execution; shared-state collectors
+/// should hold `Arc<Mutex<…>>` or atomics rather than `Rc<Cell<…>>`.
+pub trait SinkCollector: Send {
     /// Called once per delivered data tuple with the delivery instant.
     fn deliver(&mut self, tuple: Tuple, now: Timestamp);
 }

@@ -11,18 +11,17 @@
 //! cargo run --example network_monitor
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use millstream_core::prelude::*;
 
 /// Collects deliveries while sharing ownership with the sink.
 #[derive(Clone, Default)]
-struct Collected(Rc<RefCell<Vec<(Tuple, Timestamp)>>>);
+struct Collected(Arc<Mutex<Vec<(Tuple, Timestamp)>>>);
 
 impl SinkCollector for Collected {
     fn deliver(&mut self, tuple: Tuple, now: Timestamp) {
-        self.0.borrow_mut().push((tuple, now));
+        self.0.lock().unwrap().push((tuple, now));
     }
 }
 
@@ -131,7 +130,7 @@ fn main() -> Result<()> {
     ] {
         let mut m = build(policy)?;
         replay(&mut m)?;
-        let delivered = m.out.0.borrow();
+        let delivered = m.out.0.lock().unwrap();
         let worst = delivered
             .iter()
             .map(|(t, at)| at.duration_since(t.entry))

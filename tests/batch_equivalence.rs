@@ -12,18 +12,17 @@
 //! arrival schedule (data tuples, drop-runs for the filters, heartbeats,
 //! and an end-of-stream drain).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use millstream_core::prelude::*;
 
 /// Shared sink collector recording `(tuple, delivery time)` pairs.
 #[derive(Clone, Default)]
-struct Out(Rc<RefCell<Vec<(Tuple, Timestamp)>>>);
+struct Out(Arc<Mutex<Vec<(Tuple, Timestamp)>>>);
 
 impl SinkCollector for Out {
     fn deliver(&mut self, tuple: Tuple, now: Timestamp) {
-        self.0.borrow_mut().push((tuple, now));
+        self.0.lock().unwrap().push((tuple, now));
     }
 }
 
@@ -83,7 +82,7 @@ impl Rig {
             .map(|t| t.total_idle())
             .unwrap_or(TimeDelta::ZERO);
         Observation {
-            delivered: self.out.0.borrow().clone(),
+            delivered: self.out.0.lock().unwrap().clone(),
             ets_generated: stats.ets_generated,
             steps: stats.steps,
             work_units: stats.work_units,

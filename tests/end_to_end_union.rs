@@ -3,17 +3,16 @@
 //! Exercises the paper's Fig. 4 union pipeline end to end for every
 //! ETS policy.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use millstream_core::prelude::*;
 
 #[derive(Clone, Default)]
-struct Out(Rc<RefCell<Vec<(Tuple, Timestamp)>>>);
+struct Out(Arc<Mutex<Vec<(Tuple, Timestamp)>>>);
 
 impl SinkCollector for Out {
     fn deliver(&mut self, tuple: Tuple, now: Timestamp) {
-        self.0.borrow_mut().push((tuple, now));
+        self.0.lock().unwrap().push((tuple, now));
     }
 }
 
@@ -98,7 +97,7 @@ fn on_demand_delivers_every_wave() {
     for i in 100..200 {
         push(&mut r, s1, 10 * i, i as i64);
     }
-    let delivered = r.out.0.borrow();
+    let delivered = r.out.0.lock().unwrap();
     assert_eq!(delivered.len(), 201);
     // Worst-case latency is bounded by the per-wave processing cost, far
     // below the 10 ms inter-arrival gap.
@@ -122,13 +121,17 @@ fn no_ets_waits_for_the_peer_and_catches_up() {
     for i in 0..50 {
         push(&mut r, s1, 10 * i, i as i64);
     }
-    assert_eq!(r.out.0.borrow().len(), 0, "all 50 blocked at the union");
+    assert_eq!(
+        r.out.0.lock().unwrap().len(),
+        0,
+        "all 50 blocked at the union"
+    );
     assert!(r.exec.graph().tracker().data_total() >= 50);
 
     // The peer finally speaks; everything ≤ its timestamp drains. (The
     // peer's own tuple stays queued: S1's register is still behind it.)
     push(&mut r, s2, 10_000, 999);
-    let delivered = r.out.0.borrow();
+    let delivered = r.out.0.lock().unwrap();
     assert_eq!(delivered.len(), 50);
     let worst = delivered
         .iter()
@@ -172,7 +175,7 @@ fn punctuation_never_reaches_collectors() {
         push(&mut r, s1, 5 * i, 1);
         push(&mut r, s2, 5 * i + 2, 2);
     }
-    assert!(r.out.0.borrow().iter().all(|(t, _)| t.is_data()));
+    assert!(r.out.0.lock().unwrap().iter().all(|(t, _)| t.is_data()));
 }
 
 #[test]

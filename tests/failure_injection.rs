@@ -2,19 +2,18 @@
 //! degenerate workloads, punctuation-only streams, and error propagation
 //! through the executor.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use millstream_core::prelude::*;
 use millstream_core::QueryRunner;
 
 #[derive(Clone, Default)]
-struct Out(Rc<RefCell<Vec<Tuple>>>);
+struct Out(Arc<Mutex<Vec<Tuple>>>);
 
 impl SinkCollector for Out {
     fn deliver(&mut self, tuple: Tuple, now: Timestamp) {
         let _ = now;
-        self.0.borrow_mut().push(tuple);
+        self.0.lock().unwrap().push(tuple);
     }
 }
 
@@ -64,7 +63,7 @@ fn out_of_order_clamp_policy_repairs() {
     exec.ingest(s, t(100)).unwrap();
     exec.ingest(s, t(50)).unwrap();
     exec.run_until_quiescent(1_000).unwrap();
-    let delivered = out.0.borrow();
+    let delivered = out.0.lock().unwrap();
     assert_eq!(delivered.len(), 2);
     assert_eq!(delivered[1].ts, delivered[0].ts, "clamped to the watermark");
 }
@@ -76,7 +75,11 @@ fn out_of_order_drop_policy_sheds() {
     exec.ingest(s, t(50)).unwrap();
     exec.ingest(s, t(150)).unwrap();
     exec.run_until_quiescent(1_000).unwrap();
-    assert_eq!(out.0.borrow().len(), 2, "the regressed tuple is shed");
+    assert_eq!(
+        out.0.lock().unwrap().len(),
+        2,
+        "the regressed tuple is shed"
+    );
 }
 
 #[test]
@@ -145,7 +148,7 @@ fn punctuation_only_stream_unblocks_but_emits_nothing() {
             .unwrap();
         exec.run_until_quiescent(10_000).unwrap();
     }
-    let delivered = out.0.borrow();
+    let delivered = out.0.lock().unwrap();
     assert_eq!(delivered.len(), 1, "the data tuple came through");
     assert!(delivered[0].is_data());
 }

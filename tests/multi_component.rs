@@ -3,17 +3,16 @@
 //! executor instance must serve disjoint pipelines fairly, including ETS
 //! generation per component.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use millstream_core::prelude::*;
 
 #[derive(Clone, Default)]
-struct Out(Rc<RefCell<Vec<Tuple>>>);
+struct Out(Arc<Mutex<Vec<Tuple>>>);
 
 impl SinkCollector for Out {
     fn deliver(&mut self, tuple: Tuple, _now: Timestamp) {
-        self.0.borrow_mut().push(tuple);
+        self.0.lock().unwrap().push(tuple);
     }
 }
 
@@ -81,8 +80,12 @@ fn both_components_make_progress() {
         push(&mut exec, s1, 10 * i, i as i64);
         push(&mut exec, s3, 10 * i + 5, 100 + i as i64);
     }
-    assert_eq!(out1.0.borrow().len(), 30, "union component drains via ETS");
-    assert_eq!(out2.0.borrow().len(), 30, "filter component drains");
+    assert_eq!(
+        out1.0.lock().unwrap().len(),
+        30,
+        "union component drains via ETS"
+    );
+    assert_eq!(out2.0.lock().unwrap().len(), 30, "filter component drains");
 }
 
 #[test]
@@ -94,8 +97,12 @@ fn one_blocked_component_does_not_stall_the_other() {
         push(&mut exec, s1, 10 * i, i as i64);
         push(&mut exec, s3, 10 * i + 5, 100 + i as i64);
     }
-    assert_eq!(out1.0.borrow().len(), 0, "union blocked on S2");
-    assert_eq!(out2.0.borrow().len(), 30, "filter component unaffected");
+    assert_eq!(out1.0.lock().unwrap().len(), 0, "union blocked on S2");
+    assert_eq!(
+        out2.0.lock().unwrap().len(),
+        30,
+        "filter component unaffected"
+    );
     assert!(exec.graph().tracker().data_total() >= 30);
 }
 
@@ -123,8 +130,16 @@ fn round_robin_serves_both_components_with_ets() {
         push(&mut exec, s1, 10 * i, i as i64);
         push(&mut exec, s3, 10 * i + 5, 100 + i as i64);
     }
-    assert_eq!(out1.0.borrow().len(), 20, "union branch drains under RR");
-    assert_eq!(out2.0.borrow().len(), 20, "filter branch drains under RR");
+    assert_eq!(
+        out1.0.lock().unwrap().len(),
+        20,
+        "union branch drains under RR"
+    );
+    assert_eq!(
+        out2.0.lock().unwrap().len(),
+        20,
+        "filter branch drains under RR"
+    );
 }
 
 /// In-place by-value transform (the closure must not panic).

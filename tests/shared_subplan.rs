@@ -4,18 +4,17 @@
 //! branch, and the planner's automatic Split insertion for streams
 //! referenced by multiple branches.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use millstream_core::prelude::*;
 use millstream_core::QueryRunner;
 
 #[derive(Clone, Default)]
-struct Out(Rc<RefCell<Vec<Tuple>>>);
+struct Out(Arc<Mutex<Vec<Tuple>>>);
 
 impl SinkCollector for Out {
     fn deliver(&mut self, tuple: Tuple, _now: Timestamp) {
-        self.0.borrow_mut().push(tuple);
+        self.0.lock().unwrap().push(tuple);
     }
 }
 
@@ -82,13 +81,13 @@ fn fanout_partitions_the_stream() {
             .unwrap();
         exec.run_until_quiescent(100_000).unwrap();
     }
-    let hi = out_hi.0.borrow().len();
-    let lo = out_lo.0.borrow().len();
+    let hi = out_hi.0.lock().unwrap().len();
+    let lo = out_lo.0.lock().unwrap().len();
     assert_eq!(hi + lo, 50, "every tuple lands in exactly one partition");
     assert!(hi > 0 && lo > 0);
     // Both partitions remain timestamp-ordered.
     for out in [&out_hi, &out_lo] {
-        let ts: Vec<_> = out.0.borrow().iter().map(|t| t.ts).collect();
+        let ts: Vec<_> = out.0.lock().unwrap().iter().map(|t| t.ts).collect();
         let mut sorted = ts.clone();
         sorted.sort();
         assert_eq!(ts, sorted);
@@ -140,9 +139,13 @@ fn split_fans_ets_to_a_union_branch() {
             .unwrap();
         exec.run_until_quiescent(100_000).unwrap();
     }
-    assert_eq!(out_direct.0.borrow().len(), 20, "direct branch drains");
     assert_eq!(
-        out_union.0.borrow().len(),
+        out_direct.0.lock().unwrap().len(),
+        20,
+        "direct branch drains"
+    );
+    assert_eq!(
+        out_union.0.lock().unwrap().len(),
         20,
         "the union branch drains too: ETS on `quiet` unblocks it"
     );
