@@ -19,6 +19,7 @@ use std::sync::Arc;
 use millstream_types::{Error, Result, Timestamp, Tuple};
 
 use crate::occupancy::OccupancyTracker;
+use crate::sentinel::OrderSentinel;
 
 /// Policy for how a buffer handles punctuation tuples on push.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +65,9 @@ pub struct Buffer {
     punctuation_policy: PunctuationPolicy,
     order_policy: OrderPolicy,
     tracker: Option<Arc<OccupancyTracker>>,
+    /// Opt-in ordering-contract checker (`MILLSTREAM_CHECK`); `None` when
+    /// checking is off, so the steady-state cost is one branch per push.
+    sentinel: Option<OrderSentinel>,
     /// Number of queued *data* tuples (punctuation excluded).
     data_count: usize,
     /// Lifetime counts for diagnostics.
@@ -83,6 +87,7 @@ impl Buffer {
             punctuation_policy: PunctuationPolicy::default(),
             order_policy: OrderPolicy::default(),
             tracker: None,
+            sentinel: None,
             data_count: 0,
             pushed: 0,
             popped: 0,
@@ -110,6 +115,16 @@ impl Buffer {
             tracker.on_enqueue(true);
         }
         self.tracker = Some(tracker);
+    }
+
+    /// Attaches (or clears) the ordering-contract sentinel for this buffer.
+    pub fn set_sentinel(&mut self, sentinel: Option<OrderSentinel>) {
+        self.sentinel = sentinel;
+    }
+
+    /// The attached sentinel, if any.
+    pub fn sentinel(&self) -> Option<&OrderSentinel> {
+        self.sentinel.as_ref()
     }
 
     /// Sets the punctuation policy (builder style).
@@ -186,6 +201,14 @@ impl Buffer {
     pub fn push(&mut self, mut tuple: Tuple) -> Result<()> {
         if let Some(hw) = self.high_water {
             if tuple.ts < hw {
+                if let Some(s) = &self.sentinel {
+                    // Counted under every policy: Reject fails loudly on its
+                    // own and Clamp/Drop recoveries are policy-sanctioned,
+                    // but the regression itself is worth surfacing.
+                    if self.order_policy != OrderPolicy::Accept {
+                        s.note_order_regression(&self.name, tuple.ts, hw);
+                    }
+                }
                 match self.order_policy {
                     OrderPolicy::Reject => {
                         return Err(Error::OutOfOrder {
@@ -200,6 +223,21 @@ impl Buffer {
                         return Ok(());
                     }
                     OrderPolicy::Accept => {}
+                }
+            }
+        }
+        if let Some(s) = &self.sentinel {
+            // Punctuation dominance: once an ETS at τ was pushed on this
+            // arc, data below τ contradicts it. Only `Accept` buffers can
+            // reach this with a violating tuple (Reject/Clamp/Drop already
+            // handled the regression against the ≥ punctuation high-water
+            // mark above), and `Accept` is exactly where nothing else
+            // checks.
+            if tuple.is_data() {
+                if let Some(p) = self.punct_high_water {
+                    if tuple.ts < p {
+                        s.check_punct_dominance(&self.name, tuple.ts, p)?;
+                    }
                 }
             }
         }
@@ -495,6 +533,78 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.data_len(), 0);
         assert_eq!(tracker.total(), 0);
+    }
+
+    #[test]
+    fn sentinel_counts_masked_regressions() {
+        use crate::sentinel::{CheckMode, OrderSentinel, SentinelStats};
+        let stats = SentinelStats::shared();
+        let mut b = Buffer::new("t").with_order_policy(OrderPolicy::Clamp);
+        b.set_sentinel(Some(OrderSentinel::new(
+            CheckMode::Counters,
+            "op",
+            stats.clone(),
+        )));
+        b.push(data(10)).unwrap();
+        b.push(data(5)).unwrap(); // clamped to 10 — counted, not escalated
+        assert_eq!(stats.order_regressions(), 1);
+        assert_eq!(b.iter().nth(1).unwrap().ts.as_micros(), 10);
+
+        // Reject still fails with its own OutOfOrder, sentinel counts it.
+        let mut r = Buffer::new("r");
+        r.set_sentinel(Some(OrderSentinel::new(
+            CheckMode::Strict,
+            "op",
+            stats.clone(),
+        )));
+        r.push(data(10)).unwrap();
+        assert!(matches!(
+            r.push(data(4)).unwrap_err(),
+            Error::OutOfOrder { .. }
+        ));
+        assert_eq!(stats.order_regressions(), 2);
+    }
+
+    #[test]
+    fn sentinel_escalates_punct_dominance_on_accept_buffers() {
+        use crate::sentinel::{CheckMode, OrderSentinel, SentinelStats};
+        let stats = SentinelStats::shared();
+        let mut b = Buffer::new("t").with_order_policy(OrderPolicy::Accept);
+        b.set_sentinel(Some(OrderSentinel::new(
+            CheckMode::Strict,
+            "src s",
+            stats.clone(),
+        )));
+        b.push(data(10)).unwrap();
+        b.push(data(5)).unwrap(); // disorder is legal on Accept buffers
+        b.push(Tuple::punctuation(Timestamp::from_micros(20)))
+            .unwrap();
+        b.push(data(25)).unwrap();
+        // …but data below an asserted punctuation is not.
+        let err = b.push(data(15)).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InvariantViolation {
+                got: 15,
+                bound: 20,
+                ..
+            }
+        ));
+        assert_eq!(stats.punct_violations(), 1);
+
+        // In counters mode the same push is admitted and only counted.
+        let stats2 = SentinelStats::shared();
+        let mut c = Buffer::new("t").with_order_policy(OrderPolicy::Accept);
+        c.set_sentinel(Some(OrderSentinel::new(
+            CheckMode::Counters,
+            "src s",
+            stats2.clone(),
+        )));
+        c.push(Tuple::punctuation(Timestamp::from_micros(20)))
+            .unwrap();
+        c.push(data(15)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(stats2.punct_violations(), 1);
     }
 
     #[test]

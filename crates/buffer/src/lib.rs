@@ -10,14 +10,18 @@
 //!   idle-waiting-prone operators (paper §4.1).
 //! * [`OccupancyTracker`] — graph-wide queue occupancy and peak accounting
 //!   (the Fig. 8 "peak total queue size" metric).
+//! * [`OrderSentinel`] / [`SentinelStats`] / [`CheckMode`] — the opt-in
+//!   runtime ordering-contract checks (`MILLSTREAM_CHECK={off,counters,strict}`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod fifo;
 mod occupancy;
+mod sentinel;
 mod tsm;
 
 pub use fifo::{Buffer, OrderPolicy, PunctuationPolicy};
 pub use occupancy::OccupancyTracker;
+pub use sentinel::{CheckMode, OrderSentinel, SentinelStats};
 pub use tsm::{TsmBank, TsmRegister};

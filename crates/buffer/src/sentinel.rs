@@ -1,0 +1,272 @@
+//! Runtime ordering-contract sentinels.
+//!
+//! Every guarantee in the paper — safe IWP enabling, on-demand ETS, the
+//! relaxed *more* condition — rests on one unstated contract: buffers carry
+//! non-decreasing timestamps and no data tuple ever appears below a
+//! punctuation already asserted on its path. The sentinel layer makes that
+//! contract *checkable at runtime*: an opt-in, per-buffer [`OrderSentinel`]
+//! validates every push, and the executors add node-level TSM-register and
+//! clock-monotonicity checks on top, all recording into one shared
+//! [`SentinelStats`].
+//!
+//! The layer is controlled by the `MILLSTREAM_CHECK` environment variable
+//! (see [`CheckMode`]):
+//!
+//! * `off` (default) — no sentinels are attached; a single `Option` branch
+//!   per push is the only residue.
+//! * `counters` — violations are counted into [`SentinelStats`] (surfaced
+//!   via `ExecStats`/snapshots) but execution continues.
+//! * `strict` — a violation that the buffer's own [`OrderPolicy`] would
+//!   silently absorb aborts execution with a structured
+//!   [`Error::InvariantViolation`] naming the node, the buffer and the
+//!   offending timestamp pair.
+//!
+//! What counts as a violation is defined *per the buffer's `OrderPolicy`*:
+//! a regression into a `Reject` buffer already fails loudly
+//! (`Error::OutOfOrder`), and `Clamp`/`Drop` recoveries are
+//! policy-sanctioned — the sentinel counts all of these as order
+//! regressions but never escalates them. The checks that `strict` escalates
+//! are the ones nothing else catches: a data tuple sliding under the
+//! punctuation high-water of an `Accept` buffer, an IWP operator emitting
+//! beyond its TSM minimum, and a clock reading that travels backwards.
+//!
+//! [`OrderPolicy`]: crate::OrderPolicy
+//! [`Error::InvariantViolation`]: millstream_types::Error::InvariantViolation
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use millstream_types::{Error, Result, Timestamp};
+
+/// How much runtime invariant checking the engine performs.
+///
+/// Parsed from the `MILLSTREAM_CHECK` environment variable by
+/// [`CheckMode::from_env`]; executors also accept a programmatic override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// No checking (default). Sentinels are not attached at all.
+    #[default]
+    Off,
+    /// Count violations into [`SentinelStats`] but keep running.
+    Counters,
+    /// Fail fast: silent contract violations become
+    /// [`millstream_types::Error::InvariantViolation`].
+    Strict,
+}
+
+impl CheckMode {
+    /// The environment variable consulted by [`CheckMode::from_env`].
+    pub const ENV_VAR: &'static str = "MILLSTREAM_CHECK";
+
+    /// Reads the mode from `MILLSTREAM_CHECK`. Unset, empty or
+    /// unrecognized values mean [`CheckMode::Off`].
+    pub fn from_env() -> Self {
+        match std::env::var(Self::ENV_VAR) {
+            Ok(v) => Self::parse(&v),
+            Err(_) => CheckMode::Off,
+        }
+    }
+
+    /// Parses a mode string (`off` / `counters` / `strict`,
+    /// case-insensitive). Anything else is `Off`.
+    pub fn parse(s: &str) -> Self {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "counters" => CheckMode::Counters,
+            "strict" => CheckMode::Strict,
+            _ => CheckMode::Off,
+        }
+    }
+
+    /// True unless the mode is [`CheckMode::Off`].
+    pub fn is_enabled(self) -> bool {
+        !matches!(self, CheckMode::Off)
+    }
+}
+
+/// Shared violation counters, one instance per executor (or per worker in
+/// the parallel engine), aggregated into `ExecStats`.
+#[derive(Debug, Default)]
+pub struct SentinelStats {
+    order_regressions: AtomicU64,
+    punct_violations: AtomicU64,
+    tsm_violations: AtomicU64,
+    clock_violations: AtomicU64,
+}
+
+impl SentinelStats {
+    /// A fresh, shareable counter block.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Timestamp regressions observed at buffer pushes (including those the
+    /// buffer's policy recovered by clamping, dropping or rejecting).
+    pub fn order_regressions(&self) -> u64 {
+        self.order_regressions.load(Ordering::Relaxed)
+    }
+
+    /// Data tuples observed below a buffer's punctuation high-water mark.
+    pub fn punct_violations(&self) -> u64 {
+        self.punct_violations.load(Ordering::Relaxed)
+    }
+
+    /// IWP operators caught emitting beyond their TSM-register minimum.
+    pub fn tsm_violations(&self) -> u64 {
+        self.tsm_violations.load(Ordering::Relaxed)
+    }
+
+    /// Clock readings that went backwards between executor steps.
+    pub fn clock_violations(&self) -> u64 {
+        self.clock_violations.load(Ordering::Relaxed)
+    }
+
+    /// Sum of every violation class.
+    pub fn total(&self) -> u64 {
+        self.order_regressions()
+            + self.punct_violations()
+            + self.tsm_violations()
+            + self.clock_violations()
+    }
+
+    /// Records a buffer-level timestamp regression.
+    pub fn record_order_regression(&self) {
+        self.order_regressions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a punctuation-dominance violation.
+    pub fn record_punct_violation(&self) {
+        self.punct_violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a TSM-consistency violation.
+    pub fn record_tsm_violation(&self) {
+        self.tsm_violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a clock-monotonicity violation.
+    pub fn record_clock_violation(&self) {
+        self.clock_violations.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A per-buffer contract checker, labelled with the graph node that
+/// produces into the buffer so violations name their culprit.
+#[derive(Debug, Clone)]
+pub struct OrderSentinel {
+    mode: CheckMode,
+    /// The operator or source writing into the watched buffer.
+    node: String,
+    stats: Arc<SentinelStats>,
+}
+
+impl OrderSentinel {
+    /// Builds a sentinel for the buffer fed by `node`.
+    pub fn new(mode: CheckMode, node: impl Into<String>, stats: Arc<SentinelStats>) -> Self {
+        OrderSentinel {
+            mode,
+            node: node.into(),
+            stats,
+        }
+    }
+
+    /// The active checking mode.
+    pub fn mode(&self) -> CheckMode {
+        self.mode
+    }
+
+    /// The producing node this sentinel reports against.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// The shared counter block.
+    pub fn stats(&self) -> &Arc<SentinelStats> {
+        &self.stats
+    }
+
+    /// Notes a timestamp regression at a push. The buffer's own policy
+    /// decides recovery (reject / clamp / drop), so this only counts.
+    pub fn note_order_regression(&self, _buffer: &str, _got: Timestamp, _high_water: Timestamp) {
+        self.stats.record_order_regression();
+    }
+
+    /// Checks punctuation dominance: a *data* tuple below the buffer's
+    /// punctuation high-water mark contradicts an ETS already asserted on
+    /// this arc. In `strict` mode this is fatal — no `OrderPolicy` recovery
+    /// can un-assert the punctuation.
+    pub fn check_punct_dominance(
+        &self,
+        buffer: &str,
+        got: Timestamp,
+        punct_high_water: Timestamp,
+    ) -> Result<()> {
+        self.stats.record_punct_violation();
+        if self.mode == CheckMode::Strict {
+            return Err(Error::invariant(
+                "punctuation-dominance",
+                &self.node,
+                buffer,
+                got.as_micros(),
+                punct_high_water.as_micros(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_modes() {
+        assert_eq!(CheckMode::parse("off"), CheckMode::Off);
+        assert_eq!(CheckMode::parse(""), CheckMode::Off);
+        assert_eq!(CheckMode::parse("bogus"), CheckMode::Off);
+        assert_eq!(CheckMode::parse("counters"), CheckMode::Counters);
+        assert_eq!(CheckMode::parse("STRICT"), CheckMode::Strict);
+        assert_eq!(CheckMode::parse(" strict "), CheckMode::Strict);
+        assert!(!CheckMode::Off.is_enabled());
+        assert!(CheckMode::Counters.is_enabled());
+        assert!(CheckMode::Strict.is_enabled());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = SentinelStats::shared();
+        let s = OrderSentinel::new(CheckMode::Counters, "op", stats.clone());
+        s.note_order_regression("b", Timestamp::from_micros(1), Timestamp::from_micros(2));
+        s.check_punct_dominance("b", Timestamp::from_micros(1), Timestamp::from_micros(2))
+            .expect("counters mode never errors");
+        stats.record_tsm_violation();
+        stats.record_clock_violation();
+        assert_eq!(stats.order_regressions(), 1);
+        assert_eq!(stats.punct_violations(), 1);
+        assert_eq!(stats.tsm_violations(), 1);
+        assert_eq!(stats.clock_violations(), 1);
+        assert_eq!(stats.total(), 4);
+    }
+
+    #[test]
+    fn strict_mode_escalates_punct_dominance() {
+        let stats = SentinelStats::shared();
+        let s = OrderSentinel::new(CheckMode::Strict, "union#1", stats.clone());
+        let err = s
+            .check_punct_dominance(
+                "out:union#1.0",
+                Timestamp::from_micros(3),
+                Timestamp::from_micros(9),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InvariantViolation {
+                got: 3,
+                bound: 9,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("union#1"));
+        assert_eq!(stats.punct_violations(), 1);
+    }
+}

@@ -6,6 +6,7 @@
 //! ```text
 //! msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--batch K]
 //!                              [--workers N]
+//! msq fuzz [--seeds N] [--base B]
 //!
 //!   query.msq   CREATE STREAM definitions + one SELECT query
 //!   trace.csv   lines of: timestamp_micros,stream_name,v1,v2,…
@@ -19,6 +20,14 @@
 //!               worker thread, up to N threads (default: serial; a
 //!               single-query plan is usually one component, so this
 //!               mainly matters for multi-component plans)
+//!
+//! fuzz        differential stream fuzzing: generate seeded random query
+//!             graphs and disordered workloads, run each across every
+//!             EtsPolicy × scheduling policy × serial/parallel cell with
+//!             MILLSTREAM_CHECK=strict semantics, and compare all outputs
+//!             against a naive single-queue oracle
+//!   --seeds N   number of seeds to run (default 64)
+//!   --base B    first seed (default 0)
 //! ```
 //!
 //! Example query file:
@@ -54,7 +63,7 @@ struct Options {
     workers: usize,
 }
 
-const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N]";
+const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N]\n       msq fuzz [--seeds N] [--base B]";
 
 fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
     let mut positional = Vec::new();
@@ -324,8 +333,65 @@ fn run_parallel(
     Ok(())
 }
 
+/// The `msq fuzz` subcommand: a differential fuzzing sweep over seeded
+/// random graphs and workloads (see `millstream_sim::fuzz_range`).
+fn run_fuzz(args: &[String]) -> ExitCode {
+    let mut seeds = 64u64;
+    let mut base = 0u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parse_u64 = |flag: &str, value: Option<&String>| {
+            value
+                .ok_or_else(|| format!("{flag} requires a value\n{USAGE}"))?
+                .parse::<u64>()
+                .map_err(|_| format!("{flag} expects an unsigned integer\n{USAGE}"))
+        };
+        let parsed = match a.as_str() {
+            "--seeds" => parse_u64("--seeds", it.next()).map(|n| seeds = n),
+            "--base" => parse_u64("--base", it.next()).map(|n| base = n),
+            "--help" | "-h" => Err(USAGE.to_string()),
+            flag => Err(format!("unknown fuzz argument `{flag}`\n{USAGE}")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    }
+    let summary = millstream_sim::fuzz_range(base, seeds);
+    eprintln!(
+        "# fuzz: {} seed(s) from {base}, {} differential run(s), {} failure(s)",
+        summary.seeds,
+        summary.runs,
+        summary.failures.len()
+    );
+    if summary.failures.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    for failure in &summary.failures {
+        eprintln!("FAIL {failure}");
+    }
+    // Reprint the specs of the failing seeds so a regression seed can be
+    // dropped into fuzz-corpus/ without re-deriving it.
+    let mut reported = std::collections::BTreeSet::new();
+    for failure in &summary.failures {
+        if let Some(seed) = failure
+            .strip_prefix("seed ")
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            if reported.insert(seed) {
+                eprintln!("{}", millstream_sim::describe_seed(seed));
+            }
+        }
+    }
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return run_fuzz(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {

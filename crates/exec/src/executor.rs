@@ -31,10 +31,10 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use millstream_buffer::Buffer;
+use millstream_buffer::{Buffer, CheckMode, SentinelStats};
 use millstream_metrics::IdleTracker;
 use millstream_ops::{BatchOutcome, OpContext, Poll, StepOutcome};
-use millstream_types::{Result, Timestamp, Tuple};
+use millstream_types::{Error, Result, Timestamp, Tuple};
 
 use crate::clock::{CostModel, VirtualClock};
 use crate::graph::{NodeId, OpNode, Pred, QueryGraph, SourceId};
@@ -114,6 +114,12 @@ pub struct ExecStats {
     /// Heartbeats dropped at ingestion for being stale (at or below an
     /// already-asserted punctuation mark, or below the data high-water).
     pub dropped_stale_heartbeats: u64,
+    /// Ordering-contract violations observed by the sentinel layer
+    /// (`MILLSTREAM_CHECK=counters`; under `strict` the first violation
+    /// that nothing else catches aborts execution instead). Sums buffer
+    /// order regressions, punctuation-dominance, TSM-consistency and
+    /// clock-monotonicity violations.
+    pub invariant_violations: u64,
 }
 
 /// Execution tuning knobs, separate from the paper-level policies
@@ -150,6 +156,13 @@ pub struct Executor {
     idle: HashMap<NodeId, IdleTracker>,
     stats: ExecStats,
     profile: Vec<OpProfile>,
+    /// Runtime invariant checking (`MILLSTREAM_CHECK`, or programmatic via
+    /// [`Executor::with_check_mode`]).
+    check: CheckMode,
+    sentinel_stats: Arc<SentinelStats>,
+    /// Last clock reading observed by a step — the clock-monotonicity
+    /// check's floor.
+    last_clock: Timestamp,
     /// Optional ring buffer of recent activities (diagnostics).
     trace: Option<std::collections::VecDeque<(Timestamp, Activity)>>,
     trace_capacity: usize,
@@ -163,6 +176,7 @@ impl Executor {
         cost: CostModel,
         policy: EtsPolicy,
     ) -> Self {
+        let mut graph = graph;
         let profile = graph
             .ops
             .iter()
@@ -171,6 +185,12 @@ impl Executor {
                 ..OpProfile::default()
             })
             .collect();
+        let check = CheckMode::from_env();
+        let sentinel_stats = SentinelStats::shared();
+        if check.is_enabled() {
+            graph.set_check_mode(check, &sentinel_stats);
+        }
+        let last_clock = clock.now();
         Executor {
             graph,
             clock,
@@ -183,9 +203,30 @@ impl Executor {
             idle: HashMap::new(),
             stats: ExecStats::default(),
             profile,
+            check,
+            sentinel_stats,
+            last_clock,
             trace: None,
             trace_capacity: 0,
         }
+    }
+
+    /// Overrides the runtime invariant-checking mode (builder style). The
+    /// default comes from the `MILLSTREAM_CHECK` environment variable.
+    pub fn with_check_mode(mut self, mode: CheckMode) -> Self {
+        self.check = mode;
+        self.graph.set_check_mode(mode, &self.sentinel_stats);
+        self
+    }
+
+    /// The active invariant-checking mode.
+    pub fn check_mode(&self) -> CheckMode {
+        self.check
+    }
+
+    /// The shared sentinel counters (all zero when checking is off).
+    pub fn sentinel_stats(&self) -> &Arc<SentinelStats> {
+        &self.sentinel_stats
     }
 
     /// Enables activity tracing: the last `capacity` scheduler activities
@@ -258,7 +299,9 @@ impl Executor {
 
     /// Executor statistics so far.
     pub fn stats(&self) -> ExecStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.invariant_violations = self.sentinel_stats.total();
+        stats
     }
 
     /// Per-operator execution profile (steps, tuples, virtual busy time).
@@ -369,6 +412,11 @@ impl Executor {
             return Ok(());
         }
         buffer.borrow_mut().push(Tuple::punctuation(ts))?;
+        // A heartbeat is an externally-supplied ETS: fold it into the
+        // source's punctuation frontier so on-demand generation never
+        // produces an ETS *below* it (the buffer would reject the
+        // regressed punctuation as out-of-order).
+        s.ets_high_water = Some(s.ets_high_water.map_or(ts, |hw| hw.max(ts)));
         self.refresh_idle();
         Ok(())
     }
@@ -413,6 +461,7 @@ impl Executor {
     }
 
     fn step_untraced(&mut self) -> Result<Activity> {
+        self.check_clock()?;
         if self.sched == SchedPolicy::RoundRobin {
             return self.step_round_robin();
         }
@@ -461,6 +510,7 @@ impl Executor {
                 self.stats.batches += 1;
                 self.stats.work_units += batch.total_work() as u64;
                 self.charge(node, &batch, cost);
+                self.check_tsm(node)?;
                 self.select_next(node);
                 self.refresh_idle();
                 Ok(Activity::Executed {
@@ -513,6 +563,7 @@ impl Executor {
                 self.stats.batches += 1;
                 self.stats.work_units += outcome.total_work() as u64;
                 self.charge(node, &batch, cost);
+                self.check_tsm(node)?;
                 self.refresh_idle();
                 Ok(Activity::Executed { node, outcome })
             }
@@ -549,6 +600,68 @@ impl Executor {
                 Ok(Activity::Quiescent)
             }
         }
+    }
+
+    /// Clock-monotonicity check: the virtual clock must never run
+    /// backwards between scheduling steps. Monotone by construction today
+    /// (`advance` is a fetch-add, `advance_to` a fetch-max), so this guards
+    /// against future clock implementations or external tampering.
+    fn check_clock(&mut self) -> Result<()> {
+        if !self.check.is_enabled() {
+            return Ok(());
+        }
+        let now = self.clock.now();
+        if now < self.last_clock {
+            self.sentinel_stats.record_clock_violation();
+            if self.check == CheckMode::Strict {
+                return Err(Error::invariant(
+                    "clock-monotonicity",
+                    "executor",
+                    "",
+                    now.as_micros(),
+                    self.last_clock.as_micros(),
+                ));
+            }
+        } else {
+            self.last_clock = now;
+        }
+        Ok(())
+    }
+
+    /// TSM-register consistency: after an IWP operator runs, no output
+    /// buffer's data high-water may exceed the operator's minimum TSM
+    /// register — an output stamped beyond `min_tau` would claim order the
+    /// registers cannot yet guarantee.
+    fn check_tsm(&self, node: NodeId) -> Result<()> {
+        if !self.check.is_enabled() {
+            return Ok(());
+        }
+        let n = &self.graph.ops[node.0];
+        let Some(tau) = n.op.tsm_min() else {
+            return Ok(());
+        };
+        for b in &n.outputs {
+            let violation = {
+                let buf = self.graph.buffers[b.0].borrow();
+                match buf.high_water() {
+                    Some(hw) if hw > tau => Some((buf.name().to_string(), hw)),
+                    _ => None,
+                }
+            };
+            if let Some((buffer, hw)) = violation {
+                self.sentinel_stats.record_tsm_violation();
+                if self.check == CheckMode::Strict {
+                    return Err(Error::invariant(
+                        "tsm-consistency",
+                        &n.name,
+                        &buffer,
+                        hw.as_micros(),
+                        tau.as_micros(),
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Round-robin variant of backtracking: identical source/ETS handling,
@@ -1286,5 +1399,183 @@ mod tests {
             e.with_exec_options(ExecOptions { encore_batch: 8 })
         });
         assert_eq!(f.exec.options().encore_batch, 8);
+    }
+
+    /// Regression (found by `msq fuzz`, seed 5): a heartbeat must advance
+    /// the source's ETS frontier. Without that, backtracking at a clock
+    /// instant *below* an asserted heartbeat generates an on-demand ETS
+    /// that regresses behind the heartbeat's punctuation and is rejected
+    /// by the source buffer as out-of-order.
+    #[test]
+    fn heartbeat_advances_the_ets_frontier() {
+        let mut f = fig4(EtsPolicy::on_demand(), false);
+        f.exec.clock().advance_to(Timestamp::from_micros(5));
+        f.exec.ingest(f.s1, data(5, 1)).unwrap();
+        f.exec.ingest(f.s2, data(5, 2)).unwrap();
+        f.exec
+            .ingest_heartbeat(f.s1, Timestamp::from_micros(20))
+            .unwrap();
+        f.exec
+            .ingest_heartbeat(f.s2, Timestamp::from_micros(30))
+            .unwrap();
+        f.exec.clock().advance_to(Timestamp::from_micros(12));
+        // The union drains both buffers; S1's register parks at 20 with an
+        // empty buffer, so backtracking reaches S1 while the clock is
+        // still below 20 — the generated ETS must not regress behind the
+        // heartbeat.
+        f.exec
+            .run_until_quiescent(10_000)
+            .expect("no regressed ETS punctuation");
+    }
+
+    /// Builds unordered-S1 → Reorder → sink with the given check mode.
+    fn sentinel_rig(mode: CheckMode) -> (Executor, SourceId) {
+        use millstream_ops::Reorder;
+        let mut b = GraphBuilder::new();
+        let s1 = b.unordered_source("S1", schema(), TimestampKind::External);
+        let r = b
+            .operator(
+                Box::new(Reorder::new("↻", schema(), TimeDelta::from_micros(100))),
+                vec![Input::Source(s1)],
+            )
+            .unwrap();
+        let _k = b
+            .operator(
+                Box::new(Sink::new("sink", schema(), VecCollector::default())),
+                vec![Input::Op(r)],
+            )
+            .unwrap();
+        let graph = b.build().unwrap();
+        let exec = Executor::new(
+            graph,
+            VirtualClock::shared(),
+            CostModel::default(),
+            EtsPolicy::None,
+        )
+        .with_check_mode(mode);
+        (exec, s1)
+    }
+
+    #[test]
+    fn sentinel_counters_record_punct_dominance() {
+        let (mut exec, s1) = sentinel_rig(CheckMode::Counters);
+        exec.ingest_heartbeat(s1, Timestamp::from_micros(10))
+            .unwrap();
+        exec.ingest(s1, data(5, 1))
+            .expect("counters mode never fails the push");
+        assert_eq!(exec.stats().invariant_violations, 1);
+        assert_eq!(exec.sentinel_stats().punct_violations(), 1);
+        assert_eq!(
+            exec.sentinel_stats().order_regressions(),
+            0,
+            "Accept buffers don't count regressions"
+        );
+    }
+
+    #[test]
+    fn sentinel_strict_escalates_punct_dominance() {
+        let (mut exec, s1) = sentinel_rig(CheckMode::Strict);
+        exec.ingest_heartbeat(s1, Timestamp::from_micros(10))
+            .unwrap();
+        let err = exec.ingest(s1, data(5, 1)).expect_err("strict escalates");
+        let msg = err.to_string();
+        assert!(msg.contains("punctuation-dominance"), "{msg}");
+        assert!(msg.contains("src:S1"), "{msg}");
+        assert_eq!(exec.stats().invariant_violations, 1, "counted too");
+    }
+
+    #[test]
+    fn sentinel_off_is_inert() {
+        let (mut exec, s1) = sentinel_rig(CheckMode::Off);
+        exec.ingest_heartbeat(s1, Timestamp::from_micros(10))
+            .unwrap();
+        exec.ingest(s1, data(5, 1)).unwrap();
+        assert_eq!(exec.stats().invariant_violations, 0);
+    }
+
+    /// An operator that violates its own TSM contract: it claims τ = 0
+    /// forever while forwarding tuples with arbitrary timestamps — the kind
+    /// of bug the tsm-consistency check exists to catch.
+    struct BrokenIwp {
+        schema: Schema,
+    }
+
+    impl millstream_ops::Operator for BrokenIwp {
+        fn name(&self) -> &str {
+            "broken"
+        }
+        fn is_iwp(&self) -> bool {
+            true
+        }
+        fn tsm_min(&self) -> Option<Timestamp> {
+            Some(Timestamp::ZERO)
+        }
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn output_schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn poll(&mut self, ctx: &OpContext<'_>) -> Poll {
+            if ctx.input(0).is_empty() {
+                Poll::starved_on(0)
+            } else {
+                Poll::Ready
+            }
+        }
+        fn step(&mut self, ctx: &OpContext<'_>) -> Result<StepOutcome> {
+            let Some(t) = ctx.input_mut(0).pop() else {
+                return Ok(StepOutcome::default());
+            };
+            ctx.output_mut(0).push(t)?;
+            Ok(StepOutcome::consumed_one(1))
+        }
+    }
+
+    fn broken_iwp_rig(mode: CheckMode) -> (Executor, SourceId) {
+        let mut b = GraphBuilder::new();
+        let s1 = b.source("S1", schema(), TimestampKind::Internal);
+        let n = b
+            .operator(
+                Box::new(BrokenIwp { schema: schema() }),
+                vec![Input::Source(s1)],
+            )
+            .unwrap();
+        let _k = b
+            .operator(
+                Box::new(Sink::new("sink", schema(), VecCollector::default())),
+                vec![Input::Op(n)],
+            )
+            .unwrap();
+        let graph = b.build().unwrap();
+        let exec = Executor::new(
+            graph,
+            VirtualClock::shared(),
+            CostModel::default(),
+            EtsPolicy::None,
+        )
+        .with_check_mode(mode);
+        (exec, s1)
+    }
+
+    #[test]
+    fn sentinel_strict_escalates_tsm_violation() {
+        let (mut exec, s1) = broken_iwp_rig(CheckMode::Strict);
+        exec.ingest(s1, data(5, 1)).unwrap();
+        let err = exec
+            .run_until_quiescent(100)
+            .expect_err("forwarding past a frozen τ must abort under strict");
+        let msg = err.to_string();
+        assert!(msg.contains("tsm-consistency"), "{msg}");
+        assert!(msg.contains("broken"), "{msg}");
+    }
+
+    #[test]
+    fn sentinel_counters_record_tsm_violation() {
+        let (mut exec, s1) = broken_iwp_rig(CheckMode::Counters);
+        exec.ingest(s1, data(5, 1)).unwrap();
+        exec.run_until_quiescent(100).expect("counters never abort");
+        assert!(exec.sentinel_stats().tsm_violations() >= 1);
+        assert!(exec.stats().invariant_violations >= 1);
     }
 }

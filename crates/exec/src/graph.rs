@@ -13,7 +13,10 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use millstream_buffer::{Buffer, OccupancyTracker, OrderPolicy, PunctuationPolicy};
+use millstream_buffer::{
+    Buffer, CheckMode, OccupancyTracker, OrderPolicy, OrderSentinel, PunctuationPolicy,
+    SentinelStats,
+};
 use millstream_ops::Operator;
 use millstream_types::{Error, Result, Schema, Timestamp, TimestampKind};
 
@@ -183,6 +186,27 @@ impl QueryGraph {
     /// Total tuples currently queued in all buffers.
     pub fn total_queued(&self) -> usize {
         self.tracker.total()
+    }
+
+    /// Attaches (mode enabled) or clears (mode off) an ordering-contract
+    /// sentinel on every buffer. Each sentinel is labelled with the node
+    /// producing into its buffer — the source for a source buffer, the
+    /// operator for an output buffer — so violations name their culprit.
+    pub(crate) fn set_check_mode(&mut self, mode: CheckMode, stats: &Arc<SentinelStats>) {
+        for s in &self.sources {
+            let sentinel = mode
+                .is_enabled()
+                .then(|| OrderSentinel::new(mode, format!("source {}", s.name), stats.clone()));
+            self.buffers[s.buffer.0].borrow_mut().set_sentinel(sentinel);
+        }
+        for n in &self.ops {
+            for b in &n.outputs {
+                let sentinel = mode
+                    .is_enabled()
+                    .then(|| OrderSentinel::new(mode, n.name.clone(), stats.clone()));
+                self.buffers[b.0].borrow_mut().set_sentinel(sentinel);
+            }
+        }
     }
 
     /// Assigns every operator and source to a connected component of the

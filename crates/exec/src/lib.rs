@@ -29,5 +29,6 @@ pub use graph::{
     BufferId, ComponentGraph, ComponentPartition, GraphBuilder, Input, NodeId, Pred, QueryGraph,
     SourceId, SourceState,
 };
+pub use millstream_buffer::{CheckMode, SentinelStats};
 pub use parallel::{IngestHandle, ParallelConfig, ParallelExecutor, ParallelSnapshot};
 pub use strategy::EtsPolicy;

@@ -35,10 +35,12 @@
 //! through a fire-and-forget handle) are stashed and surfaced at the next
 //! barrier.
 
+use std::panic::AssertUnwindSafe;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{self, Receiver, Sender};
 
+use millstream_buffer::CheckMode;
 use millstream_metrics::IdleTracker;
 use millstream_types::{Error, Result, Timestamp, Tuple};
 
@@ -63,6 +65,9 @@ pub struct ParallelConfig {
     /// onto `min(workers, components)` threads, so any positive value is
     /// valid; extra workers beyond the component count are not spawned.
     pub workers: usize,
+    /// Invariant-checking override for every component executor. `None`
+    /// (default) inherits the `MILLSTREAM_CHECK` environment variable.
+    pub check: Option<CheckMode>,
 }
 
 impl ParallelConfig {
@@ -74,7 +79,15 @@ impl ParallelConfig {
             sched: SchedPolicy::default(),
             opts: ExecOptions::default(),
             workers,
+            check: None,
         }
+    }
+
+    /// Overrides the invariant-checking mode (builder style); the default
+    /// comes from the `MILLSTREAM_CHECK` environment variable.
+    pub fn with_check_mode(mut self, mode: CheckMode) -> Self {
+        self.check = Some(mode);
+        self
     }
 
     /// Selects the operator-scheduling discipline (builder style).
@@ -142,8 +155,25 @@ struct Slot {
     exec: Executor,
 }
 
+/// Converts a caught panic payload into a barrier-reportable error.
+fn panic_error(payload: Box<dyn std::any::Any + Send>) -> Error {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string());
+    Error::runtime(format!("worker panicked: {msg}"))
+}
+
 /// Worker main loop: apply ingest-class commands in arrival order, execute
 /// only on [`Cmd::Run`], stash the first error until the next barrier.
+///
+/// A panicking operator must not take the whole process down (the default
+/// for a panic on a detached thread is an abort-on-join-less-exit or a
+/// deadlocked barrier): every state-mutating command runs under
+/// `catch_unwind`, the payload is converted into a runtime error, and the
+/// thread keeps serving its channel so the coordinator sees the failure at
+/// the next barrier like any other stashed error.
 fn worker_loop(rx: Receiver<Cmd>, mut slots: Vec<Slot>) {
     let mut pending_err: Option<Error> = None;
     let stash = |r: std::result::Result<(), Error>, pending: &mut Option<Error>| {
@@ -158,16 +188,28 @@ fn worker_loop(rx: Receiver<Cmd>, mut slots: Vec<Slot>) {
                 source,
                 tuple,
             } => {
-                let slot = slots.iter_mut().find(|s| s.comp == comp).expect("routed");
-                stash(slot.exec.ingest(source, tuple), &mut pending_err);
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let slot = slots.iter_mut().find(|s| s.comp == comp).expect("routed");
+                    slot.exec.ingest(source, tuple)
+                }))
+                .unwrap_or_else(|p| Err(panic_error(p)));
+                stash(r, &mut pending_err);
             }
             Cmd::Heartbeat { comp, source, ts } => {
-                let slot = slots.iter_mut().find(|s| s.comp == comp).expect("routed");
-                stash(slot.exec.ingest_heartbeat(source, ts), &mut pending_err);
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let slot = slots.iter_mut().find(|s| s.comp == comp).expect("routed");
+                    slot.exec.ingest_heartbeat(source, ts)
+                }))
+                .unwrap_or_else(|p| Err(panic_error(p)));
+                stash(r, &mut pending_err);
             }
             Cmd::Close { comp, source } => {
-                let slot = slots.iter_mut().find(|s| s.comp == comp).expect("routed");
-                stash(slot.exec.close_source(source), &mut pending_err);
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let slot = slots.iter_mut().find(|s| s.comp == comp).expect("routed");
+                    slot.exec.close_source(source)
+                }))
+                .unwrap_or_else(|p| Err(panic_error(p)));
+                stash(r, &mut pending_err);
             }
             Cmd::AdvanceTo(ts) => {
                 for slot in &mut slots {
@@ -190,18 +232,21 @@ fn worker_loop(rx: Receiver<Cmd>, mut slots: Vec<Slot>) {
                     None => {
                         // Hosted components are mutually independent, so
                         // one quiescence pass each is a complete check.
-                        let mut taken = 0;
-                        let mut outcome = Ok(());
-                        for slot in &mut slots {
-                            match slot.exec.run_until_quiescent(max_steps) {
-                                Ok(n) => taken += n,
-                                Err(e) => {
-                                    outcome = Err(e);
-                                    break;
+                        std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let mut taken = 0;
+                            let mut outcome = Ok(());
+                            for slot in &mut slots {
+                                match slot.exec.run_until_quiescent(max_steps) {
+                                    Ok(n) => taken += n,
+                                    Err(e) => {
+                                        outcome = Err(e);
+                                        break;
+                                    }
                                 }
                             }
-                        }
-                        outcome.map(|()| taken)
+                            outcome.map(|()| taken)
+                        }))
+                        .unwrap_or_else(|p| Err(panic_error(p)))
                     }
                 };
                 let _ = reply.send(result);
@@ -365,9 +410,12 @@ impl ParallelExecutor {
             for (local, &global) in nodes.iter().enumerate() {
                 node_route[global.0] = (c, NodeId(local));
             }
-            let exec = Executor::new(graph, VirtualClock::shared(), config.cost, config.policy)
+            let mut exec = Executor::new(graph, VirtualClock::shared(), config.cost, config.policy)
                 .with_sched_policy(config.sched)
                 .with_exec_options(config.opts);
+            if let Some(mode) = config.check {
+                exec = exec.with_check_mode(mode);
+            }
             comp_worker.push(c % workers);
             slots_of[c % workers].push(Slot { comp: c, exec });
             comp_nodes.push(nodes);
@@ -557,6 +605,7 @@ impl ParallelExecutor {
                 stats.ets_generated += s.ets_generated;
                 stats.work_units += s.work_units;
                 stats.dropped_stale_heartbeats += s.dropped_stale_heartbeats;
+                stats.invariant_violations += s.invariant_violations;
                 for (local, p) in snap.profile.into_iter().enumerate() {
                     profile[self.comp_nodes[snap.comp][local].0] = Some(p);
                 }
@@ -735,5 +784,98 @@ mod tests {
         assert!(err.to_string().contains("out-of-order"), "{err}");
         // The error is consumed; the next barrier is clean.
         pex.barrier().unwrap();
+    }
+
+    /// An operator that panics the first time it executes — simulating an
+    /// operator bug on a worker thread.
+    struct PanickingOp {
+        schema: Schema,
+    }
+
+    impl millstream_ops::Operator for PanickingOp {
+        fn name(&self) -> &str {
+            "panicker"
+        }
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn output_schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn poll(&mut self, ctx: &millstream_ops::OpContext<'_>) -> millstream_ops::Poll {
+            if ctx.input(0).is_empty() {
+                millstream_ops::Poll::starved_on(0)
+            } else {
+                millstream_ops::Poll::Ready
+            }
+        }
+        fn step(
+            &mut self,
+            _ctx: &millstream_ops::OpContext<'_>,
+        ) -> Result<millstream_ops::StepOutcome> {
+            panic!("injected operator failure");
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_at_the_barrier() {
+        let mut b = GraphBuilder::new();
+        let s1 = b.source("S1", schema(), TimestampKind::Internal);
+        let p = b
+            .operator(
+                Box::new(PanickingOp { schema: schema() }),
+                vec![Input::Source(s1)],
+            )
+            .unwrap();
+        b.operator(
+            Box::new(Sink::new("sink", schema(), Out::default())),
+            vec![Input::Op(p)],
+        )
+        .unwrap();
+        let pex = ParallelExecutor::new(
+            b.build().unwrap(),
+            ParallelConfig::new(CostModel::free(), EtsPolicy::on_demand(), 1),
+        );
+        pex.ingest(s1, data(1)).unwrap();
+        let err = pex.run_until_quiescent(1_000).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("worker panicked"), "{msg}");
+        assert!(msg.contains("injected operator failure"), "{msg}");
+        // The worker thread survived the panic: the channel still answers.
+        pex.barrier().unwrap();
+        pex.snapshot().unwrap();
+    }
+
+    #[test]
+    fn config_check_mode_reaches_component_executors() {
+        use millstream_buffer::CheckMode;
+        use millstream_ops::Reorder;
+        use millstream_types::TimeDelta;
+
+        let mut b = GraphBuilder::new();
+        let s1 = b.unordered_source("S1", schema(), TimestampKind::External);
+        let r = b
+            .operator(
+                Box::new(Reorder::new("↻", schema(), TimeDelta::from_micros(100))),
+                vec![Input::Source(s1)],
+            )
+            .unwrap();
+        b.operator(
+            Box::new(Sink::new("sink", schema(), Out::default())),
+            vec![Input::Op(r)],
+        )
+        .unwrap();
+        let pex = ParallelExecutor::new(
+            b.build().unwrap(),
+            ParallelConfig::new(CostModel::free(), EtsPolicy::None, 1)
+                .with_check_mode(CheckMode::Strict),
+        );
+        pex.ingest_heartbeat(s1, Timestamp::from_micros(10))
+            .unwrap();
+        // Data below the asserted heartbeat on an Accept buffer: the strict
+        // sentinel rejects it at the worker and the barrier reports it.
+        pex.ingest(s1, data(5)).unwrap();
+        let err = pex.barrier().unwrap_err();
+        assert!(err.to_string().contains("punctuation-dominance"), "{err}");
     }
 }

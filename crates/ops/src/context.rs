@@ -224,6 +224,16 @@ pub trait Operator: Send {
         false
     }
 
+    /// The operator's current TSM-register minimum τ, if it maintains TSM
+    /// registers (IWP operators only). The sentinel layer uses it to check
+    /// that an IWP operator never emits beyond its enabling frontier:
+    /// after a producing step, every output high-water mark must be ≤ τ.
+    /// Non-IWP operators (and latent-mode operators, which stamp from the
+    /// clock rather than the registers) return `None`.
+    fn tsm_min(&self) -> Option<Timestamp> {
+        None
+    }
+
     /// Declared number of inputs. The graph builder checks arity.
     fn num_inputs(&self) -> usize;
 

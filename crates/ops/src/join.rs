@@ -204,6 +204,10 @@ impl Operator for WindowJoin {
         true
     }
 
+    fn tsm_min(&self) -> Option<Timestamp> {
+        self.tsm.min_tau()
+    }
+
     fn num_inputs(&self) -> usize {
         2
     }

@@ -214,6 +214,10 @@ impl Operator for MultiWindowJoin {
         true
     }
 
+    fn tsm_min(&self) -> Option<Timestamp> {
+        self.tsm.min_tau()
+    }
+
     fn num_inputs(&self) -> usize {
         self.arity()
     }

@@ -126,6 +126,18 @@ impl Reorder {
         self.max_seen.map(|m| m.saturating_sub(self.slack))
     }
 
+    /// The release floor: the slack watermark raised to the emitted
+    /// high-water mark. Anything at or below the emitted floor is already
+    /// safe to emit — it can only tie the downstream ordering floor — so a
+    /// clamped tuple (ts == emitted high-water) never waits for `max_seen`
+    /// to advance `slack` past it.
+    fn release_floor(&self) -> Option<Timestamp> {
+        match (self.watermark(), self.emitted_high_water) {
+            (Some(w), Some(h)) => Some(w.max(h)),
+            (w, h) => w.or(h),
+        }
+    }
+
     /// Releases every buffered tuple at or below the watermark, in order.
     fn release(&mut self, ctx: &OpContext<'_>, up_to: Timestamp) -> Result<usize> {
         let mut produced = 0;
@@ -163,8 +175,8 @@ impl Operator for Reorder {
         if !ctx.input(0).is_empty() {
             return Poll::Ready;
         }
-        // Input drained; anything already past the watermark can still go.
-        if let Some(w) = self.watermark() {
+        // Input drained; anything already past the release floor can still go.
+        if let Some(w) = self.release_floor() {
             if self.heap.peek().is_some_and(|Reverse(p)| p.ts <= w) {
                 return Poll::Ready;
             }
@@ -179,8 +191,12 @@ impl Operator for Reorder {
             self.max_seen = Some(self.max_seen.map_or(tuple.ts, |m| m.max(tuple.ts)));
             if tuple.is_punctuation() {
                 // A punctuation is authoritative: flush ≤ τ and forward it.
+                // A *stale* punctuation (τ at or below the emitted floor)
+                // carries no new information, but the flush must still use
+                // the full release floor so buffered ties are not stranded.
                 let tau = tuple.ts;
-                let mut produced = self.release(ctx, tau)?;
+                let flush = self.emitted_high_water.map_or(tau, |h| h.max(tau));
+                let mut produced = self.release(ctx, flush)?;
                 if self.emitted_high_water.is_none_or(|h| tau > h) {
                     self.emitted_high_water = Some(tau);
                     ctx.output_mut(0).push(tuple)?;
@@ -226,7 +242,7 @@ impl Operator for Reorder {
                 }));
             }
         }
-        let produced = match self.watermark() {
+        let produced = match self.release_floor() {
             Some(w) => self.release(ctx, w)?,
             None => 0,
         };
@@ -375,6 +391,135 @@ mod tests {
         );
         assert_eq!(counter.load(Ordering::Relaxed), 1);
         assert_eq!(counter.load(Ordering::Relaxed), r.late_tuples());
+    }
+
+    #[test]
+    fn clamped_tuple_released_without_waiting_for_slack() {
+        // Regression: a punctuation raised the emitted floor far beyond
+        // max_seen − slack; a late tuple clamped to that floor used to sit
+        // in the heap until max_seen advanced `slack` past it, even though
+        // its (clamped) timestamp was already safe to emit.
+        let mut r = Reorder::new("↻", schema(), TimeDelta::from_micros(100))
+            .with_late_policy(LatePolicy::Clamp);
+        let out = run(
+            &mut r,
+            vec![
+                data(5, 0),
+                Tuple::punctuation(Timestamp::from_micros(50)),
+                data(10, 1),
+            ],
+        );
+        assert_eq!(r.buffered(), 0, "clamped tuple must not be stranded");
+        assert_eq!(r.late_tuples(), 1);
+        let clamped: Vec<&Tuple> = out
+            .iter()
+            .filter(|t| t.is_data() && t.values().unwrap()[0] == Value::Int(1))
+            .collect();
+        assert_eq!(clamped.len(), 1);
+        assert_eq!(clamped[0].ts.as_micros(), 50);
+    }
+
+    #[test]
+    fn tie_with_emitted_floor_releases_immediately() {
+        let mut r = Reorder::new("↻", schema(), TimeDelta::from_micros(100));
+        let out = run(
+            &mut r,
+            vec![
+                data(5, 0),
+                Tuple::punctuation(Timestamp::from_micros(50)),
+                data(50, 1),
+            ],
+        );
+        // ts 50 equals the emitted floor: not late, and releasable at once
+        // even though the slack watermark is far behind.
+        assert_eq!(r.buffered(), 0);
+        assert_eq!(out.len(), 3);
+        assert_eq!(r.late_tuples(), 0);
+    }
+
+    #[test]
+    fn stale_punctuation_is_suppressed_but_still_flushes() {
+        let mut r = Reorder::new("↻", schema(), TimeDelta::from_micros(100))
+            .with_late_policy(LatePolicy::Clamp);
+        let out = run(
+            &mut r,
+            vec![
+                data(5, 0),
+                Tuple::punctuation(Timestamp::from_micros(50)),
+                data(60, 1),
+                // Stale: τ ≤ the emitted floor. Must not be re-forwarded,
+                // must not disturb the heap.
+                Tuple::punctuation(Timestamp::from_micros(30)),
+                // Late → clamped to 50 — must still release at once.
+                data(10, 2),
+            ],
+        );
+        let punct_ts: Vec<u64> = out
+            .iter()
+            .filter(|t| t.is_punctuation())
+            .map(|t| t.ts.as_micros())
+            .collect();
+        assert_eq!(punct_ts, vec![50], "stale punctuation is not re-forwarded");
+        assert_eq!(r.buffered(), 1, "ts 60 still waits for slack");
+        assert!(out.iter().any(|t| t.is_data() && t.ts.as_micros() == 50));
+    }
+
+    #[test]
+    fn property_mix_punctuation_ties_and_late_under_both_policies() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        for policy in [LatePolicy::Drop, LatePolicy::Clamp] {
+            let mut r =
+                Reorder::new("↻", schema(), TimeDelta::from_micros(20)).with_late_policy(policy);
+            let mut tuples = vec![];
+            let mut data_in = 0u64;
+            for i in 0..300u64 {
+                let mut h = DefaultHasher::new();
+                (i, 0xC0FFEE_u64).hash(&mut h);
+                let jitter = h.finish() % 40; // up to 2× slack → real late tuples
+                let base = 5 * i;
+                tuples.push(data(base.saturating_sub(jitter), i as i64));
+                data_in += 1;
+                if i % 23 == 22 {
+                    // Punctuation on the undithered timeline: sometimes
+                    // ahead of the emitted floor, sometimes stale, and it
+                    // makes tuples behind it late — exactly the mix the
+                    // release floor has to survive.
+                    tuples.push(Tuple::punctuation(Timestamp::from_micros(base)));
+                }
+                if i % 17 == 16 {
+                    // Exact tie with the previous tuple's timestamp.
+                    let prev = tuples.last().unwrap().ts;
+                    tuples.push(Tuple::data(prev, vec![Value::Int(-1)]));
+                    data_in += 1;
+                }
+            }
+            tuples.push(Tuple::punctuation(Timestamp::MAX));
+            let out = run(&mut r, tuples);
+
+            // The output buffer (Reject policy) already enforces order;
+            // assert it explicitly anyway.
+            let ts: Vec<u64> = out.iter().map(|t| t.ts.as_micros()).collect();
+            let mut sorted = ts.clone();
+            sorted.sort();
+            assert_eq!(ts, sorted, "released stream must be ordered");
+            assert_eq!(r.buffered(), 0, "final punctuation flushes everything");
+
+            let data_out = out.iter().filter(|t| t.is_data()).count() as u64;
+            match policy {
+                LatePolicy::Clamp => {
+                    assert_eq!(data_out, data_in, "clamping never loses data");
+                }
+                LatePolicy::Drop => {
+                    assert_eq!(
+                        data_out,
+                        data_in - r.late_tuples(),
+                        "drops account for every missing tuple"
+                    );
+                    assert!(r.late_tuples() > 0, "workload must exercise lateness");
+                }
+            }
+        }
     }
 
     #[test]

@@ -128,6 +128,15 @@ impl Operator for Union {
         !self.latent
     }
 
+    fn tsm_min(&self) -> Option<Timestamp> {
+        if self.latent {
+            // Latent mode stamps from the clock, unconstrained by registers.
+            None
+        } else {
+            self.tau()
+        }
+    }
+
     fn num_inputs(&self) -> usize {
         self.inputs
     }

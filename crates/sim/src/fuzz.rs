@@ -1,0 +1,677 @@
+//! Differential stream fuzzer — randomized query graphs × adversarial
+//! workloads, every run under `MILLSTREAM_CHECK=strict` semantics.
+//!
+//! Each seed deterministically generates (via a hand-rolled SplitMix64
+//! generator, so runs are reproducible across platforms and never depend
+//! on ambient entropy):
+//!
+//! * a small query graph — one or two independent components, each with
+//!   1–3 sources feeding optional filters, an optional out-of-order
+//!   source behind a [`Reorder`], and a [`Union`] when a component has
+//!   more than one source;
+//! * a workload mixing bursty arrivals, simultaneous timestamps (ties),
+//!   bounded disorder on the unordered source, and heartbeats that are
+//!   valid by construction (each promises the minimum timestamp still to
+//!   come on its source).
+//!
+//! The workload then runs under **every cell of the engine matrix** —
+//! `EtsPolicy` × `SchedPolicy` × workers ∈ {1 (serial [`Executor`]),
+//! 4 ([`ParallelExecutor`])} — with the sentinel layer in strict mode, and
+//! each sink's output is compared against a naive single-queue oracle
+//! (all surviving data tuples of the component, merged into one queue and
+//! sorted by timestamp). Any engine error, invariant violation, ordering
+//! regression at a sink, or oracle mismatch is reported as a failure.
+//!
+//! Two disorder regimes are generated for the unordered source:
+//!
+//! * **exact** — `Reorder` slack ≥ the maximum jitter, so no tuple is
+//!   late and the oracle compares the exact `(timestamp, value)`
+//!   multiset;
+//! * **clamped** — slack below the jitter bound with
+//!   [`LatePolicy::Clamp`], where late tuples keep their values but get
+//!   clamped timestamps, so the oracle compares the value multiset and
+//!   still requires non-decreasing sink timestamps. (`LatePolicy::Drop`
+//!   is excluded here: which tuples are dropped depends on scheduling
+//!   interleavings, so there is no engine-independent oracle for it.)
+//!
+//! On-demand ETS is skipped for workloads containing an unordered source:
+//! the §5 external skew rule promises `t + τ − δ` monotonized against the
+//! last data timestamp, a promise bounded disorder legitimately breaks —
+//! pairing them is a configuration error, not an engine bug, and would
+//! drown the fuzzer in false punctuation-dominance findings.
+
+use std::sync::{Arc, Mutex};
+
+use millstream_exec::{
+    CheckMode, CostModel, EtsPolicy, Executor, GraphBuilder, Input, ParallelConfig,
+    ParallelExecutor, QueryGraph, SchedPolicy, SourceId, VirtualClock,
+};
+use millstream_ops::{Filter, LatePolicy, Reorder, Sink, SinkCollector, Union};
+use millstream_types::{
+    DataType, Expr, Field, Schema, TimeDelta, Timestamp, TimestampKind, Tuple, Value,
+};
+
+/// Step budget per quiescence drain; hitting it means a livelock.
+const MAX_STEPS: u64 = 2_000_000;
+
+/// SplitMix64 — tiny, fast, and excellent dispersion for fuzzing. Keeping
+/// it local (rather than using the `rand` shim) pins the byte-for-byte
+/// seed → workload mapping, which the regression corpus depends on.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `0..n` (modulo bias is irrelevant at fuzzing
+    /// sizes).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// True with probability `num/den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// One generated event at a source.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A data tuple: ingested at `arrival`, carrying application
+    /// timestamp `ts` (equal to `arrival` for ordered sources) and an
+    /// integer payload.
+    Data { arrival: u64, ts: u64, v: i64 },
+    /// A heartbeat promising no future data below `ts` on this source.
+    Heartbeat { arrival: u64, ts: u64 },
+}
+
+impl Ev {
+    fn arrival(&self) -> u64 {
+        match *self {
+            Ev::Data { arrival, .. } | Ev::Heartbeat { arrival, .. } => arrival,
+        }
+    }
+}
+
+/// One generated source and its workload.
+#[derive(Debug, Clone)]
+struct SrcSpec {
+    /// Out-of-order external stream behind a `Reorder`?
+    unordered: bool,
+    /// Reorder slack (µs); meaningful only when `unordered`.
+    slack: u64,
+    /// Reorder late policy is Clamp (always true when `!exact`).
+    clamp: bool,
+    /// Slack covers the jitter bound — no tuple can be late.
+    exact: bool,
+    /// Optional `col0 >= k` filter on this source's path.
+    filter_min: Option<i64>,
+    events: Vec<Ev>,
+}
+
+/// One independent query-graph component (its own sink).
+#[derive(Debug, Clone)]
+struct CompSpec {
+    sources: Vec<SrcSpec>,
+}
+
+/// A full generated scenario.
+#[derive(Debug, Clone)]
+struct FuzzSpec {
+    comps: Vec<CompSpec>,
+}
+
+impl FuzzSpec {
+    fn any_unordered(&self) -> bool {
+        self.comps
+            .iter()
+            .any(|c| c.sources.iter().any(|s| s.unordered))
+    }
+}
+
+/// What the oracle asserts about a component's sink output.
+enum Expected {
+    /// Exact `(ts, value)` multiset (no clamping possible).
+    Exact(Vec<(u64, i64)>),
+    /// Value multiset only (clamping may rewrite late timestamps).
+    ValuesOnly(Vec<i64>),
+}
+
+fn gen_source(rng: &mut SplitMix64, unordered: bool) -> SrcSpec {
+    let n = 4 + rng.below(28);
+    let jitter = 2 + rng.below(10);
+    let exact = !unordered || rng.chance(2, 3);
+    let slack = if exact { jitter } else { jitter / 2 };
+    let clamp = if exact { rng.chance(1, 2) } else { true };
+
+    let mut events = Vec::new();
+    let mut arrival = 1 + rng.below(8);
+    for _ in 0..n {
+        let v = rng.below(16) as i64;
+        let ts = if unordered {
+            // ts ∈ [arrival, arrival + jitter]: a later arrival can carry
+            // an earlier timestamp, with lateness bounded by `jitter`.
+            arrival + jitter - rng.below(jitter + 1)
+        } else {
+            arrival
+        };
+        events.push(Ev::Data { arrival, ts, v });
+        // Bursty gaps; zero gaps create simultaneous timestamps.
+        const GAPS: [u64; 8] = [0, 0, 1, 1, 2, 3, 5, 9];
+        arrival += GAPS[rng.below(8) as usize];
+    }
+
+    // Interleave heartbeats that are valid by construction: each promises
+    // the minimum application timestamp still to come on this source.
+    let data: Vec<(u64, u64)> = events
+        .iter()
+        .map(|e| match *e {
+            Ev::Data { arrival, ts, .. } => (arrival, ts),
+            Ev::Heartbeat { .. } => unreachable!("only data generated so far"),
+        })
+        .collect();
+    let mut with_hb = Vec::with_capacity(events.len() + 4);
+    for (i, ev) in events.into_iter().enumerate() {
+        let arrival = ev.arrival();
+        with_hb.push(ev);
+        if rng.chance(1, 6) {
+            if let Some(&min_future) = data[i + 1..]
+                .iter()
+                .map(|(_, ts)| ts)
+                .min()
+                .filter(|&&ts| ts > 0)
+            {
+                with_hb.push(Ev::Heartbeat {
+                    arrival,
+                    ts: min_future,
+                });
+            }
+        }
+    }
+
+    SrcSpec {
+        unordered,
+        slack,
+        clamp,
+        exact,
+        filter_min: rng.chance(1, 2).then(|| rng.below(12) as i64),
+        events: with_hb,
+    }
+}
+
+fn gen_spec(seed: u64) -> FuzzSpec {
+    let mut rng = SplitMix64::new(seed);
+    let ncomps = if rng.chance(1, 3) { 2 } else { 1 };
+    let comps = (0..ncomps)
+        .map(|_| {
+            let nsources = 1 + rng.below(3) as usize;
+            let unordered_at = rng
+                .chance(1, 3)
+                .then(|| rng.below(nsources as u64) as usize);
+            let sources = (0..nsources)
+                .map(|si| gen_source(&mut rng, unordered_at == Some(si)))
+                .collect();
+            CompSpec { sources }
+        })
+        .collect();
+    FuzzSpec { comps }
+}
+
+/// One-line digest of the scenario a seed generates (CLI diagnostics and
+/// corpus curation).
+pub fn describe_seed(seed: u64) -> String {
+    let spec = gen_spec(seed);
+    let comps: Vec<String> = spec
+        .comps
+        .iter()
+        .map(|c| {
+            let srcs: Vec<String> = c
+                .sources
+                .iter()
+                .map(|s| {
+                    let n = s
+                        .events
+                        .iter()
+                        .filter(|e| matches!(e, Ev::Data { .. }))
+                        .count();
+                    let hb = s.events.len() - n;
+                    if s.unordered {
+                        let mode = if s.exact { "exact" } else { "clamped" };
+                        format!("unordered({n}d/{hb}h slack={} {mode})", s.slack)
+                    } else {
+                        format!("ordered({n}d/{hb}h)")
+                    }
+                })
+                .collect();
+            format!("[{}]", srcs.join(" + "))
+        })
+        .collect();
+    format!("seed {seed}: {}", comps.join(" | "))
+}
+
+/// The naive single-queue oracle: every data tuple that survives its
+/// source's filter, merged into one queue and sorted by timestamp.
+fn expected(comp: &CompSpec) -> Expected {
+    let inexact = comp.sources.iter().any(|s| s.unordered && !s.exact);
+    let mut rows: Vec<(u64, i64)> = Vec::new();
+    for s in &comp.sources {
+        for ev in &s.events {
+            if let Ev::Data { ts, v, .. } = *ev {
+                if s.filter_min.is_none_or(|k| v >= k) {
+                    rows.push((ts, v));
+                }
+            }
+        }
+    }
+    rows.sort_unstable();
+    if inexact {
+        let mut vs: Vec<i64> = rows.iter().map(|r| r.1).collect();
+        vs.sort_unstable();
+        Expected::ValuesOnly(vs)
+    } else {
+        Expected::Exact(rows)
+    }
+}
+
+/// Thread-safe sink collector capturing `(ts, value)` rows.
+#[derive(Clone, Default)]
+struct CollectedSink(Arc<Mutex<Vec<(u64, i64)>>>);
+
+impl SinkCollector for CollectedSink {
+    fn deliver(&mut self, tuple: Tuple, _now: Timestamp) {
+        let v = match tuple.values().and_then(|vs| vs.first()) {
+            Some(&Value::Int(v)) => v,
+            _ => i64::MIN,
+        };
+        self.0.lock().unwrap().push((tuple.ts.as_micros(), v));
+    }
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![Field::new("v", DataType::Int)])
+}
+
+struct Built {
+    graph: QueryGraph,
+    /// Per component: its global source ids (in spec order) and its sink.
+    handles: Vec<(Vec<SourceId>, CollectedSink)>,
+}
+
+fn build(spec: &FuzzSpec) -> Result<Built, String> {
+    let mut b = GraphBuilder::new();
+    let mut handles = Vec::new();
+    for (ci, comp) in spec.comps.iter().enumerate() {
+        let mut tails = Vec::new();
+        let mut src_ids = Vec::new();
+        for (si, s) in comp.sources.iter().enumerate() {
+            let name = format!("S{ci}_{si}");
+            let sid = if s.unordered {
+                b.unordered_source(&name, schema(), TimestampKind::External)
+            } else {
+                b.source(&name, schema(), TimestampKind::Internal)
+            };
+            src_ids.push(sid);
+            let mut tail = Input::Source(sid);
+            if s.unordered {
+                let policy = if s.clamp {
+                    LatePolicy::Clamp
+                } else {
+                    LatePolicy::Drop
+                };
+                let r = Reorder::new(
+                    format!("reorder{ci}_{si}"),
+                    schema(),
+                    TimeDelta::from_micros(s.slack),
+                )
+                .with_late_policy(policy);
+                tail = Input::Op(
+                    b.operator(Box::new(r), vec![tail])
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+            if let Some(k) = s.filter_min {
+                let f = Filter::new(
+                    format!("filter{ci}_{si}"),
+                    schema(),
+                    Expr::col(0).ge(Expr::lit(k)),
+                );
+                tail = Input::Op(
+                    b.operator(Box::new(f), vec![tail])
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+            tails.push(tail);
+        }
+        let tail = if tails.len() > 1 {
+            let u = Union::new(format!("union{ci}"), schema(), tails.len());
+            Input::Op(b.operator(Box::new(u), tails).map_err(|e| e.to_string())?)
+        } else {
+            tails.pop().expect("component has at least one source")
+        };
+        let out = CollectedSink::default();
+        b.operator(
+            Box::new(Sink::new(format!("sink{ci}"), schema(), out.clone())),
+            vec![tail],
+        )
+        .map_err(|e| e.to_string())?;
+        handles.push((src_ids, out));
+    }
+    let graph = b.build().map_err(|e| e.to_string())?;
+    Ok(Built { graph, handles })
+}
+
+/// A globally ordered ingest schedule: all events of all sources, sorted
+/// by arrival instant, stable within each source.
+struct GEvent {
+    arrival: u64,
+    comp: usize,
+    src: usize,
+    ev: Ev,
+}
+
+fn merged_events(spec: &FuzzSpec) -> Vec<GEvent> {
+    let mut all = Vec::new();
+    for (ci, comp) in spec.comps.iter().enumerate() {
+        for (si, s) in comp.sources.iter().enumerate() {
+            for ev in &s.events {
+                all.push(GEvent {
+                    arrival: ev.arrival(),
+                    comp: ci,
+                    src: si,
+                    ev: *ev,
+                });
+            }
+        }
+    }
+    // Stable sort preserves each source's own event order under arrival
+    // ties while interleaving sources deterministically.
+    all.sort_by_key(|g| (g.arrival, g.comp, g.src));
+    all
+}
+
+fn run_serial(
+    spec: &FuzzSpec,
+    policy: EtsPolicy,
+    sched: SchedPolicy,
+) -> Result<Vec<Vec<(u64, i64)>>, String> {
+    let built = build(spec)?;
+    let mut exec = Executor::new(
+        built.graph,
+        VirtualClock::shared(),
+        CostModel::free(),
+        policy,
+    )
+    .with_sched_policy(sched)
+    .with_check_mode(CheckMode::Strict);
+
+    let drain = |exec: &mut Executor| -> Result<(), String> {
+        let taken = exec
+            .run_until_quiescent(MAX_STEPS)
+            .map_err(|e| e.to_string())?;
+        if taken >= MAX_STEPS {
+            return Err(format!(
+                "step budget ({MAX_STEPS}) exhausted without quiescence"
+            ));
+        }
+        Ok(())
+    };
+
+    let mut pending: Option<u64> = None;
+    for g in merged_events(spec) {
+        if pending.is_some_and(|a| a != g.arrival) {
+            drain(&mut exec)?;
+        }
+        pending = Some(g.arrival);
+        exec.clock().advance_to(Timestamp::from_micros(g.arrival));
+        let sid = built.handles[g.comp].0[g.src];
+        match g.ev {
+            Ev::Data { ts, v, .. } => exec
+                .ingest(
+                    sid,
+                    Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(v)]),
+                )
+                .map_err(|e| e.to_string())?,
+            Ev::Heartbeat { ts, .. } => exec
+                .ingest_heartbeat(sid, Timestamp::from_micros(ts))
+                .map_err(|e| e.to_string())?,
+        }
+    }
+    drain(&mut exec)?;
+    for (src_ids, _) in &built.handles {
+        for &sid in src_ids {
+            exec.close_source(sid).map_err(|e| e.to_string())?;
+        }
+    }
+    drain(&mut exec)?;
+    let violations = exec.stats().invariant_violations;
+    if violations != 0 {
+        return Err(format!("{violations} invariant violation(s) counted"));
+    }
+    Ok(built
+        .handles
+        .iter()
+        .map(|(_, out)| out.0.lock().unwrap().clone())
+        .collect())
+}
+
+fn run_parallel(
+    spec: &FuzzSpec,
+    policy: EtsPolicy,
+    sched: SchedPolicy,
+    workers: usize,
+) -> Result<Vec<Vec<(u64, i64)>>, String> {
+    let built = build(spec)?;
+    let config = ParallelConfig::new(CostModel::free(), policy, workers)
+        .with_sched_policy(sched)
+        .with_check_mode(CheckMode::Strict);
+    let pex = ParallelExecutor::new(built.graph, config);
+
+    let mut pending: Option<u64> = None;
+    for g in merged_events(spec) {
+        if pending.is_some_and(|a| a != g.arrival) {
+            pex.run_until_quiescent(MAX_STEPS)
+                .map_err(|e| e.to_string())?;
+        }
+        pending = Some(g.arrival);
+        pex.advance_to(Timestamp::from_micros(g.arrival))
+            .map_err(|e| e.to_string())?;
+        let sid = built.handles[g.comp].0[g.src];
+        match g.ev {
+            Ev::Data { ts, v, .. } => pex
+                .ingest(
+                    sid,
+                    Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(v)]),
+                )
+                .map_err(|e| e.to_string())?,
+            Ev::Heartbeat { ts, .. } => pex
+                .ingest_heartbeat(sid, Timestamp::from_micros(ts))
+                .map_err(|e| e.to_string())?,
+        }
+    }
+    pex.run_until_quiescent(MAX_STEPS)
+        .map_err(|e| e.to_string())?;
+    for (src_ids, _) in &built.handles {
+        for &sid in src_ids {
+            pex.close_source(sid).map_err(|e| e.to_string())?;
+        }
+    }
+    pex.run_until_quiescent(MAX_STEPS)
+        .map_err(|e| e.to_string())?;
+    let snap = pex.snapshot().map_err(|e| e.to_string())?;
+    if snap.stats.invariant_violations != 0 {
+        return Err(format!(
+            "{} invariant violation(s) counted",
+            snap.stats.invariant_violations
+        ));
+    }
+    Ok(built
+        .handles
+        .iter()
+        .map(|(_, out)| out.0.lock().unwrap().clone())
+        .collect())
+}
+
+/// Checks one engine run's sink outputs against the oracle.
+fn check_outputs(
+    spec: &FuzzSpec,
+    outputs: &[Vec<(u64, i64)>],
+    label: &str,
+    failures: &mut Vec<String>,
+) {
+    for (ci, comp) in spec.comps.iter().enumerate() {
+        let out = &outputs[ci];
+        if let Some(w) = out.windows(2).find(|w| w[0].0 > w[1].0) {
+            failures.push(format!(
+                "{label}: component {ci} sink order regression ({} then {})",
+                w[0].0, w[1].0
+            ));
+            continue;
+        }
+        match expected(comp) {
+            Expected::Exact(want) => {
+                let mut got = out.clone();
+                got.sort_unstable();
+                if got != want {
+                    failures.push(format!(
+                        "{label}: component {ci} mismatch: {} row(s) delivered, {} expected{}",
+                        got.len(),
+                        want.len(),
+                        first_diff(&got, &want)
+                    ));
+                }
+            }
+            Expected::ValuesOnly(want) => {
+                let mut got: Vec<i64> = out.iter().map(|r| r.1).collect();
+                got.sort_unstable();
+                if got != want {
+                    failures.push(format!(
+                        "{label}: component {ci} value-multiset mismatch: {} row(s) delivered, {} expected",
+                        got.len(),
+                        want.len()
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn first_diff(got: &[(u64, i64)], want: &[(u64, i64)]) -> String {
+    for i in 0..got.len().max(want.len()) {
+        let g = got.get(i);
+        let w = want.get(i);
+        if g != w {
+            return format!("; first diff at row {i}: got {g:?}, want {w:?}");
+        }
+    }
+    String::new()
+}
+
+/// Runs the full engine matrix for one seed; returns failure descriptions
+/// (empty = clean).
+pub fn fuzz_seed(seed: u64) -> Vec<String> {
+    let spec = gen_spec(seed);
+    let mut policies = vec![EtsPolicy::None];
+    if !spec.any_unordered() {
+        policies.push(EtsPolicy::on_demand());
+    }
+    let mut failures = Vec::new();
+    for &policy in &policies {
+        for sched in [SchedPolicy::DepthFirst, SchedPolicy::RoundRobin] {
+            for workers in [1usize, 4] {
+                let label =
+                    format!("seed {seed} [policy={policy:?} sched={sched:?} workers={workers}]");
+                let result = if workers == 1 {
+                    run_serial(&spec, policy, sched)
+                } else {
+                    run_parallel(&spec, policy, sched, workers)
+                };
+                match result {
+                    Err(e) => failures.push(format!("{label}: {e}")),
+                    Ok(outputs) => check_outputs(&spec, &outputs, &label, &mut failures),
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Aggregate result of a fuzz campaign.
+#[derive(Debug, Default)]
+pub struct FuzzSummary {
+    /// Seeds exercised.
+    pub seeds: u64,
+    /// Engine runs executed (matrix cells across all seeds).
+    pub runs: u64,
+    /// Failure descriptions, each prefixed with its seed and matrix cell.
+    pub failures: Vec<String>,
+}
+
+/// Fuzzes `count` consecutive seeds starting at `base`.
+pub fn fuzz_range(base: u64, count: u64) -> FuzzSummary {
+    let mut summary = FuzzSummary::default();
+    for seed in base..base.saturating_add(count) {
+        let spec = gen_spec(seed);
+        let cells = if spec.any_unordered() { 4 } else { 8 };
+        summary.seeds += 1;
+        summary.runs += cells;
+        summary.failures.extend(fuzz_seed(seed));
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = format!("{:?}", gen_spec(42));
+        let b = format!("{:?}", gen_spec(42));
+        assert_eq!(a, b);
+        assert_ne!(a, format!("{:?}", gen_spec(43)), "seeds diverge");
+        assert_eq!(describe_seed(42), describe_seed(42));
+    }
+
+    #[test]
+    fn heartbeats_are_valid_by_construction() {
+        for seed in 0..64 {
+            for comp in gen_spec(seed).comps {
+                for s in comp.sources {
+                    for (i, ev) in s.events.iter().enumerate() {
+                        if let Ev::Heartbeat { ts, .. } = *ev {
+                            let min_future = s.events[i + 1..]
+                                .iter()
+                                .filter_map(|e| match *e {
+                                    Ev::Data { ts, .. } => Some(ts),
+                                    Ev::Heartbeat { .. } => None,
+                                })
+                                .min();
+                            assert!(
+                                min_future.is_none_or(|m| m >= ts),
+                                "seed {seed}: heartbeat at {ts} overtakes future data"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_seed_range_is_clean() {
+        for seed in 0..8 {
+            let failures = fuzz_seed(seed);
+            assert!(failures.is_empty(), "{}", failures.join("\n"));
+        }
+    }
+}

@@ -21,6 +21,7 @@
 mod driver;
 mod events;
 mod experiment;
+mod fuzz;
 mod replay;
 mod workload;
 
@@ -30,5 +31,6 @@ pub use experiment::{
     run_disorder_experiment, run_join_experiment, run_union_experiment, DisorderExperiment,
     DisorderReport, JoinExperiment, Strategy, UnionExperiment,
 };
+pub use fuzz::{describe_seed, fuzz_range, fuzz_seed, FuzzSummary};
 pub use replay::{parse_trace, replay, ReplayReport, TraceRecord};
 pub use workload::{ArrivalProcess, PayloadGen};

@@ -1,0 +1,74 @@
+//! Differential fuzzing as a CI gate.
+//!
+//! Two layers of coverage:
+//!
+//! * a fixed deterministic seed range, so every CI run exercises the
+//!   generator × policy × scheduler × worker matrix from scratch;
+//! * the regression corpus under `fuzz-corpus/*.seeds` — seeds that
+//!   once exposed a real bug, replayed forever.
+//!
+//! Each seed runs the generated graph under strict invariant checking
+//! across every execution cell and compares the outputs against the
+//! naive single-queue oracle (see `millstream_sim::fuzz_seed`).
+
+use std::path::PathBuf;
+
+use millstream_sim::{describe_seed, fuzz_seed};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz-corpus")
+}
+
+/// Parses a `.seeds` file: one decimal seed per line, `#` comments and
+/// blank lines ignored.
+fn parse_seeds(text: &str) -> Vec<u64> {
+    text.lines()
+        .map(|line| line.split('#').next().unwrap_or("").trim())
+        .filter(|line| !line.is_empty())
+        .map(|line| {
+            line.parse::<u64>()
+                .unwrap_or_else(|_| panic!("bad seed line in corpus: `{line}`"))
+        })
+        .collect()
+}
+
+fn assert_seed_clean(seed: u64) {
+    let failures = fuzz_seed(seed);
+    assert!(
+        failures.is_empty(),
+        "seed {seed} failed:\n{}\n{}",
+        failures.join("\n"),
+        describe_seed(seed)
+    );
+}
+
+#[test]
+fn fuzz_graphs_fixed_range() {
+    for seed in 0..32 {
+        assert_seed_clean(seed);
+    }
+}
+
+#[test]
+fn fuzz_graphs_regression_corpus() {
+    let dir = corpus_dir();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("fuzz-corpus dir {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("read corpus entry").path();
+            (path.extension().is_some_and(|ext| ext == "seeds")).then_some(path)
+        })
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no *.seeds files in {}", dir.display());
+    let mut replayed = 0usize;
+    for path in entries {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        for seed in parse_seeds(&text) {
+            assert_seed_clean(seed);
+            replayed += 1;
+        }
+    }
+    assert!(replayed > 0, "corpus files contained no seeds");
+}

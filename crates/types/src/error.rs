@@ -54,6 +54,24 @@ pub enum Error {
     Config(String),
     /// The real-time engine encountered a channel/thread failure.
     Runtime(String),
+    /// A runtime ordering invariant was violated (`MILLSTREAM_CHECK=strict`).
+    ///
+    /// Raised by the sentinel layer when a graph-wide timestamp contract is
+    /// broken: buffer monotonicity, punctuation dominance, TSM-register
+    /// consistency at an IWP operator, or clock monotonicity.
+    InvariantViolation {
+        /// Which invariant was violated (`punctuation-dominance`,
+        /// `tsm-consistency`, `clock-monotonicity`, ...).
+        check: String,
+        /// The graph node (operator or source) that produced the violation.
+        node: String,
+        /// The buffer where it was detected (empty for node-level checks).
+        buffer: String,
+        /// The offending timestamp (microseconds).
+        got: u64,
+        /// The bound it violated (microseconds).
+        bound: u64,
+    },
 }
 
 impl Error {
@@ -98,6 +116,23 @@ impl Error {
             column,
         }
     }
+
+    /// Builds an [`Error::InvariantViolation`].
+    pub fn invariant(
+        check: impl Into<String>,
+        node: impl Into<String>,
+        buffer: impl Into<String>,
+        got: u64,
+        bound: u64,
+    ) -> Self {
+        Error::InvariantViolation {
+            check: check.into(),
+            node: node.into(),
+            buffer: buffer.into(),
+            got,
+            bound,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -131,6 +166,19 @@ impl fmt::Display for Error {
             Error::Plan(msg) => write!(f, "planning error: {msg}"),
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Runtime(msg) => write!(f, "runtime error: {msg}"),
+            Error::InvariantViolation {
+                check,
+                node,
+                buffer,
+                got,
+                bound,
+            } => {
+                write!(f, "invariant violation [{check}] at node `{node}`")?;
+                if !buffer.is_empty() {
+                    write!(f, ", buffer `{buffer}`")?;
+                }
+                write!(f, ": ts {got}us violates bound {bound}us")
+            }
         }
     }
 }
@@ -155,6 +203,15 @@ mod tests {
             watermark: 9,
         };
         assert!(e.to_string().contains("watermark 9us"));
+
+        let e = Error::invariant("punctuation-dominance", "union#2", "out:union#2.0", 5, 9);
+        assert_eq!(
+            e.to_string(),
+            "invariant violation [punctuation-dominance] at node `union#2`, \
+             buffer `out:union#2.0`: ts 5us violates bound 9us"
+        );
+        let e = Error::invariant("clock-monotonicity", "executor", "", 5, 9);
+        assert!(!e.to_string().contains("buffer"));
     }
 
     #[test]

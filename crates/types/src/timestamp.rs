@@ -57,16 +57,18 @@ impl Timestamp {
         Timestamp(micros)
     }
 
-    /// Builds a timestamp from milliseconds.
+    /// Builds a timestamp from milliseconds, saturating at
+    /// [`Timestamp::MAX`] on overflow.
     #[inline]
     pub const fn from_millis(millis: u64) -> Self {
-        Timestamp(millis * MICROS_PER_MILLI)
+        Timestamp(millis.saturating_mul(MICROS_PER_MILLI))
     }
 
-    /// Builds a timestamp from whole seconds.
+    /// Builds a timestamp from whole seconds, saturating at
+    /// [`Timestamp::MAX`] on overflow.
     #[inline]
     pub const fn from_secs(secs: u64) -> Self {
-        Timestamp(secs * MICROS_PER_SEC)
+        Timestamp(secs.saturating_mul(MICROS_PER_SEC))
     }
 
     /// Builds a timestamp from fractional seconds, saturating at zero for
@@ -130,14 +132,16 @@ impl Add<TimeDelta> for Timestamp {
     type Output = Timestamp;
     #[inline]
     fn add(self, rhs: TimeDelta) -> Timestamp {
-        Timestamp(self.0 + rhs.as_micros())
+        // Saturate: a wrapping add would send time backwards, violating the
+        // monotonicity contract every buffer and IWP operator relies on.
+        Timestamp(self.0.saturating_add(rhs.as_micros()))
     }
 }
 
 impl AddAssign<TimeDelta> for Timestamp {
     #[inline]
     fn add_assign(&mut self, rhs: TimeDelta) {
-        self.0 += rhs.as_micros();
+        self.0 = self.0.saturating_add(rhs.as_micros());
     }
 }
 
@@ -179,16 +183,16 @@ impl TimeDelta {
         TimeDelta(micros)
     }
 
-    /// Builds a span from milliseconds.
+    /// Builds a span from milliseconds, saturating on overflow.
     #[inline]
     pub const fn from_millis(millis: u64) -> Self {
-        TimeDelta(millis * MICROS_PER_MILLI)
+        TimeDelta(millis.saturating_mul(MICROS_PER_MILLI))
     }
 
-    /// Builds a span from whole seconds.
+    /// Builds a span from whole seconds, saturating on overflow.
     #[inline]
     pub const fn from_secs(secs: u64) -> Self {
-        TimeDelta(secs * MICROS_PER_SEC)
+        TimeDelta(secs.saturating_mul(MICROS_PER_SEC))
     }
 
     /// Builds a span from fractional seconds, saturating at zero.
@@ -248,20 +252,20 @@ impl Add for TimeDelta {
     type Output = TimeDelta;
     #[inline]
     fn add(self, rhs: TimeDelta) -> TimeDelta {
-        TimeDelta(self.0 + rhs.0)
+        TimeDelta(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for TimeDelta {
     #[inline]
     fn add_assign(&mut self, rhs: TimeDelta) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
 impl core::iter::Sum for TimeDelta {
     fn sum<I: Iterator<Item = TimeDelta>>(iter: I) -> Self {
-        TimeDelta(iter.map(|d| d.0).sum())
+        iter.fold(TimeDelta::ZERO, |acc, d| acc + d)
     }
 }
 
@@ -341,6 +345,56 @@ mod tests {
             TimeDelta::from_micros(u64::MAX).saturating_mul(2),
             TimeDelta::from_micros(u64::MAX)
         );
+    }
+
+    #[test]
+    fn add_saturates_at_the_u64_boundary() {
+        // Plain `+` must never wrap past Timestamp::MAX: in release builds a
+        // wrapped timestamp would travel backwards in time and silently
+        // violate every ordering contract downstream.
+        let near_max = Timestamp::from_micros(u64::MAX - 1);
+        assert_eq!(near_max + TimeDelta::from_micros(1), Timestamp::MAX);
+        assert_eq!(near_max + TimeDelta::from_micros(2), Timestamp::MAX);
+        assert_eq!(Timestamp::MAX + TimeDelta::from_secs(1), Timestamp::MAX);
+
+        let mut t = Timestamp::from_micros(u64::MAX - 5);
+        t += TimeDelta::from_micros(100);
+        assert_eq!(t, Timestamp::MAX);
+
+        let d_max = TimeDelta::from_micros(u64::MAX);
+        assert_eq!(d_max + TimeDelta::from_micros(1), d_max);
+        let mut d = TimeDelta::from_micros(u64::MAX - 1);
+        d += TimeDelta::from_micros(7);
+        assert_eq!(d, d_max);
+    }
+
+    #[test]
+    fn constructors_saturate_on_overflow() {
+        assert_eq!(Timestamp::from_millis(u64::MAX), Timestamp::MAX);
+        assert_eq!(Timestamp::from_secs(u64::MAX), Timestamp::MAX);
+        assert_eq!(
+            TimeDelta::from_millis(u64::MAX),
+            TimeDelta::from_micros(u64::MAX)
+        );
+        assert_eq!(
+            TimeDelta::from_secs(u64::MAX),
+            TimeDelta::from_micros(u64::MAX)
+        );
+        // Values just below the boundary still multiply exactly.
+        let ok = u64::MAX / MICROS_PER_SEC;
+        assert_eq!(
+            Timestamp::from_secs(ok),
+            Timestamp::from_micros(ok * MICROS_PER_SEC)
+        );
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_panicking() {
+        let total: TimeDelta = [u64::MAX, u64::MAX, 1]
+            .into_iter()
+            .map(TimeDelta::from_micros)
+            .sum();
+        assert_eq!(total, TimeDelta::from_micros(u64::MAX));
     }
 
     #[test]
