@@ -7,14 +7,24 @@
 //! This bench measures the peak queue size and punctuation traffic with the
 //! optimization on and off, across heartbeat rates, on bursty traffic.
 
-use millstream_bench::print_table;
+use millstream_bench::{print_table, quick_mode, write_bench_summary, write_results};
+use millstream_metrics::Json;
 use millstream_sim::{run_union_experiment, Strategy, UnionExperiment};
 use millstream_types::TimeDelta;
+
+/// Simulated duration: `--quick` shrinks the run 5× for CI-bounded sweeps.
+fn duration() -> TimeDelta {
+    if quick_mode() {
+        TimeDelta::from_secs(60)
+    } else {
+        TimeDelta::from_secs(300)
+    }
+}
 
 fn run(rate_hz: f64, coalesce: bool) -> (usize, u64) {
     let cfg = UnionExperiment {
         strategy: Strategy::Periodic { rate_hz },
-        duration: TimeDelta::from_secs(300),
+        duration: duration(),
         seed: 71,
         fast_mean_burst: 64.0,
         coalesce_punctuation: coalesce,
@@ -25,9 +35,13 @@ fn run(rate_hz: f64, coalesce: bool) -> (usize, u64) {
 }
 
 fn main() {
-    println!("millstream ablation A2 — punctuation coalescing (bursty traffic, mean burst 64)");
+    println!(
+        "millstream ablation A2 — punctuation coalescing (bursty traffic, mean burst 64){}",
+        if quick_mode() { " (quick mode)" } else { "" }
+    );
 
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     let mut improvements = Vec::new();
     for &rate in &[100.0, 500.0, 1_000.0, 2_000.0, 5_000.0] {
         let (peak_off, punct_off) = run(rate, false);
@@ -40,6 +54,13 @@ fn main() {
             punct_off.to_string(),
             punct_on.to_string(),
         ]);
+        json_rows.push(Json::obj([
+            ("punct_rate_hz", Json::Num(rate)),
+            ("peak_queue_off", Json::Num(peak_off as f64)),
+            ("peak_queue_on", Json::Num(peak_on as f64)),
+            ("punct_enqueued_off", Json::Num(punct_off as f64)),
+            ("punct_enqueued_on", Json::Num(punct_on as f64)),
+        ]));
     }
     print_table(
         "peak queue (tuples) and punctuation enqueued, coalescing off vs on",
@@ -52,6 +73,14 @@ fn main() {
         ],
         &rows,
     );
+
+    let summary = Json::obj([
+        ("duration_secs", Json::Num(duration().as_secs_f64())),
+        ("quick", Json::Bool(quick_mode())),
+        ("rows", Json::Arr(json_rows)),
+    ]);
+    write_results("ablation_coalescing", summary.clone());
+    write_bench_summary("ablation_coalescing", summary);
 
     let &(rate, off, on) = improvements.last().expect("rows");
     assert!(

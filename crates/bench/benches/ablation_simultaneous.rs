@@ -45,7 +45,7 @@ impl Operator for NaiveUnion {
     }
 
     fn poll(&mut self, ctx: &OpContext<'_>) -> Poll {
-        let empty: Vec<usize> = (0..self.inputs)
+        let empty: millstream_buffer::StarveList = (0..self.inputs)
             .filter(|&i| ctx.input(i).is_empty())
             .collect();
         if empty.is_empty() {

@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use millstream_bench::{print_table, write_bench_summary, write_results};
+use millstream_bench::{print_table, quick_mode, write_bench_summary, write_results};
 use millstream_core::prelude::*;
 use millstream_metrics::Json;
 
@@ -40,6 +40,23 @@ impl SinkCollector for Count {
 const WAVES: u64 = 64;
 const WAVE_TUPLES: u64 = 1024; // per source, per wave
 const ROUNDS: usize = 5;
+
+/// Waves per run: `--quick` shrinks the run 4× for CI-bounded sweeps.
+fn waves() -> u64 {
+    if quick_mode() {
+        WAVES / 4
+    } else {
+        WAVES
+    }
+}
+
+fn rounds() -> usize {
+    if quick_mode() {
+        2
+    } else {
+        ROUNDS
+    }
+}
 
 struct RunResult {
     tuples: u64,
@@ -96,7 +113,7 @@ fn run(encore_batch: usize) -> RunResult {
     let fail = Tuple::data(Timestamp::ZERO, vec![Value::Int(-1)]);
     let mut ingested = 0u64;
     let mut busy = std::time::Duration::ZERO;
-    for w in 0..WAVES {
+    for w in 0..waves() {
         for i in 0..WAVE_TUPLES {
             let n = w * WAVE_TUPLES + i;
             let ts = Timestamp::from_millis(n);
@@ -136,8 +153,10 @@ fn run(encore_batch: usize) -> RunResult {
 fn main() {
     println!("millstream micro-benchmark — batched Encore execution (ExecOptions::encore_batch)");
     println!(
-        "filter→union pipeline, 1-in-32 selectivity, {} tuples per run, best of {ROUNDS} interleaved rounds\n",
-        2 * WAVES * WAVE_TUPLES
+        "filter→union pipeline, 1-in-32 selectivity, {} tuples per run, best of {} interleaved rounds{}\n",
+        2 * waves() * WAVE_TUPLES,
+        rounds(),
+        if quick_mode() { " (quick mode)" } else { "" }
     );
 
     // Warm up the allocator and caches before timing anything.
@@ -145,7 +164,7 @@ fn main() {
 
     let ks = [1usize, 8, 64];
     let mut results: Vec<(usize, RunResult)> = ks.iter().map(|&k| (k, run(k))).collect();
-    for _ in 1..ROUNDS {
+    for _ in 1..rounds() {
         for (i, &k) in ks.iter().enumerate() {
             let r = run(k);
             if r.secs < results[i].1.secs {
@@ -197,9 +216,10 @@ fn main() {
     let summary = Json::obj([
         (
             "tuples_per_run",
-            Json::Num((2 * WAVES * WAVE_TUPLES) as f64),
+            Json::Num((2 * waves() * WAVE_TUPLES) as f64),
         ),
         ("selectivity", Json::str("1-in-32")),
+        ("quick", Json::Bool(quick_mode())),
         ("rows", Json::Arr(json_rows)),
     ]);
     write_results("micro_batching", summary.clone());

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use millstream_bench::{print_table, write_bench_summary, write_results};
+use millstream_bench::{print_table, quick_mode, write_bench_summary, write_results};
 use millstream_core::prelude::*;
 use millstream_exec::{ParallelConfig, ParallelExecutor};
 use millstream_metrics::Json;
@@ -42,6 +42,23 @@ impl SinkCollector for Count {
 const WAVES: u64 = 32;
 const WAVE_TUPLES: u64 = 512; // per source, per wave
 const ROUNDS: usize = 5;
+
+/// Waves per run: `--quick` shrinks the run 4× for CI-bounded sweeps.
+fn waves() -> u64 {
+    if quick_mode() {
+        WAVES / 4
+    } else {
+        WAVES
+    }
+}
+
+fn rounds() -> usize {
+    if quick_mode() {
+        2
+    } else {
+        ROUNDS
+    }
+}
 
 /// Builds `n` disjoint copies of the Fig. 4 shape: two sources → one
 /// selective filter each → union → counting sink. Returns the graph, the
@@ -114,7 +131,7 @@ fn run_serial(n: usize) -> RunResult {
     let fail = Tuple::data(Timestamp::ZERO, vec![Value::Int(-1)]);
     let mut ingested = 0u64;
     let started = Instant::now();
-    for w in 0..WAVES {
+    for w in 0..waves() {
         for i in 0..WAVE_TUPLES {
             let t = tuple_at(w * WAVE_TUPLES + i, &pass, &fail);
             for &(s1, s2) in &sources {
@@ -143,7 +160,7 @@ fn run_parallel(n: usize, workers: usize) -> RunResult {
     let fail = Tuple::data(Timestamp::ZERO, vec![Value::Int(-1)]);
     let mut ingested = 0u64;
     let started = Instant::now();
-    for w in 0..WAVES {
+    for w in 0..waves() {
         for i in 0..WAVE_TUPLES {
             let t = tuple_at(w * WAVE_TUPLES + i, &pass, &fail);
             for &(s1, s2) in &sources {
@@ -165,8 +182,10 @@ fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("millstream micro-benchmark — parallel multi-component execution (ParallelExecutor)");
     println!(
-        "N disjoint filter→union components, {} tuples per component per run, best of {ROUNDS} interleaved rounds, {cores} core(s)\n",
-        2 * WAVES * WAVE_TUPLES
+        "N disjoint filter→union components, {} tuples per component per run, best of {} interleaved rounds, {cores} core(s){}\n",
+        2 * waves() * WAVE_TUPLES,
+        rounds(),
+        if quick_mode() { " (quick mode)" } else { "" }
     );
 
     // Warm up the allocator, caches and thread spawning before timing.
@@ -176,7 +195,7 @@ fn main() {
     let ns = [1usize, 2, 4];
     let mut serial: Vec<RunResult> = ns.iter().map(|&n| run_serial(n)).collect();
     let mut parallel: Vec<RunResult> = ns.iter().map(|&n| run_parallel(n, n)).collect();
-    for _ in 1..ROUNDS {
+    for _ in 1..rounds() {
         for (i, &n) in ns.iter().enumerate() {
             let s = run_serial(n);
             if s.secs < serial[i].secs {
@@ -233,9 +252,11 @@ fn main() {
     let summary = Json::obj([
         (
             "tuples_per_component",
-            Json::Num((2 * WAVES * WAVE_TUPLES) as f64),
+            Json::Num((2 * waves() * WAVE_TUPLES) as f64),
         ),
         ("host_cores", Json::Num(cores as f64)),
+        ("quick", Json::Bool(quick_mode())),
+        ("speedup_assert_enforced", Json::Bool(cores >= 4)),
         ("rows", Json::Arr(json_rows)),
     ]);
     write_results("micro_components", summary.clone());

@@ -1,0 +1,73 @@
+//! Heap-allocation counting for the zero-allocation hot-path benchmarks.
+//!
+//! [`CountingAllocator`] wraps the system allocator and counts every
+//! allocating call (`alloc`, `alloc_zeroed`, `realloc`) in a relaxed
+//! atomic. The counter is process-global: registering the allocator with
+//! `#[global_allocator]` makes [`allocations`] a precise census of heap
+//! traffic, which `micro_alloc` samples around a steady-state window to
+//! report *allocations per delivered tuple*.
+//!
+//! Registration is feature-gated (`count-alloc`): the type is always
+//! compiled, but the `#[global_allocator]` item in `lib.rs` only exists
+//! when the feature is enabled, so ordinary builds keep the plain system
+//! allocator. [`counting`] reports at runtime whether the gate is on —
+//! harnesses that need real numbers assert it instead of silently
+//! reporting zeros.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A `GlobalAlloc` that forwards to [`System`] and counts allocating calls.
+pub struct CountingAllocator;
+
+// SAFETY: forwards every call unchanged to the system allocator; the only
+// addition is a relaxed counter increment, which cannot allocate.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc may move (and therefore allocate); count it as one.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocating calls since process start (0 unless the `count-alloc`
+/// feature registered [`CountingAllocator`] as the global allocator).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// True iff this build registered the counting allocator.
+pub fn counting() -> bool {
+    cfg!(feature = "count-alloc")
+}
+
+#[cfg(all(test, feature = "count-alloc"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_heap_allocations() {
+        let before = allocations();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        let after = allocations();
+        assert!(after > before, "Vec::with_capacity must be counted");
+        drop(v);
+        assert!(counting());
+    }
+}

@@ -12,6 +12,15 @@
 //! paper's Fig. 8(b) shows the memory cost of *not* bounding punctuation at
 //! high heartbeat rates; coalescing is the corresponding engineering fix and
 //! is evaluated by the `ablation_coalescing` bench.
+//!
+//! Steady-state allocation discipline: the backing `VecDeque` never
+//! shrinks, so push/pop cycles stop touching the allocator once a buffer
+//! has seen its high-water occupancy. Bulk consumption composes with
+//! that: [`Buffer::drain_front`] hands out a block (`Vec<Tuple>`) from a
+//! small per-buffer pool and [`Buffer::recycle`] returns it, so repeated
+//! drain/refill cycles reuse the same capacity instead of allocating a
+//! fresh vector per batch. Shared occupancy accounting is batched the
+//! same way — one tracker update per batch, not per tuple.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -74,6 +83,23 @@ pub struct Buffer {
     pushed: u64,
     popped: u64,
     dropped: u64,
+    /// Recycled drain blocks: cleared vectors whose capacity is reused by
+    /// the next [`Buffer::drain_front`] instead of allocating afresh.
+    pool: Vec<Vec<Tuple>>,
+}
+
+/// Blocks retained per buffer for drain reuse. One is enough for the
+/// drain→consume→recycle cycle of a single consumer; a little slack
+/// covers nested drains during teardown.
+const POOL_BLOCKS: usize = 4;
+
+/// Tracker deltas accumulated across one push batch and applied in a
+/// single [`OccupancyTracker`] update per counter.
+#[derive(Default)]
+struct PendingEnqueues {
+    data: usize,
+    punct: usize,
+    coalesced: u64,
 }
 
 impl Buffer {
@@ -92,6 +118,7 @@ impl Buffer {
             pushed: 0,
             popped: 0,
             dropped: 0,
+            pool: Vec::new(),
         }
     }
 
@@ -107,13 +134,7 @@ impl Buffer {
     /// partitioned into components and each sub-graph gets a private
     /// tracker.
     pub fn set_tracker(&mut self, tracker: Arc<OccupancyTracker>) {
-        let punct_count = self.queue.len() - self.data_count;
-        for _ in 0..self.data_count {
-            tracker.on_enqueue(false);
-        }
-        for _ in 0..punct_count {
-            tracker.on_enqueue(true);
-        }
+        tracker.on_enqueue_batch(self.data_count, self.queue.len() - self.data_count);
         self.tracker = Some(tracker);
     }
 
@@ -198,7 +219,17 @@ impl Buffer {
 
     /// Appends a tuple at the production end, enforcing stream order and
     /// applying the punctuation policy.
-    pub fn push(&mut self, mut tuple: Tuple) -> Result<()> {
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        let mut pending = PendingEnqueues::default();
+        let result = self.push_inner(tuple, &mut pending);
+        self.flush_enqueues(pending);
+        result
+    }
+
+    /// The push logic minus tracker traffic: order/punctuation policy,
+    /// high-water and queue updates, with the tracker deltas accumulated
+    /// into `pending` for the caller to flush in one batch.
+    fn push_inner(&mut self, mut tuple: Tuple, pending: &mut PendingEnqueues) -> Result<()> {
         if let Some(hw) = self.high_water {
             if tuple.ts < hw {
                 if let Some(s) = &self.sentinel {
@@ -256,39 +287,56 @@ impl Buffer {
                 if tail.is_punctuation() {
                     // The newer ETS subsumes the older one.
                     *tail = tuple;
-                    if let Some(t) = &self.tracker {
-                        t.on_coalesce();
-                    }
+                    pending.coalesced += 1;
                     return Ok(());
                 }
             }
         }
 
-        if let Some(t) = &self.tracker {
-            t.on_enqueue(tuple.is_punctuation());
-        }
         if tuple.is_data() {
             self.data_count += 1;
+            pending.data += 1;
+        } else {
+            pending.punct += 1;
         }
         self.pushed += 1;
         self.queue.push_back(tuple);
         Ok(())
     }
 
+    /// Applies accumulated enqueue deltas to the shared tracker: one
+    /// update per counter per batch, instead of per tuple. Occupancy only
+    /// grows within a push batch, so the batched peak equals the
+    /// per-tuple peak (see `OccupancyTracker::on_enqueue_batch`).
+    fn flush_enqueues(&self, pending: PendingEnqueues) {
+        if let Some(t) = &self.tracker {
+            t.on_enqueue_batch(pending.data, pending.punct);
+            t.on_coalesce_batch(pending.coalesced);
+        }
+    }
+
     /// Appends a run of tuples at the production end, applying the same
     /// order and punctuation policies as [`Buffer::push`]. Returns the
     /// number of tuples accepted (coalesced punctuation counts as
     /// accepted). On an ordering error, tuples already accepted stay
-    /// queued — exactly as if they had been pushed one by one.
+    /// queued — exactly as if they had been pushed one by one. The shared
+    /// occupancy tracker is updated once for the whole batch.
     pub fn push_batch<I>(&mut self, tuples: I) -> Result<usize>
     where
         I: IntoIterator<Item = Tuple>,
     {
         let mut accepted = 0;
+        let mut pending = PendingEnqueues::default();
         for tuple in tuples {
-            self.push(tuple)?;
+            if let Err(e) = self.push_inner(tuple, &mut pending) {
+                // Tuples accepted before the error stay queued, so their
+                // tracker deltas must land too.
+                self.flush_enqueues(pending);
+                return Err(e);
+            }
             accepted += 1;
         }
+        self.flush_enqueues(pending);
         Ok(accepted)
     }
 
@@ -306,30 +354,63 @@ impl Buffer {
     }
 
     /// Removes and returns up to `n` tuples from the consumption end,
-    /// preserving FIFO order (tracker-aware, like [`Buffer::pop`]).
+    /// preserving FIFO order, with the same accounting as [`Buffer::pop`]
+    /// applied once for the whole batch. The returned block comes from
+    /// this buffer's recycle pool when one is available — pass it back
+    /// via [`Buffer::recycle`] after consuming it and steady-state
+    /// drain/refill cycles never touch the allocator.
     pub fn drain_front(&mut self, n: usize) -> Vec<Tuple> {
         let take = n.min(self.queue.len());
-        let mut out = Vec::with_capacity(take);
-        for _ in 0..take {
-            out.push(self.pop().expect("length checked"));
+        let mut out = self.pool.pop().unwrap_or_default();
+        out.reserve(take);
+        let mut data = 0usize;
+        for tuple in self.queue.drain(..take) {
+            if tuple.is_data() {
+                data += 1;
+            }
+            out.push(tuple);
         }
+        if let Some(t) = &self.tracker {
+            t.on_dequeue_batch(data, take - data);
+        }
+        self.data_count -= data;
+        self.popped += take as u64;
         out
+    }
+
+    /// Returns a consumed drain block to the buffer's pool. The block is
+    /// cleared; its capacity is reused by the next [`Buffer::drain_front`].
+    /// At most a handful of blocks are retained — surplus blocks are
+    /// simply dropped — and recycling a block from a *different* buffer is
+    /// harmless (capacity is capacity).
+    pub fn recycle(&mut self, mut block: Vec<Tuple>) {
+        block.clear();
+        if block.capacity() > 0 && self.pool.len() < POOL_BLOCKS {
+            self.pool.push(block);
+        }
+    }
+
+    /// Number of recycled blocks currently pooled (diagnostic).
+    pub fn pooled_blocks(&self) -> usize {
+        self.pool.len()
     }
 
     /// Removes and drops up to `n` tuples from the consumption end without
     /// returning them. The bulk variant of [`Buffer::pop`] for fused
-    /// drop-runs: same accounting, one pass, no intermediate allocation.
-    /// Returns the number of tuples removed.
+    /// drop-runs: same accounting (one batched tracker update), one pass,
+    /// no intermediate allocation. Returns the number of tuples removed.
     pub fn discard_front(&mut self, n: usize) -> usize {
         let take = n.min(self.queue.len());
+        let mut data = 0usize;
         for tuple in self.queue.drain(..take) {
-            if let Some(t) = &self.tracker {
-                t.on_dequeue(tuple.is_punctuation());
-            }
             if tuple.is_data() {
-                self.data_count -= 1;
+                data += 1;
             }
         }
+        if let Some(t) = &self.tracker {
+            t.on_dequeue_batch(data, take - data);
+        }
+        self.data_count -= data;
         self.popped += take as u64;
         take
     }
@@ -339,9 +420,17 @@ impl Buffer {
         self.queue.iter()
     }
 
-    /// Removes every queued tuple (tracker-aware). Used on teardown.
+    /// Removes every queued tuple (tracker-aware, batched). Used on
+    /// teardown.
     pub fn clear(&mut self) {
-        while self.pop().is_some() {}
+        let take = self.queue.len();
+        let data = self.data_count;
+        self.queue.clear();
+        if let Some(t) = &self.tracker {
+            t.on_dequeue_batch(data, take - data);
+        }
+        self.data_count = 0;
+        self.popped += take as u64;
     }
 }
 
@@ -533,6 +622,72 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.data_len(), 0);
         assert_eq!(tracker.total(), 0);
+    }
+
+    #[test]
+    fn recycled_blocks_are_reused_by_drain_front() {
+        let mut b = Buffer::new("t");
+        b.push_batch((1..=8).map(data)).unwrap();
+        let block = b.drain_front(4);
+        let cap = block.capacity();
+        let ptr = block.as_ptr();
+        b.recycle(block);
+        assert_eq!(b.pooled_blocks(), 1);
+        let reused = b.drain_front(4);
+        assert_eq!(b.pooled_blocks(), 0, "drain takes the pooled block");
+        assert_eq!(reused.as_ptr(), ptr, "same backing storage came back");
+        assert!(reused.capacity() >= cap);
+        let ts: Vec<u64> = reused.iter().map(|t| t.ts.as_micros()).collect();
+        assert_eq!(ts, vec![5, 6, 7, 8]);
+        // Zero-capacity blocks are not worth pooling; the pool is bounded.
+        b.recycle(Vec::new());
+        assert_eq!(b.pooled_blocks(), 0);
+        for _ in 0..10 {
+            b.recycle(Vec::with_capacity(4));
+        }
+        assert!(b.pooled_blocks() <= 4, "pool stays bounded");
+    }
+
+    #[test]
+    fn batched_tracker_accounting_matches_per_tuple_path() {
+        // The bulk paths (push_batch / drain_front / discard_front / clear)
+        // update the shared tracker once per batch. This must be
+        // observationally identical — including the peak — to a buffer
+        // driven one tuple at a time through push/pop.
+        let bulk_t = OccupancyTracker::shared();
+        let unit_t = OccupancyTracker::shared();
+        let mut bulk = Buffer::new("bulk").with_tracker(bulk_t.clone());
+        let mut unit = Buffer::new("unit").with_tracker(unit_t.clone());
+
+        let wave = || {
+            let mut w: Vec<Tuple> = (1..=6).map(data).collect();
+            w.push(Tuple::punctuation(Timestamp::from_micros(7)));
+            w
+        };
+        bulk.push_batch(wave()).unwrap();
+        for t in wave() {
+            unit.push(t).unwrap();
+        }
+        let block = bulk.drain_front(5);
+        bulk.recycle(block);
+        for _ in 0..5 {
+            unit.pop();
+        }
+        bulk.push_batch((8..=9).map(data)).unwrap();
+        for t in (8..=9).map(data) {
+            unit.push(t).unwrap();
+        }
+        bulk.clear();
+        unit.clear();
+
+        for (b, t) in [(&bulk, &bulk_t), (&unit, &unit_t)] {
+            assert_eq!(t.total(), 0);
+            assert_eq!(t.peak(), 7, "peak must match the per-tuple path");
+            assert_eq!(t.enqueued(), 9);
+            assert_eq!(t.punctuation_enqueued(), 1);
+            assert_eq!(b.pushed(), 9);
+            assert_eq!(b.popped(), 9);
+        }
     }
 
     #[test]

@@ -24,4 +24,4 @@ mod tsm;
 pub use fifo::{Buffer, OrderPolicy, PunctuationPolicy};
 pub use occupancy::OccupancyTracker;
 pub use sentinel::{CheckMode, OrderSentinel, SentinelStats};
-pub use tsm::{TsmBank, TsmRegister};
+pub use tsm::{StarveList, TsmBank, TsmRegister};

@@ -56,6 +56,54 @@ impl OccupancyTracker {
         }
     }
 
+    /// Records a whole batch of enqueues in one update per counter.
+    ///
+    /// Equivalent to `data + punct` calls to [`OccupancyTracker::on_enqueue`]
+    /// with no interleaved dequeues — which is exactly the situation inside
+    /// `Buffer::push_batch`. Occupancy only grows during the batch, so the
+    /// post-batch total *is* the running maximum and one `fetch_max`
+    /// observes the same peak the per-tuple updates would have.
+    pub fn on_enqueue_batch(&self, data: usize, punct: usize) {
+        let n = data + punct;
+        if n == 0 {
+            return;
+        }
+        let t = self.total.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(t, Ordering::Relaxed);
+        self.enqueued.fetch_add(n as u64, Ordering::Relaxed);
+        if punct > 0 {
+            self.punct_total.fetch_add(punct, Ordering::Relaxed);
+            self.punct_enqueued
+                .fetch_add(punct as u64, Ordering::Relaxed);
+        }
+        if data > 0 {
+            self.data_total.fetch_add(data, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a whole batch of dequeues in one update per counter.
+    /// Dequeues never move the peak, so this is exactly `data + punct`
+    /// calls to [`OccupancyTracker::on_dequeue`].
+    pub fn on_dequeue_batch(&self, data: usize, punct: usize) {
+        if data + punct == 0 {
+            return;
+        }
+        saturating_sub(&self.total, data + punct);
+        if punct > 0 {
+            saturating_sub(&self.punct_total, punct);
+        }
+        if data > 0 {
+            saturating_sub(&self.data_total, data);
+        }
+    }
+
+    /// Records `n` coalesced punctuation tuples.
+    pub fn on_coalesce_batch(&self, n: u64) {
+        if n > 0 {
+            self.coalesced.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Records a punctuation tuple that was merged into the buffer tail
     /// instead of occupying a new slot.
     pub fn on_coalesce(&self) {
@@ -108,6 +156,13 @@ impl OccupancyTracker {
 /// Decrements an unsigned counter without wrapping below zero.
 fn saturating_dec(counter: &AtomicUsize) {
     let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+}
+
+/// Subtracts `n` from an unsigned counter, clamping at zero.
+fn saturating_sub(counter: &AtomicUsize, n: usize) {
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_sub(n))
+    });
 }
 
 #[cfg(test)]
@@ -171,6 +226,61 @@ mod tests {
         t.on_coalesce();
         assert_eq!(t.coalesced(), 2);
         assert_eq!(t.total(), 0, "coalescing does not change occupancy");
+    }
+
+    #[test]
+    fn batched_updates_match_per_tuple_updates() {
+        // The same traffic applied per-tuple and as batches must agree on
+        // every counter, including the peak (occupancy is monotone within
+        // an enqueue batch, so the post-batch fetch_max sees the same
+        // high-water mark the per-tuple updates would).
+        let per_tuple = OccupancyTracker::default();
+        let batched = OccupancyTracker::default();
+
+        for _ in 0..7 {
+            per_tuple.on_enqueue(false);
+        }
+        for _ in 0..3 {
+            per_tuple.on_enqueue(true);
+        }
+        batched.on_enqueue_batch(7, 3);
+
+        for _ in 0..5 {
+            per_tuple.on_dequeue(false);
+        }
+        per_tuple.on_dequeue(true);
+        batched.on_dequeue_batch(5, 1);
+
+        // A second, smaller wave: the peak must stay at the first wave's.
+        for _ in 0..2 {
+            per_tuple.on_enqueue(false);
+        }
+        batched.on_enqueue_batch(2, 0);
+
+        for t in [&per_tuple, &batched] {
+            assert_eq!(t.total(), 6);
+            assert_eq!(t.data_total(), 4);
+            assert_eq!(t.punctuation_total(), 2);
+            assert_eq!(t.peak(), 10);
+            assert_eq!(t.enqueued(), 12);
+            assert_eq!(t.punctuation_enqueued(), 3);
+        }
+    }
+
+    #[test]
+    fn batch_dequeue_saturates_at_zero() {
+        let t = OccupancyTracker::default();
+        t.on_enqueue_batch(2, 0);
+        t.on_dequeue_batch(5, 3);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.data_total(), 0);
+        assert_eq!(t.punctuation_total(), 0);
+        // Empty batches are free no-ops.
+        t.on_enqueue_batch(0, 0);
+        t.on_coalesce_batch(0);
+        assert_eq!(t.enqueued(), 2);
+        t.on_coalesce_batch(2);
+        assert_eq!(t.coalesced(), 2);
     }
 
     #[test]

@@ -10,6 +10,113 @@
 
 use millstream_types::Timestamp;
 
+/// Fan-in up to which a [`StarveList`] stays on the stack. Matches the
+/// executor's inline port limit; wider unions spill to a heap `Vec`.
+const STARVE_INLINE: usize = 8;
+
+/// The input indices that bound an IWP operator's progress — the result of
+/// [`TsmBank::argmin`] and the payload of a starved poll. Polling happens
+/// on every scheduling decision, so the list stores up to
+/// [`STARVE_INLINE`] indices inline and never allocates for realistic
+/// fan-ins. Dereferences to `&[usize]` in construction order.
+#[derive(Clone, Debug)]
+pub struct StarveList(ListRepr);
+
+#[derive(Clone, Debug)]
+enum ListRepr {
+    Inline {
+        len: u8,
+        idx: [usize; STARVE_INLINE],
+    },
+    Heap(Vec<usize>),
+}
+
+impl StarveList {
+    /// An empty list.
+    pub fn new() -> StarveList {
+        StarveList(ListRepr::Inline {
+            len: 0,
+            idx: [0; STARVE_INLINE],
+        })
+    }
+
+    /// A single-element list (the common starved-on-one-input case).
+    pub fn one(input: usize) -> StarveList {
+        let mut l = StarveList::new();
+        l.push(input);
+        l
+    }
+
+    /// Appends an input index, spilling to the heap past the inline cap.
+    pub fn push(&mut self, input: usize) {
+        match &mut self.0 {
+            ListRepr::Inline { len, idx } => {
+                if (*len as usize) < STARVE_INLINE {
+                    idx[*len as usize] = input;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(STARVE_INLINE * 2);
+                    v.extend_from_slice(&idx[..]);
+                    v.push(input);
+                    self.0 = ListRepr::Heap(v);
+                }
+            }
+            ListRepr::Heap(v) => v.push(input),
+        }
+    }
+}
+
+impl Default for StarveList {
+    fn default() -> Self {
+        StarveList::new()
+    }
+}
+
+impl std::ops::Deref for StarveList {
+    type Target = [usize];
+
+    #[inline]
+    fn deref(&self) -> &[usize] {
+        match &self.0 {
+            ListRepr::Inline { len, idx } => &idx[..*len as usize],
+            ListRepr::Heap(v) => v,
+        }
+    }
+}
+
+impl FromIterator<usize> for StarveList {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> StarveList {
+        let mut l = StarveList::new();
+        for i in iter {
+            l.push(i);
+        }
+        l
+    }
+}
+
+impl PartialEq for StarveList {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for StarveList {}
+
+impl PartialEq<Vec<usize>> for StarveList {
+    fn eq(&self, other: &Vec<usize>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<'a> IntoIterator for &'a StarveList {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// A single Time-Stamp Memory register.
 ///
 /// Starts unset; an IWP operator whose input has never delivered a tuple
@@ -94,8 +201,9 @@ impl TsmBank {
 
     /// The inputs whose register currently holds the minimum τ. These are
     /// the inputs that bound progress: when they are empty, backtracking
-    /// should walk toward their predecessors.
-    pub fn argmin(&self) -> Vec<usize> {
+    /// should walk toward their predecessors. Allocation-free for fan-ins
+    /// up to [`STARVE_INLINE`].
+    pub fn argmin(&self) -> StarveList {
         match self.min_tau() {
             None => {
                 // Unset registers bound progress; report them.

@@ -53,7 +53,7 @@ pub struct QueryRunner {
 /// The execution backend behind a [`QueryRunner`].
 enum Engine {
     /// The single-threaded depth-first NOS executor.
-    Serial(Executor),
+    Serial(Box<Executor>),
     /// One worker thread per query-graph component (`msq --workers N`).
     /// The plan DOT is rendered before partitioning (the whole graph).
     Parallel {
@@ -94,7 +94,7 @@ impl QueryRunner {
             EtsPolicy::None,
         );
         Ok(QueryRunner {
-            engine: Engine::Serial(executor),
+            engine: Engine::Serial(Box::new(executor)),
             sources: planned.sources,
             output,
             output_schema: planned.output_schema,

@@ -33,7 +33,7 @@ use std::sync::Arc;
 
 use millstream_buffer::{Buffer, CheckMode, SentinelStats};
 use millstream_metrics::IdleTracker;
-use millstream_ops::{BatchOutcome, OpContext, Poll, StepOutcome};
+use millstream_ops::{BatchOutcome, OpContext, Operator, Poll, StepOutcome};
 use millstream_types::{Error, Result, Timestamp, Tuple};
 
 use crate::clock::{CostModel, VirtualClock};
@@ -166,6 +166,11 @@ pub struct Executor {
     /// Optional ring buffer of recent activities (diagnostics).
     trace: Option<std::collections::VecDeque<(Timestamp, Activity)>>,
     trace_capacity: usize,
+    /// Scratch storage reused across backtracks so the steady-state
+    /// scheduling loop never allocates: the DFS stack over predecessor
+    /// chains and the visited set guarding multi-sink hand-offs.
+    bt_stack: Vec<Pred>,
+    bt_visited: std::collections::HashSet<NodeId>,
 }
 
 impl Executor {
@@ -208,6 +213,8 @@ impl Executor {
             last_clock,
             trace: None,
             trace_capacity: 0,
+            bt_stack: Vec::new(),
+            bt_visited: std::collections::HashSet::new(),
         }
     }
 
@@ -519,9 +526,14 @@ impl Executor {
                 })
             }
             Poll::Starved { starving } => {
-                let mut visited = std::collections::HashSet::new();
+                // Reuse the visited set across steps; its capacity sticks,
+                // so steady-state backtracking never allocates.
+                let mut visited = std::mem::take(&mut self.bt_visited);
+                visited.clear();
                 visited.insert(node);
-                let activity = self.backtrack(node, &starving, &mut visited)?;
+                let activity = self.backtrack(node, &starving, &mut visited);
+                self.bt_visited = visited;
+                let activity = activity?;
                 self.refresh_idle();
                 Ok(activity)
             }
@@ -667,11 +679,26 @@ impl Executor {
     /// Round-robin variant of backtracking: identical source/ETS handling,
     /// but a runnable predecessor is simply left for the next rotation.
     fn backtrack_rr(&mut self, from: NodeId, starving: &[usize]) -> Result<Activity> {
-        let mut stack: Vec<Pred> = starving
-            .iter()
-            .rev()
-            .map(|&j| self.graph.ops[from.0].preds[j])
-            .collect();
+        let mut stack = std::mem::take(&mut self.bt_stack);
+        let result = self.backtrack_rr_with(from, starving, &mut stack);
+        stack.clear();
+        self.bt_stack = stack;
+        result
+    }
+
+    fn backtrack_rr_with(
+        &mut self,
+        from: NodeId,
+        starving: &[usize],
+        stack: &mut Vec<Pred>,
+    ) -> Result<Activity> {
+        stack.clear();
+        stack.extend(
+            starving
+                .iter()
+                .rev()
+                .map(|&j| self.graph.ops[from.0].preds[j]),
+        );
         while let Some(pred) = stack.pop() {
             self.stats.backtracks += 1;
             self.clock.advance(self.cost.backtrack);
@@ -766,12 +793,28 @@ impl Executor {
         starving: &[usize],
         visited: &mut std::collections::HashSet<NodeId>,
     ) -> Result<Activity> {
+        let mut stack = std::mem::take(&mut self.bt_stack);
+        let result = self.backtrack_with(from, starving, visited, &mut stack);
+        stack.clear();
+        self.bt_stack = stack;
+        result
+    }
+
+    fn backtrack_with(
+        &mut self,
+        from: NodeId,
+        starving: &[usize],
+        visited: &mut std::collections::HashSet<NodeId>,
+        stack: &mut Vec<Pred>,
+    ) -> Result<Activity> {
         // Depth-first over the predecessor chains of the starving inputs.
-        let mut stack: Vec<Pred> = starving
-            .iter()
-            .rev()
-            .map(|&j| self.graph.ops[from.0].preds[j])
-            .collect();
+        stack.clear();
+        stack.extend(
+            starving
+                .iter()
+                .rev()
+                .map(|&j| self.graph.ops[from.0].preds[j]),
+        );
         // The graph is a DAG with single-consumer buffers, so each pred is
         // visited at most once per backtrack; no visited-set needed.
         while let Some(pred) = stack.pop() {
@@ -862,7 +905,7 @@ impl Executor {
                         Poll::Ready => return Ok(Activity::Quiescent),
                     }
                 };
-                self.backtrack(n, &starving, visited)
+                self.backtrack_with(n, &starving, visited, stack)
             }
             None => {
                 self.current = None;
@@ -908,6 +951,56 @@ impl Executor {
     }
 }
 
+/// Per-side port count up to which scratch contexts marshal buffer
+/// references on the stack. Wider nodes (rare — a fan-in/fan-out beyond 8)
+/// fall back to a heap `Vec`.
+const MAX_INLINE_PORTS: usize = 8;
+
+/// Builds the scratch [`OpContext`] for `node` and hands it, together with
+/// the operator, to `f`. Every scheduling decision (poll, step, batch)
+/// funnels through here, so the marshalling must not allocate: buffer
+/// references land in stack arrays for the common port counts.
+fn with_node_ctx<R>(
+    ops: &mut [OpNode],
+    buffers: &[RefCell<Buffer>],
+    node: NodeId,
+    now: Timestamp,
+    f: impl FnOnce(&mut dyn Operator, &OpContext<'_>) -> R,
+) -> R {
+    let n = &mut ops[node.0];
+    let Some(filler) = buffers.first() else {
+        // No buffers means the node has no ports at all.
+        let ctx = OpContext::new(&[], &[], now);
+        return f(n.op.as_mut(), &ctx);
+    };
+    // Unused slots keep the filler reference and are never read: the
+    // context only sees the `..len` prefix of each array.
+    let mut in_arr = [filler; MAX_INLINE_PORTS];
+    let mut out_arr = [filler; MAX_INLINE_PORTS];
+    let in_heap: Vec<&RefCell<Buffer>>;
+    let out_heap: Vec<&RefCell<Buffer>>;
+    let inputs: &[&RefCell<Buffer>] = if n.inputs.len() <= MAX_INLINE_PORTS {
+        for (slot, b) in in_arr.iter_mut().zip(&n.inputs) {
+            *slot = &buffers[b.0];
+        }
+        &in_arr[..n.inputs.len()]
+    } else {
+        in_heap = n.inputs.iter().map(|b| &buffers[b.0]).collect();
+        &in_heap
+    };
+    let outputs: &[&RefCell<Buffer>] = if n.outputs.len() <= MAX_INLINE_PORTS {
+        for (slot, b) in out_arr.iter_mut().zip(&n.outputs) {
+            *slot = &buffers[b.0];
+        }
+        &out_arr[..n.outputs.len()]
+    } else {
+        out_heap = n.outputs.iter().map(|b| &buffers[b.0]).collect();
+        &out_heap
+    };
+    let ctx = OpContext::new(inputs, outputs, now);
+    f(n.op.as_mut(), &ctx)
+}
+
 /// Polls a node's `more` condition with a scratch context.
 fn poll_node(
     ops: &mut [OpNode],
@@ -915,11 +1008,7 @@ fn poll_node(
     node: NodeId,
     now: Timestamp,
 ) -> Poll {
-    let n = &mut ops[node.0];
-    let inputs: Vec<&RefCell<Buffer>> = n.inputs.iter().map(|b| &buffers[b.0]).collect();
-    let outputs: Vec<&RefCell<Buffer>> = n.outputs.iter().map(|b| &buffers[b.0]).collect();
-    let ctx = OpContext::new(&inputs, &outputs, now);
-    n.op.poll(&ctx)
+    with_node_ctx(ops, buffers, node, now, |op, ctx| op.poll(ctx))
 }
 
 /// Executes one step of a node.
@@ -929,11 +1018,7 @@ fn exec_node(
     node: NodeId,
     now: Timestamp,
 ) -> Result<StepOutcome> {
-    let n = &mut ops[node.0];
-    let inputs: Vec<&RefCell<Buffer>> = n.inputs.iter().map(|b| &buffers[b.0]).collect();
-    let outputs: Vec<&RefCell<Buffer>> = n.outputs.iter().map(|b| &buffers[b.0]).collect();
-    let ctx = OpContext::new(&inputs, &outputs, now);
-    n.op.step(&ctx)
+    with_node_ctx(ops, buffers, node, now, |op, ctx| op.step(ctx))
 }
 
 /// Executes up to `max_steps` fused Encore steps of a node.
@@ -944,11 +1029,9 @@ fn exec_node_batch(
     now: Timestamp,
     max_steps: usize,
 ) -> Result<BatchOutcome> {
-    let n = &mut ops[node.0];
-    let inputs: Vec<&RefCell<Buffer>> = n.inputs.iter().map(|b| &buffers[b.0]).collect();
-    let outputs: Vec<&RefCell<Buffer>> = n.outputs.iter().map(|b| &buffers[b.0]).collect();
-    let ctx = OpContext::new(&inputs, &outputs, now);
-    n.op.step_batch(&ctx, max_steps)
+    with_node_ctx(ops, buffers, node, now, |op, ctx| {
+        op.step_batch(ctx, max_steps)
+    })
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 
 use millstream_types::{
-    DataType, Error, Expr, Field, Result, Schema, TimeDelta, Timestamp, Tuple, Value,
+    DataType, Error, Expr, Field, Result, Row, Schema, TimeDelta, Timestamp, Tuple, Value,
 };
 
 use crate::context::{OpContext, Operator, Poll, StepOutcome};
@@ -183,8 +183,9 @@ pub struct WindowAggregate {
     schema: Schema,
     /// Start of the currently open window, set by the first tuple.
     window_start: Option<Timestamp>,
-    /// Group key → per-aggregate running states.
-    groups: BTreeMap<Vec<Value>, Vec<AggState>>,
+    /// Group key → per-aggregate running states. Keys are [`Row`]s so
+    /// narrow group keys are built and looked up without heap allocation.
+    groups: BTreeMap<Row, Vec<AggState>>,
     windows_flushed: u64,
 }
 
@@ -251,13 +252,13 @@ impl WindowAggregate {
             }
             let groups = std::mem::take(&mut self.groups);
             for (key, states) in groups {
-                let mut row = Vec::with_capacity(1 + key.len() + states.len());
+                let mut row = Row::builder(1 + key.len() + states.len());
                 row.push(Value::Int(start.as_micros() as i64));
-                row.extend(key);
+                row.extend_from_slice(&key);
                 for s in states {
                     row.push(s.finish());
                 }
-                ctx.output_mut(0).push(Tuple::data(end, row))?;
+                ctx.output_mut(0).push(Tuple::data(end, row.finish()))?;
                 produced += 1;
             }
             self.windows_flushed += 1;
@@ -328,13 +329,13 @@ impl Operator for WindowAggregate {
                 produced += 1;
             }
             Some(row) => {
-                let mut key = Vec::with_capacity(self.group_by.len());
+                let mut key = Row::builder(self.group_by.len());
                 for g in &self.group_by {
                     key.push(g.eval(row)?);
                 }
                 let states = self
                     .groups
-                    .entry(key)
+                    .entry(key.finish())
                     .or_insert_with(|| self.aggs.iter().map(|a| AggState::new(a.func)).collect());
                 for (state, agg) in states.iter_mut().zip(self.aggs.iter()) {
                     let v = match agg.func {

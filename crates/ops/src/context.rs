@@ -101,8 +101,10 @@ pub enum Poll {
     /// or inputs never yet seen). The scheduler backtracks toward the
     /// predecessor feeding the first starving input (paper §3.2).
     Starved {
-        /// Input indices that bound progress; never empty.
-        starving: Vec<usize>,
+        /// Input indices that bound progress; never empty. Inline storage:
+        /// polling is a per-scheduling-decision operation and must not
+        /// allocate.
+        starving: millstream_buffer::StarveList,
     },
 }
 
@@ -115,7 +117,7 @@ impl Poll {
     /// Convenience constructor for a single starving input.
     pub fn starved_on(input: usize) -> Poll {
         Poll::Starved {
-            starving: vec![input],
+            starving: millstream_buffer::StarveList::one(input),
         }
     }
 }
@@ -302,7 +304,7 @@ mod tests {
         assert!(Poll::Ready.is_ready());
         let p = Poll::starved_on(2);
         assert!(!p.is_ready());
-        assert_eq!(p, Poll::Starved { starving: vec![2] });
+        assert_eq!(p, Poll::starved_on(2));
     }
 
     #[test]

@@ -159,10 +159,12 @@ impl WindowJoin {
             }
         }
         if let Some(residual) = &self.spec.residual {
-            let mut row = Vec::with_capacity(a.width() + b.width());
+            // Scratch row for the predicate only; stays on the stack for
+            // narrow join widths.
+            let mut row = millstream_types::Row::builder(a.width() + b.width());
             row.extend_from_slice(a.values_expect());
             row.extend_from_slice(b.values_expect());
-            if !residual.eval_predicate(&row)? {
+            if !residual.eval_predicate(&row.finish())? {
                 return Ok(false);
             }
         }

@@ -14,7 +14,7 @@
 use std::collections::VecDeque;
 
 use millstream_buffer::TsmBank;
-use millstream_types::{Expr, Result, Schema, TimeDelta, Timestamp, Tuple};
+use millstream_types::{Expr, Result, Row, Schema, TimeDelta, Timestamp, Tuple};
 
 use crate::context::{OpContext, Operator, Poll, StepOutcome};
 
@@ -139,7 +139,7 @@ impl MultiWindowJoin {
             // Assemble the concatenated row.
             self.probes += 1;
             let width = self.schema.len();
-            let mut row = Vec::with_capacity(width);
+            let mut builder = Row::builder(width);
             // Indexing is deliberate: slot `probe_input` comes from `probe`,
             // the rest from `partial`.
             #[allow(clippy::needless_range_loop)]
@@ -149,8 +149,9 @@ impl MultiWindowJoin {
                 } else {
                     partial[i].as_ref().expect("combination slot filled")
                 };
-                row.extend_from_slice(t.values_expect());
+                builder.extend_from_slice(t.values_expect());
             }
+            let row = builder.finish();
             let ok = match &self.condition {
                 None => true,
                 Some(c) => c.eval_predicate(&row)?,
@@ -451,7 +452,7 @@ mod tests {
         let inputs: Vec<&RefCell<Buffer>> = rig.bufs.iter().collect();
         let outputs = [&rig.out];
         let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
-        assert_eq!(j.poll(&ctx), Poll::Starved { starving: vec![2] });
+        assert_eq!(j.poll(&ctx), Poll::starved_on(2));
     }
 
     #[test]

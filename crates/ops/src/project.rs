@@ -6,7 +6,7 @@
 //! is the paper's example of "possible reformatting": a punctuation tuple
 //! has no row, so reformatting is the identity.
 
-use millstream_types::{Expr, Result, Schema};
+use millstream_types::{Expr, Result, Row, Schema};
 
 use crate::context::{BatchOutcome, OpContext, Operator, Poll, StepOutcome};
 
@@ -73,11 +73,13 @@ impl Operator for Project {
                 Ok(StepOutcome::consumed_one(1))
             }
             Some(row) => {
-                let mut out = Vec::with_capacity(self.exprs.len());
+                // Build the output row in place: narrow projections never
+                // touch the heap, wide ones spill once inside the builder.
+                let mut out = Row::builder(self.exprs.len());
                 for e in &self.exprs {
                     out.push(e.eval(row)?);
                 }
-                ctx.output_mut(0).push(tuple.with_values(out))?;
+                ctx.output_mut(0).push(tuple.with_values(out.finish()))?;
                 Ok(StepOutcome::consumed_one(1))
             }
         }

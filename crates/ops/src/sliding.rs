@@ -16,13 +16,15 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use millstream_types::{
-    DataType, Error, Expr, Field, Result, Schema, TimeDelta, Timestamp, Tuple, Value,
+    DataType, Error, Expr, Field, Result, Row, Schema, TimeDelta, Timestamp, Tuple, Value,
 };
 
 use crate::aggregate::{AggExpr, AggFunc, AggState};
 use crate::context::{OpContext, Operator, Poll, StepOutcome};
 
-type Groups = BTreeMap<Vec<Value>, Vec<AggState>>;
+/// Keys are [`Row`]s so narrow group keys build and compare without
+/// touching the heap.
+type Groups = BTreeMap<Row, Vec<AggState>>;
 
 /// Pane-based sliding-window grouped aggregation.
 pub struct SlidingAggregate {
@@ -178,13 +180,14 @@ impl SlidingAggregate {
         }
         let mut produced = 0;
         for (key, states) in merged {
-            let mut row = Vec::with_capacity(1 + key.len() + states.len());
+            let mut row = Row::builder(1 + key.len() + states.len());
             row.push(Value::Int(from.as_micros() as i64));
-            row.extend(key);
+            row.extend_from_slice(&key);
             for s in states {
                 row.push(s.finish());
             }
-            ctx.output_mut(0).push(Tuple::data(boundary, row))?;
+            ctx.output_mut(0)
+                .push(Tuple::data(boundary, row.finish()))?;
             produced += 1;
         }
         self.windows_emitted += 1;
@@ -228,13 +231,13 @@ impl Operator for SlidingAggregate {
                 produced += 1;
             }
             Some(row) => {
-                let mut key = Vec::with_capacity(self.group_by.len());
+                let mut key = Row::builder(self.group_by.len());
                 for g in &self.group_by {
                     key.push(g.eval(row)?);
                 }
                 let states = self
                     .current
-                    .entry(key)
+                    .entry(key.finish())
                     .or_insert_with(|| self.aggs.iter().map(|a| AggState::new(a.func)).collect());
                 for (state, agg) in states.iter_mut().zip(self.aggs.iter()) {
                     let v = match agg.func {

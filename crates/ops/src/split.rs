@@ -4,7 +4,9 @@
 //! operator's output) feed multiple downstream plans. millstream models
 //! this with an explicit `Split` operator: each input tuple — data *and*
 //! punctuation, so ETS reaches every branch — is forwarded to all output
-//! ports. Tuple rows are reference-counted, so the copies share storage.
+//! ports. Copies are cheap either way the row is stored: narrow rows are
+//! inline (a copy is a short memcpy), wide rows are reference-counted and
+//! the copies share one allocation.
 //!
 //! Backtracking composes naturally: when any branch starves through the
 //! split, the walk continues to the split's predecessor, and a generated
@@ -70,7 +72,7 @@ impl Operator for Split {
             return Ok(StepOutcome::default());
         };
         for port in 0..self.outputs {
-            // Clones share the row allocation (Arc inside TupleBody).
+            // Clones never allocate: inline rows copy, wide rows share.
             ctx.output_mut(port).push(tuple.clone())?;
         }
         self.forwarded += 1;
@@ -123,16 +125,19 @@ mod tests {
     }
 
     #[test]
-    fn copies_share_row_storage() {
-        use millstream_types::TupleBody;
-        use std::sync::Arc;
+    fn copies_share_wide_row_storage() {
+        // Narrow rows are inline (copying them is cheaper than sharing);
+        // wide rows spill to shared storage, and fan-out copies must keep
+        // sharing that one allocation rather than deep-copying it.
+        use millstream_types::{TupleBody, INLINE_ROW_CAP};
         let mut s = Split::new("⋔", schema(), 2);
         let input = RefCell::new(Buffer::new("in"));
         let o1 = RefCell::new(Buffer::new("o1"));
         let o2 = RefCell::new(Buffer::new("o2"));
+        let wide: Vec<Value> = (0..=INLINE_ROW_CAP as i64).map(Value::Int).collect();
         input
             .borrow_mut()
-            .push(Tuple::data(Timestamp::from_micros(1), vec![Value::Int(7)]))
+            .push(Tuple::data(Timestamp::from_micros(1), wide))
             .unwrap();
         let inputs = [&input];
         let outputs = [&o1, &o2];
@@ -141,7 +146,11 @@ mod tests {
         let a = o1.borrow_mut().pop().unwrap();
         let b = o2.borrow_mut().pop().unwrap();
         if let (TupleBody::Data(x), TupleBody::Data(y)) = (&a.body, &b.body) {
-            assert!(Arc::ptr_eq(x, y), "fan-out must not deep-copy rows");
+            assert!(x.is_spilled(), "a 5-wide row must spill");
+            assert!(
+                x.shares_storage_with(y),
+                "fan-out must not deep-copy wide rows"
+            );
         } else {
             panic!("expected data tuples");
         }

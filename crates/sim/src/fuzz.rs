@@ -46,9 +46,10 @@ use millstream_exec::{
     CheckMode, CostModel, EtsPolicy, Executor, GraphBuilder, Input, ParallelConfig,
     ParallelExecutor, QueryGraph, SchedPolicy, SourceId, VirtualClock,
 };
-use millstream_ops::{Filter, LatePolicy, Reorder, Sink, SinkCollector, Union};
+use millstream_ops::{Filter, LatePolicy, Project, Reorder, Sink, SinkCollector, Union};
 use millstream_types::{
     DataType, Expr, Field, Schema, TimeDelta, Timestamp, TimestampKind, Tuple, Value,
+    INLINE_ROW_CAP,
 };
 
 /// Step budget per quiescence drain; hitting it means a livelock.
@@ -116,6 +117,10 @@ struct SrcSpec {
     exact: bool,
     /// Optional `col0 >= k` filter on this source's path.
     filter_min: Option<i64>,
+    /// Wide rows: the source carries `INLINE_ROW_CAP + 2` columns, so
+    /// every tuple uses `Row`'s spilled (shared-heap) representation all
+    /// the way to a `Project` that narrows it back to one inline column.
+    wide: bool,
     events: Vec<Ev>,
 }
 
@@ -205,6 +210,7 @@ fn gen_source(rng: &mut SplitMix64, unordered: bool) -> SrcSpec {
         clamp,
         exact,
         filter_min: rng.chance(1, 2).then(|| rng.below(12) as i64),
+        wide: false,
         events: with_hb,
     }
 }
@@ -224,7 +230,17 @@ fn gen_spec(seed: u64) -> FuzzSpec {
             CompSpec { sources }
         })
         .collect();
-    FuzzSpec { comps }
+    let mut spec = FuzzSpec { comps };
+    // Wide-row flags are drawn *after* every structural draw above, so
+    // the historic seed → graph/workload mapping — which the regression
+    // corpus under fuzz-corpus/ pins — is unchanged; wideness only adds
+    // padding columns and a narrowing Project on top of the same spec.
+    for comp in &mut spec.comps {
+        for s in &mut comp.sources {
+            s.wide = rng.chance(1, 4);
+        }
+    }
+    spec
 }
 
 /// One-line digest of the scenario a seed generates (CLI diagnostics and
@@ -245,11 +261,12 @@ pub fn describe_seed(seed: u64) -> String {
                         .filter(|e| matches!(e, Ev::Data { .. }))
                         .count();
                     let hb = s.events.len() - n;
+                    let wide = if s.wide { " wide" } else { "" };
                     if s.unordered {
                         let mode = if s.exact { "exact" } else { "clamped" };
-                        format!("unordered({n}d/{hb}h slack={} {mode})", s.slack)
+                        format!("unordered({n}d/{hb}h slack={} {mode}{wide})", s.slack)
                     } else {
-                        format!("ordered({n}d/{hb}h)")
+                        format!("ordered({n}d/{hb}h{wide})")
                     }
                 })
                 .collect();
@@ -301,6 +318,29 @@ fn schema() -> Schema {
     Schema::new(vec![Field::new("v", DataType::Int)])
 }
 
+/// Wide variant: `INLINE_ROW_CAP + 2` columns, guaranteed past the inline
+/// cap so every row on a wide source's path is spilled.
+const WIDE_COLS: usize = INLINE_ROW_CAP + 2;
+
+fn wide_schema() -> Schema {
+    Schema::new(
+        (0..WIDE_COLS)
+            .map(|i| Field::new(format!("c{i}"), DataType::Int))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// The payload a source ingests for value `v`: the padding columns carry
+/// values derived from `v` so a corrupted or torn spill would change what
+/// the narrowing `Project` emits and trip the oracle.
+fn payload(s: &SrcSpec, v: i64) -> Vec<Value> {
+    if s.wide {
+        (0..WIDE_COLS as i64).map(|i| Value::Int(v + i)).collect()
+    } else {
+        vec![Value::Int(v)]
+    }
+}
+
 struct Built {
     graph: QueryGraph,
     /// Per component: its global source ids (in spec order) and its sink.
@@ -315,10 +355,11 @@ fn build(spec: &FuzzSpec) -> Result<Built, String> {
         let mut src_ids = Vec::new();
         for (si, s) in comp.sources.iter().enumerate() {
             let name = format!("S{ci}_{si}");
+            let src_schema = if s.wide { wide_schema() } else { schema() };
             let sid = if s.unordered {
-                b.unordered_source(&name, schema(), TimestampKind::External)
+                b.unordered_source(&name, src_schema.clone(), TimestampKind::External)
             } else {
-                b.source(&name, schema(), TimestampKind::Internal)
+                b.source(&name, src_schema.clone(), TimestampKind::Internal)
             };
             src_ids.push(sid);
             let mut tail = Input::Source(sid);
@@ -330,7 +371,7 @@ fn build(spec: &FuzzSpec) -> Result<Built, String> {
                 };
                 let r = Reorder::new(
                     format!("reorder{ci}_{si}"),
-                    schema(),
+                    src_schema.clone(),
                     TimeDelta::from_micros(s.slack),
                 )
                 .with_late_policy(policy);
@@ -342,11 +383,20 @@ fn build(spec: &FuzzSpec) -> Result<Built, String> {
             if let Some(k) = s.filter_min {
                 let f = Filter::new(
                     format!("filter{ci}_{si}"),
-                    schema(),
+                    src_schema.clone(),
                     Expr::col(0).ge(Expr::lit(k)),
                 );
                 tail = Input::Op(
                     b.operator(Box::new(f), vec![tail])
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+            if s.wide {
+                // Narrow the spilled rows back to the one-column schema the
+                // union and sink (and the oracle) expect.
+                let p = Project::new(format!("narrow{ci}_{si}"), schema(), vec![Expr::col(0)]);
+                tail = Input::Op(
+                    b.operator(Box::new(p), vec![tail])
                         .map_err(|e| e.to_string())?,
                 );
             }
@@ -434,11 +484,12 @@ fn run_serial(
         pending = Some(g.arrival);
         exec.clock().advance_to(Timestamp::from_micros(g.arrival));
         let sid = built.handles[g.comp].0[g.src];
+        let src = &spec.comps[g.comp].sources[g.src];
         match g.ev {
             Ev::Data { ts, v, .. } => exec
                 .ingest(
                     sid,
-                    Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(v)]),
+                    Tuple::data(Timestamp::from_micros(ts), payload(src, v)),
                 )
                 .map_err(|e| e.to_string())?,
             Ev::Heartbeat { ts, .. } => exec
@@ -486,11 +537,12 @@ fn run_parallel(
         pex.advance_to(Timestamp::from_micros(g.arrival))
             .map_err(|e| e.to_string())?;
         let sid = built.handles[g.comp].0[g.src];
+        let src = &spec.comps[g.comp].sources[g.src];
         match g.ev {
             Ev::Data { ts, v, .. } => pex
                 .ingest(
                     sid,
-                    Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(v)]),
+                    Tuple::data(Timestamp::from_micros(ts), payload(src, v)),
                 )
                 .map_err(|e| e.to_string())?,
             Ev::Heartbeat { ts, .. } => pex
@@ -673,5 +725,24 @@ mod tests {
             let failures = fuzz_seed(seed);
             assert!(failures.is_empty(), "{}", failures.join("\n"));
         }
+    }
+
+    /// The spill representation must actually be exercised: some seed in
+    /// the default sweep generates a wide source, and the first such seed
+    /// runs the full matrix clean.
+    #[test]
+    fn wide_row_sources_are_generated_and_clean() {
+        let wide_seed = (0..64).find(|&seed| {
+            gen_spec(seed)
+                .comps
+                .iter()
+                .any(|c| c.sources.iter().any(|s| s.wide))
+        });
+        let Some(seed) = wide_seed else {
+            panic!("no wide source in the first 64 seeds — spill path untested")
+        };
+        assert!(describe_seed(seed).contains("wide"));
+        let failures = fuzz_seed(seed);
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
     }
 }

@@ -13,6 +13,10 @@
 //!   **punctuation tuple** carrying an Enabling Time-Stamp (ETS).
 //! * [`Value`] / [`DataType`] / [`Schema`] — dynamically tagged rows and
 //!   their static description.
+//! * [`Row`] / [`RowBuilder`] — the row storage behind data tuples:
+//!   inline for ≤ [`INLINE_ROW_CAP`] values (allocation-free clone and
+//!   construction), shared heap storage for wide rows; plus the string
+//!   interner ([`intern`]) deduplicating repeated `Value::Str` payloads.
 //! * [`Expr`] — the row-expression language used by selections, maps and
 //!   join conditions.
 //! * [`Error`] — the workspace-wide error type.
@@ -22,6 +26,8 @@
 
 pub mod error;
 pub mod expr;
+pub mod intern;
+pub mod row;
 pub mod schema;
 pub mod timestamp;
 pub mod tuple;
@@ -29,6 +35,7 @@ pub mod value;
 
 pub use error::{Error, Result};
 pub use expr::{BinOp, Expr};
+pub use row::{Row, RowBuilder, INLINE_ROW_CAP};
 pub use schema::{Field, Schema};
 pub use timestamp::{TimeDelta, Timestamp, TimestampKind, MICROS_PER_MILLI, MICROS_PER_SEC};
 pub use tuple::{Tuple, TupleBody};

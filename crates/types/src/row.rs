@@ -1,0 +1,385 @@
+//! Row storage — the values carried by a data tuple.
+//!
+//! The hot path of a DSMS clones, moves and rebuilds rows millions of
+//! times per second, and every workload in the paper (and in this repo's
+//! benches) carries narrow rows: one to three columns, occasionally four
+//! after a join. [`Row`] therefore stores up to [`INLINE_ROW_CAP`] values
+//! *inline* — cloning or constructing such a row never touches the heap —
+//! and spills wider rows to a shared `Arc<[Value]>`, where clones are a
+//! reference-count bump exactly as before.
+//!
+//! The representation is private. Everything downstream sees a `Row` as
+//! `&[Value]` (via `Deref`), compares it by value (an inline row equals a
+//! spilled row carrying the same values), and builds it either from an
+//! existing `Vec<Value>`/array or incrementally through [`RowBuilder`],
+//! which lets operators like `Project` and the joins assemble an output
+//! row in place without an intermediate `Vec`.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// Widest row stored without heap allocation. Four `Value`s cover every
+/// paper workload (≤ 3 columns) and binary-join outputs up to 2+2; wider
+/// rows spill to shared storage.
+pub const INLINE_ROW_CAP: usize = 4;
+
+const NULL_ROW: [Value; INLINE_ROW_CAP] = [Value::Null, Value::Null, Value::Null, Value::Null];
+
+#[derive(Clone)]
+enum Repr {
+    /// `len` leading slots of `vals` are the row; the rest are `Null`.
+    Inline {
+        len: u8,
+        vals: [Value; INLINE_ROW_CAP],
+    },
+    /// Wide rows share one allocation; clones bump the refcount.
+    Spilled(Arc<[Value]>),
+}
+
+/// The values of a data tuple: inline up to [`INLINE_ROW_CAP`], shared
+/// heap storage beyond. Dereferences to `&[Value]`.
+#[derive(Clone)]
+pub struct Row(Repr);
+
+impl Row {
+    /// An empty row.
+    pub fn empty() -> Row {
+        Row(Repr::Inline {
+            len: 0,
+            vals: NULL_ROW,
+        })
+    }
+
+    /// Builds a row from a slice, cloning the values (no allocation when
+    /// the slice fits inline).
+    pub fn from_slice(values: &[Value]) -> Row {
+        if values.len() <= INLINE_ROW_CAP {
+            let mut vals = NULL_ROW;
+            for (slot, v) in vals.iter_mut().zip(values) {
+                *slot = v.clone();
+            }
+            Row(Repr::Inline {
+                len: values.len() as u8,
+                vals,
+            })
+        } else {
+            Row(Repr::Spilled(values.into()))
+        }
+    }
+
+    /// True iff the row lives in shared heap storage rather than inline.
+    /// Diagnostic only — semantics never depend on the representation.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.0, Repr::Spilled(_))
+    }
+
+    /// True iff `self` and `other` are spilled rows sharing one
+    /// allocation (the wide-row analogue of the old `Arc::ptr_eq` test).
+    pub fn shares_storage_with(&self, other: &Row) -> bool {
+        match (&self.0, &other.0) {
+            (Repr::Spilled(a), Repr::Spilled(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Starts an in-place builder sized for `capacity` values.
+    pub fn builder(capacity: usize) -> RowBuilder {
+        RowBuilder::with_capacity(capacity)
+    }
+}
+
+impl Deref for Row {
+    type Target = [Value];
+
+    #[inline]
+    fn deref(&self) -> &[Value] {
+        match &self.0 {
+            Repr::Inline { len, vals } => &vals[..*len as usize],
+            Repr::Spilled(vals) => vals,
+        }
+    }
+}
+
+impl AsRef<[Value]> for Row {
+    fn as_ref(&self) -> &[Value] {
+        self
+    }
+}
+
+/// Rows compare by value: an inline row equals a spilled row carrying the
+/// same values. Differential tests rely on this when comparing deliveries
+/// across representations.
+impl PartialEq for Row {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Row {}
+
+/// Ordered like the value slice, so `Row` can key a `BTreeMap` (grouped
+/// aggregation) with the same order `Vec<Value>` keys had.
+impl PartialOrd for Row {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Row {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl core::hash::Hash for Row {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Row {
+        if values.len() <= INLINE_ROW_CAP {
+            let len = values.len() as u8;
+            let mut vals = NULL_ROW;
+            for (slot, v) in vals.iter_mut().zip(values) {
+                *slot = v;
+            }
+            Row(Repr::Inline { len, vals })
+        } else {
+            Row(Repr::Spilled(values.into()))
+        }
+    }
+}
+
+impl From<&[Value]> for Row {
+    fn from(values: &[Value]) -> Row {
+        Row::from_slice(values)
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Row {
+    fn from(values: [Value; N]) -> Row {
+        if N <= INLINE_ROW_CAP {
+            let mut vals = NULL_ROW;
+            for (slot, v) in vals.iter_mut().zip(values) {
+                *slot = v;
+            }
+            Row(Repr::Inline { len: N as u8, vals })
+        } else {
+            Row(Repr::Spilled(Arc::from(values)))
+        }
+    }
+}
+
+impl From<Row> for Vec<Value> {
+    fn from(row: Row) -> Vec<Value> {
+        row.to_vec()
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Row {
+        let mut b = RowBuilder::new();
+        for v in iter {
+            b.push(v);
+        }
+        b.finish()
+    }
+}
+
+/// Assembles a row in place. Stays inline (no allocation) while at most
+/// [`INLINE_ROW_CAP`] values are pushed; transparently moves to a spill
+/// vector beyond that. `Project` and the joins use this instead of
+/// collecting into an intermediate `Vec`.
+pub struct RowBuilder {
+    len: usize,
+    inline: [Value; INLINE_ROW_CAP],
+    spill: Vec<Value>,
+}
+
+impl RowBuilder {
+    /// An empty builder (inline until it overflows).
+    pub fn new() -> RowBuilder {
+        RowBuilder {
+            len: 0,
+            inline: NULL_ROW,
+            spill: Vec::new(),
+        }
+    }
+
+    /// A builder sized for `capacity` values: rows known to be wide
+    /// reserve their spill vector up front, one allocation total.
+    pub fn with_capacity(capacity: usize) -> RowBuilder {
+        RowBuilder {
+            len: 0,
+            inline: NULL_ROW,
+            spill: if capacity > INLINE_ROW_CAP {
+                Vec::with_capacity(capacity)
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Appends one value.
+    pub fn push(&mut self, value: Value) {
+        if !self.spill.is_empty() || self.spill.capacity() > 0 {
+            self.spill.push(value);
+        } else if self.len < INLINE_ROW_CAP {
+            self.inline[self.len] = value;
+        } else {
+            // Inline overflow: migrate the four inline values, then append.
+            self.spill.reserve(self.len + 1);
+            for v in &mut self.inline {
+                self.spill.push(std::mem::replace(v, Value::Null));
+            }
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Appends every value of a slice (cloned).
+    pub fn extend_from_slice(&mut self, values: &[Value]) {
+        for v in values {
+            self.push(v.clone());
+        }
+    }
+
+    /// Number of values pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Finishes the row: inline if it never overflowed, spilled otherwise.
+    pub fn finish(self) -> Row {
+        if self.spill.is_empty() && self.len <= INLINE_ROW_CAP {
+            Row(Repr::Inline {
+                len: self.len as u8,
+                vals: self.inline,
+            })
+        } else {
+            Row(Repr::Spilled(self.spill.into()))
+        }
+    }
+}
+
+impl Default for RowBuilder {
+    fn default() -> Self {
+        RowBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(ns: std::ops::Range<i64>) -> Vec<Value> {
+        ns.map(Value::Int).collect()
+    }
+
+    #[test]
+    fn narrow_rows_stay_inline() {
+        for n in 0..=INLINE_ROW_CAP as i64 {
+            let row = Row::from(ints(0..n));
+            assert!(!row.is_spilled(), "{n} values must stay inline");
+            assert_eq!(&row[..], &ints(0..n)[..]);
+        }
+    }
+
+    #[test]
+    fn wide_rows_spill_and_share_on_clone() {
+        let row = Row::from(ints(0..5));
+        assert!(row.is_spilled());
+        assert_eq!(row.len(), 5);
+        let clone = row.clone();
+        assert!(row.shares_storage_with(&clone));
+    }
+
+    #[test]
+    fn inline_clones_do_not_share() {
+        let row = Row::from(ints(0..2));
+        let clone = row.clone();
+        assert!(!row.shares_storage_with(&clone));
+        assert_eq!(row, clone);
+    }
+
+    #[test]
+    fn equality_is_by_value_across_representations() {
+        // Force a spilled representation of a narrow row via the builder
+        // overflow path truncated back — not expressible; instead compare
+        // a wide row against itself reconstructed.
+        let wide = ints(0..6);
+        let a = Row::from(wide.clone());
+        let b = Row::from_slice(&wide);
+        assert_eq!(a, b);
+        assert!(!a.shares_storage_with(&b));
+
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |r: &Row| {
+            let mut s = DefaultHasher::new();
+            r.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn builder_matches_vec_construction() {
+        for n in 0..10i64 {
+            let vals = ints(0..n);
+            let mut b = RowBuilder::new();
+            for v in &vals {
+                b.push(v.clone());
+            }
+            assert_eq!(b.len(), n as usize);
+            let built = b.finish();
+            assert_eq!(built, Row::from(vals));
+            assert_eq!(built.is_spilled(), n as usize > INLINE_ROW_CAP);
+        }
+    }
+
+    #[test]
+    fn builder_with_capacity_hint_spills_directly() {
+        let mut b = RowBuilder::with_capacity(INLINE_ROW_CAP + 2);
+        for v in ints(0..(INLINE_ROW_CAP as i64 + 2)) {
+            b.push(v);
+        }
+        let row = b.finish();
+        assert!(row.is_spilled());
+        assert_eq!(row.len(), INLINE_ROW_CAP + 2);
+    }
+
+    #[test]
+    fn empty_row() {
+        let row = Row::empty();
+        assert!(row.is_empty());
+        assert!(!row.is_spilled());
+        assert_eq!(row, RowBuilder::new().finish());
+    }
+
+    #[test]
+    fn array_and_iterator_conversions() {
+        let row: Row = [Value::Int(1), Value::Int(2)].into();
+        assert!(!row.is_spilled());
+        let collected: Row = (0..7).map(Value::Int).collect();
+        assert!(collected.is_spilled());
+        let back: Vec<Value> = collected.into();
+        assert_eq!(back.len(), 7);
+    }
+}

@@ -14,16 +14,17 @@
 //! time equals the generation time.
 
 use std::fmt;
-use std::sync::Arc;
 
+use crate::row::Row;
 use crate::timestamp::Timestamp;
 use crate::value::Value;
 
 /// The payload of a tuple: either a data row or punctuation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TupleBody {
-    /// A regular data row.
-    Data(Arc<[Value]>),
+    /// A regular data row ([`Row`]: inline storage for narrow rows,
+    /// shared heap storage for wide ones).
+    Data(Row),
     /// A punctuation tuple carrying an Enabling Time-Stamp. All future
     /// tuples on the same path have timestamps `>=` the tuple's `ts`.
     Punctuation,
@@ -44,8 +45,11 @@ pub struct Tuple {
 
 impl Tuple {
     /// Creates a data tuple whose entry time equals its timestamp (the
-    /// common case for internally timestamped sources).
-    pub fn data(ts: Timestamp, values: Vec<Value>) -> Self {
+    /// common case for internally timestamped sources). Accepts anything
+    /// convertible to a [`Row`] — a `Vec<Value>`, a value array (which
+    /// never allocates for ≤ [`crate::row::INLINE_ROW_CAP`] values), or a
+    /// prebuilt `Row`.
+    pub fn data(ts: Timestamp, values: impl Into<Row>) -> Self {
         Tuple {
             ts,
             entry: ts,
@@ -55,7 +59,7 @@ impl Tuple {
 
     /// Creates a data tuple with an explicit entry time (external timestamps
     /// where application time and arrival time differ).
-    pub fn data_with_entry(ts: Timestamp, entry: Timestamp, values: Vec<Value>) -> Self {
+    pub fn data_with_entry(ts: Timestamp, entry: Timestamp, values: impl Into<Row>) -> Self {
         Tuple {
             ts,
             entry,
@@ -93,6 +97,17 @@ impl Tuple {
         }
     }
 
+    /// The row, or `None` for punctuation. Use this over [`Tuple::values`]
+    /// when the row itself is reused (cloning a `Row` is cheaper than
+    /// rebuilding one from a slice).
+    #[inline]
+    pub fn row(&self) -> Option<&Row> {
+        match &self.body {
+            TupleBody::Data(v) => Some(v),
+            TupleBody::Punctuation => None,
+        }
+    }
+
     /// The row values, panicking on punctuation. Operators call this only
     /// after checking [`Tuple::is_data`].
     #[inline]
@@ -104,7 +119,7 @@ impl Tuple {
     /// Returns a copy of this tuple with a different row but the same
     /// timestamps. Non-IWP operators use this: the paper requires output
     /// tuples to take "their timestamps from the tuple in A".
-    pub fn with_values(&self, values: Vec<Value>) -> Tuple {
+    pub fn with_values(&self, values: impl Into<Row>) -> Tuple {
         Tuple {
             ts: self.ts,
             entry: self.entry,
@@ -121,13 +136,13 @@ impl Tuple {
     pub fn join(probe: &Tuple, stored: &Tuple) -> Tuple {
         let p = probe.values_expect();
         let s = stored.values_expect();
-        let mut values = Vec::with_capacity(p.len() + s.len());
-        values.extend_from_slice(p);
-        values.extend_from_slice(s);
+        let mut row = Row::builder(p.len() + s.len());
+        row.extend_from_slice(p);
+        row.extend_from_slice(s);
         Tuple {
             ts: probe.ts,
             entry: probe.entry,
-            body: TupleBody::Data(values.into()),
+            body: TupleBody::Data(row.finish()),
         }
     }
 
@@ -239,13 +254,49 @@ mod tests {
     }
 
     #[test]
-    fn clone_shares_row_storage() {
+    fn narrow_clone_is_inline_and_equal() {
+        // Narrow rows live inline: a clone copies the values (no heap
+        // traffic, nothing to share) and compares equal by value.
         let d = t(1, 9);
         let c = d.clone();
+        assert_eq!(d, c);
         if let (TupleBody::Data(a), TupleBody::Data(b)) = (&d.body, &c.body) {
-            assert!(Arc::ptr_eq(a, b));
+            assert!(!a.is_spilled());
+            assert!(!a.shares_storage_with(b));
         } else {
             panic!("expected data bodies");
         }
+    }
+
+    #[test]
+    fn wide_clone_shares_row_storage() {
+        // Wide rows spill to shared storage; clones bump the refcount
+        // exactly as the old Arc<[Value]> representation did.
+        let wide: Vec<Value> = (0..=crate::row::INLINE_ROW_CAP as i64)
+            .map(Value::Int)
+            .collect();
+        let d = Tuple::data(Timestamp::from_micros(1), wide);
+        let c = d.clone();
+        if let (TupleBody::Data(a), TupleBody::Data(b)) = (&d.body, &c.body) {
+            assert!(a.is_spilled());
+            assert!(a.shares_storage_with(b));
+        } else {
+            panic!("expected data bodies");
+        }
+    }
+
+    #[test]
+    fn join_output_stays_inline_when_narrow() {
+        let probe = t(1, 1);
+        let stored = t(2, 2);
+        let j = Tuple::join(&probe, &stored);
+        assert!(!j.row().unwrap().is_spilled());
+        let wide = Tuple::data(
+            Timestamp::from_micros(3),
+            (0..4).map(Value::Int).collect::<Vec<_>>(),
+        );
+        let jw = Tuple::join(&probe, &wide);
+        assert!(jw.row().unwrap().is_spilled());
+        assert_eq!(jw.width(), 5);
     }
 }

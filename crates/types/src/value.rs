@@ -58,8 +58,16 @@ pub enum Value {
 }
 
 impl Value {
-    /// Convenience constructor for string values.
+    /// Convenience constructor for string values. The payload is interned
+    /// (see [`crate::intern`]): constructing the same string repeatedly
+    /// returns clones of one shared allocation.
     pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(crate::intern::intern(s.as_ref()))
+    }
+
+    /// Constructs a string value without interning — for payloads known
+    /// to be unique (free-form text) where table lookups are waste.
+    pub fn str_uninterned(s: impl AsRef<str>) -> Value {
         Value::Str(Arc::from(s.as_ref()))
     }
 
@@ -324,7 +332,7 @@ impl From<&str> for Value {
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(Arc::from(v.as_str()))
+        Value::str(v.as_str())
     }
 }
 
@@ -391,6 +399,25 @@ mod tests {
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));
         assert_eq!(*vals.last().unwrap(), Value::str("z"));
+    }
+
+    #[test]
+    fn repeated_strings_share_one_allocation() {
+        let (Value::Str(a), Value::Str(b)) = (
+            Value::str("value-intern-test"),
+            Value::str("value-intern-test"),
+        ) else {
+            panic!("string values expected")
+        };
+        assert!(Arc::ptr_eq(&a, &b), "repeated payloads must be interned");
+        let Value::Str(c) = Value::str_uninterned("value-intern-test") else {
+            panic!("string value expected")
+        };
+        assert!(
+            !Arc::ptr_eq(&a, &c),
+            "uninterned constructor must not share"
+        );
+        assert_eq!(a, c);
     }
 
     #[test]

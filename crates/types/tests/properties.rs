@@ -8,7 +8,7 @@ use std::hash::{Hash, Hasher};
 
 use proptest::prelude::*;
 
-use millstream_types::{BinOp, Expr, TimeDelta, Timestamp, Value};
+use millstream_types::{BinOp, Expr, Row, RowBuilder, TimeDelta, Timestamp, Value, INLINE_ROW_CAP};
 
 fn value() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -124,5 +124,81 @@ proptest! {
         shifted.referenced_columns(&mut after);
         let expect: Vec<usize> = before.iter().map(|i| i + shift).collect();
         prop_assert_eq!(after, expect);
+    }
+}
+
+fn row_hash(r: &Row) -> u64 {
+    let mut h = DefaultHasher::new();
+    r.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Every construction path — `Vec`, slice, iterator, incremental
+    /// builder, pre-sized builder — yields the same row, round-trips the
+    /// values exactly, and spills iff the row is wider than the inline cap.
+    /// The width range straddles `INLINE_ROW_CAP` so both representations
+    /// and the builder's overflow transition are exercised.
+    #[test]
+    fn row_construction_paths_agree(vals in prop::collection::vec(value(), 0..(3 * INLINE_ROW_CAP))) {
+        let from_vec = Row::from(vals.clone());
+        let from_slice = Row::from_slice(&vals);
+        let collected: Row = vals.iter().cloned().collect();
+        let mut b = RowBuilder::new();
+        for v in &vals {
+            b.push(v.clone());
+        }
+        prop_assert_eq!(b.len(), vals.len());
+        let built = b.finish();
+        let mut sized = RowBuilder::with_capacity(vals.len());
+        sized.extend_from_slice(&vals);
+        let built_sized = sized.finish();
+
+        for row in [&from_vec, &from_slice, &collected, &built, &built_sized] {
+            prop_assert_eq!(&row[..], &vals[..]);
+            prop_assert_eq!(row.is_spilled(), vals.len() > INLINE_ROW_CAP);
+        }
+        let back: Vec<Value> = from_vec.clone().into();
+        prop_assert_eq!(&back, &vals);
+    }
+
+    /// Row equality, ordering and hashing all follow the value slice,
+    /// independent of representation: a row compares the same whether it
+    /// was built inline or forced through the spill path.
+    #[test]
+    fn row_cmp_and_hash_follow_the_slice(
+        a in prop::collection::vec(value(), 0..(2 * INLINE_ROW_CAP)),
+        b in prop::collection::vec(value(), 0..(2 * INLINE_ROW_CAP)),
+    ) {
+        // `with_capacity` beyond the cap forces the spill representation
+        // even for narrow rows, giving a second representation of `a`.
+        let mut forced = RowBuilder::with_capacity(INLINE_ROW_CAP + 1);
+        forced.extend_from_slice(&a);
+        let ra_spilled = forced.finish();
+        let ra = Row::from_slice(&a);
+        let rb = Row::from_slice(&b);
+
+        prop_assert_eq!(&ra, &ra_spilled);
+        prop_assert_eq!(ra.cmp(&ra_spilled), Ordering::Equal);
+        prop_assert_eq!(row_hash(&ra), row_hash(&ra_spilled));
+
+        prop_assert_eq!(ra == rb, a == b);
+        prop_assert_eq!(ra.cmp(&rb), a.cmp(&b));
+        prop_assert_eq!(ra_spilled.cmp(&rb), a.cmp(&b), "spilled repr orders identically");
+        if ra == rb {
+            prop_assert_eq!(row_hash(&ra), row_hash(&rb));
+        }
+    }
+
+    /// Clones are value-identical; wide rows share storage (clone = refcount
+    /// bump), inline rows never do.
+    #[test]
+    fn row_clone_semantics(vals in prop::collection::vec(value(), 0..(3 * INLINE_ROW_CAP))) {
+        let row = Row::from_slice(&vals);
+        let clone = row.clone();
+        prop_assert_eq!(&row, &clone);
+        prop_assert_eq!(row.shares_storage_with(&clone), vals.len() > INLINE_ROW_CAP);
     }
 }
