@@ -10,7 +10,7 @@
 //! | `fig7_latency` | Fig. 7(a)/(b): average output latency vs. punctuation rate |
 //! | `idle_waiting_table` | §6 in-text idle-waiting percentages |
 //! | `fig8_memory` | Fig. 8(a)/(b): peak total queue size vs. punctuation rate |
-//! | `ablation_*` | design-choice ablations (DESIGN.md §6) |
+//! | `ablation_*` | design-choice ablations (DESIGN.md §9) |
 //! | `micro_ops` | Criterion micro-benchmarks of operator primitives |
 
 #![warn(missing_docs)]

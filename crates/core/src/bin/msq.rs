@@ -6,6 +6,9 @@
 //! ```text
 //! msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--batch K]
 //!                              [--workers N]
+//! msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict]
+//! msq send <addr> <stream> <trace.csv> [--window N]
+//! msq tail <addr> [--patience-ms MS]
 //! msq fuzz [--seeds N] [--base B]
 //! msq bench [--quick]
 //!
@@ -21,6 +24,27 @@
 //!               worker thread, up to N threads (default: serial; a
 //!               single-query plan is usually one component, so this
 //!               mainly matters for multi-component plans)
+//!
+//! serve       host the query over TCP (see `millstream_net`): producers
+//!             `msq send` into the named streams, subscribers `msq tail`
+//!             the sink. The server runs until stdin closes (or a `quit`
+//!             line), then drains gracefully — open sources are closed so
+//!             the final ETS reaches every subscriber.
+//!   --addr A        bind address (default 127.0.0.1:7171; port 0 = OS pick)
+//!   --workers N     parallel-executor worker threads (default 2)
+//!   --idle-ms MS    synthesize a source heartbeat after MS of network
+//!                   silence on a producer connection (default: off)
+//!   --strict        run with MILLSTREAM_CHECK=strict wire sentinels
+//!
+//! send        replay a trace as a producer: lines `ts_micros,stream,v…`,
+//!             all for <stream>, data timestamps strictly increasing
+//!             (the wire resume contract; equal timestamps dedup
+//!             server-side). Retries with exponential backoff and resumes
+//!             from the last acked timestamp after a link failure.
+//!   --window N      max unacked frames in flight (default 32)
+//!
+//! tail        subscribe and print output rows until end of stream
+//!   --patience-ms MS  give up if nothing arrives in MS (default 30000)
 //!
 //! fuzz        differential stream fuzzing: generate seeded random query
 //!             graphs and disordered workloads, run each across every
@@ -71,7 +95,7 @@ struct Options {
     workers: usize,
 }
 
-const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N]\n       msq fuzz [--seeds N] [--base B]\n       msq bench [--quick]";
+const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N]\n       msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict]\n       msq send <addr> <stream> <trace.csv> [--window N]\n       msq tail <addr> [--patience-ms MS]\n       msq fuzz [--seeds N] [--base B]\n       msq bench [--quick]";
 
 fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
     let mut positional = Vec::new();
@@ -341,6 +365,197 @@ fn run_parallel(
     Ok(())
 }
 
+/// The `msq serve` subcommand: host a query over TCP until stdin closes.
+fn run_serve(args: &[String]) -> Result<()> {
+    let mut query_path = None;
+    let mut cfg_addr = "127.0.0.1:7171".to_string();
+    let mut workers = 2usize;
+    let mut idle_ms = None;
+    let mut strict = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                cfg_addr = it
+                    .next()
+                    .ok_or_else(|| Error::config("--addr requires a value"))?
+                    .clone();
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| Error::config("--workers expects a positive integer"))?;
+            }
+            "--idle-ms" => {
+                idle_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| Error::config("--idle-ms expects a positive integer"))?,
+                );
+            }
+            "--strict" => strict = true,
+            flag if flag.starts_with("--") => {
+                return Err(Error::config(format!("unknown serve flag `{flag}`")));
+            }
+            p if query_path.is_none() => query_path = Some(p.to_string()),
+            p => return Err(Error::config(format!("unexpected serve argument `{p}`"))),
+        }
+    }
+    let query_path =
+        query_path.ok_or_else(|| Error::config(format!("serve needs <query.msq>\n{USAGE}")))?;
+    let program = std::fs::read_to_string(&query_path)
+        .map_err(|e| Error::config(format!("{query_path}: {e}")))?;
+
+    let mut cfg = millstream_net::ServerConfig::new(program);
+    cfg.addr = cfg_addr;
+    cfg.workers = workers;
+    cfg.idle_timeout = idle_ms.map(std::time::Duration::from_millis);
+    if strict {
+        cfg.check = Some(millstream_buffer::CheckMode::Strict);
+    }
+    let server = millstream_net::Server::start(cfg)?;
+    // Scripts read the first line to learn the resolved port.
+    println!("listening on {}", server.addr());
+    eprintln!("# serving; close stdin (or type `quit`) for a graceful drain");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+
+    let report = server.shutdown()?;
+    let s = &report.stats;
+    eprintln!(
+        "# served {} connection(s): {} tuple(s) in, {} heartbeat(s), {} synthesized, \
+         {} duplicate(s) dropped, {} rejected; {} row(s) delivered",
+        s.connections,
+        s.tuples_ingested,
+        s.heartbeats_in,
+        s.synthesized_heartbeats,
+        s.duplicates_dropped,
+        s.rejected_tuples,
+        s.delivered,
+    );
+    for p in &report.ports {
+        eprintln!(
+            "#   stream {:<12} ingested {:>8}  synthesized {:>4}  idle {:>5.1}%",
+            p.stream,
+            p.ingested,
+            p.synthesized,
+            p.idle.idle_fraction * 100.0
+        );
+    }
+    if report.latency.count > 0 {
+        let l = &report.latency;
+        eprintln!(
+            "# wire→sink latency: mean {:.3} ms, p50 {:.3}, p99 {:.3} (n={})",
+            l.mean_ms, l.p50_ms, l.p99_ms, l.count
+        );
+    }
+    if let Some(f) = report.monitor_idle_fraction {
+        eprintln!("# monitored IWP operator idle-waiting {:.1}%", f * 100.0);
+    }
+    if report.wire_sentinel_violations > 0 {
+        eprintln!(
+            "# WARNING: {} wire sentinel violation(s)",
+            report.wire_sentinel_violations
+        );
+    }
+    Ok(())
+}
+
+/// The `msq send` subcommand: replay a single-stream trace as a producer.
+fn run_send(args: &[String]) -> Result<()> {
+    let mut positional = Vec::new();
+    let mut window = 32usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--window" => {
+                window = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| Error::config("--window expects a positive integer"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(Error::config(format!("unknown send flag `{flag}`")));
+            }
+            p => positional.push(p.to_string()),
+        }
+    }
+    let [addr, stream, trace_path] = positional.as_slice() else {
+        return Err(Error::config(format!(
+            "send needs <addr> <stream> <trace.csv>\n{USAGE}"
+        )));
+    };
+    let mut cfg = millstream_net::ClientConfig::new(addr.clone(), stream.clone());
+    cfg.ack_window = window;
+    let mut client = millstream_net::StreamClient::connect(cfg)?;
+    let schema = client
+        .schema()
+        .cloned()
+        .ok_or_else(|| Error::runtime("no schema negotiated"))?;
+    let trace_text = std::fs::read_to_string(trace_path)
+        .map_err(|e| Error::config(format!("{trace_path}: {e}")))?;
+    let trace = parse_trace(&trace_text, &[(stream.as_str(), &schema)])?;
+    for rec in &trace {
+        client.send(Tuple::data(rec.at, rec.values.clone()))?;
+    }
+    let report = client.close()?;
+    eprintln!(
+        "# sent {} frame(s), {} acked; {} reconnect(s), {} retransmitted, {} resume-skipped",
+        report.sent, report.acked, report.reconnects, report.retransmitted, report.resume_skipped
+    );
+    Ok(())
+}
+
+/// The `msq tail` subcommand: print the sink stream until it ends.
+fn run_tail(args: &[String]) -> Result<()> {
+    let mut addr = None;
+    let mut patience_ms = 30_000u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--patience-ms" => {
+                patience_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| Error::config("--patience-ms expects a positive integer"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(Error::config(format!("unknown tail flag `{flag}`")));
+            }
+            p if addr.is_none() => addr = Some(p.to_string()),
+            p => return Err(Error::config(format!("unexpected tail argument `{p}`"))),
+        }
+    }
+    let addr = addr.ok_or_else(|| Error::config(format!("tail needs <addr>\n{USAGE}")))?;
+    let mut sub = millstream_net::Subscription::connect(&addr)?;
+    eprintln!("# output schema {}", sub.schema());
+    let patience = std::time::Duration::from_millis(patience_ms);
+    let mut rows = 0u64;
+    while let Some(tuple) = sub.next(patience)? {
+        if tuple.is_data() {
+            println!("{tuple}");
+            rows += 1;
+        }
+    }
+    eprintln!("# end of stream after {rows} row(s)");
+    Ok(())
+}
+
 /// The `msq fuzz` subcommand: a differential fuzzing sweep over seeded
 /// random graphs and workloads (see `millstream_sim::fuzz_range`).
 fn run_fuzz(args: &[String]) -> ExitCode {
@@ -464,6 +679,20 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("bench") {
         return run_bench(&args[1..]);
+    }
+    if let Some(net) = args.first().and_then(|a| match a.as_str() {
+        "serve" => Some(run_serve as fn(&[String]) -> Result<()>),
+        "send" => Some(run_send as fn(&[String]) -> Result<()>),
+        "tail" => Some(run_tail as fn(&[String]) -> Result<()>),
+        _ => None,
+    }) {
+        return match net(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("msq: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let opts = match parse_args(&args) {
         Ok(o) => o,

@@ -122,6 +122,31 @@ pub struct ExecStats {
     pub invariant_violations: u64,
 }
 
+impl ExecStats {
+    /// Accumulates another executor's counters into this one — the single
+    /// definition of cross-component stats merging, so a counter added to
+    /// `ExecStats` can never be silently dropped from a merged
+    /// [`crate::ParallelSnapshot`].
+    pub fn merge(&mut self, other: &ExecStats) {
+        let ExecStats {
+            steps,
+            batches,
+            backtracks,
+            ets_generated,
+            work_units,
+            dropped_stale_heartbeats,
+            invariant_violations,
+        } = other;
+        self.steps += steps;
+        self.batches += batches;
+        self.backtracks += backtracks;
+        self.ets_generated += ets_generated;
+        self.work_units += work_units;
+        self.dropped_stale_heartbeats += dropped_stale_heartbeats;
+        self.invariant_violations += invariant_violations;
+    }
+}
+
 /// Execution tuning knobs, separate from the paper-level policies
 /// ([`EtsPolicy`], [`SchedPolicy`]) because they must not change output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -367,9 +392,20 @@ impl Executor {
     /// re-arms every source's on-demand ETS budget: fresh data is a new
     /// activation.
     pub fn ingest(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
-        debug_assert!(tuple.is_data(), "use ingest_heartbeat for punctuation");
         {
             let s = &mut self.graph.sources[source.0];
+            // A punctuation tuple slipping through here would bypass the
+            // heartbeat high-water accounting below and corrupt ETS state
+            // (the source's data high-water would absorb a punctuation
+            // timestamp); reject it structurally rather than only in debug
+            // builds.
+            if tuple.is_punctuation() {
+                return Err(millstream_types::Error::runtime(format!(
+                    "ingest on source `{}` requires a data tuple; \
+                     use ingest_heartbeat for punctuation",
+                    s.name
+                )));
+            }
             if s.closed {
                 return Err(millstream_types::Error::runtime(format!(
                     "source `{}` is closed",
@@ -1509,6 +1545,31 @@ mod tests {
         f.exec
             .run_until_quiescent(10_000)
             .expect("no regressed ETS punctuation");
+    }
+
+    /// Regression: in release builds the old `debug_assert!` let a
+    /// punctuation tuple through `ingest`, where it was absorbed into the
+    /// source's *data* high-water accounting and corrupted ETS state. The
+    /// misuse must be a structured error on every build profile.
+    #[test]
+    fn ingest_rejects_punctuation_tuples() {
+        let mut f = fig4(EtsPolicy::on_demand(), false);
+        let err = f
+            .exec
+            .ingest(f.s1, Tuple::punctuation(Timestamp::from_micros(10)))
+            .unwrap_err();
+        assert!(matches!(err, Error::Runtime(_)), "{err:?}");
+        assert!(err.to_string().contains("ingest_heartbeat"), "{err}");
+        // The rejected punctuation left no trace: data ingest continues
+        // from a clean slate and the heartbeat path still works.
+        let s = f.exec.graph().source(f.s1);
+        assert_eq!(s.ingested, 0);
+        assert_eq!(s.last_data_ts, None);
+        f.exec.ingest(f.s1, data(5, 1)).unwrap();
+        f.exec
+            .ingest_heartbeat(f.s1, Timestamp::from_micros(20))
+            .unwrap();
+        f.exec.run_until_quiescent(10_000).unwrap();
     }
 
     /// Builds unordered-S1 → Reorder → sink with the given check mode.

@@ -133,6 +133,9 @@ enum Cmd {
     },
     /// Reply with a state snapshot of every hosted component.
     Snapshot { reply: Sender<Vec<CompSnapshot>> },
+    /// Exit the worker loop. Sent by [`ParallelExecutor::drop`] so workers
+    /// retire even while cloned [`IngestHandle`]s keep the channel open.
+    Stop,
 }
 
 /// Per-component state snapshot shipped back over the snapshot barrier.
@@ -281,6 +284,7 @@ fn worker_loop(rx: Receiver<Cmd>, mut slots: Vec<Slot>) {
                     .collect();
                 let _ = reply.send(snaps);
             }
+            Cmd::Stop => break,
         }
     }
 }
@@ -599,13 +603,7 @@ impl ParallelExecutor {
         for rx in replies {
             for snap in rx.recv().map_err(|_| disconnected())? {
                 let s = snap.stats;
-                stats.steps += s.steps;
-                stats.batches += s.batches;
-                stats.backtracks += s.backtracks;
-                stats.ets_generated += s.ets_generated;
-                stats.work_units += s.work_units;
-                stats.dropped_stale_heartbeats += s.dropped_stale_heartbeats;
-                stats.invariant_violations += s.invariant_violations;
+                stats.merge(&s);
                 for (local, p) in snap.profile.into_iter().enumerate() {
                     profile[self.comp_nodes[snap.comp][local].0] = Some(p);
                 }
@@ -645,8 +643,12 @@ impl ParallelExecutor {
 
 impl Drop for ParallelExecutor {
     fn drop(&mut self) {
-        // Dropping the senders disconnects the channels; workers exit
-        // their recv loop and the threads join.
+        // An explicit stop beats dropping the senders: cloned
+        // `IngestHandle`s may still hold the channel open, and a worker
+        // blocked in `recv()` would never observe a disconnect.
+        for tx in &self.senders {
+            let _ = tx.send(Cmd::Stop);
+        }
         self.senders.clear();
         for t in self.threads.drain(..) {
             let _ = t.join();

@@ -1,0 +1,239 @@
+//! Differential test: the ingest-path semantics of [`ParallelExecutor`]
+//! must match the serial [`Executor`] exactly — closed-source errors,
+//! punctuation-misuse errors, stale-heartbeat drops and the
+//! `dropped_stale_heartbeats` counter all have to survive the command
+//! channel and merge correctly into [`ParallelSnapshot`].
+//!
+//! The only sanctioned difference is *when* an error is observed: the
+//! serial executor reports it from the ingest call itself, the parallel
+//! executor from the next quiescence barrier (fire-and-forget sends).
+
+use std::sync::{Arc, Mutex};
+
+use millstream_exec::{
+    CostModel, EtsPolicy, ExecStats, Executor, GraphBuilder, Input, ParallelConfig,
+    ParallelExecutor, QueryGraph, SourceId, VirtualClock,
+};
+use millstream_ops::{Sink, SinkCollector, Union};
+use millstream_types::{DataType, Error, Field, Schema, Timestamp, TimestampKind, Tuple, Value};
+
+#[derive(Clone, Default)]
+struct Out(Arc<Mutex<Vec<Tuple>>>);
+
+impl SinkCollector for Out {
+    fn deliver(&mut self, tuple: Tuple, _now: Timestamp) {
+        self.0.lock().unwrap().push(tuple);
+    }
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![Field::new("v", DataType::Int)])
+}
+
+/// S1, S2 → ∪ → sink — one component, so serial and parallel host the
+/// same graph shape.
+fn union_graph() -> (QueryGraph, [SourceId; 2], Out) {
+    let mut b = GraphBuilder::new();
+    let s1 = b.source("S1", schema(), TimestampKind::Internal);
+    let s2 = b.source("S2", schema(), TimestampKind::Internal);
+    let u = b
+        .operator(
+            Box::new(Union::new("∪", schema(), 2)),
+            vec![Input::Source(s1), Input::Source(s2)],
+        )
+        .unwrap();
+    let out = Out::default();
+    b.operator(
+        Box::new(Sink::new("sink", schema(), out.clone())),
+        vec![Input::Op(u)],
+    )
+    .unwrap();
+    (b.build().unwrap(), [s1, s2], out)
+}
+
+fn data(ts: u64) -> Tuple {
+    Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(ts as i64)])
+}
+
+/// A uniform driver interface over both executors so the same script runs
+/// verbatim against each backend.
+enum Backend {
+    Serial(Box<Executor>),
+    Parallel(ParallelExecutor),
+}
+
+impl Backend {
+    fn serial(graph: QueryGraph) -> Backend {
+        Backend::Serial(Box::new(Executor::new(
+            graph,
+            VirtualClock::shared(),
+            CostModel::free(),
+            EtsPolicy::None,
+        )))
+    }
+
+    fn parallel(graph: QueryGraph) -> Backend {
+        Backend::Parallel(ParallelExecutor::new(
+            graph,
+            ParallelConfig::new(CostModel::free(), EtsPolicy::None, 2),
+        ))
+    }
+
+    /// Ingest + run to quiescence, reporting any error either side raises.
+    fn ingest(&mut self, s: SourceId, t: Tuple) -> Result<(), Error> {
+        match self {
+            Backend::Serial(e) => {
+                e.clock().advance_to(t.ts);
+                e.ingest(s, t)?;
+                e.run_until_quiescent(1_000_000).map(|_| ())
+            }
+            Backend::Parallel(p) => {
+                p.advance_to(t.ts)?;
+                p.ingest(s, t)?;
+                p.run_until_quiescent(1_000_000).map(|_| ())
+            }
+        }
+    }
+
+    fn heartbeat(&mut self, s: SourceId, ts: Timestamp) -> Result<(), Error> {
+        match self {
+            Backend::Serial(e) => {
+                e.ingest_heartbeat(s, ts)?;
+                e.run_until_quiescent(1_000_000).map(|_| ())
+            }
+            Backend::Parallel(p) => {
+                p.ingest_heartbeat(s, ts)?;
+                p.run_until_quiescent(1_000_000).map(|_| ())
+            }
+        }
+    }
+
+    fn close(&mut self, s: SourceId) -> Result<(), Error> {
+        match self {
+            Backend::Serial(e) => {
+                e.close_source(s)?;
+                e.run_until_quiescent(1_000_000).map(|_| ())
+            }
+            Backend::Parallel(p) => {
+                p.close_source(s)?;
+                p.run_until_quiescent(1_000_000).map(|_| ())
+            }
+        }
+    }
+
+    fn stats(&self) -> ExecStats {
+        match self {
+            Backend::Serial(e) => e.stats(),
+            Backend::Parallel(p) => p.snapshot().unwrap().stats,
+        }
+    }
+}
+
+/// Runs the same ingest script against a backend, returning per-step
+/// outcomes (Ok/Err with message) plus the final stats and deliveries.
+fn run_script(
+    mut b: Backend,
+    [s1, s2]: [SourceId; 2],
+    out: &Out,
+) -> (Vec<Result<(), String>>, ExecStats, Vec<Tuple>) {
+    let mut log = Vec::new();
+    let step = |r: Result<(), Error>| -> Result<(), String> { r.map_err(|e| e.to_string()) };
+
+    // Normal data flow.
+    log.push(step(b.ingest(s1, data(10))));
+    log.push(step(b.ingest(s2, data(20))));
+    // Stale heartbeats: below S1's data high-water, then at (== duplicate
+    // of) an already-asserted punctuation mark. Both are silent drops that
+    // must bump the counter.
+    log.push(step(b.heartbeat(s1, Timestamp::from_micros(5))));
+    log.push(step(b.heartbeat(s1, Timestamp::from_micros(30))));
+    log.push(step(b.heartbeat(s1, Timestamp::from_micros(30))));
+    // Punctuation misuse through the data path: a structured error.
+    log.push(step(
+        b.ingest(s2, Tuple::punctuation(Timestamp::from_micros(40))),
+    ));
+    // Close S2, then every further touch of it errors.
+    log.push(step(b.close(s2)));
+    log.push(step(b.ingest(s2, data(50))));
+    log.push(step(b.heartbeat(s2, Timestamp::from_micros(60))));
+    // Closing twice stays idempotent, and S1 still works.
+    log.push(step(b.close(s2)));
+    log.push(step(b.ingest(s1, data(70))));
+    log.push(step(b.close(s1)));
+
+    let stats = b.stats();
+    let delivered = out.0.lock().unwrap().clone();
+    (log, stats, delivered)
+}
+
+#[test]
+fn parallel_ingest_semantics_match_serial() {
+    let (sg, s_ids, s_out) = union_graph();
+    let (pg, p_ids, p_out) = union_graph();
+    let (s_log, s_stats, s_del) = run_script(Backend::serial(sg), s_ids, &s_out);
+    let (p_log, p_stats, p_del) = run_script(Backend::parallel(pg), p_ids, &p_out);
+
+    assert_eq!(s_log, p_log, "identical per-step outcomes (incl. messages)");
+    assert_eq!(s_del, p_del, "identical deliveries");
+    assert_eq!(s_stats, p_stats, "identical merged stats");
+
+    // Spot-check the interesting outcomes are what the serial contract
+    // promises (so the differential test cannot vacuously pass on two
+    // equally wrong backends).
+    assert!(s_log[0].is_ok() && s_log[1].is_ok());
+    assert!(
+        s_log[2].is_ok() && s_log[3].is_ok() && s_log[4].is_ok(),
+        "stale heartbeats are silent drops"
+    );
+    assert_eq!(
+        s_stats.dropped_stale_heartbeats, 2,
+        "one below data high-water, one duplicate punctuation; the first \
+         heartbeat at 30 is fresh"
+    );
+    let misuse = s_log[5].as_ref().unwrap_err();
+    assert!(misuse.contains("ingest_heartbeat"), "{misuse}");
+    assert!(s_log[6].is_ok(), "close is clean");
+    let closed = s_log[7].as_ref().unwrap_err();
+    assert!(closed.contains("closed"), "{closed}");
+    let closed_hb = s_log[8].as_ref().unwrap_err();
+    assert!(closed_hb.contains("closed"), "{closed_hb}");
+    assert!(s_log[9].is_ok(), "double close is idempotent");
+    assert!(s_log[10].is_ok(), "the open source still ingests");
+}
+
+/// The counter must also merge across *components*: two independent
+/// streams each dropping stale heartbeats on different workers sum into
+/// one `ParallelSnapshot` figure.
+#[test]
+fn stale_heartbeat_counter_merges_across_components() {
+    let mut b = GraphBuilder::new();
+    let s1 = b.source("A", schema(), TimestampKind::Internal);
+    let s2 = b.source("B", schema(), TimestampKind::Internal);
+    for (s, name) in [(s1, "sink-a"), (s2, "sink-b")] {
+        b.operator(
+            Box::new(Sink::new(name, schema(), Out::default())),
+            vec![Input::Source(s)],
+        )
+        .unwrap();
+    }
+    let pex = ParallelExecutor::new(
+        b.build().unwrap(),
+        ParallelConfig::new(CostModel::free(), EtsPolicy::None, 2),
+    );
+    assert_eq!(pex.num_components(), 2);
+    for s in [s1, s2] {
+        pex.ingest(s, data(100)).unwrap();
+        pex.ingest_heartbeat(s, Timestamp::from_micros(10)).unwrap(); // stale
+    }
+    pex.run_until_quiescent(1_000_000).unwrap();
+    let snap = pex.snapshot().unwrap();
+    assert_eq!(snap.stats.dropped_stale_heartbeats, 2);
+    assert_eq!(
+        snap.component_stats
+            .iter()
+            .map(|s| s.dropped_stale_heartbeats)
+            .collect::<Vec<_>>(),
+        vec![1, 1],
+        "one drop on each worker"
+    );
+}

@@ -10,9 +10,19 @@
 use millstream_types::{TimeDelta, Timestamp};
 
 /// Integrates the time an operator spends idle-waiting.
+///
+/// Instants are clamped to an internal monotone high-water mark, so
+/// reports arriving with a non-monotone `now` — possible when instants
+/// from merged parallel component clocks or network-arrival wall clocks
+/// interleave — can never make a span negative, inflate totals past the
+/// observation window, or push [`IdleTracker::idle_fraction`] outside
+/// `[0, 1]`. An out-of-order instant simply behaves as if it arrived "as
+/// late as anything already seen".
 #[derive(Debug, Clone)]
 pub struct IdleTracker {
     started_at: Timestamp,
+    /// Latest instant ever reported; all incoming instants clamp to this.
+    high_water: Timestamp,
     idle_since: Option<Timestamp>,
     total_idle: TimeDelta,
     episodes: u64,
@@ -25,6 +35,7 @@ impl IdleTracker {
     pub fn new(start: Timestamp) -> Self {
         IdleTracker {
             started_at: start,
+            high_water: start,
             idle_since: None,
             total_idle: TimeDelta::ZERO,
             episodes: 0,
@@ -32,10 +43,19 @@ impl IdleTracker {
         }
     }
 
+    /// Clamps a reported instant to the monotone timeline and advances the
+    /// high-water mark.
+    fn clamp(&mut self, now: Timestamp) -> Timestamp {
+        self.high_water = self.high_water.max(now);
+        self.high_water
+    }
+
     /// Reports the operator's state at instant `now`: `idle` is true while
     /// the operator idle-waits. Consecutive reports of the same state are
-    /// idempotent.
+    /// idempotent. A `now` earlier than a previously reported instant is
+    /// treated as that latest instant (saturating, never panicking).
     pub fn set_idle(&mut self, now: Timestamp, idle: bool) {
+        let now = self.clamp(now);
         match (self.idle_since, idle) {
             (None, true) => {
                 self.idle_since = Some(now);
@@ -72,8 +92,14 @@ impl IdleTracker {
     }
 
     /// Fraction of the observation window `[start, now]` spent idle.
-    /// Includes the currently open episode, if any.
+    /// Includes the currently open episode, if any. A `now` behind the
+    /// latest reported instant evaluates at that instant instead, so the
+    /// result is always in `[0, 1]`.
     pub fn idle_fraction(&self, now: Timestamp) -> f64 {
+        // Read-only clamp: `idle_fraction` must not move the high-water
+        // mark (it takes `&self`), but it evaluates on the same monotone
+        // timeline as the mutating reports.
+        let now = now.max(self.high_water);
         let window = now.duration_since(self.started_at).as_micros();
         if window == 0 {
             return 0.0;
@@ -82,7 +108,7 @@ impl IdleTracker {
         if let Some(since) = self.idle_since {
             idle += now.duration_since(since).as_micros();
         }
-        idle as f64 / window as f64
+        (idle as f64 / window as f64).min(1.0)
     }
 
     /// Serializable summary at instant `now`.
@@ -155,6 +181,25 @@ mod tests {
     fn zero_window_is_zero_fraction() {
         let t = IdleTracker::new(ts(5));
         assert_eq!(t.idle_fraction(ts(5)), 0.0);
+    }
+
+    #[test]
+    fn non_monotone_instants_saturate() {
+        let mut t = IdleTracker::new(ts(100));
+        // Idle episode opens at 150, closes with a regressed instant: the
+        // close clamps to 150 and the span saturates to zero.
+        t.set_idle(ts(150), true);
+        t.set_idle(ts(120), false);
+        assert_eq!(t.total_idle(), TimeDelta::ZERO);
+        assert_eq!(t.episodes(), 1);
+        // A regressed open instant clamps forward to the high-water mark.
+        t.set_idle(ts(200), false); // advance the timeline idle-free
+        t.set_idle(ts(130), true); // clamps to 200
+        t.set_idle(ts(260), false);
+        assert_eq!(t.total_idle(), TimeDelta::from_micros(60));
+        // Evaluating the fraction at a stale instant stays in [0, 1].
+        let f = t.idle_fraction(ts(0));
+        assert!((0.0..=1.0).contains(&f), "fraction {f}");
     }
 
     #[test]

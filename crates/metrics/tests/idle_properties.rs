@@ -1,0 +1,90 @@
+//! Property tests hardening [`IdleTracker`] against non-monotone instants.
+//!
+//! Under merged parallel component clocks — and with wall-clock instants
+//! stamped at network arrival by different threads — the `now` values
+//! reported to a tracker need not be monotone. Whatever sequence arrives,
+//! the tracker must never panic, never let totals exceed the observation
+//! window, and always report an idle fraction in `[0, 1]`.
+
+// The vendored proptest shim expands `proptest!` recursively per token;
+// two property functions in one block need headroom.
+#![recursion_limit = "1024"]
+
+use proptest::prelude::*;
+
+use millstream_metrics::IdleTracker;
+use millstream_types::{TimeDelta, Timestamp};
+
+/// One report: an instant (possibly out of order) plus the claimed state.
+fn reports() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..10_000, any::<bool>()), 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Any interleaving of out-of-order instants keeps every invariant:
+    /// no panic, idle total bounded by the elapsed window, fraction in
+    /// [0, 1], and episode count bounded by the number of reports.
+    #[test]
+    fn out_of_order_instants_never_corrupt_totals(
+        start in 0u64..5_000,
+        seq in reports(),
+        probe in 0u64..20_000,
+    ) {
+        let start_ts = Timestamp::from_micros(start);
+        let mut t = IdleTracker::new(start_ts);
+        let mut high_water = start;
+        for &(now, idle) in &seq {
+            t.set_idle(Timestamp::from_micros(now), idle);
+            high_water = high_water.max(now);
+            // Totals can never exceed the monotone window seen so far.
+            let window = high_water.saturating_sub(start);
+            prop_assert!(
+                t.total_idle() <= TimeDelta::from_micros(window),
+                "total {:?} exceeds window {window}us",
+                t.total_idle()
+            );
+            prop_assert!(t.longest_episode() <= TimeDelta::from_micros(window));
+            // The fraction is well-defined at *any* probe instant, even a
+            // stale one.
+            let f = t.idle_fraction(Timestamp::from_micros(probe));
+            prop_assert!((0.0..=1.0).contains(&f), "fraction {f}");
+        }
+        prop_assert!(t.episodes() <= seq.len() as u64);
+        // Closing out at a regressed instant is safe and keeps bounds.
+        t.finish(Timestamp::from_micros(0));
+        let window = high_water.saturating_sub(start);
+        prop_assert!(t.total_idle() <= TimeDelta::from_micros(window));
+        let f = t.idle_fraction(Timestamp::from_micros(probe));
+        prop_assert!((0.0..=1.0).contains(&f), "fraction {f}");
+    }
+
+    /// On a monotone report sequence the clamp is a no-op: totals match a
+    /// direct integration of the idle state over time.
+    #[test]
+    fn monotone_sequences_integrate_exactly(
+        gaps in proptest::collection::vec((1u64..100, any::<bool>()), 1..32),
+    ) {
+        let mut gaps = gaps;
+        let mut t = IdleTracker::new(Timestamp::ZERO);
+        let mut now = 0u64;
+        let mut expected = 0u64;
+        let mut idle_since: Option<u64> = None;
+        gaps.push((1, false)); // close any open episode at the end
+        for (gap, idle) in gaps {
+            now += gap;
+            let at = Timestamp::from_micros(now);
+            t.set_idle(at, idle);
+            match (idle_since, idle) {
+                (None, true) => idle_since = Some(now),
+                (Some(s), false) => {
+                    expected += now - s;
+                    idle_since = None;
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(t.total_idle(), TimeDelta::from_micros(expected));
+    }
+}

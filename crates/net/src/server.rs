@@ -1,0 +1,985 @@
+//! The `msq serve` engine host: a TCP server that runs one planned query
+//! and exchanges [`Frame`]s with many concurrent clients.
+//!
+//! ## Threading model
+//!
+//! One accept thread, one thread per connection, and the
+//! [`ParallelExecutor`]'s own component workers. All engine access is
+//! serialized through a single [`Mutex`]: a producer connection locks the
+//! engine for its whole `{advance clock, ingest, run-to-quiescence}`
+//! critical section, so any error the fire-and-forget parallel channel
+//! stashes surfaces at *this* connection's barrier and is attributed (as
+//! an [`Frame::Error`]) to the connection that caused it. Sink deliveries
+//! emitted during the critical section are likewise attributable, which
+//! is what makes the per-connection wire-arrival → sink-delivery
+//! [`LatencyRecorder`] meaningful.
+//!
+//! ## Backpressure
+//!
+//! Producers are processed synchronously: a frame is acked only after the
+//! engine has fully absorbed it, so a producer's unacked window (client
+//! side, [`crate::client::StreamClient`]) is the *only* buffering between
+//! the socket and the engine — the server never queues unbounded input.
+//! Subscribers get a bounded queue each; a subscriber that stalls past
+//! its queue capacity is disconnected with [`ErrorCode::Overflow`] rather
+//! than letting the queue grow.
+//!
+//! ## Idle connections and on-demand heartbeats
+//!
+//! The paper's on-demand ETS story is triggered here by *network
+//! silence*: when a producer connection stays quiet past
+//! [`ServerConfig::idle_timeout`], the server synthesizes a source
+//! heartbeat at the server's stream time (the maximum data timestamp
+//! accepted so far), unblocking IWP operators starved by the silent
+//! source. The wire contract making that sound: a producer silent past
+//! the idle timeout forfeits timestamps at or below the synthesized mark
+//! — later data under the mark is dropped at the socket boundary
+//! (counted, and fatal under `MILLSTREAM_CHECK=strict`).
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
+
+use millstream_buffer::{CheckMode, OrderSentinel, SentinelStats};
+use millstream_exec::{
+    CostModel, EtsPolicy, ExecStats, IngestHandle, NodeId, ParallelConfig, ParallelExecutor,
+};
+use millstream_metrics::{IdleSummary, IdleTracker, LatencyRecorder, LatencySummary};
+use millstream_ops::SinkCollector;
+use millstream_query::plan_program;
+use millstream_types::{Error, Result, Schema, TimeDelta, Timestamp, Tuple};
+
+use crate::frame::{
+    write_frame, ErrorCode, Frame, FrameReader, ReadOutcome, Role, PROTOCOL_VERSION,
+};
+
+/// Step budget per quiescence run; effectively unbounded for test-sized
+/// streams while still catching a livelocked graph.
+const RUN_BUDGET: u64 = 100_000_000;
+
+/// How long connection handshakes may take before the connection is
+/// dropped as dead.
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (see [`Server::addr`]).
+    pub addr: String,
+    /// The query program (DDL + one query) the server hosts.
+    pub program: String,
+    /// Worker threads for the parallel executor.
+    pub workers: usize,
+    /// Network silence on a producer connection after which the server
+    /// synthesizes a source heartbeat at stream time. `None` disables
+    /// synthesis.
+    pub idle_timeout: Option<Duration>,
+    /// Bounded per-subscriber queue; overflow disconnects the subscriber.
+    pub subscriber_queue: usize,
+    /// Socket read timeout — the cadence at which connections notice
+    /// shutdown and idle deadlines.
+    pub read_timeout: Duration,
+    /// Invariant-checking override; `None` inherits `MILLSTREAM_CHECK`.
+    pub check: Option<CheckMode>,
+}
+
+impl ServerConfig {
+    /// A loopback config for `program` with test-friendly defaults.
+    pub fn new(program: impl Into<String>) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            program: program.into(),
+            workers: 2,
+            idle_timeout: None,
+            subscriber_queue: 1024,
+            read_timeout: Duration::from_millis(25),
+            check: None,
+        }
+    }
+}
+
+/// Aggregate counters, readable mid-run via [`Server::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted (any role, including failed handshakes).
+    pub connections: u64,
+    /// Frames received from producers after handshake.
+    pub frames_in: u64,
+    /// Data tuples ingested into the engine.
+    pub tuples_ingested: u64,
+    /// Explicit wire heartbeats forwarded to the engine.
+    pub heartbeats_in: u64,
+    /// Retransmitted duplicates dropped at the socket boundary
+    /// (acked, never ingested).
+    pub duplicates_dropped: u64,
+    /// Data tuples dropped for violating a synthesized heartbeat's
+    /// high-water mark (non-strict modes; strict kills the connection).
+    pub rejected_tuples: u64,
+    /// Heartbeats synthesized by the idle-timeout machinery.
+    pub synthesized_heartbeats: u64,
+    /// Tuples delivered by the sink (fanned out to subscribers).
+    pub delivered: u64,
+    /// Subscribers disconnected for overflowing their bounded queue.
+    pub subscriber_overflows: u64,
+}
+
+/// Per-source accounting in the final [`ServerReport`].
+#[derive(Debug, Clone)]
+pub struct PortReport {
+    /// Stream name from the program's DDL.
+    pub stream: String,
+    /// Data tuples ingested.
+    pub ingested: u64,
+    /// Duplicates dropped at the boundary.
+    pub duplicates: u64,
+    /// Tuples rejected below a synthesized high-water mark.
+    pub rejected: u64,
+    /// Heartbeats synthesized while the source was network-starved.
+    pub synthesized: u64,
+    /// Whether the source was closed (by a client or at shutdown).
+    pub closed: bool,
+    /// Network-idleness of the source over the server's wall-clock run.
+    pub idle: IdleSummary,
+}
+
+/// Everything [`Server::shutdown`] hands back after the final drain.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Final aggregate counters.
+    pub stats: ServerStats,
+    /// Per-source accounting.
+    pub ports: Vec<PortReport>,
+    /// Wire-arrival → sink-delivery latency over all producer
+    /// connections.
+    pub latency: LatencySummary,
+    /// Merged engine counters (includes `dropped_stale_heartbeats`).
+    pub exec: ExecStats,
+    /// Wire-level sentinel violations observed at socket boundaries.
+    pub wire_sentinel_violations: u64,
+    /// Idle-waiting fraction of the monitored IWP operator (the query's
+    /// top union/join), if the plan has one.
+    pub monitor_idle_fraction: Option<f64>,
+}
+
+/// Engine-side view of one planned source.
+struct Port {
+    handle: IngestHandle,
+    stream: String,
+    schema: Schema,
+    /// Highest data timestamp ingested (micros); wire-level dedup mark.
+    data_hw: Option<u64>,
+    /// Highest fresh heartbeat asserted (micros), synthesized or wire.
+    punct_hw: Option<u64>,
+    closed: bool,
+    producers: usize,
+    /// Wall-clock instant of the last producer frame for this source.
+    last_arrival: Option<Instant>,
+    /// Network-idleness over the server's wall-clock timeline.
+    idle: IdleTracker,
+    is_idle: bool,
+    ingested: u64,
+    duplicates: u64,
+    rejected: u64,
+    synthesized: u64,
+}
+
+/// The engine and every piece of state its lock protects.
+struct Engine {
+    exec: ParallelExecutor,
+    ports: Vec<Port>,
+    by_name: HashMap<String, usize>,
+    output_schema: Schema,
+    monitor: Option<NodeId>,
+    /// Server stream time: max data timestamp accepted (micros).
+    max_ts: u64,
+    /// High-water of the engine's virtual clock (micros).
+    clock_us: u64,
+    stats: ServerStats,
+}
+
+impl Engine {
+    /// Advances the executor clock monotonically to `ts` micros.
+    fn advance_clock(&mut self, ts: u64) -> Result<()> {
+        if ts > self.clock_us {
+            self.clock_us = ts;
+            self.exec.advance_to(Timestamp::from_micros(ts))?;
+        }
+        Ok(())
+    }
+
+    fn run(&mut self) -> Result<()> {
+        self.exec.run_until_quiescent(RUN_BUDGET).map(|_| ())
+    }
+}
+
+/// Fan-out sink: the planned query delivers here, and every subscriber
+/// gets a bounded copy of the stream.
+#[derive(Clone)]
+struct Broadcast(Arc<Mutex<BroadcastState>>);
+
+struct BroadcastState {
+    subs: Vec<Option<Sender<Tuple>>>,
+    delivered: u64,
+    overflows: u64,
+}
+
+impl Broadcast {
+    fn new() -> Self {
+        Broadcast(Arc::new(Mutex::new(BroadcastState {
+            subs: Vec::new(),
+            delivered: 0,
+            overflows: 0,
+        })))
+    }
+
+    fn subscribe(&self, cap: usize) -> (usize, Receiver<Tuple>) {
+        let (tx, rx) = channel::bounded(cap);
+        let mut st = self.0.lock().unwrap();
+        let slot = st.subs.len();
+        st.subs.push(Some(tx));
+        (slot, rx)
+    }
+
+    fn unsubscribe(&self, slot: usize) {
+        self.0.lock().unwrap().subs[slot] = None;
+    }
+
+    fn delivered(&self) -> u64 {
+        self.0.lock().unwrap().delivered
+    }
+
+    fn overflows(&self) -> u64 {
+        self.0.lock().unwrap().overflows
+    }
+
+    /// Pushes a final punctuation to every live subscriber and drops the
+    /// senders, ending their streams.
+    fn finish(&self) {
+        let mut st = self.0.lock().unwrap();
+        for slot in st.subs.iter_mut() {
+            if let Some(tx) = slot.take() {
+                // Best effort: an overflowing subscriber misses the final
+                // mark but still sees end-of-stream via the disconnect.
+                let _ = tx.try_send(Tuple::punctuation(Timestamp::MAX));
+            }
+        }
+    }
+}
+
+impl SinkCollector for Broadcast {
+    fn deliver(&mut self, tuple: Tuple, _now: Timestamp) {
+        let mut st = self.0.lock().unwrap();
+        st.delivered += 1;
+        let mut overflowed = 0;
+        for slot in st.subs.iter_mut() {
+            if let Some(tx) = slot {
+                match tx.try_send(tuple.clone()) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        // Bounded-buffer contract: drop the subscriber,
+                        // never queue unbounded.
+                        *slot = None;
+                        overflowed += 1;
+                    }
+                    Err(TrySendError::Disconnected(_)) => *slot = None,
+                }
+            }
+        }
+        st.overflows += overflowed;
+    }
+}
+
+/// State shared by every server thread.
+struct Shared {
+    cfg: ServerConfig,
+    check: CheckMode,
+    engine: Mutex<Engine>,
+    broadcast: Broadcast,
+    sentinel: Arc<SentinelStats>,
+    shutdown: AtomicBool,
+    /// Producer connections past handshake and not yet drained; shutdown
+    /// waits for this to reach zero before the final source close.
+    active_producers: AtomicU64,
+    started: Instant,
+    latency: Mutex<LatencyRecorder>,
+}
+
+impl Shared {
+    /// Micros since server start, the wall timeline for idle tracking.
+    fn now_us(&self) -> Timestamp {
+        Timestamp::from_micros(self.started.elapsed().as_micros() as u64)
+    }
+}
+
+/// A running `msq serve` instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Plans `cfg.program`, binds the listener and starts accepting.
+    pub fn start(cfg: ServerConfig) -> Result<Server> {
+        let check = cfg.check.unwrap_or_else(CheckMode::from_env);
+        let broadcast = Broadcast::new();
+        let planned = plan_program(&cfg.program, broadcast.clone())?;
+        let mut pcfg = ParallelConfig::new(CostModel::free(), EtsPolicy::None, cfg.workers.max(1));
+        pcfg.check = Some(check);
+        let exec = ParallelExecutor::new(planned.graph, pcfg);
+        if let Some(node) = planned.monitor {
+            exec.monitor_idle(node)?;
+        }
+        let started = Instant::now();
+        let mut ports = Vec::new();
+        let mut by_name = HashMap::new();
+        for s in &planned.sources {
+            by_name.insert(s.stream.clone(), ports.len());
+            ports.push(Port {
+                handle: exec.ingest_handle(s.id),
+                stream: s.stream.clone(),
+                schema: s.schema.clone(),
+                data_hw: None,
+                punct_hw: None,
+                closed: false,
+                producers: 0,
+                last_arrival: None,
+                idle: IdleTracker::new(Timestamp::ZERO),
+                is_idle: false,
+                ingested: 0,
+                duplicates: 0,
+                rejected: 0,
+                synthesized: 0,
+            });
+        }
+        let engine = Engine {
+            exec,
+            ports,
+            by_name,
+            output_schema: planned.output_schema,
+            monitor: planned.monitor,
+            max_ts: 0,
+            clock_us: 0,
+            stats: ServerStats::default(),
+        };
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| Error::runtime(format!("bind {}: {e}", cfg.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::runtime(format!("local_addr: {e}")))?;
+        let shared = Arc::new(Shared {
+            cfg,
+            check,
+            engine: Mutex::new(engine),
+            broadcast,
+            sentinel: SentinelStats::shared(),
+            shutdown: AtomicBool::new(false),
+            active_producers: AtomicU64::new(0),
+            started,
+            latency: Mutex::new(LatencyRecorder::new()),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(listener, shared, conns))
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the aggregate counters.
+    pub fn stats(&self) -> ServerStats {
+        let mut stats = self.shared.engine.lock().unwrap().stats.clone();
+        stats.delivered = self.shared.broadcast.delivered();
+        stats.subscriber_overflows = self.shared.broadcast.overflows();
+        stats
+    }
+
+    /// Graceful shutdown: stop accepting, let producers drain their
+    /// in-flight frames, close every open source so the final ETS
+    /// (`Timestamp::MAX` punctuation) propagates, flush subscribers, and
+    /// report.
+    pub fn shutdown(mut self) -> Result<ServerReport> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Producers notice the flag at their next read-timeout tick,
+        // drain whatever is already buffered on the socket, and retire.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.active_producers.load(Ordering::SeqCst) > 0 {
+            if Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Final drain: close still-open sources and run the engine dry.
+        let report = {
+            let mut eng = self.shared.engine.lock().unwrap();
+            let now_us = self.shared.now_us();
+            for i in 0..eng.ports.len() {
+                if !eng.ports[i].closed {
+                    eng.ports[i].handle.close()?;
+                    eng.ports[i].closed = true;
+                }
+                eng.ports[i].idle.finish(now_us);
+            }
+            eng.run()?;
+            eng.exec.finish_idle()?;
+            let snapshot = eng.exec.snapshot()?;
+            let clock = snapshot
+                .component_clocks
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(Timestamp::ZERO);
+            let monitor_idle_fraction = eng.monitor.and_then(|m| {
+                snapshot
+                    .idle
+                    .iter()
+                    .find(|(n, _)| *n == m)
+                    .map(|(_, t)| t.idle_fraction(clock))
+            });
+            let ports = eng
+                .ports
+                .iter()
+                .map(|p| PortReport {
+                    stream: p.stream.clone(),
+                    ingested: p.ingested,
+                    duplicates: p.duplicates,
+                    rejected: p.rejected,
+                    synthesized: p.synthesized,
+                    closed: p.closed,
+                    idle: p.idle.summarize(now_us),
+                })
+                .collect();
+            let mut stats = eng.stats.clone();
+            stats.delivered = self.shared.broadcast.delivered();
+            stats.subscriber_overflows = self.shared.broadcast.overflows();
+            ServerReport {
+                stats,
+                ports,
+                latency: self.shared.latency.lock().unwrap().summarize(),
+                exec: snapshot.stats,
+                wire_sentinel_violations: self.shared.sentinel.total(),
+                monitor_idle_fraction,
+            }
+        };
+        // End every subscriber stream (final punctuation, then EOF).
+        self.shared.broadcast.finish();
+        let handles = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(report)
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.engine.lock().unwrap().stats.connections += 1;
+        let shared = Arc::clone(&shared);
+        let h = std::thread::spawn(move || {
+            // A connection failing is that connection's problem, not the
+            // server's: errors were already reported to the peer.
+            let _ = handle_conn(&shared, stream);
+        });
+        conns.lock().unwrap().push(h);
+    }
+}
+
+/// Sends a terminal error frame; the connection closes right after.
+fn send_error(stream: &mut TcpStream, code: ErrorCode, message: impl Into<String>) {
+    let _ = write_frame(
+        stream,
+        &Frame::Error {
+            code,
+            message: message.into(),
+        },
+    );
+}
+
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
+    stream
+        .set_read_timeout(Some(shared.cfg.read_timeout))
+        .map_err(|e| Error::runtime(format!("set_read_timeout: {e}")))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| Error::runtime(format!("set_nodelay: {e}")))?;
+    let mut reader = FrameReader::new();
+    // Handshake.
+    let hello = {
+        let deadline = Instant::now() + HANDSHAKE_DEADLINE;
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) || Instant::now() > deadline {
+                let _ = write_frame(&mut stream, &Frame::Bye);
+                return Ok(());
+            }
+            match reader.poll(&mut stream) {
+                Ok(ReadOutcome::Frame(f)) => break f,
+                Ok(ReadOutcome::Timeout) => continue,
+                Ok(ReadOutcome::Eof) => return Ok(()),
+                Err(e) => {
+                    send_error(&mut stream, ErrorCode::Protocol, e.to_string());
+                    return Err(e);
+                }
+            }
+        }
+    };
+    let Frame::Hello {
+        version,
+        role,
+        stream: stream_name,
+        schema,
+        resume_hint: _,
+    } = hello
+    else {
+        send_error(
+            &mut stream,
+            ErrorCode::Protocol,
+            "expected HELLO as the first frame",
+        );
+        return Ok(());
+    };
+    if version != PROTOCOL_VERSION {
+        send_error(
+            &mut stream,
+            ErrorCode::Unsupported,
+            format!("protocol version {version} unsupported; server speaks {PROTOCOL_VERSION}"),
+        );
+        return Ok(());
+    }
+    match role {
+        Role::Producer => serve_producer(shared, stream, reader, stream_name, schema),
+        Role::Subscriber => serve_subscriber(shared, stream),
+    }
+}
+
+fn serve_producer(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    mut reader: FrameReader,
+    stream_name: String,
+    claimed_schema: Option<Schema>,
+) -> Result<()> {
+    // Negotiate: resolve the source and check the schema.
+    let port_idx = {
+        let mut eng = shared.engine.lock().unwrap();
+        let Some(&idx) = eng.by_name.get(&stream_name) else {
+            drop(eng);
+            send_error(
+                &mut stream,
+                ErrorCode::Engine,
+                format!("unknown stream `{stream_name}`"),
+            );
+            return Ok(());
+        };
+        if let Some(claimed) = &claimed_schema {
+            if *claimed != eng.ports[idx].schema {
+                let server_schema = eng.ports[idx].schema.clone();
+                drop(eng);
+                send_error(
+                    &mut stream,
+                    ErrorCode::Unsupported,
+                    format!(
+                        "schema mismatch on `{stream_name}`: client {claimed}, server {server_schema}"
+                    ),
+                );
+                return Ok(());
+            }
+        }
+        let now_us = shared.now_us();
+        let port = &mut eng.ports[idx];
+        port.producers += 1;
+        if port.last_arrival.is_none() {
+            // The silence clock starts when a producer first attaches.
+            port.last_arrival = Some(Instant::now());
+        }
+        // A (re)connecting producer is activity: the source is no longer
+        // network-starved.
+        port.idle.set_idle(now_us, false);
+        port.is_idle = false;
+        write_frame(
+            &mut stream,
+            &Frame::HelloAck {
+                version: PROTOCOL_VERSION,
+                schema: port.schema.clone(),
+                resume_ts: port.data_hw.unwrap_or(0),
+            },
+        )?;
+        idx
+    };
+    shared.active_producers.fetch_add(1, Ordering::SeqCst);
+    let sentinel = OrderSentinel::new(
+        shared.check,
+        format!("net:{stream_name}"),
+        Arc::clone(&shared.sentinel),
+    );
+    let mut latency = LatencyRecorder::new();
+    let res = producer_loop(
+        shared,
+        &mut stream,
+        &mut reader,
+        port_idx,
+        &sentinel,
+        &mut latency,
+    );
+    {
+        let now_us = shared.now_us();
+        let mut eng = shared.engine.lock().unwrap();
+        let port = &mut eng.ports[port_idx];
+        port.producers -= 1;
+        if port.producers == 0 && !port.is_idle && !port.closed {
+            // No producer attached: the source is network-starved from
+            // this instant (a reconnect clears it).
+            port.idle.set_idle(now_us, true);
+            port.is_idle = true;
+        }
+    }
+    shared.latency.lock().unwrap().merge(&latency);
+    shared.active_producers.fetch_sub(1, Ordering::SeqCst);
+    res
+}
+
+fn producer_loop(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    port_idx: usize,
+    sentinel: &OrderSentinel,
+    latency: &mut LatencyRecorder,
+) -> Result<()> {
+    let mut last_seq: Option<u64> = None;
+    let mut draining = false;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Drain mode: keep consuming frames already in flight, but
+            // exit at the first quiet poll.
+            draining = true;
+        }
+        let frame = match reader.poll(stream) {
+            Ok(ReadOutcome::Frame(f)) => f,
+            Ok(ReadOutcome::Eof) => return Ok(()),
+            Ok(ReadOutcome::Timeout) => {
+                if draining {
+                    let _ = write_frame(stream, &Frame::Bye);
+                    return Ok(());
+                }
+                maybe_synthesize_heartbeat(shared, port_idx)?;
+                continue;
+            }
+            Err(e) => {
+                send_error(stream, ErrorCode::Protocol, e.to_string());
+                return Err(e);
+            }
+        };
+        let arrival = Instant::now();
+        let seq = match &frame {
+            Frame::Data { seq, .. } | Frame::Heartbeat { seq, .. } | Frame::Close { seq } => *seq,
+            Frame::Bye => return Ok(()),
+            other => {
+                send_error(
+                    stream,
+                    ErrorCode::Protocol,
+                    format!("unexpected frame {other:?} from a producer"),
+                );
+                return Ok(());
+            }
+        };
+        // Frame-order validation at the socket boundary: within one
+        // connection the sequence must strictly increase.
+        if last_seq.is_some_and(|ls| seq <= ls) {
+            send_error(
+                stream,
+                ErrorCode::Protocol,
+                format!(
+                    "frame order violation: seq {seq} after {} on the same connection",
+                    last_seq.unwrap_or(0)
+                ),
+            );
+            return Ok(());
+        }
+        last_seq = Some(seq);
+        let ack = {
+            let now_us = shared.now_us();
+            let mut eng = shared.engine.lock().unwrap();
+            eng.stats.frames_in += 1;
+            {
+                let port = &mut eng.ports[port_idx];
+                port.last_arrival = Some(arrival);
+                if port.is_idle {
+                    port.idle.set_idle(now_us, false);
+                    port.is_idle = false;
+                }
+            }
+            let delivered_before = shared.broadcast.delivered();
+            match apply_frame(&mut eng, port_idx, frame, sentinel) {
+                Ok(()) => {}
+                Err(reject) => {
+                    drop(eng);
+                    send_error(stream, reject.code, reject.error.to_string());
+                    return if reject.fatal {
+                        Err(reject.error)
+                    } else {
+                        Ok(())
+                    };
+                }
+            }
+            let delivered_after = shared.broadcast.delivered();
+            let elapsed = TimeDelta::from_micros(arrival.elapsed().as_micros() as u64);
+            for _ in delivered_before..delivered_after {
+                latency.record(elapsed);
+            }
+            Frame::Ack {
+                seq,
+                high_water: eng.ports[port_idx].data_hw.unwrap_or(0),
+            }
+        };
+        write_frame(stream, &ack)?;
+    }
+}
+
+/// A frame the engine refused: what to tell the peer, and whether the
+/// condition is an actual invariant failure (worth propagating) or just a
+/// per-connection rejection.
+struct Reject {
+    code: ErrorCode,
+    error: Error,
+    fatal: bool,
+}
+
+fn reject(code: ErrorCode, error: Error) -> Reject {
+    Reject {
+        code,
+        error,
+        fatal: false,
+    }
+}
+
+/// Applies one producer frame under the engine lock.
+fn apply_frame(
+    eng: &mut Engine,
+    port_idx: usize,
+    frame: Frame,
+    sentinel: &OrderSentinel,
+) -> std::result::Result<(), Reject> {
+    match frame {
+        Frame::Data { tuple, .. } => {
+            if !tuple.is_data() {
+                // Wire-level mirror of `Executor::ingest`'s contract.
+                return Err(reject(
+                    ErrorCode::Protocol,
+                    Error::runtime(format!(
+                        "DATA frame on `{}` carries punctuation; use a HEARTBEAT frame",
+                        eng.ports[port_idx].stream
+                    )),
+                ));
+            }
+            if eng.ports[port_idx].closed {
+                return Err(reject(
+                    ErrorCode::Engine,
+                    Error::runtime(format!("source `{}` is closed", eng.ports[port_idx].stream)),
+                ));
+            }
+            let ts = tuple.ts.as_micros();
+            if eng.ports[port_idx].data_hw.is_some_and(|hw| ts <= hw) {
+                // Retransmitted duplicate (producer timestamps are
+                // strictly increasing): ack without ingesting.
+                eng.ports[port_idx].duplicates += 1;
+                eng.stats.duplicates_dropped += 1;
+                return Ok(());
+            }
+            if let Some(phw) = eng.ports[port_idx].punct_hw {
+                if ts < phw {
+                    // High-water dominance at the socket boundary: this
+                    // data contradicts a heartbeat already asserted
+                    // (possibly synthesized while the producer was
+                    // silent). Count + drop; fatal under strict.
+                    let port = &mut eng.ports[port_idx];
+                    match sentinel.check_punct_dominance(
+                        &format!("wire:{}", port.stream),
+                        Timestamp::from_micros(ts),
+                        Timestamp::from_micros(phw),
+                    ) {
+                        Ok(()) => {
+                            port.rejected += 1;
+                            eng.stats.rejected_tuples += 1;
+                            return Ok(());
+                        }
+                        Err(e) => {
+                            return Err(Reject {
+                                code: ErrorCode::Invariant,
+                                error: e,
+                                fatal: true,
+                            });
+                        }
+                    }
+                }
+            }
+            eng.advance_clock(ts)
+                .map_err(|e| reject(ErrorCode::Engine, e))?;
+            eng.ports[port_idx]
+                .handle
+                .ingest(tuple)
+                .map_err(|e| reject(ErrorCode::Engine, e))?;
+            eng.run().map_err(|e| reject(ErrorCode::Engine, e))?;
+            eng.ports[port_idx].data_hw = Some(ts);
+            eng.ports[port_idx].ingested += 1;
+            eng.max_ts = eng.max_ts.max(ts);
+            eng.stats.tuples_ingested += 1;
+            Ok(())
+        }
+        Frame::Heartbeat { ts, .. } => {
+            if eng.ports[port_idx].closed {
+                return Err(reject(
+                    ErrorCode::Engine,
+                    Error::runtime(format!("source `{}` is closed", eng.ports[port_idx].stream)),
+                ));
+            }
+            let us = ts.as_micros();
+            eng.advance_clock(us)
+                .map_err(|e| reject(ErrorCode::Engine, e))?;
+            eng.ports[port_idx]
+                .handle
+                .heartbeat(ts)
+                .map_err(|e| reject(ErrorCode::Engine, e))?;
+            eng.run().map_err(|e| reject(ErrorCode::Engine, e))?;
+            let port = &mut eng.ports[port_idx];
+            let stale =
+                port.data_hw.is_some_and(|hw| us < hw) || port.punct_hw.is_some_and(|p| us <= p);
+            if !stale {
+                port.punct_hw = Some(us);
+            }
+            eng.stats.heartbeats_in += 1;
+            Ok(())
+        }
+        Frame::Close { .. } => {
+            if !eng.ports[port_idx].closed {
+                eng.ports[port_idx]
+                    .handle
+                    .close()
+                    .map_err(|e| reject(ErrorCode::Engine, e))?;
+                eng.run().map_err(|e| reject(ErrorCode::Engine, e))?;
+                eng.ports[port_idx].closed = true;
+            }
+            Ok(())
+        }
+        _ => unreachable!("producer_loop forwards only seq-bearing frames"),
+    }
+}
+
+/// On a quiet poll: if the producer has been silent past the idle
+/// timeout, mark the source network-starved and synthesize a heartbeat at
+/// server stream time — the on-demand ETS that unblocks IWP operators
+/// starved by this connection's silence.
+fn maybe_synthesize_heartbeat(shared: &Arc<Shared>, port_idx: usize) -> Result<()> {
+    let Some(idle_timeout) = shared.cfg.idle_timeout else {
+        return Ok(());
+    };
+    let now_us = shared.now_us();
+    let mut eng = shared.engine.lock().unwrap();
+    let port = &eng.ports[port_idx];
+    if port.closed {
+        return Ok(());
+    }
+    let silent_for = port
+        .last_arrival
+        .map(|t| t.elapsed())
+        .unwrap_or(Duration::ZERO);
+    if silent_for < idle_timeout {
+        return Ok(());
+    }
+    if !eng.ports[port_idx].is_idle {
+        eng.ports[port_idx].idle.set_idle(now_us, true);
+        eng.ports[port_idx].is_idle = true;
+    }
+    // Synthesize at stream time, but only if that actually asserts
+    // something new for this source.
+    let target = eng.max_ts;
+    let port = &eng.ports[port_idx];
+    let fresh = target > 0
+        && port.data_hw.is_none_or(|hw| target >= hw)
+        && port.punct_hw.is_none_or(|p| target > p);
+    if !fresh {
+        return Ok(());
+    }
+    eng.advance_clock(target)?;
+    eng.ports[port_idx]
+        .handle
+        .heartbeat(Timestamp::from_micros(target))?;
+    eng.run()?;
+    eng.ports[port_idx].punct_hw = Some(target);
+    eng.ports[port_idx].synthesized += 1;
+    eng.stats.synthesized_heartbeats += 1;
+    Ok(())
+}
+
+fn serve_subscriber(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
+    let output_schema = shared.engine.lock().unwrap().output_schema.clone();
+    let (slot, rx) = shared.broadcast.subscribe(shared.cfg.subscriber_queue);
+    write_frame(
+        &mut stream,
+        &Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+            schema: output_schema,
+            resume_ts: 0,
+        },
+    )?;
+    let res = loop {
+        match rx.recv_timeout(shared.cfg.read_timeout) {
+            Ok(tuple) => {
+                if let Err(e) = write_frame(&mut stream, &Frame::Output { tuple }) {
+                    // Subscriber went away; not a server error.
+                    break Err(e);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => {
+                // Either graceful end-of-stream (shutdown dropped the
+                // sender after the final punctuation) or this subscriber
+                // overflowed its bounded queue and was cut off.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = write_frame(&mut stream, &Frame::Bye);
+                } else {
+                    send_error(
+                        &mut stream,
+                        ErrorCode::Overflow,
+                        format!(
+                            "subscriber overflowed its bounded queue ({} tuples)",
+                            shared.cfg.subscriber_queue
+                        ),
+                    );
+                }
+                break Ok(());
+            }
+        }
+    };
+    shared.broadcast.unsubscribe(slot);
+    match res {
+        Ok(()) => Ok(()),
+        // A write failure to a departed subscriber is expected churn.
+        Err(_) => Ok(()),
+    }
+}

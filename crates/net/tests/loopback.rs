@@ -1,0 +1,311 @@
+//! Loopback integration tests for the wire protocol: real sockets, the
+//! `msq serve` engine host, and the `msq send` client machinery.
+
+use std::time::Duration;
+
+use millstream_buffer::CheckMode;
+use millstream_net::{ClientConfig, Server, ServerConfig, StreamClient, Subscription};
+use millstream_types::{Timestamp, Tuple, TupleBody, Value};
+
+const UNION_PROGRAM: &str = "\
+CREATE STREAM a (v INT);
+CREATE STREAM b (v INT);
+SELECT v FROM a UNION SELECT v FROM b;";
+
+fn data(ts: u64) -> Tuple {
+    Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(ts as i64)])
+}
+
+fn client(addr: std::net::SocketAddr, stream: &str) -> StreamClient {
+    StreamClient::connect(ClientConfig::new(addr.to_string(), stream)).expect("connect")
+}
+
+/// Collects data tuples until end-of-stream; punctuation marks are
+/// returned separately.
+fn drain(sub: &mut Subscription) -> (Vec<u64>, usize) {
+    let mut ts = Vec::new();
+    let mut puncts = 0;
+    while let Some(t) = sub.next(Duration::from_secs(10)).expect("subscription") {
+        match t.body {
+            TupleBody::Punctuation => puncts += 1,
+            TupleBody::Data(_) => ts.push(t.ts.as_micros()),
+        }
+    }
+    (ts, puncts)
+}
+
+#[test]
+fn producers_and_subscriber_roundtrip() {
+    let mut cfg = ServerConfig::new(UNION_PROGRAM);
+    cfg.check = Some(CheckMode::Strict);
+    let server = Server::start(cfg).expect("server");
+    let addr = server.addr();
+
+    let mut sub = Subscription::connect(&addr.to_string()).expect("subscribe");
+    assert_eq!(sub.schema().len(), 1, "negotiated output schema");
+
+    let a = std::thread::spawn(move || {
+        let mut c = client(addr, "a");
+        assert_eq!(c.schema().expect("negotiated").len(), 1);
+        for ts in [10u64, 30, 50, 70] {
+            c.send(data(ts)).expect("send a");
+        }
+        c.close().expect("close a")
+    });
+    let b = std::thread::spawn(move || {
+        let mut c = client(addr, "b");
+        for ts in [20u64, 40, 60] {
+            c.send(data(ts)).expect("send b");
+        }
+        c.close().expect("close b")
+    });
+    let ra = a.join().expect("thread a");
+    let rb = b.join().expect("thread b");
+    assert_eq!(ra.acked, ra.sent);
+    assert_eq!(rb.acked, rb.sent);
+    assert_eq!(ra.reconnects + rb.reconnects, 0);
+
+    // Both sources closed: the union drains fully without the server
+    // shutting down.
+    let report = {
+        // Wait for all 7 tuples at the subscriber, then shut down.
+        let mut got = Vec::new();
+        while got.len() < 7 {
+            match sub.next(Duration::from_secs(10)).expect("output") {
+                Some(t) if t.is_data() => got.push(t.ts.as_micros()),
+                Some(_) => {}
+                None => panic!("stream ended early: {got:?}"),
+            }
+        }
+        assert_eq!(got, vec![10, 20, 30, 40, 50, 60, 70], "timestamp order");
+        server.shutdown().expect("shutdown")
+    };
+    let (rest, puncts) = drain(&mut sub);
+    assert!(rest.is_empty(), "no data after the drain: {rest:?}");
+    assert_eq!(puncts, 1, "final ETS mark reaches the subscriber");
+
+    assert_eq!(report.stats.tuples_ingested, 7);
+    assert_eq!(report.stats.delivered, 7);
+    assert_eq!(report.stats.duplicates_dropped, 0);
+    assert_eq!(report.wire_sentinel_violations, 0);
+    assert_eq!(report.latency.count, 7, "every delivery latency-attributed");
+    assert!(report.ports.iter().all(|p| p.closed));
+    let by_stream: Vec<(&str, u64)> = report
+        .ports
+        .iter()
+        .map(|p| (p.stream.as_str(), p.ingested))
+        .collect();
+    assert_eq!(by_stream, vec![("a", 4), ("b", 3)]);
+}
+
+#[test]
+fn idle_timeout_synthesizes_heartbeat_that_unblocks_the_union() {
+    let mut cfg = ServerConfig::new(UNION_PROGRAM);
+    cfg.idle_timeout = Some(Duration::from_millis(60));
+    cfg.read_timeout = Duration::from_millis(10);
+    cfg.check = Some(CheckMode::Strict);
+    let server = Server::start(cfg).expect("server");
+    let addr = server.addr();
+
+    let mut sub = Subscription::connect(&addr.to_string()).expect("subscribe");
+    // `b` attaches and goes silent; `a` produces. Without heartbeat
+    // synthesis the union would hold every `a` tuple forever.
+    let _silent = client(addr, "b");
+    let mut a = client(addr, "a");
+    for ts in [10u64, 20, 30] {
+        a.send(data(ts)).expect("send");
+    }
+    // The subscriber sees all three tuples *without* `b` sending a byte
+    // and without either source closing: only the synthesized heartbeat
+    // can have released them.
+    let mut got = Vec::new();
+    for _ in 0..3 {
+        let t = sub
+            .next(Duration::from_secs(10))
+            .expect("idle heartbeat must unblock the union")
+            .expect("stream still open");
+        assert!(t.is_data());
+        got.push(t.ts.as_micros());
+    }
+    assert_eq!(got, vec![10, 20, 30]);
+    let stats = server.stats();
+    assert!(
+        stats.synthesized_heartbeats >= 1,
+        "synthesis observed: {stats:?}"
+    );
+    assert_eq!(stats.tuples_ingested, 3);
+
+    drop(a);
+    let report = server.shutdown().expect("shutdown");
+    assert!(report
+        .ports
+        .iter()
+        .any(|p| p.stream == "b" && p.synthesized >= 1));
+    // The silent source was network-starved for most of the run.
+    let b_port = report.ports.iter().find(|p| p.stream == "b").unwrap();
+    assert!(
+        b_port.idle.idle_fraction > 0.0,
+        "silent producer marked idle: {:?}",
+        b_port.idle
+    );
+}
+
+#[test]
+fn late_data_under_synthesized_mark_is_fatal_in_strict_mode() {
+    let mut cfg = ServerConfig::new(UNION_PROGRAM);
+    cfg.idle_timeout = Some(Duration::from_millis(40));
+    cfg.read_timeout = Duration::from_millis(10);
+    cfg.check = Some(CheckMode::Strict);
+    let server = Server::start(cfg).expect("server");
+    let addr = server.addr();
+
+    let mut b = client(addr, "b");
+    let mut a = client(addr, "a");
+    a.send(data(1_000)).expect("send");
+    // Wait until the server synthesized a heartbeat at b's expense.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.stats().synthesized_heartbeats == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no synthesis happened"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // `b` broke the wire contract: silent past the idle timeout, then
+    // data below the synthesized mark. Strict mode kills the connection
+    // with an invariant error; the client does not silently retry.
+    let err = b
+        .send(data(5))
+        .and_then(|()| b.flush())
+        .expect_err("strict mode must refuse late data");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("punctuation-dominance") || msg.contains("Invariant"),
+        "unexpected error: {msg}"
+    );
+    let report = server.shutdown().expect("shutdown");
+    assert!(report.wire_sentinel_violations >= 1);
+    assert_eq!(report.stats.tuples_ingested, 1, "late tuple never ingested");
+}
+
+#[test]
+fn chaos_link_failure_resumes_without_loss_or_duplication() {
+    const PROGRAM: &str = "CREATE STREAM s (v INT);\nSELECT v FROM s;";
+    let mut cfg = ServerConfig::new(PROGRAM);
+    cfg.check = Some(CheckMode::Strict);
+    let server = Server::start(cfg).expect("server");
+    let addr = server.addr();
+
+    let mut sub = Subscription::connect(&addr.to_string()).expect("subscribe");
+    let mut c = StreamClient::connect({
+        let mut cc = ClientConfig::new(addr.to_string(), "s");
+        cc.ack_window = 4;
+        cc
+    })
+    .expect("connect");
+    // Sever the link twice mid-stream; the client must reconnect, resume
+    // from the acked high-water and retransmit the rest.
+    c.fail_link_after(7);
+    let mut failed_again = false;
+    for ts in 1..=40u64 {
+        c.send(data(ts * 10)).expect("send survives link chaos");
+        if ts == 20 && !failed_again {
+            failed_again = true;
+            c.fail_link_after(3);
+        }
+    }
+    let report = c.close().expect("close");
+    assert!(report.reconnects >= 2, "two severances: {report:?}");
+    assert_eq!(report.sent, 41, "40 data + close");
+
+    let srv_report = server.shutdown().expect("shutdown");
+    let (got, _) = drain(&mut sub);
+    let want: Vec<u64> = (1..=40).map(|t| t * 10).collect();
+    assert_eq!(got, want, "exactly-once delivery across link failures");
+    assert_eq!(srv_report.stats.tuples_ingested, 40);
+    assert_eq!(srv_report.wire_sentinel_violations, 0);
+    assert!(
+        report.retransmitted + report.resume_skipped + srv_report.stats.duplicates_dropped > 0,
+        "the chaos hook exercised the retransmission path: client {report:?}, server {:?}",
+        srv_report.stats
+    );
+}
+
+#[test]
+fn handshake_rejections_are_structured() {
+    let server = Server::start(ServerConfig::new(UNION_PROGRAM)).expect("server");
+    let addr = server.addr();
+
+    // Unknown stream.
+    let err = StreamClient::connect(ClientConfig::new(addr.to_string(), "nope"))
+        .expect_err("unknown stream");
+    assert!(err.to_string().contains("unknown stream"), "{err}");
+
+    // Schema mismatch.
+    let mut cc = ClientConfig::new(addr.to_string(), "a");
+    cc.schema = Some(millstream_types::Schema::new(vec![
+        millstream_types::Field::new("v", millstream_types::DataType::Str),
+    ]));
+    let err = StreamClient::connect(cc).expect_err("schema mismatch");
+    assert!(err.to_string().contains("schema mismatch"), "{err}");
+
+    // Adopting the server schema works.
+    let c = client(addr, "a");
+    let schema = c.schema().expect("negotiated");
+    assert_eq!(schema.fields()[0].name, "v");
+    drop(c);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn frame_order_violation_closes_the_connection() {
+    use millstream_net::{write_frame, Frame, FrameReader, Role, PROTOCOL_VERSION};
+    let server = Server::start(ServerConfig::new(UNION_PROGRAM)).expect("server");
+    let addr = server.addr();
+    let mut raw = std::net::TcpStream::connect(addr).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_millis(25)))
+        .unwrap();
+    write_frame(
+        &mut raw,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            role: Role::Producer,
+            stream: "a".into(),
+            schema: None,
+            resume_hint: 0,
+        },
+    )
+    .unwrap();
+    let mut reader = FrameReader::new();
+    let ack = reader.read_blocking(&mut raw).unwrap().expect("hello ack");
+    assert!(matches!(ack, Frame::HelloAck { .. }));
+    write_frame(
+        &mut raw,
+        &Frame::Data {
+            seq: 5,
+            tuple: data(10),
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        reader.read_blocking(&mut raw).unwrap(),
+        Some(Frame::Ack { seq: 5, .. })
+    ));
+    // Regressing the sequence number on the same connection is a hard
+    // protocol error, reported before the connection closes.
+    write_frame(
+        &mut raw,
+        &Frame::Data {
+            seq: 5,
+            tuple: data(20),
+        },
+    )
+    .unwrap();
+    match reader.read_blocking(&mut raw).unwrap() {
+        Some(Frame::Error { message, .. }) => {
+            assert!(message.contains("frame order"), "{message}")
+        }
+        other => panic!("expected a frame-order error, got {other:?}"),
+    }
+    server.shutdown().expect("shutdown");
+}

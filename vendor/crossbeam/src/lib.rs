@@ -78,6 +78,35 @@ pub mod channel {
 
     impl<T: Send> std::error::Error for SendError<T> {}
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and currently full.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T: Send> std::error::Error for TrySendError<T> {}
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
     #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -127,6 +156,25 @@ pub mod channel {
                         inner = self.shared.space.wait(inner).unwrap();
                     }
                     _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.avail.notify_one();
+            Ok(())
+        }
+
+        /// Sends a message only if it can be done without blocking: fails
+        /// with [`TrySendError::Full`] on a full bounded channel instead of
+        /// waiting for capacity.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = inner.cap {
+                if inner.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             inner.queue.push_back(msg);
@@ -443,6 +491,18 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Ok(2));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn try_send_never_blocks() {
+        use channel::TrySendError;
+        let (tx, rx) = channel::bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
