@@ -12,15 +12,21 @@
 //!   (the Fig. 8 "peak total queue size" metric).
 //! * [`OrderSentinel`] / [`SentinelStats`] / [`CheckMode`] — the opt-in
 //!   runtime ordering-contract checks (`MILLSTREAM_CHECK={off,counters,strict}`).
+//! * [`PressureLevel`] / [`Watermarks`] / [`FeedbackSignal`] /
+//!   [`FeedbackRegisters`] — feedback punctuation flowing against the data
+//!   direction (queue-pressure levels, upstream pacing and declared
+//!   shedding).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod feedback;
 mod fifo;
 mod occupancy;
 mod sentinel;
 mod tsm;
 
+pub use feedback::{FeedbackRegisters, FeedbackSignal, PressureLevel, Watermarks};
 pub use fifo::{Buffer, OrderPolicy, PunctuationPolicy};
 pub use occupancy::OccupancyTracker;
 pub use sentinel::{CheckMode, OrderSentinel, SentinelStats};

@@ -35,6 +35,14 @@
 //!   --idle-ms MS    synthesize a source heartbeat after MS of network
 //!                   silence on a producer connection (default: off)
 //!   --strict        run with MILLSTREAM_CHECK=strict wire sentinels
+//!   --sub-queue N   bounded per-subscriber output queue (default 1024)
+//!   --overflow P    what to do with a subscriber stalled past its queue:
+//!                   `shed` (default: drop its oldest data, declared via
+//!                   cumulative drop-notice feedback frames) or
+//!                   `disconnect` (cut it off — after a drop notice, the
+//!                   final punctuation mark and a structured error)
+//!   --no-feedback   disable feedback punctuation entirely (no producer
+//!                   pacing frames, no engine pressure registers)
 //!
 //! send        replay a trace as a producer: lines `ts_micros,stream,v…`,
 //!             all for <stream>, data timestamps strictly increasing
@@ -48,9 +56,11 @@
 //!
 //! fuzz        differential stream fuzzing: generate seeded random query
 //!             graphs and disordered workloads, run each across every
-//!             EtsPolicy × scheduling policy × serial/parallel cell with
-//!             MILLSTREAM_CHECK=strict semantics, and compare all outputs
-//!             against a naive single-queue oracle
+//!             EtsPolicy × scheduling policy × serial/parallel ×
+//!             feedback-off/advisory-on cell with MILLSTREAM_CHECK=strict
+//!             semantics, and compare all outputs against a naive
+//!             single-queue oracle (advisory feedback must be
+//!             output-invariant)
 //!   --seeds N   number of seeds to run (default 64)
 //!   --base B    first seed (default 0)
 //!
@@ -95,7 +105,7 @@ struct Options {
     workers: usize,
 }
 
-const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N]\n       msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict]\n       msq send <addr> <stream> <trace.csv> [--window N]\n       msq tail <addr> [--patience-ms MS]\n       msq fuzz [--seeds N] [--base B]\n       msq bench [--quick]";
+const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N]\n       msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict] [--sub-queue N] [--overflow shed|disconnect] [--no-feedback]\n       msq send <addr> <stream> <trace.csv> [--window N]\n       msq tail <addr> [--patience-ms MS]\n       msq fuzz [--seeds N] [--base B]\n       msq bench [--quick]";
 
 fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
     let mut positional = Vec::new();
@@ -372,9 +382,32 @@ fn run_serve(args: &[String]) -> Result<()> {
     let mut workers = 2usize;
     let mut idle_ms = None;
     let mut strict = false;
+    let mut sub_queue = None;
+    let mut overflow = None;
+    let mut feedback = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--sub-queue" => {
+                sub_queue = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| Error::config("--sub-queue expects a positive integer"))?,
+                );
+            }
+            "--overflow" => {
+                overflow = Some(match it.next().map(String::as_str) {
+                    Some("shed") => millstream_net::OverflowPolicy::Shed,
+                    Some("disconnect") => millstream_net::OverflowPolicy::Disconnect,
+                    other => {
+                        return Err(Error::config(format!(
+                            "--overflow expects `shed` or `disconnect`, got {other:?}"
+                        )));
+                    }
+                });
+            }
+            "--no-feedback" => feedback = false,
             "--addr" => {
                 cfg_addr = it
                     .next()
@@ -416,6 +449,15 @@ fn run_serve(args: &[String]) -> Result<()> {
     if strict {
         cfg.check = Some(millstream_buffer::CheckMode::Strict);
     }
+    if let Some(n) = sub_queue {
+        cfg.subscriber_queue = n;
+    }
+    if let Some(p) = overflow {
+        cfg.overflow = p;
+    }
+    if !feedback {
+        cfg.feedback = None;
+    }
     let server = millstream_net::Server::start(cfg)?;
     // Scripts read the first line to learn the resolved port.
     println!("listening on {}", server.addr());
@@ -446,6 +488,18 @@ fn run_serve(args: &[String]) -> Result<()> {
         s.rejected_tuples,
         s.delivered,
     );
+    if s.feedback_frames > 0 || s.sub_shed > 0 || s.subscriber_overflows > 0 {
+        eprintln!(
+            "# feedback: {} pacing frame(s) to producers; {} tuple(s) shed from subscriber \
+             queues (declared), {} engine-shed, {} overflow disconnect(s); peak subscriber \
+             queue {}",
+            s.feedback_frames,
+            s.sub_shed,
+            report.exec.shed_tuples,
+            s.subscriber_overflows,
+            report.sub_peak_queue,
+        );
+    }
     for p in &report.ports {
         eprintln!(
             "#   stream {:<12} ingested {:>8}  synthesized {:>4}  idle {:>5.1}%",

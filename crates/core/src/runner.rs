@@ -57,7 +57,7 @@ enum Engine {
     /// One worker thread per query-graph component (`msq --workers N`).
     /// The plan DOT is rendered before partitioning (the whole graph).
     Parallel {
-        pex: ParallelExecutor,
+        pex: Box<ParallelExecutor>,
         plan_dot: String,
     },
 }
@@ -108,10 +108,10 @@ impl QueryRunner {
         let output = SharedVec::default();
         let planned = plan_program(program, output.clone())?;
         let plan_dot = planned.graph.to_dot();
-        let pex = ParallelExecutor::new(
+        let pex = Box::new(ParallelExecutor::new(
             planned.graph,
             ParallelConfig::new(CostModel::free(), EtsPolicy::None, workers),
-        );
+        ));
         Ok(QueryRunner {
             engine: Engine::Parallel { pex, plan_dot },
             sources: planned.sources,

@@ -120,6 +120,14 @@ pub struct ExecStats {
     /// order regressions, punctuation-dominance, TSM-consistency and
     /// clock-monotonicity violations.
     pub invariant_violations: u64,
+    /// Data tuples shed at ingest under critical feedback pressure with
+    /// shedding enabled — *declared* load shedding, never silent: every
+    /// missing tuple is accounted here and in the per-source
+    /// `SourceState::shed_tuples`.
+    pub shed_tuples: u64,
+    /// Feedback signals delivered to operators (pressure-level changes
+    /// observed during upstream propagation).
+    pub feedback_signals: u64,
 }
 
 impl ExecStats {
@@ -136,6 +144,8 @@ impl ExecStats {
             work_units,
             dropped_stale_heartbeats,
             invariant_violations,
+            shed_tuples,
+            feedback_signals,
         } = other;
         self.steps += steps;
         self.batches += batches;
@@ -144,6 +154,8 @@ impl ExecStats {
         self.work_units += work_units;
         self.dropped_stale_heartbeats += dropped_stale_heartbeats;
         self.invariant_violations += invariant_violations;
+        self.shed_tuples += shed_tuples;
+        self.feedback_signals += feedback_signals;
     }
 }
 
@@ -164,6 +176,59 @@ pub struct ExecOptions {
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions { encore_batch: 1 }
+    }
+}
+
+/// Feedback-punctuation configuration: pressure signals flowing against
+/// the data direction (Fernández-Moctezuma & Tufte; ROADMAP item 4).
+///
+/// At every quiescent point the executor classifies each operator's input
+/// occupancy against [`Watermarks`], propagates the maximum level
+/// *upstream* (reverse-topologically, the direction ordinary punctuation
+/// never travels), delivers [`millstream_buffer::FeedbackSignal`]s to
+/// operators whose level changed, and publishes per-source levels in
+/// lock-free [`millstream_buffer::FeedbackRegisters`] for external pacing
+/// (the network server reads them to throttle producers).
+///
+/// The two degradation knobs are separate and default **off** so that a
+/// feedback-enabled executor with both disabled is *output-equivalent* to
+/// a feedback-free one — signaling alone must never change results (the
+/// differential fuzzer pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeedbackConfig {
+    /// Occupancy thresholds classifying queue pressure.
+    pub watermarks: millstream_buffer::Watermarks,
+    /// Declared load shedding: at `Critical` source pressure, `ingest`
+    /// drops the data tuple and counts it ([`ExecStats::shed_tuples`],
+    /// `SourceState::shed_tuples`) instead of enqueueing. Never silent,
+    /// never applied to punctuation.
+    pub shed: bool,
+    /// Degraded-mode operator reactions: signals carry
+    /// `allow_degraded = true`, permitting e.g. `Reorder` slack
+    /// tightening (which may reclassify stragglers as late).
+    pub tighten_slack: bool,
+}
+
+impl FeedbackConfig {
+    /// Feedback with the given watermarks; both degradation knobs off.
+    pub fn new(watermarks: millstream_buffer::Watermarks) -> Self {
+        FeedbackConfig {
+            watermarks,
+            shed: false,
+            tighten_slack: false,
+        }
+    }
+
+    /// Enables declared load shedding at critical pressure (builder style).
+    pub fn with_shed(mut self, on: bool) -> Self {
+        self.shed = on;
+        self
+    }
+
+    /// Allows degraded-mode operator reactions (builder style).
+    pub fn with_tighten_slack(mut self, on: bool) -> Self {
+        self.tighten_slack = on;
+        self
     }
 }
 
@@ -196,6 +261,15 @@ pub struct Executor {
     /// chains and the visited set guarding multi-sink hand-offs.
     bt_stack: Vec<Pred>,
     bt_visited: std::collections::HashSet<NodeId>,
+    /// Feedback-punctuation channel (None = no feedback propagation).
+    feedback: Option<FeedbackConfig>,
+    /// Last pressure level delivered to each operator (wire encoding) —
+    /// signals fire only on change.
+    node_pressure: Vec<u8>,
+    /// Reverse-topological propagation scratch, reused across rounds.
+    pressure_scratch: Vec<u8>,
+    /// Published per-source pressure levels (shared with external pacers).
+    feedback_regs: Arc<millstream_buffer::FeedbackRegisters>,
 }
 
 impl Executor {
@@ -221,6 +295,8 @@ impl Executor {
             graph.set_check_mode(check, &sentinel_stats);
         }
         let last_clock = clock.now();
+        let num_ops = graph.ops.len();
+        let num_sources = graph.sources.len();
         Executor {
             graph,
             clock,
@@ -240,6 +316,10 @@ impl Executor {
             trace_capacity: 0,
             bt_stack: Vec::new(),
             bt_visited: std::collections::HashSet::new(),
+            feedback: None,
+            node_pressure: vec![0; num_ops],
+            pressure_scratch: Vec::new(),
+            feedback_regs: millstream_buffer::FeedbackRegisters::shared(num_sources),
         }
     }
 
@@ -254,6 +334,32 @@ impl Executor {
     /// The active invariant-checking mode.
     pub fn check_mode(&self) -> CheckMode {
         self.check
+    }
+
+    /// Enables the feedback-punctuation channel (builder style): pressure
+    /// levels are propagated upstream at every quiescent point and
+    /// published per source; see [`FeedbackConfig`].
+    pub fn with_feedback(mut self, cfg: FeedbackConfig) -> Self {
+        self.feedback = Some(cfg);
+        self
+    }
+
+    /// The feedback configuration in effect, if any.
+    pub fn feedback_config(&self) -> Option<FeedbackConfig> {
+        self.feedback
+    }
+
+    /// The published per-source pressure registers. All-`Normal` unless
+    /// feedback is enabled. Cheap to clone and safe to read from other
+    /// threads (relaxed atomics).
+    pub fn feedback_registers(&self) -> &Arc<millstream_buffer::FeedbackRegisters> {
+        &self.feedback_regs
+    }
+
+    /// The current pressure level of a source (its own buffer occupancy
+    /// maxed with everything downstream of its consumer).
+    pub fn source_pressure(&self, source: SourceId) -> millstream_buffer::PressureLevel {
+        self.feedback_regs.get(source.0)
     }
 
     /// The shared sentinel counters (all zero when checking is off).
@@ -393,6 +499,21 @@ impl Executor {
     /// activation.
     pub fn ingest(&mut self, source: SourceId, tuple: Tuple) -> Result<()> {
         {
+            // Declared load shedding: at critical pressure (as of the last
+            // feedback round) a data tuple is dropped *and counted* instead
+            // of deepening the queues. Only data is ever shed — punctuation
+            // and heartbeats always pass — so the ordering and
+            // punctuation-dominance contracts are untouched.
+            if self
+                .feedback
+                .is_some_and(|cfg| cfg.shed && !tuple.is_punctuation())
+                && self.feedback_regs.get(source.0) == millstream_buffer::PressureLevel::Critical
+                && !self.graph.sources[source.0].closed
+            {
+                self.graph.sources[source.0].shed_tuples += 1;
+                self.stats.shed_tuples += 1;
+                return Ok(());
+            }
             let s = &mut self.graph.sources[source.0];
             // A punctuation tuple slipping through here would bypass the
             // heartbeat high-water accounting below and corrupt ETS state
@@ -785,7 +906,67 @@ impl Executor {
                 _ => taken += 1,
             }
         }
+        self.propagate_feedback();
         Ok(taken)
+    }
+
+    /// One feedback-punctuation round (no-op unless
+    /// [`Executor::with_feedback`] was configured): classifies every
+    /// operator's input occupancy, propagates the maximum level upstream
+    /// against the data direction (node ids are topological, so one
+    /// reverse pass suffices), signals operators whose level changed, and
+    /// publishes per-source levels. Runs automatically at the end of
+    /// [`Executor::run_until_quiescent`]; drivers stepping manually may
+    /// call it at their own cadence.
+    pub fn propagate_feedback(&mut self) {
+        let Some(cfg) = self.feedback else {
+            return;
+        };
+        let mut scratch = std::mem::take(&mut self.pressure_scratch);
+        let n = self.graph.ops.len();
+        scratch.clear();
+        scratch.resize(n, 0);
+        {
+            let QueryGraph {
+                ops,
+                buffers,
+                sources,
+                ..
+            } = &mut self.graph;
+            for i in (0..n).rev() {
+                let own: usize = ops[i]
+                    .inputs
+                    .iter()
+                    .map(|b| buffers[b.0].borrow().len())
+                    .sum();
+                let mut level = cfg.watermarks.classify(own);
+                for succ in &ops[i].succs {
+                    level = level.max(millstream_buffer::PressureLevel::from_u8(scratch[succ.0]));
+                }
+                scratch[i] = level.as_u8();
+                if scratch[i] != self.node_pressure[i] {
+                    self.node_pressure[i] = scratch[i];
+                    let signal = millstream_buffer::FeedbackSignal {
+                        level,
+                        queued: own,
+                        allow_degraded: cfg.tighten_slack,
+                    };
+                    ops[i].op.on_feedback(&signal);
+                    self.stats.feedback_signals += 1;
+                }
+            }
+            for (s, state) in sources.iter().enumerate() {
+                let occ = buffers[state.buffer.0].borrow().len();
+                let level =
+                    cfg.watermarks
+                        .classify(occ)
+                        .max(millstream_buffer::PressureLevel::from_u8(
+                            scratch[state.consumer.0],
+                        ));
+                self.feedback_regs.set(s, level);
+            }
+        }
+        self.pressure_scratch = scratch;
     }
 
     /// NOS continuation after executing `node` (Fig. 3 step 2).

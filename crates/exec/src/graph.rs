@@ -99,6 +99,9 @@ pub struct SourceState {
     pub ets_generated: u64,
     /// Lifetime count of data tuples ingested here.
     pub ingested: u64,
+    /// Data tuples shed at this source under critical feedback pressure
+    /// (declared load shedding — see `FeedbackConfig::shed`).
+    pub shed_tuples: u64,
     /// Whether end-of-stream was declared (see `Executor::close_source`).
     pub closed: bool,
 }
@@ -775,6 +778,7 @@ impl GraphBuilder {
                 serves_ets: serves_ets[i],
                 ets_generated: 0,
                 ingested: 0,
+                shed_tuples: 0,
                 closed: false,
             })
             .collect();

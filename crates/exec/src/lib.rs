@@ -24,11 +24,15 @@ mod parallel;
 mod strategy;
 
 pub use clock::{CostModel, VirtualClock};
-pub use executor::{Activity, ExecOptions, ExecStats, Executor, OpProfile, SchedPolicy};
+pub use executor::{
+    Activity, ExecOptions, ExecStats, Executor, FeedbackConfig, OpProfile, SchedPolicy,
+};
 pub use graph::{
     BufferId, ComponentGraph, ComponentPartition, GraphBuilder, Input, NodeId, Pred, QueryGraph,
     SourceId, SourceState,
 };
-pub use millstream_buffer::{CheckMode, SentinelStats};
+pub use millstream_buffer::{
+    CheckMode, FeedbackRegisters, FeedbackSignal, PressureLevel, SentinelStats, Watermarks,
+};
 pub use parallel::{IngestHandle, ParallelConfig, ParallelExecutor, ParallelSnapshot};
 pub use strategy::EtsPolicy;

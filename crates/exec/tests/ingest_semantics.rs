@@ -59,7 +59,7 @@ fn data(ts: u64) -> Tuple {
 /// verbatim against each backend.
 enum Backend {
     Serial(Box<Executor>),
-    Parallel(ParallelExecutor),
+    Parallel(Box<ParallelExecutor>),
 }
 
 impl Backend {
@@ -73,10 +73,10 @@ impl Backend {
     }
 
     fn parallel(graph: QueryGraph) -> Backend {
-        Backend::Parallel(ParallelExecutor::new(
+        Backend::Parallel(Box::new(ParallelExecutor::new(
             graph,
             ParallelConfig::new(CostModel::free(), EtsPolicy::None, 2),
-        ))
+        )))
     }
 
     /// Ingest + run to quiescence, reporting any error either side raises.

@@ -16,12 +16,49 @@
 //! that is this protocol's resume contract.
 
 use std::collections::VecDeque;
+use std::hash::{BuildHasher, Hasher};
 use std::net::{Shutdown, TcpStream};
 use std::time::{Duration, Instant};
 
 use millstream_types::{Error, Result, Schema, Timestamp, Tuple};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::frame::{write_frame, Frame, FrameReader, ReadOutcome, Role, PROTOCOL_VERSION};
+
+/// One reconnect delay of the jittered exponential-backoff schedule.
+///
+/// The nominal schedule doubles from `base` per attempt and saturates at
+/// `max`; `jitter` (any `u64`, typically random) then pulls the delay
+/// uniformly down into `[nominal/2, nominal]`, de-synchronizing clients
+/// that lost the same server at the same instant (a thundering herd of
+/// lock-step retries is exactly what a recovering server does not need).
+/// The result is always clamped to `[base, max]`, whatever the inputs —
+/// property-tested in `tests/feedback.rs`.
+pub fn backoff_delay(base: Duration, max: Duration, attempt: u32, jitter: u64) -> Duration {
+    let base = base.min(max);
+    let mut nominal = base;
+    // Saturating doubling: `attempt` is 1-based for the first retry.
+    for _ in 1..attempt.max(1) {
+        nominal = nominal.checked_mul(2).unwrap_or(max).min(max);
+        if nominal == max {
+            break;
+        }
+    }
+    let spread = nominal / 2;
+    let pulled = nominal.saturating_sub(Duration::from_nanos(
+        jitter % (spread.as_nanos().min(u64::MAX as u128) as u64 + 1),
+    ));
+    pulled.clamp(base, max)
+}
+
+/// A machine-random seed without any extra dependency: the std hasher's
+/// per-process randomness.
+fn entropy_seed() -> u64 {
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
+}
 
 /// Configuration for [`StreamClient::connect`].
 #[derive(Debug, Clone)]
@@ -43,6 +80,9 @@ pub struct ClientConfig {
     /// Max silence waiting for an ack before the link is declared dead
     /// and the reconnect path runs.
     pub io_timeout: Duration,
+    /// Seed for the reconnect-backoff jitter; `None` (default) seeds from
+    /// process randomness. Fix it for deterministic tests.
+    pub backoff_seed: Option<u64>,
 }
 
 impl ClientConfig {
@@ -57,6 +97,7 @@ impl ClientConfig {
             base_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_secs(1),
             io_timeout: Duration::from_secs(5),
+            backoff_seed: None,
         }
     }
 }
@@ -76,6 +117,8 @@ pub struct ClientReport {
     /// Unacked frames dropped on reconnect because the server's
     /// `resume_ts` proved them durably ingested.
     pub resume_skipped: u64,
+    /// Feedback pacing frames received from the server.
+    pub feedback_frames: u64,
 }
 
 #[derive(Debug)]
@@ -105,6 +148,11 @@ pub struct StreamClient {
     report: ClientReport,
     /// Chaos hook: sever the link after this many more frame writes.
     fail_after: Option<u64>,
+    /// Send window requested by the server's last [`Frame::Feedback`];
+    /// `None` means no server limit (use the configured window).
+    server_window: Option<usize>,
+    /// Jitter source for the reconnect backoff schedule.
+    rng: SmallRng,
 }
 
 fn frame_seq(f: &Frame) -> u64 {
@@ -117,6 +165,7 @@ fn frame_seq(f: &Frame) -> u64 {
 impl StreamClient {
     /// Connects (with retry/backoff) and completes the handshake.
     pub fn connect(cfg: ClientConfig) -> Result<StreamClient> {
+        let rng = SmallRng::seed_from_u64(cfg.backoff_seed.unwrap_or_else(entropy_seed));
         let mut c = StreamClient {
             cfg,
             conn: None,
@@ -128,6 +177,8 @@ impl StreamClient {
             acked_ts: 0,
             report: ClientReport::default(),
             fail_after: None,
+            server_window: None,
+            rng,
         };
         c.ensure_connected()?;
         Ok(c)
@@ -141,6 +192,21 @@ impl StreamClient {
     /// Session counters so far.
     pub fn report(&self) -> &ClientReport {
         &self.report
+    }
+
+    /// The send window the server last requested via feedback, if any.
+    pub fn server_window(&self) -> Option<usize> {
+        self.server_window
+    }
+
+    /// The window `pump` actually enforces: the configured window, further
+    /// narrowed by the server's last feedback request.
+    fn effective_window(&self) -> usize {
+        let configured = self.cfg.ack_window.max(1);
+        match self.server_window {
+            Some(requested) => configured.min(requested.max(1)),
+            None => configured,
+        }
     }
 
     /// Test chaos hook: after `frames` more successful frame writes, the
@@ -206,12 +272,14 @@ impl StreamClient {
                     continue;
                 }
             }
-            if self.unacked.len() < self.cfg.ack_window.max(1) {
+            if self.unacked.len() < self.effective_window() {
                 return Ok(());
             }
             // Window full: stall until the server makes ack progress.
+            // (Feedback frames narrowing the window are also consumed
+            // here, so pacing takes effect within one ack round-trip.)
             self.await_ack_progress()?;
-            if self.unacked.len() < self.cfg.ack_window.max(1) {
+            if self.unacked.len() < self.effective_window() {
                 return Ok(());
             }
         }
@@ -298,6 +366,18 @@ impl StreamClient {
                 }
                 Ok(())
             }
+            Frame::Feedback { window, .. } => {
+                // Upstream pacing: adopt (or clear) the server-requested
+                // send window. Never an error — feedback is advisory
+                // punctuation, not a session verdict.
+                self.server_window = if window == 0 {
+                    None
+                } else {
+                    Some(window.min(usize::MAX as u64) as usize)
+                };
+                self.report.feedback_frames += 1;
+                Ok(())
+            }
             Frame::Error { code, message } => Err(Error::runtime(format!(
                 "server rejected the session ({code:?}): {message}"
             ))),
@@ -326,12 +406,15 @@ impl StreamClient {
         if self.conn.is_some() {
             return Ok(());
         }
-        let mut backoff = self.cfg.base_backoff;
         let mut last_err = None;
         for attempt in 0..self.cfg.connect_retries.max(1) {
             if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(self.cfg.max_backoff);
+                std::thread::sleep(backoff_delay(
+                    self.cfg.base_backoff,
+                    self.cfg.max_backoff,
+                    attempt,
+                    self.rng.next_u64(),
+                ));
             }
             match self.try_handshake() {
                 Ok(conn) => {
@@ -425,7 +508,12 @@ impl StreamClient {
         let before = self.unacked.len();
         self.unacked.retain(|f| match f {
             Frame::Data { tuple, .. } => tuple.ts.as_micros() > resume_ts,
-            // Heartbeats and closes are idempotent server-side; keep them.
+            // A heartbeat at or below the server's high-water asserts
+            // nothing the server doesn't already know — retransmitting it
+            // would only be dropped as stale engine-side. Prune it here
+            // and count it as resumed, like the data it rode with.
+            Frame::Heartbeat { ts, .. } => ts.as_micros() > resume_ts,
+            // Closes are idempotent server-side; keep them.
             _ => true,
         });
         let skipped = (before - self.unacked.len()) as u64;
@@ -444,6 +532,11 @@ pub struct Subscription {
     stream: TcpStream,
     reader: FrameReader,
     schema: Schema,
+    /// Cumulative outputs shed server-side for this subscriber, as
+    /// declared by [`Frame::Feedback`] drop notices.
+    dropped: u64,
+    /// Feedback notices received.
+    feedback_frames: u64,
 }
 
 impl Subscription {
@@ -458,6 +551,8 @@ impl Subscription {
             stream,
             reader: FrameReader::new(),
             schema: Schema::empty(),
+            dropped: 0,
+            feedback_frames: 0,
         };
         write_frame(
             &mut sub.stream,
@@ -488,19 +583,43 @@ impl Subscription {
         &self.schema
     }
 
+    /// Cumulative outputs the server declared shed for this subscriber
+    /// (via [`Frame::Feedback`] drop notices). `received + dropped()`
+    /// reconciles with the server's delivered count.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Feedback drop-notice frames received so far.
+    pub fn feedback_frames(&self) -> u64 {
+        self.feedback_frames
+    }
+
     /// Next output tuple (punctuation marks included, so final-ETS
     /// propagation is observable). `Ok(None)` at graceful end of stream;
-    /// an error if nothing arrives within `patience`.
+    /// an error if nothing arrives within `patience`. Feedback drop
+    /// notices are absorbed into [`Subscription::dropped`] — they never
+    /// end the stream.
     pub fn next(&mut self, patience: Duration) -> Result<Option<Tuple>> {
-        match self.read_deadline(patience)? {
-            Some(Frame::Output { tuple }) => Ok(Some(tuple)),
-            Some(Frame::Bye) | None => Ok(None),
-            Some(Frame::Error { code, message }) => Err(Error::runtime(format!(
-                "subscription ended ({code:?}): {message}"
-            ))),
-            Some(other) => Err(Error::runtime(format!(
-                "unexpected frame on subscription: {other:?}"
-            ))),
+        loop {
+            match self.read_deadline(patience)? {
+                Some(Frame::Output { tuple }) => return Ok(Some(tuple)),
+                Some(Frame::Feedback { dropped, .. }) => {
+                    self.dropped = self.dropped.max(dropped);
+                    self.feedback_frames += 1;
+                }
+                Some(Frame::Bye) | None => return Ok(None),
+                Some(Frame::Error { code, message }) => {
+                    return Err(Error::runtime(format!(
+                        "subscription ended ({code:?}): {message}"
+                    )));
+                }
+                Some(other) => {
+                    return Err(Error::runtime(format!(
+                        "unexpected frame on subscription: {other:?}"
+                    )));
+                }
+            }
         }
     }
 

@@ -19,6 +19,7 @@
 //! | 7    | `Output`     | server → subscriber | tuple                                   |
 //! | 8    | `Error`      | server → client     | code, message                           |
 //! | 9    | `Bye`        | either              | —                                       |
+//! | 10   | `Feedback`   | server → client     | pressure level, window, dropped count   |
 //!
 //! Timestamps travel as microseconds (`u64` LE), matching
 //! [`Timestamp::as_micros`]. A tuple is `u64 ts | u8 flags` with bit 0 set
@@ -158,6 +159,22 @@ pub enum Frame {
     },
     /// Graceful end of the connection.
     Bye,
+    /// Feedback punctuation flowing *against* the data direction: the
+    /// server tells a producer how hard to throttle, or a subscriber how
+    /// many queued outputs were shed on its behalf. Never terminal — the
+    /// connection continues after it.
+    Feedback {
+        /// Engine/queue pressure level (`PressureLevel::as_u8` encoding:
+        /// 0 normal, 1 high, 2 critical; unknown values saturate to
+        /// critical on the receiving side).
+        level: u8,
+        /// Requested producer send window (max unacked frames); `0` means
+        /// "no limit requested" — the producer restores its own window.
+        window: u64,
+        /// Cumulative count of this subscriber's outputs shed server-side
+        /// (always `0` on the producer path).
+        dropped: u64,
+    },
 }
 
 fn wire(msg: impl Into<String>) -> Error {
@@ -314,6 +331,16 @@ impl Frame {
                 put_str(&mut buf, message)?;
             }
             Frame::Bye => buf.push(9),
+            Frame::Feedback {
+                level,
+                window,
+                dropped,
+            } => {
+                buf.push(10);
+                buf.push(*level);
+                put_u64(&mut buf, *window);
+                put_u64(&mut buf, *dropped);
+            }
         }
         let len = (buf.len() - 4) as u32;
         if len > MAX_FRAME_LEN {
@@ -374,6 +401,11 @@ impl Frame {
                 message: c.string()?,
             },
             9 => Frame::Bye,
+            10 => Frame::Feedback {
+                level: c.u8()?,
+                window: c.u64()?,
+                dropped: c.u64()?,
+            },
             other => return Err(wire(format!("unknown frame kind {other}"))),
         };
         if c.pos != body.len() {
@@ -673,6 +705,11 @@ mod tests {
             message: "slow subscriber".into(),
         });
         roundtrip(Frame::Bye);
+        roundtrip(Frame::Feedback {
+            level: 2,
+            window: 1,
+            dropped: 37,
+        });
     }
 
     #[test]

@@ -13,7 +13,14 @@
 //! on-demand heartbeat synthesis — the network-age reading of the
 //! paper's on-demand ETS generation at starved sources.
 //!
-//! See `DESIGN.md` §8 for the full wire contract.
+//! Pressure flows the other way as **feedback punctuation**
+//! ([`Frame::Feedback`]): the server translates engine and subscriber
+//! queue occupancy into producer send-window requests, and declares any
+//! subscriber-side load shedding with cumulative drop notices instead of
+//! silent loss or bare disconnects.
+//!
+//! See `DESIGN.md` §8 for the full wire contract and §9 for the feedback
+//! channel.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,8 +29,8 @@ pub mod client;
 pub mod frame;
 pub mod server;
 
-pub use client::{ClientConfig, ClientReport, StreamClient, Subscription};
+pub use client::{backoff_delay, ClientConfig, ClientReport, StreamClient, Subscription};
 pub use frame::{
     write_frame, ErrorCode, Frame, FrameReader, ReadOutcome, Role, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-pub use server::{PortReport, Server, ServerConfig, ServerReport, ServerStats};
+pub use server::{OverflowPolicy, PortReport, Server, ServerConfig, ServerReport, ServerStats};

@@ -14,15 +14,27 @@
 //! is what makes the per-connection wire-arrival → sink-delivery
 //! [`LatencyRecorder`] meaningful.
 //!
-//! ## Backpressure
+//! ## Backpressure and feedback punctuation
 //!
 //! Producers are processed synchronously: a frame is acked only after the
 //! engine has fully absorbed it, so a producer's unacked window (client
 //! side, [`crate::client::StreamClient`]) is the *only* buffering between
 //! the socket and the engine — the server never queues unbounded input.
-//! Subscribers get a bounded queue each; a subscriber that stalls past
-//! its queue capacity is disconnected with [`ErrorCode::Overflow`] rather
-//! than letting the queue grow.
+//! On top of that, the server translates queue pressure into
+//! [`Frame::Feedback`] punctuation flowing *against* the data direction:
+//! when the engine's occupancy (or the deepest subscriber queue) crosses
+//! the configured watermarks, every producer connection is told a smaller
+//! send window, and the producer client narrows its pipeline accordingly.
+//!
+//! Subscribers get a bounded queue each. Under the default
+//! [`OverflowPolicy::Shed`], a subscriber that stalls past its queue
+//! capacity has its **oldest data tuples** shed — punctuation is never
+//! shed, only coalesced — and the drop count travels to the subscriber as
+//! cumulative [`Frame::Feedback`] notices, so loss is always declared,
+//! never silent. Under [`OverflowPolicy::Disconnect`], the subscriber is
+//! cut off instead — but only after a drop-count notice, the final
+//! `Timestamp::MAX` punctuation and a structured
+//! [`ErrorCode::Overflow`] error, never by a bare socket close.
 //!
 //! ## Idle connections and on-demand heartbeats
 //!
@@ -36,18 +48,17 @@
 //! — later data under the mark is dropped at the socket boundary
 //! (counted, and fatal under `MILLSTREAM_CHECK=strict`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
-
-use millstream_buffer::{CheckMode, OrderSentinel, SentinelStats};
+use millstream_buffer::{CheckMode, OrderSentinel, PressureLevel, SentinelStats, Watermarks};
 use millstream_exec::{
-    CostModel, EtsPolicy, ExecStats, IngestHandle, NodeId, ParallelConfig, ParallelExecutor,
+    CostModel, EtsPolicy, ExecStats, FeedbackConfig, IngestHandle, NodeId, ParallelConfig,
+    ParallelExecutor,
 };
 use millstream_metrics::{IdleSummary, IdleTracker, LatencyRecorder, LatencySummary};
 use millstream_ops::SinkCollector;
@@ -79,13 +90,36 @@ pub struct ServerConfig {
     /// synthesizes a source heartbeat at stream time. `None` disables
     /// synthesis.
     pub idle_timeout: Option<Duration>,
-    /// Bounded per-subscriber queue; overflow disconnects the subscriber.
+    /// Bounded per-subscriber queue; [`ServerConfig::overflow`] decides
+    /// what happens when a subscriber stalls past it.
     pub subscriber_queue: usize,
     /// Socket read timeout — the cadence at which connections notice
     /// shutdown and idle deadlines.
     pub read_timeout: Duration,
     /// Invariant-checking override; `None` inherits `MILLSTREAM_CHECK`.
     pub check: Option<CheckMode>,
+    /// Engine-side feedback punctuation. `Some` (the default) has every
+    /// component executor publish queue pressure, which the server
+    /// translates into producer-side pacing ([`Frame::Feedback`] frames);
+    /// `None` disables the feedback path entirely.
+    pub feedback: Option<FeedbackConfig>,
+    /// What to do with a subscriber that overflows its bounded queue.
+    pub overflow: OverflowPolicy,
+}
+
+/// How the server treats a subscriber that stalls past its bounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Shed the subscriber's **oldest data tuples** to make room, keep the
+    /// connection, and declare every drop via cumulative
+    /// [`Frame::Feedback`] notices. Punctuation is never shed, only
+    /// coalesced, so the subscriber's order/progress contract holds.
+    #[default]
+    Shed,
+    /// Disconnect the subscriber — after a drop-count notice, the final
+    /// `Timestamp::MAX` punctuation and a structured
+    /// [`ErrorCode::Overflow`] error frame.
+    Disconnect,
 }
 
 impl ServerConfig {
@@ -99,6 +133,8 @@ impl ServerConfig {
             subscriber_queue: 1024,
             read_timeout: Duration::from_millis(25),
             check: None,
+            feedback: Some(FeedbackConfig::default()),
+            overflow: OverflowPolicy::default(),
         }
     }
 }
@@ -124,8 +160,15 @@ pub struct ServerStats {
     pub synthesized_heartbeats: u64,
     /// Tuples delivered by the sink (fanned out to subscribers).
     pub delivered: u64,
-    /// Subscribers disconnected for overflowing their bounded queue.
+    /// Subscribers that overflowed their bounded queue (disconnected
+    /// under [`OverflowPolicy::Disconnect`]; kept under `Shed`).
     pub subscriber_overflows: u64,
+    /// Data tuples shed from subscriber queues under
+    /// [`OverflowPolicy::Shed`] — every one declared to its subscriber
+    /// via a [`Frame::Feedback`] drop notice.
+    pub sub_shed: u64,
+    /// Feedback pacing frames sent to producer connections.
+    pub feedback_frames: u64,
 }
 
 /// Per-source accounting in the final [`ServerReport`].
@@ -161,6 +204,9 @@ pub struct ServerReport {
     pub exec: ExecStats,
     /// Wire-level sentinel violations observed at socket boundaries.
     pub wire_sentinel_violations: u64,
+    /// Deepest any subscriber queue ever got — with feedback shedding on,
+    /// bounded by [`ServerConfig::subscriber_queue`] by construction.
+    pub sub_peak_queue: usize,
     /// Idle-waiting fraction of the monitored IWP operator (the query's
     /// top union/join), if the plan has one.
     pub monitor_idle_fraction: Option<f64>,
@@ -217,80 +263,211 @@ impl Engine {
     }
 }
 
+/// One subscriber's bounded output queue, shared between the delivering
+/// sink (under the broadcast lock) and the subscriber's writer thread.
+struct SubQueue {
+    state: Mutex<SubState>,
+    cv: Condvar,
+    cap: usize,
+}
+
+struct SubState {
+    buf: VecDeque<Tuple>,
+    /// Cumulative data tuples shed for this subscriber — the figure its
+    /// [`Frame::Feedback`] drop notices carry.
+    dropped: u64,
+    /// Deepest the queue ever got.
+    peak: usize,
+    /// [`OverflowPolicy::Disconnect`] tripped: no further deliveries; the
+    /// writer drains what is buffered and closes with the full
+    /// notice/mark/error sequence.
+    overflowed: bool,
+    /// End of stream: the final punctuation (if any) is already queued.
+    finished: bool,
+}
+
+impl SubQueue {
+    /// Makes room for one more tuple on a full queue without ever losing
+    /// a punctuation mark: the oldest **data** tuple is shed (counted);
+    /// if the queue is all punctuation, the oldest mark is coalesced away
+    /// (dominated by every newer mark behind it — semantically lossless).
+    /// Returns how many data tuples were shed (0 or 1).
+    fn make_room(st: &mut SubState) -> u64 {
+        match st.buf.iter().position(Tuple::is_data) {
+            Some(pos) => {
+                st.buf.remove(pos);
+                st.dropped += 1;
+                1
+            }
+            None => {
+                st.buf.pop_front();
+                0
+            }
+        }
+    }
+}
+
 /// Fan-out sink: the planned query delivers here, and every subscriber
 /// gets a bounded copy of the stream.
 #[derive(Clone)]
-struct Broadcast(Arc<Mutex<BroadcastState>>);
+struct Broadcast {
+    inner: Arc<Mutex<BroadcastState>>,
+    policy: OverflowPolicy,
+    /// Pressure classification for subscriber queue depth, sized to
+    /// [`ServerConfig::subscriber_queue`].
+    marks: Watermarks,
+}
 
 struct BroadcastState {
-    subs: Vec<Option<Sender<Tuple>>>,
+    subs: Vec<Option<Arc<SubQueue>>>,
     delivered: u64,
     overflows: u64,
+    shed: u64,
+    peak: usize,
 }
 
 impl Broadcast {
-    fn new() -> Self {
-        Broadcast(Arc::new(Mutex::new(BroadcastState {
-            subs: Vec::new(),
-            delivered: 0,
-            overflows: 0,
-        })))
+    fn new(policy: OverflowPolicy, queue_cap: usize) -> Self {
+        Broadcast {
+            inner: Arc::new(Mutex::new(BroadcastState {
+                subs: Vec::new(),
+                delivered: 0,
+                overflows: 0,
+                shed: 0,
+                peak: 0,
+            })),
+            policy,
+            marks: Watermarks::new(queue_cap / 2, queue_cap.saturating_sub(queue_cap / 8)),
+        }
     }
 
-    fn subscribe(&self, cap: usize) -> (usize, Receiver<Tuple>) {
-        let (tx, rx) = channel::bounded(cap);
-        let mut st = self.0.lock().unwrap();
+    fn subscribe(&self, cap: usize) -> (usize, Arc<SubQueue>) {
+        let q = Arc::new(SubQueue {
+            state: Mutex::new(SubState {
+                buf: VecDeque::new(),
+                dropped: 0,
+                peak: 0,
+                overflowed: false,
+                finished: false,
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        });
+        let mut st = self.inner.lock().unwrap();
         let slot = st.subs.len();
-        st.subs.push(Some(tx));
-        (slot, rx)
+        st.subs.push(Some(Arc::clone(&q)));
+        (slot, q)
     }
 
     fn unsubscribe(&self, slot: usize) {
-        self.0.lock().unwrap().subs[slot] = None;
+        let mut st = self.inner.lock().unwrap();
+        if let Some(q) = st.subs[slot].take() {
+            let sub = q.state.lock().unwrap();
+            st.peak = st.peak.max(sub.peak);
+        }
     }
 
     fn delivered(&self) -> u64 {
-        self.0.lock().unwrap().delivered
+        self.inner.lock().unwrap().delivered
     }
 
     fn overflows(&self) -> u64 {
-        self.0.lock().unwrap().overflows
+        self.inner.lock().unwrap().overflows
     }
 
-    /// Pushes a final punctuation to every live subscriber and drops the
-    /// senders, ending their streams.
-    fn finish(&self) {
-        let mut st = self.0.lock().unwrap();
-        for slot in st.subs.iter_mut() {
-            if let Some(tx) = slot.take() {
-                // Best effort: an overflowing subscriber misses the final
-                // mark but still sees end-of-stream via the disconnect.
-                let _ = tx.try_send(Tuple::punctuation(Timestamp::MAX));
-            }
+    fn shed_total(&self) -> u64 {
+        self.inner.lock().unwrap().shed
+    }
+
+    /// Deepest any subscriber queue ever got (departed ones included).
+    fn peak(&self) -> usize {
+        let st = self.inner.lock().unwrap();
+        let mut peak = st.peak;
+        for q in st.subs.iter().flatten() {
+            peak = peak.max(q.state.lock().unwrap().peak);
         }
+        peak
+    }
+
+    /// Current pressure from the deepest live subscriber queue — one of
+    /// the two inputs to producer pacing (the other is engine occupancy).
+    fn pressure(&self) -> PressureLevel {
+        let st = self.inner.lock().unwrap();
+        let mut level = PressureLevel::Normal;
+        for q in st.subs.iter().flatten() {
+            level = level.max(self.marks.classify(q.state.lock().unwrap().buf.len()));
+        }
+        level
+    }
+
+    /// Queues the final `Timestamp::MAX` punctuation to **every** live
+    /// subscriber — shedding a data tuple for room if it must (counted
+    /// like any other shed) — and marks their streams finished. Even an
+    /// overflowed subscriber gets the final mark: its writer drains the
+    /// buffer before closing.
+    fn finish(&self) {
+        let mut st = self.inner.lock().unwrap();
+        let mut shed = 0;
+        for q in st.subs.iter().flatten() {
+            let mut sub = q.state.lock().unwrap();
+            // An overflowed (Disconnect-policy) subscriber synthesizes
+            // its own final mark in its close sequence; queueing another
+            // here would only duplicate it.
+            if !sub.finished && !sub.overflowed {
+                if sub.buf.len() >= q.cap {
+                    shed += SubQueue::make_room(&mut sub);
+                }
+                sub.buf.push_back(Tuple::punctuation(Timestamp::MAX));
+                sub.peak = sub.peak.max(sub.buf.len());
+            }
+            sub.finished = true;
+            q.cv.notify_one();
+        }
+        st.shed += shed;
     }
 }
 
 impl SinkCollector for Broadcast {
     fn deliver(&mut self, tuple: Tuple, _now: Timestamp) {
-        let mut st = self.0.lock().unwrap();
+        let mut st = self.inner.lock().unwrap();
         st.delivered += 1;
-        let mut overflowed = 0;
-        for slot in st.subs.iter_mut() {
-            if let Some(tx) = slot {
-                match tx.try_send(tuple.clone()) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(_)) => {
-                        // Bounded-buffer contract: drop the subscriber,
-                        // never queue unbounded.
-                        *slot = None;
-                        overflowed += 1;
+        let mut overflows = 0;
+        let mut shed = 0;
+        for q in st.subs.iter().flatten() {
+            let mut sub = q.state.lock().unwrap();
+            if sub.finished {
+                continue;
+            }
+            if sub.overflowed {
+                // Disconnect policy already tripped: the writer is still
+                // draining the prefix, so count what it will never see —
+                // it freezes this ledger (sets `finished`) the moment it
+                // reads the count for its final drop notice.
+                if tuple.is_data() {
+                    sub.dropped += 1;
+                }
+                continue;
+            }
+            if sub.buf.len() >= q.cap {
+                match self.policy {
+                    OverflowPolicy::Shed => shed += SubQueue::make_room(&mut sub),
+                    OverflowPolicy::Disconnect => {
+                        sub.overflowed = true;
+                        overflows += 1;
+                        if tuple.is_data() {
+                            sub.dropped += 1;
+                        }
+                        q.cv.notify_one();
+                        continue;
                     }
-                    Err(TrySendError::Disconnected(_)) => *slot = None,
                 }
             }
+            sub.buf.push_back(tuple.clone());
+            sub.peak = sub.peak.max(sub.buf.len());
+            q.cv.notify_one();
         }
-        st.overflows += overflowed;
+        st.overflows += overflows;
+        st.shed += shed;
     }
 }
 
@@ -328,10 +505,11 @@ impl Server {
     /// Plans `cfg.program`, binds the listener and starts accepting.
     pub fn start(cfg: ServerConfig) -> Result<Server> {
         let check = cfg.check.unwrap_or_else(CheckMode::from_env);
-        let broadcast = Broadcast::new();
+        let broadcast = Broadcast::new(cfg.overflow, cfg.subscriber_queue);
         let planned = plan_program(&cfg.program, broadcast.clone())?;
         let mut pcfg = ParallelConfig::new(CostModel::free(), EtsPolicy::None, cfg.workers.max(1));
         pcfg.check = Some(check);
+        pcfg.feedback = cfg.feedback;
         let exec = ParallelExecutor::new(planned.graph, pcfg);
         if let Some(node) = planned.monitor {
             exec.monitor_idle(node)?;
@@ -408,6 +586,7 @@ impl Server {
         let mut stats = self.shared.engine.lock().unwrap().stats.clone();
         stats.delivered = self.shared.broadcast.delivered();
         stats.subscriber_overflows = self.shared.broadcast.overflows();
+        stats.sub_shed = self.shared.broadcast.shed_total();
         stats
     }
 
@@ -471,25 +650,34 @@ impl Server {
                     idle: p.idle.summarize(now_us),
                 })
                 .collect();
-            let mut stats = eng.stats.clone();
-            stats.delivered = self.shared.broadcast.delivered();
-            stats.subscriber_overflows = self.shared.broadcast.overflows();
-            ServerReport {
-                stats,
+            (
+                eng.stats.clone(),
                 ports,
-                latency: self.shared.latency.lock().unwrap().summarize(),
-                exec: snapshot.stats,
-                wire_sentinel_violations: self.shared.sentinel.total(),
+                snapshot.stats,
                 monitor_idle_fraction,
-            }
+            )
         };
-        // End every subscriber stream (final punctuation, then EOF).
+        // End every subscriber stream (final punctuation, then EOF) —
+        // *before* assembling the report, so the shed/peak totals include
+        // anything the final mark had to displace.
         self.shared.broadcast.finish();
         let handles = std::mem::take(&mut *self.conns.lock().unwrap());
         for h in handles {
             let _ = h.join();
         }
-        Ok(report)
+        let (mut stats, ports, exec, monitor_idle_fraction) = report;
+        stats.delivered = self.shared.broadcast.delivered();
+        stats.subscriber_overflows = self.shared.broadcast.overflows();
+        stats.sub_shed = self.shared.broadcast.shed_total();
+        Ok(ServerReport {
+            stats,
+            ports,
+            latency: self.shared.latency.lock().unwrap().summarize(),
+            exec,
+            wire_sentinel_violations: self.shared.sentinel.total(),
+            sub_peak_queue: self.shared.broadcast.peak(),
+            monitor_idle_fraction,
+        })
     }
 }
 
@@ -673,6 +861,10 @@ fn producer_loop(
 ) -> Result<()> {
     let mut last_seq: Option<u64> = None;
     let mut draining = false;
+    // Pacing state: the last pressure level announced to this producer.
+    // Feedback frames go out only on level *changes*, so a steady state
+    // costs no wire traffic.
+    let mut sent_level = PressureLevel::Normal;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             // Drain mode: keep consuming frames already in flight, but
@@ -722,7 +914,7 @@ fn producer_loop(
             return Ok(());
         }
         last_seq = Some(seq);
-        let ack = {
+        let (ack, feedback) = {
             let now_us = shared.now_us();
             let mut eng = shared.engine.lock().unwrap();
             eng.stats.frames_in += 1;
@@ -752,12 +944,46 @@ fn producer_loop(
             for _ in delivered_before..delivered_after {
                 latency.record(elapsed);
             }
-            Frame::Ack {
+            // Translate engine + subscriber queue pressure into a pacing
+            // frame when the level changed since the last announcement.
+            let feedback = if shared.cfg.feedback.is_some() {
+                let level = eng.exec.max_pressure().max(shared.broadcast.pressure());
+                if level != sent_level {
+                    sent_level = level;
+                    eng.stats.feedback_frames += 1;
+                    Some(Frame::Feedback {
+                        level: level.as_u8(),
+                        window: pacing_window(level),
+                        dropped: 0,
+                    })
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            let ack = Frame::Ack {
                 seq,
                 high_water: eng.ports[port_idx].data_hw.unwrap_or(0),
-            }
+            };
+            (ack, feedback)
         };
+        // Feedback before the ack: the producer learns the new window
+        // before its pump refills the pipeline.
+        if let Some(fb) = feedback {
+            write_frame(stream, &fb)?;
+        }
         write_frame(stream, &ack)?;
+    }
+}
+
+/// The send window (max unacked frames) requested of a producer at each
+/// pressure level; `0` means "no limit requested".
+fn pacing_window(level: PressureLevel) -> u64 {
+    match level {
+        PressureLevel::Normal => 0,
+        PressureLevel::High => 4,
+        PressureLevel::Critical => 1,
     }
 }
 
@@ -936,9 +1162,21 @@ fn maybe_synthesize_heartbeat(shared: &Arc<Shared>, port_idx: usize) -> Result<(
     Ok(())
 }
 
+/// What one wait on a subscriber queue produced.
+enum SubStep {
+    /// A tuple to write, plus the cumulative drop count at pop time and
+    /// the queue's pressure level (for drop-notice feedback frames).
+    Tuple(Tuple, u64, PressureLevel),
+    /// Nothing arrived within the poll timeout.
+    Quiet,
+    /// Stream over: `overflowed` tells graceful end from a
+    /// [`OverflowPolicy::Disconnect`] cut-off; `dropped` is final.
+    End { overflowed: bool, dropped: u64 },
+}
+
 fn serve_subscriber(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
     let output_schema = shared.engine.lock().unwrap().output_schema.clone();
-    let (slot, rx) = shared.broadcast.subscribe(shared.cfg.subscriber_queue);
+    let (slot, q) = shared.broadcast.subscribe(shared.cfg.subscriber_queue);
     write_frame(
         &mut stream,
         &Frame::HelloAck {
@@ -947,30 +1185,97 @@ fn serve_subscriber(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
             resume_ts: 0,
         },
     )?;
-    let res = loop {
-        match rx.recv_timeout(shared.cfg.read_timeout) {
-            Ok(tuple) => {
+    // Cumulative drops already announced to this subscriber; a change is
+    // declared with a Feedback frame *before* the next Output, so the
+    // subscriber can always reconcile received + dropped = delivered.
+    let mut announced: u64 = 0;
+    let res: Result<()> = loop {
+        let step = {
+            let mut sub = q.state.lock().unwrap();
+            loop {
+                if let Some(t) = sub.buf.pop_front() {
+                    let level = shared.broadcast.marks.classify(sub.buf.len());
+                    break SubStep::Tuple(t, sub.dropped, level);
+                }
+                if sub.overflowed || sub.finished {
+                    // Freeze the drop ledger at the moment the verdict is
+                    // announced: from here on `deliver` treats this
+                    // subscriber as gone (skip, don't count), so the
+                    // notice written below is exact — every tuple before
+                    // the cut is delivered or declared, tuples after it
+                    // are post-subscription.
+                    let overflowed = sub.overflowed;
+                    sub.finished = true;
+                    break SubStep::End {
+                        overflowed,
+                        dropped: sub.dropped,
+                    };
+                }
+                let (guard, timeout) =
+                    q.cv.wait_timeout(sub, shared.cfg.read_timeout)
+                        .expect("subscriber queue lock poisoned");
+                sub = guard;
+                if timeout.timed_out() {
+                    break SubStep::Quiet;
+                }
+            }
+        };
+        match step {
+            SubStep::Quiet => continue,
+            SubStep::Tuple(tuple, dropped, level) => {
+                if dropped > announced {
+                    announced = dropped;
+                    if let Err(e) = write_frame(
+                        &mut stream,
+                        &Frame::Feedback {
+                            level: level.as_u8(),
+                            window: 0,
+                            dropped,
+                        },
+                    ) {
+                        break Err(e);
+                    }
+                }
                 if let Err(e) = write_frame(&mut stream, &Frame::Output { tuple }) {
                     // Subscriber went away; not a server error.
                     break Err(e);
                 }
             }
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => {
-                // Either graceful end-of-stream (shutdown dropped the
-                // sender after the final punctuation) or this subscriber
-                // overflowed its bounded queue and was cut off.
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    let _ = write_frame(&mut stream, &Frame::Bye);
-                } else {
+            SubStep::End {
+                overflowed,
+                dropped,
+            } => {
+                if dropped > announced {
+                    let _ = write_frame(
+                        &mut stream,
+                        &Frame::Feedback {
+                            level: PressureLevel::Critical.as_u8(),
+                            window: 0,
+                            dropped,
+                        },
+                    );
+                }
+                if overflowed {
+                    // The fixed disconnect path: the final mark and a
+                    // structured error, never a bare socket close. The
+                    // buffered prefix (drained above) plus the MAX mark
+                    // keep the subscriber's progress contract intact.
+                    let _ = write_frame(
+                        &mut stream,
+                        &Frame::Output {
+                            tuple: Tuple::punctuation(Timestamp::MAX),
+                        },
+                    );
                     send_error(
                         &mut stream,
                         ErrorCode::Overflow,
                         format!(
-                            "subscriber overflowed its bounded queue ({} tuples)",
+                            "subscriber overflowed its bounded queue ({} tuples); {dropped} dropped",
                             shared.cfg.subscriber_queue
                         ),
                     );
+                } else {
+                    let _ = write_frame(&mut stream, &Frame::Bye);
                 }
                 break Ok(());
             }

@@ -16,7 +16,10 @@
 //!
 //! The workload then runs under **every cell of the engine matrix** —
 //! `EtsPolicy` × `SchedPolicy` × workers ∈ {1 (serial [`Executor`]),
-//! 4 ([`ParallelExecutor`])} — with the sentinel layer in strict mode, and
+//! 4 ([`ParallelExecutor`])} × feedback ∈ {off, advisory-on} (harsh
+//! watermarks, shedding and slack tightening disabled, so the feedback
+//! channel must be output-invariant) — with the sentinel layer in strict
+//! mode, and
 //! each sink's output is compared against a naive single-queue oracle
 //! (all surviving data tuples of the component, merged into one queue and
 //! sorted by timestamp). Any engine error, invariant violation, ordering
@@ -43,8 +46,8 @@
 use std::sync::{Arc, Mutex};
 
 use millstream_exec::{
-    CheckMode, CostModel, EtsPolicy, Executor, GraphBuilder, Input, ParallelConfig,
-    ParallelExecutor, QueryGraph, SchedPolicy, SourceId, VirtualClock,
+    CheckMode, CostModel, EtsPolicy, Executor, FeedbackConfig, GraphBuilder, Input, ParallelConfig,
+    ParallelExecutor, QueryGraph, SchedPolicy, SourceId, VirtualClock, Watermarks,
 };
 use millstream_ops::{Filter, LatePolicy, Project, Reorder, Sink, SinkCollector, Union};
 use millstream_types::{
@@ -449,10 +452,21 @@ fn merged_events(spec: &FuzzSpec) -> Vec<GEvent> {
     all
 }
 
+/// The feedback configuration the `fb=on` matrix cells run under:
+/// deliberately harsh watermarks (any queued tuple is pressure, two are
+/// critical) so signals fire constantly — with both degradation knobs
+/// (shedding, slack tightening) off, the engine's output must still be
+/// byte-identical to the no-feedback oracle. That is the advisory-path
+/// equivalence guarantee.
+fn advisory_feedback() -> FeedbackConfig {
+    FeedbackConfig::new(Watermarks::new(1, 2))
+}
+
 fn run_serial(
     spec: &FuzzSpec,
     policy: EtsPolicy,
     sched: SchedPolicy,
+    feedback: Option<FeedbackConfig>,
 ) -> Result<Vec<Vec<(u64, i64)>>, String> {
     let built = build(spec)?;
     let mut exec = Executor::new(
@@ -463,6 +477,9 @@ fn run_serial(
     )
     .with_sched_policy(sched)
     .with_check_mode(CheckMode::Strict);
+    if let Some(fb) = feedback {
+        exec = exec.with_feedback(fb);
+    }
 
     let drain = |exec: &mut Executor| -> Result<(), String> {
         let taken = exec
@@ -520,11 +537,13 @@ fn run_parallel(
     policy: EtsPolicy,
     sched: SchedPolicy,
     workers: usize,
+    feedback: Option<FeedbackConfig>,
 ) -> Result<Vec<Vec<(u64, i64)>>, String> {
     let built = build(spec)?;
-    let config = ParallelConfig::new(CostModel::free(), policy, workers)
+    let mut config = ParallelConfig::new(CostModel::free(), policy, workers)
         .with_sched_policy(sched)
         .with_check_mode(CheckMode::Strict);
+    config.feedback = feedback;
     let pex = ParallelExecutor::new(built.graph, config);
 
     let mut pending: Option<u64> = None;
@@ -640,16 +659,20 @@ pub fn fuzz_seed(seed: u64) -> Vec<String> {
     for &policy in &policies {
         for sched in [SchedPolicy::DepthFirst, SchedPolicy::RoundRobin] {
             for workers in [1usize, 4] {
-                let label =
-                    format!("seed {seed} [policy={policy:?} sched={sched:?} workers={workers}]");
-                let result = if workers == 1 {
-                    run_serial(&spec, policy, sched)
-                } else {
-                    run_parallel(&spec, policy, sched, workers)
-                };
-                match result {
-                    Err(e) => failures.push(format!("{label}: {e}")),
-                    Ok(outputs) => check_outputs(&spec, &outputs, &label, &mut failures),
+                for feedback in [None, Some(advisory_feedback())] {
+                    let fb = if feedback.is_some() { "on" } else { "off" };
+                    let label = format!(
+                        "seed {seed} [policy={policy:?} sched={sched:?} workers={workers} fb={fb}]"
+                    );
+                    let result = if workers == 1 {
+                        run_serial(&spec, policy, sched, feedback)
+                    } else {
+                        run_parallel(&spec, policy, sched, workers, feedback)
+                    };
+                    match result {
+                        Err(e) => failures.push(format!("{label}: {e}")),
+                        Ok(outputs) => check_outputs(&spec, &outputs, &label, &mut failures),
+                    }
                 }
             }
         }
@@ -673,7 +696,8 @@ pub fn fuzz_range(base: u64, count: u64) -> FuzzSummary {
     let mut summary = FuzzSummary::default();
     for seed in base..base.saturating_add(count) {
         let spec = gen_spec(seed);
-        let cells = if spec.any_unordered() { 4 } else { 8 };
+        // policies × scheds × workers × feedback {off, advisory-on}.
+        let cells = if spec.any_unordered() { 8 } else { 16 };
         summary.seeds += 1;
         summary.runs += cells;
         summary.failures.extend(fuzz_seed(seed));
