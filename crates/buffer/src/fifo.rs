@@ -160,6 +160,11 @@ impl Buffer {
         self
     }
 
+    /// The buffer's out-of-order policy.
+    pub fn order_policy(&self) -> OrderPolicy {
+        self.order_policy
+    }
+
     /// Buffer name (for diagnostics).
     pub fn name(&self) -> &str {
         &self.name

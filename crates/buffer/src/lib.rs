@@ -16,18 +16,23 @@
 //!   [`FeedbackRegisters`] — feedback punctuation flowing against the data
 //!   direction (queue-pressure levels, upstream pacing and declared
 //!   shedding).
+//! * [`FrontierTable`] — per-worker frontier summaries for intra-component
+//!   data parallelism (the sharded generalization of per-source ETS/TSM
+//!   registers).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod feedback;
 mod fifo;
+mod frontier;
 mod occupancy;
 mod sentinel;
 mod tsm;
 
 pub use feedback::{FeedbackRegisters, FeedbackSignal, PressureLevel, Watermarks};
 pub use fifo::{Buffer, OrderPolicy, PunctuationPolicy};
+pub use frontier::FrontierTable;
 pub use occupancy::OccupancyTracker;
 pub use sentinel::{CheckMode, OrderSentinel, SentinelStats};
 pub use tsm::{StarveList, TsmBank, TsmRegister};

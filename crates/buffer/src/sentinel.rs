@@ -91,6 +91,7 @@ pub struct SentinelStats {
     punct_violations: AtomicU64,
     tsm_violations: AtomicU64,
     clock_violations: AtomicU64,
+    frontier_violations: AtomicU64,
 }
 
 impl SentinelStats {
@@ -120,12 +121,19 @@ impl SentinelStats {
         self.clock_violations.load(Ordering::Relaxed)
     }
 
+    /// Shard outputs observed below a frontier floor already published (or
+    /// already consumed by the merge stage) for that shard.
+    pub fn frontier_violations(&self) -> u64 {
+        self.frontier_violations.load(Ordering::Relaxed)
+    }
+
     /// Sum of every violation class.
     pub fn total(&self) -> u64 {
         self.order_regressions()
             + self.punct_violations()
             + self.tsm_violations()
             + self.clock_violations()
+            + self.frontier_violations()
     }
 
     /// Records a buffer-level timestamp regression.
@@ -146,6 +154,11 @@ impl SentinelStats {
     /// Records a clock-monotonicity violation.
     pub fn record_clock_violation(&self) {
         self.clock_violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a frontier-consistency violation.
+    pub fn record_frontier_violation(&self) {
+        self.frontier_violations.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -212,6 +225,33 @@ impl OrderSentinel {
         }
         Ok(())
     }
+
+    /// Checks frontier consistency: a sharded worker emitted (or the merge
+    /// stage received) a tuple *below* a frontier floor that worker already
+    /// published. The floor is the shard's own promise — the whole
+    /// frontier-summary protocol is unsound if it can be violated, so in
+    /// `strict` mode this is fatal.
+    pub fn check_frontier_consistency(
+        &self,
+        buffer: &str,
+        got: Timestamp,
+        floor: Timestamp,
+    ) -> Result<()> {
+        if got >= floor {
+            return Ok(());
+        }
+        self.stats.record_frontier_violation();
+        if self.mode == CheckMode::Strict {
+            return Err(Error::invariant(
+                "frontier-consistency",
+                &self.node,
+                buffer,
+                got.as_micros(),
+                floor.as_micros(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -268,5 +308,47 @@ mod tests {
         ));
         assert!(err.to_string().contains("union#1"));
         assert_eq!(stats.punct_violations(), 1);
+    }
+
+    #[test]
+    fn frontier_consistency_counts_and_escalates() {
+        let stats = SentinelStats::shared();
+        let counting = OrderSentinel::new(CheckMode::Counters, "shard#2", stats.clone());
+        counting
+            .check_frontier_consistency(
+                "merge:2",
+                Timestamp::from_micros(9),
+                Timestamp::from_micros(5),
+            )
+            .expect("at-or-above the floor is fine");
+        assert_eq!(stats.frontier_violations(), 0);
+        counting
+            .check_frontier_consistency(
+                "merge:2",
+                Timestamp::from_micros(3),
+                Timestamp::from_micros(5),
+            )
+            .expect("counters mode never errors");
+        assert_eq!(stats.frontier_violations(), 1);
+        assert_eq!(stats.total(), 1);
+
+        let strict = OrderSentinel::new(CheckMode::Strict, "shard#2", stats.clone());
+        let err = strict
+            .check_frontier_consistency(
+                "merge:2",
+                Timestamp::from_micros(3),
+                Timestamp::from_micros(5),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InvariantViolation {
+                got: 3,
+                bound: 5,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("frontier-consistency"));
+        assert_eq!(stats.frontier_violations(), 2);
     }
 }

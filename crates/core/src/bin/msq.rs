@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--batch K]
-//!                              [--workers N]
+//!                              [--workers N] [--shards N]
 //! msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict]
 //! msq send <addr> <stream> <trace.csv> [--window N]
 //! msq tail <addr> [--patience-ms MS]
@@ -24,6 +24,14 @@
 //!               worker thread, up to N threads (default: serial; a
 //!               single-query plan is usually one component, so this
 //!               mainly matters for multi-component plans)
+//!   --shards N  key-partition the (single-component) plan across N
+//!               worker threads behind an exchange edge, with per-worker
+//!               frontier summaries driving an order-restoring merge;
+//!               partition keys come from the planner's shard-key
+//!               analysis (join equi-keys, GROUP BY columns). Queries
+//!               the analysis deems unshardable fall back to serial.
+//!               With --dot, prints the sharded plan (exchange nodes,
+//!               shard replica clusters, ts-merge).
 //!
 //! serve       host the query over TCP (see `millstream_net`): producers
 //!             `msq send` into the named streams, subscribers `msq tail`
@@ -103,9 +111,10 @@ struct Options {
     trace: bool,
     batch: usize,
     workers: usize,
+    shards: usize,
 }
 
-const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N]\n       msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict] [--sub-queue N] [--overflow shed|disconnect] [--no-feedback]\n       msq send <addr> <stream> <trace.csv> [--window N]\n       msq tail <addr> [--patience-ms MS]\n       msq fuzz [--seeds N] [--base B]\n       msq bench [--quick]";
+const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N] [--shards N]\n       msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict] [--sub-queue N] [--overflow shed|disconnect] [--no-feedback]\n       msq send <addr> <stream> <trace.csv> [--window N]\n       msq tail <addr> [--patience-ms MS]\n       msq fuzz [--seeds N] [--base B]\n       msq bench [--quick]";
 
 fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
     let mut positional = Vec::new();
@@ -115,6 +124,7 @@ fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
     let mut trace = false;
     let mut batch = 1usize;
     let mut workers = 1usize;
+    let mut shards = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -146,6 +156,21 @@ fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
                         format!("--workers expects a positive integer, got `{value}`\n{USAGE}")
                     })?;
             }
+            "--shards" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--shards requires a value\n{USAGE}"))?;
+                shards = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| (1..=millstream_exec::MAX_SHARDS).contains(&n))
+                    .ok_or_else(|| {
+                        format!(
+                            "--shards expects an integer in 1..={}, got `{value}`\n{USAGE}",
+                            millstream_exec::MAX_SHARDS
+                        )
+                    })?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`\n{USAGE}"));
@@ -169,6 +194,7 @@ fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
         trace,
         batch,
         workers,
+        shards,
     })
 }
 
@@ -198,6 +224,13 @@ fn run(opts: &Options) -> Result<()> {
     let planned = plan_program(&query_text, collector.clone())?;
 
     if opts.dot {
+        if opts.shards > 1 {
+            if let Some(keys) = sharding_of(&query_text)? {
+                print!("{}", planned.graph.to_dot_sharded(opts.shards, &keys));
+                return Ok(());
+            }
+            eprintln!("# query is unshardable; printing the serial plan");
+        }
         print!("{}", planned.graph.to_dot());
         return Ok(());
     }
@@ -216,6 +249,15 @@ fn run(opts: &Options) -> Result<()> {
     } else {
         EtsPolicy::None
     };
+
+    if opts.shards > 1 {
+        match sharding_of(&query_text)? {
+            Some(keys) if planned.graph.num_components() == 1 => {
+                return run_sharded(opts, &query_text, planned, trace, keys, policy, &collector);
+            }
+            _ => eprintln!("# query is unshardable; running serial"),
+        }
+    }
 
     if opts.workers > 1 {
         return run_parallel(opts, planned, trace, policy, &collector);
@@ -293,6 +335,117 @@ fn run(opts: &Options) -> Result<()> {
             eprintln!(
                 "# {:<14} {:>8} {:>10} {:>10} {:>12}",
                 p.name, p.steps, p.consumed, p.produced, p.busy_micros
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Runs the planner's shard-key analysis on a program text.
+fn sharding_of(query_text: &str) -> Result<Option<Vec<millstream_exec::ShardKey>>> {
+    let stmts = millstream_query::parse_program(query_text)?;
+    let mut catalog = millstream_query::Catalog::new();
+    let queries = catalog.apply(stmts)?;
+    let [query] = queries.as_slice() else {
+        return Ok(None);
+    };
+    millstream_query::shard_keys(&catalog, query)
+}
+
+/// The `--shards N` path: the single-component plan replicated across N
+/// key-partitioned shard workers behind an exchange edge, merged back into
+/// timestamp order by per-worker frontier summaries. The same epoch
+/// discipline as the other backends: records sharing an arrival timestamp
+/// land together, then a quiescence barrier runs every shard.
+fn run_sharded(
+    opts: &Options,
+    query_text: &str,
+    planned: millstream_query::PlannedQuery,
+    trace: Vec<millstream_sim::TraceRecord>,
+    keys: Vec<millstream_exec::ShardKey>,
+    policy: EtsPolicy,
+    collector: &PrintingCollector,
+) -> Result<()> {
+    let stmts = millstream_query::parse_program(query_text)?;
+    let mut catalog = millstream_query::Catalog::new();
+    let mut queries = catalog.apply(stmts)?;
+    let query = queries.pop().ok_or_else(|| Error::plan("no query"))?;
+
+    let source_by_index: Vec<_> = planned.sources.iter().map(|s| s.id).collect();
+    let config = millstream_exec::ShardedConfig {
+        opts: millstream_exec::ExecOptions {
+            encore_batch: opts.batch.max(1),
+        },
+        ..millstream_exec::ShardedConfig::new(CostModel::default(), policy, opts.shards)
+    }
+    .with_keys(keys);
+    let mut sx = millstream_exec::ShardedExecutor::new(
+        |_, out| millstream_query::plan_query(&catalog, &query, out).map(|p| p.graph),
+        planned.output_schema.clone(),
+        Box::new(collector.clone()),
+        config,
+    )?;
+
+    eprintln!(
+        "# {} record(s), {} stream(s), output schema {}; {} shard(s) behind the exchange",
+        trace.len(),
+        planned.sources.len(),
+        planned.output_schema,
+        sx.num_shards(),
+    );
+
+    let mut pending_at: Option<Timestamp> = None;
+    for rec in &trace {
+        if pending_at.is_some_and(|at| at != rec.at) {
+            sx.run_until_quiescent(u64::MAX)?;
+        }
+        pending_at = Some(rec.at);
+        sx.advance_to(rec.at)?;
+        sx.ingest(
+            source_by_index[rec.stream],
+            Tuple::data(rec.at, rec.values.clone()),
+        )?;
+    }
+    sx.run_until_quiescent(u64::MAX)?;
+
+    let snap = sx.snapshot()?;
+    let delivered = collector.count.load(Ordering::Relaxed);
+    let mean_ms = if delivered == 0 {
+        f64::NAN
+    } else {
+        collector.latency_sum_us.load(Ordering::Relaxed) as f64 / delivered as f64 / 1_000.0
+    };
+    eprintln!(
+        "# delivered {delivered} row(s); mean latency {mean_ms:.3} ms; {} frontier advance(s), \
+         {} merge floor heartbeat(s), {} frontier violation(s)",
+        snap.frontier_advances.iter().sum::<u64>(),
+        snap.merge_heartbeats,
+        snap.frontier_violations,
+    );
+
+    if opts.trace {
+        eprintln!("# --trace is per-shard state; not merged under --shards");
+    }
+
+    if opts.profile {
+        eprintln!("\n# per-operator profile (summed across shard replicas)");
+        eprintln!(
+            "# {:<14} {:>8} {:>10} {:>10} {:>12}",
+            "operator", "steps", "consumed", "produced", "busy (us)"
+        );
+        for p in &snap.profile {
+            eprintln!(
+                "# {:<14} {:>8} {:>10} {:>10} {:>12}",
+                p.name, p.steps, p.consumed, p.produced, p.busy_micros
+            );
+        }
+        eprintln!("\n# per-shard busy time");
+        for (j, b) in snap.busy_nanos.iter().enumerate() {
+            eprintln!(
+                "#   shard {j}: {:.3} ms busy, floor {:?}, {} advance(s)",
+                *b as f64 / 1e6,
+                snap.floors[j].map(|t| t.as_micros()),
+                snap.frontier_advances[j],
             );
         }
     }

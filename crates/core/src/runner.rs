@@ -8,11 +8,11 @@
 use std::sync::{Arc, Mutex};
 
 use millstream_exec::{
-    CostModel, EtsPolicy, Executor, OpProfile, ParallelConfig, ParallelExecutor, SourceId,
-    VirtualClock,
+    CostModel, EtsPolicy, Executor, OpProfile, ParallelConfig, ParallelExecutor, ShardedConfig,
+    ShardedExecutor, SourceId, VirtualClock,
 };
 use millstream_ops::{SinkCollector, VecCollector};
-use millstream_query::{plan_program, PlannedSource};
+use millstream_query::{plan_program, plan_query, shard_keys, Catalog, PlannedSource};
 use millstream_types::{Error, Result, Schema, Timestamp, Tuple, Value};
 
 /// A `SinkCollector` that shares its deliveries with the runner.
@@ -60,16 +60,30 @@ enum Engine {
         pex: Box<ParallelExecutor>,
         plan_dot: String,
     },
+    /// One component key-partitioned across N shard workers behind an
+    /// exchange edge, with frontier summaries driving the order-restoring
+    /// merge (`msq --shards N`).
+    Sharded(Box<ShardedExecutor>),
 }
 
 impl QueryRunner {
     /// Compiles `program` (CREATE STREAM statements + one query).
     ///
-    /// Honors the `MILLSTREAM_WORKERS` environment variable: when set to a
-    /// positive integer the parallel per-component backend is used (the
-    /// programmatic equivalent of `msq --workers N`); otherwise the serial
-    /// executor runs the whole graph.
+    /// Honors two environment variables: `MILLSTREAM_SHARDS` ≥ 2 selects
+    /// the key-partitioned intra-component backend (the programmatic
+    /// equivalent of `msq --shards N`; unshardable queries transparently
+    /// fall back to the serial executor), and otherwise
+    /// `MILLSTREAM_WORKERS` ≥ 1 selects the parallel per-component backend
+    /// (`msq --workers N`). With neither set the serial executor runs the
+    /// whole graph.
     pub fn new(program: &str) -> Result<QueryRunner> {
+        if let Some(shards) = std::env::var("MILLSTREAM_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&s| s >= 2)
+        {
+            return QueryRunner::new_sharded(program, shards);
+        }
         match std::env::var("MILLSTREAM_WORKERS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
@@ -78,6 +92,52 @@ impl QueryRunner {
             Some(workers) => QueryRunner::new_parallel(program, workers),
             None => QueryRunner::new_serial(program),
         }
+    }
+
+    /// Compiles `program` onto the sharded intra-component backend: the
+    /// planner derives per-source partition keys
+    /// ([`millstream_query::shard_keys`]) and the plan is replicated once
+    /// per shard behind a key-partitioned exchange edge. Queries the
+    /// analysis deems unshardable (window cross products, bare
+    /// aggregates, conflicting keys, latent streams) and multi-component
+    /// plans fall back to the serial executor — check
+    /// [`QueryRunner::shards`] to see which backend actually runs.
+    pub fn new_sharded(program: &str, shards: usize) -> Result<QueryRunner> {
+        let stmts = millstream_query::parse_program(program)?;
+        let mut catalog = Catalog::new();
+        let mut queries = catalog.apply(stmts)?;
+        if queries.len() != 1 {
+            return Err(Error::plan(format!(
+                "program contains {} queries; plan one at a time",
+                queries.len()
+            )));
+        }
+        let query = queries.pop().expect("len checked");
+        let Some(keys) = shard_keys(&catalog, &query)? else {
+            return QueryRunner::new_serial(program);
+        };
+        // Probe plan: reject multi-component graphs (those belong to the
+        // per-component backend) and capture sources/output schema.
+        let probe = plan_query(&catalog, &query, VecCollector::default())?;
+        if probe.graph.num_components() != 1 {
+            return QueryRunner::new_serial(program);
+        }
+        let output = SharedVec::default();
+        let sx = ShardedExecutor::new(
+            |_, out| plan_query(&catalog, &query, out).map(|p| p.graph),
+            probe.output_schema.clone(),
+            Box::new(output.clone()),
+            // Same discipline as the serial backend: explicit timestamps,
+            // no wall-clock ETS — frontier summaries do the unblocking.
+            ShardedConfig::new(CostModel::free(), EtsPolicy::None, shards).with_keys(keys),
+        )?;
+        Ok(QueryRunner {
+            engine: Engine::Sharded(Box::new(sx)),
+            sources: probe.sources,
+            output,
+            output_schema: probe.output_schema,
+            drained: 0,
+        })
     }
 
     /// Compiles `program` onto the single-threaded executor.
@@ -126,6 +186,16 @@ impl QueryRunner {
         match &self.engine {
             Engine::Serial(_) => 1,
             Engine::Parallel { pex, .. } => pex.num_workers(),
+            Engine::Sharded(sx) => sx.num_shards(),
+        }
+    }
+
+    /// Exchange shards in use: >1 only on the sharded backend (so 1 after
+    /// an unshardable-query fallback).
+    pub fn shards(&self) -> usize {
+        match &self.engine {
+            Engine::Sharded(sx) => sx.num_shards(),
+            _ => 1,
         }
     }
 
@@ -139,6 +209,7 @@ impl QueryRunner {
         match &self.engine {
             Engine::Serial(e) => e.graph().to_dot(),
             Engine::Parallel { plan_dot, .. } => plan_dot.clone(),
+            Engine::Sharded(sx) => sx.plan_dot().to_string(),
         }
     }
 
@@ -148,6 +219,7 @@ impl QueryRunner {
         match &self.engine {
             Engine::Serial(e) => e.profile().to_vec(),
             Engine::Parallel { pex, .. } => pex.snapshot().map(|s| s.profile).unwrap_or_default(),
+            Engine::Sharded(sx) => sx.snapshot().map(|s| s.profile).unwrap_or_default(),
         }
     }
 
@@ -188,6 +260,10 @@ impl QueryRunner {
                 pex.advance_to(ts)?;
                 pex.ingest(id, Tuple::data(ts, values))?;
             }
+            Engine::Sharded(sx) => {
+                sx.advance_to(ts)?;
+                sx.ingest(id, Tuple::data(ts, values))?;
+            }
         }
         self.run()
     }
@@ -210,6 +286,12 @@ impl QueryRunner {
                     pex.ingest_heartbeat(s.id, ts)?;
                 }
             }
+            Engine::Sharded(sx) => {
+                sx.advance_to(ts)?;
+                for s in self.sources.clone() {
+                    sx.ingest_heartbeat(s.id, ts)?;
+                }
+            }
         }
         self.run()
     }
@@ -224,6 +306,9 @@ impl QueryRunner {
             }
             Engine::Parallel { pex, .. } => {
                 pex.run_until_quiescent(10_000_000)?;
+            }
+            Engine::Sharded(sx) => {
+                sx.run_until_quiescent(10_000_000)?;
             }
         }
         Ok(())
@@ -249,6 +334,7 @@ impl QueryRunner {
             match &mut self.engine {
                 Engine::Serial(e) => e.close_source(s.id)?,
                 Engine::Parallel { pex, .. } => pex.close_source(s.id)?,
+                Engine::Sharded(sx) => sx.close_source(s.id)?,
             }
         }
         self.run()?;
@@ -463,6 +549,95 @@ mod tests {
             "CREATE STREAM a (v INT);
              CREATE STREAM b (v INT);
              SELECT v FROM a UNION SELECT v FROM b;",
+            2,
+        )
+        .unwrap();
+        q.push("a", 100, vec![Value::Int(1)]).unwrap();
+        assert!(matches!(
+            q.push("a", 50, vec![Value::Int(2)]).unwrap_err(),
+            Error::OutOfOrder { .. }
+        ));
+    }
+
+    #[test]
+    fn sharded_backend_matches_serial() {
+        let program = "CREATE STREAM s (k INT, v INT);
+             CREATE STREAM t (k INT, v INT);
+             SELECT k, COUNT(*) AS n, SUM(v) AS total FROM s
+             GROUP BY k EVERY 1 SECONDS
+             UNION
+             SELECT k, COUNT(*) AS n, SUM(v) AS total FROM t
+             GROUP BY k EVERY 1 SECONDS;";
+        let drive = |mut q: QueryRunner| -> Vec<Tuple> {
+            for i in 0..200u64 {
+                let (stream, k) = if i % 3 == 0 {
+                    ("t", i % 5)
+                } else {
+                    ("s", i % 7)
+                };
+                q.push(
+                    stream,
+                    i * 10_000,
+                    vec![Value::Int(k as i64), Value::Int(1)],
+                )
+                .unwrap();
+            }
+            q.advance_time(3_000_000).unwrap();
+            q.finish().unwrap()
+        };
+        let serial = drive(QueryRunner::new_serial(program).unwrap());
+        for shards in [2usize, 4] {
+            let q = QueryRunner::new_sharded(program, shards).unwrap();
+            assert_eq!(q.shards(), shards, "grouped query is shardable");
+            let sharded = drive(q);
+            assert_eq!(serial.len(), sharded.len());
+            // Same multiset of rows; cross-shard ties at one timestamp may
+            // interleave differently than the serial BTreeMap order.
+            let mut a = serial.clone();
+            let mut b = sharded.clone();
+            let key = |t: &Tuple| format!("{:?}", t);
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            assert_eq!(a, b, "{shards} shards");
+            // Timestamp order is still restored by the merge.
+            let ts: Vec<u64> = sharded.iter().map(|t| t.ts.as_micros()).collect();
+            let mut sorted = ts.clone();
+            sorted.sort_unstable();
+            assert_eq!(ts, sorted);
+        }
+    }
+
+    #[test]
+    fn unshardable_query_falls_back_to_serial() {
+        // A bare-window cross product is unshardable: pairs would be lost
+        // across shards. new_sharded must fall back, not fail or mis-run.
+        let q = QueryRunner::new_sharded(
+            "CREATE STREAM a (v INT);
+             CREATE STREAM b (v INT);
+             SELECT a.v FROM a AS a JOIN b AS b ON TRUE WINDOW 1 SECONDS;",
+            4,
+        )
+        .unwrap();
+        assert_eq!(q.shards(), 1, "fell back to serial");
+
+        let mut q = QueryRunner::new_sharded(
+            "CREATE STREAM a (k INT, v INT);
+             SELECT k, SUM(v) AS s FROM a GROUP BY k EVERY 1 SECONDS;",
+            4,
+        )
+        .unwrap();
+        assert_eq!(q.shards(), 4, "keyed aggregate is shardable");
+        q.push("a", 10, vec![Value::Int(1), Value::Int(2)]).unwrap();
+        let out = q.finish().unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values().unwrap()[2], Value::Int(2));
+    }
+
+    #[test]
+    fn sharded_backend_rejects_out_of_order_push() {
+        let mut q = QueryRunner::new_sharded(
+            "CREATE STREAM a (v INT);
+             SELECT v FROM a WHERE v > 0;",
             2,
         )
         .unwrap();

@@ -547,6 +547,66 @@ impl Executor {
         Ok(())
     }
 
+    /// Ingests a run of data tuples at one source in a single call — the
+    /// exchange-edge fast path (one command per drained shard queue, not
+    /// per tuple). Semantically identical to calling [`Executor::ingest`]
+    /// per tuple: same structural punctuation rejection, same per-source
+    /// bookkeeping, same budget re-arm; the buffer receives the run via
+    /// its pooled [`Buffer::push_batch`] path.
+    ///
+    /// Load shedding inspects per-tuple state, so under critical feedback
+    /// pressure the batch degrades to the per-tuple path.
+    pub fn ingest_batch(&mut self, source: SourceId, tuples: Vec<Tuple>) -> Result<()> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        if self.feedback.is_some_and(|cfg| cfg.shed)
+            && self.feedback_regs.get(source.0) == millstream_buffer::PressureLevel::Critical
+        {
+            for t in tuples {
+                self.ingest(source, t)?;
+            }
+            return Ok(());
+        }
+        {
+            let s = &mut self.graph.sources[source.0];
+            if s.closed {
+                return Err(millstream_types::Error::runtime(format!(
+                    "source `{}` is closed",
+                    s.name
+                )));
+            }
+            let mut max_ts: Option<Timestamp> = None;
+            for t in &tuples {
+                // Same wording as `ingest`: a batch is semantically one
+                // ingest per tuple, and equivalence tests pin messages.
+                if t.is_punctuation() {
+                    return Err(millstream_types::Error::runtime(format!(
+                        "ingest on source `{}` requires a data tuple; \
+                         use ingest_heartbeat for punctuation",
+                        s.name
+                    )));
+                }
+                max_ts = Some(max_ts.map_or(t.ts, |p| p.max(t.ts)));
+            }
+            let count = tuples.len() as u64;
+            self.graph.buffers[s.buffer.0]
+                .borrow_mut()
+                .push_batch(tuples)?;
+            s.last_data_ts = Some(match (s.last_data_ts, max_ts) {
+                (Some(p), Some(m)) => p.max(m),
+                (p, m) => p.or(m).expect("batch is non-empty"),
+            });
+            s.last_data_arrival = Some(self.clock.now());
+            s.ingested += count;
+        }
+        for s in &mut self.graph.sources {
+            s.ets_budget_used = false;
+        }
+        self.refresh_idle();
+        Ok(())
+    }
+
     /// Ingests a heartbeat punctuation at a source — the periodic-ETS
     /// baseline of [Johnson et al., VLDB'05] (experiment line B). Stale
     /// heartbeats are dropped at the door (and counted in
@@ -893,6 +953,43 @@ impl Executor {
             }
         }
         Ok(Activity::Quiescent)
+    }
+
+    /// Generates an on-demand ETS for every open, empty-buffer source
+    /// whose policy can promise one at the current clock — the
+    /// externally-requested analogue of a starvation backtrack reaching
+    /// the source. A locally-quiescent executor never backtracks, so when
+    /// the starving consumer lives *downstream of the sink* (the sharded
+    /// exchange's merge stage), its coordinator uses this to complete the
+    /// serial backtrack's final hop across the shard boundary. Applies the
+    /// register discipline of the backtrack path — same
+    /// [`EtsPolicy::ets_for`] staleness rules, same clock cost — but not
+    /// the per-epoch ETS budget: that budget re-arms on ingest, and a
+    /// shard the router stops feeding would otherwise lose the ability to
+    /// promise forever. `ets_for`'s suppression of non-advancing values
+    /// is what bounds repeat generation here (the clock must move for a
+    /// second promise to exist). Returns how many promises were made.
+    pub fn promise_frontiers(&mut self) -> Result<u64> {
+        let mut generated = 0;
+        for i in 0..self.graph.sources.len() {
+            let now = self.clock.now();
+            let buffer = self.graph.sources[i].buffer;
+            if !self.graph.buffers[buffer.0].borrow().is_empty() {
+                continue;
+            }
+            let source = &mut self.graph.sources[i];
+            if let Some(ts) = self.policy.ets_for(source, now) {
+                source.ets_generated += 1;
+                source.ets_high_water = Some(ts);
+                self.graph.buffers[buffer.0]
+                    .borrow_mut()
+                    .push(Tuple::punctuation(ts))?;
+                self.clock.advance(self.cost.ets_generation);
+                self.stats.ets_generated += 1;
+                generated += 1;
+            }
+        }
+        Ok(generated)
     }
 
     /// Runs until quiescent or `max_steps` executor steps. Returns the

@@ -20,6 +20,92 @@ use millstream_buffer::{
 use millstream_ops::Operator;
 use millstream_types::{Error, Result, Schema, Timestamp, TimestampKind};
 
+/// How tuples of one stream are partitioned across shards of an exchange
+/// edge (intra-component data parallelism).
+///
+/// Routing must be a pure function of the tuple's *values* — never of
+/// arrival order or wall-clock — so that every shard count yields a
+/// deterministic, replayable partition of the same stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardKey {
+    /// Hash every column. Correct for stateless paths, reorder, and union
+    /// (any partition preserves per-shard timestamp order and the merged
+    /// output set).
+    WholeRow,
+    /// Hash one column — required when downstream state is keyed (join
+    /// equi-key, GROUP BY column) so all tuples of one key group land on
+    /// the same shard.
+    Column(usize),
+}
+
+/// Seed folded into [`route_shard`] hashes so shard assignment is not
+/// accidentally correlated with any other hash of the same values.
+pub const SHARD_HASH_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn fnv1a_value(mut h: u64, v: &millstream_types::Value) -> u64 {
+    use millstream_types::Value;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(PRIME);
+    };
+    match v {
+        Value::Null => eat(0),
+        Value::Bool(b) => {
+            eat(1);
+            eat(u8::from(*b));
+        }
+        Value::Int(i) => {
+            eat(2);
+            for b in i.to_le_bytes() {
+                eat(b);
+            }
+        }
+        Value::Float(f) => {
+            eat(3);
+            for b in f.to_bits().to_le_bytes() {
+                eat(b);
+            }
+        }
+        Value::Str(s) => {
+            eat(4);
+            for &b in s.as_bytes() {
+                eat(b);
+            }
+        }
+    }
+    h
+}
+
+/// Deterministic, seeded key-partition hash: which of `shards` shards a
+/// data tuple belongs to. Same values + same seed + same shard count →
+/// same shard, across runs and platforms (FNV-1a over a stable value
+/// encoding; no `RandomState`).
+pub fn route_shard(values: &[millstream_types::Value], key: ShardKey, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ SHARD_HASH_SEED;
+    match key {
+        ShardKey::WholeRow => {
+            for v in values {
+                h = fnv1a_value(h, v);
+            }
+        }
+        ShardKey::Column(c) => {
+            // A missing column routes to shard 0 rather than panicking;
+            // planners validate indices before choosing `Column`.
+            match values.get(c) {
+                Some(v) => h = fnv1a_value(h, v),
+                None => return 0,
+            }
+        }
+    }
+    // Multiply-shift spreads the low-entropy FNV tail across the range.
+    (((h ^ (h >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd) >> 33) % shards as u64) as usize
+}
+
 /// Identifies an operator node in a graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) usize);
@@ -368,6 +454,98 @@ impl QueryGraph {
             components,
             source_map,
         }
+    }
+
+    /// Whether the source's stream contract is ordered (its input buffer
+    /// rejects timestamp regressions). Unordered sources admit regressions
+    /// and are order-restored downstream by a `Reorder`.
+    pub fn source_is_ordered(&self, id: SourceId) -> bool {
+        self.buffers[self.sources[id.0].buffer.0]
+            .borrow()
+            .order_policy()
+            != OrderPolicy::Accept
+    }
+
+    /// The smallest timestamp currently queued in any buffer, or `None`
+    /// when every buffer is empty. One of the three terms of a shard's
+    /// frontier floor: queued tuples are future output, so the floor can
+    /// never pass them.
+    pub fn min_front_ts(&self) -> Option<Timestamp> {
+        self.buffers
+            .iter()
+            .filter_map(|b| b.borrow().front_ts())
+            .min()
+    }
+
+    /// The smallest [`Operator::frontier_hold`] across all operators, or
+    /// `None` when no operator holds back the frontier. The second floor
+    /// term: state parked inside operators (reorder heaps, open windows)
+    /// is future output below any queued tuple.
+    pub fn min_frontier_hold(&self) -> Option<Timestamp> {
+        self.ops.iter().filter_map(|n| n.op.frontier_hold()).min()
+    }
+
+    /// Renders a sharded execution plan as Graphviz DOT: the per-shard
+    /// replica of this (single-component) graph, exchange nodes routing
+    /// each source across `shards` shards, and the order-preserving merge
+    /// stage. `keys[s]` labels the partition key of source `s`.
+    pub fn to_dot_sharded(&self, shards: usize, keys: &[ShardKey]) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph millstream_sharded {\n  rankdir=LR;\n");
+        for (i, s) in self.sources.iter().enumerate() {
+            let key = match keys.get(i) {
+                Some(ShardKey::Column(c)) => format!("key=col {c}"),
+                _ => "key=whole-row".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  src{i} [shape=cds, label=\"{} ({:?})\"];\n  \
+                 xchg{i} [shape=trapezium, label=\"exchange ×{shards}\\n{key}\"];\n  \
+                 src{i} -> xchg{i};",
+                s.name, s.kind
+            );
+        }
+        for shard in 0..shards {
+            let _ = writeln!(out, "  subgraph cluster_shard{shard} {{");
+            let _ = writeln!(out, "    label=\"shard {shard}\";");
+            for (i, n) in self.ops.iter().enumerate() {
+                let shape = if n.outputs.is_empty() {
+                    "doublecircle"
+                } else if n.op.is_iwp() {
+                    "diamond"
+                } else {
+                    "box"
+                };
+                let _ = writeln!(
+                    out,
+                    "    s{shard}op{i} [shape={shape}, label=\"{}\"];",
+                    n.name.replace('"', "'")
+                );
+            }
+            out.push_str("  }\n");
+            for (i, s) in self.sources.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  xchg{i} -> s{shard}op{} [style=dashed];",
+                    s.consumer.0
+                );
+            }
+            for (i, n) in self.ops.iter().enumerate() {
+                for succ in &n.succs {
+                    let _ = writeln!(out, "  s{shard}op{i} -> s{shard}op{};", succ.0);
+                }
+            }
+        }
+        out.push_str("  merge [shape=invtrapezium, label=\"ts-merge\\n(frontier summaries)\"];\n");
+        for shard in 0..shards {
+            for (i, n) in self.ops.iter().enumerate() {
+                if n.outputs.is_empty() {
+                    let _ = writeln!(out, "  s{shard}op{i} -> merge [style=dashed];");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
     }
 
     /// Renders the graph as Graphviz DOT for visualization

@@ -18,21 +18,23 @@
 #![warn(rust_2018_idioms)]
 
 mod clock;
+mod exchange;
 mod executor;
 mod graph;
 mod parallel;
 mod strategy;
 
 pub use clock::{CostModel, VirtualClock};
+pub use exchange::{ShardOutput, ShardedConfig, ShardedExecutor, ShardedSnapshot, MAX_SHARDS};
 pub use executor::{
     Activity, ExecOptions, ExecStats, Executor, FeedbackConfig, OpProfile, SchedPolicy,
 };
 pub use graph::{
-    BufferId, ComponentGraph, ComponentPartition, GraphBuilder, Input, NodeId, Pred, QueryGraph,
-    SourceId, SourceState,
+    route_shard, BufferId, ComponentGraph, ComponentPartition, GraphBuilder, Input, NodeId, Pred,
+    QueryGraph, ShardKey, SourceId, SourceState, SHARD_HASH_SEED,
 };
 pub use millstream_buffer::{
     CheckMode, FeedbackRegisters, FeedbackSignal, PressureLevel, SentinelStats, Watermarks,
 };
 pub use parallel::{IngestHandle, ParallelConfig, ParallelExecutor, ParallelSnapshot};
-pub use strategy::EtsPolicy;
+pub use strategy::{frontier_advance, EtsPolicy};

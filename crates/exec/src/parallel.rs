@@ -36,6 +36,8 @@
 //! barrier.
 
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{self, Receiver, Sender};
@@ -116,6 +118,73 @@ impl ParallelConfig {
     }
 }
 
+/// A pool of worker threads fed by one FIFO command channel each.
+///
+/// This is the single home of the spawn/teardown protocol shared by
+/// [`ParallelExecutor`] (per-component parallelism) and
+/// [`crate::ShardedExecutor`] (intra-component exchange edges): on drop the
+/// pool sends an explicit stop command to every worker and joins the
+/// threads. The explicit stop beats dropping the senders — cloned handles
+/// (e.g. [`IngestHandle`]) may still hold a channel open, and a worker
+/// blocked in `recv()` would never observe a disconnect.
+pub(crate) struct WorkerPool<C: Send + 'static> {
+    senders: Vec<Sender<C>>,
+    threads: Vec<JoinHandle<()>>,
+    stop: fn() -> C,
+}
+
+impl<C: Send + 'static> WorkerPool<C> {
+    /// Spawns one thread per entry of `states`, each running
+    /// `body(receiver, state)` until the body returns (on its stop
+    /// command). Threads are named `{name_prefix}-{index}`.
+    pub fn spawn<S: Send + 'static>(
+        name_prefix: &str,
+        states: Vec<S>,
+        stop: fn() -> C,
+        body: fn(Receiver<C>, S),
+    ) -> WorkerPool<C> {
+        let mut senders = Vec::with_capacity(states.len());
+        let mut threads = Vec::with_capacity(states.len());
+        for (w, state) in states.into_iter().enumerate() {
+            let (tx, rx) = channel::unbounded();
+            senders.push(tx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{name_prefix}-{w}"))
+                    .spawn(move || body(rx, state))
+                    .expect("spawn worker thread"),
+            );
+        }
+        WorkerPool {
+            senders,
+            threads,
+            stop,
+        }
+    }
+
+    /// The command senders, indexed by worker.
+    pub fn senders(&self) -> &[Sender<C>] {
+        &self.senders
+    }
+
+    /// Number of worker threads.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+impl<C: Send + 'static> Drop for WorkerPool<C> {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send((self.stop)());
+        }
+        self.senders.clear();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
 /// Commands crossing from the coordinator (or ingest handles) to a worker.
 enum Cmd {
     /// Ingest a data tuple at a component's local source.
@@ -123,6 +192,15 @@ enum Cmd {
         comp: usize,
         source: SourceId,
         tuple: Tuple,
+    },
+    /// Ingest a run of data tuples at a component's local source in one
+    /// command — the coordinator's coalesced fast path. Applied via
+    /// [`Executor::ingest_batch`], so it is semantically one `Ingest` per
+    /// tuple at a fraction of the channel round trips.
+    IngestBatch {
+        comp: usize,
+        source: SourceId,
+        tuples: Vec<Tuple>,
     },
     /// Ingest a heartbeat punctuation.
     Heartbeat {
@@ -144,8 +222,11 @@ enum Cmd {
         max_steps: u64,
         reply: Sender<Result<u64>>,
     },
-    /// Reply with a state snapshot of every hosted component.
-    Snapshot { reply: Sender<Vec<CompSnapshot>> },
+    /// Reply with a state snapshot of every hosted component plus the
+    /// worker's cumulative busy nanoseconds.
+    Snapshot {
+        reply: Sender<(Vec<CompSnapshot>, u64)>,
+    },
     /// Exit the worker loop. Sent by [`ParallelExecutor::drop`] so workers
     /// retire even while cloned [`IngestHandle`]s keep the channel open.
     Stop,
@@ -173,7 +254,7 @@ struct Slot {
 }
 
 /// Converts a caught panic payload into a barrier-reportable error.
-fn panic_error(payload: Box<dyn std::any::Any + Send>) -> Error {
+pub(crate) fn panic_error(payload: Box<dyn std::any::Any + Send>) -> Error {
     let msg = payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_string())
@@ -193,12 +274,16 @@ fn panic_error(payload: Box<dyn std::any::Any + Send>) -> Error {
 /// the next barrier like any other stashed error.
 fn worker_loop(rx: Receiver<Cmd>, mut slots: Vec<Slot>) {
     let mut pending_err: Option<Error> = None;
+    // Wall-clock nanoseconds spent processing commands (as opposed to
+    // blocked in `recv()`): the honest busy/idle split benchmarks report.
+    let mut busy_nanos: u64 = 0;
     let stash = |r: std::result::Result<(), Error>, pending: &mut Option<Error>| {
         if let Err(e) = r {
             pending.get_or_insert(e);
         }
     };
     while let Ok(cmd) = rx.recv() {
+        let started = std::time::Instant::now();
         match cmd {
             Cmd::Ingest {
                 comp,
@@ -208,6 +293,18 @@ fn worker_loop(rx: Receiver<Cmd>, mut slots: Vec<Slot>) {
                 let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     let slot = slots.iter_mut().find(|s| s.comp == comp).expect("routed");
                     slot.exec.ingest(source, tuple)
+                }))
+                .unwrap_or_else(|p| Err(panic_error(p)));
+                stash(r, &mut pending_err);
+            }
+            Cmd::IngestBatch {
+                comp,
+                source,
+                tuples,
+            } => {
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let slot = slots.iter_mut().find(|s| s.comp == comp).expect("routed");
+                    slot.exec.ingest_batch(source, tuples)
                 }))
                 .unwrap_or_else(|p| Err(panic_error(p)));
                 stash(r, &mut pending_err);
@@ -296,10 +393,11 @@ fn worker_loop(rx: Receiver<Cmd>, mut slots: Vec<Slot>) {
                             .collect(),
                     })
                     .collect();
-                let _ = reply.send(snaps);
+                let _ = reply.send((snaps, busy_nanos));
             }
             Cmd::Stop => break,
         }
+        busy_nanos += started.elapsed().as_nanos() as u64;
     }
 }
 
@@ -352,6 +450,11 @@ fn disconnected() -> Error {
     Error::runtime("parallel worker disconnected")
 }
 
+/// Tuples coalesced per [`Cmd::IngestBatch`] by the coordinator before the
+/// run is forced onto the channel. Large enough to amortize the channel
+/// round trip, small enough to keep ingest latency negligible.
+pub(crate) const INGEST_BATCH: usize = 64;
+
 /// Merged cross-component state, collected over a snapshot barrier.
 #[derive(Debug, Clone)]
 pub struct ParallelSnapshot {
@@ -381,15 +484,27 @@ pub struct ParallelSnapshot {
     pub punctuation_enqueued: u64,
     /// Idle trackers of monitored nodes, by **global** node id.
     pub idle: Vec<(NodeId, IdleTracker)>,
+    /// Wall-clock nanoseconds each worker thread has spent processing
+    /// commands (everything outside the blocking `recv()`); subtract from
+    /// elapsed wall time for the worker's idle share.
+    pub worker_busy_nanos: Vec<u64>,
 }
 
 /// Runs a multi-component [`QueryGraph`] across worker threads — one
 /// single-threaded [`Executor`] per connected component, components
 /// multiplexed round-robin onto `min(workers, components)` threads.
 pub struct ParallelExecutor {
-    /// One command sender per worker thread.
-    senders: Vec<Sender<Cmd>>,
-    threads: Vec<JoinHandle<()>>,
+    /// The worker threads and their command channels.
+    pool: WorkerPool<Cmd>,
+    /// Per **global** source: data tuples accepted by [`Self::ingest`] but
+    /// not yet shipped — the coordinator-side coalescing buffer. Flushed
+    /// as one [`Cmd::IngestBatch`] when full or before any other command,
+    /// preserving the per-worker FIFO discipline.
+    pending: Mutex<Vec<Vec<Tuple>>>,
+    /// Lifetime count of commands sent over the worker channels by this
+    /// coordinator (ingest handles excluded — they own their channel
+    /// clones). The batching regression test pins round trips per tuple.
+    commands_sent: AtomicU64,
     /// Global source id → (component, local source id).
     source_route: Vec<(usize, SourceId)>,
     /// Global node id → (component, local node id).
@@ -456,22 +571,12 @@ impl ParallelExecutor {
             comp_sources.push(sources);
         }
 
-        let mut senders = Vec::with_capacity(workers);
-        let mut threads = Vec::with_capacity(workers);
-        for (w, slots) in slots_of.into_iter().enumerate() {
-            let (tx, rx) = channel::unbounded();
-            senders.push(tx);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("millstream-worker-{w}"))
-                    .spawn(move || worker_loop(rx, slots))
-                    .expect("spawn worker thread"),
-            );
-        }
+        let pool = WorkerPool::spawn("millstream-worker", slots_of, || Cmd::Stop, worker_loop);
 
         ParallelExecutor {
-            senders,
-            threads,
+            pool,
+            pending: Mutex::new(vec![Vec::new(); num_sources]),
+            commands_sent: AtomicU64::new(0),
             source_route: partition.source_map,
             node_route,
             comp_worker,
@@ -491,7 +596,7 @@ impl ParallelExecutor {
 
     /// Number of worker threads actually spawned.
     pub fn num_workers(&self) -> usize {
-        self.senders.len()
+        self.pool.len()
     }
 
     /// The component a global source routes to.
@@ -500,10 +605,56 @@ impl ParallelExecutor {
     }
 
     fn sender_for(&self, comp: usize) -> &Sender<Cmd> {
-        &self.senders[self.comp_worker[comp]]
+        &self.pool.senders()[self.comp_worker[comp]]
+    }
+
+    /// Commands this coordinator has sent over the worker channels —
+    /// coalesced batches count once. Ingest-handle traffic is not
+    /// included.
+    pub fn commands_sent(&self) -> u64 {
+        self.commands_sent.load(Ordering::Relaxed)
+    }
+
+    fn send(&self, comp: usize, cmd: Cmd) -> Result<()> {
+        self.commands_sent.fetch_add(1, Ordering::Relaxed);
+        self.sender_for(comp).send(cmd).map_err(|_| disconnected())
+    }
+
+    fn broadcast(&self, mut make: impl FnMut() -> Cmd) -> Result<()> {
+        for tx in self.pool.senders() {
+            self.commands_sent.fetch_add(1, Ordering::Relaxed);
+            tx.send(make()).map_err(|_| disconnected())?;
+        }
+        Ok(())
+    }
+
+    /// Ships every coalesced ingest run as one [`Cmd::IngestBatch`]. Must
+    /// precede any other command send so a heartbeat, close, or clock
+    /// advance can never undercut data accepted before it.
+    fn flush_pending(&self) -> Result<()> {
+        let mut pending = self.pending.lock().expect("pending lock");
+        for (global, run) in pending.iter_mut().enumerate() {
+            if run.is_empty() {
+                continue;
+            }
+            let (comp, local) = self.source_route[global];
+            self.send(
+                comp,
+                Cmd::IngestBatch {
+                    comp,
+                    source: local,
+                    tuples: std::mem::take(run),
+                },
+            )?;
+        }
+        Ok(())
     }
 
     /// A cloneable, `Send`-able ingest handle for a global source.
+    ///
+    /// Handle traffic bypasses the coordinator's coalescing buffer; mixing
+    /// `ingest` and handle sends **for the same source** may reorder them
+    /// relative to each other (each path is individually FIFO).
     pub fn ingest_handle(&self, source: SourceId) -> IngestHandle {
         let (comp, local) = self.source_route[source.0];
         IngestHandle {
@@ -514,64 +665,76 @@ impl ParallelExecutor {
     }
 
     /// Ingests a data tuple at a global source (fire-and-forget; errors
-    /// surface at the next barrier).
+    /// surface at the next barrier). Tuples coalesce in a per-source
+    /// buffer and cross the channel as one [`Cmd::IngestBatch`] per
+    /// [`INGEST_BATCH`] tuples — or earlier, when any other command needs
+    /// the channel.
     pub fn ingest(&self, source: SourceId, tuple: Tuple) -> Result<()> {
-        let (comp, local) = self.source_route[source.0];
-        self.sender_for(comp)
-            .send(Cmd::Ingest {
+        let full = {
+            let mut pending = self.pending.lock().expect("pending lock");
+            let run = &mut pending[source.0];
+            run.push(tuple);
+            (run.len() >= INGEST_BATCH).then(|| std::mem::take(run))
+        };
+        if let Some(tuples) = full {
+            let (comp, local) = self.source_route[source.0];
+            self.send(
                 comp,
-                source: local,
-                tuple,
-            })
-            .map_err(|_| disconnected())
+                Cmd::IngestBatch {
+                    comp,
+                    source: local,
+                    tuples,
+                },
+            )?;
+        }
+        Ok(())
     }
 
     /// Ingests a heartbeat punctuation at a global source.
     pub fn ingest_heartbeat(&self, source: SourceId, ts: Timestamp) -> Result<()> {
+        self.flush_pending()?;
         let (comp, local) = self.source_route[source.0];
-        self.sender_for(comp)
-            .send(Cmd::Heartbeat {
+        self.send(
+            comp,
+            Cmd::Heartbeat {
                 comp,
                 source: local,
                 ts,
-            })
-            .map_err(|_| disconnected())
+            },
+        )
     }
 
     /// Declares end-of-stream on a global source.
     pub fn close_source(&self, source: SourceId) -> Result<()> {
+        self.flush_pending()?;
         let (comp, local) = self.source_route[source.0];
-        self.sender_for(comp)
-            .send(Cmd::Close {
+        self.send(
+            comp,
+            Cmd::Close {
                 comp,
                 source: local,
-            })
-            .map_err(|_| disconnected())
+            },
+        )
     }
 
     /// Advances every component's clock to `ts` (clocks never go
     /// backwards, so components already past `ts` are unaffected).
     pub fn advance_to(&self, ts: Timestamp) -> Result<()> {
-        for tx in &self.senders {
-            tx.send(Cmd::AdvanceTo(ts)).map_err(|_| disconnected())?;
-        }
-        Ok(())
+        self.flush_pending()?;
+        self.broadcast(|| Cmd::AdvanceTo(ts))
     }
 
     /// Begins idle-waiting tracking for a global node.
     pub fn monitor_idle(&self, node: NodeId) -> Result<()> {
+        self.flush_pending()?;
         let (comp, local) = self.node_route[node.0];
-        self.sender_for(comp)
-            .send(Cmd::MonitorIdle { comp, node: local })
-            .map_err(|_| disconnected())
+        self.send(comp, Cmd::MonitorIdle { comp, node: local })
     }
 
     /// Finalizes idle trackers at the current component clocks.
     pub fn finish_idle(&self) -> Result<()> {
-        for tx in &self.senders {
-            tx.send(Cmd::FinishIdle).map_err(|_| disconnected())?;
-        }
-        Ok(())
+        self.flush_pending()?;
+        self.broadcast(|| Cmd::FinishIdle)
     }
 
     /// The quiescence barrier: every worker runs each hosted component
@@ -580,9 +743,11 @@ impl ParallelExecutor {
     /// steps taken. The first worker-side error — including errors stashed
     /// by fire-and-forget ingest since the last barrier — is returned.
     pub fn run_until_quiescent(&self, max_steps: u64) -> Result<u64> {
-        let mut replies = Vec::with_capacity(self.senders.len());
-        for tx in &self.senders {
+        self.flush_pending()?;
+        let mut replies = Vec::with_capacity(self.pool.len());
+        for tx in self.pool.senders() {
             let (reply_tx, reply_rx) = channel::bounded(1);
+            self.commands_sent.fetch_add(1, Ordering::Relaxed);
             tx.send(Cmd::Run {
                 max_steps,
                 reply: reply_tx,
@@ -642,9 +807,11 @@ impl ParallelExecutor {
 
     /// Collects and merges a state snapshot from every component.
     pub fn snapshot(&self) -> Result<ParallelSnapshot> {
-        let mut replies = Vec::with_capacity(self.senders.len());
-        for tx in &self.senders {
+        self.flush_pending()?;
+        let mut replies = Vec::with_capacity(self.pool.len());
+        for tx in self.pool.senders() {
             let (reply_tx, reply_rx) = channel::bounded(1);
+            self.commands_sent.fetch_add(1, Ordering::Relaxed);
             tx.send(Cmd::Snapshot { reply: reply_tx })
                 .map_err(|_| disconnected())?;
             replies.push(reply_rx);
@@ -660,8 +827,11 @@ impl ParallelExecutor {
         let mut total_queued = 0;
         let mut punctuation_enqueued = 0;
         let mut idle = Vec::new();
+        let mut worker_busy_nanos = Vec::with_capacity(self.pool.len());
         for rx in replies {
-            for snap in rx.recv().map_err(|_| disconnected())? {
+            let (snaps, busy) = rx.recv().map_err(|_| disconnected())?;
+            worker_busy_nanos.push(busy);
+            for snap in snaps {
                 let s = snap.stats;
                 stats.merge(&s);
                 for (local, p) in snap.profile.into_iter().enumerate() {
@@ -699,22 +869,8 @@ impl ParallelExecutor {
             total_queued,
             punctuation_enqueued,
             idle,
+            worker_busy_nanos,
         })
-    }
-}
-
-impl Drop for ParallelExecutor {
-    fn drop(&mut self) {
-        // An explicit stop beats dropping the senders: cloned
-        // `IngestHandle`s may still hold the channel open, and a worker
-        // blocked in `recv()` would never observe a disconnect.
-        for tx in &self.senders {
-            let _ = tx.send(Cmd::Stop);
-        }
-        self.senders.clear();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
     }
 }
 
@@ -832,6 +988,41 @@ mod tests {
         pex.run_until_quiescent(1_000_000).unwrap();
         assert_eq!(out1.0.lock().unwrap().len(), 5);
         assert_eq!(out2.0.lock().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn ingest_commands_coalesce_below_budget() {
+        let mut b = GraphBuilder::new();
+        let s1 = b.source("S1", schema(), TimestampKind::Internal);
+        let f = b
+            .operator(
+                Box::new(Filter::new("σ", schema(), Expr::lit(true))),
+                vec![Input::Source(s1)],
+            )
+            .unwrap();
+        let out = Out::default();
+        b.operator(
+            Box::new(Sink::new("sink", schema(), out.clone())),
+            vec![Input::Op(f)],
+        )
+        .unwrap();
+        let pex = ParallelExecutor::new(
+            b.build().unwrap(),
+            ParallelConfig::new(CostModel::free(), EtsPolicy::on_demand(), 1),
+        );
+        for i in 0..1000u64 {
+            pex.ingest(s1, data(i)).unwrap();
+        }
+        pex.run_until_quiescent(1_000_000).unwrap();
+        assert_eq!(out.0.lock().unwrap().len(), 1000);
+        // 1000 tuples coalesce into ⌈1000/64⌉ = 16 batches + 1 run command.
+        // The budget is a fixed regression bound: a per-tuple channel would
+        // send 1001 commands here.
+        let sent = pex.commands_sent();
+        assert!(
+            sent <= 24,
+            "command round trips per 1k ingested tuples regressed: {sent} > 24"
+        );
     }
 
     #[test]

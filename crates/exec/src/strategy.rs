@@ -88,6 +88,35 @@ impl EtsPolicy {
     }
 }
 
+/// Gates a sharded **on-demand frontier advance** — the exchange-edge
+/// analogue of on-demand ETS (see [`crate::ShardedExecutor`]).
+///
+/// Where the serial backtrack mechanism asks a starved source's register
+/// for an ETS, a starved shard replica (or the coordinator's merge stage)
+/// asks the shared frontier table for the source's global frontier `f` and
+/// injects it as a heartbeat. The same staleness discipline as
+/// [`EtsPolicy::ets_for`] applies: an advance that would not move the
+/// consumer's high-water marks carries no new information and is
+/// suppressed rather than burning a run cycle.
+///
+/// Returns the heartbeat timestamp to inject, or `None` when `frontier`
+/// is unknown or stale against the local data/punctuation high waters.
+/// Note the asymmetry: a frontier *equal* to the data high water is still
+/// useful (it promises "no more data below `f`", which the data tuple at
+/// `f` itself does not), while one equal to the punctuation high water is
+/// not (that exact promise was already made).
+pub fn frontier_advance(
+    frontier: Option<Timestamp>,
+    data_high_water: Option<Timestamp>,
+    punct_high_water: Option<Timestamp>,
+) -> Option<Timestamp> {
+    let f = frontier?;
+    if data_high_water.is_some_and(|hw| f < hw) || punct_high_water.is_some_and(|hw| f <= hw) {
+        return None;
+    }
+    Some(f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +205,26 @@ mod tests {
         // Clock has not advanced past the previous ETS.
         assert_eq!(EtsPolicy::on_demand().ets_for(&s, ts(100)), None);
         assert_eq!(EtsPolicy::on_demand().ets_for(&s, ts(101)), Some(ts(101)));
+    }
+
+    #[test]
+    fn frontier_advance_gating() {
+        // Unknown frontier: nothing to promise.
+        assert_eq!(frontier_advance(None, Some(ts(5)), None), None);
+        // Fresh frontier on a virgin replica: inject it.
+        assert_eq!(frontier_advance(Some(ts(10)), None, None), Some(ts(10)));
+        // Equal to the data high water: still useful (promises closure).
+        assert_eq!(
+            frontier_advance(Some(ts(10)), Some(ts(10)), None),
+            Some(ts(10))
+        );
+        // Below routed data: stale.
+        assert_eq!(frontier_advance(Some(ts(9)), Some(ts(10)), None), None);
+        // Equal to the punctuation high water: the promise already exists.
+        assert_eq!(frontier_advance(Some(ts(10)), None, Some(ts(10))), None);
+        assert_eq!(
+            frontier_advance(Some(ts(11)), None, Some(ts(10))),
+            Some(ts(11))
+        );
     }
 }

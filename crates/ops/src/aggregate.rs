@@ -294,6 +294,15 @@ impl Operator for WindowAggregate {
         true
     }
 
+    /// The open window flushes at its end — a timestamp *behind* the input
+    /// that will close it — so the window end is a hold on future output.
+    fn frontier_hold(&self) -> Option<Timestamp> {
+        match self.window_start {
+            Some(start) if start != Timestamp::MAX => Some(start.saturating_add(self.window)),
+            _ => None,
+        }
+    }
+
     fn output_schema(&self) -> &Schema {
         &self.schema
     }

@@ -236,6 +236,23 @@ pub trait Operator: Send {
         None
     }
 
+    /// A lower bound on the timestamp of anything this operator may emit
+    /// *from state it already holds* — independent of future input.
+    /// `None` means the operator holds nothing back: every future emission
+    /// is derived from (and stamped no earlier than) future input, which
+    /// the caller bounds separately.
+    ///
+    /// The sharded executor folds these holds into each worker's published
+    /// frontier floor: `floor = min(source frontiers, queued fronts,
+    /// frontier holds)`. An operator that buffers tuples (Reorder's slack
+    /// heap) or emits at a boundary behind its input (windowed aggregates
+    /// stamp at the window end, which trails the tuple that closed it)
+    /// MUST report that hold, or the floor overshoots and the merge stage
+    /// releases output it would later have to re-order.
+    fn frontier_hold(&self) -> Option<Timestamp> {
+        None
+    }
+
     /// Declared number of inputs. The graph builder checks arity.
     fn num_inputs(&self) -> usize;
 

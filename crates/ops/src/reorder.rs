@@ -184,6 +184,12 @@ impl Operator for Reorder {
         true
     }
 
+    /// Tuples below the release floor in the slack heap may still be
+    /// emitted at their own timestamps — the heap minimum is the hold.
+    fn frontier_hold(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|Reverse(p)| p.ts)
+    }
+
     /// Degraded-mode reaction: under pressure, tighten the slack so held
     /// tuples release sooner (halved at `High`, quartered at `Critical`);
     /// restore the configured slack when pressure subsides. Order safety is

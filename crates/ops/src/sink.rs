@@ -27,6 +27,12 @@ pub trait SinkCollector: Send {
     fn deliver(&mut self, tuple: Tuple, now: Timestamp);
 }
 
+impl SinkCollector for Box<dyn SinkCollector> {
+    fn deliver(&mut self, tuple: Tuple, now: Timestamp) {
+        (**self).deliver(tuple, now);
+    }
+}
+
 /// A collector that simply stores delivered tuples (tests, examples).
 #[derive(Debug, Default)]
 pub struct VecCollector {

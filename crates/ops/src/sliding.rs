@@ -208,6 +208,15 @@ impl Operator for SlidingAggregate {
         true
     }
 
+    /// The next slide boundary to emit is `pane_start + slide`; every
+    /// window still pending emits at or after it.
+    fn frontier_hold(&self) -> Option<Timestamp> {
+        match self.pane_start {
+            Some(start) if start != Timestamp::MAX => Some(start.saturating_add(self.slide)),
+            _ => None,
+        }
+    }
+
     fn output_schema(&self) -> &Schema {
         &self.schema
     }

@@ -36,4 +36,4 @@ pub mod parser;
 pub mod planner;
 
 pub use parser::{parse_program, parse_query};
-pub use planner::{plan_program, plan_query, Catalog, PlannedQuery, PlannedSource};
+pub use planner::{plan_program, plan_query, shard_keys, Catalog, PlannedQuery, PlannedSource};

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use millstream_exec::{GraphBuilder, Input, NodeId, QueryGraph, SourceId};
+use millstream_exec::{GraphBuilder, Input, NodeId, QueryGraph, ShardKey, SourceId};
 use millstream_ops::{
     AggExpr, AggFunc, Filter, JoinSpec, Operator, Project, Reorder, Sink, SinkCollector,
     SlidingAggregate, Split, Union, WindowAggregate, WindowJoin,
@@ -254,6 +254,141 @@ where
         monitor,
         output_schema,
     })
+}
+
+/// Derives per-source exchange partition keys for intra-component data
+/// parallelism, or `None` when the query cannot be sharded safely.
+///
+/// A key assignment is safe iff routing on it keeps every unit of
+/// operator state whole on one shard:
+///
+/// * **window join** — both sides route on the equi-join key columns, so
+///   matching pairs meet on the same shard. A join without a cross-side
+///   equality key (a window cross product) is unshardable: pairs would be
+///   lost across shards.
+/// * **GROUP BY** — the source routes on any one grouping column that is
+///   a plain source column (same key value ⇒ same group shard, so no
+///   partial aggregates). Grouping only by computed expressions is
+///   unshardable. After a join, a grouping column must coincide with the
+///   join key (which already determines the shard).
+/// * **stateless branches** (filter/project/reorder/union) — any
+///   partition works: [`ShardKey::WholeRow`].
+/// * **latent streams** are unshardable: their timestamps are assigned
+///   from the executing replica's clock, which is not key-deterministic.
+///
+/// Constraints merge across branches (a shared stream must agree):
+/// `WholeRow` yields to any column constraint; two different column
+/// constraints conflict → `None`.
+///
+/// Keys are returned in planned-source order — the order of
+/// [`PlannedQuery::sources`].
+pub fn shard_keys(catalog: &Catalog, query: &Query) -> Result<Option<Vec<ShardKey>>> {
+    // Stream → index into `order`; constraint `None` = WholeRow so far.
+    let mut order: Vec<String> = Vec::new();
+    let mut constraints: HashMap<String, Option<usize>> = HashMap::new();
+    let mut note = |stream: &str, col: Option<usize>| -> bool {
+        if !constraints.contains_key(stream) {
+            order.push(stream.to_string());
+        }
+        let slot = constraints.entry(stream.to_string()).or_insert(None);
+        match (*slot, col) {
+            (Some(a), Some(b)) if a != b => false, // conflicting keys
+            (None, Some(b)) => {
+                *slot = Some(b);
+                true
+            }
+            _ => true,
+        }
+    };
+
+    for b in &query.branches {
+        let from_def = catalog.get(&b.from.stream)?;
+        if from_def.kind == TimestampKind::Latent {
+            return Ok(None);
+        }
+        let from_schema = from_def.schema.clone();
+
+        let join_key = match &b.join {
+            None => None,
+            Some(join) => {
+                let join_def = catalog.get(&join.table.stream)?;
+                if join_def.kind == TimestampKind::Latent {
+                    return Ok(None);
+                }
+                let scope = Scope::pair(
+                    (b.from.binding(), &from_schema),
+                    (join.table.binding(), &join_def.schema),
+                );
+                let Ok(on) = resolve_expr(&join.on, &scope) else {
+                    return Ok(None);
+                };
+                let (key, _) = split_join_condition(on, from_schema.len());
+                let Some((i, j)) = key else {
+                    return Ok(None); // pure window cross product
+                };
+                if !note(&b.from.stream, Some(i)) || !note(&join.table.stream, Some(j)) {
+                    return Ok(None);
+                }
+                Some((i, from_schema.len() + j))
+            }
+        };
+
+        let has_aggregates = match &b.projection {
+            Projection::Star => false,
+            Projection::Items(items) => items.iter().any(|i| i.expr.contains_aggregate()),
+        };
+        if let Some(group) = &b.group_by {
+            let scope = match &b.join {
+                None => Scope::single(b.from.binding(), &from_schema),
+                Some(join) => Scope::pair(
+                    (b.from.binding(), &from_schema),
+                    (
+                        join.table.binding(),
+                        &catalog.get(&join.table.stream)?.schema,
+                    ),
+                ),
+            };
+            let group_cols: Vec<usize> = group
+                .keys
+                .iter()
+                .filter_map(|k| match resolve_expr(k, &scope) {
+                    Ok(Expr::Column(c)) => Some(c),
+                    _ => None,
+                })
+                .collect();
+            match join_key {
+                // Joined + grouped: the shard is already fixed by the join
+                // key, so a grouping column must coincide with it.
+                Some((l, r)) => {
+                    if !group_cols.iter().any(|&c| c == l || c == r) {
+                        return Ok(None);
+                    }
+                }
+                None => {
+                    let Some(&c) = group_cols.first() else {
+                        return Ok(None); // only computed grouping keys
+                    };
+                    if !note(&b.from.stream, Some(c)) {
+                        return Ok(None);
+                    }
+                }
+            }
+        } else if has_aggregates {
+            return Ok(None); // bare aggregate: one global accumulator
+        } else if b.join.is_none() && !note(&b.from.stream, None) {
+            return Ok(None);
+        }
+    }
+
+    Ok(Some(
+        order
+            .iter()
+            .map(|s| match constraints[s] {
+                Some(c) => ShardKey::Column(c),
+                None => ShardKey::WholeRow,
+            })
+            .collect(),
+    ))
 }
 
 /// The planned output of one SELECT branch.
@@ -873,6 +1008,82 @@ mod tests {
             .is_err());
         assert_eq!(c.len(), 1);
         assert!(!c.is_empty());
+    }
+
+    fn keys_for(query: &str) -> Result<Option<Vec<ShardKey>>> {
+        let stmts = crate::parser::parse_program(&format!("{DDL}{query};"))?;
+        let mut catalog = Catalog::new();
+        let queries = catalog.apply(stmts)?;
+        shard_keys(&catalog, &queries[0])
+    }
+
+    #[test]
+    fn shard_keys_stateless_is_whole_row() {
+        assert_eq!(
+            keys_for("SELECT src FROM packets WHERE len > 100").unwrap(),
+            Some(vec![ShardKey::WholeRow])
+        );
+        assert_eq!(
+            keys_for("SELECT src FROM packets UNION SELECT src FROM flows").unwrap(),
+            Some(vec![ShardKey::WholeRow, ShardKey::WholeRow])
+        );
+    }
+
+    #[test]
+    fn shard_keys_group_by_routes_on_group_column() {
+        assert_eq!(
+            keys_for(
+                "SELECT src, COUNT(*) AS n FROM packets \
+                 GROUP BY src EVERY 10 SECONDS"
+            )
+            .unwrap(),
+            Some(vec![ShardKey::Column(0)])
+        );
+    }
+
+    #[test]
+    fn shard_keys_join_routes_on_equi_key() {
+        assert_eq!(
+            keys_for(
+                "SELECT a.src FROM packets AS a JOIN alerts AS b \
+                 ON a.src = b.src WINDOW 5 SECONDS"
+            )
+            .unwrap(),
+            Some(vec![ShardKey::Column(0), ShardKey::Column(0)])
+        );
+        // Cross product: no equi key, unshardable.
+        assert_eq!(
+            keys_for(
+                "SELECT a.src FROM packets AS a JOIN alerts AS b \
+                 ON b.severity > 3 WINDOW 5 SECONDS"
+            )
+            .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn shard_keys_conflicts_and_bare_aggregates_are_unshardable() {
+        // Same stream needing two different keys across branches.
+        assert_eq!(
+            keys_for(
+                "SELECT src, COUNT(*) AS n FROM packets GROUP BY src EVERY 1 SECONDS \
+                 UNION \
+                 SELECT len, COUNT(*) AS n FROM packets GROUP BY len EVERY 1 SECONDS"
+            )
+            .unwrap(),
+            None
+        );
+        // WholeRow yields to a column constraint on a shared stream.
+        assert_eq!(
+            keys_for(
+                "SELECT src, len FROM packets WHERE len > 0 \
+                 UNION \
+                 SELECT src, SUM(len) AS len FROM packets GROUP BY src EVERY 1 SECONDS"
+            )
+            .unwrap(),
+            Some(vec![ShardKey::Column(0)])
+        );
     }
 
     #[test]

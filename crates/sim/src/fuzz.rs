@@ -18,8 +18,11 @@
 //! `EtsPolicy` × `SchedPolicy` × workers ∈ {1 (serial [`Executor`]),
 //! 4 ([`ParallelExecutor`])} × feedback ∈ {off, advisory-on} (harsh
 //! watermarks, shedding and slack tightening disabled, so the feedback
-//! channel must be output-invariant) — with the sentinel layer in strict
-//! mode, and
+//! channel must be output-invariant), plus `EtsPolicy` × `SchedPolicy` ×
+//! shards ∈ {1, 2, 4} through the key-partitioned [`ShardedExecutor`]
+//! (each component sharded whole-row across exchange edges, re-merged by
+//! timestamp, with per-shard frontier floors checked for consistency) —
+//! with the sentinel layer in strict mode, and
 //! each sink's output is compared against a naive single-queue oracle
 //! (all surviving data tuples of the component, merged into one queue and
 //! sorted by timestamp). Any engine error, invariant violation, ordering
@@ -47,7 +50,8 @@ use std::sync::{Arc, Mutex};
 
 use millstream_exec::{
     CheckMode, CostModel, EtsPolicy, Executor, FeedbackConfig, GraphBuilder, Input, ParallelConfig,
-    ParallelExecutor, QueryGraph, SchedPolicy, SourceId, VirtualClock, Watermarks,
+    ParallelExecutor, QueryGraph, SchedPolicy, ShardOutput, ShardedConfig, ShardedExecutor,
+    SourceId, VirtualClock, Watermarks,
 };
 use millstream_ops::{Filter, LatePolicy, Project, Reorder, Sink, SinkCollector, Union};
 use millstream_types::{
@@ -350,73 +354,89 @@ struct Built {
     handles: Vec<(Vec<SourceId>, CollectedSink)>,
 }
 
+/// Appends one component's pipeline — sources, optional `Reorder` /
+/// `Filter` / narrowing `Project` stages, a `Union` when multi-source,
+/// and a sink delivering to `out` — to the builder. Returns the
+/// component's source ids in spec order. Shared between the full
+/// multi-component graph ([`build`]) and the per-shard replica factories
+/// ([`run_sharded`]), so every engine cell executes the same plan.
+fn append_component<C: SinkCollector + 'static>(
+    b: &mut GraphBuilder,
+    comp: &CompSpec,
+    ci: usize,
+    out: C,
+) -> Result<Vec<SourceId>, String> {
+    let mut tails = Vec::new();
+    let mut src_ids = Vec::new();
+    for (si, s) in comp.sources.iter().enumerate() {
+        let name = format!("S{ci}_{si}");
+        let src_schema = if s.wide { wide_schema() } else { schema() };
+        let sid = if s.unordered {
+            b.unordered_source(&name, src_schema.clone(), TimestampKind::External)
+        } else {
+            b.source(&name, src_schema.clone(), TimestampKind::Internal)
+        };
+        src_ids.push(sid);
+        let mut tail = Input::Source(sid);
+        if s.unordered {
+            let policy = if s.clamp {
+                LatePolicy::Clamp
+            } else {
+                LatePolicy::Drop
+            };
+            let r = Reorder::new(
+                format!("reorder{ci}_{si}"),
+                src_schema.clone(),
+                TimeDelta::from_micros(s.slack),
+            )
+            .with_late_policy(policy);
+            tail = Input::Op(
+                b.operator(Box::new(r), vec![tail])
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        if let Some(k) = s.filter_min {
+            let f = Filter::new(
+                format!("filter{ci}_{si}"),
+                src_schema.clone(),
+                Expr::col(0).ge(Expr::lit(k)),
+            );
+            tail = Input::Op(
+                b.operator(Box::new(f), vec![tail])
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        if s.wide {
+            // Narrow the spilled rows back to the one-column schema the
+            // union and sink (and the oracle) expect.
+            let p = Project::new(format!("narrow{ci}_{si}"), schema(), vec![Expr::col(0)]);
+            tail = Input::Op(
+                b.operator(Box::new(p), vec![tail])
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        tails.push(tail);
+    }
+    let tail = if tails.len() > 1 {
+        let u = Union::new(format!("union{ci}"), schema(), tails.len());
+        Input::Op(b.operator(Box::new(u), tails).map_err(|e| e.to_string())?)
+    } else {
+        tails.pop().expect("component has at least one source")
+    };
+    b.operator(
+        Box::new(Sink::new(format!("sink{ci}"), schema(), out)),
+        vec![tail],
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(src_ids)
+}
+
 fn build(spec: &FuzzSpec) -> Result<Built, String> {
     let mut b = GraphBuilder::new();
     let mut handles = Vec::new();
     for (ci, comp) in spec.comps.iter().enumerate() {
-        let mut tails = Vec::new();
-        let mut src_ids = Vec::new();
-        for (si, s) in comp.sources.iter().enumerate() {
-            let name = format!("S{ci}_{si}");
-            let src_schema = if s.wide { wide_schema() } else { schema() };
-            let sid = if s.unordered {
-                b.unordered_source(&name, src_schema.clone(), TimestampKind::External)
-            } else {
-                b.source(&name, src_schema.clone(), TimestampKind::Internal)
-            };
-            src_ids.push(sid);
-            let mut tail = Input::Source(sid);
-            if s.unordered {
-                let policy = if s.clamp {
-                    LatePolicy::Clamp
-                } else {
-                    LatePolicy::Drop
-                };
-                let r = Reorder::new(
-                    format!("reorder{ci}_{si}"),
-                    src_schema.clone(),
-                    TimeDelta::from_micros(s.slack),
-                )
-                .with_late_policy(policy);
-                tail = Input::Op(
-                    b.operator(Box::new(r), vec![tail])
-                        .map_err(|e| e.to_string())?,
-                );
-            }
-            if let Some(k) = s.filter_min {
-                let f = Filter::new(
-                    format!("filter{ci}_{si}"),
-                    src_schema.clone(),
-                    Expr::col(0).ge(Expr::lit(k)),
-                );
-                tail = Input::Op(
-                    b.operator(Box::new(f), vec![tail])
-                        .map_err(|e| e.to_string())?,
-                );
-            }
-            if s.wide {
-                // Narrow the spilled rows back to the one-column schema the
-                // union and sink (and the oracle) expect.
-                let p = Project::new(format!("narrow{ci}_{si}"), schema(), vec![Expr::col(0)]);
-                tail = Input::Op(
-                    b.operator(Box::new(p), vec![tail])
-                        .map_err(|e| e.to_string())?,
-                );
-            }
-            tails.push(tail);
-        }
-        let tail = if tails.len() > 1 {
-            let u = Union::new(format!("union{ci}"), schema(), tails.len());
-            Input::Op(b.operator(Box::new(u), tails).map_err(|e| e.to_string())?)
-        } else {
-            tails.pop().expect("component has at least one source")
-        };
         let out = CollectedSink::default();
-        b.operator(
-            Box::new(Sink::new(format!("sink{ci}"), schema(), out.clone())),
-            vec![tail],
-        )
-        .map_err(|e| e.to_string())?;
+        let src_ids = append_component(&mut b, comp, ci, out.clone())?;
         handles.push((src_ids, out));
     }
     let graph = b.build().map_err(|e| e.to_string())?;
@@ -592,6 +612,115 @@ fn run_parallel(
         .collect())
 }
 
+/// Runs each component through a [`ShardedExecutor`]: tuples whole-row
+/// key-partitioned across `shards` exchange queues, each shard a full
+/// replica of the component pipeline, outputs timestamp-merged back into
+/// one stream whose per-shard frontier floors the sentinel layer checks
+/// for consistency. Components are independent, so each gets its own
+/// sharded engine while the global arrival schedule is replayed across
+/// all of them (quiescence barriers between arrival epochs, as in the
+/// serial and parallel cells).
+fn run_sharded(
+    spec: &FuzzSpec,
+    policy: EtsPolicy,
+    sched: SchedPolicy,
+    shards: usize,
+) -> Result<Vec<Vec<(u64, i64)>>, String> {
+    let mut execs = Vec::new();
+    let mut outs = Vec::new();
+    let mut src_ids: Vec<Vec<SourceId>> = Vec::new();
+    for (ci, comp) in spec.comps.iter().enumerate() {
+        let out = CollectedSink::default();
+        let config = ShardedConfig::new(CostModel::free(), policy, shards)
+            .with_sched_policy(sched)
+            .with_check_mode(CheckMode::Strict);
+        let mut ids = Vec::new();
+        let sx = ShardedExecutor::new(
+            |replica, shard_out: ShardOutput| {
+                let mut b = GraphBuilder::new();
+                let sids = append_component(&mut b, comp, ci, shard_out).map_err(|e| {
+                    millstream_types::Error::graph(format!("shard replica build: {e}"))
+                })?;
+                if replica == 0 {
+                    ids = sids;
+                }
+                b.build()
+            },
+            schema(),
+            Box::new(out.clone()),
+            config,
+        )
+        .map_err(|e| e.to_string())?;
+        execs.push(sx);
+        outs.push(out);
+        src_ids.push(ids);
+    }
+
+    let drain_all = |execs: &mut [ShardedExecutor]| -> Result<(), String> {
+        for sx in execs.iter_mut() {
+            let taken = sx
+                .run_until_quiescent(MAX_STEPS)
+                .map_err(|e| e.to_string())?;
+            if taken >= MAX_STEPS {
+                return Err(format!(
+                    "step budget ({MAX_STEPS}) exhausted without quiescence"
+                ));
+            }
+        }
+        Ok(())
+    };
+
+    let mut pending: Option<u64> = None;
+    for g in merged_events(spec) {
+        if pending.is_some_and(|a| a != g.arrival) {
+            drain_all(&mut execs)?;
+        }
+        pending = Some(g.arrival);
+        let sid = src_ids[g.comp][g.src];
+        let src = &spec.comps[g.comp].sources[g.src];
+        let sx = &mut execs[g.comp];
+        sx.advance_to(Timestamp::from_micros(g.arrival))
+            .map_err(|e| e.to_string())?;
+        match g.ev {
+            Ev::Data { ts, v, .. } => sx
+                .ingest(
+                    sid,
+                    Tuple::data(Timestamp::from_micros(ts), payload(src, v)),
+                )
+                .map_err(|e| e.to_string())?,
+            Ev::Heartbeat { ts, .. } => sx
+                .ingest_heartbeat(sid, Timestamp::from_micros(ts))
+                .map_err(|e| e.to_string())?,
+        }
+    }
+    drain_all(&mut execs)?;
+    for (ci, ids) in src_ids.iter().enumerate() {
+        for &sid in ids {
+            execs[ci].close_source(sid).map_err(|e| e.to_string())?;
+        }
+    }
+    drain_all(&mut execs)?;
+    for sx in &execs {
+        let snap = sx.snapshot().map_err(|e| e.to_string())?;
+        if snap.stats.invariant_violations != 0 {
+            return Err(format!(
+                "{} invariant violation(s) counted",
+                snap.stats.invariant_violations
+            ));
+        }
+        if snap.frontier_violations != 0 {
+            return Err(format!(
+                "{} frontier-consistency violation(s) at the merge input",
+                snap.frontier_violations
+            ));
+        }
+    }
+    Ok(outs
+        .iter()
+        .map(|out| out.0.lock().unwrap().clone())
+        .collect())
+}
+
 /// Checks one engine run's sink outputs against the oracle.
 fn check_outputs(
     spec: &FuzzSpec,
@@ -675,6 +804,18 @@ pub fn fuzz_seed(seed: u64) -> Vec<String> {
                     }
                 }
             }
+            // Exchange-edge cells: the same spec sharded across worker
+            // threads behind whole-row key partitioning, including the
+            // shards=1 degenerate path (router + merge stage with a
+            // single queue behind them).
+            for shards in [1usize, 2, 4] {
+                let label =
+                    format!("seed {seed} [policy={policy:?} sched={sched:?} shards={shards}]");
+                match run_sharded(&spec, policy, sched, shards) {
+                    Err(e) => failures.push(format!("{label}: {e}")),
+                    Ok(outputs) => check_outputs(&spec, &outputs, &label, &mut failures),
+                }
+            }
         }
     }
     failures
@@ -696,8 +837,9 @@ pub fn fuzz_range(base: u64, count: u64) -> FuzzSummary {
     let mut summary = FuzzSummary::default();
     for seed in base..base.saturating_add(count) {
         let spec = gen_spec(seed);
-        // policies × scheds × workers × feedback {off, advisory-on}.
-        let cells = if spec.any_unordered() { 8 } else { 16 };
+        // policies × scheds × (workers × feedback {off, advisory-on}
+        // + shards {1, 2, 4}).
+        let cells = if spec.any_unordered() { 14 } else { 28 };
         summary.seeds += 1;
         summary.runs += cells;
         summary.failures.extend(fuzz_seed(seed));
