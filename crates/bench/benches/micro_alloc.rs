@@ -5,7 +5,8 @@
 //! (`millstream_bench::alloc_track`, feature `count-alloc`) and measures
 //! how many heap allocations the engine performs per delivered tuple on
 //! the filter→project→union pipeline, at per-tuple execution (K=1) and
-//! the batched Encore hot path (K=64).
+//! the batched Encore hot path (K=64), plus a keyed window-join rig that
+//! guards the clone-free probe path (`max_allocs_per_tuple_join`).
 //!
 //! Methodology: tuples are ingested by cloning pre-built templates — a
 //! clone of a narrow row never allocates in either the old (`Arc` bump)
@@ -49,6 +50,13 @@ impl SinkCollector for Count {
 const WAVE_TUPLES: u64 = 1024; // per source, per wave
 const WARMUP_WAVES: u64 = 4;
 const ROUNDS: usize = 5;
+
+/// Key cardinality for the join rig. With the window at twice the key
+/// cycle, every hash bucket stays warm (no free/realloc churn from whole
+/// buckets expiring between recurrences) and each probe matches a small
+/// constant number of opposite-side tuples.
+const JOIN_KEYS: u64 = 64;
+const JOIN_WINDOW_MS: u64 = 2 * JOIN_KEYS;
 
 /// Builds the filter→project→union pipeline: two sources, an all-pass
 /// filter and a two-column projection per branch, merged by a union into
@@ -98,25 +106,56 @@ fn build() -> (GraphBuilder, SourceId, SourceId, Count) {
     (b, s1, s2, out)
 }
 
+/// Builds the join rig: two sources feeding a keyed symmetric
+/// `WindowJoin` into a counting sink. The join probe path is the target
+/// of the clone-elimination fix — this rig is what the CI alloc-budget
+/// job watches so a per-probe clone (or per-match row spill) regression
+/// shows up as allocs per delivered result.
+fn build_join() -> (GraphBuilder, SourceId, SourceId, Count) {
+    let schema = Schema::new(vec![Field::new("v", DataType::Int)]);
+    let joined = Schema::new(vec![
+        Field::new("v", DataType::Int),
+        Field::new("v2", DataType::Int),
+    ]);
+    let out = Count::default();
+    let mut b = GraphBuilder::new();
+    let s1 = b.source("J1", schema.clone(), TimestampKind::Internal);
+    let s2 = b.source("J2", schema, TimestampKind::Internal);
+    let spec = JoinSpec::symmetric(TimeDelta::from_millis(JOIN_WINDOW_MS)).with_key(0, 0);
+    let j = b
+        .operator(
+            Box::new(WindowJoin::new("⋈", joined.clone(), spec)),
+            vec![Input::Source(s1), Input::Source(s2)],
+        )
+        .unwrap();
+    b.operator(
+        Box::new(Sink::new("sink⋈", joined, out.clone())),
+        vec![Input::Op(j)],
+    )
+    .unwrap();
+    (b, s1, s2, out)
+}
+
 struct Window {
     allocs_per_tuple: f64,
     tuples_per_sec: f64,
     delivered: u64,
 }
 
-/// Ingests one wave on both sources (template clones, monotone
-/// timestamps) and returns the timed drain-to-quiescence duration.
+/// Ingests one wave on both sources (template clones cycling through the
+/// slice, monotone timestamps) and returns the timed drain-to-quiescence
+/// duration.
 fn wave(
     exec: &mut Executor,
     s1: SourceId,
     s2: SourceId,
-    template: &Tuple,
+    templates: &[Tuple],
     n: &mut u64,
 ) -> Duration {
     for _ in 0..WAVE_TUPLES {
         let ts = Timestamp::from_millis(*n);
+        let mut t = templates[(*n % templates.len() as u64) as usize].clone();
         *n += 1;
-        let mut t = template.clone();
         t.ts = ts;
         t.entry = ts;
         exec.ingest(s1, t.clone()).unwrap();
@@ -130,8 +169,13 @@ fn wave(
 /// Runs one configuration: warm up, then `ROUNDS` measurement windows of
 /// `waves` waves over the same (steady-state) executor; the best window —
 /// fewest allocations, and independently the fastest drain — is reported.
-fn run(encore_batch: usize, waves: u64) -> Window {
-    let (b, s1, s2, out) = build();
+fn run_rig(
+    rig: (GraphBuilder, SourceId, SourceId, Count),
+    templates: &[Tuple],
+    encore_batch: usize,
+    waves: u64,
+) -> Window {
+    let (b, s1, s2, out) = rig;
     let mut exec = Executor::new(
         b.build().unwrap(),
         VirtualClock::shared(),
@@ -140,10 +184,9 @@ fn run(encore_batch: usize, waves: u64) -> Window {
     )
     .with_encore_batch(encore_batch);
 
-    let template = Tuple::data(Timestamp::ZERO, vec![Value::Int(7)]);
     let mut n = 0u64;
     for _ in 0..WARMUP_WAVES {
-        let _ = wave(&mut exec, s1, s2, &template, &mut n);
+        let _ = wave(&mut exec, s1, s2, templates, &mut n);
     }
 
     let mut best_allocs = u64::MAX;
@@ -154,7 +197,7 @@ fn run(encore_batch: usize, waves: u64) -> Window {
         let allocs0 = alloc_track::allocations();
         let mut drain = Duration::ZERO;
         for _ in 0..waves {
-            drain += wave(&mut exec, s1, s2, &template, &mut n);
+            drain += wave(&mut exec, s1, s2, templates, &mut n);
         }
         let allocs = alloc_track::allocations() - allocs0;
         delivered_last = out.0.load(Ordering::Relaxed) - delivered0;
@@ -169,6 +212,21 @@ fn run(encore_batch: usize, waves: u64) -> Window {
         tuples_per_sec: ingested as f64 / best_drain.as_secs_f64(),
         delivered: delivered_last,
     }
+}
+
+fn run(encore_batch: usize, waves: u64) -> Window {
+    let templates = [Tuple::data(Timestamp::ZERO, vec![Value::Int(7)])];
+    run_rig(build(), &templates, encore_batch, waves)
+}
+
+/// The join configuration: keys cycle over `JOIN_KEYS` so the keyed probe
+/// path (bucket lookup, clone-free enumeration, purge sweep) runs in
+/// steady state; allocs are normalized by delivered join results.
+fn run_join(waves: u64) -> Window {
+    let templates: Vec<Tuple> = (0..JOIN_KEYS)
+        .map(|k| Tuple::data(Timestamp::ZERO, vec![Value::Int(k as i64)]))
+        .collect();
+    run_rig(build_join(), &templates, 64, waves)
 }
 
 fn main() {
@@ -187,6 +245,7 @@ fn main() {
 
     let ks = [1usize, 64];
     let windows: Vec<Window> = ks.iter().map(|&k| run(k, waves)).collect();
+    let join = run_join(waves);
 
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let baseline = std::fs::read_to_string(manifest.join("baselines/alloc_before.json")).ok();
@@ -225,6 +284,21 @@ fn main() {
             ("delivered_per_window", Json::Num(w.delivered as f64)),
         ]));
     }
+    rows.push(vec![
+        format!("join K=64 ({JOIN_KEYS} keys)"),
+        "n/a".into(),
+        format!("{:.3}", join.allocs_per_tuple),
+        "n/a".into(),
+        format!("{:.2}M", join.tuples_per_sec / 1e6),
+        "n/a".into(),
+    ]);
+    json_rows.push(Json::obj([
+        ("rig", Json::str("window-join")),
+        ("encore_batch", Json::Num(64.0)),
+        ("allocs_per_tuple", Json::Num(join.allocs_per_tuple)),
+        ("tuples_per_sec", Json::Num(join.tuples_per_sec)),
+        ("delivered_per_window", Json::Num(join.delivered as f64)),
+    ]));
     print_table(
         "steady-state allocations per delivered tuple (before = pre-refactor baseline)",
         &[
@@ -276,9 +350,20 @@ fn main() {
                     "allocation budget exceeded at K=1: {after1:.3} allocs/tuple > budget {max1:.3}"
                 );
             }
+            if let Some(maxj) = budget
+                .as_deref()
+                .and_then(|t| read_json_num(t, "max_allocs_per_tuple_join"))
+            {
+                assert!(
+                    join.allocs_per_tuple <= maxj,
+                    "allocation budget exceeded on the join rig: {:.3} allocs/result > budget {maxj:.3}",
+                    join.allocs_per_tuple
+                );
+            }
             println!(
-                "\nbudget check passed: K=64 steady state {:.3} allocs/tuple ≤ {max:.3}",
-                after
+                "\nbudget check passed: K=64 steady state {:.3} allocs/tuple ≤ {max:.3}, \
+                 join rig {:.3} allocs/result",
+                after, join.allocs_per_tuple
             );
         }
         None => println!("\nnote: alloc_budget.json missing — budget not enforced"),

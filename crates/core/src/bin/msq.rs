@@ -846,6 +846,7 @@ fn run_bench(args: &[String]) -> ExitCode {
         ("micro_batching", &[]),
         ("micro_components", &[]),
         ("micro_alloc", &["--features", "count-alloc"]),
+        ("multijoin", &[]),
         ("ablation_coalescing", &[]),
     ];
     let mut failed = Vec::new();

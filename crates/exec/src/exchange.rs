@@ -856,6 +856,9 @@ impl ShardedExecutor {
                     acc.consumed += p.consumed;
                     acc.produced += p.produced;
                     acc.busy_micros += p.busy_micros;
+                    // High-water, not a counter: the largest state held by
+                    // any single replica of this operator.
+                    acc.peak_state = acc.peak_state.max(p.peak_state);
                 }
             }
             shard_stats.push(snap.stats);

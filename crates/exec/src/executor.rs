@@ -94,6 +94,10 @@ pub struct OpProfile {
     pub produced: u64,
     /// Virtual CPU time charged to this operator (microseconds).
     pub busy_micros: u64,
+    /// Peak tuples retained in this operator's join/window state
+    /// ([`millstream_ops::Operator::state_tuples`]), sampled after every
+    /// charged batch. 0 for stateless operators.
+    pub peak_state: u64,
 }
 
 /// Aggregate executor statistics.
@@ -128,6 +132,11 @@ pub struct ExecStats {
     /// Feedback signals delivered to operators (pressure-level changes
     /// observed during upstream propagation).
     pub feedback_signals: u64,
+    /// Largest per-operator join/window state (in tuples) observed at any
+    /// single operator instance — the punctuation-purge boundedness signal
+    /// (paper Fig. 8 methodology). Merged with `max`, not `+`: it is a
+    /// high-water, not a counter.
+    pub peak_join_state: u64,
 }
 
 impl ExecStats {
@@ -146,6 +155,7 @@ impl ExecStats {
             invariant_violations,
             shed_tuples,
             feedback_signals,
+            peak_join_state,
         } = other;
         self.steps += steps;
         self.batches += batches;
@@ -156,6 +166,7 @@ impl ExecStats {
         self.invariant_violations += invariant_violations;
         self.shed_tuples += shed_tuples;
         self.feedback_signals += feedback_signals;
+        self.peak_join_state = self.peak_join_state.max(*peak_join_state);
     }
 }
 
@@ -450,11 +461,14 @@ impl Executor {
     /// Records one executed batch (one or more steps) against the
     /// operator's profile.
     fn charge(&mut self, node: NodeId, batch: &BatchOutcome, cost: millstream_types::TimeDelta) {
+        let state = self.graph.ops[node.0].op.state_tuples() as u64;
         let p = &mut self.profile[node.0];
         p.steps += batch.steps as u64;
         p.consumed += batch.consumed as u64;
         p.produced += batch.produced as u64;
         p.busy_micros += cost.as_micros();
+        p.peak_state = p.peak_state.max(state);
+        self.stats.peak_join_state = self.stats.peak_join_state.max(state);
     }
 
     /// Begins idle-waiting tracking for `node` (typically the IWP operator

@@ -253,6 +253,13 @@ pub trait Operator: Send {
         None
     }
 
+    /// Tuples retained in long-lived join/window state, for peak-state
+    /// accounting (`ExecStats::peak_join_state`). The executor samples
+    /// this after every charged batch; stateless operators report 0.
+    fn state_tuples(&self) -> usize {
+        0
+    }
+
     /// Declared number of inputs. The graph builder checks arity.
     fn num_inputs(&self) -> usize;
 

@@ -13,17 +13,20 @@
 //!   the path";
 //! * punctuation also expires window contents, bounding memory.
 //!
-//! The join condition is an optional equality key pair (hashable fast path
-//! would be an optimisation; windows here are small VecDeques scanned
-//! linearly, faithful to Stream Mill) plus an optional residual predicate
-//! over the concatenated row.
-
-use std::collections::VecDeque;
+//! Window storage lives in the shared [`JoinState`] layer: an equality key
+//! turns each window into a hash-partitioned index (a probe touches only
+//! its own key's bucket), while keyless joins keep the ordered scan store.
+//! An optional residual predicate over the concatenated row runs on the
+//! surviving candidates. Forwarded punctuation is deduplicated against a
+//! *punctuation* high-water only — data emissions at τ must not swallow a
+//! later punctuation witness at τ, or downstream IWP operators never learn
+//! τ is closed (Fig. 6 forwards them unconditionally).
 
 use millstream_buffer::TsmBank;
 use millstream_types::{Expr, Result, Schema, TimeDelta, Timestamp, Tuple};
 
 use crate::context::{OpContext, Operator, Poll, StepOutcome};
+use crate::join_state::JoinState;
 
 /// Configuration of one binary symmetric window join.
 #[derive(Debug, Clone)]
@@ -82,9 +85,12 @@ pub struct WindowJoin {
     spec: JoinSpec,
     schema: Schema,
     tsm: TsmBank,
-    window_a: VecDeque<Tuple>,
-    window_b: VecDeque<Tuple>,
-    emitted_high_water: Option<Timestamp>,
+    /// Window state per input; hash-partitioned when `spec.key` is set.
+    state: [JoinState; 2],
+    /// High-water of *forwarded punctuation* only. Data emissions do not
+    /// advance it: a punctuation witness at τ after a data emit at τ must
+    /// still be forwarded.
+    punct_high_water: Option<Timestamp>,
     probes: u64,
     matches: u64,
 }
@@ -93,14 +99,21 @@ impl WindowJoin {
     /// Creates a window join. `schema` is the concatenated output schema
     /// (see [`Schema::join`]).
     pub fn new(name: impl Into<String>, schema: Schema, spec: JoinSpec) -> Self {
+        let (key_a, key_b) = match spec.key {
+            Some((a, b)) => (Some(a), Some(b)),
+            None => (None, None),
+        };
+        let state = [
+            JoinState::new(spec.window_a, key_a),
+            JoinState::new(spec.window_b, key_b),
+        ];
         WindowJoin {
             name: name.into(),
             spec,
             schema,
             tsm: TsmBank::new(2),
-            window_a: VecDeque::new(),
-            window_b: VecDeque::new(),
-            emitted_high_water: None,
+            state,
+            punct_high_water: None,
             probes: 0,
             matches: 0,
         }
@@ -108,15 +121,17 @@ impl WindowJoin {
 
     /// Current number of tuples stored in W(A).
     pub fn window_a_len(&self) -> usize {
-        self.window_a.len()
+        self.state[0].len()
     }
 
     /// Current number of tuples stored in W(B).
     pub fn window_b_len(&self) -> usize {
-        self.window_b.len()
+        self.state[1].len()
     }
 
-    /// Lifetime window probes (pairs examined).
+    /// Lifetime window probes (candidate pairs examined). With an equality
+    /// key this counts only the probe key's bucket — the hash-partitioned
+    /// probe never touches the rest of the window.
     pub fn probes(&self) -> u64 {
         self.probes
     }
@@ -134,41 +149,28 @@ impl WindowJoin {
         }
     }
 
-    /// Expires tuples older than `ts − window` from the given window.
-    fn expire(window: &mut VecDeque<Tuple>, ts: Timestamp, span: TimeDelta) {
-        let floor = ts.saturating_sub(span);
-        while window.front().is_some_and(|t| t.ts < floor) {
-            window.pop_front();
-        }
-    }
-
-    /// Whether a (probe, stored) pair joins, where `probe_side` is 0 when
-    /// the probe came from input A. The output row is always A ++ B.
-    fn pair_matches(&mut self, probe: &Tuple, stored: &Tuple, probe_side: usize) -> Result<bool> {
-        self.probes += 1;
+    /// Whether a candidate pair passes the residual predicate (key
+    /// equality is already guaranteed by the hash bucket, or absent).
+    fn residual_ok(
+        spec: &JoinSpec,
+        probe: &Tuple,
+        stored: &Tuple,
+        probe_side: usize,
+    ) -> Result<bool> {
+        let Some(residual) = &spec.residual else {
+            return Ok(true);
+        };
         let (a, b) = if probe_side == 0 {
             (probe, stored)
         } else {
             (stored, probe)
         };
-        if let Some((ka, kb)) = self.spec.key {
-            let av = &a.values_expect()[ka];
-            let bv = &b.values_expect()[kb];
-            if av.is_null() || bv.is_null() || av != bv {
-                return Ok(false);
-            }
-        }
-        if let Some(residual) = &self.spec.residual {
-            // Scratch row for the predicate only; stays on the stack for
-            // narrow join widths.
-            let mut row = millstream_types::Row::builder(a.width() + b.width());
-            row.extend_from_slice(a.values_expect());
-            row.extend_from_slice(b.values_expect());
-            if !residual.eval_predicate(&row.finish())? {
-                return Ok(false);
-            }
-        }
-        Ok(true)
+        // Scratch row for the predicate only; stays on the stack for
+        // narrow join widths.
+        let mut row = millstream_types::Row::builder(a.width() + b.width());
+        row.extend_from_slice(a.values_expect());
+        row.extend_from_slice(b.values_expect());
+        residual.eval_predicate(&row.finish())
     }
 
     /// Builds the output tuple for a matched pair with the A ++ B layout.
@@ -186,12 +188,13 @@ impl WindowJoin {
         }
     }
 
-    /// Pushes a punctuation at `ts` if it advances the output high water.
+    /// Pushes a punctuation at `ts` if it advances the punctuation
+    /// high-water.
     fn push_punctuation(&mut self, ctx: &OpContext<'_>, ts: Timestamp) -> Result<usize> {
-        if self.emitted_high_water.is_some_and(|hw| ts <= hw) {
+        if self.punct_high_water.is_some_and(|hw| ts <= hw) {
             return Ok(0);
         }
-        self.emitted_high_water = Some(ts);
+        self.punct_high_water = Some(ts);
         ctx.output_mut(0).push(Tuple::punctuation(ts))?;
         Ok(1)
     }
@@ -212,6 +215,10 @@ impl Operator for WindowJoin {
 
     fn num_inputs(&self) -> usize {
         2
+    }
+
+    fn state_tuples(&self) -> usize {
+        self.state[0].len() + self.state[1].len()
     }
 
     fn output_schema(&self) -> &Schema {
@@ -258,53 +265,40 @@ impl Operator for WindowJoin {
         match side {
             Some(i) => {
                 let probe = ctx.input_mut(i).pop().expect("head checked");
-                let (own_span, other_span) = if i == 0 {
-                    (self.spec.window_a, self.spec.window_b)
-                } else {
-                    (self.spec.window_b, self.spec.window_a)
-                };
-                // Expire the opposite window against the probe timestamp,
-                // then snapshot it (tuple clones share their row storage)
-                // so the probe loop can call &mut self helpers.
-                let stored: Vec<Tuple> = {
-                    let other_window = if i == 0 {
-                        &mut self.window_b
-                    } else {
-                        &mut self.window_a
-                    };
-                    Self::expire(other_window, probe.ts, other_span);
-                    other_window.iter().cloned().collect()
-                };
-                let work = stored.len();
-                let mut matched = Vec::new();
-                for s in &stored {
-                    if self.pair_matches(&probe, s, i)? {
-                        matched.push(Self::emit_pair(&probe, s, i));
+                let other = 1 - i;
+                // Advance the opposite window's expiry floor to the probe
+                // timestamp, then probe in place — candidates are borrowed
+                // straight from the store, no snapshot.
+                self.state[other].advance(probe.ts);
+                let probe_key = self.spec.key.map(|(ka, kb)| {
+                    let col = if i == 0 { ka } else { kb };
+                    &probe.values_expect()[col]
+                });
+                let candidates = self.state[other].probe(probe_key);
+                let work = candidates.len();
+                let mut probes = 0u64;
+                let mut matches = 0u64;
+                let mut produced = 0usize;
+                for stored in candidates {
+                    probes += 1;
+                    if Self::residual_ok(&self.spec, &probe, stored, i)? {
+                        matches += 1;
+                        // Join results share the probe's timestamp; emit
+                        // in stable window order.
+                        ctx.output_mut(0).push(Self::emit_pair(&probe, stored, i))?;
+                        produced += 1;
                     }
                 }
-                // Join results share the probe's timestamp; emit in stable
-                // window order.
-                let mut produced = 0usize;
-                for t in matched {
-                    self.matches += 1;
-                    self.emitted_high_water =
-                        Some(self.emitted_high_water.map_or(t.ts, |hw| hw.max(t.ts)));
-                    ctx.output_mut(0).push(t)?;
-                    produced += 1;
-                }
+                self.probes += probes;
+                self.matches += matches;
                 if produced == 0 && self.spec.progress_punctuation {
                     produced += self.push_punctuation(ctx, probe.ts)?;
                 }
                 // Consumption: slide the probe into its own window and
-                // expire it too.
-                let own_window = if i == 0 {
-                    &mut self.window_a
-                } else {
-                    &mut self.window_b
-                };
+                // advance that window's floor too.
                 let probe_ts = probe.ts;
-                own_window.push_back(probe);
-                Self::expire(own_window, probe_ts, own_span);
+                self.state[i].advance(probe_ts);
+                self.state[i].insert(probe);
                 Ok(StepOutcome {
                     consumed: 1,
                     produced,
@@ -331,9 +325,10 @@ impl Operator for WindowJoin {
                 if consumed == 0 {
                     return Ok(StepOutcome::default());
                 }
-                // Punctuation also advances window expiry.
-                Self::expire(&mut self.window_a, tau, self.spec.window_a);
-                Self::expire(&mut self.window_b, tau, self.spec.window_b);
+                // Punctuation drives the full physical purge of both
+                // windows (the amortized data-path sweep only trims).
+                self.state[0].purge(tau);
+                self.state[1].purge(tau);
                 let produced = self.push_punctuation(ctx, tau)?;
                 Ok(StepOutcome {
                     consumed,
@@ -452,9 +447,10 @@ mod tests {
             .unwrap();
         rig.b.borrow_mut().push(data(3, 3)).unwrap();
         let out = rig.drain(&mut j);
+        let datas: Vec<&Tuple> = out.iter().filter(|t| t.is_data()).collect();
         // B's tuple at 3 probes W(A) = {1, 2} → two results.
-        assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|t| t.ts.as_micros() == 3));
+        assert_eq!(datas.len(), 2);
+        assert!(datas.iter().all(|t| t.ts.as_micros() == 3));
     }
 
     #[test]
@@ -475,8 +471,9 @@ mod tests {
         rig.b.borrow_mut().push(data(2, 3)).unwrap();
         rig.b.borrow_mut().push(data(2, 9)).unwrap();
         let out = rig.drain(&mut j);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].values().unwrap(), &[Value::Int(5), Value::Int(9)]);
+        let datas: Vec<&Tuple> = out.iter().filter(|t| t.is_data()).collect();
+        assert_eq!(datas.len(), 1);
+        assert_eq!(datas[0].values().unwrap(), &[Value::Int(5), Value::Int(9)]);
     }
 
     #[test]
@@ -606,5 +603,62 @@ mod tests {
         // second probe matches — exactly one result either way.
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].ts.as_micros(), 5);
+    }
+
+    #[test]
+    fn punctuation_after_same_ts_data_is_forwarded() {
+        // Regression: a data emission at τ used to advance the shared
+        // high-water, swallowing a punctuation witness at the same τ —
+        // downstream IWP operators never learned τ was closed.
+        let rig = Rig::new();
+        let mut j = WindowJoin::new(
+            "⋈",
+            out_schema(),
+            JoinSpec::symmetric(TimeDelta::from_micros(10)).with_key(0, 0),
+        );
+        rig.a.borrow_mut().push(data(1, 7)).unwrap();
+        rig.a
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::from_micros(5)))
+            .unwrap();
+        rig.b.borrow_mut().push(data(5, 7)).unwrap();
+        rig.b
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::from_micros(5)))
+            .unwrap();
+        let out = rig.drain(&mut j);
+        // B's probe at τ=5 emits the join result, then the punctuation
+        // witnesses at τ=5 must still be forwarded (once).
+        assert_eq!(out.len(), 2, "data result then forwarded punct: {out:?}");
+        assert!(out[0].is_data());
+        assert_eq!(out[0].ts.as_micros(), 5);
+        assert!(
+            out[1].is_punctuation(),
+            "punct at τ after data at τ forwarded"
+        );
+        assert_eq!(out[1].ts.as_micros(), 5);
+    }
+
+    #[test]
+    fn keyed_probe_touches_only_its_bucket() {
+        let rig = Rig::new();
+        let mut j = WindowJoin::new(
+            "⋈",
+            out_schema(),
+            JoinSpec::symmetric(TimeDelta::from_micros(1_000)).with_key(0, 0),
+        );
+        // 20 tuples across 4 keys in W(A), then one probe for key 2.
+        for ts in 0..20u64 {
+            rig.a.borrow_mut().push(data(ts, (ts % 4) as i64)).unwrap();
+        }
+        rig.a
+            .borrow_mut()
+            .push(Tuple::punctuation(Timestamp::from_micros(50)))
+            .unwrap();
+        rig.b.borrow_mut().push(data(30, 2)).unwrap();
+        let out = rig.drain(&mut j);
+        let datas: Vec<&Tuple> = out.iter().filter(|t| t.is_data()).collect();
+        assert_eq!(datas.len(), 5, "keys {{2, 6, 10, 14, 18}} match");
+        assert_eq!(j.probes(), 5, "hash probe examined only the key-2 bucket");
     }
 }

@@ -1,0 +1,315 @@
+//! Shared join-state layer: key-partitioned hash indexes with
+//! punctuation-driven purge.
+//!
+//! Both [`crate::WindowJoin`] and [`crate::MultiWindowJoin`] keep one
+//! [`JoinState`] per input. Two storage modes:
+//!
+//! * **Keyed** — an equi-key column partitions the window into hash
+//!   buckets (`key value → Vec<Tuple>` in timestamp order). A probe
+//!   touches exactly one bucket, so probe cost is proportional to the
+//!   number of *matching* tuples, not the window length. Bucket equality
+//!   uses [`Value`]'s `Eq`, which is exactly the engine's SQL `=` on
+//!   non-null operands (`Int(1) == Float(1.0)`, hash-consistent), and a
+//!   null probe key returns no candidates — SQL three-valued logic.
+//! * **Scan** — no key: one contiguous store in timestamp order, probed
+//!   as a whole (the pre-existing cross-within-window behaviour).
+//!
+//! Expiry contract: the *logical* window floor (`max seen τ − window`)
+//! advances on every probe and every punctuation, and `probe()` never
+//! returns a tuple below it — correctness does not depend on physical
+//! reclamation. Physical purge is amortized: scan stores trim eagerly
+//! (cheap pointer bump + periodic compaction), while keyed stores sweep
+//! their buckets only when the floor has advanced by at least half a
+//! window since the last sweep — or immediately on punctuation
+//! ([`JoinState::purge`]), which drops wholly-expired buckets in O(1)
+//! per bucket. Retained state is therefore bounded by ~1.5× the window
+//! between punctuations and snaps back to the exact window at each one.
+
+use std::collections::HashMap;
+
+use millstream_types::{TimeDelta, Timestamp, Tuple, Value};
+
+/// Compact the scan store once this many expired tuples pile up in front.
+const SCAN_COMPACT_MIN: usize = 32;
+
+/// In keyed mode, drop empty buckets once they outnumber live ones by
+/// this factor (plus a small constant floor so steady-state key churn
+/// never triggers reallocation).
+const EMPTY_BUCKET_SLACK: usize = 2;
+const EMPTY_BUCKET_MIN: usize = 16;
+
+/// One input's window state for a symmetric join.
+pub struct JoinState {
+    /// Equi-key column index within this input's row, if any.
+    key: Option<usize>,
+    window: TimeDelta,
+    /// Keyed mode: timestamp-ordered bucket per key value. Null-keyed
+    /// tuples live under `Value::Null` but are never probed.
+    buckets: HashMap<Value, Vec<Tuple>>,
+    /// Scan mode: timestamp-ordered store; `scan[scan_head..]` is live.
+    scan: Vec<Tuple>,
+    scan_head: usize,
+    /// Tuples physically retained in keyed buckets.
+    keyed_live: usize,
+    /// Buckets currently empty (retained for their capacity).
+    empties: usize,
+    /// Logical expiry floor: tuples with `ts < floor` never match.
+    floor: Timestamp,
+    /// Floor at the last physical bucket sweep.
+    swept_floor: Timestamp,
+    /// High-water of stored tuples, for peak-state accounting.
+    peak: usize,
+}
+
+impl JoinState {
+    /// A window state; `key` is the equi-key column within this input's
+    /// own row (`None` = ordered scan store).
+    pub fn new(window: TimeDelta, key: Option<usize>) -> Self {
+        JoinState {
+            key,
+            window,
+            buckets: HashMap::new(),
+            scan: Vec::new(),
+            scan_head: 0,
+            keyed_live: 0,
+            empties: 0,
+            floor: Timestamp::ZERO,
+            swept_floor: Timestamp::ZERO,
+            peak: 0,
+        }
+    }
+
+    /// The equi-key column, if this state is hash-partitioned.
+    pub fn key(&self) -> Option<usize> {
+        self.key
+    }
+
+    /// The window length.
+    pub fn window(&self) -> TimeDelta {
+        self.window
+    }
+
+    /// Tuples physically retained (may lag logical expiry by up to half a
+    /// window in keyed mode between punctuations).
+    pub fn len(&self) -> usize {
+        if self.key.is_some() {
+            self.keyed_live
+        } else {
+            self.scan.len() - self.scan_head
+        }
+    }
+
+    /// True when no tuples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water of [`JoinState::len`] over the state's lifetime.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Expected candidates per probe — the adaptive-order cost signal.
+    /// Keyed states divide stored tuples by distinct live keys (uniform
+    /// bucket estimate); scan states pay the whole window.
+    pub fn estimated_candidates(&self) -> usize {
+        if self.key.is_some() {
+            let live_buckets = self.buckets.len() - self.empties;
+            self.keyed_live / live_buckets.max(1)
+        } else {
+            self.len()
+        }
+    }
+
+    /// Stores a tuple. Timestamps must be non-decreasing across calls
+    /// (guaranteed by the join's τ = TSM-minimum processing order).
+    pub fn insert(&mut self, tuple: Tuple) {
+        match self.key {
+            Some(col) => {
+                let k = tuple.values_expect()[col].clone();
+                let bucket = self.buckets.entry(k).or_default();
+                if bucket.is_empty() && self.empties > 0 {
+                    // Reusing a drained bucket's capacity.
+                    self.empties -= 1;
+                }
+                bucket.push(tuple);
+                self.keyed_live += 1;
+            }
+            None => self.scan.push(tuple),
+        }
+        self.peak = self.peak.max(self.len());
+    }
+
+    /// Advances the logical floor for a probe at `ts` and amortizes
+    /// physical reclamation (scan: eager trim; keyed: sweep only once the
+    /// floor has moved at least half a window past the last sweep).
+    pub fn advance(&mut self, ts: Timestamp) {
+        let floor = ts.saturating_sub(self.window);
+        if floor <= self.floor {
+            return;
+        }
+        self.floor = floor;
+        if self.key.is_none() {
+            self.trim_scan();
+        } else {
+            let lag = self.floor.duration_since(self.swept_floor);
+            if lag.as_micros().saturating_mul(2) >= self.window.as_micros().max(1) {
+                self.sweep_buckets();
+            }
+        }
+    }
+
+    /// Punctuation-driven purge at `ts`: advances the floor and forces a
+    /// full physical sweep, dropping wholly-expired buckets.
+    pub fn purge(&mut self, ts: Timestamp) {
+        self.floor = self.floor.max(ts.saturating_sub(self.window));
+        if self.key.is_none() {
+            self.trim_scan();
+        } else {
+            self.sweep_buckets();
+        }
+    }
+
+    /// Candidates for a probe: the matching bucket (keyed) or the whole
+    /// live store (scan), filtered to `ts ≥ floor`. A null probe key never
+    /// matches. Callers of a keyed state must pass `Some(key)`.
+    pub fn probe(&self, key: Option<&Value>) -> &[Tuple] {
+        let candidates: &[Tuple] = match (self.key, key) {
+            (Some(_), Some(k)) => {
+                if k.is_null() {
+                    return &[];
+                }
+                match self.buckets.get(k) {
+                    Some(bucket) => bucket,
+                    None => return &[],
+                }
+            }
+            (None, _) => &self.scan[self.scan_head..],
+            (Some(_), None) => {
+                debug_assert!(false, "keyed state probed without a key");
+                return &[];
+            }
+        };
+        // Physical purge may lag the logical floor; skip the expired front.
+        let start = candidates.partition_point(|t| t.ts < self.floor);
+        &candidates[start..]
+    }
+
+    fn trim_scan(&mut self) {
+        let live = &self.scan[self.scan_head..];
+        self.scan_head += live.partition_point(|t| t.ts < self.floor);
+        if self.scan_head >= SCAN_COMPACT_MIN && self.scan_head * 2 >= self.scan.len() {
+            self.scan.drain(..self.scan_head);
+            self.scan_head = 0;
+        }
+    }
+
+    fn sweep_buckets(&mut self) {
+        let floor = self.floor;
+        let mut live = 0;
+        let mut empties = 0;
+        for bucket in self.buckets.values_mut() {
+            if bucket.last().is_some_and(|t| t.ts < floor) {
+                // Whole bucket expired: drop its contents in one clear,
+                // keeping capacity for the next tuple of this key.
+                bucket.clear();
+            } else {
+                let dead = bucket.partition_point(|t| t.ts < floor);
+                if dead > 0 {
+                    bucket.drain(..dead);
+                }
+            }
+            if bucket.is_empty() {
+                empties += 1;
+            } else {
+                live += bucket.len();
+            }
+        }
+        self.keyed_live = live;
+        self.empties = empties;
+        self.swept_floor = floor;
+        let occupied = self.buckets.len() - empties;
+        if empties >= EMPTY_BUCKET_MIN && empties >= EMPTY_BUCKET_SLACK * occupied.max(1) {
+            self.buckets.retain(|_, b| !b.is_empty());
+            self.empties = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(ts: u64, k: i64) -> Tuple {
+        Tuple::data(Timestamp::from_micros(ts), vec![Value::Int(k)])
+    }
+
+    #[test]
+    fn keyed_probe_touches_one_bucket() {
+        let mut s = JoinState::new(TimeDelta::from_micros(100), Some(0));
+        for ts in 0..10 {
+            s.insert(data(ts, (ts % 3) as i64));
+        }
+        let hits = s.probe(Some(&Value::Int(1)));
+        assert_eq!(hits.len(), 3, "only key-1 tuples: ts 1, 4, 7");
+        assert!(hits.iter().all(|t| t.values_expect()[0] == Value::Int(1)));
+        assert!(s.probe(Some(&Value::Int(99))).is_empty());
+    }
+
+    #[test]
+    fn null_probe_key_never_matches() {
+        let mut s = JoinState::new(TimeDelta::from_micros(100), Some(0));
+        s.insert(Tuple::data(Timestamp::from_micros(1), vec![Value::Null]));
+        s.insert(data(2, 5));
+        assert!(s.probe(Some(&Value::Null)).is_empty());
+        assert_eq!(s.probe(Some(&Value::Int(5))).len(), 1);
+        assert_eq!(s.len(), 2, "null-keyed tuples still count as stored");
+    }
+
+    #[test]
+    fn logical_floor_filters_before_physical_sweep() {
+        let mut s = JoinState::new(TimeDelta::from_micros(100), Some(0));
+        s.insert(data(10, 1));
+        s.insert(data(120, 1));
+        // Advance by less than half a window past the last sweep: the old
+        // tuple is retained physically but must not be probeable.
+        s.advance(Timestamp::from_micros(130));
+        assert_eq!(s.probe(Some(&Value::Int(1))).len(), 1);
+        assert_eq!(s.probe(Some(&Value::Int(1)))[0].ts.as_micros(), 120);
+    }
+
+    #[test]
+    fn punctuation_purge_is_exact() {
+        let mut s = JoinState::new(TimeDelta::from_micros(100), Some(0));
+        for ts in [1u64, 2, 3] {
+            s.insert(data(ts, ts as i64));
+        }
+        assert_eq!(s.len(), 3);
+        s.purge(Timestamp::from_micros(500));
+        assert_eq!(s.len(), 0, "all buckets wholly expired");
+        assert_eq!(s.peak(), 3, "peak survives the purge");
+    }
+
+    #[test]
+    fn scan_mode_trims_eagerly() {
+        let mut s = JoinState::new(TimeDelta::from_micros(10), None);
+        for ts in 0..50 {
+            s.insert(data(ts, 0));
+            s.advance(Timestamp::from_micros(ts));
+        }
+        assert!(s.len() <= 11, "scan store bounded by the window");
+        assert_eq!(s.probe(None).len(), s.len());
+    }
+
+    #[test]
+    fn estimated_candidates_reflects_partitioning() {
+        let mut keyed = JoinState::new(TimeDelta::from_micros(100), Some(0));
+        let mut scan = JoinState::new(TimeDelta::from_micros(100), None);
+        for ts in 0..40 {
+            keyed.insert(data(ts, (ts % 8) as i64));
+            scan.insert(data(ts, (ts % 8) as i64));
+        }
+        assert_eq!(keyed.estimated_candidates(), 5, "40 tuples / 8 keys");
+        assert_eq!(scan.estimated_candidates(), 40);
+    }
+}

@@ -25,6 +25,7 @@ mod aggregate;
 mod context;
 mod filter;
 mod join;
+mod join_state;
 mod multijoin;
 mod project;
 mod reorder;
@@ -37,6 +38,7 @@ pub use aggregate::{AggExpr, AggFunc, WindowAggregate};
 pub use context::{BatchOutcome, OpContext, Operator, Poll, StepOutcome};
 pub use filter::{DropBehavior, Filter};
 pub use join::{JoinSpec, WindowJoin};
+pub use join_state::JoinState;
 pub use multijoin::MultiWindowJoin;
 pub use project::Project;
 pub use reorder::{LatePolicy, Reorder};

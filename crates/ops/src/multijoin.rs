@@ -3,20 +3,47 @@
 //! to that of binary joins".
 //!
 //! Each of the k inputs keeps its own time window; a new data tuple at τ
-//! (the TSM minimum, as in the binary case) probes the **cross product of
-//! all other windows**, emitting one output row per combination that
-//! satisfies the join condition. The output row concatenates the inputs'
-//! columns in input order; the timestamp comes from the probe, so the
-//! output stays timestamp-ordered. Punctuation handling follows Fig. 6
-//! verbatim: a punctuation witness of τ is consumed, expires every window,
-//! and is forwarded.
-
-use std::collections::VecDeque;
+//! (the TSM minimum, as in the binary case) probes the other windows,
+//! emitting one output row per combination that satisfies the join
+//! condition. The output row concatenates the inputs' columns in input
+//! order; the timestamp comes from the probe, so the output stays
+//! timestamp-ordered. Punctuation handling follows Fig. 6 verbatim: a
+//! punctuation witness of τ is consumed, expires every window, and is
+//! forwarded.
+//!
+//! Window state lives in the shared [`JoinState`] layer. With an equi-key
+//! class ([`MultiWindowJoin::with_keys`]) every window is hash-partitioned
+//! and a probe enumerates only the probe key's buckets — probe cost scales
+//! with the matching tuples, not the window length. The condition is
+//! decomposed into conjuncts tagged with the inputs they reference, so
+//! each conjunct is evaluated at the shallowest enumeration depth where
+//! its inputs are bound, pruning whole combination subtrees. Enumeration
+//! order is adaptive: every [`REPLAN_EVERY`] probes the inputs are
+//! re-sorted by estimated candidates per probe (smallest first), shrinking
+//! the enumeration frontier. The emitted multiset is order-independent —
+//! every qualifying combination is emitted exactly once at the probe
+//! timestamp — so adaptivity never changes observable output beyond the
+//! within-probe emission order.
 
 use millstream_buffer::TsmBank;
-use millstream_types::{Expr, Result, Row, Schema, TimeDelta, Timestamp, Tuple};
+use millstream_types::{BinOp, Expr, Result, Row, Schema, TimeDelta, Timestamp, Tuple, Value};
 
 use crate::context::{OpContext, Operator, Poll, StepOutcome};
+use crate::join_state::JoinState;
+
+/// Upper bound on join arity — lets the probe loop keep its odometer and
+/// candidate slices on the stack (no per-probe allocation).
+pub const MAX_ARITY: usize = 16;
+
+/// Probes between adaptive-order re-plans.
+const REPLAN_EVERY: u32 = 64;
+
+/// One conjunct of the join condition and the inputs it references.
+struct Conjunct {
+    expr: Expr,
+    /// Bit i set ⇔ the conjunct reads columns of input i.
+    mask: u32,
+}
 
 /// The n-ary symmetric window join operator.
 pub struct MultiWindowJoin {
@@ -24,16 +51,64 @@ pub struct MultiWindowJoin {
     schema: Schema,
     /// Per-input window length.
     windows: Vec<TimeDelta>,
-    /// Optional condition over the concatenated row (all inputs, in input
-    /// order). `None` = window cross product.
-    condition: Option<Expr>,
+    /// Condition conjuncts over the concatenated row (all inputs, in input
+    /// order). Empty = window cross product (modulo `keys`).
+    conjuncts: Vec<Conjunct>,
+    /// Equi-key column per input (one shared equi-class), if keyed.
+    keys: Option<Vec<usize>>,
     tsm: TsmBank,
-    stores: Vec<VecDeque<Tuple>>,
+    stores: Vec<JoinState>,
     /// Column offset of each input in the concatenated row.
     offsets: Vec<usize>,
-    emitted_high_water: Option<Timestamp>,
+    /// High-water of forwarded punctuation only — data emissions at τ must
+    /// not swallow a punctuation witness at the same τ.
+    punct_high_water: Option<Timestamp>,
     probes: u64,
     matches: u64,
+    /// All inputs sorted by ascending estimated candidates per probe.
+    order: Vec<usize>,
+    /// `depth_plan[p][s]` = conjuncts first fully bound at enumeration
+    /// slot `s` when input `p` is the probe (slot 0 = probe columns only,
+    /// slot d+1 = after assigning the d-th non-probe input in order).
+    depth_plan: Vec<Vec<Vec<u16>>>,
+    probes_since_plan: u32,
+    /// Reusable full-width row image for conjunct evaluation and output
+    /// assembly.
+    scratch: Vec<Value>,
+}
+
+/// Appends the top-level AND-conjuncts of `e` to `out`.
+fn flatten_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = e
+    {
+        flatten_conjuncts(left, out);
+        flatten_conjuncts(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// ORs the input bits referenced by `e`'s column indexes into `mask`.
+fn input_mask(e: &Expr, offsets: &[usize], mask: &mut u32) {
+    match e {
+        Expr::Column(col) => {
+            // The owning input is the last offset ≤ col.
+            let input = offsets.partition_point(|&o| o <= *col) - 1;
+            *mask |= 1 << input;
+        }
+        Expr::Literal(_) => {}
+        Expr::Binary { left, right, .. } => {
+            input_mask(left, offsets, mask);
+            input_mask(right, offsets, mask);
+        }
+        Expr::Not(inner) | Expr::Neg(inner) | Expr::IsNull(inner) => {
+            input_mask(inner, offsets, mask);
+        }
+    }
 }
 
 impl MultiWindowJoin {
@@ -50,6 +125,10 @@ impl MultiWindowJoin {
             input_schemas.len() >= 2,
             "multi-way join needs at least two inputs"
         );
+        assert!(
+            input_schemas.len() <= MAX_ARITY,
+            "multi-way join supports at most {MAX_ARITY} inputs"
+        );
         assert_eq!(
             input_schemas.len(),
             windows.len(),
@@ -65,18 +144,57 @@ impl MultiWindowJoin {
             offsets.push(off);
             off += s.len();
         }
-        MultiWindowJoin {
+        let mut flat = Vec::new();
+        if let Some(c) = &condition {
+            flatten_conjuncts(c, &mut flat);
+        }
+        let conjuncts = flat
+            .into_iter()
+            .map(|expr| {
+                let mut mask = 0u32;
+                input_mask(&expr, &offsets, &mut mask);
+                Conjunct { expr, mask }
+            })
+            .collect();
+        let arity = input_schemas.len();
+        let stores = windows.iter().map(|w| JoinState::new(*w, None)).collect();
+        let mut join = MultiWindowJoin {
             name: name.into(),
             schema,
-            tsm: TsmBank::new(input_schemas.len()),
-            stores: vec![VecDeque::new(); input_schemas.len()],
+            tsm: TsmBank::new(arity),
+            stores,
             windows,
-            condition,
+            conjuncts,
+            keys: None,
             offsets,
-            emitted_high_water: None,
+            punct_high_water: None,
             probes: 0,
             matches: 0,
-        }
+            order: (0..arity).collect(),
+            depth_plan: Vec::new(),
+            probes_since_plan: 0,
+            scratch: vec![Value::Null; off],
+        };
+        join.replan();
+        join
+    }
+
+    /// Hash-partitions every window on one equi-key column per input (all
+    /// columns form a single equi-class, as produced by chained `a.k = b.k
+    /// AND b.k = c.k` conditions). `keys[i]` indexes input i's *own* row.
+    /// Key equality is enforced by the hash probe with the engine's SQL
+    /// `=` semantics (nulls never match), so the extracted conjuncts need
+    /// not be repeated in `condition`.
+    pub fn with_keys(mut self, keys: Vec<usize>) -> Self {
+        assert_eq!(keys.len(), self.arity(), "one key column per input");
+        self.stores = self
+            .windows
+            .iter()
+            .zip(&keys)
+            .map(|(w, k)| JoinState::new(*w, Some(*k)))
+            .collect();
+        self.keys = Some(keys);
+        self
     }
 
     /// Number of inputs.
@@ -84,7 +202,8 @@ impl MultiWindowJoin {
         self.stores.len()
     }
 
-    /// Stored tuples in input `i`'s window.
+    /// Stored tuples in input `i`'s window (physical retention may lag
+    /// logical expiry between punctuations — see [`JoinState::len`]).
     pub fn window_len(&self, i: usize) -> usize {
         self.stores[i].len()
     }
@@ -95,7 +214,9 @@ impl MultiWindowJoin {
         self.offsets[i]
     }
 
-    /// Lifetime combinations examined.
+    /// Lifetime candidate tuples examined across all enumeration depths.
+    /// Keyed probes examine only matching buckets, so this is the measure
+    /// of real probe work (sub-linear in window length when keyed).
     pub fn probes(&self) -> u64 {
         self.probes
     }
@@ -103,6 +224,17 @@ impl MultiWindowJoin {
     /// Lifetime matches emitted.
     pub fn matches(&self) -> u64 {
         self.matches
+    }
+
+    /// Peak total stored tuples across all windows (lifetime high-water).
+    pub fn peak_state(&self) -> usize {
+        self.stores.iter().map(|s| s.peak()).sum()
+    }
+
+    /// Current enumeration order (inputs by ascending estimated
+    /// candidates) — exposed for tests and benches.
+    pub fn probe_order(&self) -> &[usize] {
+        &self.order
     }
 
     fn observe_heads(&mut self, ctx: &OpContext<'_>) {
@@ -113,94 +245,39 @@ impl MultiWindowJoin {
         }
     }
 
-    fn expire_all(&mut self, ts: Timestamp) {
-        for (store, w) in self.stores.iter_mut().zip(&self.windows) {
-            let floor = ts.saturating_sub(*w);
-            while store.front().is_some_and(|t| t.ts < floor) {
-                store.pop_front();
+    /// Re-sorts the enumeration order by estimated candidates and rebuilds
+    /// the per-probe conjunct schedule.
+    fn replan(&mut self) {
+        self.probes_since_plan = 0;
+        self.order
+            .sort_by_key(|&i| self.stores[i].estimated_candidates());
+        let arity = self.arity();
+        self.depth_plan.resize_with(arity, Vec::new);
+        for p in 0..arity {
+            let plan = &mut self.depth_plan[p];
+            plan.resize_with(arity, Vec::new);
+            for slots in plan.iter_mut() {
+                slots.clear();
+            }
+            // Enumeration sequence for probe p: `order` minus p. A
+            // conjunct lands in the slot where its last input is bound.
+            for (ci, c) in self.conjuncts.iter().enumerate() {
+                let mut slot = 0;
+                for (pos, &inp) in (1..).zip(self.order.iter().filter(|&&inp| inp != p)) {
+                    if c.mask & (1 << inp) != 0 {
+                        slot = pos;
+                    }
+                }
+                plan[slot].push(ci as u16);
             }
         }
-    }
-
-    /// Recursively enumerates combinations of one stored tuple per
-    /// non-probe input and emits the matching ones.
-    #[allow(clippy::too_many_arguments)]
-    fn emit_combinations(
-        &mut self,
-        ctx: &OpContext<'_>,
-        probe_input: usize,
-        probe: &Tuple,
-        partial: &mut Vec<Option<Tuple>>,
-        next_input: usize,
-        produced: &mut usize,
-        work: &mut usize,
-    ) -> Result<()> {
-        if next_input == self.arity() {
-            // Assemble the concatenated row.
-            self.probes += 1;
-            let width = self.schema.len();
-            let mut builder = Row::builder(width);
-            // Indexing is deliberate: slot `probe_input` comes from `probe`,
-            // the rest from `partial`.
-            #[allow(clippy::needless_range_loop)]
-            for i in 0..self.arity() {
-                let t = if i == probe_input {
-                    probe
-                } else {
-                    partial[i].as_ref().expect("combination slot filled")
-                };
-                builder.extend_from_slice(t.values_expect());
-            }
-            let row = builder.finish();
-            let ok = match &self.condition {
-                None => true,
-                Some(c) => c.eval_predicate(&row)?,
-            };
-            if ok {
-                self.matches += 1;
-                let out = Tuple::data_with_entry(probe.ts, probe.entry, row);
-                self.emitted_high_water =
-                    Some(self.emitted_high_water.map_or(out.ts, |h| h.max(out.ts)));
-                ctx.output_mut(0).push(out)?;
-                *produced += 1;
-            }
-            return Ok(());
-        }
-        if next_input == probe_input {
-            return self.emit_combinations(
-                ctx,
-                probe_input,
-                probe,
-                partial,
-                next_input + 1,
-                produced,
-                work,
-            );
-        }
-        // Snapshot to decouple from &mut self (tuple clones share rows).
-        let stored: Vec<Tuple> = self.stores[next_input].iter().cloned().collect();
-        *work += stored.len();
-        for t in stored {
-            partial[next_input] = Some(t);
-            self.emit_combinations(
-                ctx,
-                probe_input,
-                probe,
-                partial,
-                next_input + 1,
-                produced,
-                work,
-            )?;
-        }
-        partial[next_input] = None;
-        Ok(())
     }
 
     fn push_punctuation(&mut self, ctx: &OpContext<'_>, ts: Timestamp) -> Result<usize> {
-        if self.emitted_high_water.is_some_and(|hw| ts <= hw) {
+        if self.punct_high_water.is_some_and(|hw| ts <= hw) {
             return Ok(0);
         }
-        self.emitted_high_water = Some(ts);
+        self.punct_high_water = Some(ts);
         ctx.output_mut(0).push(Tuple::punctuation(ts))?;
         Ok(1)
     }
@@ -221,6 +298,10 @@ impl Operator for MultiWindowJoin {
 
     fn num_inputs(&self) -> usize {
         self.arity()
+    }
+
+    fn state_tuples(&self) -> usize {
+        self.stores.iter().map(|s| s.len()).sum()
     }
 
     fn output_schema(&self) -> &Schema {
@@ -269,12 +350,107 @@ impl Operator for MultiWindowJoin {
 
         if let Some(i) = data_input {
             let probe = ctx.input_mut(i).pop().expect("head checked");
-            self.expire_all(probe.ts);
-            let mut produced = 0;
-            let mut work = 0;
-            let mut partial: Vec<Option<Tuple>> = vec![None; self.arity()];
-            self.emit_combinations(ctx, i, &probe, &mut partial, 0, &mut produced, &mut work)?;
-            self.stores[i].push_back(probe);
+            for st in self.stores.iter_mut() {
+                st.advance(probe.ts);
+            }
+            self.probes_since_plan += 1;
+            if self.probes_since_plan >= REPLAN_EVERY {
+                self.replan();
+            }
+
+            let arity = self.arity();
+            let m = arity - 1;
+            let width = self.scratch.len();
+            let pvals = probe.values_expect();
+            let off = self.offsets[i];
+            self.scratch[off..off + pvals.len()].clone_from_slice(pvals);
+            let probe_key: Option<&Value> = self.keys.as_ref().map(|k| &pvals[k[i]]);
+
+            let mut produced = 0usize;
+            let mut work = 0usize;
+            let plan = &self.depth_plan[i];
+
+            // Conjuncts bound by the probe alone gate the whole probe.
+            let mut live = true;
+            for &ci in &plan[0] {
+                if !self.conjuncts[ci as usize]
+                    .expr
+                    .eval_predicate(&self.scratch)?
+                {
+                    live = false;
+                    break;
+                }
+            }
+
+            if live {
+                // Enumeration sequence and candidate slices (borrowed in
+                // place from the stores — no snapshot, no allocation).
+                let mut seq = [0usize; MAX_ARITY];
+                let mut cand: [&[Tuple]; MAX_ARITY] = [&[]; MAX_ARITY];
+                let mut d = 0;
+                for &inp in &self.order {
+                    if inp != i {
+                        seq[d] = inp;
+                        cand[d] = self.stores[inp].probe(probe_key);
+                        d += 1;
+                    }
+                }
+
+                // Odometer over the candidate slices: depth d binds input
+                // seq[d]; conjuncts fire at the shallowest depth where all
+                // their inputs are bound, pruning subtrees early.
+                let mut idx = [0usize; MAX_ARITY];
+                let mut d = 0usize;
+                let mut probes = 0u64;
+                let mut matches = 0u64;
+                loop {
+                    if idx[d] == cand[d].len() {
+                        if d == 0 {
+                            break;
+                        }
+                        idx[d] = 0;
+                        d -= 1;
+                        idx[d] += 1;
+                        continue;
+                    }
+                    let t = &cand[d][idx[d]];
+                    probes += 1;
+                    work += 1;
+                    let o = self.offsets[seq[d]];
+                    let vals = t.values_expect();
+                    self.scratch[o..o + vals.len()].clone_from_slice(vals);
+                    let mut pass = true;
+                    for &ci in &plan[d + 1] {
+                        if !self.conjuncts[ci as usize]
+                            .expr
+                            .eval_predicate(&self.scratch)?
+                        {
+                            pass = false;
+                            break;
+                        }
+                    }
+                    if !pass {
+                        idx[d] += 1;
+                        continue;
+                    }
+                    if d + 1 == m {
+                        matches += 1;
+                        let mut builder = Row::builder(width);
+                        builder.extend_from_slice(&self.scratch);
+                        let out = Tuple::data_with_entry(probe.ts, probe.entry, builder.finish());
+                        ctx.output_mut(0).push(out)?;
+                        produced += 1;
+                        idx[d] += 1;
+                    } else {
+                        d += 1;
+                        idx[d] = 0;
+                    }
+                }
+                self.probes += probes;
+                self.matches += matches;
+            }
+
+            self.stores[i].insert(probe);
             return Ok(StepOutcome {
                 consumed: 1,
                 produced,
@@ -283,7 +459,9 @@ impl Operator for MultiWindowJoin {
         }
         if let Some(i) = punct_input {
             ctx.input_mut(i).pop();
-            self.expire_all(tau);
+            for st in self.stores.iter_mut() {
+                st.purge(tau);
+            }
             let produced = self.push_punctuation(ctx, tau)?;
             return Ok(StepOutcome {
                 consumed: 1,
@@ -299,7 +477,7 @@ impl Operator for MultiWindowJoin {
 mod tests {
     use super::*;
     use millstream_buffer::Buffer;
-    use millstream_types::{DataType, Field, Value};
+    use millstream_types::{DataType, Field};
     use std::cell::RefCell;
 
     fn schema() -> Schema {
@@ -391,6 +569,49 @@ mod tests {
     }
 
     #[test]
+    fn keyed_three_way_agrees_with_condition_form() {
+        // The same equi-join expressed as hash keys and as a condition
+        // must produce the same multiset of rows.
+        let run = |keyed: bool| {
+            let rig = Rig3::new();
+            let mut j = if keyed {
+                join3(None).with_keys(vec![0, 0, 0])
+            } else {
+                join3(Some(
+                    Expr::col(0)
+                        .eq(Expr::col(1))
+                        .and(Expr::col(1).eq(Expr::col(2))),
+                ))
+            };
+            for ts in 0..12u64 {
+                let input = (ts % 3) as usize;
+                rig.bufs[input]
+                    .borrow_mut()
+                    .push(data(ts, (ts % 4) as i64))
+                    .unwrap();
+            }
+            for b in &rig.bufs {
+                b.borrow_mut().push(punct(50)).unwrap();
+            }
+            let mut rows: Vec<(u64, Vec<Value>)> = rig
+                .drain(&mut j)
+                .iter()
+                .filter(|t| t.is_data())
+                .map(|t| (t.ts.as_micros(), t.values().unwrap().to_vec()))
+                .collect();
+            rows.sort();
+            (rows, j.probes())
+        };
+        let (keyed_rows, keyed_probes) = run(true);
+        let (cond_rows, cond_probes) = run(false);
+        assert_eq!(keyed_rows, cond_rows);
+        assert!(
+            keyed_probes < cond_probes,
+            "hash probing examines fewer candidates ({keyed_probes} vs {cond_probes})"
+        );
+    }
+
+    #[test]
     fn cross_product_counts_combinations() {
         let rig = Rig3::new();
         let mut j = join3(None);
@@ -444,6 +665,30 @@ mod tests {
     }
 
     #[test]
+    fn punctuation_after_same_ts_data_is_forwarded() {
+        // Regression: a data emission at τ used to advance the shared
+        // high-water, swallowing a punctuation witness at the same τ.
+        let rig = Rig3::new();
+        let cond = Expr::col(0)
+            .eq(Expr::col(1))
+            .and(Expr::col(1).eq(Expr::col(2)));
+        let mut j = join3(Some(cond));
+        rig.bufs[0].borrow_mut().push(data(1, 7)).unwrap();
+        rig.bufs[1].borrow_mut().push(data(2, 7)).unwrap();
+        rig.bufs[2].borrow_mut().push(data(3, 7)).unwrap();
+        rig.bufs[0].borrow_mut().push(punct(3)).unwrap();
+        rig.bufs[1].borrow_mut().push(punct(3)).unwrap();
+        let out = rig.drain(&mut j);
+        // The probe at τ=3 emits the combination; the punctuation
+        // witnesses at τ=3 must still close τ downstream.
+        assert_eq!(out.len(), 2, "data then forwarded punct: {out:?}");
+        assert!(out[0].is_data());
+        assert_eq!(out[0].ts.as_micros(), 3);
+        assert!(out[1].is_punctuation());
+        assert_eq!(out[1].ts.as_micros(), 3);
+    }
+
+    #[test]
     fn starves_until_all_inputs_heard() {
         let rig = Rig3::new();
         let mut j = join3(None);
@@ -473,8 +718,8 @@ mod tests {
             let a = RefCell::new(Buffer::new("a"));
             let b = RefCell::new(Buffer::new("b"));
             let out = RefCell::new(Buffer::new("out"));
-            let cond = Expr::col(0).eq(Expr::col(1));
-            let mut j = MultiWindowJoin::new("m", &[schema(), schema()], vec![w, w], Some(cond));
+            let mut j = MultiWindowJoin::new("m", &[schema(), schema()], vec![w, w], None)
+                .with_keys(vec![0, 0]);
             for &(ts, v) in &tuples_a {
                 a.borrow_mut().push(data(ts, v)).unwrap();
             }
@@ -531,5 +776,78 @@ mod tests {
         };
 
         assert_eq!(run_multi(), run_binary());
+    }
+
+    #[test]
+    fn condition_binary_case_agrees_with_window_join() {
+        use crate::join::{JoinSpec, WindowJoin};
+        // The pre-existing form: equality as a condition, no keys.
+        let w = TimeDelta::from_micros(4);
+        let a = RefCell::new(Buffer::new("a"));
+        let b = RefCell::new(Buffer::new("b"));
+        let out = RefCell::new(Buffer::new("out"));
+        let cond = Expr::col(0).eq(Expr::col(1));
+        let mut multi = MultiWindowJoin::new("m", &[schema(), schema()], vec![w, w], Some(cond));
+        let mut binary = WindowJoin::new(
+            "b",
+            schema().join(&schema(), "a", "b"),
+            JoinSpec::symmetric(w).with_key(0, 0),
+        );
+        let drive = |j: &mut dyn Operator,
+                     a: &RefCell<Buffer>,
+                     b: &RefCell<Buffer>,
+                     out: &RefCell<Buffer>| {
+            for &(ts, v) in &[(1u64, 5i64), (3, 6), (7, 5), (9, 6)] {
+                a.borrow_mut().push(data(ts, v)).unwrap();
+            }
+            for &(ts, v) in &[(2u64, 5i64), (6, 6), (8, 5)] {
+                b.borrow_mut().push(data(ts, v)).unwrap();
+            }
+            a.borrow_mut().push(punct(100)).unwrap();
+            b.borrow_mut().push(punct(100)).unwrap();
+            let inputs = [a, b];
+            let outputs = [out];
+            let ctx = OpContext::new(&inputs, &outputs, Timestamp::ZERO);
+            while j.poll(&ctx).is_ready() {
+                j.step(&ctx).unwrap();
+            }
+            let mut rows = vec![];
+            while let Some(t) = out.borrow_mut().pop() {
+                if t.is_data() {
+                    rows.push((t.ts.as_micros(), t.values().unwrap().to_vec()));
+                }
+            }
+            rows
+        };
+        let m_rows = drive(&mut multi, &a, &b, &out);
+        let a2 = RefCell::new(Buffer::new("a"));
+        let b2 = RefCell::new(Buffer::new("b"));
+        let out2 = RefCell::new(Buffer::new("out"));
+        let b_rows = drive(&mut binary, &a2, &b2, &out2);
+        assert_eq!(m_rows, b_rows);
+    }
+
+    #[test]
+    fn adaptive_order_prefers_small_windows() {
+        let rig = Rig3::new();
+        let mut j = join3(None).with_keys(vec![0, 0, 0]);
+        // Input 2 accumulates far more state than inputs 0 and 1; after a
+        // re-plan it must be probed last.
+        let mut ts = 0u64;
+        for round in 0..80u64 {
+            ts += 1;
+            rig.bufs[2].borrow_mut().push(data(ts, 1)).unwrap();
+            if round % 8 == 0 {
+                ts += 1;
+                rig.bufs[0].borrow_mut().push(data(ts, 2)).unwrap();
+                ts += 1;
+                rig.bufs[1].borrow_mut().push(data(ts, 3)).unwrap();
+            }
+            rig.bufs[0].borrow_mut().push(punct(ts + 1)).unwrap();
+            rig.bufs[1].borrow_mut().push(punct(ts + 1)).unwrap();
+            rig.drain(&mut j);
+        }
+        let order = j.probe_order();
+        assert_eq!(order[2], 2, "fattest input probed last: {order:?}");
     }
 }

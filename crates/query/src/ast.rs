@@ -36,8 +36,10 @@ pub struct SelectStmt {
     pub projection: Projection,
     /// The primary stream.
     pub from: TableRef,
-    /// Optional window join with a second stream.
-    pub join: Option<JoinClause>,
+    /// Window joins with further streams, in clause order. One clause
+    /// plans a binary `WindowJoin`; two or more plan an n-ary
+    /// `MultiWindowJoin` over `FROM` plus every joined stream.
+    pub joins: Vec<JoinClause>,
     /// Optional `WHERE` predicate.
     pub filter: Option<AstExpr>,
     /// Optional grouped windowed aggregation.

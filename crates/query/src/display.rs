@@ -86,7 +86,7 @@ impl fmt::Display for SelectStmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "SELECT {}", self.projection)?;
         write!(f, " FROM {}", self.from)?;
-        if let Some(j) = &self.join {
+        for j in &self.joins {
             write!(f, " {j}")?;
         }
         if let Some(w) = &self.filter {
@@ -252,6 +252,11 @@ mod tests {
         roundtrip(
             "CREATE STREAM s (k INT, v INT); \
              SELECT k, COUNT(*) AS n, AVG(v) AS m FROM s GROUP BY k EVERY 2 MINUTES",
+        );
+        roundtrip(
+            "CREATE STREAM s (k INT); CREATE STREAM t (k INT); CREATE STREAM u (k INT); \
+             SELECT s.k FROM s JOIN t ON s.k = t.k WINDOW 5 SECONDS \
+             JOIN u ON t.k = u.k WINDOW 5 SECONDS",
         );
     }
 

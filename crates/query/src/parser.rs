@@ -10,7 +10,7 @@
 //!                [SLACK duration]
 //! col         := ident type
 //! query       := select (UNION [ALL] select)*
-//! select      := SELECT proj FROM table [join] [WHERE expr]
+//! select      := SELECT proj FROM table join* [WHERE expr]
 //!                [group] [HAVING expr]
 //! proj        := '*' | item (',' item)*
 //! item        := expr [AS ident]
@@ -209,16 +209,15 @@ impl Parser {
         };
         self.expect_kw(Keyword::From, "FROM")?;
         let from = self.table_ref()?;
-        let join = if self.eat_kw(Keyword::Join) {
+        let mut joins = Vec::new();
+        while self.eat_kw(Keyword::Join) {
             let table = self.table_ref()?;
             self.expect_kw(Keyword::On, "ON")?;
             let on = self.expr()?;
             self.expect_kw(Keyword::Window, "WINDOW")?;
             let window = self.duration()?;
-            Some(JoinClause { table, on, window })
-        } else {
-            None
-        };
+            joins.push(JoinClause { table, on, window });
+        }
         let filter = if self.eat_kw(Keyword::Where) {
             Some(self.expr()?)
         } else {
@@ -256,7 +255,7 @@ impl Parser {
         Ok(SelectStmt {
             projection,
             from,
-            join,
+            joins,
             filter,
             group_by,
             having,
@@ -569,10 +568,25 @@ mod tests {
         let q =
             parse_query("SELECT a.src FROM s1 AS a JOIN s2 AS b ON a.src = b.src WINDOW 5 SECONDS")
                 .unwrap();
-        let j = q.branches[0].join.as_ref().unwrap();
+        let j = &q.branches[0].joins[0];
         assert_eq!(j.table.binding(), "b");
         assert_eq!(j.window, TimeDelta::from_secs(5));
         assert!(matches!(j.on, AstExpr::Binary { op: BinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn parses_nary_join_chain() {
+        let q = parse_query(
+            "SELECT * FROM s1 JOIN s2 ON s1.k = s2.k WINDOW 5 SECONDS \
+             JOIN s3 AS c ON s2.k = c.k WINDOW 10 SECONDS",
+        )
+        .unwrap();
+        let js = &q.branches[0].joins;
+        assert_eq!(js.len(), 2);
+        assert_eq!(js[0].table.binding(), "s2");
+        assert_eq!(js[1].table.binding(), "c");
+        assert_eq!(js[0].window, TimeDelta::from_secs(5));
+        assert_eq!(js[1].window, TimeDelta::from_secs(10));
     }
 
     #[test]
@@ -637,20 +651,11 @@ mod tests {
     #[test]
     fn duration_units() {
         let q = parse_query("SELECT * FROM a JOIN b ON x = y WINDOW 250 MILLISECONDS").unwrap();
-        assert_eq!(
-            q.branches[0].join.as_ref().unwrap().window,
-            TimeDelta::from_millis(250)
-        );
+        assert_eq!(q.branches[0].joins[0].window, TimeDelta::from_millis(250));
         let q = parse_query("SELECT * FROM a JOIN b ON x = y WINDOW 2 MINUTES").unwrap();
-        assert_eq!(
-            q.branches[0].join.as_ref().unwrap().window,
-            TimeDelta::from_secs(120)
-        );
+        assert_eq!(q.branches[0].joins[0].window, TimeDelta::from_secs(120));
         let q = parse_query("SELECT * FROM a JOIN b ON x = y WINDOW 1.5 SECONDS").unwrap();
-        assert_eq!(
-            q.branches[0].join.as_ref().unwrap().window,
-            TimeDelta::from_millis(1_500)
-        );
+        assert_eq!(q.branches[0].joins[0].window, TimeDelta::from_millis(1_500));
     }
 
     #[test]

@@ -9,8 +9,8 @@ use std::collections::HashMap;
 
 use millstream_exec::{GraphBuilder, Input, NodeId, QueryGraph, ShardKey, SourceId};
 use millstream_ops::{
-    AggExpr, AggFunc, Filter, JoinSpec, Operator, Project, Reorder, Sink, SinkCollector,
-    SlidingAggregate, Split, Union, WindowAggregate, WindowJoin,
+    AggExpr, AggFunc, Filter, JoinSpec, MultiWindowJoin, Operator, Project, Reorder, Sink,
+    SinkCollector, SlidingAggregate, Split, Union, WindowAggregate, WindowJoin,
 };
 use millstream_types::{
     BinOp, DataType, Error, Expr, Result, Schema, TimeDelta, TimestampKind, Value,
@@ -184,7 +184,7 @@ where
     let mut reference_counts: HashMap<String, usize> = HashMap::new();
     for b in &query.branches {
         *reference_counts.entry(b.from.stream.clone()).or_default() += 1;
-        if let Some(j) = &b.join {
+        for j in &b.joins {
             *reference_counts.entry(j.table.stream.clone()).or_default() += 1;
         }
     }
@@ -306,31 +306,47 @@ pub fn shard_keys(catalog: &Catalog, query: &Query) -> Result<Option<Vec<ShardKe
         if from_def.kind == TimestampKind::Latent {
             return Ok(None);
         }
-        let from_schema = from_def.schema.clone();
-
-        let join_key = match &b.join {
-            None => None,
-            Some(join) => {
-                let join_def = catalog.get(&join.table.stream)?;
-                if join_def.kind == TimestampKind::Latent {
-                    return Ok(None);
-                }
-                let scope = Scope::pair(
-                    (b.from.binding(), &from_schema),
-                    (join.table.binding(), &join_def.schema),
-                );
-                let Ok(on) = resolve_expr(&join.on, &scope) else {
-                    return Ok(None);
-                };
-                let (key, _) = split_join_condition(on, from_schema.len());
-                let Some((i, j)) = key else {
-                    return Ok(None); // pure window cross product
-                };
-                if !note(&b.from.stream, Some(i)) || !note(&join.table.stream, Some(j)) {
-                    return Ok(None);
-                }
-                Some((i, from_schema.len() + j))
+        // FROM plus every joined stream, with their bindings.
+        let mut bindings: Vec<(String, Schema)> =
+            vec![(b.from.binding().to_string(), from_def.schema.clone())];
+        for join in &b.joins {
+            let def = catalog.get(&join.table.stream)?;
+            if def.kind == TimestampKind::Latent {
+                return Ok(None);
             }
+            bindings.push((join.table.binding().to_string(), def.schema.clone()));
+        }
+
+        // One cross-input equi-key column per input routes every matching
+        // combination to one shard; a join chain without such a class is a
+        // (partial) window cross product and unshardable. Key columns are
+        // absolute in the concatenated row.
+        let join_key: Option<Vec<usize>> = if b.joins.is_empty() {
+            None
+        } else {
+            let mut conjuncts = Vec::new();
+            for (i, join) in b.joins.iter().enumerate() {
+                let prefix = Scope::nary(&bindings[..i + 2]);
+                let Ok(on) = resolve_expr(&join.on, &prefix) else {
+                    return Ok(None);
+                };
+                flatten_and(on, &mut conjuncts);
+            }
+            let (offsets, types) = concat_layout(&bindings);
+            let Some(keys) = extract_equi_keys(&conjuncts, &offsets, &types) else {
+                return Ok(None);
+            };
+            for (i, (&abs, &off)) in keys.iter().zip(&offsets).enumerate() {
+                let stream = if i == 0 {
+                    &b.from.stream
+                } else {
+                    &b.joins[i - 1].table.stream
+                };
+                if !note(stream, Some(abs - off)) {
+                    return Ok(None);
+                }
+            }
+            Some(keys)
         };
 
         let has_aggregates = match &b.projection {
@@ -338,16 +354,7 @@ pub fn shard_keys(catalog: &Catalog, query: &Query) -> Result<Option<Vec<ShardKe
             Projection::Items(items) => items.iter().any(|i| i.expr.contains_aggregate()),
         };
         if let Some(group) = &b.group_by {
-            let scope = match &b.join {
-                None => Scope::single(b.from.binding(), &from_schema),
-                Some(join) => Scope::pair(
-                    (b.from.binding(), &from_schema),
-                    (
-                        join.table.binding(),
-                        &catalog.get(&join.table.stream)?.schema,
-                    ),
-                ),
-            };
+            let scope = Scope::nary(&bindings);
             let group_cols: Vec<usize> = group
                 .keys
                 .iter()
@@ -356,11 +363,11 @@ pub fn shard_keys(catalog: &Catalog, query: &Query) -> Result<Option<Vec<ShardKe
                     _ => None,
                 })
                 .collect();
-            match join_key {
+            match &join_key {
                 // Joined + grouped: the shard is already fixed by the join
-                // key, so a grouping column must coincide with it.
-                Some((l, r)) => {
-                    if !group_cols.iter().any(|&c| c == l || c == r) {
+                // keys, so a grouping column must coincide with one.
+                Some(keys) => {
+                    if !group_cols.iter().any(|c| keys.contains(c)) {
                         return Ok(None);
                     }
                 }
@@ -375,7 +382,7 @@ pub fn shard_keys(catalog: &Catalog, query: &Query) -> Result<Option<Vec<ShardKe
             }
         } else if has_aggregates {
             return Ok(None); // bare aggregate: one global accumulator
-        } else if b.join.is_none() && !note(&b.from.stream, None) {
+        } else if b.joins.is_empty() && !note(&b.from.stream, None) {
             return Ok(None);
         }
     }
@@ -431,6 +438,21 @@ impl Scope {
                 (b.0.to_string(), b.1.clone(), offset),
             ],
         }
+    }
+
+    /// A scope over any number of inputs concatenated in order. Passing a
+    /// prefix of the join chain gives SQL `ON` visibility: clause `i` sees
+    /// `FROM` plus the first `i + 1` joined streams, and because offsets
+    /// accumulate left-to-right the resolved column indexes are already
+    /// absolute in the full concatenated row.
+    fn nary(bindings: &[(String, Schema)]) -> Scope {
+        let mut out = Vec::with_capacity(bindings.len());
+        let mut offset = 0;
+        for (b, s) in bindings {
+            out.push((b.clone(), s.clone(), offset));
+            offset += s.len();
+        }
+        Scope { bindings: out }
     }
 
     fn resolve_column(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
@@ -547,12 +569,13 @@ impl PlanCtx<'_> {
         let (src_input, _src, src_schema, kind) = self.add_source(&b.from)?;
         let mut iwp_node = None;
 
-        let (mut input, mut schema, scope) = match &b.join {
-            None => {
+        let (mut input, mut schema, scope) = match b.joins.len() {
+            0 => {
                 let scope = Scope::single(b.from.binding(), &src_schema);
                 (src_input, src_schema.clone(), scope)
             }
-            Some(join) => {
+            1 => {
+                let join = &b.joins[0];
                 let (src2_input, _src2, schema2, kind2) = self.add_source(&join.table)?;
                 if kind == TimestampKind::Latent || kind2 == TimestampKind::Latent {
                     return Err(Error::plan(
@@ -583,6 +606,60 @@ impl PlanCtx<'_> {
                     vec![src_input, src2_input],
                 )?;
                 iwp_node = Some(j);
+                (Input::Op(j), joined, scope)
+            }
+            _ => {
+                // Two or more JOIN clauses: plan one n-ary MultiWindowJoin
+                // over FROM plus every joined stream. Input 0 (FROM) has no
+                // WINDOW clause of its own and shares the first join's.
+                if kind == TimestampKind::Latent {
+                    return Err(Error::plan(
+                        "window joins require real timestamps; latent streams cannot be joined",
+                    ));
+                }
+                let mut inputs = vec![src_input];
+                let mut bindings: Vec<(String, Schema)> =
+                    vec![(b.from.binding().to_string(), src_schema.clone())];
+                let mut windows = vec![b.joins[0].window];
+                for join in &b.joins {
+                    let (in_n, _src_n, schema_n, kind_n) = self.add_source(&join.table)?;
+                    if kind_n == TimestampKind::Latent {
+                        return Err(Error::plan(
+                            "window joins require real timestamps; latent streams cannot be joined",
+                        ));
+                    }
+                    inputs.push(in_n);
+                    bindings.push((join.table.binding().to_string(), schema_n));
+                    windows.push(join.window);
+                }
+                // Each ON clause resolves against the prefix of streams
+                // visible at that clause; the indexes come out absolute in
+                // the concatenated row (see `Scope::nary`).
+                let mut conjuncts = Vec::new();
+                for (i, join) in b.joins.iter().enumerate() {
+                    let prefix = Scope::nary(&bindings[..i + 2]);
+                    let on = resolve_expr(&join.on, &prefix)?;
+                    flatten_and(on, &mut conjuncts);
+                }
+                let (offsets, types) = concat_layout(&bindings);
+                let keys_abs = extract_equi_keys(&conjuncts, &offsets, &types);
+                // Conjuncts the hash keys enforce are dropped from the
+                // residual condition; the rest are ANDed back together.
+                let condition = conjuncts
+                    .into_iter()
+                    .filter(|c| !is_enforced_key_edge(c, keys_abs.as_deref()))
+                    .reduce(Expr::and);
+                let schemas: Vec<Schema> = bindings.iter().map(|(_, s)| s.clone()).collect();
+                let joined = join_schemas(&bindings);
+                let name = self.next_name("⋈");
+                let mut op = MultiWindowJoin::new(name, &schemas, windows, condition);
+                if let Some(keys) = &keys_abs {
+                    // Absolute → input-relative key columns.
+                    op = op.with_keys(keys.iter().zip(&offsets).map(|(k, o)| k - o).collect());
+                }
+                let j = self.builder.operator(Box::new(op), inputs)?;
+                iwp_node = Some(j);
+                let scope = Scope::nary(&bindings);
                 (Input::Op(j), joined, scope)
             }
         };
@@ -770,6 +847,128 @@ fn resolve_expr(e: &AstExpr, scope: &Scope) -> Result<Expr> {
     })
 }
 
+/// Column offsets and per-column data types of the concatenated n-ary
+/// join row.
+fn concat_layout(bindings: &[(String, Schema)]) -> (Vec<usize>, Vec<DataType>) {
+    let mut offsets = Vec::with_capacity(bindings.len());
+    let mut types = Vec::new();
+    for (_, s) in bindings {
+        offsets.push(types.len());
+        types.extend(s.fields().iter().map(|f| f.data_type));
+    }
+    (offsets, types)
+}
+
+/// Concatenates the inputs' schemas in order, prefixing any column name
+/// that also occurs in another input with its binding (the n-ary
+/// generalization of [`Schema::join`]).
+fn join_schemas(bindings: &[(String, Schema)]) -> Schema {
+    let mut fields = Vec::new();
+    for (i, (binding, schema)) in bindings.iter().enumerate() {
+        for f in schema.fields() {
+            let collides = bindings
+                .iter()
+                .enumerate()
+                .any(|(j, (_, other))| j != i && other.index_of(&f.name).is_ok());
+            let name = if collides {
+                format!("{binding}.{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(millstream_types::Field::new(name, f.data_type));
+        }
+    }
+    fields.into_iter().collect()
+}
+
+/// Finds one equality class of columns — linked by cross-input `=`
+/// conjuncts — that covers every join input, and returns one key column
+/// per input (the lowest-indexed member in each), absolute in the
+/// concatenated row.
+///
+/// The n-ary join enforces key equality by hash-bucket lookup, so a class
+/// is only usable when every chosen column has the same data type: within
+/// one type `Value` equality is transitive, making bucket-key equality
+/// exactly equivalent to the conjunct chain it replaces. Mixed-type
+/// chains (e.g. INT = FLOAT) stay residual predicates instead.
+fn extract_equi_keys(
+    conjuncts: &[Expr],
+    offsets: &[usize],
+    types: &[DataType],
+) -> Option<Vec<usize>> {
+    let input_of = |c: usize| offsets.partition_point(|&o| o <= c) - 1;
+    let mut parent: Vec<usize> = (0..types.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    for c in conjuncts {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = c
+        {
+            if let (Expr::Column(i), Expr::Column(j)) = (left.as_ref(), right.as_ref()) {
+                if input_of(*i) != input_of(*j) {
+                    let (ri, rj) = (find(&mut parent, *i), find(&mut parent, *j));
+                    parent[ri.max(rj)] = ri.min(rj);
+                }
+            }
+        }
+    }
+    // Per class root, the lowest member column of each input.
+    let mut classes: HashMap<usize, Vec<Option<usize>>> = HashMap::new();
+    for c in 0..types.len() {
+        let root = find(&mut parent, c);
+        let members = classes
+            .entry(root)
+            .or_insert_with(|| vec![None; offsets.len()]);
+        let slot = &mut members[input_of(c)];
+        if slot.is_none() {
+            *slot = Some(c);
+        }
+    }
+    // Among classes covering every input with one shared type, pick the
+    // one rooted at the lowest column (classes are disjoint, so this is
+    // deterministic despite the map's iteration order).
+    let mut best: Option<Vec<usize>> = None;
+    for members in classes.into_values() {
+        let Some(keys) = members.into_iter().collect::<Option<Vec<usize>>>() else {
+            continue;
+        };
+        if keys.iter().any(|&k| types[k] != types[keys[0]]) {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| keys[0] < b[0]) {
+            best = Some(keys);
+        }
+    }
+    best
+}
+
+/// True iff `c` is an equality between two *chosen key columns* of
+/// different inputs — exactly the conjuncts the keyed hash probe already
+/// enforces (equalities through non-key members of the class must stay in
+/// the residual).
+fn is_enforced_key_edge(c: &Expr, keys: Option<&[usize]>) -> bool {
+    let Some(keys) = keys else { return false };
+    if let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = c
+    {
+        if let (Expr::Column(i), Expr::Column(j)) = (left.as_ref(), right.as_ref()) {
+            return i != j && keys.contains(i) && keys.contains(j);
+        }
+    }
+    false
+}
+
 /// Splits a resolved join condition into an equality key pair (columns on
 /// opposite sides) and a residual predicate over the concatenated row.
 fn split_join_condition(on: Expr, left_width: usize) -> (Option<(usize, usize)>, Option<Expr>) {
@@ -881,6 +1080,38 @@ mod tests {
         // join, π, sink.
         assert_eq!(p.graph.num_ops(), 3);
         assert_eq!(p.output_schema.len(), 1);
+    }
+
+    #[test]
+    fn plans_nary_join_with_equi_class_keys() {
+        let p = plan(
+            "SELECT a.src FROM packets AS a \
+             JOIN flows AS b ON a.src = b.src WINDOW 5 SECONDS \
+             JOIN alerts AS c ON b.src = c.src AND c.severity > 3 WINDOW 5 SECONDS",
+        )
+        .unwrap();
+        assert_eq!(p.sources.len(), 3);
+        assert!(p.monitor.is_some());
+        // one n-ary join, π, sink.
+        assert_eq!(p.graph.num_ops(), 3);
+        assert!(p.graph.is_iwp(p.monitor.unwrap()));
+        assert_eq!(p.output_schema.len(), 1);
+    }
+
+    #[test]
+    fn nary_join_schema_qualifies_collisions() {
+        let p = plan(
+            "SELECT * FROM packets AS a \
+             JOIN flows AS b ON a.src = b.src WINDOW 5 SECONDS \
+             JOIN alerts AS c ON b.src = c.src WINDOW 5 SECONDS",
+        )
+        .unwrap();
+        // src collides across all three inputs; len across two; severity
+        // is unique and keeps its bare name.
+        assert_eq!(p.output_schema.len(), 6);
+        assert!(p.output_schema.index_of("a.src").is_ok());
+        assert!(p.output_schema.index_of("c.src").is_ok());
+        assert!(p.output_schema.index_of("severity").is_ok());
     }
 
     #[test]
@@ -1056,6 +1287,33 @@ mod tests {
             keys_for(
                 "SELECT a.src FROM packets AS a JOIN alerts AS b \
                  ON b.severity > 3 WINDOW 5 SECONDS"
+            )
+            .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn shard_keys_nary_join_routes_on_equi_class() {
+        assert_eq!(
+            keys_for(
+                "SELECT a.src FROM packets AS a \
+                 JOIN flows AS b ON a.src = b.src WINDOW 5 SECONDS \
+                 JOIN alerts AS c ON b.src = c.src WINDOW 5 SECONDS"
+            )
+            .unwrap(),
+            Some(vec![
+                ShardKey::Column(0),
+                ShardKey::Column(0),
+                ShardKey::Column(0)
+            ])
+        );
+        // No equality class spans all three inputs → unshardable.
+        assert_eq!(
+            keys_for(
+                "SELECT a.src FROM packets AS a \
+                 JOIN flows AS b ON a.src = b.src WINDOW 5 SECONDS \
+                 JOIN alerts AS c ON c.severity > 0 WINDOW 5 SECONDS"
             )
             .unwrap(),
             None

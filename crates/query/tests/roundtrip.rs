@@ -122,12 +122,13 @@ fn select_stmt() -> impl Strategy<Value = SelectStmt> {
             3 => prop::collection::vec(select_item(), 1..4).prop_map(Projection::Items),
         ],
         table_ref(),
-        prop::option::of(
+        prop::collection::vec(
             (table_ref(), expr(), duration()).prop_map(|(table, on, window)| JoinClause {
                 table,
                 on,
                 window,
             }),
+            0..3,
         ),
         prop::option::of(expr()),
         prop::option::of(
@@ -145,10 +146,10 @@ fn select_stmt() -> impl Strategy<Value = SelectStmt> {
         prop::option::of(expr()),
     )
         .prop_map(
-            |(projection, from, join, filter, group_by, having)| SelectStmt {
+            |(projection, from, joins, filter, group_by, having)| SelectStmt {
                 projection,
                 from,
-                join,
+                joins,
                 filter,
                 // HAVING is only legal with GROUP BY.
                 having: if group_by.is_some() { having } else { None },

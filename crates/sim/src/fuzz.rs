@@ -8,7 +8,9 @@
 //! * a small query graph — one or two independent components, each with
 //!   1–3 sources feeding optional filters, an optional out-of-order
 //!   source behind a [`Reorder`], and a [`Union`] when a component has
-//!   more than one source;
+//!   more than one source; roughly half the seeds additionally append a
+//!   3-way [`MultiWindowJoin`] component (hash-keyed or with the
+//!   equivalent explicit condition) checked against a combination oracle;
 //! * a workload mixing bursty arrivals, simultaneous timestamps (ties),
 //!   bounded disorder on the unordered source, and heartbeats that are
 //!   valid by construction (each promises the minimum timestamp still to
@@ -50,10 +52,12 @@ use std::sync::{Arc, Mutex};
 
 use millstream_exec::{
     CheckMode, CostModel, EtsPolicy, Executor, FeedbackConfig, GraphBuilder, Input, ParallelConfig,
-    ParallelExecutor, QueryGraph, SchedPolicy, ShardOutput, ShardedConfig, ShardedExecutor,
-    SourceId, VirtualClock, Watermarks,
+    ParallelExecutor, QueryGraph, SchedPolicy, ShardKey, ShardOutput, ShardedConfig,
+    ShardedExecutor, SourceId, VirtualClock, Watermarks,
 };
-use millstream_ops::{Filter, LatePolicy, Project, Reorder, Sink, SinkCollector, Union};
+use millstream_ops::{
+    Filter, LatePolicy, MultiWindowJoin, Project, Reorder, Sink, SinkCollector, Union,
+};
 use millstream_types::{
     DataType, Expr, Field, Schema, TimeDelta, Timestamp, TimestampKind, Tuple, Value,
     INLINE_ROW_CAP,
@@ -131,10 +135,25 @@ struct SrcSpec {
     events: Vec<Ev>,
 }
 
+/// How a join component combines its inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum JoinKind {
+    /// Hash-partitioned equi-keys: `with_keys([0, 0, 0])`, no condition.
+    Keyed,
+    /// Keyless scan stores with the same equality as an explicit
+    /// condition (`c0 = c1 AND c1 = c2`) — exercises the conjunct
+    /// scheduler and the ordered-scan path; same oracle as `Keyed`.
+    Conditioned,
+}
+
 /// One independent query-graph component (its own sink).
 #[derive(Debug, Clone)]
 struct CompSpec {
     sources: Vec<SrcSpec>,
+    /// When set, the component is a 3-way [`MultiWindowJoin`] over its
+    /// (exactly three, ordered, narrow) sources with this kind and a
+    /// shared window length in µs.
+    join: Option<(JoinKind, u64)>,
 }
 
 /// A full generated scenario.
@@ -234,7 +253,10 @@ fn gen_spec(seed: u64) -> FuzzSpec {
             let sources = (0..nsources)
                 .map(|si| gen_source(&mut rng, unordered_at == Some(si)))
                 .collect();
-            CompSpec { sources }
+            CompSpec {
+                sources,
+                join: None,
+            }
         })
         .collect();
     let mut spec = FuzzSpec { comps };
@@ -247,7 +269,52 @@ fn gen_spec(seed: u64) -> FuzzSpec {
             s.wide = rng.chance(1, 4);
         }
     }
+    // Join components draw from a *separately derived* generator so every
+    // historic draw above stays byte-identical — the corpus seeds keep
+    // their exact graphs and workloads, and a 3-way join component is
+    // appended on top for roughly half the seeds.
+    let mut jrng = SplitMix64::new(seed ^ 0xA5A5_5A5A_C3C3_3C3C);
+    if jrng.chance(1, 2) {
+        let kind = if jrng.chance(1, 2) {
+            JoinKind::Keyed
+        } else {
+            JoinKind::Conditioned
+        };
+        let window = 3 + jrng.below(10);
+        let sources = (0..3).map(|_| gen_join_source(&mut jrng)).collect();
+        spec.comps.push(CompSpec {
+            sources,
+            join: Some((kind, window)),
+        });
+    }
     spec
+}
+
+/// A join input: ordered, narrow, data-only, with a small value domain so
+/// equi-keys collide often enough to produce matches.
+fn gen_join_source(rng: &mut SplitMix64) -> SrcSpec {
+    let n = 3 + rng.below(10);
+    let mut events = Vec::new();
+    let mut arrival = 1 + rng.below(4);
+    for _ in 0..n {
+        let v = rng.below(4) as i64;
+        events.push(Ev::Data {
+            arrival,
+            ts: arrival,
+            v,
+        });
+        const GAPS: [u64; 8] = [0, 1, 1, 2, 2, 3, 5, 8];
+        arrival += GAPS[rng.below(8) as usize];
+    }
+    SrcSpec {
+        unordered: false,
+        slack: 0,
+        clamp: false,
+        exact: true,
+        filter_min: None,
+        wide: false,
+        events,
+    }
 }
 
 /// One-line digest of the scenario a seed generates (CLI diagnostics and
@@ -277,15 +344,28 @@ pub fn describe_seed(seed: u64) -> String {
                     }
                 })
                 .collect();
-            format!("[{}]", srcs.join(" + "))
+            match c.join {
+                Some((kind, w)) => {
+                    let kind = match kind {
+                        JoinKind::Keyed => "keyed",
+                        JoinKind::Conditioned => "conditioned",
+                    };
+                    format!("join3[{kind} w={w}: {}]", srcs.join(" + "))
+                }
+                None => format!("[{}]", srcs.join(" + ")),
+            }
         })
         .collect();
     format!("seed {seed}: {}", comps.join(" | "))
 }
 
 /// The naive single-queue oracle: every data tuple that survives its
-/// source's filter, merged into one queue and sorted by timestamp.
+/// source's filter, merged into one queue and sorted by timestamp. Join
+/// components use the combination oracle instead.
 fn expected(comp: &CompSpec) -> Expected {
+    if let Some((_, w)) = comp.join {
+        return expected_join(comp, w);
+    }
     let inexact = comp.sources.iter().any(|s| s.unordered && !s.exact);
     let mut rows: Vec<(u64, i64)> = Vec::new();
     for s in &comp.sources {
@@ -366,6 +446,9 @@ fn append_component<C: SinkCollector + 'static>(
     ci: usize,
     out: C,
 ) -> Result<Vec<SourceId>, String> {
+    if let Some((kind, w)) = comp.join {
+        return append_join_component(b, comp, ci, kind, w, out);
+    }
     let mut tails = Vec::new();
     let mut src_ids = Vec::new();
     for (si, s) in comp.sources.iter().enumerate() {
@@ -426,6 +509,60 @@ fn append_component<C: SinkCollector + 'static>(
     b.operator(
         Box::new(Sink::new(format!("sink{ci}"), schema(), out)),
         vec![tail],
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(src_ids)
+}
+
+/// Output schema of a 3-way join component: the concatenated input
+/// columns.
+fn join_out_schema() -> Schema {
+    Schema::new(
+        (0..3)
+            .map(|i| Field::new(format!("v{i}"), DataType::Int))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Appends a 3-way [`MultiWindowJoin`] component: three ordered narrow
+/// sources straight into the join, then the sink.
+fn append_join_component<C: SinkCollector + 'static>(
+    b: &mut GraphBuilder,
+    comp: &CompSpec,
+    ci: usize,
+    kind: JoinKind,
+    w: u64,
+    out: C,
+) -> Result<Vec<SourceId>, String> {
+    let mut inputs = Vec::new();
+    let mut src_ids = Vec::new();
+    for si in 0..comp.sources.len() {
+        let sid = b.source(format!("S{ci}_{si}"), schema(), TimestampKind::Internal);
+        src_ids.push(sid);
+        inputs.push(Input::Source(sid));
+    }
+    let windows = vec![TimeDelta::from_micros(w); comp.sources.len()];
+    let schemas = vec![schema(); comp.sources.len()];
+    let join = match kind {
+        JoinKind::Keyed => MultiWindowJoin::new(format!("join{ci}"), &schemas, windows, None)
+            .with_keys(vec![0; comp.sources.len()]),
+        JoinKind::Conditioned => MultiWindowJoin::new(
+            format!("join{ci}"),
+            &schemas,
+            windows,
+            Some(
+                Expr::col(0)
+                    .eq(Expr::col(1))
+                    .and(Expr::col(1).eq(Expr::col(2))),
+            ),
+        ),
+    };
+    let jn = b
+        .operator(Box::new(join), inputs)
+        .map_err(|e| e.to_string())?;
+    b.operator(
+        Box::new(Sink::new(format!("sink{ci}"), join_out_schema(), out)),
+        vec![Input::Op(jn)],
     )
     .map_err(|e| e.to_string())?;
     Ok(src_ids)
@@ -631,9 +768,20 @@ fn run_sharded(
     let mut src_ids: Vec<Vec<SourceId>> = Vec::new();
     for (ci, comp) in spec.comps.iter().enumerate() {
         let out = CollectedSink::default();
-        let config = ShardedConfig::new(CostModel::free(), policy, shards)
+        let mut config = ShardedConfig::new(CostModel::free(), policy, shards)
             .with_sched_policy(sched)
             .with_check_mode(CheckMode::Strict);
+        if comp.join.is_some() {
+            // Every matching combination has equal values across inputs
+            // (hash keys or the explicit equality condition), so routing
+            // each input on column 0 keeps combinations whole per shard.
+            config = config.with_keys(vec![ShardKey::Column(0); comp.sources.len()]);
+        }
+        let merge_schema = if comp.join.is_some() {
+            join_out_schema()
+        } else {
+            schema()
+        };
         let mut ids = Vec::new();
         let sx = ShardedExecutor::new(
             |replica, shard_out: ShardOutput| {
@@ -646,7 +794,7 @@ fn run_sharded(
                 }
                 b.build()
             },
-            schema(),
+            merge_schema,
             Box::new(out.clone()),
             config,
         )
@@ -763,6 +911,46 @@ fn check_outputs(
             }
         }
     }
+}
+
+/// Oracle for a 3-way join component: every combination of one data tuple
+/// per input whose members all lie within `w` of the combination's
+/// maximum timestamp M — the symmetric-window containment the probe
+/// enforces — with all three values equal (hash keys for `Keyed`, the
+/// explicit condition for `Conditioned`). Each combination is emitted
+/// exactly once, when its last member probes, at timestamp M, and the
+/// sink records the first output column: input 0's value.
+fn expected_join(comp: &CompSpec, w: u64) -> Expected {
+    let input = |i: usize| -> Vec<(u64, i64)> {
+        comp.sources[i]
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                Ev::Data { ts, v, .. } => Some((ts, v)),
+                Ev::Heartbeat { .. } => None,
+            })
+            .collect()
+    };
+    let (a, b, c) = (input(0), input(1), input(2));
+    let mut rows = Vec::new();
+    for &(ta, va) in &a {
+        for &(tb, vb) in &b {
+            if vb != va {
+                continue;
+            }
+            for &(tc, vc) in &c {
+                if vc != va {
+                    continue;
+                }
+                let m = ta.max(tb).max(tc);
+                if m - ta <= w && m - tb <= w && m - tc <= w {
+                    rows.push((m, va));
+                }
+            }
+        }
+    }
+    rows.sort_unstable();
+    Expected::Exact(rows)
 }
 
 fn first_diff(got: &[(u64, i64)], want: &[(u64, i64)]) -> String {
@@ -888,6 +1076,30 @@ mod tests {
     #[test]
     fn small_seed_range_is_clean() {
         for seed in 0..8 {
+            let failures = fuzz_seed(seed);
+            assert!(failures.is_empty(), "{}", failures.join("\n"));
+        }
+    }
+
+    /// Both join-component kinds must actually be exercised: the first
+    /// keyed and the first conditioned join seed each run the full matrix
+    /// clean (serial, parallel, and key-sharded cells against the
+    /// combination oracle).
+    #[test]
+    fn join_components_are_generated_and_clean() {
+        let find = |kind: JoinKind| {
+            (0..64).find(|&seed| {
+                gen_spec(seed)
+                    .comps
+                    .iter()
+                    .any(|c| c.join.is_some_and(|(k, _)| k == kind))
+            })
+        };
+        for kind in [JoinKind::Keyed, JoinKind::Conditioned] {
+            let Some(seed) = find(kind) else {
+                panic!("no {kind:?} join component in the first 64 seeds")
+            };
+            assert!(describe_seed(seed).contains("join3"));
             let failures = fuzz_seed(seed);
             assert!(failures.is_empty(), "{}", failures.join("\n"));
         }

@@ -385,3 +385,42 @@ fn drive_collect_batches(mut rig: Rig) -> (u64, u64) {
     let stats = rig.exec.stats();
     (stats.steps, stats.batches)
 }
+
+#[test]
+fn peak_join_state_is_sampled_and_bounded() {
+    // The executor samples `Operator::state_tuples` after every charged
+    // batch: the join node's profile carries a nonzero peak, the global
+    // `peak_join_state` matches it, and the peak stays bounded by the
+    // window (2 s at one S1 tuple per 5 ms plus the slower S2 side).
+    let mut rig = join_rig(EtsPolicy::on_demand(), SchedPolicy::DepthFirst, 1);
+    let (s1, s2) = (rig.s1, rig.s2);
+    for i in 0u64..400 {
+        rig.push(s1, 5 * i, (i % 10) as i64);
+        if i % 8 == 7 {
+            rig.push(s2, 5 * i + 1, (i % 10) as i64);
+            rig.drain();
+        }
+    }
+    rig.exec.close_source(s1).unwrap();
+    rig.exec.close_source(s2).unwrap();
+    rig.drain();
+    let stats = rig.exec.stats();
+    let join_peak = rig
+        .exec
+        .profile()
+        .iter()
+        .find(|p| p.name == "⋈")
+        .expect("join profiled")
+        .peak_state;
+    assert!(join_peak > 0, "join held state at some point");
+    assert_eq!(
+        stats.peak_join_state, join_peak,
+        "global peak = join's peak"
+    );
+    // 2 s window over both sides: ≤ 400 S1 tuples + ≤ 50 S2 tuples live at
+    // once; 1.5× purge slack on the hashed windows stays well under 700.
+    assert!(
+        join_peak < 700,
+        "state bounded by window expiry: {join_peak}"
+    );
+}
