@@ -7,6 +7,7 @@
 //! msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--batch K]
 //!                              [--workers N] [--shards N]
 //! msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict]
+//!                        [--io-threads N] [--ingest-shards N]
 //! msq send <addr> <stream> <trace.csv> [--window N]
 //! msq tail <addr> [--patience-ms MS]
 //! msq fuzz [--seeds N] [--base B]
@@ -51,6 +52,14 @@
 //!                   final punctuation mark and a structured error)
 //!   --no-feedback   disable feedback punctuation entirely (no producer
 //!                   pacing frames, no engine pressure registers)
+//!   --io-threads N  nonblocking poller threads multiplexing producer
+//!                   sockets (default 4; each poller owns a slice of the
+//!                   connections, no thread-per-connection)
+//!   --ingest-shards N  per-shard ingest queues between the pollers and
+//!                   the engine pump; a source port always maps to the
+//!                   same shard, so per-port frame order is preserved
+//!                   while the pump drains whole batches into one engine
+//!                   critical section (default 8)
 //!
 //! send        replay a trace as a producer: lines `ts_micros,stream,v…`,
 //!             all for <stream>, data timestamps strictly increasing
@@ -73,9 +82,10 @@
 //!   --base B    first seed (default 0)
 //!
 //! bench       run every perf harness (micro_batching, micro_components,
-//!             micro_alloc, ablation_coalescing) via `cargo bench`, each
-//!             rewriting its `BENCH_*.json` at the workspace root through
-//!             the shared `write_bench_summary` path
+//!             micro_alloc, multijoin, ablation_coalescing, net_ingest)
+//!             via `cargo bench`, each rewriting its `BENCH_*.json` at
+//!             the workspace root through the shared
+//!             `write_bench_summary` path
 //!   --quick     bounded runs for CI (each harness shrinks waves/rounds/
 //!               durations but keeps its shape checks and budget gates)
 //! ```
@@ -114,7 +124,7 @@ struct Options {
     shards: usize,
 }
 
-const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N] [--shards N]\n       msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict] [--sub-queue N] [--overflow shed|disconnect] [--no-feedback]\n       msq send <addr> <stream> <trace.csv> [--window N]\n       msq tail <addr> [--patience-ms MS]\n       msq fuzz [--seeds N] [--base B]\n       msq bench [--quick]";
+const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N] [--shards N]\n       msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict] [--sub-queue N] [--overflow shed|disconnect] [--no-feedback] [--io-threads N] [--ingest-shards N]\n       msq send <addr> <stream> <trace.csv> [--window N]\n       msq tail <addr> [--patience-ms MS]\n       msq fuzz [--seeds N] [--base B]\n       msq bench [--quick]";
 
 fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
     let mut positional = Vec::new();
@@ -538,6 +548,8 @@ fn run_serve(args: &[String]) -> Result<()> {
     let mut sub_queue = None;
     let mut overflow = None;
     let mut feedback = true;
+    let mut io_threads = None;
+    let mut ingest_shards = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -583,6 +595,24 @@ fn run_serve(args: &[String]) -> Result<()> {
                 );
             }
             "--strict" => strict = true,
+            "--io-threads" => {
+                io_threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| Error::config("--io-threads expects a positive integer"))?,
+                );
+            }
+            "--ingest-shards" => {
+                ingest_shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            Error::config("--ingest-shards expects a positive integer")
+                        })?,
+                );
+            }
             flag if flag.starts_with("--") => {
                 return Err(Error::config(format!("unknown serve flag `{flag}`")));
             }
@@ -610,6 +640,12 @@ fn run_serve(args: &[String]) -> Result<()> {
     }
     if !feedback {
         cfg.feedback = None;
+    }
+    if let Some(n) = io_threads {
+        cfg.io_threads = n;
+    }
+    if let Some(n) = ingest_shards {
+        cfg.ingest_shards = n;
     }
     let server = millstream_net::Server::start(cfg)?;
     // Scripts read the first line to learn the resolved port.
@@ -848,6 +884,7 @@ fn run_bench(args: &[String]) -> ExitCode {
         ("micro_alloc", &["--features", "count-alloc"]),
         ("multijoin", &[]),
         ("ablation_coalescing", &[]),
+        ("net_ingest", &[]),
     ];
     let mut failed = Vec::new();
     for (name, features) in benches {

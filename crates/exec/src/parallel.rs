@@ -424,6 +424,23 @@ impl IngestHandle {
             .map_err(|_| disconnected())
     }
 
+    /// Ingests a run of data tuples as one [`Cmd::IngestBatch`] — a
+    /// single channel round trip regardless of run length. The run must
+    /// respect the source's timestamp order, exactly as the same tuples
+    /// fed through repeated [`IngestHandle::ingest`] calls would.
+    pub fn ingest_batch(&self, tuples: Vec<Tuple>) -> Result<()> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        self.tx
+            .send(Cmd::IngestBatch {
+                comp: self.comp,
+                source: self.source,
+                tuples,
+            })
+            .map_err(|_| disconnected())
+    }
+
     /// Ingests a heartbeat punctuation.
     pub fn heartbeat(&self, ts: Timestamp) -> Result<()> {
         self.tx
@@ -675,6 +692,41 @@ impl ParallelExecutor {
             let run = &mut pending[source.0];
             run.push(tuple);
             (run.len() >= INGEST_BATCH).then(|| std::mem::take(run))
+        };
+        if let Some(tuples) = full {
+            let (comp, local) = self.source_route[source.0];
+            self.send(
+                comp,
+                Cmd::IngestBatch {
+                    comp,
+                    source: local,
+                    tuples,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Ingests a run of data tuples at a global source with at most one
+    /// channel round trip. The run joins the source's coalescing buffer
+    /// so it can never reorder against tuples previously accepted by
+    /// [`Self::ingest`]; a buffer at or past [`INGEST_BATCH`] ships
+    /// immediately as one [`Cmd::IngestBatch`].
+    pub fn ingest_batch(&self, source: SourceId, tuples: Vec<Tuple>) -> Result<()> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        let full = {
+            let mut pending = self.pending.lock().expect("pending lock");
+            let run = &mut pending[source.0];
+            if run.is_empty() {
+                // Common case: nothing buffered, ship the caller's run
+                // as-is without copying it into the buffer first.
+                Some(tuples)
+            } else {
+                run.extend(tuples);
+                (run.len() >= INGEST_BATCH).then(|| std::mem::take(run))
+            }
         };
         if let Some(tuples) = full {
             let (comp, local) = self.source_route[source.0];

@@ -170,6 +170,7 @@ impl ToJson for crate::LatencySummary {
             ("max_ms", Json::Num(self.max_ms)),
             ("p50_ms", Json::Num(self.p50_ms)),
             ("p90_ms", Json::Num(self.p90_ms)),
+            ("p95_ms", Json::Num(self.p95_ms)),
             ("p99_ms", Json::Num(self.p99_ms)),
         ])
     }

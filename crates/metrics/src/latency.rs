@@ -142,6 +142,7 @@ impl LatencyRecorder {
             max_ms: self.max().map_or(f64::NAN, |d| d.as_millis_f64()),
             p50_ms: self.quantile(0.50).map_or(f64::NAN, |d| d.as_millis_f64()),
             p90_ms: self.quantile(0.90).map_or(f64::NAN, |d| d.as_millis_f64()),
+            p95_ms: self.quantile(0.95).map_or(f64::NAN, |d| d.as_millis_f64()),
             p99_ms: self.quantile(0.99).map_or(f64::NAN, |d| d.as_millis_f64()),
         }
     }
@@ -162,6 +163,8 @@ pub struct LatencySummary {
     pub p50_ms: f64,
     /// 90th-percentile latency in milliseconds (histogram-approximate).
     pub p90_ms: f64,
+    /// 95th-percentile latency in milliseconds (histogram-approximate).
+    pub p95_ms: f64,
     /// 99th-percentile latency in milliseconds (histogram-approximate).
     pub p99_ms: f64,
 }

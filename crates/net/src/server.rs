@@ -3,28 +3,39 @@
 //!
 //! ## Threading model
 //!
-//! One accept thread, one thread per connection, and the
-//! [`ParallelExecutor`]'s own component workers. All engine access is
-//! serialized through a single [`Mutex`]: a producer connection locks the
-//! engine for its whole `{advance clock, ingest, run-to-quiescence}`
-//! critical section, so any error the fire-and-forget parallel channel
-//! stashes surfaces at *this* connection's barrier and is attributed (as
-//! an [`Frame::Error`]) to the connection that caused it. Sink deliveries
-//! emitted during the critical section are likewise attributable, which
-//! is what makes the per-connection wire-arrival → sink-delivery
-//! [`LatencyRecorder`] meaningful.
+//! One accept thread, a **fixed pool of nonblocking poller threads**
+//! ([`ServerConfig::io_threads`]), one **ingest pump** thread, and the
+//! [`ParallelExecutor`]'s own component workers. Pollers own the sockets:
+//! they run every producer's [`FrameReader`] across readiness events
+//! (partial frames survive between polls), validate frame order at the
+//! socket boundary, and push decoded frames onto per-shard ingest queues
+//! ([`ServerConfig::ingest_shards`]). The pump drains whole shard batches
+//! and enters the engine **once per batch** — `{ingest*, advance clock,
+//! run-to-quiescence}` — instead of once per frame, so the engine critical
+//! section is amortized across every frame that arrived while the previous
+//! batch was running. Cumulative [`Frame::Ack`]s (one per connection per
+//! batch, carrying the final `high_water`) and per-producer error
+//! attribution are preserved: every queued item remembers its connection,
+//! so an engine rejection is routed back to exactly the connections whose
+//! frames were in the failing section.
+//!
+//! Subscribers get a dedicated blocking writer thread each, but fan-out is
+//! shared: the sink encodes each output frame **once** into an
+//! `Arc<[u8]>` slab that every subscriber queue references, so a thousand
+//! tails cost one encode per tuple, not a thousand.
 //!
 //! ## Backpressure and feedback punctuation
 //!
-//! Producers are processed synchronously: a frame is acked only after the
-//! engine has fully absorbed it, so a producer's unacked window (client
-//! side, [`crate::client::StreamClient`]) is the *only* buffering between
-//! the socket and the engine — the server never queues unbounded input.
-//! On top of that, the server translates queue pressure into
-//! [`Frame::Feedback`] punctuation flowing *against* the data direction:
-//! when the engine's occupancy (or the deepest subscriber queue) crosses
-//! the configured watermarks, every producer connection is told a smaller
-//! send window, and the producer client narrows its pipeline accordingly.
+//! A producer's unacked window (client side,
+//! [`crate::client::StreamClient`]) plus one bounded shard queue is the
+//! only buffering between the socket and the engine: pollers stop reading
+//! a connection whose shard queue is full, so TCP flow control pushes back
+//! to the producer and the server never queues unbounded input. On top of
+//! that, the server translates queue pressure into [`Frame::Feedback`]
+//! punctuation flowing *against* the data direction: when the engine's
+//! occupancy (or the deepest subscriber queue) crosses the configured
+//! watermarks, every producer connection is told a smaller send window at
+//! its next ack, and the producer client narrows its pipeline accordingly.
 //!
 //! Subscribers get a bounded queue each. Under the default
 //! [`OverflowPolicy::Shed`], a subscriber that stalls past its queue
@@ -39,35 +50,41 @@
 //! ## Idle connections and on-demand heartbeats
 //!
 //! The paper's on-demand ETS story is triggered here by *network
-//! silence*: when a producer connection stays quiet past
-//! [`ServerConfig::idle_timeout`], the server synthesizes a source
-//! heartbeat at the server's stream time (the maximum data timestamp
-//! accepted so far), unblocking IWP operators starved by the silent
-//! source. The wire contract making that sound: a producer silent past
-//! the idle timeout forfeits timestamps at or below the synthesized mark
-//! — later data under the mark is dropped at the socket boundary
-//! (counted, and fatal under `MILLSTREAM_CHECK=strict`).
+//! silence*: when a source stays quiet past
+//! [`ServerConfig::idle_timeout`], the pump synthesizes a source heartbeat
+//! at the server's stream time (the maximum data timestamp accepted so
+//! far), unblocking IWP operators starved by the silent source. Synthesis
+//! is driven **per ingest shard sweep**, not per connection: the pump
+//! walks each shard's ports on its poll cadence, so a thousand idle
+//! connections cost one sweep, not a thousand timers. The wire contract
+//! making that sound: a producer silent past the idle timeout forfeits
+//! timestamps at or below the synthesized mark — later data under the
+//! mark is dropped at the socket boundary (counted, and fatal under
+//! `MILLSTREAM_CHECK=strict`).
 
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use millstream_buffer::{CheckMode, OrderSentinel, PressureLevel, SentinelStats, Watermarks};
 use millstream_exec::{
-    CostModel, EtsPolicy, ExecStats, FeedbackConfig, IngestHandle, NodeId, ParallelConfig,
-    ParallelExecutor,
+    CostModel, EtsPolicy, ExecStats, FeedbackConfig, NodeId, ParallelConfig, ParallelExecutor,
+    SourceId,
 };
 use millstream_metrics::{IdleSummary, IdleTracker, LatencyRecorder, LatencySummary};
 use millstream_ops::SinkCollector;
 use millstream_query::plan_program;
 use millstream_types::{Error, Result, Schema, TimeDelta, Timestamp, Tuple};
 
-use crate::frame::{
-    write_frame, ErrorCode, Frame, FrameReader, ReadOutcome, Role, PROTOCOL_VERSION,
-};
+use crate::frame::{write_frame, ErrorCode, Frame, PROTOCOL_VERSION};
+
+mod ingest;
 
 /// Step budget per quiescence run; effectively unbounded for test-sized
 /// streams while still catching a livelocked graph.
@@ -86,6 +103,12 @@ pub struct ServerConfig {
     pub program: String,
     /// Worker threads for the parallel executor.
     pub workers: usize,
+    /// Nonblocking poller threads multiplexing all producer sockets.
+    pub io_threads: usize,
+    /// Ingest shard queues between the pollers and the engine pump; a
+    /// source's frames always land in the same shard, so per-port FIFO
+    /// order is preserved end to end.
+    pub ingest_shards: usize,
     /// Network silence on a producer connection after which the server
     /// synthesizes a source heartbeat at stream time. `None` disables
     /// synthesis.
@@ -93,8 +116,8 @@ pub struct ServerConfig {
     /// Bounded per-subscriber queue; [`ServerConfig::overflow`] decides
     /// what happens when a subscriber stalls past it.
     pub subscriber_queue: usize,
-    /// Socket read timeout — the cadence at which connections notice
-    /// shutdown and idle deadlines.
+    /// Socket poll cadence — the rate at which the pump notices shutdown
+    /// and idle deadlines, and subscriber writers notice new output.
     pub read_timeout: Duration,
     /// Invariant-checking override; `None` inherits `MILLSTREAM_CHECK`.
     pub check: Option<CheckMode>,
@@ -129,6 +152,8 @@ impl ServerConfig {
             addr: "127.0.0.1:0".into(),
             program: program.into(),
             workers: 2,
+            io_threads: 2,
+            ingest_shards: 4,
             idle_timeout: None,
             subscriber_queue: 1024,
             read_timeout: Duration::from_millis(25),
@@ -144,8 +169,17 @@ impl ServerConfig {
 pub struct ServerStats {
     /// Connections accepted (any role, including failed handshakes).
     pub connections: u64,
+    /// Connections currently open (producers, subscribers, handshakes).
+    pub conns_active: u64,
+    /// Connections accepted over the server's lifetime (same population
+    /// as `connections`; kept distinct so the active/total pair reads as
+    /// a gauge + counter).
+    pub conns_total: u64,
     /// Frames received from producers after handshake.
     pub frames_in: u64,
+    /// Engine critical sections entered by the ingest pump; the batching
+    /// win is `frames_in / ingest_sections` frames per section.
+    pub ingest_sections: u64,
     /// Data tuples ingested into the engine.
     pub tuples_ingested: u64,
     /// Explicit wire heartbeats forwarded to the engine.
@@ -169,6 +203,45 @@ pub struct ServerStats {
     pub sub_shed: u64,
     /// Feedback pacing frames sent to producer connections.
     pub feedback_frames: u64,
+}
+
+/// Lock-free storage behind [`ServerStats`]: every counter the ingest
+/// pump and the pollers touch lives here so [`Server::stats`] never has
+/// to take the engine lock.
+#[derive(Default)]
+struct StatsCell {
+    connections: AtomicU64,
+    conns_active: AtomicU64,
+    conns_total: AtomicU64,
+    frames_in: AtomicU64,
+    ingest_sections: AtomicU64,
+    tuples_ingested: AtomicU64,
+    heartbeats_in: AtomicU64,
+    duplicates_dropped: AtomicU64,
+    rejected_tuples: AtomicU64,
+    synthesized_heartbeats: AtomicU64,
+    feedback_frames: AtomicU64,
+}
+
+impl StatsCell {
+    fn snapshot(&self, broadcast: &Broadcast) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::SeqCst),
+            conns_active: self.conns_active.load(Ordering::SeqCst),
+            conns_total: self.conns_total.load(Ordering::SeqCst),
+            frames_in: self.frames_in.load(Ordering::SeqCst),
+            ingest_sections: self.ingest_sections.load(Ordering::SeqCst),
+            tuples_ingested: self.tuples_ingested.load(Ordering::SeqCst),
+            heartbeats_in: self.heartbeats_in.load(Ordering::SeqCst),
+            duplicates_dropped: self.duplicates_dropped.load(Ordering::SeqCst),
+            rejected_tuples: self.rejected_tuples.load(Ordering::SeqCst),
+            synthesized_heartbeats: self.synthesized_heartbeats.load(Ordering::SeqCst),
+            delivered: broadcast.delivered(),
+            subscriber_overflows: broadcast.overflows(),
+            sub_shed: broadcast.shed_total(),
+            feedback_frames: self.feedback_frames.load(Ordering::SeqCst),
+        }
+    }
 }
 
 /// Per-source accounting in the final [`ServerReport`].
@@ -200,6 +273,10 @@ pub struct ServerReport {
     /// Wire-arrival → sink-delivery latency over all producer
     /// connections.
     pub latency: LatencySummary,
+    /// Times the latency recorder was touched while the engine lock was
+    /// held on the same thread — the recorder lives *outside* the engine
+    /// critical section by design, so this must stay zero.
+    pub latency_lock_violations: u64,
     /// Merged engine counters (includes `dropped_stale_heartbeats`).
     pub exec: ExecStats,
     /// Wire-level sentinel violations observed at socket boundaries.
@@ -214,9 +291,12 @@ pub struct ServerReport {
 
 /// Engine-side view of one planned source.
 struct Port {
-    handle: IngestHandle,
+    source: SourceId,
     stream: String,
     schema: Schema,
+    /// Wire-order sentinel for this source's socket boundary (punctuation
+    /// dominance of late data against synthesized marks).
+    sentinel: OrderSentinel,
     /// Highest data timestamp ingested (micros); wire-level dedup mark.
     data_hw: Option<u64>,
     /// Highest fresh heartbeat asserted (micros), synthesized or wire.
@@ -245,7 +325,6 @@ struct Engine {
     max_ts: u64,
     /// High-water of the engine's virtual clock (micros).
     clock_us: u64,
-    stats: ServerStats,
 }
 
 impl Engine {
@@ -263,6 +342,47 @@ impl Engine {
     }
 }
 
+thread_local! {
+    /// Engine-lock nesting depth on this thread; [`Shared::record_latency`]
+    /// refuses (and counts) any recording attempted while it is nonzero.
+    static ENGINE_LOCK_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Engine-lock guard that tracks per-thread nesting depth, so the latency
+/// recorder discipline ("never under the engine lock") is checkable.
+struct EngineGuard<'a> {
+    guard: MutexGuard<'a, Engine>,
+}
+
+impl Deref for EngineGuard<'_> {
+    type Target = Engine;
+    fn deref(&self) -> &Engine {
+        &self.guard
+    }
+}
+
+impl DerefMut for EngineGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Engine {
+        &mut self.guard
+    }
+}
+
+impl Drop for EngineGuard<'_> {
+    fn drop(&mut self) {
+        ENGINE_LOCK_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+/// One pre-encoded output frame in a subscriber queue. The slab is shared
+/// (`Arc<[u8]>`) across every subscriber: the sink encodes once and each
+/// tail writes the same bytes.
+struct SubItem {
+    bytes: Arc<[u8]>,
+    /// Whether the encoded frame carries a data tuple (sheddable) or a
+    /// punctuation mark (never shed, only coalesced).
+    data: bool,
+}
+
 /// One subscriber's bounded output queue, shared between the delivering
 /// sink (under the broadcast lock) and the subscriber's writer thread.
 struct SubQueue {
@@ -272,7 +392,7 @@ struct SubQueue {
 }
 
 struct SubState {
-    buf: VecDeque<Tuple>,
+    buf: VecDeque<SubItem>,
     /// Cumulative data tuples shed for this subscriber — the figure its
     /// [`Frame::Feedback`] drop notices carry.
     dropped: u64,
@@ -287,13 +407,13 @@ struct SubState {
 }
 
 impl SubQueue {
-    /// Makes room for one more tuple on a full queue without ever losing
-    /// a punctuation mark: the oldest **data** tuple is shed (counted);
+    /// Makes room for one more item on a full queue without ever losing
+    /// a punctuation mark: the oldest **data** item is shed (counted);
     /// if the queue is all punctuation, the oldest mark is coalesced away
     /// (dominated by every newer mark behind it — semantically lossless).
     /// Returns how many data tuples were shed (0 or 1).
     fn make_room(st: &mut SubState) -> u64 {
-        match st.buf.iter().position(Tuple::is_data) {
+        match st.buf.iter().position(|it| it.data) {
             Some(pos) => {
                 st.buf.remove(pos);
                 st.dropped += 1;
@@ -308,7 +428,7 @@ impl SubQueue {
 }
 
 /// Fan-out sink: the planned query delivers here, and every subscriber
-/// gets a bounded copy of the stream.
+/// gets a bounded view of the shared encoded stream.
 #[derive(Clone)]
 struct Broadcast {
     inner: Arc<Mutex<BroadcastState>>,
@@ -406,6 +526,9 @@ impl Broadcast {
     /// overflowed subscriber gets the final mark: its writer drains the
     /// buffer before closing.
     fn finish(&self) {
+        let Some(mark) = encode_output(Tuple::punctuation(Timestamp::MAX)) else {
+            return;
+        };
         let mut st = self.inner.lock().unwrap();
         let mut shed = 0;
         for q in st.subs.iter().flatten() {
@@ -417,7 +540,10 @@ impl Broadcast {
                 if sub.buf.len() >= q.cap {
                     shed += SubQueue::make_room(&mut sub);
                 }
-                sub.buf.push_back(Tuple::punctuation(Timestamp::MAX));
+                sub.buf.push_back(SubItem {
+                    bytes: Arc::clone(&mark),
+                    data: false,
+                });
                 sub.peak = sub.peak.max(sub.buf.len());
             }
             sub.finished = true;
@@ -427,8 +553,26 @@ impl Broadcast {
     }
 }
 
+/// Encodes one output frame into a shared slab, ready to fan out to every
+/// subscriber tail.
+fn encode_output(tuple: Tuple) -> Option<Arc<[u8]>> {
+    match (Frame::Output { tuple }).encode() {
+        Ok(bytes) => Some(bytes.into()),
+        // Unencodable output is an internal invariant failure, not a
+        // subscriber's problem; never panic the sink over it.
+        Err(_) => {
+            debug_assert!(false, "output frame failed to encode");
+            None
+        }
+    }
+}
+
 impl SinkCollector for Broadcast {
     fn deliver(&mut self, tuple: Tuple, _now: Timestamp) {
+        let data = tuple.is_data();
+        let Some(bytes) = encode_output(tuple) else {
+            return;
+        };
         let mut st = self.inner.lock().unwrap();
         st.delivered += 1;
         let mut overflows = 0;
@@ -443,7 +587,7 @@ impl SinkCollector for Broadcast {
                 // draining the prefix, so count what it will never see —
                 // it freezes this ledger (sets `finished`) the moment it
                 // reads the count for its final drop notice.
-                if tuple.is_data() {
+                if data {
                     sub.dropped += 1;
                 }
                 continue;
@@ -454,7 +598,7 @@ impl SinkCollector for Broadcast {
                     OverflowPolicy::Disconnect => {
                         sub.overflowed = true;
                         overflows += 1;
-                        if tuple.is_data() {
+                        if data {
                             sub.dropped += 1;
                         }
                         q.cv.notify_one();
@@ -462,7 +606,10 @@ impl SinkCollector for Broadcast {
                     }
                 }
             }
-            sub.buf.push_back(tuple.clone());
+            sub.buf.push_back(SubItem {
+                bytes: Arc::clone(&bytes),
+                data,
+            });
             sub.peak = sub.peak.max(sub.buf.len());
             q.cv.notify_one();
         }
@@ -474,22 +621,56 @@ impl SinkCollector for Broadcast {
 /// State shared by every server thread.
 struct Shared {
     cfg: ServerConfig,
-    check: CheckMode,
     engine: Mutex<Engine>,
     broadcast: Broadcast,
     sentinel: Arc<SentinelStats>,
     shutdown: AtomicBool,
+    /// Hard stop for the IO threads, set after the final engine drain;
+    /// distinct from `shutdown` (which starts the graceful drain).
+    terminate: AtomicBool,
     /// Producer connections past handshake and not yet drained; shutdown
     /// waits for this to reach zero before the final source close.
     active_producers: AtomicU64,
     started: Instant,
+    stats: StatsCell,
     latency: Mutex<LatencyRecorder>,
+    /// Latency recordings attempted under the engine lock (must stay 0).
+    latency_violations: AtomicU64,
+    shards: ingest::ShardQueues,
+    pool: ingest::IoPool,
+    registry: ingest::ConnRegistry,
 }
 
 impl Shared {
     /// Micros since server start, the wall timeline for idle tracking.
     fn now_us(&self) -> Timestamp {
         Timestamp::from_micros(self.started.elapsed().as_micros() as u64)
+    }
+
+    /// Locks the engine, tracking per-thread nesting depth so latency
+    /// recording can assert it happens outside the critical section.
+    fn lock_engine(&self) -> EngineGuard<'_> {
+        let guard = self.engine.lock().unwrap();
+        ENGINE_LOCK_DEPTH.with(|d| d.set(d.get() + 1));
+        EngineGuard { guard }
+    }
+
+    /// Records `samples` wire→sink latency observations of `elapsed`.
+    /// Must be called with the engine lock released; a call under the
+    /// lock is counted (and trips a debug assert) instead of recorded.
+    fn record_latency(&self, samples: u64, elapsed: TimeDelta) {
+        if ENGINE_LOCK_DEPTH.with(|d| d.get()) > 0 {
+            self.latency_violations.fetch_add(1, Ordering::SeqCst);
+            debug_assert!(false, "latency recorder touched under the engine lock");
+            return;
+        }
+        if samples == 0 {
+            return;
+        }
+        let mut rec = self.latency.lock().unwrap();
+        for _ in 0..samples {
+            rec.record(elapsed);
+        }
     }
 }
 
@@ -498,7 +679,8 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pollers: Vec<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -515,14 +697,20 @@ impl Server {
             exec.monitor_idle(node)?;
         }
         let started = Instant::now();
+        let sentinel = SentinelStats::shared();
         let mut ports = Vec::new();
         let mut by_name = HashMap::new();
         for s in &planned.sources {
             by_name.insert(s.stream.clone(), ports.len());
             ports.push(Port {
-                handle: exec.ingest_handle(s.id),
+                source: s.id,
                 stream: s.stream.clone(),
                 schema: s.schema.clone(),
+                sentinel: OrderSentinel::new(
+                    check,
+                    format!("net:{}", s.stream),
+                    Arc::clone(&sentinel),
+                ),
                 data_hw: None,
                 punct_hw: None,
                 closed: false,
@@ -544,35 +732,51 @@ impl Server {
             monitor: planned.monitor,
             max_ts: 0,
             clock_us: 0,
-            stats: ServerStats::default(),
         };
         let listener = TcpListener::bind(&cfg.addr)
             .map_err(|e| Error::runtime(format!("bind {}: {e}", cfg.addr)))?;
         let addr = listener
             .local_addr()
             .map_err(|e| Error::runtime(format!("local_addr: {e}")))?;
+        let io_threads = cfg.io_threads.max(1);
+        let ingest_shards = cfg.ingest_shards.max(1);
         let shared = Arc::new(Shared {
             cfg,
-            check,
             engine: Mutex::new(engine),
             broadcast,
-            sentinel: SentinelStats::shared(),
+            sentinel,
             shutdown: AtomicBool::new(false),
+            terminate: AtomicBool::new(false),
             active_producers: AtomicU64::new(0),
             started,
+            stats: StatsCell::default(),
             latency: Mutex::new(LatencyRecorder::new()),
+            latency_violations: AtomicU64::new(0),
+            shards: ingest::ShardQueues::new(ingest_shards),
+            pool: ingest::IoPool::new(io_threads),
+            registry: ingest::ConnRegistry::new(),
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
             let shared = Arc::clone(&shared);
-            let conns = Arc::clone(&conns);
-            std::thread::spawn(move || accept_loop(listener, shared, conns))
+            std::thread::spawn(move || ingest::accept_loop(listener, shared))
+        };
+        let mut pollers = Vec::with_capacity(io_threads);
+        for idx in 0..io_threads {
+            let s = Arc::clone(&shared);
+            let h = std::thread::spawn(move || ingest::poller_loop(&s, idx));
+            shared.pool.register_waker(idx, h.thread().clone());
+            pollers.push(h);
+        }
+        let pump = {
+            let s = Arc::clone(&shared);
+            std::thread::spawn(move || ingest::pump_loop(&s))
         };
         Ok(Server {
             shared,
             addr,
             accept: Some(accept),
-            conns,
+            pollers,
+            pump: Some(pump),
         })
     }
 
@@ -581,19 +785,16 @@ impl Server {
         self.addr
     }
 
-    /// A point-in-time copy of the aggregate counters.
+    /// A point-in-time copy of the aggregate counters. Lock-free with
+    /// respect to the engine: safe to call from any thread mid-run.
     pub fn stats(&self) -> ServerStats {
-        let mut stats = self.shared.engine.lock().unwrap().stats.clone();
-        stats.delivered = self.shared.broadcast.delivered();
-        stats.subscriber_overflows = self.shared.broadcast.overflows();
-        stats.sub_shed = self.shared.broadcast.shed_total();
-        stats
+        self.shared.stats.snapshot(&self.shared.broadcast)
     }
 
     /// Graceful shutdown: stop accepting, let producers drain their
-    /// in-flight frames, close every open source so the final ETS
-    /// (`Timestamp::MAX` punctuation) propagates, flush subscribers, and
-    /// report.
+    /// in-flight frames, drain the shard queues, close every open source
+    /// so the final ETS (`Timestamp::MAX` punctuation) propagates, flush
+    /// subscribers, and report.
     pub fn shutdown(mut self) -> Result<ServerReport> {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop.
@@ -601,22 +802,32 @@ impl Server {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        // Producers notice the flag at their next read-timeout tick,
-        // drain whatever is already buffered on the socket, and retire.
+        // Producers notice the flag at their next poll, drain whatever is
+        // already buffered on the socket, get their final acks, and
+        // retire; then the pump drains whatever they queued.
         let deadline = Instant::now() + Duration::from_secs(10);
+        self.shared.pool.wake_all();
         while self.shared.active_producers.load(Ordering::SeqCst) > 0 {
             if Instant::now() > deadline {
                 break;
             }
             std::thread::sleep(Duration::from_millis(2));
         }
+        while self.shared.shards.pending() > 0 {
+            if Instant::now() > deadline {
+                break;
+            }
+            self.shared.shards.notify();
+            std::thread::sleep(Duration::from_millis(2));
+        }
         // Final drain: close still-open sources and run the engine dry.
         let report = {
-            let mut eng = self.shared.engine.lock().unwrap();
+            let mut eng = self.shared.lock_engine();
             let now_us = self.shared.now_us();
             for i in 0..eng.ports.len() {
                 if !eng.ports[i].closed {
-                    eng.ports[i].handle.close()?;
+                    let source = eng.ports[i].source;
+                    eng.exec.close_source(source)?;
                     eng.ports[i].closed = true;
                 }
                 eng.ports[i].idle.finish(now_us);
@@ -649,52 +860,35 @@ impl Server {
                     closed: p.closed,
                     idle: p.idle.summarize(now_us),
                 })
-                .collect();
-            (
-                eng.stats.clone(),
-                ports,
-                snapshot.stats,
-                monitor_idle_fraction,
-            )
+                .collect::<Vec<_>>();
+            (ports, snapshot.stats, monitor_idle_fraction)
         };
         // End every subscriber stream (final punctuation, then EOF) —
         // *before* assembling the report, so the shed/peak totals include
         // anything the final mark had to displace.
         self.shared.broadcast.finish();
-        let handles = std::mem::take(&mut *self.conns.lock().unwrap());
-        for h in handles {
+        // Hard-stop the IO threads and collect them.
+        self.shared.terminate.store(true, Ordering::SeqCst);
+        self.shared.shards.notify();
+        self.shared.pool.wake_all();
+        if let Some(h) = self.pump.take() {
             let _ = h.join();
         }
-        let (mut stats, ports, exec, monitor_idle_fraction) = report;
-        stats.delivered = self.shared.broadcast.delivered();
-        stats.subscriber_overflows = self.shared.broadcast.overflows();
-        stats.sub_shed = self.shared.broadcast.shed_total();
+        for h in self.pollers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.registry.join_all();
+        let (ports, exec, monitor_idle_fraction) = report;
         Ok(ServerReport {
-            stats,
+            stats: self.shared.stats.snapshot(&self.shared.broadcast),
             ports,
             latency: self.shared.latency.lock().unwrap().summarize(),
+            latency_lock_violations: self.shared.latency_violations.load(Ordering::SeqCst),
             exec,
             wire_sentinel_violations: self.shared.sentinel.total(),
             sub_peak_queue: self.shared.broadcast.peak(),
             monitor_idle_fraction,
         })
-    }
-}
-
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        shared.engine.lock().unwrap().stats.connections += 1;
-        let shared = Arc::clone(&shared);
-        let h = std::thread::spawn(move || {
-            // A connection failing is that connection's problem, not the
-            // server's: errors were already reported to the peer.
-            let _ = handle_conn(&shared, stream);
-        });
-        conns.lock().unwrap().push(h);
     }
 }
 
@@ -707,274 +901,6 @@ fn send_error(stream: &mut TcpStream, code: ErrorCode, message: impl Into<String
             message: message.into(),
         },
     );
-}
-
-fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
-    stream
-        .set_read_timeout(Some(shared.cfg.read_timeout))
-        .map_err(|e| Error::runtime(format!("set_read_timeout: {e}")))?;
-    stream
-        .set_nodelay(true)
-        .map_err(|e| Error::runtime(format!("set_nodelay: {e}")))?;
-    let mut reader = FrameReader::new();
-    // Handshake.
-    let hello = {
-        let deadline = Instant::now() + HANDSHAKE_DEADLINE;
-        loop {
-            if shared.shutdown.load(Ordering::SeqCst) || Instant::now() > deadline {
-                let _ = write_frame(&mut stream, &Frame::Bye);
-                return Ok(());
-            }
-            match reader.poll(&mut stream) {
-                Ok(ReadOutcome::Frame(f)) => break f,
-                Ok(ReadOutcome::Timeout) => continue,
-                Ok(ReadOutcome::Eof) => return Ok(()),
-                Err(e) => {
-                    send_error(&mut stream, ErrorCode::Protocol, e.to_string());
-                    return Err(e);
-                }
-            }
-        }
-    };
-    let Frame::Hello {
-        version,
-        role,
-        stream: stream_name,
-        schema,
-        resume_hint: _,
-    } = hello
-    else {
-        send_error(
-            &mut stream,
-            ErrorCode::Protocol,
-            "expected HELLO as the first frame",
-        );
-        return Ok(());
-    };
-    if version != PROTOCOL_VERSION {
-        send_error(
-            &mut stream,
-            ErrorCode::Unsupported,
-            format!("protocol version {version} unsupported; server speaks {PROTOCOL_VERSION}"),
-        );
-        return Ok(());
-    }
-    match role {
-        Role::Producer => serve_producer(shared, stream, reader, stream_name, schema),
-        Role::Subscriber => serve_subscriber(shared, stream),
-    }
-}
-
-fn serve_producer(
-    shared: &Arc<Shared>,
-    mut stream: TcpStream,
-    mut reader: FrameReader,
-    stream_name: String,
-    claimed_schema: Option<Schema>,
-) -> Result<()> {
-    // Negotiate: resolve the source and check the schema.
-    let port_idx = {
-        let mut eng = shared.engine.lock().unwrap();
-        let Some(&idx) = eng.by_name.get(&stream_name) else {
-            drop(eng);
-            send_error(
-                &mut stream,
-                ErrorCode::Engine,
-                format!("unknown stream `{stream_name}`"),
-            );
-            return Ok(());
-        };
-        if let Some(claimed) = &claimed_schema {
-            if *claimed != eng.ports[idx].schema {
-                let server_schema = eng.ports[idx].schema.clone();
-                drop(eng);
-                send_error(
-                    &mut stream,
-                    ErrorCode::Unsupported,
-                    format!(
-                        "schema mismatch on `{stream_name}`: client {claimed}, server {server_schema}"
-                    ),
-                );
-                return Ok(());
-            }
-        }
-        let now_us = shared.now_us();
-        let port = &mut eng.ports[idx];
-        port.producers += 1;
-        if port.last_arrival.is_none() {
-            // The silence clock starts when a producer first attaches.
-            port.last_arrival = Some(Instant::now());
-        }
-        // A (re)connecting producer is activity: the source is no longer
-        // network-starved.
-        port.idle.set_idle(now_us, false);
-        port.is_idle = false;
-        write_frame(
-            &mut stream,
-            &Frame::HelloAck {
-                version: PROTOCOL_VERSION,
-                schema: port.schema.clone(),
-                resume_ts: port.data_hw.unwrap_or(0),
-            },
-        )?;
-        idx
-    };
-    shared.active_producers.fetch_add(1, Ordering::SeqCst);
-    let sentinel = OrderSentinel::new(
-        shared.check,
-        format!("net:{stream_name}"),
-        Arc::clone(&shared.sentinel),
-    );
-    let mut latency = LatencyRecorder::new();
-    let res = producer_loop(
-        shared,
-        &mut stream,
-        &mut reader,
-        port_idx,
-        &sentinel,
-        &mut latency,
-    );
-    {
-        let now_us = shared.now_us();
-        let mut eng = shared.engine.lock().unwrap();
-        let port = &mut eng.ports[port_idx];
-        port.producers -= 1;
-        if port.producers == 0 && !port.is_idle && !port.closed {
-            // No producer attached: the source is network-starved from
-            // this instant (a reconnect clears it).
-            port.idle.set_idle(now_us, true);
-            port.is_idle = true;
-        }
-    }
-    shared.latency.lock().unwrap().merge(&latency);
-    shared.active_producers.fetch_sub(1, Ordering::SeqCst);
-    res
-}
-
-fn producer_loop(
-    shared: &Arc<Shared>,
-    stream: &mut TcpStream,
-    reader: &mut FrameReader,
-    port_idx: usize,
-    sentinel: &OrderSentinel,
-    latency: &mut LatencyRecorder,
-) -> Result<()> {
-    let mut last_seq: Option<u64> = None;
-    let mut draining = false;
-    // Pacing state: the last pressure level announced to this producer.
-    // Feedback frames go out only on level *changes*, so a steady state
-    // costs no wire traffic.
-    let mut sent_level = PressureLevel::Normal;
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // Drain mode: keep consuming frames already in flight, but
-            // exit at the first quiet poll.
-            draining = true;
-        }
-        let frame = match reader.poll(stream) {
-            Ok(ReadOutcome::Frame(f)) => f,
-            Ok(ReadOutcome::Eof) => return Ok(()),
-            Ok(ReadOutcome::Timeout) => {
-                if draining {
-                    let _ = write_frame(stream, &Frame::Bye);
-                    return Ok(());
-                }
-                maybe_synthesize_heartbeat(shared, port_idx)?;
-                continue;
-            }
-            Err(e) => {
-                send_error(stream, ErrorCode::Protocol, e.to_string());
-                return Err(e);
-            }
-        };
-        let arrival = Instant::now();
-        let seq = match &frame {
-            Frame::Data { seq, .. } | Frame::Heartbeat { seq, .. } | Frame::Close { seq } => *seq,
-            Frame::Bye => return Ok(()),
-            other => {
-                send_error(
-                    stream,
-                    ErrorCode::Protocol,
-                    format!("unexpected frame {other:?} from a producer"),
-                );
-                return Ok(());
-            }
-        };
-        // Frame-order validation at the socket boundary: within one
-        // connection the sequence must strictly increase.
-        if last_seq.is_some_and(|ls| seq <= ls) {
-            send_error(
-                stream,
-                ErrorCode::Protocol,
-                format!(
-                    "frame order violation: seq {seq} after {} on the same connection",
-                    last_seq.unwrap_or(0)
-                ),
-            );
-            return Ok(());
-        }
-        last_seq = Some(seq);
-        let (ack, feedback) = {
-            let now_us = shared.now_us();
-            let mut eng = shared.engine.lock().unwrap();
-            eng.stats.frames_in += 1;
-            {
-                let port = &mut eng.ports[port_idx];
-                port.last_arrival = Some(arrival);
-                if port.is_idle {
-                    port.idle.set_idle(now_us, false);
-                    port.is_idle = false;
-                }
-            }
-            let delivered_before = shared.broadcast.delivered();
-            match apply_frame(&mut eng, port_idx, frame, sentinel) {
-                Ok(()) => {}
-                Err(reject) => {
-                    drop(eng);
-                    send_error(stream, reject.code, reject.error.to_string());
-                    return if reject.fatal {
-                        Err(reject.error)
-                    } else {
-                        Ok(())
-                    };
-                }
-            }
-            let delivered_after = shared.broadcast.delivered();
-            let elapsed = TimeDelta::from_micros(arrival.elapsed().as_micros() as u64);
-            for _ in delivered_before..delivered_after {
-                latency.record(elapsed);
-            }
-            // Translate engine + subscriber queue pressure into a pacing
-            // frame when the level changed since the last announcement.
-            let feedback = if shared.cfg.feedback.is_some() {
-                let level = eng.exec.max_pressure().max(shared.broadcast.pressure());
-                if level != sent_level {
-                    sent_level = level;
-                    eng.stats.feedback_frames += 1;
-                    Some(Frame::Feedback {
-                        level: level.as_u8(),
-                        window: pacing_window(level),
-                        dropped: 0,
-                    })
-                } else {
-                    None
-                }
-            } else {
-                None
-            };
-            let ack = Frame::Ack {
-                seq,
-                high_water: eng.ports[port_idx].data_hw.unwrap_or(0),
-            };
-            (ack, feedback)
-        };
-        // Feedback before the ack: the producer learns the new window
-        // before its pump refills the pipeline.
-        if let Some(fb) = feedback {
-            write_frame(stream, &fb)?;
-        }
-        write_frame(stream, &ack)?;
-    }
 }
 
 /// The send window (max unacked frames) requested of a producer at each
@@ -993,24 +919,27 @@ fn pacing_window(level: PressureLevel) -> u64 {
 struct Reject {
     code: ErrorCode,
     error: Error,
-    fatal: bool,
 }
 
 fn reject(code: ErrorCode, error: Error) -> Reject {
-    Reject {
-        code,
-        error,
-        fatal: false,
-    }
+    Reject { code, error }
 }
 
-/// Applies one producer frame under the engine lock.
-fn apply_frame(
+/// Applies one producer frame under the engine lock, **without** running
+/// the graph: the pump batches `advance_clock` + `run` once per drained
+/// shard batch. `batch_max` accumulates the clock target; `need_run` is
+/// set when the engine absorbed anything worth scheduling. Returns `true`
+/// iff a **data tuple entered the graph** (not a duplicate, a dominance
+/// reject, a heartbeat or a close) — the pump uses this to attribute
+/// wire-arrival instants to eventual sink deliveries.
+fn apply_item(
     eng: &mut Engine,
+    stats: &StatsCell,
     port_idx: usize,
     frame: Frame,
-    sentinel: &OrderSentinel,
-) -> std::result::Result<(), Reject> {
+    batch_max: &mut u64,
+    need_run: &mut bool,
+) -> std::result::Result<bool, Reject> {
     match frame {
         Frame::Data { tuple, .. } => {
             if !tuple.is_data() {
@@ -1034,8 +963,8 @@ fn apply_frame(
                 // Retransmitted duplicate (producer timestamps are
                 // strictly increasing): ack without ingesting.
                 eng.ports[port_idx].duplicates += 1;
-                eng.stats.duplicates_dropped += 1;
-                return Ok(());
+                stats.duplicates_dropped.fetch_add(1, Ordering::SeqCst);
+                return Ok(false);
             }
             if let Some(phw) = eng.ports[port_idx].punct_hw {
                 if ts < phw {
@@ -1044,38 +973,36 @@ fn apply_frame(
                     // (possibly synthesized while the producer was
                     // silent). Count + drop; fatal under strict.
                     let port = &mut eng.ports[port_idx];
-                    match sentinel.check_punct_dominance(
+                    match port.sentinel.check_punct_dominance(
                         &format!("wire:{}", port.stream),
                         Timestamp::from_micros(ts),
                         Timestamp::from_micros(phw),
                     ) {
                         Ok(()) => {
                             port.rejected += 1;
-                            eng.stats.rejected_tuples += 1;
-                            return Ok(());
+                            stats.rejected_tuples.fetch_add(1, Ordering::SeqCst);
+                            return Ok(false);
                         }
                         Err(e) => {
                             return Err(Reject {
                                 code: ErrorCode::Invariant,
                                 error: e,
-                                fatal: true,
                             });
                         }
                     }
                 }
             }
-            eng.advance_clock(ts)
+            let source = eng.ports[port_idx].source;
+            eng.exec
+                .ingest(source, tuple)
                 .map_err(|e| reject(ErrorCode::Engine, e))?;
-            eng.ports[port_idx]
-                .handle
-                .ingest(tuple)
-                .map_err(|e| reject(ErrorCode::Engine, e))?;
-            eng.run().map_err(|e| reject(ErrorCode::Engine, e))?;
             eng.ports[port_idx].data_hw = Some(ts);
             eng.ports[port_idx].ingested += 1;
             eng.max_ts = eng.max_ts.max(ts);
-            eng.stats.tuples_ingested += 1;
-            Ok(())
+            stats.tuples_ingested.fetch_add(1, Ordering::SeqCst);
+            *batch_max = (*batch_max).max(ts);
+            *need_run = true;
+            Ok(true)
         }
         Frame::Heartbeat { ts, .. } => {
             if eng.ports[port_idx].closed {
@@ -1085,88 +1012,42 @@ fn apply_frame(
                 ));
             }
             let us = ts.as_micros();
-            eng.advance_clock(us)
+            let source = eng.ports[port_idx].source;
+            eng.exec
+                .ingest_heartbeat(source, ts)
                 .map_err(|e| reject(ErrorCode::Engine, e))?;
-            eng.ports[port_idx]
-                .handle
-                .heartbeat(ts)
-                .map_err(|e| reject(ErrorCode::Engine, e))?;
-            eng.run().map_err(|e| reject(ErrorCode::Engine, e))?;
             let port = &mut eng.ports[port_idx];
             let stale =
                 port.data_hw.is_some_and(|hw| us < hw) || port.punct_hw.is_some_and(|p| us <= p);
             if !stale {
                 port.punct_hw = Some(us);
             }
-            eng.stats.heartbeats_in += 1;
-            Ok(())
+            stats.heartbeats_in.fetch_add(1, Ordering::SeqCst);
+            *batch_max = (*batch_max).max(us);
+            *need_run = true;
+            Ok(false)
         }
         Frame::Close { .. } => {
             if !eng.ports[port_idx].closed {
-                eng.ports[port_idx]
-                    .handle
-                    .close()
+                let source = eng.ports[port_idx].source;
+                eng.exec
+                    .close_source(source)
                     .map_err(|e| reject(ErrorCode::Engine, e))?;
-                eng.run().map_err(|e| reject(ErrorCode::Engine, e))?;
                 eng.ports[port_idx].closed = true;
+                *need_run = true;
             }
-            Ok(())
+            Ok(false)
         }
-        _ => unreachable!("producer_loop forwards only seq-bearing frames"),
+        _ => unreachable!("pollers forward only seq-bearing frames"),
     }
-}
-
-/// On a quiet poll: if the producer has been silent past the idle
-/// timeout, mark the source network-starved and synthesize a heartbeat at
-/// server stream time — the on-demand ETS that unblocks IWP operators
-/// starved by this connection's silence.
-fn maybe_synthesize_heartbeat(shared: &Arc<Shared>, port_idx: usize) -> Result<()> {
-    let Some(idle_timeout) = shared.cfg.idle_timeout else {
-        return Ok(());
-    };
-    let now_us = shared.now_us();
-    let mut eng = shared.engine.lock().unwrap();
-    let port = &eng.ports[port_idx];
-    if port.closed {
-        return Ok(());
-    }
-    let silent_for = port
-        .last_arrival
-        .map(|t| t.elapsed())
-        .unwrap_or(Duration::ZERO);
-    if silent_for < idle_timeout {
-        return Ok(());
-    }
-    if !eng.ports[port_idx].is_idle {
-        eng.ports[port_idx].idle.set_idle(now_us, true);
-        eng.ports[port_idx].is_idle = true;
-    }
-    // Synthesize at stream time, but only if that actually asserts
-    // something new for this source.
-    let target = eng.max_ts;
-    let port = &eng.ports[port_idx];
-    let fresh = target > 0
-        && port.data_hw.is_none_or(|hw| target >= hw)
-        && port.punct_hw.is_none_or(|p| target > p);
-    if !fresh {
-        return Ok(());
-    }
-    eng.advance_clock(target)?;
-    eng.ports[port_idx]
-        .handle
-        .heartbeat(Timestamp::from_micros(target))?;
-    eng.run()?;
-    eng.ports[port_idx].punct_hw = Some(target);
-    eng.ports[port_idx].synthesized += 1;
-    eng.stats.synthesized_heartbeats += 1;
-    Ok(())
 }
 
 /// What one wait on a subscriber queue produced.
 enum SubStep {
-    /// A tuple to write, plus the cumulative drop count at pop time and
-    /// the queue's pressure level (for drop-notice feedback frames).
-    Tuple(Tuple, u64, PressureLevel),
+    /// An encoded frame to write, plus the cumulative drop count at pop
+    /// time and the queue's pressure level (for drop-notice feedback
+    /// frames).
+    Item(SubItem, u64, PressureLevel),
     /// Nothing arrived within the poll timeout.
     Quiet,
     /// Stream over: `overflowed` tells graceful end from a
@@ -1175,7 +1056,7 @@ enum SubStep {
 }
 
 fn serve_subscriber(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
-    let output_schema = shared.engine.lock().unwrap().output_schema.clone();
+    let output_schema = shared.lock_engine().output_schema.clone();
     let (slot, q) = shared.broadcast.subscribe(shared.cfg.subscriber_queue);
     write_frame(
         &mut stream,
@@ -1193,9 +1074,9 @@ fn serve_subscriber(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
         let step = {
             let mut sub = q.state.lock().unwrap();
             loop {
-                if let Some(t) = sub.buf.pop_front() {
+                if let Some(item) = sub.buf.pop_front() {
                     let level = shared.broadcast.marks.classify(sub.buf.len());
-                    break SubStep::Tuple(t, sub.dropped, level);
+                    break SubStep::Item(item, sub.dropped, level);
                 }
                 if sub.overflowed || sub.finished {
                     // Freeze the drop ledger at the moment the verdict is
@@ -1222,7 +1103,7 @@ fn serve_subscriber(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
         };
         match step {
             SubStep::Quiet => continue,
-            SubStep::Tuple(tuple, dropped, level) => {
+            SubStep::Item(item, dropped, level) => {
                 if dropped > announced {
                     announced = dropped;
                     if let Err(e) = write_frame(
@@ -1236,7 +1117,13 @@ fn serve_subscriber(shared: &Arc<Shared>, mut stream: TcpStream) -> Result<()> {
                         break Err(e);
                     }
                 }
-                if let Err(e) = write_frame(&mut stream, &Frame::Output { tuple }) {
+                // The pre-encoded shared slab: identical bytes to a
+                // per-subscriber `write_frame(Output)` encode.
+                if let Err(e) = stream
+                    .write_all(&item.bytes)
+                    .and_then(|()| stream.flush())
+                    .map_err(|e| Error::runtime(format!("write output frame: {e}")))
+                {
                     // Subscriber went away; not a server error.
                     break Err(e);
                 }

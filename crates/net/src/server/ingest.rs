@@ -1,0 +1,997 @@
+//! Nonblocking ingest front-end: accept loop, poller threads, per-shard
+//! ingest queues, and the engine pump.
+//!
+//! ## Division of labor
+//!
+//! - **Pollers** ([`poller_loop`]) own the sockets. Each poller steps its
+//!   connections in a loop: flush the outbox, advance the handshake, and
+//!   (for producers) run the restartable [`FrameReader`] until the socket
+//!   would block — partial frames survive in the reader between steps.
+//!   Decoded frames are validated for per-connection seq order at the
+//!   boundary, then pushed to the shard queue of the frame's port.
+//! - **Shard queues** ([`ShardQueues`]) decouple socket readiness from the
+//!   engine. A port's frames always land in `port_idx % shards`, so the
+//!   per-port FIFO contract survives the split. Queues are bounded:
+//!   pollers simply stop reading a connection whose shard is full, which
+//!   turns into TCP backpressure on the producer.
+//! - **The pump** ([`pump_loop`]) drains batches and enters the engine
+//!   once per batch: every frame is applied (ingest / heartbeat / close —
+//!   validation identical to the old per-frame path), then one
+//!   `advance_clock` to the batch's max timestamp and one
+//!   run-to-quiescence. Outcomes are routed back per connection: one
+//!   cumulative [`Frame::Ack`] (or an attributed [`Frame::Error`]) per
+//!   connection per section, pushed to the connection's outbox and
+//!   flushed by its poller.
+//!
+//! Idle-timeout heartbeat synthesis also lives on the pump: one sweep per
+//! poll tick walks each shard's ports and synthesizes marks for every
+//! network-starved source in a single engine section, instead of arming a
+//! timer per connection.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{JoinHandle, Thread};
+use std::time::{Duration, Instant};
+
+use millstream_buffer::PressureLevel;
+use millstream_types::{Result, Schema, TimeDelta, Timestamp};
+
+use crate::frame::{ErrorCode, Frame, FrameReader, ReadOutcome, Role, PROTOCOL_VERSION};
+
+use super::{pacing_window, Shared, HANDSHAKE_DEADLINE};
+
+/// Frames a poller reads from one connection per step before yielding to
+/// the next connection (fairness under flood).
+const FRAMES_PER_STEP: usize = 64;
+
+/// Bound on one shard queue; a full shard stops reads from its
+/// connections (TCP backpressure) rather than queueing unbounded input.
+const SHARD_CAP: usize = 8192;
+
+/// Items the pump drains into one engine critical section.
+const PUMP_BATCH: usize = 1024;
+
+/// Poller park bounds: a poller that made progress re-polls immediately;
+/// an idle one backs off exponentially between these bounds.
+const PARK_MIN: Duration = Duration::from_micros(500);
+const PARK_MAX: Duration = Duration::from_millis(10);
+
+/// The cross-thread half of one connection: the pump pushes outcome
+/// frames here, the owning poller flushes them to the socket.
+pub(super) struct ConnShared {
+    outbox: Mutex<Outbox>,
+    /// Pump → poller: a terminal error frame is queued; flush, then drop
+    /// the connection. Also read by the pump to skip queued items from a
+    /// connection that already failed.
+    dead: std::sync::atomic::AtomicBool,
+    /// Frames decoded and queued to a shard but not yet resolved by the
+    /// pump (acked or errored).
+    inflight: AtomicU64,
+    /// Last pressure level announced to this producer
+    /// ([`PressureLevel::as_u8`]); pacing frames go out on change only.
+    sent_level: AtomicU8,
+    /// Index of the poller that owns the socket (for pump wakeups).
+    poller: usize,
+}
+
+#[derive(Default)]
+struct Outbox {
+    buf: Vec<u8>,
+    sent: usize,
+}
+
+/// What one outbox flush accomplished.
+struct FlushOutcome {
+    /// The outbox is fully drained.
+    empty: bool,
+    /// At least one byte moved to the socket.
+    wrote: bool,
+}
+
+impl ConnShared {
+    fn new(poller: usize) -> Arc<ConnShared> {
+        Arc::new(ConnShared {
+            outbox: Mutex::new(Outbox::default()),
+            dead: std::sync::atomic::AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            sent_level: AtomicU8::new(PressureLevel::Normal.as_u8()),
+            poller,
+        })
+    }
+
+    /// Queues one frame for the poller to write. Encoding failures mark
+    /// the connection dead (nothing sensible can be written after them).
+    fn push_frame(&self, frame: &Frame) {
+        match frame.encode() {
+            Ok(bytes) => self.outbox.lock().unwrap().buf.extend_from_slice(&bytes),
+            Err(_) => self.dead.store(true, Ordering::SeqCst),
+        }
+    }
+
+    /// Writes as much buffered output as the socket accepts right now.
+    fn flush(&self, stream: &mut TcpStream) -> std::io::Result<FlushOutcome> {
+        use std::io::Write;
+        let mut o = self.outbox.lock().unwrap();
+        let mut wrote = false;
+        while o.sent < o.buf.len() {
+            let pending = &o.buf[o.sent..];
+            match stream.write(pending) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket closed",
+                    ))
+                }
+                Ok(n) => {
+                    o.sent += n;
+                    wrote = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let empty = o.sent == o.buf.len();
+        if empty {
+            o.buf.clear();
+            o.sent = 0;
+        }
+        Ok(FlushOutcome { empty, wrote })
+    }
+}
+
+/// Connection lifecycle on a poller.
+enum Phase {
+    Handshake { deadline: Instant },
+    Producer { port_idx: usize },
+}
+
+/// One poller-owned connection.
+pub(super) struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    shared: Arc<ConnShared>,
+    phase: Phase,
+    last_seq: Option<u64>,
+    /// Terminal frames queued: retire once the outbox is flushed and the
+    /// pump has resolved every queued item.
+    closing: bool,
+    /// Shard of this connection's port (valid once `Phase::Producer`).
+    shard: usize,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, poller: usize) -> Conn {
+        Conn {
+            stream,
+            reader: FrameReader::new(),
+            shared: ConnShared::new(poller),
+            phase: Phase::Handshake {
+                deadline: Instant::now() + HANDSHAKE_DEADLINE,
+            },
+            last_seq: None,
+            closing: false,
+            shard: 0,
+        }
+    }
+}
+
+/// One decoded producer frame awaiting its engine section.
+pub(super) struct IngestItem {
+    conn: Arc<ConnShared>,
+    port_idx: usize,
+    frame: Frame,
+    seq: u64,
+    arrival: Instant,
+}
+
+/// Bounded per-shard queues between the pollers and the pump, plus the
+/// monotonic enqueue/process counters shutdown uses as a drain barrier.
+pub(super) struct ShardQueues {
+    qs: Vec<Mutex<VecDeque<IngestItem>>>,
+    queued: AtomicU64,
+    processed: AtomicU64,
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ShardQueues {
+    pub(super) fn new(shards: usize) -> ShardQueues {
+        ShardQueues {
+            qs: (0..shards.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            queued: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.qs.len()
+    }
+
+    fn has_room(&self, shard: usize) -> bool {
+        self.qs[shard].lock().unwrap().len() < SHARD_CAP
+    }
+
+    fn push(&self, shard: usize, item: IngestItem) {
+        self.qs[shard].lock().unwrap().push_back(item);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Wakes the pump. The gate lock pairs with [`ShardQueues::wait`]'s
+    /// pending check so a push between check and sleep cannot be missed.
+    pub(super) fn notify(&self) {
+        let _g = self.gate.lock().unwrap();
+        self.cv.notify_one();
+    }
+
+    fn wait(&self, timeout: Duration) {
+        let g = self.gate.lock().unwrap();
+        if self.pending() == 0 {
+            let _ = self.cv.wait_timeout(g, timeout);
+        }
+    }
+
+    /// Items enqueued but not yet resolved by the pump.
+    pub(super) fn pending(&self) -> u64 {
+        self.queued
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.processed.load(Ordering::SeqCst))
+    }
+
+    /// Pops up to `cap` items, visiting shards round-robin from `rotate`.
+    /// Each shard drains in FIFO order, and a port always maps to the
+    /// same shard, so per-port order is preserved.
+    ///
+    /// The first sweep takes an even quota from every shard so one deep
+    /// queue cannot monopolize a section — ports in the other shards
+    /// would get no frames processed, pinning the whole graph's frontier
+    /// (a union releases nothing until *every* input progresses). The
+    /// second sweep tops up spare capacity in rotation order.
+    fn drain(&self, cap: usize, rotate: usize) -> Vec<IngestItem> {
+        let n = self.qs.len();
+        let mut out = Vec::new();
+        let quota = cap.div_ceil(n);
+        for off in 0..n {
+            let mut q = self.qs[(rotate + off) % n].lock().unwrap();
+            let take = quota.min(cap - out.len());
+            for _ in 0..take {
+                match q.pop_front() {
+                    Some(item) => out.push(item),
+                    None => break,
+                }
+            }
+        }
+        if out.len() < cap {
+            for off in 0..n {
+                let mut q = self.qs[(rotate + off) % n].lock().unwrap();
+                while out.len() < cap {
+                    match q.pop_front() {
+                        Some(item) => out.push(item),
+                        None => break,
+                    }
+                }
+                if out.len() >= cap {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn mark_processed(&self, n: u64) {
+        self.processed.fetch_add(n, Ordering::SeqCst);
+    }
+}
+
+/// The poller pool: per-poller injection queues for fresh connections and
+/// thread handles for wakeups.
+pub(super) struct IoPool {
+    injectors: Vec<Mutex<Vec<Conn>>>,
+    wakers: Mutex<Vec<Option<Thread>>>,
+    next: AtomicUsize,
+}
+
+impl IoPool {
+    pub(super) fn new(threads: usize) -> IoPool {
+        let threads = threads.max(1);
+        IoPool {
+            injectors: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
+            wakers: Mutex::new(vec![None; threads]),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.injectors.len()
+    }
+
+    pub(super) fn register_waker(&self, idx: usize, thread: Thread) {
+        self.wakers.lock().unwrap()[idx] = Some(thread);
+    }
+
+    fn next_index(&self) -> usize {
+        self.next.fetch_add(1, Ordering::SeqCst) % self.injectors.len()
+    }
+
+    fn assign(&self, conn: Conn) {
+        let idx = conn.shared.poller;
+        self.injectors[idx].lock().unwrap().push(conn);
+        self.wake(idx);
+    }
+
+    fn drain(&self, idx: usize) -> Vec<Conn> {
+        std::mem::take(&mut *self.injectors[idx].lock().unwrap())
+    }
+
+    fn wake(&self, idx: usize) {
+        if let Some(t) = self.wakers.lock().unwrap().get(idx).and_then(Clone::clone) {
+            t.unpark();
+        }
+    }
+
+    pub(super) fn wake_all(&self) {
+        for t in self.wakers.lock().unwrap().iter().flatten() {
+            t.unpark();
+        }
+    }
+}
+
+/// Joinable side-thread registry (subscriber writers). Finished handles
+/// are reaped opportunistically on every adopt — the old accept loop's
+/// `Vec<JoinHandle>` grew without bound until shutdown.
+pub(super) struct ConnRegistry {
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ConnRegistry {
+    pub(super) fn new() -> ConnRegistry {
+        ConnRegistry {
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn reap(&self) {
+        let mut handles = self.handles.lock().unwrap();
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].is_finished() {
+                let h = handles.swap_remove(i);
+                let _ = h.join();
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn adopt(&self, handle: JoinHandle<()>) {
+        self.reap();
+        self.handles.lock().unwrap().push(handle);
+    }
+
+    pub(super) fn join_all(&self) {
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+pub(super) fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.stats.connections.fetch_add(1, Ordering::SeqCst);
+        shared.stats.conns_total.fetch_add(1, Ordering::SeqCst);
+        // Opportunistic reap: finished subscriber writers are collected
+        // here instead of accumulating until shutdown.
+        shared.registry.reap();
+        if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        shared.stats.conns_active.fetch_add(1, Ordering::SeqCst);
+        let idx = shared.pool.next_index();
+        shared.pool.assign(Conn::new(stream, idx));
+    }
+}
+
+/// What one connection step decided.
+enum Step {
+    Keep,
+    Retire,
+    /// Subscriber handshake completed: hand the socket to a dedicated
+    /// blocking writer thread.
+    Transfer,
+}
+
+pub(super) fn poller_loop(shared: &Arc<Shared>, idx: usize) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut park = PARK_MIN;
+    loop {
+        conns.extend(shared.pool.drain(idx));
+        if shared.terminate.load(Ordering::SeqCst) {
+            for c in conns.drain(..) {
+                retire_conn(shared, &c);
+            }
+            for c in shared.pool.drain(idx) {
+                retire_conn(shared, &c);
+            }
+            return;
+        }
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match step_conn(shared, &mut conns[i], &mut progressed) {
+                Step::Keep => i += 1,
+                Step::Retire => {
+                    let c = conns.swap_remove(i);
+                    retire_conn(shared, &c);
+                    progressed = true;
+                }
+                Step::Transfer => {
+                    let c = conns.swap_remove(i);
+                    spawn_subscriber(shared, c.stream);
+                    progressed = true;
+                }
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) && conns.is_empty() {
+            // No new connections arrive after shutdown (the accept loop
+            // has exited), so an empty poller is done.
+            return;
+        }
+        if progressed {
+            park = PARK_MIN;
+        } else {
+            std::thread::park_timeout(park);
+            park = (park * 2).min(PARK_MAX);
+        }
+    }
+}
+
+/// Bookkeeping when a connection leaves its poller for good.
+fn retire_conn(shared: &Arc<Shared>, c: &Conn) {
+    if let Phase::Producer { port_idx } = c.phase {
+        let now_us = shared.now_us();
+        let mut eng = shared.lock_engine();
+        let port = &mut eng.ports[port_idx];
+        port.producers -= 1;
+        if port.producers == 0 && !port.is_idle && !port.closed {
+            // No producer attached: the source is network-starved from
+            // this instant (a reconnect clears it).
+            port.idle.set_idle(now_us, true);
+            port.is_idle = true;
+        }
+        drop(eng);
+        shared.active_producers.fetch_sub(1, Ordering::SeqCst);
+    }
+    shared.stats.conns_active.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn spawn_subscriber(shared: &Arc<Shared>, stream: TcpStream) {
+    // Subscriber writers are blocking threads: they wait on the queue
+    // condvar and write whole pre-encoded slabs.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::spawn(move || {
+        let _ = super::serve_subscriber(&shared2, stream);
+        shared2.stats.conns_active.fetch_sub(1, Ordering::SeqCst);
+    });
+    shared.registry.adopt(handle);
+}
+
+fn step_conn(shared: &Arc<Shared>, c: &mut Conn, progressed: &mut bool) -> Step {
+    let flushed = match c.shared.flush(&mut c.stream) {
+        Ok(f) => f,
+        // Peer went away mid-write; nothing left to deliver.
+        Err(_) => return Step::Retire,
+    };
+    if flushed.wrote {
+        *progressed = true;
+    }
+    if c.shared.dead.load(Ordering::SeqCst) || c.closing {
+        // Terminal: a Bye/Error is (or will be) queued. Retire once every
+        // queued frame is resolved by the pump and the outbox is drained,
+        // so acks for earlier frames still reach the peer first.
+        let resolved = c.shared.inflight.load(Ordering::SeqCst) == 0;
+        return if resolved && flushed.empty {
+            Step::Retire
+        } else {
+            Step::Keep
+        };
+    }
+    match c.phase {
+        Phase::Handshake { deadline } => step_handshake(shared, c, deadline, progressed),
+        Phase::Producer { port_idx } => step_producer(shared, c, port_idx, progressed),
+    }
+}
+
+fn step_handshake(
+    shared: &Arc<Shared>,
+    c: &mut Conn,
+    deadline: Instant,
+    progressed: &mut bool,
+) -> Step {
+    if shared.shutdown.load(Ordering::SeqCst) || Instant::now() > deadline {
+        c.shared.push_frame(&Frame::Bye);
+        c.closing = true;
+        *progressed = true;
+        return Step::Keep;
+    }
+    let frame = match c.reader.poll(&mut c.stream) {
+        Ok(ReadOutcome::Frame(f)) => f,
+        Ok(ReadOutcome::Timeout) => return Step::Keep,
+        Ok(ReadOutcome::Eof) => return Step::Retire,
+        Err(e) => {
+            c.shared.push_frame(&Frame::Error {
+                code: ErrorCode::Protocol,
+                message: e.to_string(),
+            });
+            c.closing = true;
+            *progressed = true;
+            return Step::Keep;
+        }
+    };
+    *progressed = true;
+    let Frame::Hello {
+        version,
+        role,
+        stream: stream_name,
+        schema,
+        resume_hint: _,
+    } = frame
+    else {
+        c.shared.push_frame(&Frame::Error {
+            code: ErrorCode::Protocol,
+            message: "expected HELLO as the first frame".into(),
+        });
+        c.closing = true;
+        return Step::Keep;
+    };
+    if version != PROTOCOL_VERSION {
+        c.shared.push_frame(&Frame::Error {
+            code: ErrorCode::Unsupported,
+            message: format!(
+                "protocol version {version} unsupported; server speaks {PROTOCOL_VERSION}"
+            ),
+        });
+        c.closing = true;
+        return Step::Keep;
+    }
+    match role {
+        Role::Subscriber => Step::Transfer,
+        Role::Producer => match attach_producer(shared, &stream_name, schema.as_ref()) {
+            Ok((port_idx, hello_ack)) => {
+                c.shared.push_frame(&hello_ack);
+                c.phase = Phase::Producer { port_idx };
+                c.shard = port_idx % shared.shards.shard_count();
+                shared.active_producers.fetch_add(1, Ordering::SeqCst);
+                Step::Keep
+            }
+            Err((code, message)) => {
+                c.shared.push_frame(&Frame::Error { code, message });
+                c.closing = true;
+                Step::Keep
+            }
+        },
+    }
+}
+
+/// Resolves the stream, checks the schema and attaches one producer under
+/// the engine lock; returns the port index and the `HelloAck` to send.
+fn attach_producer(
+    shared: &Arc<Shared>,
+    stream_name: &str,
+    claimed_schema: Option<&Schema>,
+) -> std::result::Result<(usize, Frame), (ErrorCode, String)> {
+    let mut eng = shared.lock_engine();
+    let Some(&idx) = eng.by_name.get(stream_name) else {
+        return Err((ErrorCode::Engine, format!("unknown stream `{stream_name}`")));
+    };
+    if let Some(claimed) = claimed_schema {
+        if *claimed != eng.ports[idx].schema {
+            let server_schema = eng.ports[idx].schema.clone();
+            return Err((
+                ErrorCode::Unsupported,
+                format!(
+                    "schema mismatch on `{stream_name}`: client {claimed}, server {server_schema}"
+                ),
+            ));
+        }
+    }
+    let now_us = shared.now_us();
+    let port = &mut eng.ports[idx];
+    port.producers += 1;
+    if port.last_arrival.is_none() {
+        // The silence clock starts when a producer first attaches.
+        port.last_arrival = Some(Instant::now());
+    }
+    // A (re)connecting producer is activity: the source is no longer
+    // network-starved.
+    port.idle.set_idle(now_us, false);
+    port.is_idle = false;
+    Ok((
+        idx,
+        Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+            schema: port.schema.clone(),
+            resume_ts: port.data_hw.unwrap_or(0),
+        },
+    ))
+}
+
+fn step_producer(
+    shared: &Arc<Shared>,
+    c: &mut Conn,
+    port_idx: usize,
+    progressed: &mut bool,
+) -> Step {
+    let draining = shared.shutdown.load(Ordering::SeqCst);
+    let mut enqueued = false;
+    let mut read = 0;
+    let verdict = loop {
+        if read >= FRAMES_PER_STEP {
+            break Step::Keep;
+        }
+        if !draining && !shared.shards.has_room(c.shard) {
+            // Shard backpressure: stop reading so the producer's TCP
+            // window (not our memory) absorbs the flood.
+            break Step::Keep;
+        }
+        match c.reader.poll(&mut c.stream) {
+            Ok(ReadOutcome::Frame(frame)) => {
+                *progressed = true;
+                read += 1;
+                let seq = match &frame {
+                    Frame::Data { seq, .. }
+                    | Frame::Heartbeat { seq, .. }
+                    | Frame::Close { seq } => *seq,
+                    Frame::Bye => {
+                        c.closing = true;
+                        break Step::Keep;
+                    }
+                    other => {
+                        c.shared.push_frame(&Frame::Error {
+                            code: ErrorCode::Protocol,
+                            message: format!("unexpected frame {other:?} from a producer"),
+                        });
+                        c.closing = true;
+                        break Step::Keep;
+                    }
+                };
+                // Frame-order validation at the socket boundary: within
+                // one connection the sequence must strictly increase.
+                if c.last_seq.is_some_and(|ls| seq <= ls) {
+                    c.shared.push_frame(&Frame::Error {
+                        code: ErrorCode::Protocol,
+                        message: format!(
+                            "frame order violation: seq {seq} after {} on the same connection",
+                            c.last_seq.unwrap_or(0)
+                        ),
+                    });
+                    c.closing = true;
+                    break Step::Keep;
+                }
+                c.last_seq = Some(seq);
+                c.shared.inflight.fetch_add(1, Ordering::SeqCst);
+                shared.shards.push(
+                    c.shard,
+                    IngestItem {
+                        conn: Arc::clone(&c.shared),
+                        port_idx,
+                        frame,
+                        seq,
+                        arrival: Instant::now(),
+                    },
+                );
+                enqueued = true;
+            }
+            Ok(ReadOutcome::Timeout) => {
+                if draining && c.shared.inflight.load(Ordering::SeqCst) == 0 {
+                    // Shutdown drain complete: everything this producer
+                    // sent is acked and nothing is left on the socket.
+                    c.shared.push_frame(&Frame::Bye);
+                    c.closing = true;
+                    *progressed = true;
+                }
+                break Step::Keep;
+            }
+            Ok(ReadOutcome::Eof) => break Step::Retire,
+            Err(e) => {
+                c.shared.push_frame(&Frame::Error {
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                });
+                c.closing = true;
+                break Step::Keep;
+            }
+        }
+    };
+    if enqueued {
+        shared.shards.notify();
+    }
+    verdict
+}
+
+pub(super) fn pump_loop(shared: &Arc<Shared>) {
+    let tick = shared.cfg.read_timeout;
+    let mut rotate = 0usize;
+    let mut last_sweep = Instant::now();
+    // Wire-arrival instants of data tuples that entered the graph but
+    // have not yet been matched to a sink delivery. Sink output is
+    // timestamp-ordered and producers send in timestamp order, so FIFO
+    // attribution pairs each delivery with (a close approximation of)
+    // its own arrival — giving true per-tuple wire→sink latency even
+    // when an operator holds tuples across many sections waiting for
+    // the frontier.
+    let mut awaiting_delivery: VecDeque<Instant> = VecDeque::new();
+    loop {
+        if shared.terminate.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.shards.pending() == 0 {
+            if shared.shutdown.load(Ordering::SeqCst)
+                && shared.active_producers.load(Ordering::SeqCst) == 0
+            {
+                return;
+            }
+            shared.shards.wait(tick);
+        }
+        let batch = shared.shards.drain(PUMP_BATCH, rotate);
+        rotate = rotate.wrapping_add(1);
+        if !batch.is_empty() {
+            process_batch(shared, batch, &mut awaiting_delivery);
+        }
+        if shared.cfg.idle_timeout.is_some() && last_sweep.elapsed() >= tick {
+            last_sweep = Instant::now();
+            let before = shared.broadcast.delivered();
+            // Synthesis failures are engine-level; they surface at the
+            // next producer section, not here.
+            let _ = synthesize_idle_sweep(shared);
+            // A synthesized heartbeat can release held tuples too.
+            record_deliveries(shared, &mut awaiting_delivery, before);
+        }
+    }
+}
+
+/// Matches every delivery since `before` with the oldest unmatched
+/// arrival instant and records one wire→sink latency sample per tuple —
+/// with the engine lock released (the recorder's thread-local depth
+/// check enforces that). If the graph filtered tuples out, leftover
+/// arrivals simply age out unrecorded; deliveries beyond the arrival
+/// ledger (none in practice) are skipped rather than misattributed.
+fn record_deliveries(shared: &Arc<Shared>, awaiting: &mut VecDeque<Instant>, before: u64) {
+    let after = shared.broadcast.delivered();
+    let mut remaining = after.saturating_sub(before);
+    while remaining > 0 {
+        let Some(arrived) = awaiting.pop_front() else {
+            break;
+        };
+        let elapsed = TimeDelta::from_micros(arrived.elapsed().as_micros() as u64);
+        shared.record_latency(1, elapsed);
+        remaining -= 1;
+    }
+}
+
+/// Per-connection outcome of one engine section.
+struct Outcome {
+    conn: Arc<ConnShared>,
+    port_idx: usize,
+    /// Highest seq absorbed this section — acked cumulatively.
+    ack_seq: Option<u64>,
+    /// Port data high-water at section end (the ack's resume mark).
+    high_water: u64,
+    /// Terminal error attributed to this connection.
+    fatal: Option<(ErrorCode, String)>,
+    /// Items of this connection resolved this section.
+    items: u64,
+}
+
+/// Drains one batch through the engine in a single critical section:
+/// apply every item, advance the clock once to the batch max, run to
+/// quiescence once, then (outside the lock) record latency and push one
+/// cumulative ack — or one attributed error — per connection.
+fn process_batch(
+    shared: &Arc<Shared>,
+    batch: Vec<IngestItem>,
+    awaiting_delivery: &mut VecDeque<Instant>,
+) {
+    let total = batch.len() as u64;
+    let delivered_before = shared.broadcast.delivered();
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    let mut index: HashMap<usize, usize> = HashMap::new();
+    let level;
+    {
+        let mut eng = shared.lock_engine();
+        shared.stats.ingest_sections.fetch_add(1, Ordering::SeqCst);
+        let now_us = shared.now_us();
+        let mut batch_max = 0u64;
+        let mut need_run = false;
+        for item in batch {
+            let IngestItem {
+                conn,
+                port_idx,
+                frame,
+                seq,
+                arrival,
+            } = item;
+            let key = Arc::as_ptr(&conn) as usize;
+            let oidx = *index.entry(key).or_insert_with(|| {
+                outcomes.push(Outcome {
+                    conn: Arc::clone(&conn),
+                    port_idx,
+                    ack_seq: None,
+                    high_water: 0,
+                    fatal: None,
+                    items: 0,
+                });
+                outcomes.len() - 1
+            });
+            outcomes[oidx].items += 1;
+            if outcomes[oidx].fatal.is_some() || conn.dead.load(Ordering::SeqCst) {
+                // The connection already failed; frames after the failing
+                // one are dropped, exactly like the old synchronous close.
+                continue;
+            }
+            shared.stats.frames_in.fetch_add(1, Ordering::SeqCst);
+            {
+                let port = &mut eng.ports[port_idx];
+                port.last_arrival = Some(arrival);
+                if port.is_idle {
+                    port.idle.set_idle(now_us, false);
+                    port.is_idle = false;
+                }
+            }
+            match super::apply_item(
+                &mut eng,
+                &shared.stats,
+                port_idx,
+                frame,
+                &mut batch_max,
+                &mut need_run,
+            ) {
+                Ok(entered_graph) => {
+                    outcomes[oidx].ack_seq = Some(seq);
+                    if entered_graph {
+                        awaiting_delivery.push_back(arrival);
+                    }
+                }
+                Err(rej) => {
+                    outcomes[oidx].fatal = Some((rej.code, rej.error.to_string()));
+                    conn.dead.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        if need_run {
+            let res = eng.advance_clock(batch_max).and_then(|()| eng.run());
+            if let Err(e) = res {
+                // A failed section is attributed to every connection that
+                // contributed to it; nothing in it is acked.
+                for out in &mut outcomes {
+                    if out.fatal.is_none() {
+                        out.fatal = Some((ErrorCode::Engine, e.to_string()));
+                        out.conn.dead.store(true, Ordering::SeqCst);
+                    }
+                    out.ack_seq = None;
+                }
+            }
+        }
+        level = if shared.cfg.feedback.is_some() {
+            eng.exec.max_pressure().max(shared.broadcast.pressure())
+        } else {
+            PressureLevel::Normal
+        };
+        for out in &mut outcomes {
+            out.high_water = eng.ports[out.port_idx].data_hw.unwrap_or(0);
+        }
+    }
+    // Wire-arrival → sink-delivery latency, one sample per tuple
+    // delivered by this section's run.
+    record_deliveries(shared, awaiting_delivery, delivered_before);
+    // Feedback before the ack: the producer learns its new window before
+    // its pump refills the pipeline.
+    let mut wake = vec![false; shared.pool.len()];
+    for out in outcomes {
+        if out.fatal.is_none() && shared.cfg.feedback.is_some() {
+            let announced = level.as_u8();
+            if out.conn.sent_level.swap(announced, Ordering::SeqCst) != announced {
+                shared.stats.feedback_frames.fetch_add(1, Ordering::SeqCst);
+                out.conn.push_frame(&Frame::Feedback {
+                    level: announced,
+                    window: pacing_window(level),
+                    dropped: 0,
+                });
+            }
+        }
+        if let Some(seq) = out.ack_seq {
+            out.conn.push_frame(&Frame::Ack {
+                seq,
+                high_water: out.high_water,
+            });
+        }
+        if let Some((code, message)) = out.fatal {
+            out.conn.push_frame(&Frame::Error { code, message });
+        }
+        out.conn.inflight.fetch_sub(out.items, Ordering::SeqCst);
+        wake[out.conn.poller] = true;
+    }
+    shared.shards.mark_processed(total);
+    for (idx, w) in wake.iter().enumerate() {
+        if *w {
+            shared.pool.wake(idx);
+        }
+    }
+}
+
+/// One idle sweep over every shard's ports: any source with an attached
+/// but silent producer past the idle timeout gets a heartbeat synthesized
+/// at server stream time — all starved sources share a single engine
+/// section per sweep (per-shard synthesis, not per-connection timers).
+fn synthesize_idle_sweep(shared: &Arc<Shared>) -> Result<()> {
+    let Some(idle_timeout) = shared.cfg.idle_timeout else {
+        return Ok(());
+    };
+    let now_us = shared.now_us();
+    let shards = shared.shards.shard_count();
+    let mut eng = shared.lock_engine();
+    let mut batch_max = 0u64;
+    let mut synthesized_any = false;
+    for shard in 0..shards {
+        let mut idx = shard;
+        while idx < eng.ports.len() {
+            let port = &eng.ports[idx];
+            if port.closed || port.producers == 0 {
+                idx += shards;
+                continue;
+            }
+            let silent_for = port
+                .last_arrival
+                .map(|t| t.elapsed())
+                .unwrap_or(Duration::ZERO);
+            if silent_for < idle_timeout {
+                idx += shards;
+                continue;
+            }
+            if !eng.ports[idx].is_idle {
+                eng.ports[idx].idle.set_idle(now_us, true);
+                eng.ports[idx].is_idle = true;
+            }
+            // Synthesize at stream time, but only if that actually
+            // asserts something new for this source.
+            let target = eng.max_ts;
+            let port = &eng.ports[idx];
+            let fresh = target > 0
+                && port.data_hw.is_none_or(|hw| target >= hw)
+                && port.punct_hw.is_none_or(|p| target > p);
+            if !fresh {
+                idx += shards;
+                continue;
+            }
+            let source = port.source;
+            eng.exec
+                .ingest_heartbeat(source, Timestamp::from_micros(target))?;
+            eng.ports[idx].punct_hw = Some(target);
+            eng.ports[idx].synthesized += 1;
+            shared
+                .stats
+                .synthesized_heartbeats
+                .fetch_add(1, Ordering::SeqCst);
+            batch_max = batch_max.max(target);
+            synthesized_any = true;
+            idx += shards;
+        }
+    }
+    if synthesized_any {
+        eng.advance_clock(batch_max)?;
+        eng.run()?;
+    }
+    Ok(())
+}

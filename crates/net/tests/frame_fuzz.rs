@@ -251,9 +251,106 @@ fn trickled_bytes_reassemble_identically() {
     assert_eq!(got, frames, "byte-at-a-time reassembly");
 }
 
+/// Serves `segments` one readiness event at a time: reads drain the
+/// current segment, then one `WouldBlock` separates it from the next —
+/// exactly what a poller sees between readiness events on a nonblocking
+/// socket.
+struct Chunked<'a> {
+    segments: std::vec::IntoIter<&'a [u8]>,
+    current: &'a [u8],
+}
+
+impl Read for Chunked<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.current.is_empty() {
+            match self.segments.next() {
+                Some(seg) => {
+                    self.current = seg;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "await readiness"));
+                }
+                None => return Ok(0),
+            }
+        }
+        let n = buf.len().min(self.current.len());
+        buf[..n].copy_from_slice(&self.current[..n]);
+        self.current = &self.current[n..];
+        Ok(n)
+    }
+}
+
+/// Incremental-feed decode: splits `bytes` at the (sorted) `cuts` and
+/// polls one reader across the resulting readiness events, proving
+/// partial decoder state survives every boundary. Returns the decoded
+/// frames up to EOF or the first error, like [`drain_bytes`].
+fn drain_chunked(bytes: &[u8], cuts: &[usize]) -> Vec<Frame> {
+    let mut segments = Vec::with_capacity(cuts.len() + 1);
+    let mut prev = 0;
+    for &cut in cuts {
+        segments.push(&bytes[prev..cut]);
+        prev = cut;
+    }
+    segments.push(&bytes[prev..]);
+    let mut reader = FrameReader::new();
+    let mut chunked = Chunked {
+        segments: segments.into_iter(),
+        current: &[],
+    };
+    let mut frames = Vec::new();
+    loop {
+        match reader.poll(&mut chunked) {
+            Ok(ReadOutcome::Frame(f)) => frames.push(f),
+            Ok(ReadOutcome::Timeout) => continue,
+            Ok(ReadOutcome::Eof) | Err(_) => return frames,
+        }
+    }
+}
+
+/// Exhaustive readiness-boundary coverage: every representative frame
+/// split at every byte (resume after partial header and partial body),
+/// and every adjacent frame pair split at every byte (a frame straddling
+/// two readiness events) must reassemble exactly.
+#[test]
+fn every_two_read_split_reassembles() {
+    let frames = representative_frames();
+    for frame in &frames {
+        let bytes = frame.encode().expect("encode");
+        for cut in 0..=bytes.len() {
+            let got = drain_chunked(&bytes, &[cut]);
+            assert_eq!(got, vec![frame.clone()], "split at {cut}/{}", bytes.len());
+        }
+    }
+    for pair in frames.windows(2) {
+        let mut bytes = Vec::new();
+        for f in pair {
+            write_frame(&mut bytes, f).expect("write");
+        }
+        for cut in 0..=bytes.len() {
+            let got = drain_chunked(&bytes, &[cut]);
+            assert_eq!(got, pair, "straddling split at {cut}/{}", bytes.len());
+        }
+    }
+}
+
+/// Byte-by-byte incremental feed — a readiness event per byte — over the
+/// whole representative stream, with a `WouldBlock` between every pair of
+/// bytes.
+#[test]
+fn byte_by_byte_feed_matches_whole_buffer() {
+    let frames = representative_frames();
+    let mut bytes = Vec::new();
+    for f in &frames {
+        write_frame(&mut bytes, f).expect("write");
+    }
+    let cuts: Vec<usize> = (1..bytes.len()).collect();
+    assert_eq!(drain_chunked(&bytes, &cuts), frames);
+    assert_eq!(drain_chunked(&bytes, &cuts), drain_bytes(&bytes));
+}
+
 /// Seed-driven hostile buffers: garbage, mutated valid frames,
 /// truncations, and forged length headers. The decoder must terminate
-/// with frames-or-error on every one — a panic fails the test.
+/// with frames-or-error on every one — a panic fails the test — and the
+/// incremental-feed decode at seeded readiness boundaries must agree
+/// with the whole-buffer decode byte for byte.
 fn hostile_round(seed: u64) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let templates = representative_frames();
@@ -290,7 +387,16 @@ fn hostile_round(seed: u64) {
                 b
             }
         };
-        let _ = drain_bytes(&buf);
+        let whole = drain_bytes(&buf);
+        let mut cuts: Vec<usize> = (0..rng.gen_range(1usize..8))
+            .map(|_| rng.gen_range(0usize..=buf.len()))
+            .collect();
+        cuts.sort_unstable();
+        assert_eq!(
+            drain_chunked(&buf, &cuts),
+            whole,
+            "chunked decode diverged from whole-buffer decode (seed {seed})"
+        );
     }
 }
 

@@ -309,3 +309,102 @@ fn frame_order_violation_closes_the_connection() {
     }
     server.shutdown().expect("shutdown");
 }
+
+#[test]
+fn connection_counters_track_reaped_connections() {
+    const PROGRAM: &str = "CREATE STREAM s (v INT);\nSELECT v FROM s;";
+    let server = Server::start(ServerConfig::new(PROGRAM)).expect("server");
+    let addr = server.addr();
+
+    // Churn: producer and subscriber connections that come and go.
+    for _ in 0..4 {
+        drop(client(addr, "s"));
+        drop(Subscription::connect(&addr.to_string()).expect("subscribe"));
+    }
+    // A live producer pushes output so any lingering subscriber writer
+    // notices its dead socket and exits.
+    let mut c = client(addr, "s");
+    for i in 1..=5u64 {
+        c.send(data(i * 10)).expect("send");
+    }
+    c.flush().expect("flush");
+
+    // Every churned connection retires — the server reaps them while
+    // running, not at shutdown — leaving only the live producer.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = server.stats();
+        if stats.conns_active == 1 {
+            assert!(stats.conns_total >= 9, "churn counted: {stats:?}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "connections never reaped: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    c.close().expect("close");
+    server.shutdown().expect("shutdown");
+}
+
+/// Satellite regression: wire→sink latency is recorded *outside* the
+/// engine critical section. The engine-lock guard counts any recording
+/// attempted while the lock is held on the same thread; the count must
+/// stay zero (debug builds additionally trip an assert in the server).
+#[test]
+fn latency_recording_happens_outside_the_engine_lock() {
+    const PROGRAM: &str = "CREATE STREAM s (v INT);\nSELECT v FROM s;";
+    let mut cfg = ServerConfig::new(PROGRAM);
+    cfg.check = Some(CheckMode::Strict);
+    let server = Server::start(cfg).expect("server");
+    let addr = server.addr();
+
+    let mut sub = Subscription::connect(&addr.to_string()).expect("subscribe");
+    let mut c = client(addr, "s");
+    for i in 1..=32u64 {
+        c.send(data(i * 10)).expect("send");
+    }
+    c.close().expect("close");
+    let report = server.shutdown().expect("shutdown");
+    let (got, _) = drain(&mut sub);
+    assert_eq!(got.len(), 32);
+    assert!(
+        report.latency.count > 0,
+        "deliveries latency-attributed: {:?}",
+        report.latency
+    );
+    assert_eq!(
+        report.latency_lock_violations, 0,
+        "latency recorder touched under the engine lock"
+    );
+}
+
+/// Frames enter the engine through batched critical sections: the pump's
+/// section counter is exposed and can never exceed the frame count (one
+/// frame per section is the degenerate floor, never the other way round).
+#[test]
+fn ingest_sections_batch_frames() {
+    const PROGRAM: &str = "CREATE STREAM s (v INT);\nSELECT v FROM s;";
+    let mut cfg = ServerConfig::new(PROGRAM);
+    cfg.check = Some(CheckMode::Strict);
+    let server = Server::start(cfg).expect("server");
+    let addr = server.addr();
+
+    let mut sub = Subscription::connect(&addr.to_string()).expect("subscribe");
+    let mut c = client(addr, "s");
+    for i in 1..=64u64 {
+        c.send(data(i * 10)).expect("send");
+    }
+    c.close().expect("close");
+    let report = server.shutdown().expect("shutdown");
+    let (got, _) = drain(&mut sub);
+    assert_eq!(got.len(), 64);
+    assert_eq!(report.stats.tuples_ingested, 64);
+    assert!(report.stats.ingest_sections >= 1, "{:?}", report.stats);
+    assert!(
+        report.stats.ingest_sections <= report.stats.frames_in,
+        "sections can never outnumber frames: {:?}",
+        report.stats
+    );
+}
