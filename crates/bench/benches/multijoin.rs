@@ -29,7 +29,7 @@ use std::time::Instant;
 use millstream_bench::{print_table, quick_mode, write_bench_summary, write_results};
 use millstream_buffer::Buffer;
 use millstream_metrics::Json;
-use millstream_ops::{MultiWindowJoin, OpContext, Operator};
+use millstream_ops::{MultiWindowJoin, OpContext, Operator, TierConfig};
 use millstream_types::{DataType, Expr, Field, Schema, TimeDelta, Timestamp, Tuple, Value};
 
 /// Key-skew regimes for the single INT join column.
@@ -152,6 +152,73 @@ fn run_cell(cell: &Cell, keyed: bool, steps: u64) -> Measured {
         matches,
         peak_state: join.peak_state() as u64,
         tuples_per_sec: (steps * cell.arity as u64) as f64 / secs.max(1e-9),
+    }
+}
+
+/// Counters from one run of the spill cell.
+struct SpillMeasured {
+    /// Output rows in emission order, `(ts, values)` — compared across
+    /// budgets for byte-identity.
+    output: Vec<(u64, Vec<Value>)>,
+    /// High-water of `resident_state_bytes()` sampled after every step.
+    peak_resident_bytes: u64,
+    stats: millstream_ops::SpillStats,
+}
+
+/// The long-window spill cell: a keyed binary join over string-heavy rows
+/// whose window holds far more payload than the spill budget. Drives the
+/// operator exactly like [`run_cell`] and samples the resident join-state
+/// footprint each step.
+fn run_spill_cell(tier: Option<TierConfig>, window_ms: u64, steps: u64) -> SpillMeasured {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("p", DataType::Str),
+    ]);
+    let schemas = vec![schema; 2];
+    let windows = vec![TimeDelta::from_millis(window_ms); 2];
+    let mut join = MultiWindowJoin::new("⋈", &schemas, windows, None)
+        .with_keys(vec![0; 2])
+        .with_tier(tier);
+
+    let bufs: Vec<RefCell<Buffer>> = (0..2)
+        .map(|i| RefCell::new(Buffer::new(format!("in{i}"))))
+        .collect();
+    let out = RefCell::new(Buffer::new("out"));
+    let inputs: Vec<&RefCell<Buffer>> = bufs.iter().collect();
+    let outputs = [&out];
+
+    let mut output = Vec::new();
+    let mut peak = 0u64;
+    for step in 0..steps {
+        let ts = Timestamp::from_millis(step);
+        let row = vec![
+            Value::Int((step % 8) as i64),
+            Value::str(format!("payload-{step:-<120}")),
+        ];
+        for buf in &bufs {
+            buf.borrow_mut().push(Tuple::data(ts, row.clone())).unwrap();
+        }
+        if step > 0 && step.is_multiple_of(window_ms) {
+            for buf in &bufs {
+                buf.borrow_mut().push(Tuple::punctuation(ts)).unwrap();
+            }
+        }
+        let ctx = OpContext::new(&inputs, &outputs, ts);
+        while join.poll(&ctx).is_ready() {
+            join.step(&ctx).unwrap();
+        }
+        peak = peak.max(join.resident_state_bytes());
+        let mut o = out.borrow_mut();
+        while let Some(t) = o.pop() {
+            if t.is_data() {
+                output.push((t.ts.as_micros(), t.values_expect().to_vec()));
+            }
+        }
+    }
+    SpillMeasured {
+        output,
+        peak_resident_bytes: peak,
+        stats: join.spill_stats(),
     }
 }
 
@@ -281,6 +348,53 @@ fn main() {
         "\nacceptance: keyed probe work is {largest_speedup:.1}x below scan at 4-ary × {w_large} ms (≥5x required)"
     );
 
+    // Spill cell: a long window of string-heavy rows, run untiered (every
+    // live byte resident) and with a tiny spill budget. The tier must cut
+    // the peak resident footprint ≥4x while leaving the output stream
+    // byte-identical.
+    let spill_window = if quick { 256 } else { 1024 };
+    let spill_steps = 3 * spill_window;
+    let budget = 4096u64;
+    let unbounded = run_spill_cell(None, spill_window, spill_steps);
+    let budgeted = run_spill_cell(
+        Some(TierConfig {
+            budget,
+            hot_fraction: 0.05,
+            min_run_rows: 16,
+        }),
+        spill_window,
+        spill_steps,
+    );
+    let output_identical = unbounded.output == budgeted.output;
+    assert!(
+        output_identical,
+        "tiered join output diverged from untiered ({} vs {} rows)",
+        budgeted.output.len(),
+        unbounded.output.len()
+    );
+    assert!(budgeted.stats.spilled_bytes > 0, "budget {budget} must spill");
+    assert!(budgeted.stats.run_drops > 0, "punctuation must drop runs");
+    let reduction =
+        unbounded.peak_resident_bytes as f64 / budgeted.peak_resident_bytes.max(1) as f64;
+    assert!(
+        reduction >= 4.0,
+        "spill budget must cut peak resident state ≥4x, got {reduction:.1}x \
+         ({} -> {} bytes)",
+        unbounded.peak_resident_bytes,
+        budgeted.peak_resident_bytes
+    );
+    println!(
+        "spill: peak resident join state {} -> {} bytes ({reduction:.1}x) under a {budget}-byte \
+         budget at window {spill_window} ms; {} bytes spilled, {} runs compacted, {} runs \
+         dropped, output identical over {} rows (≥4x required)",
+        unbounded.peak_resident_bytes,
+        budgeted.peak_resident_bytes,
+        budgeted.stats.spilled_bytes,
+        budgeted.stats.compacted_runs,
+        budgeted.stats.run_drops,
+        budgeted.output.len(),
+    );
+
     let summary = Json::obj([
         (
             "method",
@@ -292,6 +406,32 @@ fn main() {
         ("quick", Json::Bool(quick)),
         ("largest_cell_probe_speedup", Json::Num(largest_speedup)),
         ("rows", Json::Arr(json_rows)),
+        (
+            "spill",
+            Json::obj([
+                ("window_ms", Json::Num(spill_window as f64)),
+                ("budget_bytes", Json::Num(budget as f64)),
+                (
+                    "unbounded_peak_bytes",
+                    Json::Num(unbounded.peak_resident_bytes as f64),
+                ),
+                (
+                    "budgeted_peak_bytes",
+                    Json::Num(budgeted.peak_resident_bytes as f64),
+                ),
+                ("peak_reduction", Json::Num(reduction)),
+                (
+                    "spilled_bytes",
+                    Json::Num(budgeted.stats.spilled_bytes as f64),
+                ),
+                (
+                    "compacted_runs",
+                    Json::Num(budgeted.stats.compacted_runs as f64),
+                ),
+                ("run_drops", Json::Num(budgeted.stats.run_drops as f64)),
+                ("output_identical", Json::Bool(output_identical)),
+            ]),
+        ),
     ]);
     write_results("multijoin", summary.clone());
     write_bench_summary("multijoin", summary);

@@ -6,6 +6,7 @@
 //! ```text
 //! msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--batch K]
 //!                              [--workers N] [--shards N]
+//!                              [--join-spill-budget B]
 //! msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict]
 //!                        [--io-threads N] [--ingest-shards N]
 //! msq send <addr> <stream> <trace.csv> [--window N]
@@ -33,6 +34,13 @@
 //!               the analysis deems unshardable fall back to serial.
 //!               With --dot, prints the sharded plan (exchange nodes,
 //!               shard replica clusters, ts-merge).
+//!   --join-spill-budget B  tiered join state: each join input compacts
+//!               aged rows into columnar runs and spills runs beyond B
+//!               resident bytes (suffixes k/m/g; `unbounded` = compact
+//!               but never spill; `off` = default row-only state). Also
+//!               settable as the MILLSTREAM_JOIN_SPILL env var. Output
+//!               is byte-identical at any budget — only peak resident
+//!               state changes.
 //!
 //! serve       host the query over TCP (see `millstream_net`): producers
 //!             `msq send` into the named streams, subscribers `msq tail`
@@ -124,7 +132,7 @@ struct Options {
     shards: usize,
 }
 
-const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N] [--shards N]\n       msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict] [--sub-queue N] [--overflow shed|disconnect] [--no-feedback] [--io-threads N] [--ingest-shards N]\n       msq send <addr> <stream> <trace.csv> [--window N]\n       msq tail <addr> [--patience-ms MS]\n       msq fuzz [--seeds N] [--base B]\n       msq bench [--quick]";
+const USAGE: &str = "usage: msq <query.msq> <trace.csv> [--no-ets] [--dot] [--profile] [--trace] [--batch K] [--workers N] [--shards N] [--join-spill-budget B]\n       msq serve <query.msq> [--addr A] [--workers N] [--idle-ms MS] [--strict] [--sub-queue N] [--overflow shed|disconnect] [--no-feedback] [--io-threads N] [--ingest-shards N]\n       msq send <addr> <stream> <trace.csv> [--window N]\n       msq tail <addr> [--patience-ms MS]\n       msq fuzz [--seeds N] [--base B]\n       msq bench [--quick]";
 
 fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
     let mut positional = Vec::new();
@@ -180,6 +188,22 @@ fn parse_args(args: &[String]) -> std::result::Result<Options, String> {
                             millstream_exec::MAX_SHARDS
                         )
                     })?;
+            }
+            "--join-spill-budget" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--join-spill-budget requires a value\n{USAGE}"))?;
+                if !value.eq_ignore_ascii_case("off")
+                    && millstream_ops::TierConfig::parse(value).is_none()
+                {
+                    return Err(format!(
+                        "--join-spill-budget expects bytes (k/m/g suffix ok), `unbounded` or `off`, got `{value}`\n{USAGE}"
+                    ));
+                }
+                // The planner reads MILLSTREAM_JOIN_SPILL when it
+                // constructs join operators; the flag is the env var's
+                // CLI spelling.
+                std::env::set_var("MILLSTREAM_JOIN_SPILL", value);
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             flag if flag.starts_with("--") => {

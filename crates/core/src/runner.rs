@@ -76,6 +76,13 @@ impl QueryRunner {
     /// `MILLSTREAM_WORKERS` ≥ 1 selects the parallel per-component backend
     /// (`msq --workers N`). With neither set the serial executor runs the
     /// whole graph.
+    ///
+    /// Independently, `MILLSTREAM_JOIN_SPILL` (the env spelling of
+    /// `msq --join-spill-budget`) gives every join input a tiered state:
+    /// aged rows compact into columnar runs and runs beyond the byte
+    /// budget spill to a per-state temp file. Output is byte-identical at
+    /// any setting; only peak resident join state changes
+    /// ([`millstream_ops::TierConfig`]).
     pub fn new(program: &str) -> Result<QueryRunner> {
         if let Some(shards) = std::env::var("MILLSTREAM_SHARDS")
             .ok()

@@ -859,6 +859,9 @@ impl ShardedExecutor {
                     // High-water, not a counter: the largest state held by
                     // any single replica of this operator.
                     acc.peak_state = acc.peak_state.max(p.peak_state);
+                    acc.compacted_runs += p.compacted_runs;
+                    acc.spilled_bytes += p.spilled_bytes;
+                    acc.run_drops += p.run_drops;
                 }
             }
             shard_stats.push(snap.stats);

@@ -98,6 +98,13 @@ pub struct OpProfile {
     /// ([`millstream_ops::Operator::state_tuples`]), sampled after every
     /// charged batch. 0 for stateless operators.
     pub peak_state: u64,
+    /// Columnar runs compacted by this operator's tiered join state
+    /// ([`millstream_ops::Operator::spill_stats`]). 0 without tiering.
+    pub compacted_runs: u64,
+    /// Run payload bytes this operator spilled to disk.
+    pub spilled_bytes: u64,
+    /// Wholly-expired runs retired by header comparison (never scanned).
+    pub run_drops: u64,
 }
 
 /// Aggregate executor statistics.
@@ -137,6 +144,14 @@ pub struct ExecStats {
     /// (paper Fig. 8 methodology). Merged with `max`, not `+`: it is a
     /// high-water, not a counter.
     pub peak_join_state: u64,
+    /// Columnar runs compacted across all tiered join states
+    /// (`--join-spill-budget`; 0 with tiering off).
+    pub compacted_runs: u64,
+    /// Join-run payload bytes spilled to the disk tier.
+    pub spilled_bytes: u64,
+    /// Wholly-expired join runs retired at a floor advance by header
+    /// comparison — the tiered store's O(1)-purge signal.
+    pub run_drops: u64,
 }
 
 impl ExecStats {
@@ -156,6 +171,9 @@ impl ExecStats {
             shed_tuples,
             feedback_signals,
             peak_join_state,
+            compacted_runs,
+            spilled_bytes,
+            run_drops,
         } = other;
         self.steps += steps;
         self.batches += batches;
@@ -167,6 +185,9 @@ impl ExecStats {
         self.shed_tuples += shed_tuples;
         self.feedback_signals += feedback_signals;
         self.peak_join_state = self.peak_join_state.max(*peak_join_state);
+        self.compacted_runs += compacted_runs;
+        self.spilled_bytes += spilled_bytes;
+        self.run_drops += run_drops;
     }
 }
 
@@ -450,6 +471,14 @@ impl Executor {
     pub fn stats(&self) -> ExecStats {
         let mut stats = self.stats;
         stats.invariant_violations = self.sentinel_stats.total();
+        // Tier counters are lifetime totals held by the operators
+        // themselves; the profile mirrors them (latest sample wins), so
+        // summing the profile is summing the operators.
+        for p in &self.profile {
+            stats.compacted_runs += p.compacted_runs;
+            stats.spilled_bytes += p.spilled_bytes;
+            stats.run_drops += p.run_drops;
+        }
         stats
     }
 
@@ -461,13 +490,19 @@ impl Executor {
     /// Records one executed batch (one or more steps) against the
     /// operator's profile.
     fn charge(&mut self, node: NodeId, batch: &BatchOutcome, cost: millstream_types::TimeDelta) {
-        let state = self.graph.ops[node.0].op.state_tuples() as u64;
+        let op = &self.graph.ops[node.0].op;
+        let state = op.state_tuples() as u64;
+        let spill = op.spill_stats();
         let p = &mut self.profile[node.0];
         p.steps += batch.steps as u64;
         p.consumed += batch.consumed as u64;
         p.produced += batch.produced as u64;
         p.busy_micros += cost.as_micros();
         p.peak_state = p.peak_state.max(state);
+        // Lifetime totals from the operator, not deltas: assign.
+        p.compacted_runs = spill.compacted_runs;
+        p.spilled_bytes = spill.spilled_bytes;
+        p.run_drops = spill.run_drops;
         self.stats.peak_join_state = self.stats.peak_join_state.max(state);
     }
 

@@ -260,6 +260,13 @@ pub trait Operator: Send {
         0
     }
 
+    /// Lifetime tiered-store counters (compacted runs, spilled bytes,
+    /// run drops), sampled by the executor into `ExecStats`/`OpProfile`.
+    /// Operators without a tiered cold store report zeros.
+    fn spill_stats(&self) -> crate::join_state::SpillStats {
+        crate::join_state::SpillStats::default()
+    }
+
     /// Declared number of inputs. The graph builder checks arity.
     fn num_inputs(&self) -> usize;
 

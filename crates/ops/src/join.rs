@@ -26,7 +26,7 @@ use millstream_buffer::TsmBank;
 use millstream_types::{Expr, Result, Schema, TimeDelta, Timestamp, Tuple};
 
 use crate::context::{OpContext, Operator, Poll, StepOutcome};
-use crate::join_state::JoinState;
+use crate::join_state::{JoinState, SpillStats, TierConfig};
 
 /// Configuration of one binary symmetric window join.
 #[derive(Debug, Clone)]
@@ -93,6 +93,9 @@ pub struct WindowJoin {
     punct_high_water: Option<Timestamp>,
     probes: u64,
     matches: u64,
+    /// Reused rehydration buffer for cold-tier candidates (empty and
+    /// never touched while the tier is off).
+    cold_scratch: Vec<Tuple>,
 }
 
 impl WindowJoin {
@@ -116,7 +119,28 @@ impl WindowJoin {
             punct_high_water: None,
             probes: 0,
             matches: 0,
+            cold_scratch: Vec::new(),
         }
+    }
+
+    /// Enables the tiered cold store on both window states (builder
+    /// style). `None` keeps hot rows only.
+    pub fn with_tier(mut self, tier: Option<TierConfig>) -> Self {
+        let (key_a, key_b) = match self.spec.key {
+            Some((a, b)) => (Some(a), Some(b)),
+            None => (None, None),
+        };
+        self.state = [
+            JoinState::with_tier(self.spec.window_a, key_a, tier),
+            JoinState::with_tier(self.spec.window_b, key_b, tier),
+        ];
+        self
+    }
+
+    /// Estimated resident bytes across both window states (hot rows +
+    /// run metadata + resident run payloads; spilled payloads excluded).
+    pub fn resident_state_bytes(&self) -> u64 {
+        self.state[0].resident_bytes() + self.state[1].resident_bytes()
     }
 
     /// Current number of tuples stored in W(A).
@@ -221,6 +245,12 @@ impl Operator for WindowJoin {
         self.state[0].len() + self.state[1].len()
     }
 
+    fn spill_stats(&self) -> SpillStats {
+        let mut s = self.state[0].spill_stats();
+        s.merge(&self.state[1].spill_stats());
+        s
+    }
+
     fn output_schema(&self) -> &Schema {
         &self.schema
     }
@@ -274,8 +304,10 @@ impl Operator for WindowJoin {
                     let col = if i == 0 { ka } else { kb };
                     &probe.values_expect()[col]
                 });
-                let candidates = self.state[other].probe(probe_key);
-                let work = candidates.len();
+                // Candidates chain cold runs (oldest first) before the
+                // hot bucket — the same timestamp order an untiered
+                // window stores, so emission order is tier-invariant.
+                let candidates = self.state[other].probe(probe_key, &mut self.cold_scratch)?;
                 let mut probes = 0u64;
                 let mut matches = 0u64;
                 let mut produced = 0usize;
@@ -289,6 +321,7 @@ impl Operator for WindowJoin {
                         produced += 1;
                     }
                 }
+                let work = probes as usize;
                 self.probes += probes;
                 self.matches += matches;
                 if produced == 0 && self.spec.progress_punctuation {

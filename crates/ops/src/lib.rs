@@ -31,6 +31,7 @@ mod project;
 mod reorder;
 mod sink;
 mod sliding;
+mod spill;
 mod split;
 mod union;
 
@@ -38,7 +39,7 @@ pub use aggregate::{AggExpr, AggFunc, WindowAggregate};
 pub use context::{BatchOutcome, OpContext, Operator, Poll, StepOutcome};
 pub use filter::{DropBehavior, Filter};
 pub use join::{JoinSpec, WindowJoin};
-pub use join_state::JoinState;
+pub use join_state::{JoinState, SpillStats, TierConfig};
 pub use multijoin::MultiWindowJoin;
 pub use project::Project;
 pub use reorder::{LatePolicy, Reorder};

@@ -29,7 +29,7 @@ use millstream_buffer::TsmBank;
 use millstream_types::{BinOp, Expr, Result, Row, Schema, TimeDelta, Timestamp, Tuple, Value};
 
 use crate::context::{OpContext, Operator, Poll, StepOutcome};
-use crate::join_state::JoinState;
+use crate::join_state::{JoinState, SpillStats, TierConfig};
 
 /// Upper bound on join arity — lets the probe loop keep its odometer and
 /// candidate slices on the stack (no per-probe allocation).
@@ -75,6 +75,11 @@ pub struct MultiWindowJoin {
     /// Reusable full-width row image for conjunct evaluation and output
     /// assembly.
     scratch: Vec<Value>,
+    /// Tier config applied to every store (`None` = hot rows only).
+    tier: Option<TierConfig>,
+    /// Per-enumeration-slot rehydration buffers for cold-tier candidates
+    /// (reused across probes; all empty while the tier is off).
+    cold: Vec<Vec<Tuple>>,
 }
 
 /// Appends the top-level AND-conjuncts of `e` to `out`.
@@ -174,6 +179,8 @@ impl MultiWindowJoin {
             depth_plan: Vec::new(),
             probes_since_plan: 0,
             scratch: vec![Value::Null; off],
+            tier: None,
+            cold: vec![Vec::new(); arity],
         };
         join.replan();
         join
@@ -187,14 +194,37 @@ impl MultiWindowJoin {
     /// not be repeated in `condition`.
     pub fn with_keys(mut self, keys: Vec<usize>) -> Self {
         assert_eq!(keys.len(), self.arity(), "one key column per input");
+        let tier = self.tier;
         self.stores = self
             .windows
             .iter()
             .zip(&keys)
-            .map(|(w, k)| JoinState::new(*w, Some(*k)))
+            .map(|(w, k)| JoinState::with_tier(*w, Some(*k), tier))
             .collect();
         self.keys = Some(keys);
         self
+    }
+
+    /// Enables the tiered cold store on every window state (builder
+    /// style). `None` keeps hot rows only.
+    pub fn with_tier(mut self, tier: Option<TierConfig>) -> Self {
+        self.tier = tier;
+        self.stores = self
+            .windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let key = self.keys.as_ref().map(|k| k[i]);
+                JoinState::with_tier(*w, key, tier)
+            })
+            .collect();
+        self
+    }
+
+    /// Estimated resident bytes across all window states (hot rows + run
+    /// metadata + resident run payloads; spilled payloads excluded).
+    pub fn resident_state_bytes(&self) -> u64 {
+        self.stores.iter().map(JoinState::resident_bytes).sum()
     }
 
     /// Number of inputs.
@@ -304,6 +334,14 @@ impl Operator for MultiWindowJoin {
         self.stores.iter().map(|s| s.len()).sum()
     }
 
+    fn spill_stats(&self) -> SpillStats {
+        let mut acc = SpillStats::default();
+        for s in &self.stores {
+            acc.merge(&s.spill_stats());
+        }
+        acc
+    }
+
     fn output_schema(&self) -> &Schema {
         &self.schema
     }
@@ -383,20 +421,30 @@ impl Operator for MultiWindowJoin {
             }
 
             if live {
-                // Enumeration sequence and candidate slices (borrowed in
-                // place from the stores — no snapshot, no allocation).
+                // Enumeration sequence. Phase one rehydrates each slot's
+                // cold-tier candidates into the reused `cold` buffers
+                // (empty and free while the tier is off)...
                 let mut seq = [0usize; MAX_ARITY];
-                let mut cand: [&[Tuple]; MAX_ARITY] = [&[]; MAX_ARITY];
                 let mut d = 0;
                 for &inp in &self.order {
                     if inp != i {
                         seq[d] = inp;
-                        cand[d] = self.stores[inp].probe(probe_key);
+                        self.cold[d].clear();
+                        self.stores[inp].probe_cold(probe_key, &mut self.cold[d])?;
                         d += 1;
                     }
                 }
+                // ...phase two borrows the hot slices in place (no
+                // snapshot, no allocation). A slot's candidates are
+                // cold-then-hot — ascending timestamps, exactly the
+                // bucket order of an untiered store.
+                let cold = &self.cold;
+                let mut hot: [&[Tuple]; MAX_ARITY] = [&[]; MAX_ARITY];
+                for (d, slot) in hot.iter_mut().enumerate().take(m) {
+                    *slot = self.stores[seq[d]].probe_hot(probe_key);
+                }
 
-                // Odometer over the candidate slices: depth d binds input
+                // Odometer over the candidate slots: depth d binds input
                 // seq[d]; conjuncts fire at the shallowest depth where all
                 // their inputs are bound, pruning subtrees early.
                 let mut idx = [0usize; MAX_ARITY];
@@ -404,7 +452,7 @@ impl Operator for MultiWindowJoin {
                 let mut probes = 0u64;
                 let mut matches = 0u64;
                 loop {
-                    if idx[d] == cand[d].len() {
+                    if idx[d] == cold[d].len() + hot[d].len() {
                         if d == 0 {
                             break;
                         }
@@ -413,7 +461,11 @@ impl Operator for MultiWindowJoin {
                         idx[d] += 1;
                         continue;
                     }
-                    let t = &cand[d][idx[d]];
+                    let t = if idx[d] < cold[d].len() {
+                        &cold[d][idx[d]]
+                    } else {
+                        &hot[d][idx[d] - cold[d].len()]
+                    };
                     probes += 1;
                     work += 1;
                     let o = self.offsets[seq[d]];
@@ -849,5 +901,58 @@ mod tests {
         }
         let order = j.probe_order();
         assert_eq!(order[2], 2, "fattest input probed last: {order:?}");
+    }
+
+    #[test]
+    fn stale_estimate_does_not_flip_probe_order() {
+        // Regression for the probe-order estimate bug: keyed
+        // `estimated_candidates()` used to divide the *physical*
+        // `keyed_live` by live buckets, and `keyed_live` only shrinks at
+        // sweeps. An input whose window content has logically expired —
+        // but whose floor has not yet moved half a window past the last
+        // sweep, so no sweep ran — kept its stale count and was ranked
+        // as the fattest input, pushing the genuinely cheapest store to
+        // the end of the enumeration order.
+        let rig = Rig3::new();
+        let mut j = MultiWindowJoin::new(
+            "⋈3",
+            &[schema(), schema(), schema()],
+            vec![TimeDelta::from_micros(1_000); 3],
+            None,
+        )
+        .with_keys(vec![0, 0, 0]);
+        // Input 0: a 200-tuple burst that will be logically dead by the
+        // probe phase. Distinct keys per input avoid any matches.
+        for ts in 1..=200u64 {
+            rig.bufs[0].borrow_mut().push(data(ts, 1)).unwrap();
+        }
+        rig.bufs[0].borrow_mut().push(data(1470, 1)).unwrap();
+        // Input 1: a small fresh batch that stays live.
+        for ts in 1391..=1400u64 {
+            rig.bufs[1].borrow_mut().push(data(ts, 2)).unwrap();
+        }
+        rig.bufs[1].borrow_mut().push(data(1470, 2)).unwrap();
+        // Input 2 drives enough probes at ts ≈ 1400+ to cross a re-plan
+        // boundary while input 0's floor lag (≈470 µs) stays under the
+        // half-window sweep hysteresis (500 µs) — no sweep, stale count.
+        for ts in 1401..=1468u64 {
+            rig.bufs[2].borrow_mut().push(data(ts, 3)).unwrap();
+        }
+        let out = rig.drain(&mut j);
+        assert!(out.is_empty(), "keys are disjoint, no matches expected");
+        assert!(j.window_len(0) > 150, "input 0 not yet physically swept");
+        let order = j.probe_order();
+        let pos = |input: usize| order.iter().position(|&p| p == input).unwrap();
+        // Logically, input 0 holds ~1 live tuple — by far the cheapest
+        // store. The stale physical estimate (200+ tuples) used to rank
+        // it behind the genuinely fatter inputs 1 and 2.
+        assert!(
+            pos(0) < pos(1),
+            "mostly-expired input 0 must rank cheaper than live input 1: {order:?}"
+        );
+        assert!(
+            pos(0) < pos(2),
+            "mostly-expired input 0 must rank cheapest of all: {order:?}"
+        );
     }
 }

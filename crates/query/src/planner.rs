@@ -601,10 +601,11 @@ impl PlanCtx<'_> {
                     spec.residual = Some(Expr::lit(true));
                 }
                 let name = self.next_name("⋈");
-                let j = self.builder.operator(
-                    Box::new(WindowJoin::new(name, joined.clone(), spec)),
-                    vec![src_input, src2_input],
-                )?;
+                let op = WindowJoin::new(name, joined.clone(), spec)
+                    .with_tier(millstream_ops::TierConfig::from_env());
+                let j = self
+                    .builder
+                    .operator(Box::new(op), vec![src_input, src2_input])?;
                 iwp_node = Some(j);
                 (Input::Op(j), joined, scope)
             }
@@ -657,6 +658,7 @@ impl PlanCtx<'_> {
                     // Absolute → input-relative key columns.
                     op = op.with_keys(keys.iter().zip(&offsets).map(|(k, o)| k - o).collect());
                 }
+                let op = op.with_tier(millstream_ops::TierConfig::from_env());
                 let j = self.builder.operator(Box::new(op), inputs)?;
                 iwp_node = Some(j);
                 let scope = Scope::nary(&bindings);

@@ -56,7 +56,7 @@ use millstream_exec::{
     ShardedExecutor, SourceId, VirtualClock, Watermarks,
 };
 use millstream_ops::{
-    Filter, LatePolicy, MultiWindowJoin, Project, Reorder, Sink, SinkCollector, Union,
+    Filter, LatePolicy, MultiWindowJoin, Project, Reorder, Sink, SinkCollector, TierConfig, Union,
 };
 use millstream_types::{
     DataType, Expr, Field, Schema, TimeDelta, Timestamp, TimestampKind, Tuple, Value,
@@ -444,10 +444,11 @@ fn append_component<C: SinkCollector + 'static>(
     b: &mut GraphBuilder,
     comp: &CompSpec,
     ci: usize,
+    tier: Option<TierConfig>,
     out: C,
 ) -> Result<Vec<SourceId>, String> {
     if let Some((kind, w)) = comp.join {
-        return append_join_component(b, comp, ci, kind, w, out);
+        return append_join_component(b, comp, ci, kind, w, tier, out);
     }
     let mut tails = Vec::new();
     let mut src_ids = Vec::new();
@@ -532,6 +533,7 @@ fn append_join_component<C: SinkCollector + 'static>(
     ci: usize,
     kind: JoinKind,
     w: u64,
+    tier: Option<TierConfig>,
     out: C,
 ) -> Result<Vec<SourceId>, String> {
     let mut inputs = Vec::new();
@@ -557,6 +559,7 @@ fn append_join_component<C: SinkCollector + 'static>(
             ),
         ),
     };
+    let join = join.with_tier(tier);
     let jn = b
         .operator(Box::new(join), inputs)
         .map_err(|e| e.to_string())?;
@@ -568,12 +571,12 @@ fn append_join_component<C: SinkCollector + 'static>(
     Ok(src_ids)
 }
 
-fn build(spec: &FuzzSpec) -> Result<Built, String> {
+fn build(spec: &FuzzSpec, tier: Option<TierConfig>) -> Result<Built, String> {
     let mut b = GraphBuilder::new();
     let mut handles = Vec::new();
     for (ci, comp) in spec.comps.iter().enumerate() {
         let out = CollectedSink::default();
-        let src_ids = append_component(&mut b, comp, ci, out.clone())?;
+        let src_ids = append_component(&mut b, comp, ci, tier, out.clone())?;
         handles.push((src_ids, out));
     }
     let graph = b.build().map_err(|e| e.to_string())?;
@@ -624,8 +627,9 @@ fn run_serial(
     policy: EtsPolicy,
     sched: SchedPolicy,
     feedback: Option<FeedbackConfig>,
+    tier: Option<TierConfig>,
 ) -> Result<Vec<Vec<(u64, i64)>>, String> {
-    let built = build(spec)?;
+    let built = build(spec, tier)?;
     let mut exec = Executor::new(
         built.graph,
         VirtualClock::shared(),
@@ -696,7 +700,7 @@ fn run_parallel(
     workers: usize,
     feedback: Option<FeedbackConfig>,
 ) -> Result<Vec<Vec<(u64, i64)>>, String> {
-    let built = build(spec)?;
+    let built = build(spec, None)?;
     let mut config = ParallelConfig::new(CostModel::free(), policy, workers)
         .with_sched_policy(sched)
         .with_check_mode(CheckMode::Strict);
@@ -786,7 +790,7 @@ fn run_sharded(
         let sx = ShardedExecutor::new(
             |replica, shard_out: ShardOutput| {
                 let mut b = GraphBuilder::new();
-                let sids = append_component(&mut b, comp, ci, shard_out).map_err(|e| {
+                let sids = append_component(&mut b, comp, ci, None, shard_out).map_err(|e| {
                     millstream_types::Error::graph(format!("shard replica build: {e}"))
                 })?;
                 if replica == 0 {
@@ -982,7 +986,7 @@ pub fn fuzz_seed(seed: u64) -> Vec<String> {
                         "seed {seed} [policy={policy:?} sched={sched:?} workers={workers} fb={fb}]"
                     );
                     let result = if workers == 1 {
-                        run_serial(&spec, policy, sched, feedback)
+                        run_serial(&spec, policy, sched, feedback, None)
                     } else {
                         run_parallel(&spec, policy, sched, workers, feedback)
                     };
@@ -1006,6 +1010,32 @@ pub fn fuzz_seed(seed: u64) -> Vec<String> {
             }
         }
     }
+    // Tiered-join cells: every join spec reruns with the join state
+    // compacting aged rows into columnar runs — once never spilling
+    // (unbounded) and once spilling every run (budget 0, an aggressive
+    // hot fraction so compaction fires constantly). Output must stay
+    // byte-identical to the untiered cells above; the oracle check pins
+    // that.
+    if spec.comps.iter().any(|c| c.join.is_some()) {
+        for (label_budget, budget) in [("unbounded", u64::MAX), ("tiny", 0)] {
+            let tier = TierConfig {
+                budget,
+                hot_fraction: 0.25,
+                min_run_rows: 4,
+            };
+            let label = format!("seed {seed} [tier={label_budget}]");
+            match run_serial(
+                &spec,
+                EtsPolicy::None,
+                SchedPolicy::DepthFirst,
+                None,
+                Some(tier),
+            ) {
+                Err(e) => failures.push(format!("{label}: {e}")),
+                Ok(outputs) => check_outputs(&spec, &outputs, &label, &mut failures),
+            }
+        }
+    }
     failures
 }
 
@@ -1026,8 +1056,12 @@ pub fn fuzz_range(base: u64, count: u64) -> FuzzSummary {
     for seed in base..base.saturating_add(count) {
         let spec = gen_spec(seed);
         // policies × scheds × (workers × feedback {off, advisory-on}
-        // + shards {1, 2, 4}).
-        let cells = if spec.any_unordered() { 14 } else { 28 };
+        // + shards {1, 2, 4}), plus the two tiered-join cells for join
+        // specs (unbounded and always-spill budgets).
+        let mut cells = if spec.any_unordered() { 14 } else { 28 };
+        if spec.comps.iter().any(|c| c.join.is_some()) {
+            cells += 2;
+        }
         summary.seeds += 1;
         summary.runs += cells;
         summary.failures.extend(fuzz_seed(seed));
